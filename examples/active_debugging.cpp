@@ -1,0 +1,72 @@
+// Active debugging (predicate *control*, the detection problem's dual):
+// having detected that a bad global state is possible, add synchronization
+// arrows to the computation so that it is not — then replay under control.
+//
+// A rogue process violates a token ring's mutual exclusion. Detection finds
+// the violations; control serializes every critical-section interval with a
+// minimal chain of arrows; re-detection on the controlled computation comes
+// back clean.
+#include <iostream>
+
+#include "gpd.h"
+
+int main() {
+  using namespace gpd;
+
+  sim::TokenRingOptions options;
+  options.processes = 4;
+  options.rounds = 2;
+  options.seed = 3;
+  options.rogueProcess = 2;
+  const sim::SimResult run = sim::tokenRing(options);
+
+  const auto violations = [&](const Computation& comp,
+                              const VariableTrace& trace) {
+    const VectorClocks clocks(comp);
+    int count = 0;
+    for (ProcessId i = 0; i < options.processes; ++i) {
+      for (ProcessId j = i + 1; j < options.processes; ++j) {
+        ConjunctivePredicate both{{varCompare(i, "cs", Relop::GreaterEq, 1),
+                                   varCompare(j, "cs", Relop::GreaterEq, 1)}};
+        if (detect::detectConjunctive(clocks, trace, both).found) {
+          std::cout << "  possibly(CS" << i << " ∧ CS" << j << ")\n";
+          ++count;
+        }
+      }
+    }
+    return count;
+  };
+
+  std::cout << "== detection on the recorded computation ==\n";
+  const int before = violations(*run.computation, *run.trace);
+  std::cout << before << " violating pair(s)\n\n";
+
+  // Control: serialize every critical-section interval.
+  const VectorClocks clocks(*run.computation);
+  std::vector<std::vector<detect::TrueInterval>> intervals;
+  for (ProcessId p = 0; p < options.processes; ++p) {
+    intervals.push_back(detect::trueIntervals(
+        *run.trace, varCompare(p, "cs", Relop::GreaterEq, 1)));
+  }
+  const control::SerializationResult controlled =
+      control::serializeIntervals(clocks, intervals);
+  if (!controlled.feasible) {
+    std::cout << "control infeasible: two critical sections overlap in every "
+                 "schedule\n";
+    return 1;
+  }
+  std::cout << "== control ==\nadded " << controlled.addedEdges.size()
+            << " synchronization arrow(s):\n";
+  for (const Message& m : controlled.addedEdges) {
+    std::cout << "  (" << m.send.process << "," << m.send.index << ") -> ("
+              << m.receive.process << "," << m.receive.index << ")\n";
+  }
+
+  std::cout << "\n== re-detection on the controlled computation ==\n";
+  const VariableTrace controlledTrace =
+      run.trace->rebindTo(*controlled.controlled);
+  const int after = violations(*controlled.controlled, controlledTrace);
+  std::cout << after << " violating pair(s)"
+            << (after == 0 ? " — mutual exclusion restored\n" : "\n");
+  return after == 0 ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// The paper's fault-tolerance motivation: "on detecting a deadlock, one of
+// the processes must be aborted and restarted."
+//
+// Four dining philosophers acquire their forks greedily (own fork first,
+// then the neighbour's) — the classic hold-and-wait cycle. The deadlock
+// suspicion predicate is conjunctive, possibly(⋀ waitingᵢ), detected by
+// CPDHB; because a real deadlock is *stable*, it also registers under
+// definitely. The resource-ordering fix makes every run complete.
+#include <iostream>
+
+#include "gpd.h"
+
+namespace {
+
+void analyze(const char* label, const gpd::sim::PhilosophersOptions& options) {
+  using namespace gpd;
+  const sim::SimResult run = sim::diningPhilosophers(options);
+  detect::Detector detector(*run.trace);
+
+  ConjunctivePredicate allWaiting;
+  for (ProcessId p = 0; p < options.philosophers; ++p) {
+    allWaiting.terms.push_back(varTrue(p, "waiting"));
+  }
+  const auto suspicion = detector.possibly(allWaiting);
+  const bool stable = detector.definitely(allWaiting);
+
+  const Cut fin = finalCut(*run.computation);
+  std::int64_t meals = 0;
+  for (ProcessId p = 0; p < options.philosophers; ++p) {
+    meals += run.trace->valueAtCut(fin, p, "meals");
+  }
+
+  std::cout << "== " << label << " ==\n";
+  std::cout << "meals completed: " << meals << " / "
+            << options.philosophers * options.meals << '\n';
+  if (suspicion) {
+    std::cout << "possibly(all waiting): YES at cut " << suspicion->toString()
+              << (stable ? "  — and definitely: a stable DEADLOCK\n"
+                         : "  — transient contention only\n");
+  } else {
+    std::cout << "possibly(all waiting): no\n";
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  gpd::sim::PhilosophersOptions grabby;
+  grabby.philosophers = 4;
+  grabby.meals = 2;
+  grabby.seed = 1;
+  analyze("greedy acquisition (hold-and-wait)", grabby);
+
+  gpd::sim::PhilosophersOptions ordered = grabby;
+  ordered.orderedAcquisition = true;
+  analyze("ordered acquisition (deadlock-free)", ordered);
+  return 0;
+}

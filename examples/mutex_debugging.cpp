@@ -1,0 +1,58 @@
+// The paper's motivating scenario: debugging a distributed mutual-exclusion
+// algorithm by detecting possibly(CSᵢ ∧ CSⱼ) — "could two processes have
+// been inside the critical section at the same time?"
+//
+// A clean token ring never violates mutual exclusion; a rogue process that
+// enters without the token does, and the detector pinpoints a witness cut
+// even if no test run ever *observed* the overlap directly (that is the
+// point of predicate detection: possibly() quantifies over all runs
+// consistent with the recorded causality).
+#include <iostream>
+
+#include "gpd.h"
+
+namespace {
+
+void audit(const char* label, const gpd::sim::TokenRingOptions& options) {
+  using namespace gpd;
+  const sim::SimResult run = sim::tokenRing(options);
+  detect::Detector detector(*run.trace);
+
+  std::cout << "== " << label << " ==\n";
+  std::cout << "trace: " << run.computation->totalEvents() << " events, "
+            << run.computation->messages().size() << " messages\n";
+
+  bool violated = false;
+  for (ProcessId i = 0; i < options.processes; ++i) {
+    for (ProcessId j = i + 1; j < options.processes; ++j) {
+      ConjunctivePredicate overlap{
+          {varCompare(i, "cs", Relop::GreaterEq, 1),
+           varCompare(j, "cs", Relop::GreaterEq, 1)}};
+      if (const auto cut = detector.possibly(overlap)) {
+        std::cout << "VIOLATION: processes " << i << " and " << j
+                  << " can be in the CS together, witness cut "
+                  << cut->toString() << '\n';
+        violated = true;
+      }
+    }
+  }
+  if (!violated) {
+    std::cout << "mutual exclusion holds on every consistent cut\n";
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  gpd::sim::TokenRingOptions clean;
+  clean.processes = 5;
+  clean.rounds = 3;
+  clean.seed = 42;
+  audit("clean token ring", clean);
+
+  gpd::sim::TokenRingOptions buggy = clean;
+  buggy.rogueProcess = 3;  // enters the CS once without the token
+  audit("token ring with a rogue process", buggy);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Live monitoring with the streaming Garg–Waldecker checker.
+//
+// A buggy token ring runs; every process reports a vector-timestamped
+// notification whenever it is inside its critical section. The checker
+// consumes the interleaved notification stream and raises the alarm the
+// moment the queue heads witness a consistent "all in CS" state — here we
+// monitor pairs (the two-process conjunctive predicate CSᵢ ∧ CSⱼ).
+#include <iostream>
+
+#include "gpd.h"
+
+int main() {
+  using namespace gpd;
+
+  sim::TokenRingOptions options;
+  options.processes = 4;
+  options.rounds = 3;
+  options.seed = 11;
+  options.rogueProcess = 2;
+  const sim::SimResult run = sim::tokenRing(options);
+  const VectorClocks clocks(*run.computation);
+
+  std::cout << "monitoring " << run.computation->totalEvents()
+            << " events for pairwise CS overlap...\n\n";
+
+  Rng rng(5);
+  const auto runOrder =
+      graph::randomLinearExtension(run.computation->toDag(), rng);
+
+  for (ProcessId i = 0; i < options.processes; ++i) {
+    for (ProcessId j = i + 1; j < options.processes; ++j) {
+      // A 2-slot monitor: processes i and j report their CS entries.
+      monitor::ConjunctiveMonitor checker(2);
+      std::uint64_t sent = 0;
+      bool detected = false;
+      for (int node : runOrder) {
+        const EventId e = run.computation->event(node);
+        const int slot = e.process == i ? 0 : e.process == j ? 1 : -1;
+        if (slot < 0) continue;
+        if (run.trace->value(e.process, "cs", e.index) < 1) continue;
+        // Project the timestamp onto the two monitored processes.
+        std::vector<int> stamp{clocks.clock(e, i), clocks.clock(e, j)};
+        ++sent;
+        if (checker.report(slot, std::move(stamp))) {
+          detected = true;
+          break;
+        }
+      }
+      if (detected) {
+        std::cout << "ALERT: CS overlap between p" << i << " and p" << j
+                  << " after " << sent << " notifications ("
+                  << checker.comparisons() << " clock comparisons)\n";
+      } else {
+        std::cout << "p" << i << "/p" << j << ": clean (" << sent
+                  << " notifications)\n";
+      }
+    }
+  }
+  std::cout << "\nThe rogue process was p2 — exactly its pairs alert.\n";
+  return 0;
+}

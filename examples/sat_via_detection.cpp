@@ -1,0 +1,49 @@
+// Theorem 1 run forward: solving SAT with the predicate detector.
+//
+// Each 3-CNF formula is transformed to a non-monotone formula, compiled into
+// the Figure 3 computation gadget, and handed to the singular-2-CNF
+// detector; a witness cut decodes into a satisfying assignment. DPLL
+// cross-checks every verdict. (Detection pays the exponential enumeration on
+// unsatisfiable gadgets — that is exactly what NP-hardness promises.)
+#include <iostream>
+
+#include "gpd.h"
+
+int main() {
+  using namespace gpd;
+
+  Rng rng(2026);
+  Table table({"formula", "gadget", "detector", "dpll", "agree"});
+  for (int i = 0; i < 8; ++i) {
+    const int vars = 3 + static_cast<int>(rng.index(3));
+    const int clauses = 3 + static_cast<int>(rng.index(6));
+    sat::Cnf cnf;
+    cnf.numVars = vars;
+    for (int j = 0; j < clauses; ++j) {
+      const int width = rng.chance(0.6) ? 2 : 3;
+      cnf.addClause(sat::randomKCnf(vars, 1, width, rng).clauses[0]);
+    }
+
+    // Size of the gadget this formula compiles to.
+    const auto transformed = sat::toNonMonotone(cnf);
+    const auto simplified = reduction::simplifyForGadget(transformed.formula);
+    std::string gadgetDesc = "trivial";
+    if (!simplified.unsatisfiable && !simplified.formula.clauses.empty()) {
+      gadgetDesc =
+          std::to_string(2 * simplified.formula.clauses.size()) + " procs";
+    }
+
+    const auto viaDetection = reduction::solveSatViaDetection(cnf);
+    const auto viaDpll = sat::solveDpll(cnf);
+    table.row(sat::toString(cnf).substr(0, 48), gadgetDesc,
+              viaDetection ? "SAT" : "UNSAT", viaDpll ? "SAT" : "UNSAT",
+              viaDetection.has_value() == viaDpll.has_value() ? "yes" : "NO");
+    if (viaDetection) {
+      GPD_CHECK(satisfies(cnf, *viaDetection));
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nEvery satisfying assignment returned by the detector was "
+               "verified against the formula.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "clocks/direct_dependency.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace gpd {
+
+DirectDependencyClocks::DirectDependencyClocks(const Computation& c)
+    : comp_(&c), n_(c.processCount()) {
+  direct_.assign(static_cast<std::size_t>(c.totalEvents()) * n_, -1);
+  for (ProcessId p = 0; p < n_; ++p) {
+    for (int i = 0; i < c.eventCount(p); ++i) {
+      const EventId e{p, i};
+      int* row = &direct_[static_cast<std::size_t>(c.node(e)) * n_];
+      row[p] = i;
+      // Process order is a direct dependency on the predecessor only via the
+      // own component; message receipt records the sender's event index.
+      for (int m : c.incomingMessages(e)) {
+        const EventId s = c.messages()[m].send;
+        row[s.process] = std::max(row[s.process], s.index);
+      }
+    }
+  }
+}
+
+std::vector<int> DirectDependencyClocks::reconstructClock(
+    const EventId& e) const {
+  GPD_CHECK(comp_->contains(e));
+  // Work-list closure: start from e's direct row and fold in the direct
+  // rows of every dependency discovered, walking each process's prefix.
+  std::vector<int> clock(n_, 0);
+  std::vector<int> frontier(n_, -1);  // deepest index of p already folded
+  clock[e.process] = e.index;
+  std::vector<EventId> work{e};
+  while (!work.empty()) {
+    const EventId cur = work.back();
+    work.pop_back();
+    for (ProcessId q = 0; q < n_; ++q) {
+      const int d = direct(cur, q);
+      if (d <= frontier[q]) continue;
+      // Every event of q up to index d is in the history; their direct rows
+      // must be folded too (but each only once).
+      for (int i = frontier[q] + 1; i <= d; ++i) work.push_back({q, i});
+      frontier[q] = d;
+      clock[q] = std::max(clock[q], d);
+    }
+  }
+  return clock;
+}
+
+}  // namespace gpd

@@ -1,0 +1,40 @@
+// Fowler–Zwaenepoel direct-dependency tracking.
+//
+// Instead of full vector clocks, each process tracks only its *direct*
+// dependencies: D(e)[q] = largest index of a q-event from which e received a
+// message directly (plus its own index). Messages then carry a single scalar
+// (the sender's event index) instead of an n-vector — the trade-off many
+// practical monitors choose. Full causality is recovered offline by a
+// transitive closure over the dependency graph; this module implements both
+// halves and the test suite proves the closure equals the Fidge–Mattern
+// vector clocks (the classical equivalence).
+#pragma once
+
+#include <vector>
+
+#include "computation/computation.h"
+
+namespace gpd {
+
+class DirectDependencyClocks {
+ public:
+  explicit DirectDependencyClocks(const Computation& c);
+
+  // D(e)[p]: index of the latest event of p that e depends on *directly*
+  // (own component = own index; -1 when there is no direct dependency).
+  int direct(const EventId& e, ProcessId p) const {
+    return direct_[static_cast<std::size_t>(comp_->node(e)) * n_ + p];
+  }
+
+  // Offline reconstruction: the transitive closure of the direct
+  // dependencies, as full vector clocks (same convention as VectorClocks:
+  // component q = largest index of a q-event ≤ e, 0 when only ⊥_q).
+  std::vector<int> reconstructClock(const EventId& e) const;
+
+ private:
+  const Computation* comp_;
+  int n_;
+  std::vector<int> direct_;
+};
+
+}  // namespace gpd

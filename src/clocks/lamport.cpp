@@ -1,0 +1,26 @@
+#include "clocks/lamport.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace gpd {
+
+std::vector<int> lamportClocks(const Computation& c) {
+  std::vector<int> clock(c.totalEvents(), 0);
+  const graph::Dag dag = c.toDagWithoutInitialEdges();
+  const auto order = dag.topologicalOrder();
+  GPD_CHECK(order.has_value());
+  for (int node : *order) {
+    const EventId e = c.event(node);
+    if (e.isInitial()) continue;
+    int best = clock[c.node({e.process, e.index - 1})];
+    for (int m : c.incomingMessages(e)) {
+      best = std::max(best, clock[c.node(c.messages()[m].send)]);
+    }
+    clock[node] = best + 1;
+  }
+  return clock;
+}
+
+}  // namespace gpd

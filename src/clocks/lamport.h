@@ -1,0 +1,19 @@
+// Lamport logical clocks.
+//
+// Included as the classic weaker timestamping mechanism (Lamport 1978, the
+// paper's reference [13]): L is consistent with the causal order
+// (e ≺ f ⟹ L(e) < L(f)) but cannot decide concurrency — the A2 ablation
+// bench contrasts it with vector clocks.
+#pragma once
+
+#include <vector>
+
+#include "computation/computation.h"
+
+namespace gpd {
+
+// Returns L indexed by Computation::node(); initial events get 0 and every
+// other event gets 1 + max over its immediate causal predecessors.
+std::vector<int> lamportClocks(const Computation& c);
+
+}  // namespace gpd

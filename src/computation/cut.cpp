@@ -1,0 +1,54 @@
+#include "computation/cut.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace gpd {
+
+std::string Cut::toString() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t p = 0; p < last.size(); ++p) {
+    if (p) os << ' ';
+    os << last[p];
+  }
+  os << ']';
+  return os.str();
+}
+
+Cut meet(const Cut& a, const Cut& b) {
+  GPD_CHECK(a.last.size() == b.last.size());
+  Cut out;
+  out.last.resize(a.last.size());
+  for (std::size_t p = 0; p < a.last.size(); ++p) {
+    out.last[p] = std::min(a.last[p], b.last[p]);
+  }
+  return out;
+}
+
+Cut join(const Cut& a, const Cut& b) {
+  GPD_CHECK(a.last.size() == b.last.size());
+  Cut out;
+  out.last.resize(a.last.size());
+  for (std::size_t p = 0; p < a.last.size(); ++p) {
+    out.last[p] = std::max(a.last[p], b.last[p]);
+  }
+  return out;
+}
+
+Cut initialCut(const Computation& c) {
+  return Cut(std::vector<int>(c.processCount(), 0));
+}
+
+Cut finalCut(const Computation& c) {
+  Cut out;
+  out.last.resize(c.processCount());
+  for (ProcessId p = 0; p < c.processCount(); ++p) {
+    out.last[p] = c.eventCount(p) - 1;
+  }
+  return out;
+}
+
+}  // namespace gpd

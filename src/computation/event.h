@@ -1,0 +1,48 @@
+// Event identities in a distributed computation (paper Sec. 2.1).
+//
+// Every process executes a sequence of events; index 0 is the fictitious
+// *initial event* ⊥ that establishes the process's initial state and, per the
+// paper's model, precedes every non-initial event of every process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace gpd {
+
+using ProcessId = int;
+
+struct EventId {
+  ProcessId process = 0;
+  int index = 0;  // position on the process; 0 is the initial event
+
+  bool isInitial() const { return index == 0; }
+
+  friend bool operator==(const EventId&, const EventId&) = default;
+  // Lexicographic; handy for deterministic containers, *not* the causal order.
+  friend auto operator<=>(const EventId&, const EventId&) = default;
+};
+
+// A message edge: `send` is the send (or send-receive) event, `receive` the
+// corresponding receive event. Channels are reliable but not FIFO, and an
+// event may be both a send and a receive (paper Sec. 2.1).
+struct Message {
+  EventId send;
+  EventId receive;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+enum class EventKind { Initial, Internal, Send, Receive, SendReceive };
+
+}  // namespace gpd
+
+template <>
+struct std::hash<gpd::EventId> {
+  std::size_t operator()(const gpd::EventId& e) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.process)) << 32) |
+        static_cast<std::uint32_t>(e.index));
+  }
+};

@@ -1,0 +1,110 @@
+#include "computation/random.h"
+
+#include "util/check.h"
+
+namespace gpd {
+
+Computation randomComputation(const RandomComputationOptions& opt, Rng& rng) {
+  GPD_CHECK(opt.processes >= 1);
+  GPD_CHECK(opt.eventsPerProcess >= 0);
+
+  ComputationBuilder builder(opt.processes);
+
+  // Assign virtual times, strictly increasing along each process.
+  std::vector<std::vector<std::int64_t>> time(opt.processes);
+  for (ProcessId p = 0; p < opt.processes; ++p) {
+    std::int64_t t = 0;
+    time[p].push_back(0);  // initial event
+    for (int i = 0; i < opt.eventsPerProcess; ++i) {
+      t += rng.uniform(1, 10);
+      time[p].push_back(t);
+      builder.appendEvent(p);
+    }
+  }
+
+  if (opt.processes < 2) return std::move(builder).build();
+
+  const std::size_t stride = static_cast<std::size_t>(opt.eventsPerProcess) + 1;
+  std::vector<char> receives(opt.processes * stride, 0);
+  std::vector<char> sends(opt.processes * stride, 0);
+  auto flat = [&](EventId e) {
+    return static_cast<std::size_t>(e.process) * stride + e.index;
+  };
+
+  for (ProcessId p = 0; p < opt.processes; ++p) {
+    for (int i = 1; i <= opt.eventsPerProcess; ++i) {
+      if (!rng.chance(opt.messageProbability)) continue;
+      if (!opt.allowSendReceive && receives[flat({p, i})]) continue;
+      // Pick a receiver event strictly later in virtual time.
+      ProcessId q = static_cast<ProcessId>(rng.index(opt.processes - 1));
+      if (q >= p) ++q;
+      std::vector<int> candidates;
+      for (int j = 1; j <= opt.eventsPerProcess; ++j) {
+        if (time[q][j] <= time[p][i]) continue;
+        if (!opt.allowSendReceive && sends[flat({q, j})]) continue;
+        candidates.push_back(j);
+      }
+      if (candidates.empty()) continue;
+      const int j = rng.pick(candidates);
+      builder.addMessage({p, i}, {q, j});
+      sends[flat({p, i})] = 1;
+      receives[flat({q, j})] = 1;
+    }
+  }
+  return std::move(builder).build();
+}
+
+Computation randomGroupedComputation(const GroupedComputationOptions& opt,
+                                     Rng& rng) {
+  GPD_CHECK(opt.groups >= 1 && opt.groupSize >= 1);
+  GPD_CHECK(opt.eventsPerProcess >= 0);
+  const int n = opt.groups * opt.groupSize;
+  ComputationBuilder builder(n);
+
+  std::vector<std::vector<std::int64_t>> time(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    std::int64_t t = 0;
+    time[p].push_back(0);
+    for (int i = 0; i < opt.eventsPerProcess; ++i) {
+      t += rng.uniform(1, 10);
+      time[p].push_back(t);
+      builder.appendEvent(p);
+    }
+  }
+  if (n < 2) return std::move(builder).build();
+
+  const auto designated = [&](int group) { return group * opt.groupSize; };
+
+  for (ProcessId p = 0; p < n; ++p) {
+    if (opt.discipline == OrderingDiscipline::SendOrdered &&
+        p != designated(p / opt.groupSize)) {
+      continue;  // only the group's first process may send
+    }
+    for (int i = 1; i <= opt.eventsPerProcess; ++i) {
+      if (!rng.chance(opt.messageProbability)) continue;
+      // Pick a receiver process under the discipline.
+      ProcessId q;
+      if (opt.discipline == OrderingDiscipline::ReceiveOrdered) {
+        // Any group's designated receiver other than p itself.
+        std::vector<ProcessId> receivers;
+        for (int g = 0; g < opt.groups; ++g) {
+          if (designated(g) != p) receivers.push_back(designated(g));
+        }
+        if (receivers.empty()) continue;
+        q = rng.pick(receivers);
+      } else {
+        q = static_cast<ProcessId>(rng.index(n - 1));
+        if (q >= p) ++q;
+      }
+      std::vector<int> candidates;
+      for (int j = 1; j <= opt.eventsPerProcess; ++j) {
+        if (time[q][j] > time[p][i]) candidates.push_back(j);
+      }
+      if (candidates.empty()) continue;
+      builder.addMessage({p, i}, {q, rng.pick(candidates)});
+    }
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace gpd

@@ -1,0 +1,48 @@
+// Random computation generator.
+//
+// Property tests compare every efficient detector against exhaustive lattice
+// enumeration over thousands of these; benchmarks sweep their parameters.
+// Acyclicity is guaranteed by construction: every event gets a virtual
+// timestamp increasing along process order, and messages only travel forward
+// in virtual time.
+#pragma once
+
+#include "computation/computation.h"
+#include "util/rng.h"
+
+namespace gpd {
+
+struct RandomComputationOptions {
+  int processes = 4;
+  int eventsPerProcess = 8;          // non-initial events per process
+  double messageProbability = 0.4;   // chance an event sends a message
+  // When false, receive events never also send (the restrictive model the
+  // paper notes its results also hold for).
+  bool allowSendReceive = true;
+};
+
+Computation randomComputation(const RandomComputationOptions& opt, Rng& rng);
+
+// Structured generator for the singular-CNF experiments: processes are
+// partitioned into consecutive groups of `groupSize` (process p belongs to
+// group p / groupSize — the clause groups of a singular k-CNF predicate).
+// The ordering discipline constrains message endpoints so the computation is
+// receive-ordered / send-ordered per group (paper Sec. 3.2):
+//   ReceiveOrdered — every message into a group is received by the group's
+//                    first process, so the group's receives form a chain;
+//   SendOrdered    — only each group's first process sends messages;
+//   None           — unconstrained (the general, NP-hard regime).
+enum class OrderingDiscipline { None, ReceiveOrdered, SendOrdered };
+
+struct GroupedComputationOptions {
+  int groups = 3;
+  int groupSize = 2;
+  int eventsPerProcess = 8;
+  double messageProbability = 0.4;
+  OrderingDiscipline discipline = OrderingDiscipline::None;
+};
+
+Computation randomGroupedComputation(const GroupedComputationOptions& opt,
+                                     Rng& rng);
+
+}  // namespace gpd

@@ -1,0 +1,38 @@
+#include "computation/reverse.h"
+
+#include "util/check.h"
+
+namespace gpd {
+
+EventId reverseEvent(const Computation& c, const EventId& e) {
+  GPD_DCHECK(c.contains(e));
+  const int last = c.eventCount(e.process) - 1;
+  // Non-initial (p, i) ↦ (p, last + 1 - i); the initial event maps outside
+  // the non-initial range and is intentionally not part of the message
+  // correspondence (initial events never send or receive).
+  GPD_CHECK_MSG(e.index >= 1, "initial events have no reversed image");
+  return {e.process, last + 1 - e.index};
+}
+
+Computation reverseComputation(const Computation& c) {
+  ComputationBuilder b(c.processCount());
+  for (ProcessId p = 0; p < c.processCount(); ++p) {
+    for (int i = 1; i < c.eventCount(p); ++i) b.appendEvent(p);
+  }
+  for (const Message& m : c.messages()) {
+    b.addMessage(reverseEvent(c, m.receive), reverseEvent(c, m.send));
+  }
+  return std::move(b).build();
+}
+
+Cut reverseCut(const Computation& c, const Cut& cut) {
+  GPD_DCHECK(cut.processes() == c.processCount());
+  Cut out;
+  out.last.resize(cut.last.size());
+  for (ProcessId p = 0; p < c.processCount(); ++p) {
+    out.last[p] = c.eventCount(p) - 1 - cut.last[p];
+  }
+  return out;
+}
+
+}  // namespace gpd

@@ -1,0 +1,31 @@
+// Computation reversal.
+//
+// Reversing the causal order maps consistent cuts to complements of
+// consistent cuts, turning send events into receive events. Sec. 3.2's
+// send-ordered special case is detected by running the receive-ordered
+// algorithm on the reversed computation (see detect/cpdsc.h for the cut and
+// event correspondences).
+#pragma once
+
+#include "computation/computation.h"
+#include "computation/cut.h"
+
+namespace gpd {
+
+// The reversed computation: process p keeps its event count; non-initial
+// event (p, i) maps to (p, eventCount(p) - i), and message s → r maps to
+// rev(r) → rev(s).
+Computation reverseComputation(const Computation& c);
+
+// Event correspondence. Maps (p, i) to (p, eventCount(p) - 1 - i + 1) =
+// (p, eventCount(p) - i) for non-initial events; the image of the *last*
+// event is the reversed initial event and vice versa. Self-inverse.
+EventId reverseEvent(const Computation& c, const EventId& e);
+
+// Cut correspondence: the reversed image of a cut's complement. A cut C of
+// the original is consistent iff reverseCut(C) is consistent in the
+// reversed computation, and C passes through (p, i) iff reverseCut(C)
+// passes through (p, eventCount(p) - 1 - i). Self-inverse.
+Cut reverseCut(const Computation& c, const Cut& cut);
+
+}  // namespace gpd

@@ -1,0 +1,103 @@
+#include "control/serialize.h"
+
+#include <algorithm>
+
+#include "graph/dag.h"
+#include "util/check.h"
+
+namespace gpd::control {
+
+namespace {
+
+struct Item {
+  detect::TrueInterval interval;
+  int slot;
+};
+
+// Can `before` be scheduled strictly before `after` by adding arrows?
+// Requires an event after `before` ends, a non-initial start for `after`,
+// and no existing causality from after's start back past before's end.
+bool orderFeasible(const VectorClocks& clocks, const Computation& comp,
+                   const Item& before, const Item& after) {
+  if (before.interval.hi.index + 1 >=
+      comp.eventCount(before.interval.hi.process)) {
+    return false;  // `before` is open at the end of the trace
+  }
+  if (after.interval.lo.isInitial()) {
+    return false;  // nothing can precede an initial event
+  }
+  const EventId end{before.interval.hi.process, before.interval.hi.index + 1};
+  return !clocks.leq(after.interval.lo, end);
+}
+
+}  // namespace
+
+SerializationResult serializeIntervals(
+    const VectorClocks& clocks,
+    const std::vector<std::vector<detect::TrueInterval>>& intervals) {
+  const Computation& comp = clocks.computation();
+  SerializationResult result;
+
+  std::vector<Item> items;
+  for (std::size_t slot = 0; slot < intervals.size(); ++slot) {
+    for (const detect::TrueInterval& iv : intervals[slot]) {
+      items.push_back({iv, static_cast<int>(slot)});
+    }
+  }
+  const int n = static_cast<int>(items.size());
+
+  // Must-precede relation: a → b iff scheduling b before a is impossible.
+  // Any linear extension of it is realizable by consecutive arrows (added
+  // arrows never conflict with it — see serialize.h); a cycle means some
+  // intervals can never be separated.
+  graph::Dag must(n);
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      if (a != b && !orderFeasible(clocks, comp, items[b], items[a])) {
+        must.addEdge(a, b);  // b cannot be first: a must precede b
+      }
+    }
+  }
+  const auto order = must.topologicalOrder();
+  if (!order) {
+    // Report a mutually-unserializable pair when one exists (the common
+    // case: two definitely-overlapping intervals).
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) {
+        if (!orderFeasible(clocks, comp, items[a], items[b]) &&
+            !orderFeasible(clocks, comp, items[b], items[a])) {
+          result.conflict = {items[a].interval, items[b].interval};
+          return result;
+        }
+      }
+    }
+    return result;  // longer must-precede cycle
+  }
+
+  // Realize the total order with one arrow per consecutive pair that is not
+  // already causally separated.
+  ComputationBuilder builder(comp.processCount());
+  for (ProcessId p = 0; p < comp.processCount(); ++p) {
+    for (int i = 1; i < comp.eventCount(p); ++i) builder.appendEvent(p);
+  }
+  for (const Message& m : comp.messages()) builder.addMessage(m.send, m.receive);
+
+  for (int k = 0; k + 1 < n; ++k) {
+    const Item& prev = items[(*order)[k]];
+    const Item& cur = items[(*order)[k + 1]];
+    const EventId end{prev.interval.hi.process, prev.interval.hi.index + 1};
+    GPD_CHECK_MSG(end.index < comp.eventCount(end.process),
+                  "open interval ordered before another — topological order "
+                  "should have placed it last");
+    if (clocks.leq(end, cur.interval.lo)) continue;  // already separated
+    GPD_CHECK(!cur.interval.lo.isInitial());
+    builder.addMessage(end, cur.interval.lo);
+    result.addedEdges.push_back({end, cur.interval.lo});
+  }
+
+  result.controlled = std::make_unique<Computation>(std::move(builder).build());
+  result.feasible = true;
+  return result;
+}
+
+}  // namespace gpd::control

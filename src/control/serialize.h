@@ -1,0 +1,47 @@
+// Predicate control (Tarafdar & Garg, "Predicate Control for Active
+// Debugging of Distributed Programs" — the companion problem to detection):
+// instead of asking whether a bad global state is possible, *add
+// synchronization* to the computation so that it is not, then replay the
+// execution under the added arrows.
+//
+// This module solves the mutual-exclusion-shaped instance: given one
+// activity interval set per slot (e.g. each process's critical sections),
+// add causal edges that totally serialize the intervals, so no consistent
+// cut of the controlled computation has two slots active — i.e.
+// possibly(activeᵢ ∧ activeⱼ) becomes false for every pair. Control is
+// infeasible exactly when two intervals *definitely* overlap (each starts
+// causally before the other ends — no schedule can separate them) or when
+// an interval is open at the end of the trace and another cannot precede
+// it; both are detected and reported.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "clocks/vector_clock.h"
+#include "computation/computation.h"
+#include "detect/definitely_conjunctive.h"
+
+namespace gpd::control {
+
+struct SerializationResult {
+  bool feasible = false;
+  // When infeasible: a pair of intervals no synchronization can separate.
+  std::optional<std::pair<detect::TrueInterval, detect::TrueInterval>> conflict;
+  // When feasible: the synchronization arrows added (send → receive), and
+  // the controlled computation (original events + original messages +
+  // these arrows).
+  std::vector<Message> addedEdges;
+  std::unique_ptr<Computation> controlled;
+};
+
+// Each element of `intervals` lists one slot's activity intervals (events of
+// one process, in process order — detect::trueIntervals output). Intervals
+// of the same slot are never serialized against each other (they are
+// already ordered on their process).
+SerializationResult serializeIntervals(
+    const VectorClocks& clocks,
+    const std::vector<std::vector<detect::TrueInterval>>& intervals);
+
+}  // namespace gpd::control

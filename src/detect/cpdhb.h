@@ -1,0 +1,56 @@
+// Weak conjunctive predicate detection — Garg–Waldecker's CPDHB algorithm
+// (paper reference [9]), generalized from per-process queues to arbitrary
+// *chains* of events as Sec. 3.3 of the paper requires.
+//
+// Given one chain of candidate events per slot, the algorithm finds a
+// selection of one event per chain that is pairwise consistent (equivalently,
+// by Observation 1, a consistent cut through all of them), or reports none
+// exists. The elimination rule: if succ(e) ≤ f for the current candidates
+// e, f of two different slots, then e is inconsistent with f and with every
+// later event on f's chain (they all dominate f), so e can never appear in a
+// witness — advance e's chain. Each elimination consumes one event, giving
+// O((Σ|chain|)² ) consistency checks in the worst case with the work-queue
+// formulation below, each check O(1) via vector clocks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "clocks/vector_clock.h"
+#include "computation/cut.h"
+#include "computation/event.h"
+#include "predicates/local.h"
+
+namespace gpd::detect {
+
+// Events must be listed in causal order: events[i] ≤ events[i+1].
+struct Chain {
+  std::vector<EventId> events;
+};
+
+struct ConjunctiveResult {
+  bool found = false;
+  std::vector<EventId> witness;  // one event per chain, pairwise consistent
+  std::optional<Cut> cut;        // least consistent cut through the witness
+  std::uint64_t comparisons = 0; // consistency checks performed
+};
+
+// Core scan. Chains must be non-empty... an empty chain yields "not found"
+// immediately. Chains from different slots must not interleave events of one
+// process out of order — in this library they never share processes (clause
+// groups are disjoint), which the function checks via GPD_DCHECK.
+ConjunctiveResult findConsistentSelection(const VectorClocks& clocks,
+                                          const std::vector<Chain>& chains);
+
+// Classic CPDHB: possibly(⋀ local predicates), one term per distinct process.
+// Chains are the per-process true-event queues.
+ConjunctiveResult detectConjunctive(const VectorClocks& clocks,
+                                    const VariableTrace& trace,
+                                    const ConjunctivePredicate& pred);
+
+// Convenience overload computing the vector clocks internally.
+ConjunctiveResult detectConjunctive(const VariableTrace& trace,
+                                    const ConjunctivePredicate& pred);
+
+}  // namespace gpd::detect

@@ -1,0 +1,67 @@
+// Polynomial-time singular k-CNF detection for receive-ordered and
+// send-ordered computations (paper Sec. 3.2, after Tarafdar–Garg's CPDSC).
+//
+// Observation 1 turns each clause-group into a *meta-process* whose events
+// are partially ordered. When all receive events on every meta-process are
+// totally ordered (a receive-ordered computation), the partial order can be
+// extended — an arrow from every event to each *independent* receive on its
+// meta-process — and linearized into σ. Property P then holds: whenever
+// succ(e) ≤ f for events on different meta-processes, e is inconsistent
+// with every event of f's meta-process at or after f in σ (the causal path
+// from succ(e) enters f's group at a receive r ≤ f, and a receive precedes
+// every σ-later event of its group). That makes the CPDHB-style elimination
+// scan sound with per-group queues sorted by σ, giving an O((Σ|E|)²) scan.
+//
+// The send-ordered case is the exact dual: reverse the computation (sends
+// become receives, cuts map to complements — computation/reverse.h) and run
+// the receive-ordered scan on the image true events.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "clocks/vector_clock.h"
+#include "computation/cut.h"
+#include "computation/event.h"
+#include "predicates/cnf.h"
+
+namespace gpd::detect {
+
+// Meta-process structure: a partition of (a subset of) the processes.
+using Groups = std::vector<std::vector<ProcessId>>;
+
+Groups groupsOfSingularCnf(const CnfPredicate& pred);
+
+// All receive (resp. send) events within each group are pairwise ordered.
+bool isReceiveOrdered(const VectorClocks& clocks, const Groups& groups);
+bool isSendOrdered(const VectorClocks& clocks, const Groups& groups);
+
+struct CpdscResult {
+  enum class Status { Found, NotFound, NotApplicable };
+  Status status = Status::NotApplicable;
+  std::vector<EventId> witness;
+  std::optional<Cut> cut;
+
+  bool found() const { return status == Status::Found; }
+  bool applicable() const { return status != Status::NotApplicable; }
+};
+
+// Core scan for a receive-ordered computation: finds a pairwise-consistent
+// selection with one event from trueEvents[j] (events on group j) per group.
+// Returns NotApplicable if the computation is not receive-ordered w.r.t.
+// the groups.
+CpdscResult scanReceiveOrdered(const VectorClocks& clocks, const Groups& groups,
+                               const std::vector<std::vector<EventId>>& trueEvents);
+
+// Dual scan via computation reversal; NotApplicable unless send-ordered.
+CpdscResult scanSendOrdered(const VectorClocks& clocks, const Groups& groups,
+                            const std::vector<std::vector<EventId>>& trueEvents);
+
+// Sec. 3.2 end-to-end: builds the groups and true events of a singular CNF
+// predicate and applies whichever scan is applicable (receive-ordered is
+// preferred when both are).
+CpdscResult detectSingularSpecialCase(const VectorClocks& clocks,
+                                      const VariableTrace& trace,
+                                      const CnfPredicate& pred);
+
+}  // namespace gpd::detect

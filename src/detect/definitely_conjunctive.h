@@ -1,0 +1,56 @@
+// Efficient definitely(⋀ local predicates) — Garg–Waldecker's strong
+// conjunctive predicate algorithm (the "definitely" entry of the paper's
+// Figure 1 landscape).
+//
+// A process is "inside" a maximal true interval I = [lo, hi] from the
+// execution of lo until the execution of succ(hi). Two intervals definitely
+// overlap — share a moment in *every* run — iff the start of each causally
+// precedes the event that ends the other:
+//     lo_p ≺ succ(hi_q)  and  lo_q ≺ succ(hi_p)
+// (vacuously true when the successor does not exist). Within one run the
+// intervals are intervals on a time line, so pairwise intersection implies a
+// common moment (Helly in dimension 1); hence a pairwise definitely-
+// overlapping selection of intervals, one per process, certifies
+// definitely(φ). Garg–Waldecker's theorem states the converse as well, and
+// the same elimination discipline as CPDHB finds a selection in polynomial
+// time: if lo_p ⊀ succ(hi_q) then every current-or-later interval of p also
+// starts too late for q's interval, so q's interval is dead.
+//
+// This module is property-tested against the exhaustive lattice definitely
+// on randomized computations (tests/detect/definitely_conjunctive_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "clocks/vector_clock.h"
+#include "predicates/local.h"
+
+namespace gpd::detect {
+
+struct TrueInterval {
+  EventId lo;  // first event of the maximal run of true states
+  EventId hi;  // last event (inclusive)
+
+  friend bool operator==(const TrueInterval&, const TrueInterval&) = default;
+};
+
+// Maximal true intervals of one local predicate, in process order.
+std::vector<TrueInterval> trueIntervals(const VariableTrace& trace,
+                                        const LocalPredicate& pred);
+
+struct DefinitelyResult {
+  bool holds = false;
+  // One interval per conjunct (ordered as pred.terms), when holds.
+  std::vector<TrueInterval> witness;
+  std::uint64_t comparisons = 0;
+};
+
+// Processes without a conjunct are treated as always-true (their whole
+// history is one interval), matching the possibly-side convention.
+DefinitelyResult definitelyConjunctive(const VectorClocks& clocks,
+                                       const VariableTrace& trace,
+                                       const ConjunctivePredicate& pred);
+
+}  // namespace gpd::detect

@@ -1,0 +1,77 @@
+#include "detect/detector.h"
+
+#include "lattice/explore.h"
+
+namespace gpd::detect {
+
+std::optional<Cut> Detector::possibly(const ConjunctivePredicate& pred) {
+  lastAlgorithm_ = "cpdhb";
+  const ConjunctiveResult res = detectConjunctive(clocks_, *trace_, pred);
+  if (res.found) return res.cut;
+  return std::nullopt;
+}
+
+std::optional<Cut> Detector::possibly(const CnfPredicate& pred) {
+  if (pred.isSingular()) {
+    const CpdscResult special = detectSingularSpecialCase(clocks_, *trace_, pred);
+    if (special.applicable()) {
+      lastAlgorithm_ = "cpdsc-special-case";
+      if (special.found()) return special.cut;
+      return std::nullopt;
+    }
+    lastAlgorithm_ = "singular-chain-cover";
+    const SingularCnfResult res =
+        detectSingularByChainCover(clocks_, *trace_, pred);
+    if (res.found) return res.cut;
+    return std::nullopt;
+  }
+  lastAlgorithm_ = "lattice-enumeration";
+  return lattice::findSatisfyingCut(clocks_, [&](const Cut& cut) {
+    return pred.holdsAtCut(*trace_, cut);
+  });
+}
+
+std::optional<Cut> Detector::possibly(const SumPredicate& pred) {
+  if (pred.relop == Relop::Equal && pred.eventDeltaBound(*trace_) > 1) {
+    lastAlgorithm_ = "lattice-enumeration";
+    return detectExactSumExhaustive(clocks_, *trace_, pred);
+  }
+  lastAlgorithm_ =
+      pred.relop == Relop::Equal ? "theorem-7-exact-sum" : "min-cut-extrema";
+  return possiblySum(clocks_, *trace_, pred);
+}
+
+std::optional<Cut> Detector::possibly(const SymmetricPredicate& pred) {
+  lastAlgorithm_ = "symmetric-exact-sum-disjunction";
+  return possiblySymmetric(clocks_, *trace_, pred);
+}
+
+std::optional<Cut> Detector::possibly(const BoolExpr& expr) {
+  lastAlgorithm_ = "dnf-decomposition";
+  return possiblyExpression(clocks_, *trace_, expr).cut;
+}
+
+bool Detector::definitely(const ConjunctivePredicate& pred) {
+  lastAlgorithm_ = "interval-definitely";
+  return definitelyConjunctive(clocks_, *trace_, pred).holds;
+}
+
+bool Detector::definitely(const CnfPredicate& pred) {
+  lastAlgorithm_ = "lattice-definitely";
+  return lattice::definitelyExhaustive(clocks_, [&](const Cut& cut) {
+    return pred.holdsAtCut(*trace_, cut);
+  });
+}
+
+bool Detector::definitely(const SumPredicate& pred) {
+  lastAlgorithm_ = pred.relop == Relop::Equal ? "theorem-7-definitely"
+                                              : "lattice-definitely";
+  return definitelySum(clocks_, *trace_, pred);
+}
+
+bool Detector::definitely(const SymmetricPredicate& pred) {
+  lastAlgorithm_ = "lattice-definitely";
+  return definitelySymmetric(clocks_, *trace_, pred);
+}
+
+}  // namespace gpd::detect

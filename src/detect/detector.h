@@ -1,0 +1,68 @@
+// High-level detection facade.
+//
+// Picks the best algorithm the paper's complexity landscape (Fig. 1) allows
+// for each predicate class:
+//
+//   conjunctive                → CPDHB                       (polynomial)
+//   singular CNF,
+//     receive-/send-ordered    → CPDSC meta-process scan     (polynomial)
+//     general                  → chain-cover enumeration     (Π cⱼ · CPDHB)
+//   non-singular CNF           → lattice enumeration         (exponential)
+//   Σxᵢ relop K, relop ≠ "="   → min-cut extrema             (polynomial)
+//   Σxᵢ = K, |Δ| ≤ 1           → Theorem 7                   (polynomial)
+//   Σxᵢ = K, arbitrary Δ       → lattice enumeration         (NP-complete)
+//   symmetric                  → disjunction of exact sums   (polynomial)
+//
+// `lastAlgorithm()` reports which branch ran, so examples and logs can show
+// the dispatch decision.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "clocks/vector_clock.h"
+#include "detect/cpdhb.h"
+#include "detect/cpdsc.h"
+#include "detect/definitely_conjunctive.h"
+#include "detect/dnf_detect.h"
+#include "detect/singular_cnf.h"
+#include "detect/sum.h"
+#include "detect/symmetric.h"
+#include "predicates/cnf.h"
+#include "predicates/local.h"
+#include "predicates/relational.h"
+#include "predicates/symmetric.h"
+
+namespace gpd::detect {
+
+class Detector {
+ public:
+  // The trace (and its computation) must outlive the detector.
+  explicit Detector(const VariableTrace& trace)
+      : trace_(&trace), clocks_(trace.computation()) {}
+
+  const VectorClocks& clocks() const { return clocks_; }
+
+  // possibly(φ): witness cut or nullopt.
+  std::optional<Cut> possibly(const ConjunctivePredicate& pred);
+  std::optional<Cut> possibly(const CnfPredicate& pred);
+  std::optional<Cut> possibly(const SumPredicate& pred);
+  std::optional<Cut> possibly(const SymmetricPredicate& pred);
+  std::optional<Cut> possibly(const BoolExpr& expr);
+
+  // definitely(φ).
+  bool definitely(const ConjunctivePredicate& pred);
+  bool definitely(const CnfPredicate& pred);
+  bool definitely(const SumPredicate& pred);
+  bool definitely(const SymmetricPredicate& pred);
+
+  // Name of the algorithm selected by the most recent call.
+  const std::string& lastAlgorithm() const { return lastAlgorithm_; }
+
+ private:
+  const VariableTrace* trace_;
+  VectorClocks clocks_;
+  std::string lastAlgorithm_;
+};
+
+}  // namespace gpd::detect

@@ -1,0 +1,51 @@
+#include "detect/dnf_detect.h"
+
+#include <map>
+
+#include "detect/cpdhb.h"
+#include "util/check.h"
+
+namespace gpd::detect {
+
+DnfResult possiblyExpression(const VectorClocks& clocks,
+                             const VariableTrace& trace,
+                             const BoolExpr& expr) {
+  DnfResult result;
+  const std::vector<DnfTerm> terms = toDnf(expr);
+  result.termsTotal = terms.size();
+  const Computation& comp = clocks.computation();
+
+  for (const DnfTerm& term : terms) {
+    ++result.termsTried;
+    GPD_CHECK(!term.empty());
+    // Group the term's literals per process: the per-process predicate is
+    // their conjunction, and its true events form one chain.
+    std::map<ProcessId, std::vector<const BoolLiteral*>> byProcess;
+    for (const BoolLiteral& lit : term) byProcess[lit.process].push_back(&lit);
+
+    std::vector<Chain> chains;
+    chains.reserve(byProcess.size());
+    for (const auto& [p, lits] : byProcess) {
+      Chain chain;
+      for (int i = 0; i < comp.eventCount(p); ++i) {
+        bool all = true;
+        for (const BoolLiteral* lit : lits) {
+          if (!lit->holds(trace, i)) {
+            all = false;
+            break;
+          }
+        }
+        if (all) chain.events.push_back({p, i});
+      }
+      chains.push_back(std::move(chain));
+    }
+    const ConjunctiveResult sub = findConsistentSelection(clocks, chains);
+    if (sub.found) {
+      result.cut = sub.cut;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace gpd::detect

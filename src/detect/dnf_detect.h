@@ -1,0 +1,26 @@
+// possibly(arbitrary boolean expression) via DNF decomposition — the
+// Stoller–Schneider technique the paper cites as prior work for general
+// predicates: one weak-conjunctive (CPDHB) detection per satisfiable DNF
+// term. Exponential in the worst case (the expression's DNF may explode);
+// practical exactly when the term count stays small.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "clocks/vector_clock.h"
+#include "computation/cut.h"
+#include "predicates/boolean_expr.h"
+
+namespace gpd::detect {
+
+struct DnfResult {
+  std::optional<Cut> cut;        // witness, when some term is detected
+  std::uint64_t termsTotal = 0;  // satisfiable DNF terms generated
+  std::uint64_t termsTried = 0;  // CPDHB invocations before the hit
+};
+
+DnfResult possiblyExpression(const VectorClocks& clocks,
+                             const VariableTrace& trace, const BoolExpr& expr);
+
+}  // namespace gpd::detect

@@ -1,0 +1,33 @@
+#include "detect/inequality_detect.h"
+
+#include <atomic>
+
+#include "detect/cpdsc.h"
+#include "detect/singular_cnf.h"
+#include "util/check.h"
+
+namespace gpd::detect {
+
+IneqResult possiblyInequality(const VectorClocks& clocks, VariableTrace& trace,
+                              const IneqClausePredicate& pred) {
+  GPD_CHECK_MSG(pred.isSingular(),
+                "Corollary 2 requires clauses on disjoint processes");
+  static std::atomic<int> counter{0};
+  const std::string prefix = "__ineq" + std::to_string(counter++);
+  const CnfPredicate lowered = lowerToCnf(trace, pred, prefix);
+
+  IneqResult result;
+  const CpdscResult special = detectSingularSpecialCase(clocks, trace, lowered);
+  if (special.applicable()) {
+    result.algorithm = "cpdsc-special-case";
+    if (special.found()) result.cut = special.cut;
+    return result;
+  }
+  result.algorithm = "singular-chain-cover";
+  const SingularCnfResult res =
+      detectSingularByChainCover(clocks, trace, lowered);
+  if (res.found) result.cut = res.cut;
+  return result;
+}
+
+}  // namespace gpd::detect

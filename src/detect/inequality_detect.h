@@ -1,0 +1,25 @@
+// Corollary 2 end-to-end: detection of singular inequality-clause
+// predicates by lowering to singular CNF (predicates/inequality.h) and
+// running the Sec. 3.2 / 3.3 machinery — the CPDSC special case when the
+// computation qualifies, the chain-cover enumeration otherwise.
+#pragma once
+
+#include <optional>
+
+#include "clocks/vector_clock.h"
+#include "computation/cut.h"
+#include "predicates/inequality.h"
+
+namespace gpd::detect {
+
+struct IneqResult {
+  std::optional<Cut> cut;      // witness, when found
+  std::string algorithm;       // which branch ran
+};
+
+// The trace is mutated: lowering defines derived boolean variables with a
+// per-call unique prefix, so repeated calls are safe.
+IneqResult possiblyInequality(const VectorClocks& clocks, VariableTrace& trace,
+                              const IneqClausePredicate& pred);
+
+}  // namespace gpd::detect

@@ -1,0 +1,63 @@
+// Linear predicates (Chase–Garg, the paper's references [3,4]) — the other
+// classical polynomial class in the paper's introduction.
+//
+// A predicate B is *linear* iff every consistent cut C that violates B has a
+// forbidden process p: no consistent cut D ⊇ C with D.last[p] = C.last[p]
+// satisfies B, i.e. any satisfying extension must advance p. Linearity
+// admits a greedy detector: starting from the initial cut, repeatedly ask
+// the oracle for a forbidden process and jump to the least consistent cut
+// that advances it (current cut ⊔ causal history of p's next event). Each
+// jump consumes at least one event, so possibly(B) is decided in at most
+// |E| oracle calls — and the final cut, when found, is the *least*
+// satisfying cut.
+//
+// Instances provided here: conjunctive predicates (their classical proof of
+// linearity doubles as a CPDHB cross-check), empty-channels, and
+// termination ("all passive and no message in flight") — the latter two
+// power snapshot/termination-detection workloads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "clocks/vector_clock.h"
+#include "computation/cut.h"
+#include "predicates/local.h"
+
+namespace gpd::detect {
+
+// The linearity oracle: nullopt when the cut satisfies B, otherwise a
+// forbidden process. Soundness of the returned process is the caller's
+// responsibility (it is what makes B linear).
+using ForbiddenFn = std::function<std::optional<ProcessId>(const Cut&)>;
+
+struct LinearResult {
+  std::optional<Cut> cut;     // least satisfying cut, when found
+  std::uint64_t oracleCalls = 0;
+};
+
+LinearResult detectLinear(const VectorClocks& clocks, const ForbiddenFn& oracle);
+
+// As above but starting from `from` (must be consistent): returns the least
+// satisfying cut that *contains* `from`. The plain overload starts at ⊥.
+LinearResult detectLinearFrom(const VectorClocks& clocks,
+                              const ForbiddenFn& oracle, Cut from);
+
+// B = ⋀ local predicates: a violating cut's forbidden process is any term
+// process whose current event is false.
+ForbiddenFn conjunctiveOracle(const VariableTrace& trace,
+                              const ConjunctivePredicate& pred);
+
+// B = "no message is in flight": a violating cut has some message sent but
+// not received; its receiver is forbidden (it must advance to receive).
+ForbiddenFn channelsEmptyOracle(const Computation& comp);
+
+// B = "every process has var == 0 and no message is in flight" — classical
+// termination detection. The paper's stable-predicate citations ([1,2])
+// monitor exactly this shape.
+ForbiddenFn terminationOracle(const VariableTrace& trace,
+                              const std::string& activeVar);
+
+}  // namespace gpd::detect

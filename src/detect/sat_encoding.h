@@ -1,0 +1,37 @@
+// Singular-CNF detection by SAT encoding — the Theorem 1 reduction run in
+// *reverse*, and the modern engineering alternative to Sec. 3.3's explicit
+// enumeration: delegate the NP-complete search to a SAT solver.
+//
+// Encoding: one propositional variable per candidate true event ("the
+// witness cut passes through e"); per clause-group an at-least-one
+// constraint; per inconsistent candidate pair (succ(e) ≤ f or succ(f) ≤ e —
+// one O(1) vector-clock test each) a binary mutual-exclusion clause; per
+// same-process candidate pair likewise. A model picks pairwise-consistent
+// true events, one per clause, which Observation 1 turns into a witness
+// cut. Exactly the same search space as Sec. 3.3, explored by DPLL's unit
+// propagation instead of odometer enumeration.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "clocks/vector_clock.h"
+#include "computation/cut.h"
+#include "predicates/cnf.h"
+#include "sat/cnf.h"
+
+namespace gpd::detect {
+
+struct SatEncodingResult {
+  std::optional<Cut> cut;      // witness, when satisfiable
+  int variables = 0;           // candidate true events
+  std::uint64_t clauses = 0;   // generated SAT clauses
+  long long decisions = 0;     // DPLL decisions
+};
+
+// Requires pred.isSingular().
+SatEncodingResult detectSingularViaSat(const VectorClocks& clocks,
+                                       const VariableTrace& trace,
+                                       const CnfPredicate& pred);
+
+}  // namespace gpd::detect

@@ -1,0 +1,116 @@
+#include "detect/singular_cnf.h"
+
+#include <algorithm>
+
+#include "graph/chains.h"
+#include "util/check.h"
+
+namespace gpd::detect {
+
+namespace {
+
+// Runs the CPDHB scan over every selection of one chain per group, stopping
+// at the first hit. `options[j]` lists group j's candidate chains.
+SingularCnfResult enumerateSelections(
+    const VectorClocks& clocks,
+    const std::vector<std::vector<Chain>>& options) {
+  SingularCnfResult result;
+  result.combinationsTotal = 1;
+  for (const auto& opts : options) {
+    result.combinationsTotal *= opts.size();
+  }
+  if (result.combinationsTotal == 0) return result;  // some clause never true
+
+  const int m = static_cast<int>(options.size());
+  std::vector<std::size_t> pick(m, 0);
+  std::vector<Chain> chains(m);
+  while (true) {
+    for (int j = 0; j < m; ++j) chains[j] = options[j][pick[j]];
+    ++result.combinationsTried;
+    ConjunctiveResult sub = findConsistentSelection(clocks, chains);
+    result.comparisons += sub.comparisons;
+    if (sub.found) {
+      result.found = true;
+      result.cut = sub.cut;
+      result.witness = std::move(sub.witness);
+      return result;
+    }
+    // Advance the odometer.
+    int j = 0;
+    while (j < m && ++pick[j] >= options[j].size()) {
+      pick[j] = 0;
+      ++j;
+    }
+    if (j == m) return result;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<EventId>> clauseTrueEvents(const VariableTrace& trace,
+                                                   const CnfPredicate& pred) {
+  const Computation& comp = trace.computation();
+  std::vector<std::vector<EventId>> out(pred.clauses.size());
+  for (std::size_t j = 0; j < pred.clauses.size(); ++j) {
+    for (ProcessId p : pred.clauseProcesses(static_cast<int>(j))) {
+      for (int i = 0; i < comp.eventCount(p); ++i) {
+        for (const BoolLiteral& l : pred.clauses[j]) {
+          if (l.process == p && l.holds(trace, i)) {
+            out[j].push_back({p, i});
+            break;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+SingularCnfResult detectSingularByProcessEnumeration(
+    const VectorClocks& clocks, const VariableTrace& trace,
+    const CnfPredicate& pred) {
+  GPD_CHECK_MSG(pred.isSingular(), "predicate is not singular");
+  const auto trueEvents = clauseTrueEvents(trace, pred);
+  // Group j's options: one chain per hosting process (per-process true
+  // events are totally ordered by the process order).
+  std::vector<std::vector<Chain>> options(pred.clauses.size());
+  for (std::size_t j = 0; j < pred.clauses.size(); ++j) {
+    for (ProcessId p : pred.clauseProcesses(static_cast<int>(j))) {
+      Chain chain;
+      for (const EventId& e : trueEvents[j]) {
+        if (e.process == p) chain.events.push_back(e);
+      }
+      if (!chain.events.empty()) options[j].push_back(std::move(chain));
+    }
+  }
+  return enumerateSelections(clocks, options);
+}
+
+std::vector<std::vector<Chain>> clauseChainCovers(
+    const VectorClocks& clocks, const VariableTrace& trace,
+    const CnfPredicate& pred) {
+  const auto trueEvents = clauseTrueEvents(trace, pred);
+  std::vector<std::vector<Chain>> covers(pred.clauses.size());
+  for (std::size_t j = 0; j < pred.clauses.size(); ++j) {
+    const auto& events = trueEvents[j];
+    const auto chains = graph::minimumChainCover(
+        static_cast<int>(events.size()), [&](int a, int b) {
+          return !(events[a] == events[b]) && clocks.leq(events[a], events[b]);
+        });
+    for (const auto& chain : chains) {
+      Chain c;
+      for (int idx : chain) c.events.push_back(events[idx]);
+      covers[j].push_back(std::move(c));
+    }
+  }
+  return covers;
+}
+
+SingularCnfResult detectSingularByChainCover(const VectorClocks& clocks,
+                                             const VariableTrace& trace,
+                                             const CnfPredicate& pred) {
+  GPD_CHECK_MSG(pred.isSingular(), "predicate is not singular");
+  return enumerateSelections(clocks, clauseChainCovers(clocks, trace, pred));
+}
+
+}  // namespace gpd::detect

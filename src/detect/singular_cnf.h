@@ -1,0 +1,61 @@
+// General-case detection of singular CNF predicates (paper Sec. 3.3).
+//
+// Detection is NP-complete (Theorem 1), but two algorithms beat naive
+// lattice enumeration exponentially:
+//
+//  (a) Process enumeration: pick one hosting process per clause-group and
+//      run CPDHB on the per-process true-event queues — at most k^m
+//      combinations for m clauses of k processes each, versus the
+//      O(Πₚ |Eₚ|) states of the cut lattice.
+//  (b) Chain cover (Dilworth): cover each group's true events by a minimum
+//      set of causal chains and enumerate one chain per group — Π cⱼ
+//      combinations where cⱼ ≤ k is the cover size (cⱼ beats k whenever
+//      messages order true events across the group's processes).
+//
+// Both reduce to the chain-generalized CPDHB scan in detect/cpdhb.h, and
+// both find a witness cut when the predicate possibly holds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "clocks/vector_clock.h"
+#include "computation/cut.h"
+#include "detect/cpdhb.h"
+#include "predicates/cnf.h"
+
+namespace gpd::detect {
+
+struct SingularCnfResult {
+  bool found = false;
+  std::optional<Cut> cut;
+  std::vector<EventId> witness;        // one true event per clause
+  std::uint64_t combinationsTried = 0; // CPDHB invocations performed
+  std::uint64_t combinationsTotal = 0; // size of the enumeration space
+  std::uint64_t comparisons = 0;       // total consistency checks
+};
+
+// For each clause, the events on the clause's processes at which the clause
+// is true (i.e., some literal of the clause holds). A cut satisfies the
+// predicate iff it passes through one such event per clause (Observation 1).
+std::vector<std::vector<EventId>> clauseTrueEvents(const VariableTrace& trace,
+                                                   const CnfPredicate& pred);
+
+// Sec. 3.3(a). Requires pred.isSingular().
+SingularCnfResult detectSingularByProcessEnumeration(
+    const VectorClocks& clocks, const VariableTrace& trace,
+    const CnfPredicate& pred);
+
+// Sec. 3.3(b). Requires pred.isSingular().
+SingularCnfResult detectSingularByChainCover(const VectorClocks& clocks,
+                                             const VariableTrace& trace,
+                                             const CnfPredicate& pred);
+
+// Minimum chain covers of each clause's true events; exposed for the A1
+// ablation bench (cover sizes vs group sizes).
+std::vector<std::vector<Chain>> clauseChainCovers(
+    const VectorClocks& clocks, const VariableTrace& trace,
+    const CnfPredicate& pred);
+
+}  // namespace gpd::detect

@@ -1,0 +1,82 @@
+#include "detect/slice.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace gpd::detect {
+
+Slice computeSlice(const VectorClocks& clocks, const ForbiddenFn& oracle) {
+  const Computation& comp = clocks.computation();
+  Slice slice;
+  slice.leastCut.assign(comp.totalEvents(), std::nullopt);
+
+  for (int node = 0; node < comp.totalEvents(); ++node) {
+    const EventId e = comp.event(node);
+    // Least consistent cut containing e: its causal history.
+    Cut start(std::vector<int>(comp.processCount(), 0));
+    for (ProcessId q = 0; q < comp.processCount(); ++q) {
+      start.last[q] = clocks.clock(e, q);
+    }
+    start.last[e.process] = std::max(start.last[e.process], e.index);
+    LinearResult res = detectLinearFrom(clocks, oracle, std::move(start));
+    slice.leastCut[node] = std::move(res.cut);
+  }
+
+  // Initial events are in every cut, so satisfiability and the global least
+  // cut coincide with any initial event's J.
+  const auto& j0 = slice.leastCut[comp.node({0, 0})];
+  slice.satisfiable = j0.has_value();
+  if (slice.satisfiable) {
+    slice.bottom = *j0;
+    slice.top = *j0;
+    for (const auto& j : slice.leastCut) {
+      if (j) slice.top = join(slice.top, *j);
+    }
+  }
+  return slice;
+}
+
+bool sliceSatisfies(const Slice& slice, const VectorClocks& clocks,
+                    const Cut& cut) {
+  if (!slice.satisfiable) return false;
+  const Computation& comp = clocks.computation();
+  GPD_DCHECK(clocks.isConsistent(cut));
+  // C satisfies B ⟺ C equals the join of its boundary events' least cuts
+  // (J is monotone along ≤, so boundary events dominate interior ones).
+  Cut acc = slice.bottom;
+  for (ProcessId p = 0; p < comp.processCount(); ++p) {
+    const auto& j = slice.leastCut[comp.node({p, cut.last[p]})];
+    if (!j) return false;  // an excluded event lies in the cut
+    acc = join(acc, *j);
+  }
+  return acc == cut;
+}
+
+std::uint64_t countSatisfyingCuts(const Slice& slice,
+                                  const VectorClocks& clocks) {
+  if (!slice.satisfiable) return 0;
+  // Every satisfying cut is a join of least-cuts; close {bottom} under
+  // single-J joins. Output-bounded: no oracle calls, |result| states.
+  std::vector<Cut> irreducibles;
+  {
+    std::unordered_set<Cut> seen;
+    for (const auto& j : slice.leastCut) {
+      if (j && seen.insert(*j).second) irreducibles.push_back(*j);
+    }
+  }
+  std::unordered_set<Cut> reached{slice.bottom};
+  std::vector<Cut> frontier{slice.bottom};
+  while (!frontier.empty()) {
+    const Cut cut = std::move(frontier.back());
+    frontier.pop_back();
+    for (const Cut& j : irreducibles) {
+      Cut next = join(cut, j);
+      if (reached.insert(next).second) frontier.push_back(std::move(next));
+    }
+  }
+  (void)clocks;
+  return reached.size();
+}
+
+}  // namespace gpd::detect

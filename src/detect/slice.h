@@ -1,0 +1,61 @@
+// Computation slicing for regular predicates — the authors' own follow-up
+// to this paper (Garg & Mittal, "On Slicing a Distributed Computation",
+// ICDCS 2001; implemented here as the extension/future-work feature).
+//
+// A predicate is *regular* iff its satisfying consistent cuts are closed
+// under both lattice meet and join — a sublattice. (Conjunctive predicates
+// and channel predicates are the canonical regular classes; every regular
+// predicate is linear, so the greedy detector applies.) The *slice* is the
+// compact representation of that sublattice: for every event e either e is
+// excluded (no satisfying cut contains it) or it has a join-irreducible
+// witness J(e) = the least satisfying cut containing e. The fundamental
+// theorem of slicing:
+//
+//     a consistent cut C satisfies B  ⟺  C = ⊔ { J(e) : e ∈ C included }
+//     (and every join of J's satisfies B),
+//
+// so the slice answers possibly(B) (any J exists), counts/enumerates all
+// satisfying cuts, and supports intersection with further predicates —
+// while being only |E| cuts large. Built on detectLinearFrom: J(e) is the
+// least B-cut reachable from e's causal history.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "clocks/vector_clock.h"
+#include "computation/cut.h"
+#include "detect/linear.h"
+
+namespace gpd::detect {
+
+struct Slice {
+  // Per event (Computation::node numbering): the least satisfying cut
+  // containing that event, or nullopt when the event is excluded.
+  std::vector<std::optional<Cut>> leastCut;
+  // Whether any satisfying cut exists (possibly(B)).
+  bool satisfiable = false;
+  // The least and greatest satisfying cuts, when satisfiable.
+  Cut bottom;
+  Cut top;
+
+  bool included(int node) const { return leastCut[node].has_value(); }
+};
+
+// Requires `oracle` to describe a *regular* (hence linear) predicate; with a
+// merely-linear oracle the J's are still least cuts but the join-closure
+// theorem no longer holds (tests verify regular instances only).
+Slice computeSlice(const VectorClocks& clocks, const ForbiddenFn& oracle);
+
+// Membership test through the slice: C satisfies B ⟺ C equals the join of
+// the least cuts of its included events (excluded events ⟹ false).
+// O(|C|·n) after the slice is built — no oracle calls.
+bool sliceSatisfies(const Slice& slice, const VectorClocks& clocks,
+                    const Cut& cut);
+
+// Number of satisfying cuts, by level-BFS restricted to the slice's
+// sublattice (exponential output bound but no oracle calls).
+std::uint64_t countSatisfyingCuts(const Slice& slice,
+                                  const VectorClocks& clocks);
+
+}  // namespace gpd::detect

@@ -1,0 +1,34 @@
+// Stable predicates (Chandy–Lamport; the paper's references [1,2,14]).
+//
+// A predicate is stable on a computation iff once true it stays true:
+// φ(C) ∧ C ⊆ D ⟹ φ(D) over consistent cuts. For a stable predicate both
+// modalities collapse onto the final cut: possibly(φ) ⟺ definitely(φ) ⟺
+// φ(⊤), because the final cut extends every cut and lies on every run.
+// This module provides that O(1)-cuts detector plus an exhaustive stability
+// checker used to validate that a predicate actually is stable on a trace
+// (and in tests, that classic predicates — termination, deadlock,
+// token-loss — are, while e.g. "in critical section" is not).
+#pragma once
+
+#include "clocks/vector_clock.h"
+#include "computation/cut.h"
+#include "lattice/explore.h"
+
+namespace gpd::detect {
+
+struct StableResult {
+  bool possibly = false;
+  bool definitely = false;  // always equals possibly for stable predicates
+};
+
+// Evaluates φ at the final cut. Precondition (unchecked — use isStableOn in
+// tests): φ is stable on this computation.
+StableResult detectStable(const Computation& comp,
+                          const lattice::CutPredicate& phi);
+
+// Exhaustive check that φ is stable on this computation: every consistent
+// single-event extension preserves truth. (Single steps suffice: any
+// C ⊆ D is a chain of such extensions.) Exponential; validation only.
+bool isStableOn(const VectorClocks& clocks, const lattice::CutPredicate& phi);
+
+}  // namespace gpd::detect

@@ -1,0 +1,23 @@
+#include "detect/symmetric.h"
+
+#include "lattice/explore.h"
+
+namespace gpd::detect {
+
+std::optional<Cut> possiblySymmetric(const VectorClocks& clocks,
+                                     const VariableTrace& trace,
+                                     const SymmetricPredicate& pred) {
+  for (const SumPredicate& sum : pred.asExactSums()) {
+    if (auto cut = possiblySum(clocks, trace, sum)) return cut;
+  }
+  return std::nullopt;
+}
+
+bool definitelySymmetric(const VectorClocks& clocks, const VariableTrace& trace,
+                         const SymmetricPredicate& pred) {
+  return lattice::definitelyExhaustive(clocks, [&](const Cut& cut) {
+    return pred.holdsAtCut(trace, cut);
+  });
+}
+
+}  // namespace gpd::detect

@@ -1,0 +1,107 @@
+#include "flow/maxflow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/check.h"
+
+namespace gpd::flow {
+
+MaxFlow::MaxFlow(int n) : head_(n) { GPD_CHECK(n >= 0); }
+
+int MaxFlow::addEdge(int from, int to, std::int64_t capacity) {
+  GPD_CHECK(from >= 0 && from < size() && to >= 0 && to < size());
+  GPD_CHECK(capacity >= 0);
+  GPD_CHECK_MSG(!solved_, "cannot add edges after solve()");
+  const int id = static_cast<int>(initialCap_.size());
+  head_[from].push_back(static_cast<int>(edges_.size()));
+  edges_.push_back({to, capacity});
+  head_[to].push_back(static_cast<int>(edges_.size()));
+  edges_.push_back({from, 0});
+  initialCap_.push_back(capacity);
+  return id;
+}
+
+bool MaxFlow::bfsLevels() {
+  level_.assign(size(), -1);
+  std::queue<int> q;
+  level_[source_] = 0;
+  q.push(source_);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (int e : head_[u]) {
+      const Edge& edge = edges_[e];
+      if (edge.cap > 0 && level_[edge.to] < 0) {
+        level_[edge.to] = level_[u] + 1;
+        q.push(edge.to);
+      }
+    }
+  }
+  return level_[sink_] >= 0;
+}
+
+std::int64_t MaxFlow::dfsAugment(int u, std::int64_t limit) {
+  if (u == sink_) return limit;
+  for (; iter_[u] < head_[u].size(); ++iter_[u]) {
+    const int e = head_[u][iter_[u]];
+    Edge& edge = edges_[e];
+    if (edge.cap <= 0 || level_[edge.to] != level_[u] + 1) continue;
+    const std::int64_t pushed = dfsAugment(edge.to, std::min(limit, edge.cap));
+    if (pushed > 0) {
+      edge.cap -= pushed;
+      edges_[e ^ 1].cap += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+std::int64_t MaxFlow::solve(int source, int sink) {
+  GPD_CHECK(source >= 0 && source < size() && sink >= 0 && sink < size());
+  GPD_CHECK(source != sink);
+  GPD_CHECK_MSG(!solved_, "solve() may be called once");
+  source_ = source;
+  sink_ = sink;
+  std::int64_t total = 0;
+  while (bfsLevels()) {
+    iter_.assign(size(), 0);
+    while (true) {
+      const std::int64_t pushed =
+          dfsAugment(source_, std::numeric_limits<std::int64_t>::max());
+      if (pushed == 0) break;
+      total += pushed;
+    }
+  }
+  solved_ = true;
+  return total;
+}
+
+std::int64_t MaxFlow::flowOn(int id) const {
+  GPD_CHECK(solved_);
+  GPD_CHECK(id >= 0 && id < static_cast<int>(initialCap_.size()));
+  return initialCap_[id] - edges_[2 * id].cap;
+}
+
+std::vector<char> MaxFlow::minCutSourceSide() const {
+  GPD_CHECK(solved_);
+  std::vector<char> side(size(), 0);
+  std::queue<int> q;
+  side[source_] = 1;
+  q.push(source_);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (int e : head_[u]) {
+      const Edge& edge = edges_[e];
+      if (edge.cap > 0 && !side[edge.to]) {
+        side[edge.to] = 1;
+        q.push(edge.to);
+      }
+    }
+  }
+  return side;
+}
+
+}  // namespace gpd::flow

@@ -1,0 +1,52 @@
+// Dinic's maximum-flow / minimum-cut algorithm.
+//
+// The relational-predicate detectors (paper Sec. 4, citing Chase–Garg and
+// Tomlinson–Garg) need the extremum of Σᵢ xᵢ over all consistent cuts; that
+// optimization is a maximum-weight closure problem, solved here by min-cut.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gpd::flow {
+
+class MaxFlow {
+ public:
+  explicit MaxFlow(int n);
+
+  // Adds a directed edge with the given capacity; returns an edge id usable
+  // with flowOn(). Capacity must be non-negative.
+  int addEdge(int from, int to, std::int64_t capacity);
+
+  // Computes the maximum s-t flow. May be called once per instance.
+  std::int64_t solve(int source, int sink);
+
+  // Flow pushed through edge `id` (valid after solve()).
+  std::int64_t flowOn(int id) const;
+
+  // After solve(): nodes reachable from the source in the residual graph,
+  // i.e. the source side of a minimum cut.
+  std::vector<char> minCutSourceSide() const;
+
+  int size() const { return static_cast<int>(head_.size()); }
+
+ private:
+  struct Edge {
+    int to;
+    std::int64_t cap;  // residual capacity
+  };
+
+  bool bfsLevels();
+  std::int64_t dfsAugment(int u, std::int64_t limit);
+
+  std::vector<Edge> edges_;                // paired: edge 2k and its reverse 2k+1
+  std::vector<std::vector<int>> head_;     // adjacency: edge indices per node
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+  std::vector<std::int64_t> initialCap_;   // per forward edge, for flowOn()
+  int source_ = -1;
+  int sink_ = -1;
+  bool solved_ = false;
+};
+
+}  // namespace gpd::flow

@@ -1,0 +1,23 @@
+// Minimum chain cover of a finite strict partial order (Dilworth / Fulkerson).
+//
+// Sec. 3.3 of the paper covers the true events of each clause group by a
+// minimum set of chains and enumerates one chain per group; the number of
+// CPDHB invocations is the product of the cover sizes, which is never worse
+// than the k^m process-enumeration bound because a group's events on one
+// process already form a chain.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace gpd::graph {
+
+// `precedes(a, b)` must implement a strict partial order on {0, …, n-1}
+// (irreflexive, transitive). Returns a partition of {0, …, n-1} into the
+// minimum number of chains; each chain is listed in increasing order
+// (consecutive members satisfy precedes). By Dilworth's theorem the cover
+// size equals the maximum antichain size.
+std::vector<std::vector<int>> minimumChainCover(
+    int n, const std::function<bool(int, int)>& precedes);
+
+}  // namespace gpd::graph

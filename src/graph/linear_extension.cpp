@@ -1,0 +1,82 @@
+#include "graph/linear_extension.h"
+
+#include "util/check.h"
+
+namespace gpd::graph {
+
+std::vector<int> randomLinearExtension(const Dag& dag, Rng& rng) {
+  const int n = dag.size();
+  std::vector<int> indeg(n, 0);
+  for (int v = 0; v < n; ++v) {
+    indeg[v] = static_cast<int>(dag.predecessors(v).size());
+  }
+  std::vector<int> ready;
+  for (int v = 0; v < n; ++v) {
+    if (indeg[v] == 0) ready.push_back(v);
+  }
+  std::vector<int> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const std::size_t i = rng.index(ready.size());
+    const int u = ready[i];
+    ready[i] = ready.back();
+    ready.pop_back();
+    order.push_back(u);
+    for (int v : dag.successors(u)) {
+      if (--indeg[v] == 0) ready.push_back(v);
+    }
+  }
+  GPD_CHECK_MSG(static_cast<int>(order.size()) == n, "graph has a cycle");
+  return order;
+}
+
+namespace {
+
+struct Enumerator {
+  const Dag& dag;
+  const std::function<bool(const std::vector<int>&)>& visit;
+  std::vector<int> indeg;
+  std::vector<int> prefix;
+  std::uint64_t count = 0;
+  bool stopped = false;
+
+  bool run() {
+    if (static_cast<int>(prefix.size()) == dag.size()) {
+      ++count;
+      if (!visit(prefix)) stopped = true;
+      return !stopped;
+    }
+    for (int v = 0; v < dag.size(); ++v) {
+      if (indeg[v] != 0) continue;
+      indeg[v] = -1;  // mark taken
+      for (int w : dag.successors(v)) --indeg[w];
+      prefix.push_back(v);
+      const bool keep = run();
+      prefix.pop_back();
+      for (int w : dag.successors(v)) ++indeg[w];
+      indeg[v] = 0;
+      if (!keep) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+std::uint64_t forEachLinearExtension(
+    const Dag& dag, const std::function<bool(const std::vector<int>&)>& visit) {
+  Enumerator e{dag, visit, {}, {}, 0, false};
+  e.indeg.assign(dag.size(), 0);
+  for (int v = 0; v < dag.size(); ++v) {
+    e.indeg[v] = static_cast<int>(dag.predecessors(v).size());
+  }
+  e.prefix.reserve(dag.size());
+  e.run();
+  return e.count;
+}
+
+std::uint64_t countLinearExtensions(const Dag& dag) {
+  return forEachLinearExtension(dag, [](const std::vector<int>&) { return true; });
+}
+
+}  // namespace gpd::graph

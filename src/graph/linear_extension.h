@@ -1,0 +1,32 @@
+// Linear extensions of a DAG.
+//
+// A run of a distributed computation is exactly a linear extension of its
+// event order (paper Sec. 2.1). Random extensions drive property tests and
+// workload interleavings; exhaustive enumeration is the ground truth for the
+// `definitely` modality on small computations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/dag.h"
+#include "util/rng.h"
+
+namespace gpd::graph {
+
+// A linear extension sampled by repeatedly choosing uniformly among currently
+// ready nodes. (Not uniform over the set of extensions — sufficient for
+// fuzzing; exact enumeration below is used where distribution matters.)
+std::vector<int> randomLinearExtension(const Dag& dag, Rng& rng);
+
+// Invokes `visit` once per linear extension until it returns false or the
+// extensions are exhausted. Returns the number of extensions visited.
+// Exponential: intended for small ground-truth computations only.
+std::uint64_t forEachLinearExtension(
+    const Dag& dag, const std::function<bool(const std::vector<int>&)>& visit);
+
+// Total number of linear extensions (visits them all).
+std::uint64_t countLinearExtensions(const Dag& dag);
+
+}  // namespace gpd::graph

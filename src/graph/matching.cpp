@@ -1,0 +1,80 @@
+#include "graph/matching.h"
+
+#include <limits>
+#include <queue>
+
+#include "util/check.h"
+
+namespace gpd::graph {
+
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max();
+
+struct HopcroftKarp {
+  const std::vector<std::vector<int>>& adj;
+  std::vector<int>& pairL;
+  std::vector<int>& pairR;
+  std::vector<int> dist;
+
+  bool bfs() {
+    std::queue<int> q;
+    dist.assign(pairL.size(), kInf);
+    for (std::size_t l = 0; l < pairL.size(); ++l) {
+      if (pairL[l] < 0) {
+        dist[l] = 0;
+        q.push(static_cast<int>(l));
+      }
+    }
+    bool foundAugmenting = false;
+    while (!q.empty()) {
+      const int l = q.front();
+      q.pop();
+      for (int r : adj[l]) {
+        const int l2 = pairR[r];
+        if (l2 < 0) {
+          foundAugmenting = true;
+        } else if (dist[l2] == kInf) {
+          dist[l2] = dist[l] + 1;
+          q.push(l2);
+        }
+      }
+    }
+    return foundAugmenting;
+  }
+
+  bool dfs(int l) {
+    for (int r : adj[l]) {
+      const int l2 = pairR[r];
+      if (l2 < 0 || (dist[l2] == dist[l] + 1 && dfs(l2))) {
+        pairL[l] = r;
+        pairR[r] = l;
+        return true;
+      }
+    }
+    dist[l] = kInf;
+    return false;
+  }
+};
+
+}  // namespace
+
+MatchingResult maximumBipartiteMatching(
+    int nLeft, int nRight, const std::vector<std::vector<int>>& adj) {
+  GPD_CHECK(static_cast<int>(adj.size()) == nLeft);
+  for (const auto& row : adj) {
+    for (int r : row) GPD_CHECK(r >= 0 && r < nRight);
+  }
+  MatchingResult res;
+  res.pairLeft.assign(nLeft, -1);
+  res.pairRight.assign(nRight, -1);
+  HopcroftKarp hk{adj, res.pairLeft, res.pairRight, {}};
+  while (hk.bfs()) {
+    for (int l = 0; l < nLeft; ++l) {
+      if (res.pairLeft[l] < 0 && hk.dfs(l)) ++res.size;
+    }
+  }
+  return res;
+}
+
+}  // namespace gpd::graph

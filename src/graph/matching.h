@@ -1,0 +1,23 @@
+// Hopcroft–Karp maximum bipartite matching.
+//
+// Used by the Dilworth chain-cover construction (Sec. 3.3 of the paper): the
+// minimum number of chains covering the true events of a clause group equals
+// |events| − |maximum matching| in the comparability bipartite graph.
+#pragma once
+
+#include <vector>
+
+namespace gpd::graph {
+
+struct MatchingResult {
+  int size = 0;                // number of matched pairs
+  std::vector<int> pairLeft;   // pairLeft[l]  = matched right node or -1
+  std::vector<int> pairRight;  // pairRight[r] = matched left node or -1
+};
+
+// adj[l] lists the right-side neighbours of left node l.
+// O(E·sqrt(V)).
+MatchingResult maximumBipartiteMatching(int nLeft, int nRight,
+                                        const std::vector<std::vector<int>>& adj);
+
+}  // namespace gpd::graph

@@ -1,0 +1,130 @@
+#include "io/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace gpd::io {
+
+namespace {
+constexpr char kMagic[] = "gpd-trace";
+constexpr int kVersion = 1;
+
+bool whitespaceFree(const std::string& s) {
+  return !s.empty() &&
+         s.find_first_of(" \t\r\n") == std::string::npos;
+}
+}  // namespace
+
+void writeTrace(std::ostream& os, const Computation& comp,
+                const VariableTrace& trace) {
+  GPD_CHECK(&trace.computation() == &comp);
+  os << kMagic << ' ' << kVersion << '\n';
+  os << "processes " << comp.processCount() << '\n';
+  os << "events";
+  for (ProcessId p = 0; p < comp.processCount(); ++p) {
+    os << ' ' << comp.eventCount(p);
+  }
+  os << '\n';
+  for (const Message& m : comp.messages()) {
+    os << "message " << m.send.process << ' ' << m.send.index << ' '
+       << m.receive.process << ' ' << m.receive.index << '\n';
+  }
+  for (ProcessId p = 0; p < comp.processCount(); ++p) {
+    for (const std::string& name : trace.variableNames(p)) {
+      GPD_CHECK_MSG(whitespaceFree(name),
+                    "variable name '" << name << "' is not serializable");
+      os << "var " << p << ' ' << name;
+      for (int i = 0; i < comp.eventCount(p); ++i) {
+        os << ' ' << trace.value(p, name, i);
+      }
+      os << '\n';
+    }
+  }
+  os << "end\n";
+  GPD_CHECK_MSG(os.good(), "trace write failed");
+}
+
+TraceFile readTrace(std::istream& is) {
+  std::string word;
+  int version = 0;
+  GPD_CHECK_MSG(is >> word && word == kMagic && is >> version,
+                "not a gpd-trace stream");
+  GPD_CHECK_MSG(version == kVersion, "unsupported trace version " << version);
+
+  int processes = 0;
+  GPD_CHECK_MSG(is >> word && word == "processes" && is >> processes &&
+                    processes >= 1,
+                "malformed 'processes' line");
+
+  std::vector<int> counts(processes);
+  GPD_CHECK_MSG(static_cast<bool>(is >> word) && word == "events",
+                "malformed 'events' line");
+  for (int& c : counts) {
+    GPD_CHECK_MSG(static_cast<bool>(is >> c) && c >= 1, "bad event count");
+  }
+
+  ComputationBuilder builder(processes);
+  for (ProcessId p = 0; p < processes; ++p) {
+    for (int i = 1; i < counts[p]; ++i) builder.appendEvent(p);
+  }
+
+  struct PendingVar {
+    ProcessId process;
+    std::string name;
+    std::vector<std::int64_t> values;
+  };
+  std::vector<PendingVar> vars;
+
+  bool sawEnd = false;
+  while (is >> word) {
+    if (word == "end") {
+      sawEnd = true;
+      break;
+    }
+    if (word == "message") {
+      int sp, si, rp, ri;
+      GPD_CHECK_MSG(static_cast<bool>(is >> sp >> si >> rp >> ri),
+                    "malformed 'message' line");
+      builder.addMessage({sp, si}, {rp, ri});  // builder validates ranges
+    } else if (word == "var") {
+      PendingVar v;
+      GPD_CHECK_MSG(static_cast<bool>(is >> v.process >> v.name),
+                    "malformed 'var' line");
+      GPD_CHECK_MSG(v.process >= 0 && v.process < processes,
+                    "var on unknown process " << v.process);
+      v.values.resize(counts[v.process]);
+      for (auto& x : v.values) {
+        GPD_CHECK_MSG(static_cast<bool>(is >> x), "truncated 'var' values");
+      }
+      vars.push_back(std::move(v));
+    } else {
+      GPD_CHECK_MSG(false, "unknown trace keyword '" << word << "'");
+    }
+  }
+  GPD_CHECK_MSG(sawEnd, "trace stream missing 'end'");
+
+  TraceFile file;
+  file.computation = std::make_unique<Computation>(std::move(builder).build());
+  file.trace = std::make_unique<VariableTrace>(*file.computation);
+  for (auto& v : vars) {
+    file.trace->define(v.process, std::move(v.name), std::move(v.values));
+  }
+  return file;
+}
+
+void saveTrace(const std::string& path, const Computation& comp,
+               const VariableTrace& trace) {
+  std::ofstream os(path);
+  GPD_CHECK_MSG(os.is_open(), "cannot open '" << path << "' for writing");
+  writeTrace(os, comp, trace);
+}
+
+TraceFile loadTrace(const std::string& path) {
+  std::ifstream is(path);
+  GPD_CHECK_MSG(is.is_open(), "cannot open '" << path << "' for reading");
+  return readTrace(is);
+}
+
+}  // namespace gpd::io

@@ -1,0 +1,42 @@
+// Persistence for recorded computations and their variable traces.
+//
+// A line-oriented text format, versioned and self-describing:
+//
+//   gpd-trace 1
+//   processes 3
+//   events 5 4 6              # total events per process, incl. the initial
+//   message 0 2 1 3           # send (proc, idx) -> receive (proc, idx)
+//   var 0 cs 0 1 1 0 0        # process, name, value after each event
+//   end
+//
+// Variable names must be whitespace-free. Loading validates structure and
+// causal acyclicity (via ComputationBuilder) and fails with CheckFailure on
+// malformed input. The loader returns owning pointers because the trace
+// refers into the computation.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "computation/computation.h"
+#include "predicates/variable_trace.h"
+
+namespace gpd::io {
+
+struct TraceFile {
+  std::unique_ptr<Computation> computation;
+  std::unique_ptr<VariableTrace> trace;
+};
+
+void writeTrace(std::ostream& os, const Computation& comp,
+                const VariableTrace& trace);
+
+TraceFile readTrace(std::istream& is);
+
+// Convenience file-path wrappers.
+void saveTrace(const std::string& path, const Computation& comp,
+               const VariableTrace& trace);
+TraceFile loadTrace(const std::string& path);
+
+}  // namespace gpd::io

@@ -1,0 +1,107 @@
+#include "lattice/explore.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "util/check.h"
+
+namespace gpd::lattice {
+
+namespace {
+
+// Expands `cut` by every enabled event, appending the successors that pass
+// `admit` and were not seen before to `next`.
+template <typename Admit>
+void expand(const VectorClocks& clocks, const Cut& cut,
+            std::unordered_set<Cut>& seen, std::vector<Cut>& next,
+            const Admit& admit) {
+  const Computation& comp = clocks.computation();
+  for (ProcessId p = 0; p < comp.processCount(); ++p) {
+    if (cut.last[p] + 1 >= comp.eventCount(p)) continue;
+    if (!clocks.enabled(p, cut)) continue;
+    Cut succ = cut;
+    ++succ.last[p];
+    if (!admit(succ)) continue;
+    if (seen.insert(succ).second) next.push_back(succ);
+  }
+}
+
+}  // namespace
+
+std::uint64_t forEachConsistentCut(
+    const VectorClocks& clocks, const std::function<bool(const Cut&)>& visit) {
+  const Computation& comp = clocks.computation();
+  std::uint64_t visited = 0;
+  std::vector<Cut> level{initialCut(comp)};
+  while (!level.empty()) {
+    std::unordered_set<Cut> seen;
+    std::vector<Cut> next;
+    for (const Cut& cut : level) {
+      ++visited;
+      if (!visit(cut)) return visited;
+      expand(clocks, cut, seen, next, [](const Cut&) { return true; });
+    }
+    level = std::move(next);
+  }
+  return visited;
+}
+
+std::optional<Cut> findSatisfyingCut(const VectorClocks& clocks,
+                                     const CutPredicate& phi) {
+  std::optional<Cut> witness;
+  forEachConsistentCut(clocks, [&](const Cut& cut) {
+    if (phi(cut)) {
+      witness = cut;
+      return false;
+    }
+    return true;
+  });
+  return witness;
+}
+
+bool possiblyExhaustive(const VectorClocks& clocks, const CutPredicate& phi) {
+  return findSatisfyingCut(clocks, phi).has_value();
+}
+
+bool definitelyExhaustive(const VectorClocks& clocks, const CutPredicate& phi) {
+  // A run avoids φ iff it is a monotone path of ¬φ-cuts from ⊥ to ⊤.
+  const Computation& comp = clocks.computation();
+  const Cut bottom = initialCut(comp);
+  const Cut top = finalCut(comp);
+  if (phi(bottom)) return true;  // every run starts at ⊥
+  if (bottom == top) return false;
+  std::vector<Cut> level{bottom};
+  const auto notPhi = [&](const Cut& c) { return !phi(c); };
+  while (!level.empty()) {
+    std::unordered_set<Cut> seen;
+    std::vector<Cut> next;
+    for (const Cut& cut : level) {
+      expand(clocks, cut, seen, next, notPhi);
+    }
+    for (const Cut& cut : next) {
+      if (cut == top) return false;  // an all-¬φ run exists
+    }
+    level = std::move(next);
+  }
+  return true;
+}
+
+LatticeStats latticeStats(const VectorClocks& clocks) {
+  LatticeStats stats;
+  const Computation& comp = clocks.computation();
+  std::vector<Cut> level{initialCut(comp)};
+  while (!level.empty()) {
+    stats.cutCount += level.size();
+    stats.maxWidth = std::max<std::uint64_t>(stats.maxWidth, level.size());
+    ++stats.levels;
+    std::unordered_set<Cut> seen;
+    std::vector<Cut> next;
+    for (const Cut& cut : level) {
+      expand(clocks, cut, seen, next, [](const Cut&) { return true; });
+    }
+    level = std::move(next);
+  }
+  return stats;
+}
+
+}  // namespace gpd::lattice

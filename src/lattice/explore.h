@@ -1,0 +1,50 @@
+// Exhaustive exploration of the lattice of consistent cuts.
+//
+// This is the Cooper–Marzullo style baseline (paper reference [5]): it
+// decides possibly(φ) and definitely(φ) for *arbitrary* global predicates by
+// breadth-first search over consistent cuts, level by level. Exponential in
+// the number of processes — the whole point of the paper's algorithms is to
+// avoid it — but exact, so it is the ground truth every efficient detector
+// is validated against, and the comparison baseline in the benches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "clocks/vector_clock.h"
+#include "computation/computation.h"
+#include "computation/cut.h"
+
+namespace gpd::lattice {
+
+// A global predicate as a boolean function of a consistent cut (paper
+// Sec. 2.3). Variable-based predicate classes adapt to this via
+// predicates/eval.h.
+using CutPredicate = std::function<bool(const Cut&)>;
+
+// Visits every consistent cut exactly once in level order (level = number of
+// non-initial events). Stops early when `visit` returns false. Returns the
+// number of cuts visited.
+std::uint64_t forEachConsistentCut(const VectorClocks& clocks,
+                                   const std::function<bool(const Cut&)>& visit);
+
+// possibly(φ): some consistent cut satisfies φ. Returns a witness cut.
+std::optional<Cut> findSatisfyingCut(const VectorClocks& clocks,
+                                     const CutPredicate& phi);
+
+bool possiblyExhaustive(const VectorClocks& clocks, const CutPredicate& phi);
+
+// definitely(φ): every run passes through a cut satisfying φ. Equivalent to:
+// no monotone path of ¬φ-cuts from the initial to the final cut.
+bool definitelyExhaustive(const VectorClocks& clocks, const CutPredicate& phi);
+
+struct LatticeStats {
+  std::uint64_t cutCount = 0;   // number of consistent cuts
+  int levels = 0;               // height of the lattice (final level + 1)
+  std::uint64_t maxWidth = 0;   // widest level
+};
+
+LatticeStats latticeStats(const VectorClocks& clocks);
+
+}  // namespace gpd::lattice

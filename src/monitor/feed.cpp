@@ -1,0 +1,40 @@
+#include "monitor/feed.h"
+
+#include "util/check.h"
+
+namespace gpd::monitor {
+
+ReplayResult replayConjunctive(const VectorClocks& clocks,
+                               const VariableTrace& trace,
+                               const ConjunctivePredicate& pred,
+                               const std::vector<int>& runOrder,
+                               ConjunctiveMonitor& monitor) {
+  const Computation& comp = clocks.computation();
+  GPD_CHECK(monitor.processes() == comp.processCount());
+  GPD_CHECK(static_cast<int>(runOrder.size()) == comp.totalEvents());
+
+  // Which local predicate guards each process.
+  std::vector<const LocalPredicate*> term(comp.processCount(), nullptr);
+  for (const LocalPredicate& t : pred.terms) {
+    GPD_CHECK_MSG(term[t.process] == nullptr,
+                  "two conjuncts on process " << t.process);
+    term[t.process] = &t;
+  }
+  for (ProcessId p = 0; p < comp.processCount(); ++p) {
+    GPD_CHECK_MSG(term[p] != nullptr, "process " << p << " has no conjunct");
+  }
+
+  ReplayResult result;
+  for (int node : runOrder) {
+    const EventId e = comp.event(node);
+    if (!term[e.process]->holds(trace, e.index)) continue;
+    ++result.notificationsSent;
+    if (monitor.report(e.process, clocks.clockVector(e))) {
+      result.detected = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace gpd::monitor

@@ -1,0 +1,30 @@
+// Bridges offline traces to the online checker: replays a recorded
+// computation's true events, in the order of a given run, as the
+// notification stream the application processes would have sent.
+#pragma once
+
+#include <vector>
+
+#include "clocks/vector_clock.h"
+#include "monitor/online.h"
+#include "predicates/local.h"
+
+namespace gpd::monitor {
+
+struct ReplayResult {
+  bool detected = false;
+  // Notifications fed before detection fired (all of them if it never did).
+  std::uint64_t notificationsSent = 0;
+};
+
+// `runOrder` is a linear extension of the computation's event DAG (node
+// ids); the predicate must have one term per process of the computation
+// (the classic Garg–Waldecker setting). Initial events are reported first
+// (they precede everything).
+ReplayResult replayConjunctive(const VectorClocks& clocks,
+                               const VariableTrace& trace,
+                               const ConjunctivePredicate& pred,
+                               const std::vector<int>& runOrder,
+                               ConjunctiveMonitor& monitor);
+
+}  // namespace gpd::monitor

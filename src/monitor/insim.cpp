@@ -1,0 +1,91 @@
+#include "monitor/insim.h"
+
+#include "monitor/online.h"
+#include "util/check.h"
+
+namespace gpd::monitor {
+
+namespace {
+
+// The checker: one 2-slot streaming monitor per ring pair, fed from the
+// engine-piggybacked timestamps of incoming notifications.
+class CheckerProcess final : public sim::Program {
+ public:
+  explicit CheckerProcess(int ringSize) : n_(ringSize) {
+    for (ProcessId i = 0; i < n_; ++i) {
+      for (ProcessId j = i + 1; j < n_; ++j) {
+        pairs_.push_back({i, j});
+        monitors_.emplace_back(2);
+      }
+    }
+  }
+
+  static std::string pairVar(ProcessId i, ProcessId j) {
+    return "fired_" + std::to_string(i) + "_" + std::to_string(j);
+  }
+
+  void onInit(sim::ProcessContext& ctx) override {
+    ctx.setVar("alarms", 0);
+    for (const auto& [i, j] : pairs_) ctx.setVar(pairVar(i, j), 0);
+  }
+
+  void onMessage(sim::ProcessContext& ctx, const sim::SimMessage& msg) override {
+    GPD_CHECK(msg.type == sim::kCsNotification);
+    const ProcessId reporter = msg.from;
+    GPD_CHECK(reporter >= 0 && reporter < n_);
+    for (std::size_t k = 0; k < pairs_.size(); ++k) {
+      const auto [i, j] = pairs_[k];
+      if (reporter != i && reporter != j) continue;
+      if (monitors_[k].detected()) continue;
+      // Project the piggybacked timestamp onto the pair's two components;
+      // the checker's own component is irrelevant (it never sends into the
+      // ring, so it is never in a ring event's history).
+      std::vector<int> stamp{msg.senderClock[i], msg.senderClock[j]};
+      const int slot = reporter == i ? 0 : 1;
+      if (monitors_[k].report(slot, std::move(stamp))) {
+        ctx.setVar(pairVar(i, j), 1);
+        ctx.setVar("alarms", ctx.getVar("alarms") + 1);
+      }
+    }
+  }
+
+ private:
+  const int n_;
+  std::vector<std::pair<ProcessId, ProcessId>> pairs_;
+  std::vector<ConjunctiveMonitor> monitors_;
+};
+
+}  // namespace
+
+InSimMonitorResult monitoredTokenRing(sim::TokenRingOptions options) {
+  const int n = options.processes;
+  options.notifyChecker = n;
+
+  std::vector<std::unique_ptr<sim::Program>> programs;
+  for (ProcessId p = 0; p < n; ++p) {
+    programs.push_back(sim::makeTokenRingProcess(options, p));
+  }
+  programs.push_back(std::make_unique<CheckerProcess>(n));
+
+  sim::SimOptions simOptions;
+  simOptions.seed = options.seed;
+  simOptions.fifoChannels = true;  // the checker requires program order
+
+  InSimMonitorResult result;
+  result.run = sim::runSimulation(simOptions, std::move(programs));
+  // The checker records detections in its own trace variables.
+  const Cut fin = finalCut(*result.run.computation);
+  for (ProcessId i = 0; i < n; ++i) {
+    for (ProcessId j = i + 1; j < n; ++j) {
+      if (result.run.trace->valueAtCut(fin, n, CheckerProcess::pairVar(i, j)) !=
+          0) {
+        result.firedPairs.push_back({i, j});
+      }
+    }
+  }
+  result.alarm = !result.firedPairs.empty();
+  result.alarmsInTrace = result.run.trace->valueAtCut(fin, n, "alarms");
+  return result;
+}
+
+}  // namespace gpd::monitor

@@ -1,0 +1,38 @@
+// In-simulation online detection: the full Garg–Waldecker deployment, end
+// to end, inside the simulated system.
+//
+// A ring of token-passing processes is extended with one *checker* process.
+// Every critical-section entry sends a notification message to the checker;
+// the simulator piggybacks Fidge–Mattern timestamps on all messages (as a
+// real instrumented system would), and the checker feeds each notification
+// into one streaming ConjunctiveMonitor per process pair, raising an alarm
+// variable the moment a pair of CS entries is causally concurrent — i.e.
+// possibly(CSᵢ ∧ CSⱼ) became detectable *while the system runs*.
+//
+// Channels are FIFO in this deployment (the checker's per-process queues
+// need program-order delivery, as in the original protocol).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "computation/event.h"
+#include "sim/workloads.h"
+
+namespace gpd::monitor {
+
+struct InSimMonitorResult {
+  sim::SimResult run;  // the recorded computation (ring + checker process)
+  bool alarm = false;  // checker raised the mutual-exclusion alarm
+  // Pairs whose monitors fired, in detection order.
+  std::vector<std::pair<ProcessId, ProcessId>> firedPairs;
+  // Value of the checker's "alarms" variable at the end of the run (equals
+  // firedPairs.size(); also recorded in the trace itself).
+  std::int64_t alarmsInTrace = 0;
+};
+
+// Runs `options` (its notifyChecker field is overwritten) with a checker as
+// process id options.processes.
+InSimMonitorResult monitoredTokenRing(sim::TokenRingOptions options);
+
+}  // namespace gpd::monitor

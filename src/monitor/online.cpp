@@ -1,0 +1,87 @@
+#include "monitor/online.h"
+
+#include "util/check.h"
+
+namespace gpd::monitor {
+
+ConjunctiveMonitor::ConjunctiveMonitor(int processes)
+    : n_(processes), queue_(processes) {
+  GPD_CHECK(processes >= 1);
+}
+
+bool ConjunctiveMonitor::report(int p, std::vector<int> vectorClock) {
+  GPD_CHECK(p >= 0 && p < n_);
+  GPD_CHECK(static_cast<int>(vectorClock.size()) == n_);
+  if (detected_) return true;
+  if (!queue_[p].empty()) {
+    // Program order: the process's own component must increase.
+    GPD_CHECK_MSG(queue_[p].back()[p] < vectorClock[p],
+                  "out-of-order notification from process " << p);
+  }
+  queue_[p].push_back(std::move(vectorClock));
+  ++enqueued_;
+  // Invariant between reports: the present heads are pairwise stable (no
+  // elimination applies among them). A notification that lands behind an
+  // existing head changes nothing; only a new *head* must be re-checked.
+  if (queue_[p].size() > 1) return false;
+  return tryDetect(p);
+}
+
+bool ConjunctiveMonitor::tryDetect(int changed) {
+  // Elimination: heads e (of p) and f (of q) cannot both be in a witness if
+  // succ(e) ≤ f, i.e. f's history contains an event of p beyond e — then e
+  // is also dead against everything after f on q's queue, so pop it.
+  // A process with an empty queue simply pauses detection; popped entries
+  // stay popped (they are dead against every future notification too).
+  std::vector<int> work{changed};
+  std::vector<char> queued(n_, 0);
+  queued[changed] = 1;
+  while (!work.empty()) {
+    const int p = work.back();
+    work.pop_back();
+    queued[p] = 0;
+    if (queue_[p].empty()) continue;
+    bool advanced = true;
+    while (advanced && !queue_[p].empty()) {
+      advanced = false;
+      const auto& e = queue_[p].front();
+      for (int q = 0; q < n_; ++q) {
+        if (q == p || queue_[q].empty()) continue;
+        const auto& f = queue_[q].front();
+        ++comparisons_;
+        if (f[p] > e[p]) {  // succ(e) ≤ f: e is dead
+          queue_[p].pop_front();
+          if (!queued[p]) {
+            queued[p] = 1;
+            work.push_back(p);  // its new head needs a full pass
+          }
+          advanced = true;
+          break;
+        }
+        ++comparisons_;
+        if (e[q] > f[q]) {  // succ(f) ≤ e: f is dead
+          queue_[q].pop_front();
+          if (!queued[q]) {
+            queued[q] = 1;
+            work.push_back(q);
+          }
+        }
+      }
+    }
+  }
+  for (int p = 0; p < n_; ++p) {
+    if (queue_[p].empty()) return false;
+  }
+  // All heads present and no elimination applies: pairwise consistent.
+  witness_.clear();
+  for (int p = 0; p < n_; ++p) witness_.push_back(queue_[p].front());
+  detected_ = true;
+  return true;
+}
+
+const std::vector<std::vector<int>>& ConjunctiveMonitor::witness() const {
+  GPD_CHECK_MSG(detected_, "no witness before detection");
+  return witness_;
+}
+
+}  // namespace gpd::monitor

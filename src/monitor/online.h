@@ -1,0 +1,53 @@
+// Online weak-conjunctive predicate detection (Garg–Waldecker's checker).
+//
+// Offline, CPDHB scans a recorded trace. Online, each application process
+// reports a vector-timestamped notification whenever its local predicate
+// becomes true; a checker process keeps one queue per process and runs the
+// same elimination incrementally, announcing detection the moment the queue
+// heads become pairwise consistent. Notifications may interleave arbitrarily
+// across processes (channels to the checker need not be synchronized), but
+// each process's own notifications must arrive in program order.
+//
+// Timestamps use the library convention V[p] = index of the last event of
+// process p in the reporting event's causal history (own component = the
+// event's index).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+namespace gpd::monitor {
+
+class ConjunctiveMonitor {
+ public:
+  explicit ConjunctiveMonitor(int processes);
+
+  int processes() const { return n_; }
+
+  // Feeds one true-event notification from process p. Returns true if this
+  // notification completed a detection (idempotent once detected).
+  bool report(int p, std::vector<int> vectorClock);
+
+  bool detected() const { return detected_; }
+
+  // The witness timestamps (one per process), available once detected.
+  const std::vector<std::vector<int>>& witness() const;
+
+  // Totals for the A3 overhead bench.
+  std::uint64_t comparisons() const { return comparisons_; }
+  std::uint64_t enqueued() const { return enqueued_; }
+
+ private:
+  bool tryDetect(int changed);
+
+  int n_;
+  std::vector<std::deque<std::vector<int>>> queue_;
+  bool detected_ = false;
+  std::vector<std::vector<int>> witness_;
+  std::uint64_t comparisons_ = 0;
+  std::uint64_t enqueued_ = 0;
+};
+
+}  // namespace gpd::monitor

@@ -1,0 +1,163 @@
+#include "predicates/boolean_expr.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <tuple>
+
+#include "util/check.h"
+
+namespace gpd {
+
+BoolExprPtr BoolExpr::var(ProcessId process, std::string name) {
+  GPD_CHECK(process >= 0);
+  return BoolExprPtr(
+      new BoolExpr(Kind::Var, process, std::move(name), {}));
+}
+
+BoolExprPtr BoolExpr::negate(BoolExprPtr e) {
+  GPD_CHECK(e != nullptr);
+  return BoolExprPtr(new BoolExpr(Kind::Not, -1, "", {std::move(e)}));
+}
+
+BoolExprPtr BoolExpr::conjunction(std::vector<BoolExprPtr> es) {
+  GPD_CHECK(!es.empty());
+  for (const auto& e : es) GPD_CHECK(e != nullptr);
+  return BoolExprPtr(new BoolExpr(Kind::And, -1, "", std::move(es)));
+}
+
+BoolExprPtr BoolExpr::disjunction(std::vector<BoolExprPtr> es) {
+  GPD_CHECK(!es.empty());
+  for (const auto& e : es) GPD_CHECK(e != nullptr);
+  return BoolExprPtr(new BoolExpr(Kind::Or, -1, "", std::move(es)));
+}
+
+bool BoolExpr::evaluate(const VariableTrace& trace, const Cut& cut) const {
+  switch (kind_) {
+    case Kind::Var:
+      return trace.valueAtCut(cut, process_, name_) != 0;
+    case Kind::Not:
+      return !child()->evaluate(trace, cut);
+    case Kind::And:
+      for (const auto& c : children_) {
+        if (!c->evaluate(trace, cut)) return false;
+      }
+      return true;
+    case Kind::Or:
+      for (const auto& c : children_) {
+        if (c->evaluate(trace, cut)) return true;
+      }
+      return false;
+  }
+  GPD_CHECK(false);
+  return false;
+}
+
+std::string BoolExpr::toString() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::Var:
+      os << name_ << "@p" << process_;
+      break;
+    case Kind::Not:
+      os << "!(" << child()->toString() << ')';
+      break;
+    case Kind::And:
+    case Kind::Or: {
+      os << '(';
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i) os << (kind_ == Kind::And ? " & " : " | ");
+        os << children_[i]->toString();
+      }
+      os << ')';
+      break;
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+bool literalLess(const BoolLiteral& a, const BoolLiteral& b) {
+  return std::tie(a.process, a.var, a.positive) <
+         std::tie(b.process, b.var, b.positive);
+}
+
+bool literalEq(const BoolLiteral& a, const BoolLiteral& b) {
+  return a.process == b.process && a.var == b.var && a.positive == b.positive;
+}
+
+// Merges two terms; nullopt when contradictory.
+std::optional<DnfTerm> mergeTerms(const DnfTerm& a, const DnfTerm& b) {
+  DnfTerm out = a;
+  for (const BoolLiteral& lit : b) out.push_back(lit);
+  std::sort(out.begin(), out.end(), literalLess);
+  out.erase(std::unique(out.begin(), out.end(), literalEq), out.end());
+  for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+    if (out[i].process == out[i + 1].process && out[i].var == out[i + 1].var &&
+        out[i].positive != out[i + 1].positive) {
+      return std::nullopt;  // x ∧ ¬x
+    }
+  }
+  return out;
+}
+
+// DNF of the expression under a polarity (negation pushed inward on the fly).
+std::vector<DnfTerm> dnfOf(const BoolExpr& e, bool positive) {
+  switch (e.kind()) {
+    case BoolExpr::Kind::Var:
+      return {{BoolLiteral{e.process(), e.name(), positive}}};
+    case BoolExpr::Kind::Not:
+      return dnfOf(*e.child(), !positive);
+    case BoolExpr::Kind::And:
+    case BoolExpr::Kind::Or: {
+      // Under negation, And behaves as Or and vice versa (De Morgan).
+      const bool isAnd = (e.kind() == BoolExpr::Kind::And) == positive;
+      if (!isAnd) {
+        std::vector<DnfTerm> out;
+        for (const auto& c : e.children()) {
+          for (auto& term : dnfOf(*c, positive)) out.push_back(std::move(term));
+        }
+        return out;
+      }
+      // Conjunction: distribute (cross product of the children's terms).
+      std::vector<DnfTerm> acc{DnfTerm{}};
+      for (const auto& c : e.children()) {
+        const std::vector<DnfTerm> childTerms = dnfOf(*c, positive);
+        std::vector<DnfTerm> next;
+        for (const DnfTerm& a : acc) {
+          for (const DnfTerm& b : childTerms) {
+            if (auto merged = mergeTerms(a, b)) next.push_back(std::move(*merged));
+          }
+        }
+        acc = std::move(next);
+        if (acc.empty()) break;  // everything contradicted
+      }
+      return acc;
+    }
+  }
+  GPD_CHECK(false);
+  return {};
+}
+
+}  // namespace
+
+std::vector<DnfTerm> toDnf(const BoolExpr& expr) {
+  std::vector<DnfTerm> terms = dnfOf(expr, true);
+  // Deduplicate identical terms.
+  std::sort(terms.begin(), terms.end(),
+            [](const DnfTerm& a, const DnfTerm& b) {
+              return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                                  b.end(), literalLess);
+            });
+  terms.erase(std::unique(terms.begin(), terms.end(),
+                          [](const DnfTerm& a, const DnfTerm& b) {
+                            return a.size() == b.size() &&
+                                   std::equal(a.begin(), a.end(), b.begin(),
+                                              literalEq);
+                          }),
+              terms.end());
+  return terms;
+}
+
+}  // namespace gpd

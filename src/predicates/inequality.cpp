@@ -1,0 +1,60 @@
+#include "predicates/inequality.h"
+
+#include <set>
+
+#include "util/check.h"
+
+namespace gpd {
+
+bool IneqClausePredicate::isSingular() const {
+  std::set<ProcessId> seen;
+  for (const IneqClause& clause : clauses) {
+    std::set<ProcessId> here;
+    for (const IneqAtom& a : clause) here.insert(a.process);
+    for (ProcessId p : here) {
+      if (!seen.insert(p).second) return false;
+    }
+  }
+  return true;
+}
+
+bool IneqClausePredicate::holdsAtCut(const VariableTrace& trace,
+                                     const Cut& cut) const {
+  for (const IneqClause& clause : clauses) {
+    bool sat = false;
+    for (const IneqAtom& a : clause) {
+      if (a.holds(trace, cut.last[a.process])) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+CnfPredicate lowerToCnf(VariableTrace& trace, const IneqClausePredicate& pred,
+                        const std::string& prefix) {
+  const Computation& comp = trace.computation();
+  CnfPredicate cnf;
+  for (std::size_t j = 0; j < pred.clauses.size(); ++j) {
+    CnfClause clause;
+    for (std::size_t i = 0; i < pred.clauses[j].size(); ++i) {
+      const IneqAtom& atom = pred.clauses[j][i];
+      GPD_CHECK_MSG(atom.relop != Relop::Equal,
+                    "Corollary 2 excludes equality atoms");
+      const std::string name =
+          prefix + "_" + std::to_string(j) + "_" + std::to_string(i);
+      std::vector<std::int64_t> values(comp.eventCount(atom.process));
+      for (int e = 0; e < comp.eventCount(atom.process); ++e) {
+        values[e] = atom.holds(trace, e) ? 1 : 0;
+      }
+      trace.define(atom.process, name, std::move(values));
+      clause.push_back({atom.process, name, /*positive=*/true});
+    }
+    cnf.clauses.push_back(std::move(clause));
+  }
+  return cnf;
+}
+
+}  // namespace gpd

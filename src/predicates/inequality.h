@@ -1,0 +1,48 @@
+// Inequality-clause predicates (paper Corollary 2).
+//
+// Conjunctions of clauses (x relop a) ∨ (y relop b) ∨ …, relop ∈
+// {<, ≤, >, ≥, ≠}, where no two clauses contain variables from the same
+// process. Corollary 2 proves detection NP-complete by the transformation
+// implemented here: each atom becomes a derived boolean variable on its
+// process, turning the predicate into a singular CNF predicate over the
+// derived variables — detected by any singular-CNF algorithm in src/detect.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "predicates/cnf.h"
+#include "predicates/local.h"
+#include "predicates/variable_trace.h"
+
+namespace gpd {
+
+struct IneqAtom {
+  ProcessId process = 0;
+  std::string var;
+  Relop relop = Relop::GreaterEq;  // Equal is excluded (Corollary 2's class)
+  std::int64_t k = 0;
+
+  bool holds(const VariableTrace& trace, int eventIndex) const {
+    return compare(trace.value(process, var, eventIndex), relop, k);
+  }
+};
+
+using IneqClause = std::vector<IneqAtom>;
+
+struct IneqClausePredicate {
+  std::vector<IneqClause> clauses;
+
+  bool isSingular() const;
+  bool holdsAtCut(const VariableTrace& trace, const Cut& cut) const;
+};
+
+// Lowers the predicate to a positive singular CNF over fresh boolean
+// variables ("<prefix>_<clause>_<atom>") which are *defined into* `trace`.
+// The returned CNF holds at a cut iff the original predicate does. Use a
+// distinct prefix to lower several predicates into one trace.
+CnfPredicate lowerToCnf(VariableTrace& trace, const IneqClausePredicate& pred,
+                        const std::string& prefix = "__ineq");
+
+}  // namespace gpd

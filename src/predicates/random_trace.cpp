@@ -1,0 +1,33 @@
+#include "predicates/random_trace.h"
+
+#include "util/check.h"
+
+namespace gpd {
+
+void defineRandomBools(VariableTrace& trace, const std::string& name,
+                       double trueDensity, Rng& rng) {
+  const Computation& comp = trace.computation();
+  for (ProcessId p = 0; p < comp.processCount(); ++p) {
+    std::vector<std::int64_t> values(comp.eventCount(p));
+    for (auto& v : values) v = rng.chance(trueDensity) ? 1 : 0;
+    trace.define(p, name, std::move(values));
+  }
+}
+
+void defineRandomCounters(VariableTrace& trace, const std::string& name,
+                          std::int64_t initial, int maxStep, Rng& rng) {
+  GPD_CHECK(maxStep >= 0);
+  const Computation& comp = trace.computation();
+  for (ProcessId p = 0; p < comp.processCount(); ++p) {
+    std::vector<std::int64_t> values(comp.eventCount(p));
+    std::int64_t v = initial;
+    values[0] = v;
+    for (int i = 1; i < comp.eventCount(p); ++i) {
+      v += rng.uniform(-maxStep, maxStep);
+      values[i] = v;
+    }
+    trace.define(p, name, std::move(values));
+  }
+}
+
+}  // namespace gpd

@@ -1,0 +1,22 @@
+// Random variable histories for property tests and benchmarks.
+#pragma once
+
+#include <string>
+
+#include "predicates/variable_trace.h"
+#include "util/rng.h"
+
+namespace gpd {
+
+// Defines a boolean variable `name` on every process: each event flips or
+// holds the value at random; `trueDensity` is the per-event probability of
+// being true.
+void defineRandomBools(VariableTrace& trace, const std::string& name,
+                       double trueDensity, Rng& rng);
+
+// Defines an integer variable on every process whose per-event change is
+// uniform in [-maxStep, +maxStep], starting at `initial`.
+void defineRandomCounters(VariableTrace& trace, const std::string& name,
+                          std::int64_t initial, int maxStep, Rng& rng);
+
+}  // namespace gpd

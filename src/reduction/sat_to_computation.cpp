@@ -1,0 +1,225 @@
+#include "reduction/sat_to_computation.h"
+
+#include <algorithm>
+
+#include "clocks/vector_clock.h"
+#include "detect/singular_cnf.h"
+#include "sat/nonmonotone.h"
+#include "util/check.h"
+
+namespace gpd::reduction {
+
+namespace {
+
+// Removes duplicate literals; returns nullopt for tautological clauses.
+std::optional<sat::Clause> normalizeClause(const sat::Clause& clause) {
+  sat::Clause out;
+  for (const sat::Lit& l : clause) {
+    if (std::find(out.begin(), out.end(), l) != out.end()) continue;
+    if (std::find(out.begin(), out.end(), l.negated()) != out.end()) {
+      return std::nullopt;  // x ∨ ¬x: always true
+    }
+    out.push_back(l);
+  }
+  return out;
+}
+
+}  // namespace
+
+SimplifiedFormula simplifyForGadget(const sat::Cnf& cnf) {
+  SimplifiedFormula result;
+  result.formula.numVars = cnf.numVars;
+  result.forced.assign(cnf.numVars, -1);
+
+  std::vector<sat::Clause> clauses;
+  for (const sat::Clause& c : cnf.clauses) {
+    GPD_CHECK_MSG(c.size() <= 3, "clause wider than three literals");
+    if (auto norm = normalizeClause(c)) clauses.push_back(std::move(*norm));
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<sat::Clause> next;
+    for (const sat::Clause& c : clauses) {
+      sat::Clause reduced;
+      bool satisfied = false;
+      for (const sat::Lit& l : c) {
+        const int f = result.forced[l.var];
+        if (f < 0) {
+          reduced.push_back(l);
+        } else if ((f == 1) == l.positive) {
+          satisfied = true;
+          break;
+        }
+        // Falsified literals are dropped.
+      }
+      if (satisfied) continue;
+      if (reduced.empty()) {
+        result.unsatisfiable = true;
+        return result;
+      }
+      if (reduced.size() == 1) {
+        const sat::Lit unit = reduced[0];
+        const int want = unit.positive ? 1 : 0;
+        if (result.forced[unit.var] >= 0 && result.forced[unit.var] != want) {
+          result.unsatisfiable = true;
+          return result;
+        }
+        result.forced[unit.var] = want;
+        changed = true;
+        continue;
+      }
+      next.push_back(std::move(reduced));
+    }
+    clauses = std::move(next);
+  }
+  result.formula.clauses = std::move(clauses);
+  return result;
+}
+
+SatGadget buildSatGadget(const sat::Cnf& formula) {
+  const int m = static_cast<int>(formula.clauses.size());
+  GPD_CHECK(m >= 1);
+
+  // Reorder each clause so 3-clauses put a positive literal first and a
+  // negative literal last (the paper's l1/l3 convention); record the mapping
+  // back to the clause's original literal order.
+  struct Placement {
+    sat::Lit lit;
+    EventId trueEvent;
+  };
+  std::vector<std::vector<sat::Lit>> ordered(m);
+  for (int j = 0; j < m; ++j) {
+    sat::Clause c = formula.clauses[j];
+    GPD_CHECK_MSG(c.size() == 2 || c.size() == 3,
+                  "gadget clauses must have 2 or 3 literals — run "
+                  "simplifyForGadget first");
+    if (c.size() == 3) {
+      auto pos = std::find_if(c.begin(), c.end(),
+                              [](const sat::Lit& l) { return l.positive; });
+      GPD_CHECK_MSG(pos != c.end(), "3-clause without a positive literal");
+      std::iter_swap(c.begin(), pos);
+      auto neg = std::find_if(c.begin() + 1, c.end(),
+                              [](const sat::Lit& l) { return !l.positive; });
+      GPD_CHECK_MSG(neg != c.end(), "3-clause without a negative literal");
+      std::iter_swap(c.end() - 1, neg);
+    }
+    ordered[j] = std::move(c);
+  }
+
+  SatGadget gadget;
+  ComputationBuilder builder(2 * m);
+  // Per-occurrence true events, in `ordered` literal order.
+  std::vector<std::vector<EventId>> trueEvent(m);
+  for (int j = 0; j < m; ++j) {
+    const ProcessId py = 2 * j;      // hosts y_j (literals l1 [, l3])
+    const ProcessId pz = 2 * j + 1;  // hosts z_j (literal l2)
+    if (ordered[j].size() == 2) {
+      const EventId ty = builder.appendEvent(py);  // true event for l1
+      builder.appendEvent(py);                     // false event
+      const EventId tz = builder.appendEvent(pz);  // true event for l2
+      builder.appendEvent(pz);                     // false event
+      trueEvent[j] = {ty, tz};
+    } else {
+      const EventId t1 = builder.appendEvent(py);  // true event for l1 (+)
+      builder.appendEvent(py);                     // false event
+      const EventId t3 = builder.appendEvent(py);  // true event for l3 (−)
+      const EventId t2 = builder.appendEvent(pz);  // true event for l2
+      builder.appendEvent(pz);                     // false event
+      trueEvent[j] = {t1, t2, t3};
+    }
+  }
+
+  // Conflict arrows: succ(true event of positive occurrence) → true event of
+  // the conflicting negative occurrence.
+  for (int j1 = 0; j1 < m; ++j1) {
+    for (std::size_t i1 = 0; i1 < ordered[j1].size(); ++i1) {
+      const sat::Lit a = ordered[j1][i1];
+      if (!a.positive) continue;
+      for (int j2 = 0; j2 < m; ++j2) {
+        for (std::size_t i2 = 0; i2 < ordered[j2].size(); ++i2) {
+          const sat::Lit b = ordered[j2][i2];
+          if (b.positive || b.var != a.var) continue;
+          const EventId src = trueEvent[j1][i1];
+          builder.addMessage({src.process, src.index + 1}, trueEvent[j2][i2]);
+        }
+      }
+    }
+  }
+
+  gadget.computation =
+      std::make_unique<Computation>(std::move(builder).build());
+  gadget.trace = std::make_unique<VariableTrace>(*gadget.computation);
+
+  // Variable histories: each process's variable is true exactly at the true
+  // events of the literals it hosts.
+  for (int j = 0; j < m; ++j) {
+    const ProcessId py = 2 * j;
+    const ProcessId pz = 2 * j + 1;
+    std::vector<std::int64_t> yHist(gadget.computation->eventCount(py), 0);
+    std::vector<std::int64_t> zHist(gadget.computation->eventCount(pz), 0);
+    for (const EventId& t : trueEvent[j]) {
+      (t.process == py ? yHist : zHist)[t.index] = 1;
+    }
+    gadget.trace->define(py, "y", std::move(yHist));
+    gadget.trace->define(pz, "z", std::move(zHist));
+    gadget.predicate.clauses.push_back(
+        {{py, "y", true}, {pz, "z", true}});
+  }
+  GPD_CHECK(gadget.predicate.isSingular());
+  GPD_CHECK(gadget.predicate.isKCnf(2));
+
+  gadget.occurrenceEvents = std::move(trueEvent);
+  gadget.occurrenceLits = std::move(ordered);
+  return gadget;
+}
+
+sat::Assignment SatGadget::decode(const Cut& cut, int numVars) const {
+  std::vector<int> value(numVars, -1);
+  for (std::size_t j = 0; j < occurrenceEvents.size(); ++j) {
+    for (std::size_t i = 0; i < occurrenceEvents[j].size(); ++i) {
+      if (!cut.passesThrough(occurrenceEvents[j][i])) continue;
+      const sat::Lit lit = occurrenceLits[j][i];
+      const int want = lit.positive ? 1 : 0;
+      GPD_CHECK_MSG(value[lit.var] < 0 || value[lit.var] == want,
+                    "conflicting literals selected — gadget arrows broken");
+      value[lit.var] = want;
+    }
+  }
+  sat::Assignment a(numVars, false);
+  for (int v = 0; v < numVars; ++v) a[v] = value[v] == 1;
+  return a;
+}
+
+std::optional<sat::Assignment> solveSatViaDetection(const sat::Cnf& threeCnf) {
+  const sat::NonMonotoneTransform t = sat::toNonMonotone(threeCnf);
+  const SimplifiedFormula simp = simplifyForGadget(t.formula);
+  if (simp.unsatisfiable) return std::nullopt;
+
+  sat::Assignment full(t.formula.numVars, false);
+  for (int v = 0; v < t.formula.numVars; ++v) {
+    if (simp.forced[v] >= 0) full[v] = simp.forced[v] == 1;
+  }
+
+  if (!simp.formula.clauses.empty()) {
+    const SatGadget gadget = buildSatGadget(simp.formula);
+    const VectorClocks clocks(*gadget.computation);
+    const detect::SingularCnfResult res = detect::detectSingularByChainCover(
+        clocks, *gadget.trace, gadget.predicate);
+    if (!res.found) return std::nullopt;
+    GPD_CHECK(res.cut.has_value());
+    const sat::Assignment decoded = gadget.decode(*res.cut, t.formula.numVars);
+    for (int v = 0; v < t.formula.numVars; ++v) {
+      if (simp.forced[v] < 0) full[v] = decoded[v];
+    }
+  }
+
+  GPD_CHECK_MSG(satisfies(t.formula, full),
+                "detection produced a non-satisfying assignment");
+  sat::Assignment original = projectAssignment(t, full);
+  GPD_CHECK(satisfies(threeCnf, original));
+  return original;
+}
+
+}  // namespace gpd::reduction

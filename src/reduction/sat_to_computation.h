@@ -1,0 +1,68 @@
+// Theorem 1 / Figure 3: the reduction from non-monotone 3-SAT to detection
+// of a singular 2-CNF predicate.
+//
+// For each clause two processes are created hosting boolean variables y, z
+// with predicate clause (y ∨ z); each literal of the formula gets one *true
+// event*, and for every pair of conflicting literal occurrences an arrow
+// (message) runs from the successor of the positive occurrence's true event
+// to the negative occurrence's true event, making exactly the conflicting
+// selections inconsistent. The formula is satisfiable iff some consistent
+// cut satisfies the predicate, and a witness cut decodes into a satisfying
+// assignment.
+//
+// Together with sat/nonmonotone.h (3-CNF → non-monotone 3-CNF) this yields
+// solveSatViaDetection: a complete SAT decision procedure whose engine is
+// the predicate detector — the executable form of the NP-hardness proof.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "computation/computation.h"
+#include "computation/cut.h"
+#include "predicates/cnf.h"
+#include "sat/cnf.h"
+
+namespace gpd::reduction {
+
+// Result of gadget-oriented preprocessing: duplicate literals removed,
+// tautological clauses dropped, unit clauses propagated.
+struct SimplifiedFormula {
+  bool unsatisfiable = false;       // empty clause derived
+  sat::Cnf formula;                 // remaining clauses, each 2–3 literals
+  std::vector<int> forced;          // per original variable: -1 / 0 / 1
+};
+
+// Requires every clause of `cnf` to have at most three literals.
+SimplifiedFormula simplifyForGadget(const sat::Cnf& cnf);
+
+struct SatGadget {
+  // unique_ptrs keep addresses stable: trace and literal bookkeeping refer
+  // into *computation.
+  std::unique_ptr<Computation> computation;
+  std::unique_ptr<VariableTrace> trace;
+  CnfPredicate predicate;  // singular 2-CNF: (y_j ∨ z_j) per clause
+
+  // occurrences[j][i]: the true event of clause j's i-th literal.
+  std::vector<std::vector<EventId>> occurrenceEvents;
+  // literal identity parallel to occurrenceEvents.
+  std::vector<std::vector<sat::Lit>> occurrenceLits;
+
+  // Decodes a witness cut into an assignment of the gadget formula's
+  // variables (unconstrained variables default to false).
+  sat::Assignment decode(const Cut& cut, int numVars) const;
+};
+
+// Requires a simplified non-monotone formula: every clause has 2–3 literals,
+// no duplicate or conflicting literals within a clause, and 3-clauses have
+// at least one positive and one negative literal.
+SatGadget buildSatGadget(const sat::Cnf& formula);
+
+// The full pipeline of Sec. 3.1 run forward: 3-CNF → non-monotone 3-CNF →
+// simplify → gadget → singular-2-CNF detection → assignment. Returns a
+// satisfying assignment of `threeCnf` or nullopt. The result is verified
+// against the formula before being returned.
+std::optional<sat::Assignment> solveSatViaDetection(const sat::Cnf& threeCnf);
+
+}  // namespace gpd::reduction

@@ -1,0 +1,44 @@
+// Theorem 2: the reduction from subset sum to detecting
+// possibly(Σᵢ xᵢ = K) with arbitrary per-event increments.
+//
+// One process per element; each process has a single event that raises its
+// variable from 0 to the element's size. There are no messages, so every
+// subset of events forms a consistent cut, and a cut's sum is exactly the
+// sum of the chosen elements: the instance has a subset summing to K iff
+// possibly(Σ xᵢ = K) holds. This is the executable form of the paper's
+// NP-completeness proof for the arbitrary-Δ case, and bench_sum_nphard uses
+// it to compare the detector-as-subset-sum-solver against the DP solver.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "computation/computation.h"
+#include "computation/cut.h"
+#include "predicates/relational.h"
+
+namespace gpd::reduction {
+
+struct SubsetSumGadget {
+  std::unique_ptr<Computation> computation;
+  std::unique_ptr<VariableTrace> trace;
+  SumPredicate predicate;  // Σ xᵢ = target
+
+  // Decodes a witness cut into element indices (processes whose event is
+  // inside the cut).
+  std::vector<int> decode(const Cut& cut) const;
+};
+
+// Sizes must be positive (Garey–Johnson SP13).
+SubsetSumGadget buildSubsetSumGadget(const std::vector<std::int64_t>& sizes,
+                                     std::int64_t target);
+
+// Decides the subset-sum instance by exhaustive detection on the gadget
+// (exponential, as Theorem 2 demands of any detection-based approach);
+// returns a witness subset. Cross-validated against sat::solveSubsetSum.
+std::optional<std::vector<int>> solveSubsetSumViaDetection(
+    const std::vector<std::int64_t>& sizes, std::int64_t target);
+
+}  // namespace gpd::reduction

@@ -1,0 +1,73 @@
+#include "sat/cnf.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace gpd::sat {
+
+bool satisfies(const Cnf& cnf, const Assignment& a) {
+  GPD_CHECK(static_cast<int>(a.size()) == cnf.numVars);
+  for (const Clause& c : cnf.clauses) {
+    bool sat = false;
+    for (const Lit& l : c) {
+      if (a[l.var] == l.positive) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+Cnf randomKCnf(int numVars, int numClauses, int k, Rng& rng) {
+  GPD_CHECK(k >= 1 && numVars >= k && numClauses >= 0);
+  Cnf cnf;
+  cnf.numVars = numVars;
+  for (int i = 0; i < numClauses; ++i) {
+    Clause c;
+    std::vector<int> vars;
+    while (static_cast<int>(vars.size()) < k) {
+      const int v = static_cast<int>(rng.index(numVars));
+      if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+        vars.push_back(v);
+      }
+    }
+    for (int v : vars) c.push_back({v, rng.chance(0.5)});
+    cnf.addClause(std::move(c));
+  }
+  return cnf;
+}
+
+bool isNonMonotone(const Cnf& cnf) {
+  for (const Clause& c : cnf.clauses) {
+    if (c.size() > 3) return false;
+    if (c.size() == 3) {
+      int pos = 0;
+      int neg = 0;
+      for (const Lit& l : c) (l.positive ? pos : neg)++;
+      if (pos == 0 || neg == 0) return false;
+    }
+  }
+  return true;
+}
+
+std::string toString(const Cnf& cnf) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < cnf.clauses.size(); ++i) {
+    if (i) os << " & ";
+    os << '(';
+    for (std::size_t j = 0; j < cnf.clauses[i].size(); ++j) {
+      if (j) os << " | ";
+      const Lit& l = cnf.clauses[i][j];
+      if (!l.positive) os << '!';
+      os << 'x' << l.var;
+    }
+    os << ')';
+  }
+  return os.str();
+}
+
+}  // namespace gpd::sat

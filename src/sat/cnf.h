@@ -1,0 +1,50 @@
+// Propositional CNF formulas.
+//
+// Substrate for the paper's NP-completeness machinery: Sec. 3.1 reduces
+// non-monotone 3-SAT to singular 2-CNF detection, and the test suite
+// round-trips those reductions against the DPLL solver in sat/dpll.h.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gpd::sat {
+
+struct Lit {
+  int var = 0;           // 0-based variable index
+  bool positive = true;  // true: v, false: ¬v
+
+  Lit negated() const { return {var, !positive}; }
+  friend bool operator==(const Lit&, const Lit&) = default;
+};
+
+using Clause = std::vector<Lit>;
+
+struct Cnf {
+  int numVars = 0;
+  std::vector<Clause> clauses;
+
+  int addVar() { return numVars++; }
+  void addClause(Clause c) { clauses.push_back(std::move(c)); }
+};
+
+using Assignment = std::vector<bool>;  // size == numVars
+
+// True iff the assignment satisfies every clause.
+bool satisfies(const Cnf& cnf, const Assignment& a);
+
+// Uniform random k-CNF: each clause has k distinct variables with random
+// polarities. Requires numVars >= k.
+Cnf randomKCnf(int numVars, int numClauses, int k, Rng& rng);
+
+// A clause is non-monotone-admissible iff it has at most three literals and,
+// when it has exactly three, contains at least one positive and one negative
+// literal (paper Sec. 3.1).
+bool isNonMonotone(const Cnf& cnf);
+
+// Human-readable rendering, e.g. "(x0 | !x2) & (x1)".
+std::string toString(const Cnf& cnf);
+
+}  // namespace gpd::sat

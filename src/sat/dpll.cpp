@@ -1,0 +1,152 @@
+#include "sat/dpll.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace gpd::sat {
+
+namespace {
+
+constexpr signed char kUnset = -1;
+
+struct Solver {
+  const Cnf& cnf;
+  DpllStats stats;
+  std::vector<signed char> value;  // per var: kUnset / 0 / 1
+
+  explicit Solver(const Cnf& f) : cnf(f), value(f.numVars, kUnset) {}
+
+  // Clause status under the current partial assignment.
+  enum class ClauseState { Satisfied, Conflict, Unit, Open };
+
+  ClauseState classify(const Clause& c, Lit* unit) const {
+    int unassigned = 0;
+    for (const Lit& l : c) {
+      const signed char v = value[l.var];
+      if (v == kUnset) {
+        ++unassigned;
+        if (unassigned == 1 && unit) *unit = l;
+      } else if ((v == 1) == l.positive) {
+        return ClauseState::Satisfied;
+      }
+    }
+    if (unassigned == 0) return ClauseState::Conflict;
+    if (unassigned == 1) return ClauseState::Unit;
+    return ClauseState::Open;
+  }
+
+  // Repeatedly applies unit clauses; records assignments in `trail`.
+  // Returns false on conflict.
+  bool propagate(std::vector<int>& trail) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Clause& c : cnf.clauses) {
+        Lit unit;
+        switch (classify(c, &unit)) {
+          case ClauseState::Conflict:
+            return false;
+          case ClauseState::Unit:
+            value[unit.var] = unit.positive ? 1 : 0;
+            trail.push_back(unit.var);
+            ++stats.propagations;
+            changed = true;
+            break;
+          default:
+            break;
+        }
+      }
+    }
+    return true;
+  }
+
+  // Assigns every pure literal (appearing with a single polarity among
+  // not-yet-satisfied clauses).
+  void assignPureLiterals(std::vector<int>& trail) {
+    std::vector<signed char> seen(cnf.numVars, 0);  // bit 1: pos, bit 2: neg
+    for (const Clause& c : cnf.clauses) {
+      if (classify(c, nullptr) == ClauseState::Satisfied) continue;
+      for (const Lit& l : c) {
+        if (value[l.var] == kUnset) {
+          seen[l.var] |= l.positive ? 1 : 2;
+        }
+      }
+    }
+    for (int v = 0; v < cnf.numVars; ++v) {
+      if (value[v] == kUnset && (seen[v] == 1 || seen[v] == 2)) {
+        value[v] = (seen[v] == 1) ? 1 : 0;
+        trail.push_back(v);
+      }
+    }
+  }
+
+  // Unassigned variable occurring in the most unsatisfied clauses; -1 if all
+  // clauses are satisfied or no variable is free.
+  int pickBranchVar() const {
+    std::vector<int> score(cnf.numVars, 0);
+    bool anyOpen = false;
+    for (const Clause& c : cnf.clauses) {
+      if (classify(c, nullptr) == ClauseState::Satisfied) continue;
+      anyOpen = true;
+      for (const Lit& l : c) {
+        if (value[l.var] == kUnset) ++score[l.var];
+      }
+    }
+    if (!anyOpen) return -1;
+    int best = -1;
+    for (int v = 0; v < cnf.numVars; ++v) {
+      if (value[v] == kUnset && score[v] > 0 &&
+          (best < 0 || score[v] > score[best])) {
+        best = v;
+      }
+    }
+    return best;
+  }
+
+  bool solve() {
+    std::vector<int> trail;
+    if (!propagate(trail)) {
+      undo(trail);
+      return false;
+    }
+    assignPureLiterals(trail);
+    const int branch = pickBranchVar();
+    if (branch < 0) {
+      // No open clause; check no conflict slipped through (it cannot, since
+      // propagate succeeded and pure literals never falsify a clause).
+      return true;
+    }
+    ++stats.decisions;
+    for (const signed char tryValue : {1, 0}) {
+      value[branch] = tryValue;
+      if (solve()) return true;
+      value[branch] = kUnset;
+    }
+    undo(trail);
+    return false;
+  }
+
+  void undo(const std::vector<int>& trail) {
+    for (int v : trail) value[v] = kUnset;
+  }
+};
+
+}  // namespace
+
+std::optional<Assignment> solveDpll(const Cnf& cnf, DpllStats* stats) {
+  GPD_CHECK(cnf.numVars >= 0);
+  for (const Clause& c : cnf.clauses) {
+    for (const Lit& l : c) GPD_CHECK(l.var >= 0 && l.var < cnf.numVars);
+  }
+  Solver solver(cnf);
+  const bool sat = solver.solve();
+  if (stats) *stats = solver.stats;
+  if (!sat) return std::nullopt;
+  Assignment a(cnf.numVars, false);
+  for (int v = 0; v < cnf.numVars; ++v) a[v] = solver.value[v] == 1;
+  GPD_CHECK(satisfies(cnf, a));
+  return a;
+}
+
+}  // namespace gpd::sat

@@ -1,0 +1,25 @@
+// DPLL satisfiability solver.
+//
+// Complete solver with unit propagation, pure-literal elimination and a
+// most-occurrences branching heuristic. It is the independent oracle against
+// which the Theorem 1 reduction (SAT → predicate detection) is validated,
+// and is itself usable to *solve* detection instances through the reverse
+// reduction demonstrated in examples/sat_via_detection.cpp.
+#pragma once
+
+#include <optional>
+
+#include "sat/cnf.h"
+
+namespace gpd::sat {
+
+struct DpllStats {
+  long long decisions = 0;
+  long long propagations = 0;
+};
+
+// Returns a satisfying assignment, or nullopt if the formula is
+// unsatisfiable. Deterministic.
+std::optional<Assignment> solveDpll(const Cnf& cnf, DpllStats* stats = nullptr);
+
+}  // namespace gpd::sat

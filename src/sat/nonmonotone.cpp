@@ -1,0 +1,43 @@
+#include "sat/nonmonotone.h"
+
+#include "util/check.h"
+
+namespace gpd::sat {
+
+NonMonotoneTransform toNonMonotone(const Cnf& cnf) {
+  NonMonotoneTransform t;
+  t.originalVars = cnf.numVars;
+  t.formula.numVars = cnf.numVars;
+  for (const Clause& c : cnf.clauses) {
+    GPD_CHECK_MSG(c.size() <= 3, "clause has more than three literals");
+    if (c.size() < 3) {
+      t.formula.addClause(c);
+      continue;
+    }
+    int pos = 0;
+    int neg = 0;
+    for (const Lit& l : c) (l.positive ? pos : neg)++;
+    if (pos > 0 && neg > 0) {
+      t.formula.addClause(c);
+      continue;
+    }
+    // Monotone 3-clause: replace the last literal L by an equivalent literal
+    // R over a fresh variable y, chosen with the *opposite* polarity symbol
+    // so the rewritten 3-clause mixes polarities. R ≡ L is enforced by the
+    // two binary clauses (¬R ∨ L) ∧ (R ∨ ¬L), which are polarity-mixed too.
+    const int y = t.formula.addVar();
+    const Lit replacement{y, !c[2].positive};
+    t.formula.addClause({c[0], c[1], replacement});
+    t.formula.addClause({replacement.negated(), c[2]});
+    t.formula.addClause({replacement, c[2].negated()});
+  }
+  GPD_CHECK(isNonMonotone(t.formula));
+  return t;
+}
+
+Assignment projectAssignment(const NonMonotoneTransform& t, const Assignment& a) {
+  GPD_CHECK(static_cast<int>(a.size()) == t.formula.numVars);
+  return Assignment(a.begin(), a.begin() + t.originalVars);
+}
+
+}  // namespace gpd::sat

@@ -1,0 +1,26 @@
+// 3-CNF → non-monotone 3-CNF transformation (paper Sec. 3.1).
+//
+// The Theorem 1 reduction needs every 3-literal clause to contain at least
+// one positive and one negative literal. An all-positive clause (a ∨ b ∨ c)
+// is replaced, with a fresh variable y ≡ ¬c, by
+//   (a ∨ b ∨ ¬y) ∧ (y ∨ c) ∧ (¬y ∨ ¬c),
+// and symmetrically for all-negative clauses. The transform is
+// equisatisfiable and satisfying assignments project back.
+#pragma once
+
+#include "sat/cnf.h"
+
+namespace gpd::sat {
+
+struct NonMonotoneTransform {
+  Cnf formula;       // non-monotone; first `originalVars` variables coincide
+  int originalVars;  // number of variables in the input formula
+};
+
+// Requires every clause of `cnf` to have at most three literals.
+NonMonotoneTransform toNonMonotone(const Cnf& cnf);
+
+// Projects an assignment of the transformed formula to the original one.
+Assignment projectAssignment(const NonMonotoneTransform& t, const Assignment& a);
+
+}  // namespace gpd::sat

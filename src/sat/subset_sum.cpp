@@ -1,0 +1,52 @@
+#include "sat/subset_sum.h"
+
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace gpd::sat {
+
+std::optional<std::vector<int>> solveSubsetSum(
+    const std::vector<std::int64_t>& sizes, std::int64_t target) {
+  for (std::int64_t s : sizes) GPD_CHECK_MSG(s > 0, "sizes must be positive");
+  if (target < 0) return std::nullopt;
+
+  // reachable[sum] = index of the last element used to first reach `sum`.
+  std::unordered_map<std::int64_t, int> reachable;
+  reachable.reserve(1024);
+  reachable[0] = -1;
+  for (int i = 0; i < static_cast<int>(sizes.size()); ++i) {
+    // Snapshot keys first: extending while iterating would allow reusing
+    // element i more than once.
+    std::vector<std::int64_t> sums;
+    sums.reserve(reachable.size());
+    for (const auto& [sum, _] : reachable) sums.push_back(sum);
+    for (std::int64_t sum : sums) {
+      const std::int64_t next = sum + sizes[i];
+      if (next > target) continue;
+      reachable.try_emplace(next, i);
+    }
+    if (reachable.count(target)) break;
+  }
+
+  const auto hit = reachable.find(target);
+  if (hit == reachable.end()) return std::nullopt;
+
+  // Reconstruct: walk back through "first reached via element i" markers.
+  // Because try_emplace never overwrites, sum − sizes[i] was reachable using
+  // only elements with smaller index, so the walk terminates at 0.
+  std::vector<int> witness;
+  std::int64_t sum = target;
+  while (sum != 0) {
+    const int i = reachable.at(sum);
+    GPD_CHECK(i >= 0);
+    witness.push_back(i);
+    sum -= sizes[i];
+  }
+  std::int64_t total = 0;
+  for (int i : witness) total += sizes[i];
+  GPD_CHECK(total == target);
+  return witness;
+}
+
+}  // namespace gpd::sat

@@ -1,0 +1,20 @@
+// Subset-sum decision with witness (Garey–Johnson problem SP13).
+//
+// Theorem 2 of the paper reduces subset sum to detecting possibly(Σxᵢ = K)
+// with arbitrary per-event increments; this exact solver is the independent
+// oracle for that reduction and the comparison baseline in bench_sum_nphard.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace gpd::sat {
+
+// Returns indices of a subset of `sizes` summing exactly to `target`, or
+// nullopt if none exists. Sizes must be positive. Pseudo-polynomial
+// O(n · #reachable sums) dynamic program over reachable sums ≤ target.
+std::optional<std::vector<int>> solveSubsetSum(
+    const std::vector<std::int64_t>& sizes, std::int64_t target);
+
+}  // namespace gpd::sat

@@ -1,0 +1,54 @@
+// Lightweight runtime-assertion helpers used across the library.
+//
+// GPD_CHECK is always on (library invariants and precondition violations are
+// programming errors; we fail fast with a location-tagged exception rather
+// than corrupting a detection result). GPD_DCHECK compiles out in NDEBUG
+// builds and guards hot-path-only checks.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gpd {
+
+// Thrown when a GPD_CHECK fails; carries "file:line: message".
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace internal {
+[[noreturn]] inline void checkFail(const char* file, int line,
+                                   const char* expr, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace internal
+
+}  // namespace gpd
+
+#define GPD_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::gpd::internal::checkFail(__FILE__, __LINE__, #expr, "");     \
+  } while (0)
+
+#define GPD_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream os_;                                        \
+      os_ << msg;                                                    \
+      ::gpd::internal::checkFail(__FILE__, __LINE__, #expr, os_.str()); \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define GPD_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define GPD_DCHECK(expr) GPD_CHECK(expr)
+#endif

@@ -1,0 +1,97 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components of the library (workload generators, random
+// computations, property tests, benchmarks) take an explicit Rng so that
+// every experiment is reproducible from a seed. The generator is
+// xoshiro256**, seeded through splitmix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace gpd {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  // Raw 64 random bits (xoshiro256**).
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    GPD_CHECK(lo <= hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(next());  // full range
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span);
+    std::uint64_t r;
+    do {
+      r = next();
+    } while (r >= limit);
+    return lo + static_cast<std::int64_t>(r % span);
+  }
+
+  // Uniform index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n) {
+    GPD_CHECK(n > 0);
+    return static_cast<std::size_t>(uniform(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  // Uniform double in [0, 1).
+  double real() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  // True with probability p (clamped to [0,1]).
+  bool chance(double p) { return real() < p; }
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  // Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    GPD_CHECK(!v.empty());
+    return v[index(v.size())];
+  }
+
+  // Derive an independent child generator (for parallel or per-case seeding).
+  Rng fork() { return Rng(next() ^ 0xd1342543de82ef95ULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace gpd

@@ -1,0 +1,26 @@
+// Monotonic wall-clock stopwatch for benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace gpd {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsedMillis() const { return elapsedSeconds() * 1e3; }
+  double elapsedMicros() const { return elapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gpd

@@ -1,0 +1,55 @@
+// Aligned-column table printer used by the benchmark harnesses to emit the
+// rows each experiment reports (EXPERIMENTS.md quotes these tables).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gpd {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Each cell is pre-formatted text; row length must match the header.
+  void addRow(std::vector<std::string> row);
+
+  // Convenience: formats arithmetic values with operator<<.
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    addRow({format(cells)...});
+  }
+
+  // Pretty-prints with aligned columns.
+  void print(std::ostream& os) const;
+
+  // Machine-readable CSV (no alignment padding).
+  void printCsv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  template <typename T>
+  static std::string format(const T& v);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gpd
+
+#include <sstream>
+
+namespace gpd {
+template <typename T>
+std::string Table::format(const T& v) {
+  if constexpr (std::is_convertible_v<T, std::string>) {
+    return std::string(v);
+  } else {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+}
+}  // namespace gpd

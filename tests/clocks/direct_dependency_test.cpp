@@ -1,0 +1,81 @@
+#include "clocks/direct_dependency.h"
+
+#include <gtest/gtest.h>
+
+#include "clocks/vector_clock.h"
+#include "computation/random.h"
+
+namespace gpd {
+namespace {
+
+TEST(DirectDependencyTest, RecordsOnlyDirectMessageEdges) {
+  // p0 → p1 → p2: p2's receive depends directly on p1 only.
+  ComputationBuilder b(3);
+  const EventId a = b.appendEvent(0);
+  const EventId m = b.appendEvent(1);
+  const EventId r = b.appendEvent(2);
+  b.addMessage(a, m);
+  b.addMessage(m, r);
+  const Computation c = std::move(b).build();
+  const DirectDependencyClocks dd(c);
+  EXPECT_EQ(dd.direct(r, 1), 1);   // direct: from p1's event 1
+  EXPECT_EQ(dd.direct(r, 0), -1);  // transitive only — not recorded
+  EXPECT_EQ(dd.direct(r, 2), 1);   // own component
+  // Reconstruction recovers the transitive dependency.
+  const auto clock = dd.reconstructClock(r);
+  EXPECT_EQ(clock[0], 1);
+  EXPECT_EQ(clock[1], 1);
+  EXPECT_EQ(clock[2], 1);
+}
+
+TEST(DirectDependencyTest, InitialEventsHaveOnlyOwnComponent) {
+  ComputationBuilder b(2);
+  const Computation c = std::move(b).build();
+  const DirectDependencyClocks dd(c);
+  EXPECT_EQ(dd.direct({0, 0}, 0), 0);
+  EXPECT_EQ(dd.direct({0, 0}, 1), -1);
+  EXPECT_EQ(dd.reconstructClock({0, 0}), (std::vector<int>{0, 0}));
+}
+
+// The classical equivalence: transitive closure of direct dependencies
+// equals the Fidge–Mattern vector clock, for every event of many random
+// computations.
+TEST(DirectDependencyTest, ReconstructionEqualsVectorClocks) {
+  Rng rng(424242);
+  for (int trial = 0; trial < 40; ++trial) {
+    RandomComputationOptions opt;
+    opt.processes = 2 + static_cast<int>(rng.index(5));
+    opt.eventsPerProcess = 1 + static_cast<int>(rng.index(10));
+    opt.messageProbability = rng.real();
+    const Computation c = randomComputation(opt, rng);
+    const VectorClocks vc(c);
+    const DirectDependencyClocks dd(c);
+    for (ProcessId p = 0; p < c.processCount(); ++p) {
+      for (int i = 0; i < c.eventCount(p); ++i) {
+        const EventId e{p, i};
+        ASSERT_EQ(dd.reconstructClock(e), vc.clockVector(e))
+            << "trial " << trial << " event (" << p << "," << i << ")";
+      }
+    }
+  }
+}
+
+TEST(DirectDependencyTest, DirectRowIsAlwaysBelowFullClock) {
+  Rng rng(515151);
+  RandomComputationOptions opt;
+  opt.processes = 4;
+  opt.eventsPerProcess = 8;
+  opt.messageProbability = 0.6;
+  const Computation c = randomComputation(opt, rng);
+  const VectorClocks vc(c);
+  const DirectDependencyClocks dd(c);
+  for (int node = 0; node < c.totalEvents(); ++node) {
+    const EventId e = c.event(node);
+    for (ProcessId q = 0; q < 4; ++q) {
+      EXPECT_LE(dd.direct(e, q), vc.clock(e, q));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpd

@@ -1,0 +1,69 @@
+#include "clocks/lamport.h"
+
+#include <gtest/gtest.h>
+
+#include "clocks/vector_clock.h"
+#include "computation/random.h"
+
+namespace gpd {
+namespace {
+
+TEST(LamportTest, InitialEventsAreZero) {
+  ComputationBuilder b(3);
+  b.appendEvent(0);
+  const Computation c = std::move(b).build();
+  const auto clock = lamportClocks(c);
+  for (ProcessId p = 0; p < 3; ++p) EXPECT_EQ(clock[c.node({p, 0})], 0);
+  EXPECT_EQ(clock[c.node({0, 1})], 1);
+}
+
+TEST(LamportTest, MessageRaisesReceiverClock) {
+  ComputationBuilder b(2);
+  EventId s{};
+  for (int i = 0; i < 5; ++i) s = b.appendEvent(0);
+  const EventId r = b.appendEvent(1);
+  b.addMessage(s, r);
+  const Computation c = std::move(b).build();
+  const auto clock = lamportClocks(c);
+  EXPECT_EQ(clock[c.node(s)], 5);
+  EXPECT_EQ(clock[c.node(r)], 6);
+}
+
+TEST(LamportTest, ClockConsistentWithCausalOrder) {
+  Rng rng(7);
+  for (int trial = 0; trial < 25; ++trial) {
+    RandomComputationOptions opt;
+    opt.processes = 4;
+    opt.eventsPerProcess = 6;
+    opt.messageProbability = 0.5;
+    const Computation c = randomComputation(opt, rng);
+    const auto clock = lamportClocks(c);
+    const VectorClocks vc(c);
+    for (int u = 0; u < c.totalEvents(); ++u) {
+      for (int v = 0; v < c.totalEvents(); ++v) {
+        const EventId e = c.event(u);
+        const EventId f = c.event(v);
+        if (vc.precedes(e, f) && !e.isInitial()) {
+          EXPECT_LT(clock[u], clock[v]);
+        }
+      }
+    }
+  }
+}
+
+TEST(LamportTest, CannotDecideConcurrency) {
+  // Two concurrent events can carry ordered Lamport clocks — the classical
+  // weakness that motivates vector clocks.
+  ComputationBuilder b(2);
+  b.appendEvent(0);
+  b.appendEvent(0);
+  b.appendEvent(1);
+  const Computation c = std::move(b).build();
+  const auto clock = lamportClocks(c);
+  const VectorClocks vc(c);
+  EXPECT_TRUE(vc.concurrent({0, 2}, {1, 1}));
+  EXPECT_NE(clock[c.node({0, 2})], clock[c.node({1, 1})]);
+}
+
+}  // namespace
+}  // namespace gpd

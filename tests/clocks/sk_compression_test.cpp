@@ -1,0 +1,112 @@
+#include "clocks/sk_compression.h"
+
+#include <gtest/gtest.h>
+
+#include "computation/random.h"
+#include "sim/workloads.h"
+
+namespace gpd {
+namespace {
+
+TEST(SkCompressionTest, NoMessagesNoTraffic) {
+  ComputationBuilder b(3);
+  b.appendEvent(0);
+  const Computation c = std::move(b).build();
+  const VectorClocks vc(c);
+  const SkCompressionStats stats = replaySkCompression(vc);
+  EXPECT_EQ(stats.messages, 0u);
+  EXPECT_TRUE(stats.exact);
+  EXPECT_EQ(stats.savings(), 0.0);
+}
+
+// The classical guarantee: FIFO channels ⟹ exact reconstruction. Checked
+// over random computations and both FIFO workloads.
+TEST(SkCompressionTest, FifoChannelsImplyExactReconstruction) {
+  Rng rng(77);
+  int fifoCount = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    RandomComputationOptions opt;
+    opt.processes = 3 + static_cast<int>(rng.index(3));
+    opt.eventsPerProcess = 3 + static_cast<int>(rng.index(6));
+    opt.messageProbability = 0.6;
+    const Computation c = randomComputation(opt, rng);
+    const VectorClocks vc(c);
+    const SkCompressionStats stats = replaySkCompression(vc);
+    if (isChannelFifo(c)) {
+      ++fifoCount;
+      EXPECT_TRUE(stats.exact) << "trial " << trial;
+    }
+  }
+  EXPECT_GT(fifoCount, 5);
+
+  sim::SnapshotBankOptions opt;
+  opt.processes = 5;
+  opt.seed = 2;
+  const sim::SimResult run = sim::snapshotBank(opt);  // FIFO channels
+  ASSERT_TRUE(isChannelFifo(*run.computation));
+  EXPECT_TRUE(replaySkCompression(VectorClocks(*run.computation)).exact);
+}
+
+TEST(SkCompressionTest, StaleComponentCrossingBreaksExactness) {
+  // p2 informs p0 of its progress; p0's next two sends to p1 cross in the
+  // channel. The second send ships no delta for p2's component, so the
+  // receiver, seeing it first, reconstructs a stale value.
+  ComputationBuilder b(3);
+  const EventId w = b.appendEvent(2);
+  const EventId u = b.appendEvent(0);  // receives from p2
+  const EventId s1 = b.appendEvent(0);
+  const EventId s2 = b.appendEvent(0);
+  const EventId r1 = b.appendEvent(1);  // receives s2 first
+  const EventId r2 = b.appendEvent(1);  // then s1
+  b.addMessage(w, u);
+  b.addMessage(s2, r1);
+  b.addMessage(s1, r2);
+  const Computation c = std::move(b).build();
+  ASSERT_FALSE(isChannelFifo(c));
+  const VectorClocks vc(c);
+  EXPECT_FALSE(replaySkCompression(vc).exact);
+}
+
+TEST(SkCompressionTest, SavingsDependOnCommunicationLocality) {
+  // Producer–consumer: producers never receive, so successive sends differ
+  // only in the sender's own component — SK ships almost nothing.
+  sim::ProducerConsumerOptions pc;
+  pc.producers = 3;
+  pc.consumers = 5;
+  pc.itemsPerProducer = 6;
+  pc.seed = 4;
+  const sim::SimResult local = sim::producerConsumer(pc);
+  const SkCompressionStats localStats =
+      replaySkCompression(VectorClocks(*local.computation));
+  EXPECT_GT(localStats.savings(), 0.6);
+
+  // A token ring is SK's worst case: between two uses of a channel the token
+  // visited everyone, so almost every component is fresh again.
+  sim::TokenRingOptions ring;
+  ring.processes = 8;
+  ring.rounds = 2;
+  ring.seed = 9;
+  const sim::SimResult global = sim::tokenRing(ring);
+  const SkCompressionStats ringStats =
+      replaySkCompression(VectorClocks(*global.computation));
+  EXPECT_LT(ringStats.savings(), localStats.savings());
+}
+
+TEST(SkCompressionTest, FirstMessageShipsOnlyNonZeroComponents) {
+  // One message early in the run: the delta against the all-zero ledger is
+  // just the components the sender has actually advanced.
+  ComputationBuilder b(6);
+  const EventId s = b.appendEvent(0);
+  const EventId r = b.appendEvent(1);
+  b.addMessage(s, r);
+  const Computation c = std::move(b).build();
+  const VectorClocks vc(c);
+  const SkCompressionStats stats = replaySkCompression(vc);
+  EXPECT_TRUE(stats.exact);
+  EXPECT_EQ(stats.messages, 1u);
+  EXPECT_EQ(stats.fullComponents, 6u);
+  EXPECT_EQ(stats.sentComponents, 1u);  // only the sender's own component
+}
+
+}  // namespace
+}  // namespace gpd

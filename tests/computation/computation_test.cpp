@@ -1,0 +1,118 @@
+#include "computation/computation.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace gpd {
+namespace {
+
+// p0: ⊥ e1 e2 ; p1: ⊥ f1 ; message e1 -> f1.
+Computation tinyComputation() {
+  ComputationBuilder b(2);
+  const EventId e1 = b.appendEvent(0);
+  b.appendEvent(0);
+  const EventId f1 = b.appendEvent(1);
+  b.addMessage(e1, f1);
+  return std::move(b).build();
+}
+
+TEST(ComputationTest, CountsIncludeInitialEvents) {
+  const Computation c = tinyComputation();
+  EXPECT_EQ(c.processCount(), 2);
+  EXPECT_EQ(c.eventCount(0), 3);
+  EXPECT_EQ(c.eventCount(1), 2);
+  EXPECT_EQ(c.totalEvents(), 5);
+}
+
+TEST(ComputationTest, NodeNumberingRoundTrips) {
+  const Computation c = tinyComputation();
+  for (ProcessId p = 0; p < c.processCount(); ++p) {
+    for (int i = 0; i < c.eventCount(p); ++i) {
+      const EventId e{p, i};
+      EXPECT_EQ(c.event(c.node(e)), e);
+    }
+  }
+}
+
+TEST(ComputationTest, KindsDerivedFromMessages) {
+  const Computation c = tinyComputation();
+  EXPECT_EQ(c.kind({0, 0}), EventKind::Initial);
+  EXPECT_EQ(c.kind({0, 1}), EventKind::Send);
+  EXPECT_EQ(c.kind({0, 2}), EventKind::Internal);
+  EXPECT_EQ(c.kind({1, 1}), EventKind::Receive);
+}
+
+TEST(ComputationTest, SendReceiveEventAllowed) {
+  // p1's event both receives from p0 and sends to p2.
+  ComputationBuilder b(3);
+  const EventId s = b.appendEvent(0);
+  const EventId mid = b.appendEvent(1);
+  const EventId r = b.appendEvent(2);
+  b.addMessage(s, mid);
+  b.addMessage(mid, r);
+  const Computation c = std::move(b).build();
+  EXPECT_EQ(c.kind(mid), EventKind::SendReceive);
+}
+
+TEST(ComputationTest, MessageEndpointsRecorded) {
+  const Computation c = tinyComputation();
+  ASSERT_EQ(c.messages().size(), 1u);
+  EXPECT_EQ(c.messages()[0].send, (EventId{0, 1}));
+  EXPECT_EQ(c.messages()[0].receive, (EventId{1, 1}));
+  EXPECT_EQ(c.outgoingMessages({0, 1}).size(), 1u);
+  EXPECT_EQ(c.incomingMessages({1, 1}).size(), 1u);
+}
+
+TEST(ComputationTest, DagHasProcessAndMessageEdges) {
+  const Computation c = tinyComputation();
+  const graph::Dag g = c.toDagWithoutInitialEdges();
+  // 3 process edges (p0: 2, p1: 1) + 1 message edge.
+  EXPECT_EQ(g.edgeCount(), 4);
+  EXPECT_TRUE(g.isAcyclic());
+}
+
+TEST(ComputationTest, FullDagAddsInitialPrecedence) {
+  const Computation c = tinyComputation();
+  const graph::Dag g = c.toDag();
+  // + ⊥0→f1 and ⊥1→e1.
+  EXPECT_EQ(g.edgeCount(), 6);
+  const graph::Reachability reach(g);
+  EXPECT_TRUE(reach.reaches(c.node({0, 0}), c.node({1, 1})));
+  EXPECT_TRUE(reach.reaches(c.node({1, 0}), c.node({0, 1})));
+  EXPECT_FALSE(reach.reaches(c.node({1, 0}), c.node({0, 0})));
+}
+
+TEST(ComputationBuilderTest, RejectsCausalCycle) {
+  ComputationBuilder b(2);
+  const EventId a1 = b.appendEvent(0);
+  const EventId a2 = b.appendEvent(0);
+  const EventId b1 = b.appendEvent(1);
+  const EventId b2 = b.appendEvent(1);
+  b.addMessage(a2, b1);  // a2 -> b1
+  b.addMessage(b2, a1);  // b2 -> a1: cycle a1 < a2 < b1 < b2 < a1
+  EXPECT_THROW(std::move(b).build(), CheckFailure);
+}
+
+TEST(ComputationBuilderTest, RejectsInitialEventMessages) {
+  ComputationBuilder b(2);
+  b.appendEvent(0);
+  EXPECT_THROW(b.addMessage({0, 0}, {1, 1}), CheckFailure);
+}
+
+TEST(ComputationBuilderTest, RejectsIntraProcessMessage) {
+  ComputationBuilder b(2);
+  const EventId a1 = b.appendEvent(0);
+  const EventId a2 = b.appendEvent(0);
+  EXPECT_THROW(b.addMessage(a1, a2), CheckFailure);
+}
+
+TEST(ComputationBuilderTest, MinimalComputationIsJustInitials) {
+  ComputationBuilder b(3);
+  const Computation c = std::move(b).build();
+  EXPECT_EQ(c.totalEvents(), 3);
+  for (ProcessId p = 0; p < 3; ++p) EXPECT_EQ(c.kind({p, 0}), EventKind::Initial);
+}
+
+}  // namespace
+}  // namespace gpd

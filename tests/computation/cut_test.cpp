@@ -1,0 +1,67 @@
+#include "computation/cut.h"
+
+#include <gtest/gtest.h>
+#include <unordered_set>
+
+namespace gpd {
+namespace {
+
+Computation twoByTwo() {
+  ComputationBuilder b(2);
+  b.appendEvent(0);
+  b.appendEvent(0);
+  b.appendEvent(1);
+  b.appendEvent(1);
+  return std::move(b).build();
+}
+
+TEST(CutTest, InitialAndFinal) {
+  const Computation c = twoByTwo();
+  EXPECT_EQ(initialCut(c).last, (std::vector<int>{0, 0}));
+  EXPECT_EQ(finalCut(c).last, (std::vector<int>{2, 2}));
+  EXPECT_EQ(initialCut(c).level(), 0);
+  EXPECT_EQ(finalCut(c).level(), 4);
+}
+
+TEST(CutTest, PassesThroughAndContains) {
+  const Cut cut(std::vector<int>{1, 2});
+  EXPECT_TRUE(cut.passesThrough({0, 1}));
+  EXPECT_FALSE(cut.passesThrough({0, 0}));
+  EXPECT_TRUE(cut.contains({0, 0}));
+  EXPECT_TRUE(cut.contains({0, 1}));
+  EXPECT_FALSE(cut.contains({0, 2}));
+}
+
+TEST(CutTest, MeetAndJoinAreComponentwise) {
+  const Cut a(std::vector<int>{1, 3});
+  const Cut b(std::vector<int>{2, 0});
+  EXPECT_EQ(meet(a, b).last, (std::vector<int>{1, 0}));
+  EXPECT_EQ(join(a, b).last, (std::vector<int>{2, 3}));
+}
+
+TEST(CutTest, SubsetOrder) {
+  const Cut a(std::vector<int>{1, 1});
+  const Cut b(std::vector<int>{2, 1});
+  EXPECT_TRUE(a.subsetOf(b));
+  EXPECT_FALSE(b.subsetOf(a));
+  EXPECT_TRUE(a.subsetOf(a));
+  EXPECT_TRUE(meet(a, b).subsetOf(a));
+  EXPECT_TRUE(a.subsetOf(join(a, b)));
+}
+
+TEST(CutTest, HashSeparatesDistinctCuts) {
+  std::unordered_set<Cut> set;
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      set.insert(Cut(std::vector<int>{i, j}));
+    }
+  }
+  EXPECT_EQ(set.size(), 25u);
+}
+
+TEST(CutTest, ToStringReadable) {
+  EXPECT_EQ(Cut(std::vector<int>{0, 3, 1}).toString(), "[0 3 1]");
+}
+
+}  // namespace
+}  // namespace gpd

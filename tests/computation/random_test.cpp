@@ -1,0 +1,80 @@
+#include "computation/random.h"
+
+#include <gtest/gtest.h>
+
+namespace gpd {
+namespace {
+
+TEST(RandomComputationTest, RespectsShapeParameters) {
+  Rng rng(1);
+  RandomComputationOptions opt;
+  opt.processes = 5;
+  opt.eventsPerProcess = 7;
+  const Computation c = randomComputation(opt, rng);
+  EXPECT_EQ(c.processCount(), 5);
+  for (ProcessId p = 0; p < 5; ++p) EXPECT_EQ(c.eventCount(p), 8);
+}
+
+TEST(RandomComputationTest, AlwaysAcyclic) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    RandomComputationOptions opt;
+    opt.processes = 2 + static_cast<int>(rng.index(5));
+    opt.eventsPerProcess = static_cast<int>(rng.index(10));
+    opt.messageProbability = rng.real();
+    const Computation c = randomComputation(opt, rng);  // build() checks
+    EXPECT_TRUE(c.toDagWithoutInitialEdges().isAcyclic());
+  }
+}
+
+TEST(RandomComputationTest, DenseMessagesStillValid) {
+  Rng rng(3);
+  RandomComputationOptions opt;
+  opt.processes = 4;
+  opt.eventsPerProcess = 12;
+  opt.messageProbability = 1.0;
+  const Computation c = randomComputation(opt, rng);
+  EXPECT_GT(c.messages().size(), 0u);
+  for (const Message& m : c.messages()) {
+    EXPECT_GE(m.send.index, 1);
+    EXPECT_GE(m.receive.index, 1);
+    EXPECT_NE(m.send.process, m.receive.process);
+  }
+}
+
+TEST(RandomComputationTest, RestrictiveModelSeparatesSendReceive) {
+  Rng rng(4);
+  RandomComputationOptions opt;
+  opt.processes = 4;
+  opt.eventsPerProcess = 15;
+  opt.messageProbability = 0.9;
+  opt.allowSendReceive = false;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Computation c = randomComputation(opt, rng);
+    for (ProcessId p = 0; p < c.processCount(); ++p) {
+      for (int i = 1; i < c.eventCount(p); ++i) {
+        EXPECT_NE(c.kind({p, i}), EventKind::SendReceive);
+      }
+    }
+  }
+}
+
+TEST(RandomComputationTest, ZeroProbabilityMeansNoMessages) {
+  Rng rng(5);
+  RandomComputationOptions opt;
+  opt.messageProbability = 0.0;
+  const Computation c = randomComputation(opt, rng);
+  EXPECT_TRUE(c.messages().empty());
+}
+
+TEST(RandomComputationTest, DeterministicGivenSeed) {
+  RandomComputationOptions opt;
+  Rng a(99);
+  Rng b(99);
+  const Computation c1 = randomComputation(opt, a);
+  const Computation c2 = randomComputation(opt, b);
+  EXPECT_EQ(c1.messages(), c2.messages());
+}
+
+}  // namespace
+}  // namespace gpd

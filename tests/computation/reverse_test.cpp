@@ -1,0 +1,111 @@
+#include "computation/reverse.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "clocks/vector_clock.h"
+#include "computation/random.h"
+
+namespace gpd {
+namespace {
+
+TEST(ReverseTest, EventMappingSelfInverse) {
+  ComputationBuilder b(1);
+  for (int i = 0; i < 4; ++i) b.appendEvent(0);
+  const Computation c = std::move(b).build();  // events 0..4
+  for (int i = 1; i <= 4; ++i) {
+    const EventId e{0, i};
+    const EventId r = reverseEvent(c, e);
+    EXPECT_EQ(r.index, 5 - i);
+    EXPECT_EQ(reverseEvent(c, r), e);
+  }
+}
+
+TEST(ReverseTest, InitialEventHasNoImage) {
+  ComputationBuilder b(1);
+  b.appendEvent(0);
+  const Computation c = std::move(b).build();
+  EXPECT_THROW(reverseEvent(c, {0, 0}), CheckFailure);
+}
+
+TEST(ReverseTest, MessagesSwapDirection) {
+  ComputationBuilder b(2);
+  const EventId s = b.appendEvent(0);
+  b.appendEvent(0);
+  const EventId r = b.appendEvent(1);
+  b.addMessage(s, r);
+  const Computation c = std::move(b).build();
+  const Computation rev = reverseComputation(c);
+  ASSERT_EQ(rev.messages().size(), 1u);
+  // Original send (0,1) of 2 non-initial events → reversed event (0,2);
+  // original receive (1,1) of 1 → reversed (1,1).
+  EXPECT_EQ(rev.messages()[0].send, (EventId{1, 1}));
+  EXPECT_EQ(rev.messages()[0].receive, (EventId{0, 2}));
+}
+
+TEST(ReverseTest, DoubleReversalIsIdentity) {
+  Rng rng(8);
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomComputationOptions opt;
+    opt.processes = 4;
+    opt.eventsPerProcess = 5;
+    opt.messageProbability = 0.6;
+    const Computation c = randomComputation(opt, rng);
+    const Computation back = reverseComputation(reverseComputation(c));
+    auto key = [](const Message& m) {
+      return std::tuple(m.send.process, m.send.index, m.receive.process,
+                        m.receive.index);
+    };
+    auto a = c.messages();
+    auto b = back.messages();
+    ASSERT_EQ(a.size(), b.size());
+    std::sort(a.begin(), a.end(),
+              [&](const Message& x, const Message& y) { return key(x) < key(y); });
+    std::sort(b.begin(), b.end(),
+              [&](const Message& x, const Message& y) { return key(x) < key(y); });
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(ReverseTest, CutConsistencyPreserved) {
+  Rng rng(9);
+  for (int trial = 0; trial < 15; ++trial) {
+    RandomComputationOptions opt;
+    opt.processes = 3;
+    opt.eventsPerProcess = 4;
+    opt.messageProbability = 0.6;
+    const Computation c = randomComputation(opt, rng);
+    const Computation rev = reverseComputation(c);
+    const VectorClocks vc(c);
+    const VectorClocks rvc(rev);
+    // Every grid point: C consistent ⟺ reverseCut(C) consistent in rev.
+    std::vector<int> idx(c.processCount(), 0);
+    while (true) {
+      const Cut cut{std::vector<int>(idx)};
+      EXPECT_EQ(vc.isConsistent(cut), rvc.isConsistent(reverseCut(c, cut)))
+          << "trial " << trial << " cut " << cut.toString();
+      int p = 0;
+      while (p < c.processCount() && idx[p] + 1 >= c.eventCount(p)) {
+        idx[p] = 0;
+        ++p;
+      }
+      if (p == c.processCount()) break;
+      ++idx[p];
+    }
+  }
+}
+
+TEST(ReverseTest, ReverseCutSelfInverse) {
+  ComputationBuilder b(2);
+  b.appendEvent(0);
+  b.appendEvent(0);
+  b.appendEvent(1);
+  const Computation c = std::move(b).build();
+  const Cut cut(std::vector<int>{1, 0});
+  EXPECT_EQ(reverseCut(c, reverseCut(c, cut)), cut);
+  // Initial ↔ final.
+  EXPECT_EQ(reverseCut(c, initialCut(c)), finalCut(c));
+}
+
+}  // namespace
+}  // namespace gpd

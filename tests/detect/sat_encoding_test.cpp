@@ -1,0 +1,90 @@
+#include "detect/sat_encoding.h"
+
+#include <gtest/gtest.h>
+
+#include "computation/random.h"
+#include "detect/singular_cnf.h"
+#include "detect_test_util.h"
+#include "predicates/random_trace.h"
+#include "util/check.h"
+
+namespace gpd::detect {
+namespace {
+
+using testing::latticePossiblyCnf;
+using testing::randomSingularKCnf;
+
+TEST(SatEncodingTest, MatchesLatticeAndChainCover) {
+  Rng rng(202);
+  int found = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    GroupedComputationOptions opt;
+    opt.groups = 2 + static_cast<int>(rng.index(2));
+    opt.groupSize = 2;
+    opt.eventsPerProcess = 2 + static_cast<int>(rng.index(3));
+    opt.messageProbability = 0.5;
+    const Computation c = randomGroupedComputation(opt, rng);
+    VariableTrace trace(c);
+    defineRandomBools(trace, "b", 0.3, rng);
+    const CnfPredicate pred =
+        randomSingularKCnf(opt.groups, opt.groupSize, "b", rng);
+    const VectorClocks vc(c);
+    const SatEncodingResult viaSat = detectSingularViaSat(vc, trace, pred);
+    const bool expected = latticePossiblyCnf(vc, trace, pred);
+    ASSERT_EQ(viaSat.cut.has_value(), expected) << "trial " << trial;
+    EXPECT_EQ(detectSingularByChainCover(vc, trace, pred).found, expected);
+    if (viaSat.cut) {
+      ++found;
+      EXPECT_TRUE(vc.isConsistent(*viaSat.cut));
+      EXPECT_TRUE(pred.holdsAtCut(trace, *viaSat.cut));
+    }
+  }
+  EXPECT_GT(found, 10);
+}
+
+TEST(SatEncodingTest, EncodingSizeIsQuadraticInCandidates) {
+  Rng rng(203);
+  GroupedComputationOptions opt;
+  opt.groups = 3;
+  opt.groupSize = 2;
+  opt.eventsPerProcess = 6;
+  opt.messageProbability = 0.5;
+  const Computation c = randomGroupedComputation(opt, rng);
+  VariableTrace trace(c);
+  defineRandomBools(trace, "b", 0.5, rng);
+  const CnfPredicate pred = randomSingularKCnf(3, 2, "b", rng);
+  const VectorClocks vc(c);
+  const SatEncodingResult res = detectSingularViaSat(vc, trace, pred);
+  EXPECT_GT(res.variables, 0);
+  // groups + at most one clause per candidate pair.
+  const std::uint64_t v = res.variables;
+  EXPECT_LE(res.clauses, 3 + v * (v - 1) / 2);
+}
+
+TEST(SatEncodingTest, EmptyGroupShortCircuits) {
+  ComputationBuilder b(2);
+  const Computation c = std::move(b).build();
+  VariableTrace trace(c);
+  trace.defineBool(0, "b", {false});
+  trace.defineBool(1, "b", {true});
+  CnfPredicate pred;
+  pred.clauses = {{{0, "b", true}}, {{1, "b", true}}};
+  const VectorClocks vc(c);
+  const SatEncodingResult res = detectSingularViaSat(vc, trace, pred);
+  EXPECT_FALSE(res.cut.has_value());
+}
+
+TEST(SatEncodingTest, RejectsNonSingular) {
+  ComputationBuilder b(2);
+  const Computation c = std::move(b).build();
+  VariableTrace trace(c);
+  trace.defineBool(0, "b", {true});
+  trace.defineBool(1, "b", {true});
+  CnfPredicate pred;
+  pred.clauses = {{{0, "b", true}}, {{0, "b", false}, {1, "b", true}}};
+  const VectorClocks vc(c);
+  EXPECT_THROW(detectSingularViaSat(vc, trace, pred), CheckFailure);
+}
+
+}  // namespace
+}  // namespace gpd::detect

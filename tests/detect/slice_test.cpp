@@ -1,0 +1,180 @@
+#include "detect/slice.h"
+
+#include <gtest/gtest.h>
+#include <unordered_set>
+
+#include "computation/random.h"
+#include "lattice/explore.h"
+#include "predicates/random_trace.h"
+
+namespace gpd::detect {
+namespace {
+
+struct RegularInstance {
+  Computation comp;
+  VariableTrace trace;
+  VectorClocks clocks;
+  ConjunctivePredicate pred;
+
+  RegularInstance(Computation c, Rng& rng, double density)
+      : comp(std::move(c)), trace(comp), clocks(comp) {
+    defineRandomBools(trace, "b", density, rng);
+    for (ProcessId p = 0; p < comp.processCount(); ++p) {
+      pred.terms.push_back(varTrue(p, "b"));
+    }
+  }
+
+  bool satisfied(const Cut& cut) const { return pred.holdsAtCut(trace, cut); }
+};
+
+RegularInstance makeInstance(std::uint64_t seed, double density) {
+  Rng rng(seed);
+  RandomComputationOptions opt;
+  opt.processes = 2 + static_cast<int>(rng.index(2));
+  opt.eventsPerProcess = 2 + static_cast<int>(rng.index(3));
+  opt.messageProbability = 0.5;
+  Computation comp = randomComputation(opt, rng);
+  return RegularInstance(std::move(comp), rng, density);
+}
+
+// Conjunctive predicates are regular: their satisfying cuts are closed
+// under meet and join — verified directly, since slicing assumes it.
+TEST(SliceTest, ConjunctivePredicatesAreRegular) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const RegularInstance inst = makeInstance(seed, 0.5);
+    std::vector<Cut> satisfying;
+    lattice::forEachConsistentCut(inst.clocks, [&](const Cut& cut) {
+      if (inst.satisfied(cut)) satisfying.push_back(cut);
+      return true;
+    });
+    for (const Cut& a : satisfying) {
+      for (const Cut& b : satisfying) {
+        EXPECT_TRUE(inst.satisfied(meet(a, b)));
+        EXPECT_TRUE(inst.satisfied(join(a, b)));
+      }
+    }
+  }
+}
+
+TEST(SliceTest, LeastCutsAreLeastSatisfyingCutsContainingTheEvent) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const RegularInstance inst = makeInstance(seed, 0.5);
+    const Slice slice =
+        computeSlice(inst.clocks, conjunctiveOracle(inst.trace, inst.pred));
+    for (int node = 0; node < inst.comp.totalEvents(); ++node) {
+      const EventId e = inst.comp.event(node);
+      // Brute-force least satisfying cut containing e.
+      std::optional<Cut> best;
+      lattice::forEachConsistentCut(inst.clocks, [&](const Cut& cut) {
+        if (cut.contains(e) && inst.satisfied(cut)) {
+          if (!best) best = cut;  // level order: first hit is least by level
+          // Least by inclusion requires a subset check among hits:
+          if (cut.subsetOf(*best)) best = cut;
+        }
+        return true;
+      });
+      ASSERT_EQ(slice.leastCut[node].has_value(), best.has_value())
+          << "seed " << seed << " node " << node;
+      if (best) {
+        // The slice's J must be a satisfying cut containing e and below
+        // every satisfying cut containing e.
+        const Cut& j = *slice.leastCut[node];
+        EXPECT_TRUE(inst.satisfied(j));
+        EXPECT_TRUE(j.contains(e));
+        lattice::forEachConsistentCut(inst.clocks, [&](const Cut& cut) {
+          if (cut.contains(e) && inst.satisfied(cut)) {
+            EXPECT_TRUE(j.subsetOf(cut));
+          }
+          return true;
+        });
+      }
+    }
+  }
+}
+
+// The fundamental theorem of slicing: membership in the sublattice is
+// decidable from the slice alone.
+TEST(SliceTest, SliceMembershipEqualsPredicate) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const RegularInstance inst = makeInstance(seed, 0.45);
+    const Slice slice =
+        computeSlice(inst.clocks, conjunctiveOracle(inst.trace, inst.pred));
+    lattice::forEachConsistentCut(inst.clocks, [&](const Cut& cut) {
+      EXPECT_EQ(sliceSatisfies(slice, inst.clocks, cut), inst.satisfied(cut))
+          << "seed " << seed << " cut " << cut.toString();
+      return true;
+    });
+  }
+}
+
+TEST(SliceTest, CountMatchesLattice) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const RegularInstance inst = makeInstance(seed, 0.5);
+    const Slice slice =
+        computeSlice(inst.clocks, conjunctiveOracle(inst.trace, inst.pred));
+    std::uint64_t expected = 0;
+    lattice::forEachConsistentCut(inst.clocks, [&](const Cut& cut) {
+      expected += inst.satisfied(cut);
+      return true;
+    });
+    EXPECT_EQ(countSatisfyingCuts(slice, inst.clocks), expected)
+        << "seed " << seed;
+  }
+}
+
+TEST(SliceTest, BottomAndTopBracketTheSublattice) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const RegularInstance inst = makeInstance(seed, 0.6);
+    const Slice slice =
+        computeSlice(inst.clocks, conjunctiveOracle(inst.trace, inst.pred));
+    if (!slice.satisfiable) continue;
+    EXPECT_TRUE(inst.satisfied(slice.bottom));
+    EXPECT_TRUE(inst.satisfied(slice.top));
+    lattice::forEachConsistentCut(inst.clocks, [&](const Cut& cut) {
+      if (inst.satisfied(cut)) {
+        EXPECT_TRUE(slice.bottom.subsetOf(cut));
+        EXPECT_TRUE(cut.subsetOf(slice.top));
+      }
+      return true;
+    });
+  }
+}
+
+TEST(SliceTest, UnsatisfiablePredicateYieldsEmptySlice) {
+  RegularInstance inst = makeInstance(3, 0.5);
+  // Add an always-false conjunct.
+  inst.trace.defineBool(0, "never",
+                        std::vector<bool>(inst.comp.eventCount(0), false));
+  ConjunctivePredicate pred = inst.pred;
+  pred.terms[0] = varTrue(0, "never");
+  const Slice slice =
+      computeSlice(inst.clocks, conjunctiveOracle(inst.trace, pred));
+  EXPECT_FALSE(slice.satisfiable);
+  EXPECT_EQ(countSatisfyingCuts(slice, inst.clocks), 0u);
+  for (const auto& j : slice.leastCut) EXPECT_FALSE(j.has_value());
+}
+
+// Channel predicates ("no message in flight") are the other classical
+// regular family; the same slice machinery applies via their oracle.
+TEST(SliceTest, EmptyChannelsSliceMembership) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomComputationOptions opt;
+    opt.processes = 3;
+    opt.eventsPerProcess = 3;
+    opt.messageProbability = 0.6;
+    const Computation comp = randomComputation(opt, rng);
+    const VectorClocks clocks(comp);
+    const auto oracle = channelsEmptyOracle(comp);
+    const Slice slice = computeSlice(clocks, oracle);
+    ASSERT_TRUE(slice.satisfiable);  // the initial cut always qualifies
+    lattice::forEachConsistentCut(clocks, [&](const Cut& cut) {
+      EXPECT_EQ(sliceSatisfies(slice, clocks, cut), !oracle(cut).has_value())
+          << "trial " << trial << " cut " << cut.toString();
+      return true;
+    });
+  }
+}
+
+}  // namespace
+}  // namespace gpd::detect

@@ -1,0 +1,132 @@
+#include "flow/maxflow.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace gpd::flow {
+namespace {
+
+struct EdgeSpec {
+  int from, to;
+  std::int64_t cap;
+};
+
+// Brute-force min cut: enumerate all source-side subsets.
+std::int64_t bruteMinCut(int n, const std::vector<EdgeSpec>& edges, int s,
+                         int t) {
+  std::int64_t best = -1;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    if (!(mask >> s & 1) || (mask >> t & 1)) continue;
+    std::int64_t cut = 0;
+    for (const auto& e : edges) {
+      if ((mask >> e.from & 1) && !(mask >> e.to & 1)) cut += e.cap;
+    }
+    if (best < 0 || cut < best) best = cut;
+  }
+  return best;
+}
+
+TEST(MaxFlowTest, SingleEdge) {
+  MaxFlow mf(2);
+  mf.addEdge(0, 1, 7);
+  EXPECT_EQ(mf.solve(0, 1), 7);
+}
+
+TEST(MaxFlowTest, SeriesTakesMinimum) {
+  MaxFlow mf(3);
+  mf.addEdge(0, 1, 10);
+  mf.addEdge(1, 2, 4);
+  EXPECT_EQ(mf.solve(0, 2), 4);
+}
+
+TEST(MaxFlowTest, ParallelPathsAdd) {
+  MaxFlow mf(4);
+  mf.addEdge(0, 1, 3);
+  mf.addEdge(1, 3, 3);
+  mf.addEdge(0, 2, 5);
+  mf.addEdge(2, 3, 5);
+  EXPECT_EQ(mf.solve(0, 3), 8);
+}
+
+TEST(MaxFlowTest, ClassicDiamondWithCrossEdge) {
+  MaxFlow mf(4);
+  mf.addEdge(0, 1, 10);
+  mf.addEdge(0, 2, 10);
+  mf.addEdge(1, 2, 1);
+  mf.addEdge(1, 3, 10);
+  mf.addEdge(2, 3, 10);
+  EXPECT_EQ(mf.solve(0, 3), 20);
+}
+
+TEST(MaxFlowTest, DisconnectedIsZero) {
+  MaxFlow mf(4);
+  mf.addEdge(0, 1, 5);
+  mf.addEdge(2, 3, 5);
+  EXPECT_EQ(mf.solve(0, 3), 0);
+}
+
+TEST(MaxFlowTest, FlowConservationOnEdges) {
+  MaxFlow mf(4);
+  const int a = mf.addEdge(0, 1, 3);
+  const int b = mf.addEdge(1, 3, 2);
+  const int c = mf.addEdge(0, 2, 4);
+  const int d = mf.addEdge(2, 3, 4);
+  EXPECT_EQ(mf.solve(0, 3), 6);
+  EXPECT_EQ(mf.flowOn(a), 2);
+  EXPECT_EQ(mf.flowOn(b), 2);
+  EXPECT_EQ(mf.flowOn(c), 4);
+  EXPECT_EQ(mf.flowOn(d), 4);
+}
+
+TEST(MaxFlowTest, MinCutSeparatesSourceFromSink) {
+  MaxFlow mf(3);
+  mf.addEdge(0, 1, 2);
+  mf.addEdge(1, 2, 1);
+  mf.solve(0, 2);
+  const auto side = mf.minCutSourceSide();
+  EXPECT_TRUE(side[0]);
+  EXPECT_FALSE(side[2]);
+}
+
+TEST(MaxFlowTest, SolveTwiceRejected) {
+  MaxFlow mf(2);
+  mf.addEdge(0, 1, 1);
+  mf.solve(0, 1);
+  EXPECT_THROW(mf.solve(0, 1), CheckFailure);
+}
+
+TEST(MaxFlowTest, NegativeCapacityRejected) {
+  MaxFlow mf(2);
+  EXPECT_THROW(mf.addEdge(0, 1, -1), CheckFailure);
+}
+
+TEST(MaxFlowTest, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(321);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 4 + static_cast<int>(rng.index(4));  // 4..7 nodes
+    std::vector<EdgeSpec> edges;
+    for (int u = 0; u < n; ++u) {
+      for (int v = 0; v < n; ++v) {
+        if (u != v && rng.chance(0.35)) {
+          edges.push_back({u, v, rng.uniform(0, 9)});
+        }
+      }
+    }
+    MaxFlow mf(n);
+    for (const auto& e : edges) mf.addEdge(e.from, e.to, e.cap);
+    const std::int64_t flow = mf.solve(0, n - 1);
+    EXPECT_EQ(flow, bruteMinCut(n, edges, 0, n - 1)) << "trial " << trial;
+    // Max-flow equals capacity across the reported min cut.
+    const auto side = mf.minCutSourceSide();
+    std::int64_t cutCap = 0;
+    for (const auto& e : edges) {
+      if (side[e.from] && !side[e.to]) cutCap += e.cap;
+    }
+    EXPECT_EQ(cutCap, flow);
+  }
+}
+
+}  // namespace
+}  // namespace gpd::flow

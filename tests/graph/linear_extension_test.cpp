@@ -1,0 +1,85 @@
+#include "graph/linear_extension.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "util/rng.h"
+
+namespace gpd::graph {
+namespace {
+
+bool isLinearExtension(const Dag& g, const std::vector<int>& order) {
+  if (static_cast<int>(order.size()) != g.size()) return false;
+  std::vector<int> pos(g.size(), -1);
+  for (int i = 0; i < g.size(); ++i) pos[order[i]] = i;
+  for (int p : pos) {
+    if (p < 0) return false;
+  }
+  for (int u = 0; u < g.size(); ++u) {
+    for (int v : g.successors(u)) {
+      if (pos[u] >= pos[v]) return false;
+    }
+  }
+  return true;
+}
+
+TEST(LinearExtensionTest, RandomExtensionIsValid) {
+  Rng rng(41);
+  for (int trial = 0; trial < 25; ++trial) {
+    Dag g(10);
+    for (int u = 0; u < 10; ++u) {
+      for (int v = u + 1; v < 10; ++v) {
+        if (rng.chance(0.25)) g.addEdge(u, v);
+      }
+    }
+    EXPECT_TRUE(isLinearExtension(g, randomLinearExtension(g, rng)));
+  }
+}
+
+TEST(LinearExtensionTest, ChainHasExactlyOne) {
+  Dag g(5);
+  for (int i = 0; i + 1 < 5; ++i) g.addEdge(i, i + 1);
+  EXPECT_EQ(countLinearExtensions(g), 1u);
+}
+
+TEST(LinearExtensionTest, AntichainHasFactorial) {
+  Dag g(5);
+  EXPECT_EQ(countLinearExtensions(g), 120u);
+}
+
+TEST(LinearExtensionTest, TwoChainsBinomial) {
+  // Two independent chains of lengths 3 and 2: C(5,2) = 10 extensions.
+  Dag g(5);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(3, 4);
+  EXPECT_EQ(countLinearExtensions(g), 10u);
+}
+
+TEST(LinearExtensionTest, EnumerationVisitsDistinctValidOrders) {
+  Dag g(5);
+  g.addEdge(0, 2);
+  g.addEdge(1, 2);
+  g.addEdge(2, 4);
+  std::set<std::vector<int>> seen;
+  const auto total = forEachLinearExtension(g, [&](const std::vector<int>& o) {
+    EXPECT_TRUE(isLinearExtension(g, o));
+    EXPECT_TRUE(seen.insert(o).second) << "duplicate extension";
+    return true;
+  });
+  EXPECT_EQ(total, seen.size());
+  EXPECT_GT(total, 0u);
+}
+
+TEST(LinearExtensionTest, EarlyAbortStopsEnumeration) {
+  Dag g(6);  // 720 extensions if not aborted
+  int visited = 0;
+  const auto total = forEachLinearExtension(g, [&](const std::vector<int>&) {
+    return ++visited < 5;
+  });
+  EXPECT_EQ(total, 5u);
+  EXPECT_EQ(visited, 5);
+}
+
+}  // namespace
+}  // namespace gpd::graph

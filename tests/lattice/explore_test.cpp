@@ -1,0 +1,186 @@
+#include "lattice/explore.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "computation/random.h"
+#include "graph/linear_extension.h"
+
+namespace gpd::lattice {
+namespace {
+
+Computation independent(int processes, int events) {
+  ComputationBuilder b(processes);
+  for (ProcessId p = 0; p < processes; ++p) {
+    for (int i = 0; i < events; ++i) b.appendEvent(p);
+  }
+  return std::move(b).build();
+}
+
+TEST(LatticeTest, IndependentProcessesFormGrid) {
+  const Computation c = independent(2, 3);
+  const VectorClocks vc(c);
+  std::uint64_t count = 0;
+  forEachConsistentCut(vc, [&](const Cut&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 16u);  // (3+1)^2
+}
+
+TEST(LatticeTest, MessagesPruneTheLattice) {
+  ComputationBuilder b(2);
+  const EventId s = b.appendEvent(0);
+  const EventId r = b.appendEvent(1);
+  b.addMessage(s, r);
+  const Computation c = std::move(b).build();
+  const VectorClocks vc(c);
+  // Grid would have 4 cuts; [0,1] is inconsistent (receive without send).
+  EXPECT_EQ(latticeStats(vc).cutCount, 3u);
+}
+
+TEST(LatticeTest, VisitsEachCutOnceInLevelOrder) {
+  Rng rng(3);
+  RandomComputationOptions opt;
+  opt.processes = 3;
+  opt.eventsPerProcess = 4;
+  const Computation c = randomComputation(opt, rng);
+  const VectorClocks vc(c);
+  std::set<std::vector<int>> seen;
+  int lastLevel = -1;
+  forEachConsistentCut(vc, [&](const Cut& cut) {
+    EXPECT_TRUE(vc.isConsistent(cut));
+    EXPECT_TRUE(seen.insert(cut.last).second) << "duplicate " << cut.toString();
+    EXPECT_GE(cut.level(), lastLevel);
+    lastLevel = cut.level();
+    return true;
+  });
+  EXPECT_FALSE(seen.empty());
+}
+
+TEST(LatticeTest, EnumerationCoversAllConsistentPrefixVectors) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomComputationOptions opt;
+    opt.processes = 3;
+    opt.eventsPerProcess = 3;
+    opt.messageProbability = 0.6;
+    const Computation c = randomComputation(opt, rng);
+    const VectorClocks vc(c);
+    // Count consistent cuts by brute force over the full grid.
+    std::uint64_t expected = 0;
+    std::vector<int> idx(c.processCount(), 0);
+    while (true) {
+      if (vc.isConsistent(Cut{std::vector<int>(idx)})) ++expected;
+      int p = 0;
+      while (p < c.processCount() && idx[p] + 1 >= c.eventCount(p)) {
+        idx[p] = 0;
+        ++p;
+      }
+      if (p == c.processCount()) break;
+      ++idx[p];
+    }
+    EXPECT_EQ(latticeStats(vc).cutCount, expected) << "trial " << trial;
+  }
+}
+
+TEST(LatticeTest, StatsOnGrid) {
+  const Computation c = independent(2, 2);
+  const VectorClocks vc(c);
+  const LatticeStats stats = latticeStats(vc);
+  EXPECT_EQ(stats.cutCount, 9u);
+  EXPECT_EQ(stats.levels, 5);   // levels 0..4
+  EXPECT_EQ(stats.maxWidth, 3u);  // the middle diagonal
+}
+
+TEST(LatticeTest, PossiblyFindsWitness) {
+  const Computation c = independent(2, 2);
+  const VectorClocks vc(c);
+  const auto cut = findSatisfyingCut(
+      vc, [](const Cut& cut) { return cut.last[0] == 1 && cut.last[1] == 2; });
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_EQ(cut->last, (std::vector<int>{1, 2}));
+  EXPECT_FALSE(
+      possiblyExhaustive(vc, [](const Cut& cut) { return cut.last[0] > 5; }));
+}
+
+TEST(LatticeTest, DefinitelyAtInitialOrFinal) {
+  const Computation c = independent(2, 2);
+  const VectorClocks vc(c);
+  EXPECT_TRUE(definitelyExhaustive(
+      vc, [](const Cut& cut) { return cut.level() == 0; }));
+  EXPECT_TRUE(definitelyExhaustive(
+      vc, [](const Cut& cut) { return cut.level() == 4; }));
+  // Every run passes through exactly one level-2 cut.
+  EXPECT_TRUE(definitelyExhaustive(
+      vc, [](const Cut& cut) { return cut.level() == 2; }));
+}
+
+TEST(LatticeTest, PossiblyButNotDefinitely) {
+  const Computation c = independent(2, 1);
+  const VectorClocks vc(c);
+  // The cut [1,0]: possible, but the run executing p1 first avoids it.
+  const auto phi = [](const Cut& cut) {
+    return cut.last[0] == 1 && cut.last[1] == 0;
+  };
+  EXPECT_TRUE(possiblyExhaustive(vc, phi));
+  EXPECT_FALSE(definitelyExhaustive(vc, phi));
+}
+
+// Ground truth via run enumeration: possibly(φ) iff some linear extension
+// passes a φ-cut; definitely(φ) iff all do.
+TEST(LatticeTest, ModalitiesMatchRunEnumeration) {
+  Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomComputationOptions opt;
+    opt.processes = 3;
+    opt.eventsPerProcess = 2 + static_cast<int>(rng.index(2));
+    opt.messageProbability = 0.5;
+    const Computation c = randomComputation(opt, rng);
+    const VectorClocks vc(c);
+
+    // A pseudo-random but deterministic predicate over cuts.
+    const std::uint64_t salt = rng.next();
+    const auto phi = [&](const Cut& cut) {
+      std::size_t h = std::hash<Cut>{}(cut) ^ salt;
+      return h % 5 == 0;
+    };
+
+    bool anyRunHits = false;
+    bool allRunsHit = true;
+    graph::forEachLinearExtension(
+        c.toDag(), [&](const std::vector<int>& order) {
+          std::vector<int> idx(c.processCount(), 0);
+          int placed = 0;
+          bool hit = false;
+          // The initial events execute first (initial-precedence edges).
+          for (int node : order) {
+            const EventId e = c.event(node);
+            idx[e.process] = e.index;
+            ++placed;
+            if (placed >= c.processCount()) {
+              if (phi(Cut{std::vector<int>(idx)})) hit = true;
+            }
+          }
+          anyRunHits |= hit;
+          allRunsHit &= hit;
+          return true;
+        });
+
+    EXPECT_EQ(possiblyExhaustive(vc, phi), anyRunHits) << "trial " << trial;
+    EXPECT_EQ(definitelyExhaustive(vc, phi), allRunsHit) << "trial " << trial;
+  }
+}
+
+TEST(LatticeTest, EarlyStopCountsVisited) {
+  const Computation c = independent(2, 3);
+  const VectorClocks vc(c);
+  int calls = 0;
+  const auto visited = forEachConsistentCut(vc, [&](const Cut&) {
+    return ++calls < 4;
+  });
+  EXPECT_EQ(visited, 4u);
+}
+
+}  // namespace
+}  // namespace gpd::lattice

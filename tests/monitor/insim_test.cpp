@@ -1,0 +1,100 @@
+#include "monitor/insim.h"
+
+#include <gtest/gtest.h>
+
+#include "clocks/vector_clock.h"
+
+namespace gpd::monitor {
+namespace {
+
+// Offline ground truth: the checker fires for pair (i, j) iff some CS-entry
+// event of i is pairwise consistent with some CS-entry event of j. Entry
+// events are where "cs" increases.
+std::vector<EventId> entryEvents(const sim::SimResult& run, ProcessId p) {
+  std::vector<EventId> out;
+  const Computation& c = *run.computation;
+  for (int e = 1; e < c.eventCount(p); ++e) {
+    if (run.trace->value(p, "cs", e) > run.trace->value(p, "cs", e - 1)) {
+      out.push_back({p, e});
+    }
+  }
+  return out;
+}
+
+bool offlineOverlap(const sim::SimResult& run, const VectorClocks& vc,
+                    ProcessId i, ProcessId j) {
+  for (const EventId& a : entryEvents(run, i)) {
+    for (const EventId& b : entryEvents(run, j)) {
+      if (vc.pairConsistent(a, b)) return true;
+    }
+  }
+  return false;
+}
+
+TEST(InSimMonitorTest, CleanRingRaisesNoAlarm) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    sim::TokenRingOptions opt;
+    opt.processes = 4;
+    opt.rounds = 3;
+    opt.seed = seed;
+    const InSimMonitorResult res = monitoredTokenRing(opt);
+    EXPECT_FALSE(res.alarm) << "seed " << seed;
+    EXPECT_EQ(res.alarmsInTrace, 0) << "seed " << seed;
+  }
+}
+
+TEST(InSimMonitorTest, RogueRingRaisesAlarmOnRoguePairs) {
+  sim::TokenRingOptions opt;
+  opt.processes = 4;
+  opt.rounds = 3;
+  opt.seed = 3;
+  opt.rogueProcess = 1;
+  const InSimMonitorResult res = monitoredTokenRing(opt);
+  ASSERT_TRUE(res.alarm);
+  EXPECT_EQ(res.alarmsInTrace,
+            static_cast<std::int64_t>(res.firedPairs.size()));
+  for (const auto& [i, j] : res.firedPairs) {
+    EXPECT_TRUE(i == 1 || j == 1) << "pair " << i << "," << j;
+  }
+}
+
+TEST(InSimMonitorTest, VerdictMatchesOfflineAnalysisOfTheRecordedTrace) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    for (const int rogue : {-1, 2}) {
+      sim::TokenRingOptions opt;
+      opt.processes = 4;
+      opt.rounds = 2;
+      opt.seed = seed;
+      opt.rogueProcess = rogue;
+      const InSimMonitorResult res = monitoredTokenRing(opt);
+      const VectorClocks vc(*res.run.computation);
+      for (ProcessId i = 0; i < 4; ++i) {
+        for (ProcessId j = i + 1; j < 4; ++j) {
+          const bool fired =
+              std::find(res.firedPairs.begin(), res.firedPairs.end(),
+                        std::make_pair(i, j)) != res.firedPairs.end();
+          EXPECT_EQ(fired, offlineOverlap(res.run, vc, i, j))
+              << "seed " << seed << " rogue " << rogue << " pair " << i << ","
+              << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(InSimMonitorTest, CheckerProcessIsPartOfTheComputation) {
+  sim::TokenRingOptions opt;
+  opt.processes = 3;
+  opt.rounds = 2;
+  const InSimMonitorResult res = monitoredTokenRing(opt);
+  EXPECT_EQ(res.run.computation->processCount(), 4);  // ring + checker
+  // Every notification message heads to the checker.
+  int toChecker = 0;
+  for (const Message& m : res.run.computation->messages()) {
+    if (m.receive.process == 3) ++toChecker;
+  }
+  EXPECT_GT(toChecker, 0);
+}
+
+}  // namespace
+}  // namespace gpd::monitor

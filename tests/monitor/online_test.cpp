@@ -1,0 +1,118 @@
+#include "monitor/online.h"
+
+#include <gtest/gtest.h>
+
+#include "computation/random.h"
+#include "detect/cpdhb.h"
+#include "graph/linear_extension.h"
+#include "monitor/feed.h"
+#include "predicates/random_trace.h"
+#include "util/check.h"
+
+namespace gpd::monitor {
+namespace {
+
+TEST(OnlineMonitorTest, DetectsConcurrentTrueEvents) {
+  ConjunctiveMonitor mon(2);
+  // Two concurrent events: neither clock dominates.
+  EXPECT_FALSE(mon.report(0, {1, 0}));
+  EXPECT_TRUE(mon.report(1, {0, 1}));
+  EXPECT_TRUE(mon.detected());
+  EXPECT_EQ(mon.witness()[0], (std::vector<int>{1, 0}));
+}
+
+TEST(OnlineMonitorTest, EliminatesDominatedEvent) {
+  ConjunctiveMonitor mon(2);
+  // p1's event already saw p0's event 2: p0's event 1 is dead.
+  EXPECT_FALSE(mon.report(0, {1, 0}));
+  EXPECT_FALSE(mon.report(1, {2, 1}));
+  // A later p0 event at index 3 is consistent with p1's head.
+  EXPECT_TRUE(mon.report(0, {3, 0}));
+}
+
+TEST(OnlineMonitorTest, RejectsOutOfOrderNotifications) {
+  ConjunctiveMonitor mon(2);
+  mon.report(0, {2, 0});
+  EXPECT_THROW(mon.report(0, {1, 0}), CheckFailure);
+}
+
+TEST(OnlineMonitorTest, IdempotentAfterDetection) {
+  ConjunctiveMonitor mon(2);
+  mon.report(0, {1, 0});
+  mon.report(1, {0, 1});
+  ASSERT_TRUE(mon.detected());
+  const auto witness = mon.witness();
+  EXPECT_TRUE(mon.report(0, {5, 3}));
+  EXPECT_EQ(mon.witness(), witness);
+}
+
+// The headline equivalence: replaying any run of a recorded computation into
+// the online checker detects iff offline CPDHB detects.
+TEST(OnlineMonitorTest, ReplayMatchesOfflineCpdhb) {
+  Rng rng(13579);
+  int detections = 0;
+  for (int trial = 0; trial < 80; ++trial) {
+    RandomComputationOptions opt;
+    opt.processes = 2 + static_cast<int>(rng.index(3));
+    opt.eventsPerProcess = 2 + static_cast<int>(rng.index(5));
+    opt.messageProbability = rng.real() * 0.7;
+    const Computation c = randomComputation(opt, rng);
+    VariableTrace trace(c);
+    defineRandomBools(trace, "x", 0.3, rng);
+    ConjunctivePredicate pred;
+    for (ProcessId p = 0; p < c.processCount(); ++p) {
+      pred.terms.push_back(varTrue(p, "x"));
+    }
+    const VectorClocks clocks(c);
+    const auto offline = detect::detectConjunctive(clocks, trace, pred);
+
+    const auto run = graph::randomLinearExtension(c.toDag(), rng);
+    ConjunctiveMonitor mon(c.processCount());
+    const ReplayResult replay =
+        replayConjunctive(clocks, trace, pred, run, mon);
+    ASSERT_EQ(replay.detected, offline.found) << "trial " << trial;
+    detections += replay.detected;
+    if (replay.detected) {
+      // The witness timestamps must be pairwise consistent.
+      const auto& w = mon.witness();
+      for (int p = 0; p < c.processCount(); ++p) {
+        for (int q = 0; q < c.processCount(); ++q) {
+          if (p != q) { EXPECT_LE(w[q][p], w[p][p]); }
+        }
+      }
+    }
+  }
+  EXPECT_GT(detections, 10);
+}
+
+TEST(OnlineMonitorTest, DetectionIndependentOfRunOrder) {
+  Rng rng(24680);
+  RandomComputationOptions opt;
+  opt.processes = 3;
+  opt.eventsPerProcess = 5;
+  opt.messageProbability = 0.5;
+  const Computation c = randomComputation(opt, rng);
+  VariableTrace trace(c);
+  defineRandomBools(trace, "x", 0.4, rng);
+  ConjunctivePredicate pred;
+  for (ProcessId p = 0; p < 3; ++p) pred.terms.push_back(varTrue(p, "x"));
+  const VectorClocks clocks(c);
+  const bool offline = detect::detectConjunctive(clocks, trace, pred).found;
+  for (int i = 0; i < 10; ++i) {
+    const auto run = graph::randomLinearExtension(c.toDag(), rng);
+    ConjunctiveMonitor mon(3);
+    EXPECT_EQ(replayConjunctive(clocks, trace, pred, run, mon).detected,
+              offline);
+  }
+}
+
+TEST(OnlineMonitorTest, CountsComparisonsAndQueueTraffic) {
+  ConjunctiveMonitor mon(2);
+  mon.report(0, {1, 0});
+  mon.report(1, {0, 1});
+  EXPECT_GE(mon.comparisons(), 1u);
+  EXPECT_EQ(mon.enqueued(), 2u);
+}
+
+}  // namespace
+}  // namespace gpd::monitor

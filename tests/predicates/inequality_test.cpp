@@ -1,0 +1,103 @@
+#include "predicates/inequality.h"
+
+#include <gtest/gtest.h>
+
+#include "computation/random.h"
+#include "predicates/random_trace.h"
+#include "util/check.h"
+
+namespace gpd {
+namespace {
+
+TEST(IneqPredicateTest, SingularCheck) {
+  IneqClausePredicate ok;
+  ok.clauses = {{{0, "x", Relop::Less, 3}, {1, "y", Relop::GreaterEq, 2}},
+                {{2, "z", Relop::NotEqual, 0}}};
+  EXPECT_TRUE(ok.isSingular());
+
+  IneqClausePredicate bad = ok;
+  bad.clauses.push_back({{1, "w", Relop::Less, 9}});
+  EXPECT_FALSE(bad.isSingular());
+}
+
+TEST(IneqPredicateTest, HoldsAtCut) {
+  ComputationBuilder b(2);
+  b.appendEvent(0);
+  b.appendEvent(1);
+  const Computation c = std::move(b).build();
+  VariableTrace t(c);
+  t.define(0, "x", {0, 5});
+  t.define(1, "y", {7, 1});
+  IneqClausePredicate pred;
+  pred.clauses = {{{0, "x", Relop::Greater, 3}, {1, "y", Relop::Less, 2}}};
+  EXPECT_FALSE(pred.holdsAtCut(t, Cut(std::vector<int>{0, 0})));  // 0>3? 7<2? no
+  EXPECT_TRUE(pred.holdsAtCut(t, Cut(std::vector<int>{1, 0})));   // 5>3
+  EXPECT_TRUE(pred.holdsAtCut(t, Cut(std::vector<int>{0, 1})));   // 1<2
+}
+
+TEST(IneqPredicateTest, LoweringRejectsEquality) {
+  ComputationBuilder b(1);
+  b.appendEvent(0);
+  const Computation c = std::move(b).build();
+  VariableTrace t(c);
+  t.define(0, "x", {0, 1});
+  IneqClausePredicate pred;
+  pred.clauses = {{{0, "x", Relop::Equal, 1}}};
+  EXPECT_THROW(lowerToCnf(t, pred), CheckFailure);
+}
+
+TEST(IneqPredicateTest, LoweredCnfIsSingularPositive) {
+  ComputationBuilder b(4);
+  for (ProcessId p = 0; p < 4; ++p) b.appendEvent(p);
+  const Computation c = std::move(b).build();
+  VariableTrace t(c);
+  for (ProcessId p = 0; p < 4; ++p) t.define(p, "x", {0, p});
+  IneqClausePredicate pred;
+  pred.clauses = {{{0, "x", Relop::Less, 1}, {1, "x", Relop::GreaterEq, 1}},
+                  {{2, "x", Relop::NotEqual, 5}, {3, "x", Relop::LessEq, 2}}};
+  const CnfPredicate cnf = lowerToCnf(t, pred);
+  EXPECT_TRUE(cnf.isSingular());
+  EXPECT_TRUE(cnf.isKCnf(2));
+  for (const auto& clause : cnf.clauses) {
+    for (const auto& lit : clause) EXPECT_TRUE(lit.positive);
+  }
+}
+
+// Corollary 2's transformation preserves truth at every cut.
+TEST(IneqPredicateTest, LoweringEquivalentOnRandomTraces) {
+  Rng rng(404);
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomComputationOptions opt;
+    opt.processes = 4;
+    opt.eventsPerProcess = 4;
+    const Computation c = randomComputation(opt, rng);
+    VariableTrace t(c);
+    defineRandomCounters(t, "v", 0, 2, rng);
+    IneqClausePredicate pred;
+    const Relop ops[] = {Relop::Less, Relop::LessEq, Relop::Greater,
+                         Relop::GreaterEq, Relop::NotEqual};
+    pred.clauses = {
+        {{0, "v", ops[rng.index(5)], rng.uniform(-3, 3)},
+         {1, "v", ops[rng.index(5)], rng.uniform(-3, 3)}},
+        {{2, "v", ops[rng.index(5)], rng.uniform(-3, 3)},
+         {3, "v", ops[rng.index(5)], rng.uniform(-3, 3)}}};
+    const CnfPredicate cnf = lowerToCnf(t, pred);
+    // Compare at every grid point (consistency is irrelevant to evaluation).
+    std::vector<int> idx(c.processCount(), 0);
+    while (true) {
+      const Cut cut{std::vector<int>(idx)};
+      EXPECT_EQ(pred.holdsAtCut(t, cut), cnf.holdsAtCut(t, cut))
+          << "trial " << trial << " cut " << cut.toString();
+      int p = 0;
+      while (p < c.processCount() && idx[p] + 1 >= c.eventCount(p)) {
+        idx[p] = 0;
+        ++p;
+      }
+      if (p == c.processCount()) break;
+      ++idx[p];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpd

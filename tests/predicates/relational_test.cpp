@@ -1,0 +1,62 @@
+#include "predicates/relational.h"
+
+#include <gtest/gtest.h>
+
+namespace gpd {
+namespace {
+
+Computation twoProc() {
+  ComputationBuilder b(2);
+  b.appendEvent(0);
+  b.appendEvent(0);
+  b.appendEvent(1);
+  return std::move(b).build();
+}
+
+TEST(SumPredicateTest, SumAtCut) {
+  const Computation c = twoProc();
+  VariableTrace t(c);
+  t.define(0, "x", {1, 2, 3});
+  t.define(1, "y", {10, 20});
+  SumPredicate pred{{{0, "x"}, {1, "y"}}, Relop::Equal, 22};
+  EXPECT_EQ(pred.sumAtCut(t, Cut(std::vector<int>{0, 0})), 11);
+  EXPECT_EQ(pred.sumAtCut(t, Cut(std::vector<int>{1, 1})), 22);
+  EXPECT_TRUE(pred.holdsAtCut(t, Cut(std::vector<int>{1, 1})));
+  EXPECT_FALSE(pred.holdsAtCut(t, Cut(std::vector<int>{0, 1})));
+}
+
+TEST(SumPredicateTest, DeltaBounds) {
+  const Computation c = twoProc();
+  VariableTrace t(c);
+  t.define(0, "x", {0, 1, 0});
+  t.define(0, "x2", {0, 1, 2});
+  t.define(1, "y", {0, 5});
+  SumPredicate small{{{0, "x"}}, Relop::Equal, 0};
+  EXPECT_EQ(small.deltaBound(t), 1);
+  EXPECT_EQ(small.eventDeltaBound(t), 1);
+
+  SumPredicate big{{{0, "x"}, {1, "y"}}, Relop::Equal, 0};
+  EXPECT_EQ(big.deltaBound(t), 5);
+
+  // Two bounded variables on one process accumulate at the event level.
+  SumPredicate stacked{{{0, "x"}, {0, "x2"}}, Relop::Equal, 0};
+  EXPECT_EQ(stacked.deltaBound(t), 1);
+  EXPECT_EQ(stacked.eventDeltaBound(t), 2);
+}
+
+TEST(SumPredicateTest, ToStringReadable) {
+  SumPredicate pred{{{0, "x"}, {2, "y"}}, Relop::GreaterEq, 3};
+  EXPECT_EQ(pred.toString(), "x@p0 + y@p2 >= 3");
+}
+
+TEST(SumPredicateTest, MultipleTermsSameProcess) {
+  const Computation c = twoProc();
+  VariableTrace t(c);
+  t.define(0, "a", {1, 1, 1});
+  t.define(0, "b", {2, 2, 2});
+  SumPredicate pred{{{0, "a"}, {0, "b"}}, Relop::Equal, 3};
+  EXPECT_EQ(pred.sumAtCut(t, Cut(std::vector<int>{2, 0})), 3);
+}
+
+}  // namespace
+}  // namespace gpd

@@ -1,0 +1,96 @@
+#include "predicates/symmetric.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace gpd {
+namespace {
+
+std::vector<SumTerm> vars(int n) {
+  std::vector<SumTerm> out;
+  for (int p = 0; p < n; ++p) out.push_back({p, "x"});
+  return out;
+}
+
+Computation flatComputation(int n, int events) {
+  ComputationBuilder b(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    for (int i = 0; i < events; ++i) b.appendEvent(p);
+  }
+  return std::move(b).build();
+}
+
+TEST(SymmetricTest, ExclusiveOrCounts) {
+  const auto p = exclusiveOr(vars(4));
+  EXPECT_EQ(p.trueCounts, (std::vector<int>{1, 3}));
+}
+
+TEST(SymmetricTest, AbsenceOfSimpleMajority) {
+  EXPECT_EQ(absenceOfSimpleMajority(vars(4)).trueCounts, (std::vector<int>{2}));
+  // Odd arity: one side always has a strict majority — unsatisfiable.
+  EXPECT_TRUE(absenceOfSimpleMajority(vars(5)).trueCounts.empty());
+}
+
+TEST(SymmetricTest, AbsenceOfTwoThirdsMajority) {
+  // n = 6: true counts strictly between 2 and 4.
+  EXPECT_EQ(absenceOfTwoThirdsMajority(vars(6)).trueCounts,
+            (std::vector<int>{3}));
+  // n = 9: counts strictly between 3 and 6.
+  EXPECT_EQ(absenceOfTwoThirdsMajority(vars(9)).trueCounts,
+            (std::vector<int>{4, 5}));
+}
+
+TEST(SymmetricTest, ExactlyKAndBounds) {
+  EXPECT_EQ(exactlyK(vars(5), 2).trueCounts, (std::vector<int>{2}));
+  EXPECT_THROW(exactlyK(vars(3), 4), CheckFailure);
+}
+
+TEST(SymmetricTest, NotAllEqualAndAllEqual) {
+  EXPECT_EQ(notAllEqual(vars(3)).trueCounts, (std::vector<int>{1, 2}));
+  EXPECT_EQ(allEqual(vars(3)).trueCounts, (std::vector<int>{0, 3}));
+}
+
+TEST(SymmetricTest, HoldsAtCutCountsTrueVars) {
+  const Computation c = flatComputation(3, 1);
+  VariableTrace t(c);
+  t.defineBool(0, "x", {false, true});
+  t.defineBool(1, "x", {false, false});
+  t.defineBool(2, "x", {true, true});
+  const auto pred = exactlyK(vars(3), 2);
+  EXPECT_FALSE(pred.holdsAtCut(t, Cut(std::vector<int>{0, 0, 0})));  // 1 true
+  EXPECT_TRUE(pred.holdsAtCut(t, Cut(std::vector<int>{1, 0, 0})));   // 2 true
+}
+
+TEST(SymmetricTest, AsExactSumsMirrorsCounts) {
+  const auto pred = notAllEqual(vars(4));
+  const auto sums = pred.asExactSums();
+  ASSERT_EQ(sums.size(), 3u);
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    EXPECT_EQ(sums[i].relop, Relop::Equal);
+    EXPECT_EQ(sums[i].k, pred.trueCounts[i]);
+    EXPECT_EQ(sums[i].terms.size(), 4u);
+  }
+}
+
+TEST(SymmetricTest, XorEquivalentToParityAtEveryCut) {
+  const Computation c = flatComputation(3, 2);
+  VariableTrace t(c);
+  t.defineBool(0, "x", {false, true, false});
+  t.defineBool(1, "x", {true, true, false});
+  t.defineBool(2, "x", {false, false, true});
+  const auto pred = exclusiveOr(vars(3));
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      for (int d = 0; d < 3; ++d) {
+        const Cut cut(std::vector<int>{a, b, d});
+        int count = 0;
+        for (int p = 0; p < 3; ++p) count += t.valueAtCut(cut, p, "x") != 0;
+        EXPECT_EQ(pred.holdsAtCut(t, cut), count % 2 == 1);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpd

@@ -1,0 +1,91 @@
+#include "predicates/variable_trace.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace gpd {
+namespace {
+
+Computation twoProc() {
+  ComputationBuilder b(2);
+  b.appendEvent(0);
+  b.appendEvent(0);
+  b.appendEvent(1);
+  return std::move(b).build();  // p0: 3 events, p1: 2 events
+}
+
+TEST(VariableTraceTest, DefineAndRead) {
+  const Computation c = twoProc();
+  VariableTrace t(c);
+  t.define(0, "x", {5, 7, 2});
+  EXPECT_EQ(t.value(0, "x", 0), 5);
+  EXPECT_EQ(t.value(0, "x", 2), 2);
+  EXPECT_TRUE(t.has(0, "x"));
+  EXPECT_FALSE(t.has(1, "x"));
+}
+
+TEST(VariableTraceTest, ValueAtCutUsesLastEvent) {
+  const Computation c = twoProc();
+  VariableTrace t(c);
+  t.define(0, "x", {1, 2, 3});
+  t.define(1, "y", {10, 20});
+  const Cut cut(std::vector<int>{1, 0});
+  EXPECT_EQ(t.valueAtCut(cut, 0, "x"), 2);
+  EXPECT_EQ(t.valueAtCut(cut, 1, "y"), 10);
+}
+
+TEST(VariableTraceTest, WrongLengthRejected) {
+  const Computation c = twoProc();
+  VariableTrace t(c);
+  EXPECT_THROW(t.define(0, "x", {1, 2}), CheckFailure);
+}
+
+TEST(VariableTraceTest, RedefinitionRejected) {
+  const Computation c = twoProc();
+  VariableTrace t(c);
+  t.define(0, "x", {1, 2, 3});
+  EXPECT_THROW(t.define(0, "x", {0, 0, 0}), CheckFailure);
+}
+
+TEST(VariableTraceTest, UndefinedVariableRejected) {
+  const Computation c = twoProc();
+  VariableTrace t(c);
+  EXPECT_THROW(t.value(0, "nope", 0), CheckFailure);
+}
+
+TEST(VariableTraceTest, SameNameOnDifferentProcesses) {
+  const Computation c = twoProc();
+  VariableTrace t(c);
+  t.define(0, "x", {1, 1, 1});
+  t.define(1, "x", {2, 2});
+  EXPECT_EQ(t.value(0, "x", 0), 1);
+  EXPECT_EQ(t.value(1, "x", 0), 2);
+}
+
+TEST(VariableTraceTest, MaxAbsDelta) {
+  const Computation c = twoProc();
+  VariableTrace t(c);
+  t.define(0, "x", {0, 3, 2});
+  EXPECT_EQ(t.maxAbsDelta(0, "x"), 3);
+  t.define(0, "y", {5, 5, 5});
+  EXPECT_EQ(t.maxAbsDelta(0, "y"), 0);
+}
+
+TEST(VariableTraceTest, TrueEventIndices) {
+  const Computation c = twoProc();
+  VariableTrace t(c);
+  t.defineBool(0, "b", {false, true, true});
+  EXPECT_EQ(t.trueEventIndices(0, "b"), (std::vector<int>{1, 2}));
+}
+
+TEST(VariableTraceTest, DefineBoolStoresZeroOne) {
+  const Computation c = twoProc();
+  VariableTrace t(c);
+  t.defineBool(1, "b", {true, false});
+  EXPECT_EQ(t.value(1, "b", 0), 1);
+  EXPECT_EQ(t.value(1, "b", 1), 0);
+}
+
+}  // namespace
+}  // namespace gpd

@@ -1,0 +1,72 @@
+#include "reduction/subset_sum_to_computation.h"
+
+#include <gtest/gtest.h>
+
+#include "clocks/vector_clock.h"
+#include "lattice/explore.h"
+#include "sat/subset_sum.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace gpd::reduction {
+namespace {
+
+TEST(SubsetSumGadgetTest, OneEventPerElementNoMessages) {
+  const auto g = buildSubsetSumGadget({3, 5, 7}, 8);
+  EXPECT_EQ(g.computation->processCount(), 3);
+  EXPECT_TRUE(g.computation->messages().empty());
+  for (ProcessId p = 0; p < 3; ++p) EXPECT_EQ(g.computation->eventCount(p), 2);
+  EXPECT_EQ(g.predicate.relop, Relop::Equal);
+  EXPECT_EQ(g.predicate.k, 8);
+}
+
+TEST(SubsetSumGadgetTest, LatticeIsThePowerSet) {
+  const auto g = buildSubsetSumGadget({1, 2, 4, 8}, 5);
+  const VectorClocks vc(*g.computation);
+  EXPECT_EQ(lattice::latticeStats(vc).cutCount, 16u);  // 2^4 subsets
+}
+
+TEST(SubsetSumGadgetTest, CutSumEqualsSubsetSum) {
+  const auto g = buildSubsetSumGadget({3, 5, 7}, 0);
+  // Cut including elements 0 and 2 only.
+  const Cut cut(std::vector<int>{1, 0, 1});
+  EXPECT_EQ(g.predicate.sumAtCut(*g.trace, cut), 10);
+  EXPECT_EQ(g.decode(cut), (std::vector<int>{0, 2}));
+}
+
+TEST(SubsetSumGadgetTest, RejectsNonPositiveSizes) {
+  EXPECT_THROW(buildSubsetSumGadget({1, 0}, 1), CheckFailure);
+}
+
+TEST(SubsetSumViaDetectionTest, SimpleInstances) {
+  const auto hit = solveSubsetSumViaDetection({3, 5, 7}, 12);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE(solveSubsetSumViaDetection({10, 20}, 15).has_value());
+  EXPECT_TRUE(solveSubsetSumViaDetection({}, 0).has_value());
+  EXPECT_FALSE(solveSubsetSumViaDetection({}, 3).has_value());
+}
+
+// Theorem 2 round trip: the detector-as-solver agrees with the DP solver.
+TEST(SubsetSumViaDetectionTest, MatchesDpSolverOnRandomInstances) {
+  Rng rng(987);
+  int hits = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 1 + static_cast<int>(rng.index(9));
+    std::vector<std::int64_t> sizes(n);
+    for (auto& s : sizes) s = rng.uniform(1, 20);
+    const std::int64_t target = rng.uniform(0, 50);
+    const auto viaDetection = solveSubsetSumViaDetection(sizes, target);
+    const auto viaDp = sat::solveSubsetSum(sizes, target);
+    ASSERT_EQ(viaDetection.has_value(), viaDp.has_value()) << "trial " << trial;
+    if (viaDetection) {
+      ++hits;
+      std::int64_t sum = 0;
+      for (int i : *viaDetection) sum += sizes[i];
+      EXPECT_EQ(sum, target);
+    }
+  }
+  EXPECT_GT(hits, 5);
+}
+
+}  // namespace
+}  // namespace gpd::reduction

@@ -1,0 +1,80 @@
+#include "sat/cnf.h"
+
+#include <gtest/gtest.h>
+
+namespace gpd::sat {
+namespace {
+
+TEST(CnfTest, SatisfiesEvaluatesClauses) {
+  Cnf cnf;
+  cnf.numVars = 2;
+  cnf.addClause({{0, true}, {1, false}});  // x0 | !x1
+  EXPECT_TRUE(satisfies(cnf, {true, true}));
+  EXPECT_TRUE(satisfies(cnf, {false, false}));
+  EXPECT_FALSE(satisfies(cnf, {false, true}));
+}
+
+TEST(CnfTest, EmptyFormulaIsSatisfied) {
+  Cnf cnf;
+  cnf.numVars = 1;
+  EXPECT_TRUE(satisfies(cnf, {false}));
+}
+
+TEST(CnfTest, EmptyClauseIsUnsatisfiable) {
+  Cnf cnf;
+  cnf.numVars = 1;
+  cnf.addClause({});
+  EXPECT_FALSE(satisfies(cnf, {true}));
+}
+
+TEST(CnfTest, NegatedLiteral) {
+  const Lit l{3, true};
+  EXPECT_EQ(l.negated(), (Lit{3, false}));
+  EXPECT_EQ(l.negated().negated(), l);
+}
+
+TEST(CnfTest, RandomKCnfShape) {
+  Rng rng(1);
+  const Cnf cnf = randomKCnf(10, 20, 3, rng);
+  EXPECT_EQ(cnf.numVars, 10);
+  EXPECT_EQ(cnf.clauses.size(), 20u);
+  for (const Clause& c : cnf.clauses) {
+    ASSERT_EQ(c.size(), 3u);
+    // Distinct variables within a clause.
+    EXPECT_NE(c[0].var, c[1].var);
+    EXPECT_NE(c[0].var, c[2].var);
+    EXPECT_NE(c[1].var, c[2].var);
+  }
+}
+
+TEST(CnfTest, IsNonMonotoneDetectsViolations) {
+  Cnf ok;
+  ok.numVars = 3;
+  ok.addClause({{0, true}, {1, false}, {2, true}});
+  ok.addClause({{0, true}, {1, true}});  // 2-clauses are unconstrained
+  EXPECT_TRUE(isNonMonotone(ok));
+
+  Cnf allPos = ok;
+  allPos.addClause({{0, true}, {1, true}, {2, true}});
+  EXPECT_FALSE(isNonMonotone(allPos));
+
+  Cnf allNeg = ok;
+  allNeg.addClause({{0, false}, {1, false}, {2, false}});
+  EXPECT_FALSE(isNonMonotone(allNeg));
+
+  Cnf tooWide = ok;
+  tooWide.numVars = 4;
+  tooWide.addClause({{0, true}, {1, false}, {2, true}, {3, true}});
+  EXPECT_FALSE(isNonMonotone(tooWide));
+}
+
+TEST(CnfTest, ToStringReadable) {
+  Cnf cnf;
+  cnf.numVars = 3;
+  cnf.addClause({{0, true}, {2, false}});
+  cnf.addClause({{1, true}});
+  EXPECT_EQ(toString(cnf), "(x0 | !x2) & (x1)");
+}
+
+}  // namespace
+}  // namespace gpd::sat

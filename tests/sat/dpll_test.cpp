@@ -1,0 +1,87 @@
+#include "sat/dpll.h"
+
+#include <gtest/gtest.h>
+
+namespace gpd::sat {
+namespace {
+
+// Satisfiability by truth-table enumeration.
+bool bruteSat(const Cnf& cnf) {
+  for (int mask = 0; mask < (1 << cnf.numVars); ++mask) {
+    Assignment a(cnf.numVars);
+    for (int v = 0; v < cnf.numVars; ++v) a[v] = mask >> v & 1;
+    if (satisfies(cnf, a)) return true;
+  }
+  return cnf.numVars == 0 && cnf.clauses.empty();
+}
+
+TEST(DpllTest, TrivialSat) {
+  Cnf cnf;
+  cnf.numVars = 1;
+  cnf.addClause({{0, true}});
+  const auto a = solveDpll(cnf);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE((*a)[0]);
+}
+
+TEST(DpllTest, TrivialUnsat) {
+  Cnf cnf;
+  cnf.numVars = 1;
+  cnf.addClause({{0, true}});
+  cnf.addClause({{0, false}});
+  EXPECT_FALSE(solveDpll(cnf).has_value());
+}
+
+TEST(DpllTest, EmptyClauseUnsat) {
+  Cnf cnf;
+  cnf.numVars = 2;
+  cnf.addClause({});
+  EXPECT_FALSE(solveDpll(cnf).has_value());
+}
+
+TEST(DpllTest, EmptyFormulaSat) {
+  Cnf cnf;
+  cnf.numVars = 3;
+  const auto a = solveDpll(cnf);
+  EXPECT_TRUE(a.has_value());
+}
+
+TEST(DpllTest, UnitPropagationChain) {
+  // x0, x0→x1, x1→x2 forces all true.
+  Cnf cnf;
+  cnf.numVars = 3;
+  cnf.addClause({{0, true}});
+  cnf.addClause({{0, false}, {1, true}});
+  cnf.addClause({{1, false}, {2, true}});
+  DpllStats stats;
+  const auto a = solveDpll(cnf, &stats);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE((*a)[0] && (*a)[1] && (*a)[2]);
+  EXPECT_EQ(stats.decisions, 0);  // fully determined by propagation
+  EXPECT_GE(stats.propagations, 3);
+}
+
+TEST(DpllTest, PigeonholeTwoIntoOneUnsat) {
+  // Two pigeons, one hole: p0h0, p1h0, !(p0h0 & p1h0). Vars: 0,1.
+  Cnf cnf;
+  cnf.numVars = 2;
+  cnf.addClause({{0, true}});
+  cnf.addClause({{1, true}});
+  cnf.addClause({{0, false}, {1, false}});
+  EXPECT_FALSE(solveDpll(cnf).has_value());
+}
+
+TEST(DpllTest, MatchesBruteForceOnRandomFormulas) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 120; ++trial) {
+    const int vars = 3 + static_cast<int>(rng.index(8));  // 3..10
+    const int clauses = 1 + static_cast<int>(rng.index(4 * vars));
+    const Cnf cnf = randomKCnf(vars, clauses, std::min(3, vars), rng);
+    const auto a = solveDpll(cnf);
+    EXPECT_EQ(a.has_value(), bruteSat(cnf)) << "trial " << trial;
+    if (a) { EXPECT_TRUE(satisfies(cnf, *a)); }
+  }
+}
+
+}  // namespace
+}  // namespace gpd::sat

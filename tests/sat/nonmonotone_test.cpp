@@ -1,0 +1,63 @@
+#include "sat/nonmonotone.h"
+
+#include <gtest/gtest.h>
+
+#include "sat/dpll.h"
+
+namespace gpd::sat {
+namespace {
+
+TEST(NonMonotoneTest, MixedClausesPassThrough) {
+  Cnf cnf;
+  cnf.numVars = 3;
+  cnf.addClause({{0, true}, {1, false}, {2, true}});
+  const auto t = toNonMonotone(cnf);
+  EXPECT_EQ(t.formula.numVars, 3);
+  EXPECT_EQ(t.formula.clauses.size(), 1u);
+}
+
+TEST(NonMonotoneTest, AllPositiveClauseRewritten) {
+  Cnf cnf;
+  cnf.numVars = 3;
+  cnf.addClause({{0, true}, {1, true}, {2, true}});
+  const auto t = toNonMonotone(cnf);
+  EXPECT_TRUE(isNonMonotone(t.formula));
+  EXPECT_EQ(t.formula.numVars, 4);          // one fresh variable
+  EXPECT_EQ(t.formula.clauses.size(), 3u);  // rewritten + two equivalence clauses
+}
+
+TEST(NonMonotoneTest, AllNegativeClauseRewritten) {
+  Cnf cnf;
+  cnf.numVars = 3;
+  cnf.addClause({{0, false}, {1, false}, {2, false}});
+  const auto t = toNonMonotone(cnf);
+  EXPECT_TRUE(isNonMonotone(t.formula));
+}
+
+TEST(NonMonotoneTest, EquisatisfiableOnRandomFormulas) {
+  Rng rng(606);
+  for (int trial = 0; trial < 80; ++trial) {
+    const int vars = 3 + static_cast<int>(rng.index(6));
+    const int clauses = 1 + static_cast<int>(rng.index(3 * vars));
+    const Cnf cnf = randomKCnf(vars, clauses, 3, rng);
+    const auto t = toNonMonotone(cnf);
+    ASSERT_TRUE(isNonMonotone(t.formula));
+    const auto orig = solveDpll(cnf);
+    const auto trans = solveDpll(t.formula);
+    EXPECT_EQ(orig.has_value(), trans.has_value()) << "trial " << trial;
+    if (trans) {
+      // The projected assignment must satisfy the original formula.
+      EXPECT_TRUE(satisfies(cnf, projectAssignment(t, *trans)));
+    }
+  }
+}
+
+TEST(NonMonotoneTest, RejectsWideClauses) {
+  Cnf cnf;
+  cnf.numVars = 4;
+  cnf.addClause({{0, true}, {1, true}, {2, true}, {3, true}});
+  EXPECT_THROW(toNonMonotone(cnf), CheckFailure);
+}
+
+}  // namespace
+}  // namespace gpd::sat

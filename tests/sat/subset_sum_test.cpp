@@ -1,0 +1,83 @@
+#include "sat/subset_sum.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace gpd::sat {
+namespace {
+
+bool bruteSubsetSum(const std::vector<std::int64_t>& sizes,
+                    std::int64_t target) {
+  const int n = static_cast<int>(sizes.size());
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    std::int64_t sum = 0;
+    for (int i = 0; i < n; ++i) {
+      if (mask >> i & 1) sum += sizes[i];
+    }
+    if (sum == target) return true;
+  }
+  return false;
+}
+
+TEST(SubsetSumTest, EmptySetOnlyReachesZero) {
+  EXPECT_TRUE(solveSubsetSum({}, 0).has_value());
+  EXPECT_FALSE(solveSubsetSum({}, 1).has_value());
+}
+
+TEST(SubsetSumTest, NegativeTargetImpossible) {
+  EXPECT_FALSE(solveSubsetSum({1, 2}, -3).has_value());
+}
+
+TEST(SubsetSumTest, SimpleHit) {
+  const auto w = solveSubsetSum({3, 5, 7}, 12);
+  ASSERT_TRUE(w.has_value());
+  std::int64_t sum = 0;
+  const std::vector<std::int64_t> sizes{3, 5, 7};
+  for (int i : *w) sum += sizes[i];
+  EXPECT_EQ(sum, 12);
+}
+
+TEST(SubsetSumTest, WitnessIndicesAreDistinct) {
+  const auto w = solveSubsetSum({2, 2, 2, 2}, 6);
+  ASSERT_TRUE(w.has_value());
+  const std::set<int> uniq(w->begin(), w->end());
+  EXPECT_EQ(uniq.size(), w->size());
+  EXPECT_EQ(w->size(), 3u);
+}
+
+TEST(SubsetSumTest, UnreachableGap) {
+  EXPECT_FALSE(solveSubsetSum({10, 20, 30}, 15).has_value());
+}
+
+TEST(SubsetSumTest, RejectsNonPositiveSizes) {
+  EXPECT_THROW(solveSubsetSum({0, 1}, 1), CheckFailure);
+  EXPECT_THROW(solveSubsetSum({-2, 1}, 1), CheckFailure);
+}
+
+TEST(SubsetSumTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(808);
+  for (int trial = 0; trial < 80; ++trial) {
+    const int n = 1 + static_cast<int>(rng.index(12));
+    std::vector<std::int64_t> sizes(n);
+    for (auto& s : sizes) s = rng.uniform(1, 25);
+    const std::int64_t target = rng.uniform(0, 60);
+    const auto w = solveSubsetSum(sizes, target);
+    EXPECT_EQ(w.has_value(), bruteSubsetSum(sizes, target))
+        << "trial " << trial;
+    if (w) {
+      std::int64_t sum = 0;
+      std::set<int> uniq;
+      for (int i : *w) {
+        sum += sizes[i];
+        EXPECT_TRUE(uniq.insert(i).second);
+      }
+      EXPECT_EQ(sum, target);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpd::sat

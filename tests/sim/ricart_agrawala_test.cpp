@@ -1,0 +1,89 @@
+// Ricart–Agrawala verified by detection: the correct protocol admits no
+// consistent cut with two processes in the critical section — over any seed
+// — while the "rude peer" bug (never deferring) reintroduces the race.
+#include <gtest/gtest.h>
+
+#include "clocks/vector_clock.h"
+#include "detect/cpdhb.h"
+#include "sim/workloads.h"
+
+namespace gpd::sim {
+namespace {
+
+bool anyViolation(const SimResult& run, int processes) {
+  const VectorClocks clocks(*run.computation);
+  for (ProcessId i = 0; i < processes; ++i) {
+    for (ProcessId j = i + 1; j < processes; ++j) {
+      ConjunctivePredicate both{{varTrue(i, "cs"), varTrue(j, "cs")}};
+      if (detect::detectConjunctive(clocks, *run.trace, both).found) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+TEST(RicartAgrawalaTest, CorrectProtocolNeverViolatesMutualExclusion) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    RicartAgrawalaOptions opt;
+    opt.processes = 4;
+    opt.rounds = 2;
+    opt.seed = seed;
+    const SimResult run = ricartAgrawala(opt);
+    EXPECT_FALSE(anyViolation(run, 4)) << "seed " << seed;
+  }
+}
+
+TEST(RicartAgrawalaTest, EveryProcessCompletesItsRounds) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    RicartAgrawalaOptions opt;
+    opt.processes = 4;
+    opt.rounds = 3;
+    opt.seed = seed;
+    const SimResult run = ricartAgrawala(opt);
+    const Cut fin = finalCut(*run.computation);
+    for (ProcessId p = 0; p < 4; ++p) {
+      EXPECT_EQ(run.trace->valueAtCut(fin, p, "completed"), 3)
+          << "seed " << seed << " p" << p;
+      EXPECT_EQ(run.trace->valueAtCut(fin, p, "cs"), 0);
+    }
+  }
+}
+
+TEST(RicartAgrawalaTest, RudePeerReintroducesTheRace) {
+  int violatingSeeds = 0;
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    RicartAgrawalaOptions opt;
+    opt.processes = 4;
+    opt.rounds = 3;
+    opt.seed = seed;
+    opt.rudeProcess = 1;
+    const SimResult run = ricartAgrawala(opt);
+    violatingSeeds += anyViolation(run, 4);
+  }
+  EXPECT_GT(violatingSeeds, 0);
+}
+
+TEST(RicartAgrawalaTest, MessageComplexityIsTwoNMinusOnePerEntry) {
+  RicartAgrawalaOptions opt;
+  opt.processes = 5;
+  opt.rounds = 2;
+  opt.seed = 6;
+  const SimResult run = ricartAgrawala(opt);
+  // 2(n−1) messages per CS entry (requests + replies), all delivered.
+  EXPECT_EQ(run.computation->messages().size(),
+            static_cast<std::size_t>(2 * (5 - 1) * 5 * 2));
+}
+
+TEST(RicartAgrawalaTest, SingleProcessDegenerates) {
+  RicartAgrawalaOptions opt;
+  opt.processes = 1;
+  opt.rounds = 2;
+  const SimResult run = ricartAgrawala(opt);
+  const Cut fin = finalCut(*run.computation);
+  EXPECT_EQ(run.trace->valueAtCut(fin, 0, "completed"), 2);
+  EXPECT_TRUE(run.computation->messages().empty());
+}
+
+}  // namespace
+}  // namespace gpd::sim

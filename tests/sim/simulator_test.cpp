@@ -1,0 +1,202 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "clocks/vector_clock.h"
+#include "util/check.h"
+
+namespace gpd::sim {
+namespace {
+
+// p0 pings each peer once; peers pong back; p0 counts pongs.
+class PingProgram final : public Program {
+ public:
+  enum { kStart = 1, kPing = 1, kPong = 2 };
+
+  void onInit(ProcessContext& ctx) override {
+    ctx.setVar("pongs", 0);
+    if (ctx.self() == 0) ctx.schedule(kStart, 1);
+  }
+
+  void onTimer(ProcessContext& ctx, int tag) override {
+    GPD_CHECK(tag == kStart);
+    for (ProcessId p = 1; p < ctx.processCount(); ++p) ctx.send(p, kPing);
+  }
+
+  void onMessage(ProcessContext& ctx, const SimMessage& msg) override {
+    if (msg.type == kPing) {
+      ctx.send(msg.from, kPong);
+    } else {
+      ctx.setVar("pongs", ctx.getVar("pongs") + 1);
+    }
+  }
+};
+
+std::vector<std::unique_ptr<Program>> pingPrograms(int n) {
+  std::vector<std::unique_ptr<Program>> programs;
+  for (int i = 0; i < n; ++i) programs.push_back(std::make_unique<PingProgram>());
+  return programs;
+}
+
+TEST(SimulatorTest, PingPongProducesExpectedEvents) {
+  SimOptions opt;
+  opt.seed = 7;
+  const SimResult res = runSimulation(opt, pingPrograms(4));
+  const Computation& c = *res.computation;
+  EXPECT_EQ(c.processCount(), 4);
+  // p0: initial + start timer + 3 pongs = 5 events; peers: initial + ping.
+  EXPECT_EQ(c.eventCount(0), 5);
+  for (ProcessId p = 1; p < 4; ++p) EXPECT_EQ(c.eventCount(p), 2);
+  // 3 pings + 3 pongs delivered.
+  EXPECT_EQ(c.messages().size(), 6u);
+  EXPECT_EQ(res.droppedActions, 0);
+  // Final pong count visible in the trace.
+  EXPECT_EQ(res.trace->value(0, "pongs", 4), 3);
+}
+
+TEST(SimulatorTest, TraceRecordsValueAfterEachEvent) {
+  SimOptions opt;
+  const SimResult res = runSimulation(opt, pingPrograms(3));
+  const Computation& c = *res.computation;
+  // pongs increases by one per pong event.
+  for (int i = 0; i < c.eventCount(0); ++i) {
+    const std::int64_t v = res.trace->value(0, "pongs", i);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 2);
+    if (i > 0) { EXPECT_GE(v, res.trace->value(0, "pongs", i - 1)); }
+  }
+}
+
+TEST(SimulatorTest, DeterministicForSameSeed) {
+  SimOptions opt;
+  opt.seed = 99;
+  const SimResult a = runSimulation(opt, pingPrograms(4));
+  const SimResult b = runSimulation(opt, pingPrograms(4));
+  EXPECT_EQ(a.computation->messages(), b.computation->messages());
+}
+
+TEST(SimulatorTest, DifferentSeedsChangeInterleaving) {
+  SimOptions a;
+  a.seed = 1;
+  SimOptions b;
+  b.seed = 2;
+  const SimResult ra = runSimulation(a, pingPrograms(5));
+  const SimResult rb = runSimulation(b, pingPrograms(5));
+  EXPECT_NE(ra.computation->messages(), rb.computation->messages());
+}
+
+TEST(SimulatorTest, ComputationIsCausallyValid) {
+  SimOptions opt;
+  opt.seed = 5;
+  const SimResult res = runSimulation(opt, pingPrograms(4));
+  // Builder validated acyclicity; additionally the clocks must build and the
+  // receive of every message must causally follow its send.
+  const VectorClocks vc(*res.computation);
+  for (const Message& m : res.computation->messages()) {
+    EXPECT_TRUE(vc.precedes(m.send, m.receive));
+  }
+}
+
+class InfiniteProgram final : public Program {
+ public:
+  void onInit(ProcessContext& ctx) override { ctx.schedule(1, 1); }
+  void onTimer(ProcessContext& ctx, int) override { ctx.schedule(1, 1); }
+  void onMessage(ProcessContext&, const SimMessage&) override {}
+};
+
+TEST(SimulatorTest, EventCapStopsRunawayPrograms) {
+  SimOptions opt;
+  opt.maxTotalEvents = 50;
+  std::vector<std::unique_ptr<Program>> programs;
+  programs.push_back(std::make_unique<InfiniteProgram>());
+  programs.push_back(std::make_unique<InfiniteProgram>());
+  const SimResult res = runSimulation(opt, std::move(programs));
+  EXPECT_EQ(res.computation->totalEvents(), 52);  // cap + 2 initials
+  EXPECT_GT(res.droppedActions, 0);
+}
+
+class SendInInitProgram final : public Program {
+ public:
+  void onInit(ProcessContext& ctx) override { ctx.send(1, 1); }
+  void onMessage(ProcessContext&, const SimMessage&) override {}
+};
+
+TEST(SimulatorTest, InitialEventsCannotSend) {
+  std::vector<std::unique_ptr<Program>> programs;
+  programs.push_back(std::make_unique<SendInInitProgram>());
+  programs.push_back(std::make_unique<SendInInitProgram>());
+  SimOptions opt;
+  EXPECT_THROW(runSimulation(opt, std::move(programs)), CheckFailure);
+}
+
+class FifoProbeProgram final : public Program {
+ public:
+  enum { kStart = 1 };
+  void onInit(ProcessContext& ctx) override {
+    if (ctx.self() == 0) ctx.schedule(kStart, 1);
+  }
+  void onTimer(ProcessContext& ctx, int) override {
+    for (int i = 0; i < 20; ++i) ctx.send(1, /*type=*/i);
+  }
+  void onMessage(ProcessContext& ctx, const SimMessage& msg) override {
+    const std::int64_t last = ctx.getVar("last");
+    ctx.setVar("inOrder",
+               ctx.getVar("inOrder") == 0 && msg.type == last ? 1 : 2);
+    ctx.setVar("last", last + 1);
+    if (msg.type != static_cast<int>(last)) ctx.setVar("reordered", 1);
+  }
+};
+
+TEST(SimulatorTest, MessageLossDropsDeliveries) {
+  SimOptions lossy;
+  lossy.seed = 4;
+  lossy.messageLossProbability = 0.5;
+  const SimResult res = runSimulation(lossy, pingPrograms(4));
+  EXPECT_GT(res.droppedMessages, 0);
+  // Lossless control run delivers all 3 pings + pongs for the answered ones.
+  SimOptions clean = lossy;
+  clean.messageLossProbability = 0.0;
+  const SimResult ref = runSimulation(clean, pingPrograms(4));
+  EXPECT_EQ(ref.droppedMessages, 0);
+  EXPECT_LT(res.computation->messages().size(),
+            ref.computation->messages().size());
+  // The lossy trace is still a valid computation (no dangling receives).
+  const VectorClocks vc(*res.computation);
+  for (const Message& m : res.computation->messages()) {
+    EXPECT_TRUE(vc.precedes(m.send, m.receive));
+  }
+}
+
+TEST(SimulatorTest, TotalLossSilencesEverything) {
+  SimOptions opt;
+  opt.messageLossProbability = 1.0;
+  const SimResult res = runSimulation(opt, pingPrograms(3));
+  EXPECT_TRUE(res.computation->messages().empty());
+  EXPECT_EQ(res.droppedMessages, 2);  // the two pings
+}
+
+TEST(SimulatorTest, FifoOptionPreservesChannelOrder) {
+  for (const bool fifo : {true, false}) {
+    // Scan seeds; non-FIFO mode must show at least one reordering somewhere,
+    // FIFO mode must never reorder.
+    bool sawReorder = false;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      SimOptions opt;
+      opt.seed = seed;
+      opt.fifoChannels = fifo;
+      std::vector<std::unique_ptr<Program>> programs;
+      programs.push_back(std::make_unique<FifoProbeProgram>());
+      programs.push_back(std::make_unique<FifoProbeProgram>());
+      const SimResult res = runSimulation(opt, std::move(programs));
+      const int last = res.computation->eventCount(1) - 1;
+      if (res.trace->has(1, "reordered") &&
+          res.trace->value(1, "reordered", last) == 1) {
+        sawReorder = true;
+      }
+    }
+    EXPECT_EQ(sawReorder, !fifo);
+  }
+}
+
+}  // namespace
+}  // namespace gpd::sim

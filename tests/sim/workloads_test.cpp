@@ -1,0 +1,292 @@
+#include "sim/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "detect/detector.h"
+#include "lattice/explore.h"
+
+namespace gpd::sim {
+namespace {
+
+TEST(TokenRingTest, CleanRunHasNoMutualExclusionViolation) {
+  TokenRingOptions opt;
+  opt.processes = 4;
+  opt.rounds = 2;
+  opt.seed = 3;
+  const SimResult res = tokenRing(opt);
+  detect::Detector det(*res.trace);
+  for (ProcessId i = 0; i < 4; ++i) {
+    for (ProcessId j = i + 1; j < 4; ++j) {
+      ConjunctivePredicate viol{{varCompare(i, "cs", Relop::GreaterEq, 1),
+                                 varCompare(j, "cs", Relop::GreaterEq, 1)}};
+      EXPECT_FALSE(det.possibly(viol).has_value())
+          << "processes " << i << "," << j;
+    }
+  }
+}
+
+TEST(TokenRingTest, RogueProcessViolatesMutualExclusion) {
+  TokenRingOptions opt;
+  opt.processes = 4;
+  opt.rounds = 3;
+  opt.seed = 3;
+  opt.rogueProcess = 2;
+  const SimResult res = tokenRing(opt);
+  detect::Detector det(*res.trace);
+  bool violated = false;
+  for (ProcessId i = 0; i < 4 && !violated; ++i) {
+    for (ProcessId j = i + 1; j < 4; ++j) {
+      ConjunctivePredicate viol{{varCompare(i, "cs", Relop::GreaterEq, 1),
+                                 varCompare(j, "cs", Relop::GreaterEq, 1)}};
+      if (det.possibly(viol).has_value()) {
+        violated = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(violated);
+}
+
+TEST(TokenRingTest, TokenCountConservedWithoutFaults) {
+  TokenRingOptions opt;
+  opt.processes = 5;
+  opt.tokens = 2;
+  opt.rounds = 2;
+  opt.seed = 11;
+  const SimResult res = tokenRing(opt);
+  detect::Detector det(*res.trace);
+  std::vector<SumTerm> terms;
+  for (ProcessId p = 0; p < 5; ++p) terms.push_back({p, "tokens"});
+  // In-transit tokens make the held-count dip below 2, but it can never
+  // exceed 2, and 2 must be observable (e.g. initially).
+  SumPredicate over{terms, Relop::Greater, 2};
+  EXPECT_FALSE(det.possibly(over).has_value());
+  SumPredicate exact{terms, Relop::Equal, 2};
+  EXPECT_TRUE(det.possibly(exact).has_value());
+}
+
+TEST(TokenRingTest, DroppedTokenDetectable) {
+  TokenRingOptions opt;
+  opt.processes = 4;
+  opt.tokens = 1;
+  opt.rounds = 3;
+  opt.seed = 5;
+  opt.dropTokenAtHop = 4;
+  const SimResult res = tokenRing(opt);
+  detect::Detector det(*res.trace);
+  std::vector<SumTerm> terms;
+  for (ProcessId p = 0; p < 4; ++p) terms.push_back({p, "tokens"});
+  // After the drop the system quiesces with zero held tokens — the final
+  // cut shows the loss, so definitely(Σtokens = 0)… at least possibly.
+  SumPredicate zero{terms, Relop::Equal, 0};
+  const auto cut = det.possibly(zero);
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_EQ(zero.sumAtCut(*res.trace, finalCut(*res.computation)), 0);
+}
+
+TEST(TokenRingTest, DuplicatedTokenDetectable) {
+  TokenRingOptions opt;
+  opt.processes = 4;
+  opt.tokens = 1;
+  opt.rounds = 4;
+  opt.seed = 5;
+  opt.duplicateTokenAtHop = 3;
+  const SimResult res = tokenRing(opt);
+  detect::Detector det(*res.trace);
+  std::vector<SumTerm> terms;
+  for (ProcessId p = 0; p < 4; ++p) terms.push_back({p, "tokens"});
+  SumPredicate two{terms, Relop::GreaterEq, 2};
+  EXPECT_TRUE(det.possibly(two).has_value());
+}
+
+TEST(LeaderElectionTest, UniqueIdsElectExactlyOneLeader) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    LeaderElectionOptions opt;
+    opt.processes = 5;
+    opt.seed = seed;
+    const SimResult res = leaderElection(opt);
+    const Cut final = finalCut(*res.computation);
+    int leaders = 0;
+    for (ProcessId p = 0; p < 5; ++p) {
+      leaders += res.trace->valueAtCut(final, p, "leader") != 0;
+    }
+    EXPECT_EQ(leaders, 1) << "seed " << seed;
+    // No cut ever shows two leaders.
+    detect::Detector det(*res.trace);
+    std::vector<SumTerm> terms;
+    for (ProcessId p = 0; p < 5; ++p) terms.push_back({p, "leader"});
+    SumPredicate twoLeaders{terms, Relop::GreaterEq, 2};
+    EXPECT_FALSE(det.possibly(twoLeaders).has_value());
+  }
+}
+
+TEST(LeaderElectionTest, DuplicateMaxIdYieldsTwoLeaders) {
+  LeaderElectionOptions opt;
+  opt.processes = 6;
+  opt.seed = 4;
+  opt.duplicateMaxId = true;
+  const SimResult res = leaderElection(opt);
+  detect::Detector det(*res.trace);
+  std::vector<SumTerm> terms;
+  for (ProcessId p = 0; p < 6; ++p) terms.push_back({p, "leader"});
+  SumPredicate twoLeaders{terms, Relop::GreaterEq, 2};
+  EXPECT_TRUE(det.possibly(twoLeaders).has_value());
+}
+
+TEST(VotingTest, CommitIffAllYes) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    VotingOptions opt;
+    opt.processes = 5;
+    opt.yesProbability = 0.6;
+    opt.seed = seed;
+    const SimResult res = voting(opt);
+    const Cut final = finalCut(*res.computation);
+    int yes = 0;
+    for (ProcessId p = 1; p < 5; ++p) {
+      yes += res.trace->valueAtCut(final, p, "yes") != 0;
+    }
+    const bool committed =
+        res.trace->valueAtCut(final, 0, "committed") != 0;
+    const bool aborted = res.trace->valueAtCut(final, 0, "aborted") != 0;
+    EXPECT_NE(committed, aborted) << "seed " << seed;
+    EXPECT_EQ(committed, yes == 4) << "seed " << seed;
+  }
+}
+
+TEST(VotingTest, DecisionIsDefinite) {
+  VotingOptions opt;
+  opt.processes = 4;
+  opt.seed = 2;
+  const SimResult res = voting(opt);
+  detect::Detector det(*res.trace);
+  // Every run reaches a decided state: committed + aborted = 1 eventually.
+  SumPredicate decided{{{0, "committed"}, {0, "aborted"}}, Relop::Equal, 1};
+  EXPECT_TRUE(det.definitely(decided));
+}
+
+TEST(PhilosophersTest, GrabbyModeCanDeadlock) {
+  // Seed 1 deadlocks: everyone holds its own fork and waits for the right.
+  PhilosophersOptions opt;
+  opt.philosophers = 4;
+  opt.meals = 2;
+  opt.seed = 1;
+  const SimResult res = diningPhilosophers(opt);
+  const Cut fin = finalCut(*res.computation);
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_EQ(res.trace->valueAtCut(fin, p, "waiting"), 1);
+    EXPECT_EQ(res.trace->valueAtCut(fin, p, "meals"), 0);
+  }
+  // The detector sees the all-waiting state (deadlock suspicion predicate).
+  detect::Detector det(*res.trace);
+  ConjunctivePredicate allWaiting;
+  for (ProcessId p = 0; p < 4; ++p) {
+    allWaiting.terms.push_back(varTrue(p, "waiting"));
+  }
+  EXPECT_TRUE(det.possibly(allWaiting).has_value());
+  // A stable deadlock holds on every extension: definitely, too.
+  EXPECT_TRUE(det.definitely(allWaiting));
+}
+
+TEST(PhilosophersTest, GrabbyModeSometimesCompletes) {
+  PhilosophersOptions opt;
+  opt.philosophers = 4;
+  opt.meals = 2;
+  opt.seed = 2;  // a lucky interleaving
+  const SimResult res = diningPhilosophers(opt);
+  const Cut fin = finalCut(*res.computation);
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_EQ(res.trace->valueAtCut(fin, p, "meals"), 2);
+    EXPECT_EQ(res.trace->valueAtCut(fin, p, "waiting"), 0);
+  }
+}
+
+TEST(PhilosophersTest, OrderedAcquisitionNeverDeadlocks) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    PhilosophersOptions opt;
+    opt.philosophers = 4;
+    opt.meals = 2;
+    opt.seed = seed;
+    opt.orderedAcquisition = true;
+    const SimResult res = diningPhilosophers(opt);
+    const Cut fin = finalCut(*res.computation);
+    for (ProcessId p = 0; p < 4; ++p) {
+      EXPECT_EQ(res.trace->valueAtCut(fin, p, "meals"), 2) << "seed " << seed;
+      EXPECT_EQ(res.trace->valueAtCut(fin, p, "waiting"), 0) << "seed " << seed;
+    }
+  }
+}
+
+TEST(PhilosophersTest, AdjacentPhilosophersNeverEatTogether) {
+  for (const bool ordered : {false, true}) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      PhilosophersOptions opt;
+      opt.philosophers = 4;
+      opt.meals = 2;
+      opt.seed = seed;
+      opt.orderedAcquisition = ordered;
+      const SimResult res = diningPhilosophers(opt);
+      detect::Detector det(*res.trace);
+      for (ProcessId p = 0; p < 4; ++p) {
+        const ProcessId q = (p + 1) % 4;
+        ConjunctivePredicate bothEat{
+            {varTrue(p, "eating"), varTrue(q, "eating")}};
+        EXPECT_FALSE(det.possibly(bothEat).has_value())
+            << "seed " << seed << " pair " << p << "," << q;
+      }
+    }
+  }
+}
+
+TEST(PhilosophersTest, OppositePhilosophersCanEatTogether) {
+  // Forks of philosophers 0 and 2 are disjoint on a ring of 4; some seed
+  // exhibits concurrent meals.
+  bool seen = false;
+  for (std::uint64_t seed = 1; seed <= 10 && !seen; ++seed) {
+    PhilosophersOptions opt;
+    opt.philosophers = 4;
+    opt.meals = 3;
+    opt.seed = seed;
+    opt.orderedAcquisition = true;
+    const SimResult res = diningPhilosophers(opt);
+    detect::Detector det(*res.trace);
+    ConjunctivePredicate bothEat{
+        {varTrue(0, "eating"), varTrue(2, "eating")}};
+    seen = det.possibly(bothEat).has_value();
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST(ProducerConsumerTest, InFlightBalanceIsBoundedSum) {
+  ProducerConsumerOptions opt;
+  opt.producers = 2;
+  opt.consumers = 2;
+  opt.itemsPerProducer = 4;
+  opt.seed = 9;
+  const SimResult res = producerConsumer(opt);
+  const Computation& c = *res.computation;
+  // produced − consumed ≥ 0 at every consistent cut, 0 at the end.
+  std::vector<SumTerm> terms;
+  for (ProcessId p = 0; p < 2; ++p) terms.push_back({p, "produced"});
+  VariableTrace& trace = *res.trace;
+  // Negated consumption: define derived variables.
+  for (ProcessId p = 2; p < 4; ++p) {
+    std::vector<std::int64_t> neg(c.eventCount(p));
+    for (int i = 0; i < c.eventCount(p); ++i) {
+      neg[i] = -trace.value(p, "consumed", i);
+    }
+    trace.define(p, "negConsumed", std::move(neg));
+    terms.push_back({p, "negConsumed"});
+  }
+  detect::Detector det(trace);
+  SumPredicate negative{terms, Relop::Less, 0};
+  EXPECT_FALSE(det.possibly(negative).has_value());
+  SumPredicate atEnd{terms, Relop::Equal, 0};
+  EXPECT_EQ(atEnd.sumAtCut(trace, finalCut(c)), 0);
+  // Some cut has everything produced still in flight? At least one item in
+  // flight must be observable.
+  SumPredicate oneInFlight{terms, Relop::GreaterEq, 1};
+  EXPECT_TRUE(det.possibly(oneInFlight).has_value());
+}
+
+}  // namespace
+}  // namespace gpd::sim

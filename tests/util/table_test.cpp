@@ -1,0 +1,48 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace gpd {
+namespace {
+
+TEST(TableTest, PrintsHeaderAndRows) {
+  Table t({"name", "value"});
+  t.row("alpha", 1);
+  t.row("b", 2.5);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, CsvHasCommas) {
+  Table t({"a", "b", "c"});
+  t.row(1, 2, 3);
+  std::ostringstream os;
+  t.printCsv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n1,2,3\n");
+}
+
+TEST(TableTest, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), CheckFailure);
+}
+
+TEST(TableTest, AlignmentPadsColumns) {
+  Table t({"x", "yyyy"});
+  t.row("longvalue", "1");
+  std::ostringstream os;
+  t.print(os);
+  // Header row must be padded to the width of "longvalue".
+  const std::string firstLine = os.str().substr(0, os.str().find('\n'));
+  EXPECT_GE(firstLine.size(), std::string("longvalue  yyyy").size());
+}
+
+}  // namespace
+}  // namespace gpd

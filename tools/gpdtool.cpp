@@ -1,0 +1,374 @@
+// gpdtool — command-line front end for the gpd library.
+//
+//   gpdtool generate <workload> <out.trace> [seed]
+//       workloads: token-ring | token-ring-rogue | token-ring-lossy |
+//                  election | election-buggy | voting | producer-consumer |
+//                  philosophers | philosophers-ordered | snapshot-bank |
+//                  diffusing | ricart-agrawala | ricart-agrawala-rude |
+//                  random
+//   gpdtool inspect <trace>
+//       prints processes, events, messages, variables and (when small
+//       enough) the consistent-cut lattice statistics
+//   gpdtool detect <trace> conj [--definitely] <p:var | p:!var>...
+//       conjunctive predicate, one term per named process
+//   gpdtool detect <trace> cnf <lit,lit,...> <lit,lit,...> ...
+//       CNF predicate, one argv word per clause, literals p:var / p:!var
+//   gpdtool detect <trace> sum <lt|le|gt|ge|eq|ne> <K> <var>
+//       Σ var over all processes, relop K
+//   gpdtool detect <trace> sym <xor|no-majority|no-two-thirds|not-all-equal|
+//                               exactly:<k>> <var>
+//   gpdtool selftest
+//       end-to-end smoke used by ctest
+//
+// Exit code: 0 = ran fine (for detect: predicate decided either way),
+// 1 = usage error, 2 = runtime failure.
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "gpd.h"
+
+namespace {
+
+using namespace gpd;
+
+int usage() {
+  std::cerr << "usage:\n"
+            << "  gpdtool generate <workload> <out.trace> [seed]\n"
+            << "  gpdtool inspect <trace>\n"
+            << "  gpdtool detect <trace> conj [--definitely] <p:var|p:!var>...\n"
+            << "  gpdtool detect <trace> sum <lt|le|gt|ge|eq|ne> <K> <var>\n"
+            << "  gpdtool detect <trace> sym <kind> <var>\n"
+            << "  gpdtool selftest\n";
+  return 1;
+}
+
+int generate(const std::string& workload, const std::string& path,
+             std::uint64_t seed) {
+  sim::SimResult run = [&] {
+    if (workload == "token-ring" || workload == "token-ring-rogue" ||
+        workload == "token-ring-lossy") {
+      sim::TokenRingOptions opt;
+      opt.processes = 5;
+      opt.rounds = 3;
+      opt.seed = seed;
+      if (workload == "token-ring-rogue") opt.rogueProcess = 2;
+      if (workload == "token-ring-lossy") opt.dropTokenAtHop = 4;
+      return sim::tokenRing(opt);
+    }
+    if (workload == "election" || workload == "election-buggy") {
+      sim::LeaderElectionOptions opt;
+      opt.processes = 6;
+      opt.seed = seed;
+      opt.duplicateMaxId = workload == "election-buggy";
+      return sim::leaderElection(opt);
+    }
+    if (workload == "voting") {
+      sim::VotingOptions opt;
+      opt.seed = seed;
+      return sim::voting(opt);
+    }
+    if (workload == "producer-consumer") {
+      sim::ProducerConsumerOptions opt;
+      opt.seed = seed;
+      return sim::producerConsumer(opt);
+    }
+    if (workload == "philosophers" || workload == "philosophers-ordered") {
+      sim::PhilosophersOptions opt;
+      opt.seed = seed;
+      opt.orderedAcquisition = workload == "philosophers-ordered";
+      return sim::diningPhilosophers(opt);
+    }
+    if (workload == "ricart-agrawala" || workload == "ricart-agrawala-rude") {
+      sim::RicartAgrawalaOptions opt;
+      opt.seed = seed;
+      if (workload == "ricart-agrawala-rude") opt.rudeProcess = 1;
+      return sim::ricartAgrawala(opt);
+    }
+    if (workload == "snapshot-bank") {
+      sim::SnapshotBankOptions opt;
+      opt.seed = seed;
+      return sim::snapshotBank(opt);
+    }
+    if (workload == "diffusing") {
+      sim::DiffusingOptions opt;
+      opt.seed = seed;
+      return sim::diffusingComputation(opt);
+    }
+    if (workload == "random") {
+      RandomComputationOptions opt;
+      opt.processes = 5;
+      opt.eventsPerProcess = 12;
+      Rng rng(seed);
+      sim::SimResult out;
+      out.computation =
+          std::make_unique<Computation>(randomComputation(opt, rng));
+      out.trace = std::make_unique<VariableTrace>(*out.computation);
+      defineRandomBools(*out.trace, "b", 0.3, rng);
+      defineRandomCounters(*out.trace, "x", 0, 1, rng);
+      return out;
+    }
+    throw CheckFailure("unknown workload '" + workload + "'");
+  }();
+  io::saveTrace(path, *run.computation, *run.trace);
+  std::cout << "wrote " << path << ": " << run.computation->totalEvents()
+            << " events, " << run.computation->messages().size()
+            << " messages\n";
+  return 0;
+}
+
+int inspect(const std::string& path) {
+  const io::TraceFile file = io::loadTrace(path);
+  const Computation& comp = *file.computation;
+  std::cout << "processes: " << comp.processCount() << '\n';
+  std::cout << "events:   ";
+  for (ProcessId p = 0; p < comp.processCount(); ++p) {
+    std::cout << ' ' << comp.eventCount(p);
+  }
+  std::cout << " (total " << comp.totalEvents() << ")\n";
+  std::cout << "messages:  " << comp.messages().size() << '\n';
+  for (ProcessId p = 0; p < comp.processCount(); ++p) {
+    std::cout << "p" << p << " variables:";
+    for (const auto& name : file.trace->variableNames(p)) {
+      std::cout << ' ' << name;
+    }
+    std::cout << '\n';
+  }
+  if (comp.totalEvents() <= 2000) {
+    const VectorClocks clocks(comp);
+    const analysis::ComputationStats stats = analysis::computeStats(clocks);
+    std::cout << "height:    " << stats.height << "  (longest causal chain)\n";
+    std::cout << "width:     " << stats.width << "  (largest antichain)\n";
+    char idx[32];
+    std::snprintf(idx, sizeof(idx), "%.2f", stats.concurrencyIndex);
+    std::cout << "concurrency index: " << idx << '\n';
+  }
+  double grid = 1;
+  for (ProcessId p = 0; p < comp.processCount(); ++p) {
+    grid *= comp.eventCount(p);
+  }
+  if (grid <= 2e6) {
+    const VectorClocks clocks(comp);
+    const auto stats = lattice::latticeStats(clocks);
+    std::cout << "lattice:   " << stats.cutCount << " consistent cuts, "
+              << stats.levels << " levels, max width " << stats.maxWidth
+              << '\n';
+  } else {
+    std::cout << "lattice:   > " << static_cast<long long>(grid)
+              << " grid states (enumeration skipped)\n";
+  }
+  return 0;
+}
+
+int detectConj(const io::TraceFile& file, std::vector<std::string> args) {
+  bool definitely = false;
+  if (!args.empty() && args[0] == "--definitely") {
+    definitely = true;
+    args.erase(args.begin());
+  }
+  if (args.empty()) return usage();
+  ConjunctivePredicate pred;
+  for (const std::string& term : args) {
+    const auto colon = term.find(':');
+    if (colon == std::string::npos) return usage();
+    const ProcessId p = std::stoi(term.substr(0, colon));
+    std::string var = term.substr(colon + 1);
+    const bool negated = !var.empty() && var[0] == '!';
+    if (negated) var = var.substr(1);
+    pred.terms.push_back(negated ? varFalse(p, var) : varTrue(p, var));
+  }
+  detect::Detector detector(*file.trace);
+  if (definitely) {
+    const bool holds = detector.definitely(pred);
+    std::cout << "definitely(conj): " << (holds ? "holds" : "does not hold")
+              << "  [" << detector.lastAlgorithm() << "]\n";
+  } else if (const auto cut = detector.possibly(pred)) {
+    std::cout << "possibly(conj): witness cut " << cut->toString() << "  ["
+              << detector.lastAlgorithm() << "]\n";
+  } else {
+    std::cout << "possibly(conj): no consistent cut satisfies it  ["
+              << detector.lastAlgorithm() << "]\n";
+  }
+  return 0;
+}
+
+// Parses "p:var" / "p:!var"; returns nullopt on malformed input.
+std::optional<BoolLiteral> parseLiteral(const std::string& term) {
+  const auto colon = term.find(':');
+  if (colon == std::string::npos) return std::nullopt;
+  BoolLiteral lit;
+  lit.process = std::stoi(term.substr(0, colon));
+  lit.var = term.substr(colon + 1);
+  lit.positive = true;
+  if (!lit.var.empty() && lit.var[0] == '!') {
+    lit.positive = false;
+    lit.var = lit.var.substr(1);
+  }
+  if (lit.var.empty()) return std::nullopt;
+  return lit;
+}
+
+// Clauses are argv words; literals within a clause are comma-separated:
+//   gpdtool detect t.trace cnf 0:x,1:x 2:x,3:!x
+int detectCnf(const io::TraceFile& file, const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  CnfPredicate pred;
+  for (const std::string& clauseSpec : args) {
+    CnfClause clause;
+    std::size_t start = 0;
+    while (start <= clauseSpec.size()) {
+      const std::size_t comma = clauseSpec.find(',', start);
+      const std::string term =
+          clauseSpec.substr(start, comma == std::string::npos
+                                       ? std::string::npos
+                                       : comma - start);
+      const auto lit = parseLiteral(term);
+      if (!lit) return usage();
+      clause.push_back(*lit);
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    pred.clauses.push_back(std::move(clause));
+  }
+  detect::Detector detector(*file.trace);
+  std::cout << "predicate: " << pred.toString()
+            << (pred.isSingular() ? " (singular)" : " (not singular)") << '\n';
+  if (const auto cut = detector.possibly(pred)) {
+    std::cout << "possibly: witness cut " << cut->toString() << "  ["
+              << detector.lastAlgorithm() << "]\n";
+  } else {
+    std::cout << "possibly: unsatisfied  [" << detector.lastAlgorithm()
+              << "]\n";
+  }
+  return 0;
+}
+
+int detectSum(const io::TraceFile& file, const std::vector<std::string>& args) {
+  if (args.size() != 3) return usage();
+  Relop op;
+  if (args[0] == "lt") {
+    op = Relop::Less;
+  } else if (args[0] == "le") {
+    op = Relop::LessEq;
+  } else if (args[0] == "gt") {
+    op = Relop::Greater;
+  } else if (args[0] == "ge") {
+    op = Relop::GreaterEq;
+  } else if (args[0] == "eq") {
+    op = Relop::Equal;
+  } else if (args[0] == "ne") {
+    op = Relop::NotEqual;
+  } else {
+    return usage();
+  }
+  SumPredicate pred;
+  pred.relop = op;
+  pred.k = std::stoll(args[1]);
+  for (ProcessId p = 0; p < file.computation->processCount(); ++p) {
+    if (file.trace->has(p, args[2])) pred.terms.push_back({p, args[2]});
+  }
+  if (pred.terms.empty()) {
+    std::cerr << "variable '" << args[2] << "' not found on any process\n";
+    return 2;
+  }
+  detect::Detector detector(*file.trace);
+  if (const auto cut = detector.possibly(pred)) {
+    std::cout << "possibly(" << pred.toString() << "): witness cut "
+              << cut->toString() << "  [" << detector.lastAlgorithm() << "]\n";
+  } else {
+    std::cout << "possibly(" << pred.toString() << "): unsatisfied  ["
+              << detector.lastAlgorithm() << "]\n";
+  }
+  return 0;
+}
+
+int detectSym(const io::TraceFile& file, const std::vector<std::string>& args) {
+  if (args.size() != 2) return usage();
+  std::vector<SumTerm> vars;
+  for (ProcessId p = 0; p < file.computation->processCount(); ++p) {
+    if (file.trace->has(p, args[1])) vars.push_back({p, args[1]});
+  }
+  if (vars.empty()) {
+    std::cerr << "variable '" << args[1] << "' not found on any process\n";
+    return 2;
+  }
+  SymmetricPredicate pred;
+  if (args[0] == "xor") {
+    pred = exclusiveOr(vars);
+  } else if (args[0] == "no-majority") {
+    pred = absenceOfSimpleMajority(vars);
+  } else if (args[0] == "no-two-thirds") {
+    pred = absenceOfTwoThirdsMajority(vars);
+  } else if (args[0] == "not-all-equal") {
+    pred = notAllEqual(vars);
+  } else if (args[0].rfind("exactly:", 0) == 0) {
+    pred = exactlyK(vars, std::stoi(args[0].substr(8)));
+  } else {
+    return usage();
+  }
+  detect::Detector detector(*file.trace);
+  if (const auto cut = detector.possibly(pred)) {
+    std::cout << "possibly(" << pred.name << "): witness cut "
+              << cut->toString() << '\n';
+  } else {
+    std::cout << "possibly(" << pred.name << "): unsatisfied\n";
+  }
+  return 0;
+}
+
+int selftest() {
+  const std::string path = "/tmp/gpdtool_selftest.trace";
+  if (generate("token-ring-rogue", path, 7) != 0) return 2;
+  if (inspect(path) != 0) return 2;
+  const io::TraceFile file = io::loadTrace(path);
+  // The rogue (p2) must be able to share the CS with someone.
+  detect::Detector detector(*file.trace);
+  bool anyViolation = false;
+  for (ProcessId p = 0; p < file.computation->processCount(); ++p) {
+    if (p == 2) continue;
+    ConjunctivePredicate overlap{{varCompare(2, "cs", Relop::GreaterEq, 1),
+                                  varCompare(p, "cs", Relop::GreaterEq, 1)}};
+    anyViolation |= detector.possibly(overlap).has_value();
+  }
+  if (!anyViolation) {
+    std::cerr << "selftest: expected a CS violation in the rogue trace\n";
+    return 2;
+  }
+  std::cout << "selftest: OK\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.empty()) return usage();
+    const std::string& cmd = args[0];
+    if (cmd == "selftest") return selftest();
+    if (cmd == "generate") {
+      if (args.size() < 3) return usage();
+      const std::uint64_t seed = args.size() > 3 ? std::stoull(args[3]) : 1;
+      return generate(args[1], args[2], seed);
+    }
+    if (cmd == "inspect") {
+      if (args.size() != 2) return usage();
+      return inspect(args[1]);
+    }
+    if (cmd == "detect") {
+      if (args.size() < 3) return usage();
+      const io::TraceFile file = io::loadTrace(args[1]);
+      const std::vector<std::string> rest(args.begin() + 3, args.end());
+      if (args[2] == "conj") return detectConj(file, rest);
+      if (args[2] == "cnf") return detectCnf(file, rest);
+      if (args[2] == "sum") return detectSum(file, rest);
+      if (args[2] == "sym") return detectSym(file, rest);
+      return usage();
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "gpdtool: " << e.what() << '\n';
+    return 2;
+  }
+}
