@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_chains"
+  "../bench/bench_ablation_chains.pdb"
+  "CMakeFiles/bench_ablation_chains.dir/bench_ablation_chains.cpp.o"
+  "CMakeFiles/bench_ablation_chains.dir/bench_ablation_chains.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_clocks"
+  "../bench/bench_clocks.pdb"
+  "CMakeFiles/bench_clocks.dir/bench_clocks.cpp.o"
+  "CMakeFiles/bench_clocks.dir/bench_clocks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

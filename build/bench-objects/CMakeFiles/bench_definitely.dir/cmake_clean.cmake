@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_definitely"
+  "../bench/bench_definitely.pdb"
+  "CMakeFiles/bench_definitely.dir/bench_definitely.cpp.o"
+  "CMakeFiles/bench_definitely.dir/bench_definitely.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_definitely.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

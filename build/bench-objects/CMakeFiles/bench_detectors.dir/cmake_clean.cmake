@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_detectors"
+  "../bench/bench_detectors.pdb"
+  "CMakeFiles/bench_detectors.dir/bench_detectors.cpp.o"
+  "CMakeFiles/bench_detectors.dir/bench_detectors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

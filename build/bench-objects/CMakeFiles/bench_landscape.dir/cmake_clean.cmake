@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_landscape"
+  "../bench/bench_landscape.pdb"
+  "CMakeFiles/bench_landscape.dir/bench_landscape.cpp.o"
+  "CMakeFiles/bench_landscape.dir/bench_landscape.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

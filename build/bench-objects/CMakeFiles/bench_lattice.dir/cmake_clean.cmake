@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lattice"
+  "../bench/bench_lattice.pdb"
+  "CMakeFiles/bench_lattice.dir/bench_lattice.cpp.o"
+  "CMakeFiles/bench_lattice.dir/bench_lattice.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

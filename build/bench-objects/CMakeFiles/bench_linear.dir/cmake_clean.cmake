@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_linear"
+  "../bench/bench_linear.pdb"
+  "CMakeFiles/bench_linear.dir/bench_linear.cpp.o"
+  "CMakeFiles/bench_linear.dir/bench_linear.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_monitor"
+  "../bench/bench_monitor.pdb"
+  "CMakeFiles/bench_monitor.dir/bench_monitor.cpp.o"
+  "CMakeFiles/bench_monitor.dir/bench_monitor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_reduction_sat"
+  "../bench/bench_reduction_sat.pdb"
+  "CMakeFiles/bench_reduction_sat.dir/bench_reduction_sat.cpp.o"
+  "CMakeFiles/bench_reduction_sat.dir/bench_reduction_sat.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reduction_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_singular_general"
+  "../bench/bench_singular_general.pdb"
+  "CMakeFiles/bench_singular_general.dir/bench_singular_general.cpp.o"
+  "CMakeFiles/bench_singular_general.dir/bench_singular_general.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_singular_general.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_singular_special"
+  "../bench/bench_singular_special.pdb"
+  "CMakeFiles/bench_singular_special.dir/bench_singular_special.cpp.o"
+  "CMakeFiles/bench_singular_special.dir/bench_singular_special.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_singular_special.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_slice"
+  "../bench/bench_slice.pdb"
+  "CMakeFiles/bench_slice.dir/bench_slice.cpp.o"
+  "CMakeFiles/bench_slice.dir/bench_slice.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sum_nphard"
+  "../bench/bench_sum_nphard.pdb"
+  "CMakeFiles/bench_sum_nphard.dir/bench_sum_nphard.cpp.o"
+  "CMakeFiles/bench_sum_nphard.dir/bench_sum_nphard.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sum_nphard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

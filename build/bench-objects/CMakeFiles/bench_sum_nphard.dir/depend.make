@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sum_nphard.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_symmetric"
+  "../bench/bench_symmetric.pdb"
+  "CMakeFiles/bench_symmetric.dir/bench_symmetric.cpp.o"
+  "CMakeFiles/bench_symmetric.dir/bench_symmetric.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_symmetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

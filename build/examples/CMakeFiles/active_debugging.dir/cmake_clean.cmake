@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_debugging.dir/active_debugging.cpp.o"
+  "CMakeFiles/active_debugging.dir/active_debugging.cpp.o.d"
+  "active_debugging"
+  "active_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_detection.dir/deadlock_detection.cpp.o"
+  "CMakeFiles/deadlock_detection.dir/deadlock_detection.cpp.o.d"
+  "deadlock_detection"
+  "deadlock_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

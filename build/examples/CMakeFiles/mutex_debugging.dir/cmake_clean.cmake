@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutex_debugging.dir/mutex_debugging.cpp.o"
+  "CMakeFiles/mutex_debugging.dir/mutex_debugging.cpp.o.d"
+  "mutex_debugging"
+  "mutex_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutex_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

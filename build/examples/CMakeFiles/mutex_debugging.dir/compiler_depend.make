@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mutex_debugging.
+# This may be replaced when dependencies are built.

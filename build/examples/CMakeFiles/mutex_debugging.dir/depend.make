@@ -1,0 +1,2 @@
+# Empty dependencies file for mutex_debugging.
+# This may be replaced when dependencies are built.

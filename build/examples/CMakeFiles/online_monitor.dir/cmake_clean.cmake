@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_monitor.dir/online_monitor.cpp.o"
+  "CMakeFiles/online_monitor.dir/online_monitor.cpp.o.d"
+  "online_monitor"
+  "online_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

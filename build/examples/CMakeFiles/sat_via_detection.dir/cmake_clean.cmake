@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_via_detection.dir/sat_via_detection.cpp.o"
+  "CMakeFiles/sat_via_detection.dir/sat_via_detection.cpp.o.d"
+  "sat_via_detection"
+  "sat_via_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_via_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sat_via_detection.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_audit.dir/snapshot_audit.cpp.o"
+  "CMakeFiles/snapshot_audit.dir/snapshot_audit.cpp.o.d"
+  "snapshot_audit"
+  "snapshot_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

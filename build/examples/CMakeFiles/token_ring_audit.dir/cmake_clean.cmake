@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_ring_audit.dir/token_ring_audit.cpp.o"
+  "CMakeFiles/token_ring_audit.dir/token_ring_audit.cpp.o.d"
+  "token_ring_audit"
+  "token_ring_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_ring_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voting_quorum.dir/voting_quorum.cpp.o"
+  "CMakeFiles/voting_quorum.dir/voting_quorum.cpp.o.d"
+  "voting_quorum"
+  "voting_quorum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voting_quorum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

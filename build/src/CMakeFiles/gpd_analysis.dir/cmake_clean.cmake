@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpd_analysis.dir/analysis/statistics.cpp.o"
+  "CMakeFiles/gpd_analysis.dir/analysis/statistics.cpp.o.d"
+  "libgpd_analysis.a"
+  "libgpd_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpd_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpd_clocks.dir/clocks/direct_dependency.cpp.o"
+  "CMakeFiles/gpd_clocks.dir/clocks/direct_dependency.cpp.o.d"
+  "CMakeFiles/gpd_clocks.dir/clocks/lamport.cpp.o"
+  "CMakeFiles/gpd_clocks.dir/clocks/lamport.cpp.o.d"
+  "CMakeFiles/gpd_clocks.dir/clocks/sk_compression.cpp.o"
+  "CMakeFiles/gpd_clocks.dir/clocks/sk_compression.cpp.o.d"
+  "CMakeFiles/gpd_clocks.dir/clocks/vector_clock.cpp.o"
+  "CMakeFiles/gpd_clocks.dir/clocks/vector_clock.cpp.o.d"
+  "libgpd_clocks.a"
+  "libgpd_clocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpd_clocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

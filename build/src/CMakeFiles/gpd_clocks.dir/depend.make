@@ -1,0 +1,2 @@
+# Empty dependencies file for gpd_clocks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpd_computation.dir/computation/computation.cpp.o"
+  "CMakeFiles/gpd_computation.dir/computation/computation.cpp.o.d"
+  "CMakeFiles/gpd_computation.dir/computation/cut.cpp.o"
+  "CMakeFiles/gpd_computation.dir/computation/cut.cpp.o.d"
+  "CMakeFiles/gpd_computation.dir/computation/random.cpp.o"
+  "CMakeFiles/gpd_computation.dir/computation/random.cpp.o.d"
+  "CMakeFiles/gpd_computation.dir/computation/reverse.cpp.o"
+  "CMakeFiles/gpd_computation.dir/computation/reverse.cpp.o.d"
+  "libgpd_computation.a"
+  "libgpd_computation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpd_computation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpd_control.dir/control/serialize.cpp.o"
+  "CMakeFiles/gpd_control.dir/control/serialize.cpp.o.d"
+  "libgpd_control.a"
+  "libgpd_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpd_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

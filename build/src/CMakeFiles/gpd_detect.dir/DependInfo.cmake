@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/cpdhb.cpp" "src/CMakeFiles/gpd_detect.dir/detect/cpdhb.cpp.o" "gcc" "src/CMakeFiles/gpd_detect.dir/detect/cpdhb.cpp.o.d"
+  "/root/repo/src/detect/cpdsc.cpp" "src/CMakeFiles/gpd_detect.dir/detect/cpdsc.cpp.o" "gcc" "src/CMakeFiles/gpd_detect.dir/detect/cpdsc.cpp.o.d"
+  "/root/repo/src/detect/definitely_conjunctive.cpp" "src/CMakeFiles/gpd_detect.dir/detect/definitely_conjunctive.cpp.o" "gcc" "src/CMakeFiles/gpd_detect.dir/detect/definitely_conjunctive.cpp.o.d"
+  "/root/repo/src/detect/detector.cpp" "src/CMakeFiles/gpd_detect.dir/detect/detector.cpp.o" "gcc" "src/CMakeFiles/gpd_detect.dir/detect/detector.cpp.o.d"
+  "/root/repo/src/detect/dnf_detect.cpp" "src/CMakeFiles/gpd_detect.dir/detect/dnf_detect.cpp.o" "gcc" "src/CMakeFiles/gpd_detect.dir/detect/dnf_detect.cpp.o.d"
+  "/root/repo/src/detect/inequality_detect.cpp" "src/CMakeFiles/gpd_detect.dir/detect/inequality_detect.cpp.o" "gcc" "src/CMakeFiles/gpd_detect.dir/detect/inequality_detect.cpp.o.d"
+  "/root/repo/src/detect/linear.cpp" "src/CMakeFiles/gpd_detect.dir/detect/linear.cpp.o" "gcc" "src/CMakeFiles/gpd_detect.dir/detect/linear.cpp.o.d"
+  "/root/repo/src/detect/sat_encoding.cpp" "src/CMakeFiles/gpd_detect.dir/detect/sat_encoding.cpp.o" "gcc" "src/CMakeFiles/gpd_detect.dir/detect/sat_encoding.cpp.o.d"
+  "/root/repo/src/detect/singular_cnf.cpp" "src/CMakeFiles/gpd_detect.dir/detect/singular_cnf.cpp.o" "gcc" "src/CMakeFiles/gpd_detect.dir/detect/singular_cnf.cpp.o.d"
+  "/root/repo/src/detect/slice.cpp" "src/CMakeFiles/gpd_detect.dir/detect/slice.cpp.o" "gcc" "src/CMakeFiles/gpd_detect.dir/detect/slice.cpp.o.d"
+  "/root/repo/src/detect/stable.cpp" "src/CMakeFiles/gpd_detect.dir/detect/stable.cpp.o" "gcc" "src/CMakeFiles/gpd_detect.dir/detect/stable.cpp.o.d"
+  "/root/repo/src/detect/sum.cpp" "src/CMakeFiles/gpd_detect.dir/detect/sum.cpp.o" "gcc" "src/CMakeFiles/gpd_detect.dir/detect/sum.cpp.o.d"
+  "/root/repo/src/detect/symmetric.cpp" "src/CMakeFiles/gpd_detect.dir/detect/symmetric.cpp.o" "gcc" "src/CMakeFiles/gpd_detect.dir/detect/symmetric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpd_predicates.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_clocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_computation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpd_detect.dir/detect/cpdhb.cpp.o"
+  "CMakeFiles/gpd_detect.dir/detect/cpdhb.cpp.o.d"
+  "CMakeFiles/gpd_detect.dir/detect/cpdsc.cpp.o"
+  "CMakeFiles/gpd_detect.dir/detect/cpdsc.cpp.o.d"
+  "CMakeFiles/gpd_detect.dir/detect/definitely_conjunctive.cpp.o"
+  "CMakeFiles/gpd_detect.dir/detect/definitely_conjunctive.cpp.o.d"
+  "CMakeFiles/gpd_detect.dir/detect/detector.cpp.o"
+  "CMakeFiles/gpd_detect.dir/detect/detector.cpp.o.d"
+  "CMakeFiles/gpd_detect.dir/detect/dnf_detect.cpp.o"
+  "CMakeFiles/gpd_detect.dir/detect/dnf_detect.cpp.o.d"
+  "CMakeFiles/gpd_detect.dir/detect/inequality_detect.cpp.o"
+  "CMakeFiles/gpd_detect.dir/detect/inequality_detect.cpp.o.d"
+  "CMakeFiles/gpd_detect.dir/detect/linear.cpp.o"
+  "CMakeFiles/gpd_detect.dir/detect/linear.cpp.o.d"
+  "CMakeFiles/gpd_detect.dir/detect/sat_encoding.cpp.o"
+  "CMakeFiles/gpd_detect.dir/detect/sat_encoding.cpp.o.d"
+  "CMakeFiles/gpd_detect.dir/detect/singular_cnf.cpp.o"
+  "CMakeFiles/gpd_detect.dir/detect/singular_cnf.cpp.o.d"
+  "CMakeFiles/gpd_detect.dir/detect/slice.cpp.o"
+  "CMakeFiles/gpd_detect.dir/detect/slice.cpp.o.d"
+  "CMakeFiles/gpd_detect.dir/detect/stable.cpp.o"
+  "CMakeFiles/gpd_detect.dir/detect/stable.cpp.o.d"
+  "CMakeFiles/gpd_detect.dir/detect/sum.cpp.o"
+  "CMakeFiles/gpd_detect.dir/detect/sum.cpp.o.d"
+  "CMakeFiles/gpd_detect.dir/detect/symmetric.cpp.o"
+  "CMakeFiles/gpd_detect.dir/detect/symmetric.cpp.o.d"
+  "libgpd_detect.a"
+  "libgpd_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpd_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpd_flow.dir/flow/closure.cpp.o"
+  "CMakeFiles/gpd_flow.dir/flow/closure.cpp.o.d"
+  "CMakeFiles/gpd_flow.dir/flow/maxflow.cpp.o"
+  "CMakeFiles/gpd_flow.dir/flow/maxflow.cpp.o.d"
+  "libgpd_flow.a"
+  "libgpd_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpd_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

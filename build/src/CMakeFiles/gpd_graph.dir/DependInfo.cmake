@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/chains.cpp" "src/CMakeFiles/gpd_graph.dir/graph/chains.cpp.o" "gcc" "src/CMakeFiles/gpd_graph.dir/graph/chains.cpp.o.d"
+  "/root/repo/src/graph/dag.cpp" "src/CMakeFiles/gpd_graph.dir/graph/dag.cpp.o" "gcc" "src/CMakeFiles/gpd_graph.dir/graph/dag.cpp.o.d"
+  "/root/repo/src/graph/linear_extension.cpp" "src/CMakeFiles/gpd_graph.dir/graph/linear_extension.cpp.o" "gcc" "src/CMakeFiles/gpd_graph.dir/graph/linear_extension.cpp.o.d"
+  "/root/repo/src/graph/matching.cpp" "src/CMakeFiles/gpd_graph.dir/graph/matching.cpp.o" "gcc" "src/CMakeFiles/gpd_graph.dir/graph/matching.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

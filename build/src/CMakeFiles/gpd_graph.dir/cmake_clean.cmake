@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpd_graph.dir/graph/chains.cpp.o"
+  "CMakeFiles/gpd_graph.dir/graph/chains.cpp.o.d"
+  "CMakeFiles/gpd_graph.dir/graph/dag.cpp.o"
+  "CMakeFiles/gpd_graph.dir/graph/dag.cpp.o.d"
+  "CMakeFiles/gpd_graph.dir/graph/linear_extension.cpp.o"
+  "CMakeFiles/gpd_graph.dir/graph/linear_extension.cpp.o.d"
+  "CMakeFiles/gpd_graph.dir/graph/matching.cpp.o"
+  "CMakeFiles/gpd_graph.dir/graph/matching.cpp.o.d"
+  "libgpd_graph.a"
+  "libgpd_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpd_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

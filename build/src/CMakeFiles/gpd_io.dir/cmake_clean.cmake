@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpd_io.dir/io/trace_io.cpp.o"
+  "CMakeFiles/gpd_io.dir/io/trace_io.cpp.o.d"
+  "libgpd_io.a"
+  "libgpd_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpd_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpd_lattice.dir/lattice/explore.cpp.o"
+  "CMakeFiles/gpd_lattice.dir/lattice/explore.cpp.o.d"
+  "libgpd_lattice.a"
+  "libgpd_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpd_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpd_lattice.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/feed.cpp" "src/CMakeFiles/gpd_monitor.dir/monitor/feed.cpp.o" "gcc" "src/CMakeFiles/gpd_monitor.dir/monitor/feed.cpp.o.d"
+  "/root/repo/src/monitor/insim.cpp" "src/CMakeFiles/gpd_monitor.dir/monitor/insim.cpp.o" "gcc" "src/CMakeFiles/gpd_monitor.dir/monitor/insim.cpp.o.d"
+  "/root/repo/src/monitor/online.cpp" "src/CMakeFiles/gpd_monitor.dir/monitor/online.cpp.o" "gcc" "src/CMakeFiles/gpd_monitor.dir/monitor/online.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpd_clocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_predicates.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_computation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpd_monitor.dir/monitor/feed.cpp.o"
+  "CMakeFiles/gpd_monitor.dir/monitor/feed.cpp.o.d"
+  "CMakeFiles/gpd_monitor.dir/monitor/insim.cpp.o"
+  "CMakeFiles/gpd_monitor.dir/monitor/insim.cpp.o.d"
+  "CMakeFiles/gpd_monitor.dir/monitor/online.cpp.o"
+  "CMakeFiles/gpd_monitor.dir/monitor/online.cpp.o.d"
+  "libgpd_monitor.a"
+  "libgpd_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpd_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

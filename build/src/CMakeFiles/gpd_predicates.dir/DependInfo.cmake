@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predicates/boolean_expr.cpp" "src/CMakeFiles/gpd_predicates.dir/predicates/boolean_expr.cpp.o" "gcc" "src/CMakeFiles/gpd_predicates.dir/predicates/boolean_expr.cpp.o.d"
+  "/root/repo/src/predicates/cnf.cpp" "src/CMakeFiles/gpd_predicates.dir/predicates/cnf.cpp.o" "gcc" "src/CMakeFiles/gpd_predicates.dir/predicates/cnf.cpp.o.d"
+  "/root/repo/src/predicates/inequality.cpp" "src/CMakeFiles/gpd_predicates.dir/predicates/inequality.cpp.o" "gcc" "src/CMakeFiles/gpd_predicates.dir/predicates/inequality.cpp.o.d"
+  "/root/repo/src/predicates/local.cpp" "src/CMakeFiles/gpd_predicates.dir/predicates/local.cpp.o" "gcc" "src/CMakeFiles/gpd_predicates.dir/predicates/local.cpp.o.d"
+  "/root/repo/src/predicates/random_trace.cpp" "src/CMakeFiles/gpd_predicates.dir/predicates/random_trace.cpp.o" "gcc" "src/CMakeFiles/gpd_predicates.dir/predicates/random_trace.cpp.o.d"
+  "/root/repo/src/predicates/relational.cpp" "src/CMakeFiles/gpd_predicates.dir/predicates/relational.cpp.o" "gcc" "src/CMakeFiles/gpd_predicates.dir/predicates/relational.cpp.o.d"
+  "/root/repo/src/predicates/symmetric.cpp" "src/CMakeFiles/gpd_predicates.dir/predicates/symmetric.cpp.o" "gcc" "src/CMakeFiles/gpd_predicates.dir/predicates/symmetric.cpp.o.d"
+  "/root/repo/src/predicates/variable_trace.cpp" "src/CMakeFiles/gpd_predicates.dir/predicates/variable_trace.cpp.o" "gcc" "src/CMakeFiles/gpd_predicates.dir/predicates/variable_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpd_computation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_clocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpd_predicates.dir/predicates/boolean_expr.cpp.o"
+  "CMakeFiles/gpd_predicates.dir/predicates/boolean_expr.cpp.o.d"
+  "CMakeFiles/gpd_predicates.dir/predicates/cnf.cpp.o"
+  "CMakeFiles/gpd_predicates.dir/predicates/cnf.cpp.o.d"
+  "CMakeFiles/gpd_predicates.dir/predicates/inequality.cpp.o"
+  "CMakeFiles/gpd_predicates.dir/predicates/inequality.cpp.o.d"
+  "CMakeFiles/gpd_predicates.dir/predicates/local.cpp.o"
+  "CMakeFiles/gpd_predicates.dir/predicates/local.cpp.o.d"
+  "CMakeFiles/gpd_predicates.dir/predicates/random_trace.cpp.o"
+  "CMakeFiles/gpd_predicates.dir/predicates/random_trace.cpp.o.d"
+  "CMakeFiles/gpd_predicates.dir/predicates/relational.cpp.o"
+  "CMakeFiles/gpd_predicates.dir/predicates/relational.cpp.o.d"
+  "CMakeFiles/gpd_predicates.dir/predicates/symmetric.cpp.o"
+  "CMakeFiles/gpd_predicates.dir/predicates/symmetric.cpp.o.d"
+  "CMakeFiles/gpd_predicates.dir/predicates/variable_trace.cpp.o"
+  "CMakeFiles/gpd_predicates.dir/predicates/variable_trace.cpp.o.d"
+  "libgpd_predicates.a"
+  "libgpd_predicates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpd_predicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gpd_predicates.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpd_reduction.dir/reduction/sat_to_computation.cpp.o"
+  "CMakeFiles/gpd_reduction.dir/reduction/sat_to_computation.cpp.o.d"
+  "CMakeFiles/gpd_reduction.dir/reduction/subset_sum_to_computation.cpp.o"
+  "CMakeFiles/gpd_reduction.dir/reduction/subset_sum_to_computation.cpp.o.d"
+  "libgpd_reduction.a"
+  "libgpd_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpd_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

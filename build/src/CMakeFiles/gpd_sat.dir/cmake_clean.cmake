@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpd_sat.dir/sat/cnf.cpp.o"
+  "CMakeFiles/gpd_sat.dir/sat/cnf.cpp.o.d"
+  "CMakeFiles/gpd_sat.dir/sat/dpll.cpp.o"
+  "CMakeFiles/gpd_sat.dir/sat/dpll.cpp.o.d"
+  "CMakeFiles/gpd_sat.dir/sat/nonmonotone.cpp.o"
+  "CMakeFiles/gpd_sat.dir/sat/nonmonotone.cpp.o.d"
+  "CMakeFiles/gpd_sat.dir/sat/subset_sum.cpp.o"
+  "CMakeFiles/gpd_sat.dir/sat/subset_sum.cpp.o.d"
+  "libgpd_sat.a"
+  "libgpd_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpd_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

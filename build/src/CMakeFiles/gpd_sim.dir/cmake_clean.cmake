@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpd_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/gpd_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/gpd_sim.dir/sim/workloads.cpp.o"
+  "CMakeFiles/gpd_sim.dir/sim/workloads.cpp.o.d"
+  "libgpd_sim.a"
+  "libgpd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

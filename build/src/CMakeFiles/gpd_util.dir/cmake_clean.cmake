@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpd_util.dir/util/table.cpp.o"
+  "CMakeFiles/gpd_util.dir/util/table.cpp.o.d"
+  "libgpd_util.a"
+  "libgpd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clocks_test.dir/clocks/direct_dependency_test.cpp.o"
+  "CMakeFiles/clocks_test.dir/clocks/direct_dependency_test.cpp.o.d"
+  "CMakeFiles/clocks_test.dir/clocks/lamport_test.cpp.o"
+  "CMakeFiles/clocks_test.dir/clocks/lamport_test.cpp.o.d"
+  "CMakeFiles/clocks_test.dir/clocks/sk_compression_test.cpp.o"
+  "CMakeFiles/clocks_test.dir/clocks/sk_compression_test.cpp.o.d"
+  "CMakeFiles/clocks_test.dir/clocks/vector_clock_test.cpp.o"
+  "CMakeFiles/clocks_test.dir/clocks/vector_clock_test.cpp.o.d"
+  "clocks_test"
+  "clocks_test.pdb"
+  "clocks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clocks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

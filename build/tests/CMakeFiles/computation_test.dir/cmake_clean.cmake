@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/computation_test.dir/computation/computation_test.cpp.o"
+  "CMakeFiles/computation_test.dir/computation/computation_test.cpp.o.d"
+  "CMakeFiles/computation_test.dir/computation/cut_test.cpp.o"
+  "CMakeFiles/computation_test.dir/computation/cut_test.cpp.o.d"
+  "CMakeFiles/computation_test.dir/computation/figure2_test.cpp.o"
+  "CMakeFiles/computation_test.dir/computation/figure2_test.cpp.o.d"
+  "CMakeFiles/computation_test.dir/computation/random_test.cpp.o"
+  "CMakeFiles/computation_test.dir/computation/random_test.cpp.o.d"
+  "CMakeFiles/computation_test.dir/computation/reverse_test.cpp.o"
+  "CMakeFiles/computation_test.dir/computation/reverse_test.cpp.o.d"
+  "computation_test"
+  "computation_test.pdb"
+  "computation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/computation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_test.dir/control/serialize_test.cpp.o"
+  "CMakeFiles/control_test.dir/control/serialize_test.cpp.o.d"
+  "control_test"
+  "control_test.pdb"
+  "control_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/detect/cpdhb_test.cpp" "tests/CMakeFiles/detect_test.dir/detect/cpdhb_test.cpp.o" "gcc" "tests/CMakeFiles/detect_test.dir/detect/cpdhb_test.cpp.o.d"
+  "/root/repo/tests/detect/cpdsc_test.cpp" "tests/CMakeFiles/detect_test.dir/detect/cpdsc_test.cpp.o" "gcc" "tests/CMakeFiles/detect_test.dir/detect/cpdsc_test.cpp.o.d"
+  "/root/repo/tests/detect/definitely_conjunctive_test.cpp" "tests/CMakeFiles/detect_test.dir/detect/definitely_conjunctive_test.cpp.o" "gcc" "tests/CMakeFiles/detect_test.dir/detect/definitely_conjunctive_test.cpp.o.d"
+  "/root/repo/tests/detect/detector_test.cpp" "tests/CMakeFiles/detect_test.dir/detect/detector_test.cpp.o" "gcc" "tests/CMakeFiles/detect_test.dir/detect/detector_test.cpp.o.d"
+  "/root/repo/tests/detect/dnf_detect_test.cpp" "tests/CMakeFiles/detect_test.dir/detect/dnf_detect_test.cpp.o" "gcc" "tests/CMakeFiles/detect_test.dir/detect/dnf_detect_test.cpp.o.d"
+  "/root/repo/tests/detect/inequality_detect_test.cpp" "tests/CMakeFiles/detect_test.dir/detect/inequality_detect_test.cpp.o" "gcc" "tests/CMakeFiles/detect_test.dir/detect/inequality_detect_test.cpp.o.d"
+  "/root/repo/tests/detect/linear_test.cpp" "tests/CMakeFiles/detect_test.dir/detect/linear_test.cpp.o" "gcc" "tests/CMakeFiles/detect_test.dir/detect/linear_test.cpp.o.d"
+  "/root/repo/tests/detect/sat_encoding_test.cpp" "tests/CMakeFiles/detect_test.dir/detect/sat_encoding_test.cpp.o" "gcc" "tests/CMakeFiles/detect_test.dir/detect/sat_encoding_test.cpp.o.d"
+  "/root/repo/tests/detect/singular_cnf_test.cpp" "tests/CMakeFiles/detect_test.dir/detect/singular_cnf_test.cpp.o" "gcc" "tests/CMakeFiles/detect_test.dir/detect/singular_cnf_test.cpp.o.d"
+  "/root/repo/tests/detect/singular_edge_test.cpp" "tests/CMakeFiles/detect_test.dir/detect/singular_edge_test.cpp.o" "gcc" "tests/CMakeFiles/detect_test.dir/detect/singular_edge_test.cpp.o.d"
+  "/root/repo/tests/detect/slice_test.cpp" "tests/CMakeFiles/detect_test.dir/detect/slice_test.cpp.o" "gcc" "tests/CMakeFiles/detect_test.dir/detect/slice_test.cpp.o.d"
+  "/root/repo/tests/detect/stable_test.cpp" "tests/CMakeFiles/detect_test.dir/detect/stable_test.cpp.o" "gcc" "tests/CMakeFiles/detect_test.dir/detect/stable_test.cpp.o.d"
+  "/root/repo/tests/detect/sum_test.cpp" "tests/CMakeFiles/detect_test.dir/detect/sum_test.cpp.o" "gcc" "tests/CMakeFiles/detect_test.dir/detect/sum_test.cpp.o.d"
+  "/root/repo/tests/detect/symmetric_detect_test.cpp" "tests/CMakeFiles/detect_test.dir/detect/symmetric_detect_test.cpp.o" "gcc" "tests/CMakeFiles/detect_test.dir/detect/symmetric_detect_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpd_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_reduction.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_predicates.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_clocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_computation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_test.dir/detect/cpdhb_test.cpp.o"
+  "CMakeFiles/detect_test.dir/detect/cpdhb_test.cpp.o.d"
+  "CMakeFiles/detect_test.dir/detect/cpdsc_test.cpp.o"
+  "CMakeFiles/detect_test.dir/detect/cpdsc_test.cpp.o.d"
+  "CMakeFiles/detect_test.dir/detect/definitely_conjunctive_test.cpp.o"
+  "CMakeFiles/detect_test.dir/detect/definitely_conjunctive_test.cpp.o.d"
+  "CMakeFiles/detect_test.dir/detect/detector_test.cpp.o"
+  "CMakeFiles/detect_test.dir/detect/detector_test.cpp.o.d"
+  "CMakeFiles/detect_test.dir/detect/dnf_detect_test.cpp.o"
+  "CMakeFiles/detect_test.dir/detect/dnf_detect_test.cpp.o.d"
+  "CMakeFiles/detect_test.dir/detect/inequality_detect_test.cpp.o"
+  "CMakeFiles/detect_test.dir/detect/inequality_detect_test.cpp.o.d"
+  "CMakeFiles/detect_test.dir/detect/linear_test.cpp.o"
+  "CMakeFiles/detect_test.dir/detect/linear_test.cpp.o.d"
+  "CMakeFiles/detect_test.dir/detect/sat_encoding_test.cpp.o"
+  "CMakeFiles/detect_test.dir/detect/sat_encoding_test.cpp.o.d"
+  "CMakeFiles/detect_test.dir/detect/singular_cnf_test.cpp.o"
+  "CMakeFiles/detect_test.dir/detect/singular_cnf_test.cpp.o.d"
+  "CMakeFiles/detect_test.dir/detect/singular_edge_test.cpp.o"
+  "CMakeFiles/detect_test.dir/detect/singular_edge_test.cpp.o.d"
+  "CMakeFiles/detect_test.dir/detect/slice_test.cpp.o"
+  "CMakeFiles/detect_test.dir/detect/slice_test.cpp.o.d"
+  "CMakeFiles/detect_test.dir/detect/stable_test.cpp.o"
+  "CMakeFiles/detect_test.dir/detect/stable_test.cpp.o.d"
+  "CMakeFiles/detect_test.dir/detect/sum_test.cpp.o"
+  "CMakeFiles/detect_test.dir/detect/sum_test.cpp.o.d"
+  "CMakeFiles/detect_test.dir/detect/symmetric_detect_test.cpp.o"
+  "CMakeFiles/detect_test.dir/detect/symmetric_detect_test.cpp.o.d"
+  "detect_test"
+  "detect_test.pdb"
+  "detect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/chains_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/chains_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/chains_test.cpp.o.d"
+  "/root/repo/tests/graph/dag_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/dag_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/dag_test.cpp.o.d"
+  "/root/repo/tests/graph/linear_extension_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/linear_extension_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/linear_extension_test.cpp.o.d"
+  "/root/repo/tests/graph/matching_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/matching_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/matching_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpd_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_reduction.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_predicates.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_clocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_computation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_test.dir/lattice/algebra_test.cpp.o"
+  "CMakeFiles/lattice_test.dir/lattice/algebra_test.cpp.o.d"
+  "CMakeFiles/lattice_test.dir/lattice/explore_test.cpp.o"
+  "CMakeFiles/lattice_test.dir/lattice/explore_test.cpp.o.d"
+  "lattice_test"
+  "lattice_test.pdb"
+  "lattice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

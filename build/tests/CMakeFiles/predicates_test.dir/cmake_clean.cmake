@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicates_test.dir/predicates/boolean_expr_test.cpp.o"
+  "CMakeFiles/predicates_test.dir/predicates/boolean_expr_test.cpp.o.d"
+  "CMakeFiles/predicates_test.dir/predicates/cnf_pred_test.cpp.o"
+  "CMakeFiles/predicates_test.dir/predicates/cnf_pred_test.cpp.o.d"
+  "CMakeFiles/predicates_test.dir/predicates/inequality_test.cpp.o"
+  "CMakeFiles/predicates_test.dir/predicates/inequality_test.cpp.o.d"
+  "CMakeFiles/predicates_test.dir/predicates/local_test.cpp.o"
+  "CMakeFiles/predicates_test.dir/predicates/local_test.cpp.o.d"
+  "CMakeFiles/predicates_test.dir/predicates/relational_test.cpp.o"
+  "CMakeFiles/predicates_test.dir/predicates/relational_test.cpp.o.d"
+  "CMakeFiles/predicates_test.dir/predicates/symmetric_test.cpp.o"
+  "CMakeFiles/predicates_test.dir/predicates/symmetric_test.cpp.o.d"
+  "CMakeFiles/predicates_test.dir/predicates/variable_trace_test.cpp.o"
+  "CMakeFiles/predicates_test.dir/predicates/variable_trace_test.cpp.o.d"
+  "predicates_test"
+  "predicates_test.pdb"
+  "predicates_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

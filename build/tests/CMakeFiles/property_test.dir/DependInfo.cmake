@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property/property_sweeps2_test.cpp" "tests/CMakeFiles/property_test.dir/property/property_sweeps2_test.cpp.o" "gcc" "tests/CMakeFiles/property_test.dir/property/property_sweeps2_test.cpp.o.d"
+  "/root/repo/tests/property/property_sweeps_test.cpp" "tests/CMakeFiles/property_test.dir/property/property_sweeps_test.cpp.o" "gcc" "tests/CMakeFiles/property_test.dir/property/property_sweeps_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpd_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_reduction.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_predicates.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_clocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_computation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

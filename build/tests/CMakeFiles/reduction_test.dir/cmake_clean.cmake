@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduction_test.dir/reduction/sat_reduction_test.cpp.o"
+  "CMakeFiles/reduction_test.dir/reduction/sat_reduction_test.cpp.o.d"
+  "CMakeFiles/reduction_test.dir/reduction/subset_sum_reduction_test.cpp.o"
+  "CMakeFiles/reduction_test.dir/reduction/subset_sum_reduction_test.cpp.o.d"
+  "reduction_test"
+  "reduction_test.pdb"
+  "reduction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpdtool.dir/gpdtool.cpp.o"
+  "CMakeFiles/gpdtool.dir/gpdtool.cpp.o.d"
+  "gpdtool"
+  "gpdtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpdtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
