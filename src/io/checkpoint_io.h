@@ -1,0 +1,41 @@
+// Persistence for the resilient online checker (monitor/session.h).
+//
+// A restarted checker process restores its MonitorSession from the last
+// checkpoint and keeps going; notifications replayed by the transport after
+// the restore are absorbed by the session's sequence-number dedup, so a
+// checkpoint round-trip never changes the verdict.
+//
+// Line-oriented text, versioned and self-describing like trace_io:
+//
+//   gpd-checkpoint 1
+//   processes 2
+//   now 17
+//   next 3 1
+//   ...
+//   queue 0 2
+//   clock 1 0
+//   clock 3 1
+//   ...
+//   end
+//
+// Loading validates structure (throwing gpd::InputError on malformed data)
+// and defers semantic validation (program order, buffer ordering) to
+// MonitorSession::restore.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "monitor/session.h"
+
+namespace gpd::io {
+
+void writeCheckpoint(std::ostream& os, const monitor::SessionSnapshot& snap);
+monitor::SessionSnapshot readCheckpoint(std::istream& is);
+
+// Convenience file-path wrappers.
+void saveCheckpoint(const std::string& path,
+                    const monitor::SessionSnapshot& snap);
+monitor::SessionSnapshot loadCheckpoint(const std::string& path);
+
+}  // namespace gpd::io

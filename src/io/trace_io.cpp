@@ -1,7 +1,14 @@
 #include "io/trace_io.h"
 
+#include <cstdint>
 #include <fstream>
+#include <limits>
+#include <optional>
+#include <set>
 #include <sstream>
+#include <string>
+#include <tuple>
+#include <utility>
 
 #include "util/check.h"
 
@@ -10,11 +17,89 @@ namespace gpd::io {
 namespace {
 constexpr char kMagic[] = "gpd-trace";
 constexpr int kVersion = 1;
+// Hostile-input bounds: a trace claiming more than this is rejected up
+// front instead of driving allocations from attacker-controlled counts.
+constexpr long long kMaxProcesses = 1 << 20;
+constexpr long long kMaxTotalEvents = 1 << 26;
 
 bool whitespaceFree(const std::string& s) {
   return !s.empty() &&
          s.find_first_of(" \t\r\n") == std::string::npos;
 }
+
+// Tokenized view of one trace line, with line-numbered InputErrors.
+class Line {
+ public:
+  Line(std::string text, int number) : tokens_(std::move(text)), number_(number) {}
+
+  int number() const { return number_; }
+
+  std::string word(const char* what) {
+    std::string w;
+    GPD_INPUT_CHECK(static_cast<bool>(tokens_ >> w),
+                    "line " << number_ << ": missing " << what);
+    return w;
+  }
+
+  long long integer(const char* what, long long lo, long long hi) {
+    std::string w = word(what);
+    long long v = 0;
+    std::size_t used = 0;
+    try {
+      v = std::stoll(w, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    GPD_INPUT_CHECK(used == w.size() && !w.empty(),
+                    "line " << number_ << ": '" << w << "' is not an integer ("
+                            << what << ")");
+    GPD_INPUT_CHECK(v >= lo && v <= hi,
+                    "line " << number_ << ": " << what << " " << v
+                            << " out of range [" << lo << ", " << hi << "]");
+    return v;
+  }
+
+  void expectDone() {
+    std::string extra;
+    GPD_INPUT_CHECK(!(tokens_ >> extra),
+                    "line " << number_ << ": unexpected trailing '" << extra
+                            << "'");
+  }
+
+ private:
+  std::istringstream tokens_;
+  int number_;
+};
+
+// Reads lines, skipping blank ones, tracking the line number.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) : is_(is) {}
+
+  // Returns the next non-blank line, or nullopt at end of stream.
+  std::optional<Line> next() {
+    std::string text;
+    while (std::getline(is_, text)) {
+      ++number_;
+      if (text.find_first_not_of(" \t\r") == std::string::npos) continue;
+      return Line(std::move(text), number_);
+    }
+    return std::nullopt;
+  }
+
+  Line require(const char* what) {
+    auto line = next();
+    GPD_INPUT_CHECK(line.has_value(),
+                    "truncated trace: missing " << what << " (after line "
+                                                << number_ << ")");
+    return std::move(*line);
+  }
+
+ private:
+  std::istream& is_;
+  int number_ = 0;
+};
+
 }  // namespace
 
 void writeTrace(std::ostream& os, const Computation& comp,
@@ -47,22 +132,44 @@ void writeTrace(std::ostream& os, const Computation& comp,
 }
 
 TraceFile readTrace(std::istream& is) {
-  std::string word;
-  int version = 0;
-  GPD_CHECK_MSG(is >> word && word == kMagic && is >> version,
-                "not a gpd-trace stream");
-  GPD_CHECK_MSG(version == kVersion, "unsupported trace version " << version);
+  LineReader lines(is);
+
+  {
+    Line header = lines.require("header");
+    GPD_INPUT_CHECK(header.word("magic") == kMagic,
+                    "line " << header.number() << ": not a gpd-trace stream");
+    const long long version =
+        header.integer("version", 0, std::numeric_limits<long long>::max());
+    GPD_INPUT_CHECK(version == kVersion,
+                    "line " << header.number() << ": unsupported trace version "
+                            << version);
+    header.expectDone();
+  }
 
   int processes = 0;
-  GPD_CHECK_MSG(is >> word && word == "processes" && is >> processes &&
-                    processes >= 1,
-                "malformed 'processes' line");
+  {
+    Line line = lines.require("'processes' line");
+    GPD_INPUT_CHECK(line.word("keyword") == "processes",
+                    "line " << line.number() << ": expected 'processes'");
+    processes = static_cast<int>(line.integer("process count", 1, kMaxProcesses));
+    line.expectDone();
+  }
 
   std::vector<int> counts(processes);
-  GPD_CHECK_MSG(static_cast<bool>(is >> word) && word == "events",
-                "malformed 'events' line");
-  for (int& c : counts) {
-    GPD_CHECK_MSG(static_cast<bool>(is >> c) && c >= 1, "bad event count");
+  {
+    Line line = lines.require("'events' line");
+    GPD_INPUT_CHECK(line.word("keyword") == "events",
+                    "line " << line.number() << ": expected 'events'");
+    long long total = 0;
+    for (int& c : counts) {
+      c = static_cast<int>(line.integer("event count", 1, kMaxTotalEvents));
+      total += c;
+      GPD_INPUT_CHECK(total <= kMaxTotalEvents,
+                      "line " << line.number() << ": total event count "
+                              << total << " exceeds the " << kMaxTotalEvents
+                              << " limit");
+    }
+    line.expectDone();
   }
 
   ComputationBuilder builder(processes);
@@ -76,37 +183,67 @@ TraceFile readTrace(std::istream& is) {
     std::vector<std::int64_t> values;
   };
   std::vector<PendingVar> vars;
+  std::set<std::pair<ProcessId, std::string>> varsSeen;
+  std::set<std::tuple<int, int, int, int>> messagesSeen;
 
   bool sawEnd = false;
-  while (is >> word) {
-    if (word == "end") {
+  while (auto maybeLine = lines.next()) {
+    Line& line = *maybeLine;
+    const std::string keyword = line.word("keyword");
+    if (keyword == "end") {
+      line.expectDone();
       sawEnd = true;
       break;
     }
-    if (word == "message") {
-      int sp, si, rp, ri;
-      GPD_CHECK_MSG(static_cast<bool>(is >> sp >> si >> rp >> ri),
-                    "malformed 'message' line");
-      builder.addMessage({sp, si}, {rp, ri});  // builder validates ranges
-    } else if (word == "var") {
+    if (keyword == "message") {
+      const int sp = static_cast<int>(line.integer("send process", 0, processes - 1));
+      const int si = static_cast<int>(line.integer("send index", 1, counts[sp] - 1));
+      const int rp = static_cast<int>(line.integer("receive process", 0, processes - 1));
+      GPD_INPUT_CHECK(rp != sp, "line " << line.number()
+                                        << ": message from process " << sp
+                                        << " to itself");
+      const int ri = static_cast<int>(line.integer("receive index", 1, counts[rp] - 1));
+      line.expectDone();
+      GPD_INPUT_CHECK(messagesSeen.emplace(sp, si, rp, ri).second,
+                      "line " << line.number() << ": duplicate message "
+                              << sp << ":" << si << " -> " << rp << ":" << ri);
+      builder.addMessage({sp, si}, {rp, ri});
+    } else if (keyword == "var") {
       PendingVar v;
-      GPD_CHECK_MSG(static_cast<bool>(is >> v.process >> v.name),
-                    "malformed 'var' line");
-      GPD_CHECK_MSG(v.process >= 0 && v.process < processes,
-                    "var on unknown process " << v.process);
+      v.process = static_cast<ProcessId>(line.integer("var process", 0, processes - 1));
+      v.name = line.word("variable name");
+      GPD_INPUT_CHECK(varsSeen.emplace(v.process, v.name).second,
+                      "line " << line.number() << ": duplicate variable '"
+                              << v.name << "' on process " << v.process);
       v.values.resize(counts[v.process]);
       for (auto& x : v.values) {
-        GPD_CHECK_MSG(static_cast<bool>(is >> x), "truncated 'var' values");
+        x = line.integer("var value", std::numeric_limits<std::int64_t>::min(),
+                         std::numeric_limits<std::int64_t>::max());
       }
+      line.expectDone();
       vars.push_back(std::move(v));
     } else {
-      GPD_CHECK_MSG(false, "unknown trace keyword '" << word << "'");
+      GPD_INPUT_CHECK(false, "line " << line.number()
+                                     << ": unknown trace keyword '" << keyword
+                                     << "'");
     }
   }
-  GPD_CHECK_MSG(sawEnd, "trace stream missing 'end'");
+  GPD_INPUT_CHECK(sawEnd, "trace stream missing 'end'");
+  {
+    auto trailing = lines.next();
+    GPD_INPUT_CHECK(!trailing.has_value(),
+                    "line " << trailing->number()
+                            << ": content after 'end'");
+  }
 
   TraceFile file;
-  file.computation = std::make_unique<Computation>(std::move(builder).build());
+  try {
+    file.computation = std::make_unique<Computation>(std::move(builder).build());
+  } catch (const CheckFailure&) {
+    // The builder validates causal acyclicity; a cycle here means the input
+    // describes an impossible computation, not a library bug.
+    throw InputError("trace describes a cyclic computation");
+  }
   file.trace = std::make_unique<VariableTrace>(*file.computation);
   for (auto& v : vars) {
     file.trace->define(v.process, std::move(v.name), std::move(v.values));
@@ -123,7 +260,7 @@ void saveTrace(const std::string& path, const Computation& comp,
 
 TraceFile loadTrace(const std::string& path) {
   std::ifstream is(path);
-  GPD_CHECK_MSG(is.is_open(), "cannot open '" << path << "' for reading");
+  GPD_INPUT_CHECK(is.is_open(), "cannot open '" << path << "' for reading");
   return readTrace(is);
 }
 

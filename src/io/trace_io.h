@@ -9,10 +9,12 @@
 //   var 0 cs 0 1 1 0 0        # process, name, value after each event
 //   end
 //
-// Variable names must be whitespace-free. Loading validates structure and
-// causal acyclicity (via ComputationBuilder) and fails with CheckFailure on
-// malformed input. The loader returns owning pointers because the trace
-// refers into the computation.
+// Variable names must be whitespace-free. Loading validates structure
+// (ranges, duplicate lines, hostile-sized counts, truncation — each rejected
+// with a line-numbered gpd::InputError) and causal acyclicity (via
+// ComputationBuilder; a cyclic input is likewise an InputError, never a
+// CheckFailure). The loader returns owning pointers because the trace refers
+// into the computation.
 #pragma once
 
 #include <iosfwd>

@@ -1,13 +1,25 @@
 // Bridges offline traces to the online checker: replays a recorded
 // computation's true events, in the order of a given run, as the
 // notification stream the application processes would have sent.
+//
+// Two transports are provided:
+//   * replayConjunctive — the ideal transport (exactly-once, in order),
+//     feeding a bare ConjunctiveMonitor;
+//   * replayConjunctiveFaulty — a seeded faulty transport (drop, duplicate,
+//     bounded reorder, burst delay) feeding a MonitorSession, with the
+//     session's NACKs serviced from the transport's retained send log so
+//     every resilience claim can be tested against the offline CPDHB ground
+//     truth on the same trace.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "clocks/vector_clock.h"
 #include "monitor/online.h"
+#include "monitor/session.h"
 #include "predicates/local.h"
+#include "util/rng.h"
 
 namespace gpd::monitor {
 
@@ -26,5 +38,47 @@ ReplayResult replayConjunctive(const VectorClocks& clocks,
                                const ConjunctivePredicate& pred,
                                const std::vector<int>& runOrder,
                                ConjunctiveMonitor& monitor);
+
+// Seeded fault schedule for a notification stream. All faults are applied
+// per notification, independently, from the Rng passed to the replay.
+struct FaultOptions {
+  // Probability a notification copy is lost in the channel. Retransmissions
+  // are subject to the same loss (that is how retries get exhausted).
+  double dropProbability = 0.0;
+  // Probability a notification is delivered twice.
+  double duplicateProbability = 0.0;
+  // Probability a notification is delayed behind up to reorderMaxDistance
+  // later notifications (bounded out-of-order delivery).
+  double reorderProbability = 0.0;
+  int reorderMaxDistance = 4;
+  // Burst delay: with this probability a notification *starts a burst* — it
+  // and the following burstLength-1 notifications are all held back together
+  // by reorderMaxDistance positions (a stalled-then-flushed channel).
+  double burstProbability = 0.0;
+  int burstLength = 4;
+};
+
+struct ResilientReplayResult {
+  Verdict verdict = Verdict::Undecided;
+  bool detected = false;
+  std::uint64_t notificationsSent = 0;   // original stream, pre-fault
+  std::uint64_t wireDeliveries = 0;      // copies handed to the session
+  std::uint64_t dropped = 0;             // copies lost (incl. retransmissions)
+  std::uint64_t duplicated = 0;          // extra copies injected
+  std::uint64_t reordered = 0;           // notifications delivered late
+  std::uint64_t nacksSent = 0;
+  std::uint64_t retransmissions = 0;     // copies resent in answer to NACKs
+  int degradedStreams = 0;
+};
+
+// Replays the run through a faulty transport into `session`. The transport
+// retains everything it was asked to send, services the session's NACKs
+// from that log (each retransmitted copy again subject to dropProbability),
+// announces per-process end-of-stream, and then ticks the session until the
+// verdict settles (Detected / NotDetected / Degraded — never Undecided).
+ResilientReplayResult replayConjunctiveFaulty(
+    const VectorClocks& clocks, const VariableTrace& trace,
+    const ConjunctivePredicate& pred, const std::vector<int>& runOrder,
+    MonitorSession& session, const FaultOptions& faults, Rng& rng);
 
 }  // namespace gpd::monitor

@@ -4,27 +4,49 @@
 
 namespace gpd::monitor {
 
-ConjunctiveMonitor::ConjunctiveMonitor(int processes)
-    : n_(processes), queue_(processes) {
+ConjunctiveMonitor::ConjunctiveMonitor(int processes, MonitorOptions options)
+    : n_(processes),
+      options_(options),
+      queue_(processes),
+      lastOwn_(processes, -1) {
   GPD_CHECK(processes >= 1);
 }
 
-bool ConjunctiveMonitor::report(int p, std::vector<int> vectorClock) {
+ReportStatus ConjunctiveMonitor::offer(int p, std::vector<int> vectorClock) {
   GPD_CHECK(p >= 0 && p < n_);
   GPD_CHECK(static_cast<int>(vectorClock.size()) == n_);
-  if (detected_) return true;
-  if (!queue_[p].empty()) {
-    // Program order: the process's own component must increase.
-    GPD_CHECK_MSG(queue_[p].back()[p] < vectorClock[p],
-                  "out-of-order notification from process " << p);
+  if (detected_) return ReportStatus::Detected;
+  // Program order: the process's own component must increase, even relative
+  // to notifications that have since been eliminated from the queue.
+  GPD_CHECK_MSG(lastOwn_[p] < vectorClock[p],
+                "out-of-order notification from process " << p);
+  if (options_.maxQueuePerProcess != 0 &&
+      queue_[p].size() >= options_.maxQueuePerProcess) {
+    if (options_.overflowPolicy == OverflowPolicy::Backpressure) {
+      ++overflowRejected_;
+      return ReportStatus::Rejected;
+    }
+    ++overflowDropped_;
+    degraded_ = true;
+    lastOwn_[p] = vectorClock[p];  // the drop still consumes its slot in
+                                   // program order
+    return ReportStatus::Dropped;
   }
+  lastOwn_[p] = vectorClock[p];
   queue_[p].push_back(std::move(vectorClock));
   ++enqueued_;
   // Invariant between reports: the present heads are pairwise stable (no
   // elimination applies among them). A notification that lands behind an
   // existing head changes nothing; only a new *head* must be re-checked.
-  if (queue_[p].size() > 1) return false;
-  return tryDetect(p);
+  if (queue_[p].size() > 1) return ReportStatus::Accepted;
+  return tryDetect(p) ? ReportStatus::Detected : ReportStatus::Accepted;
+}
+
+bool ConjunctiveMonitor::report(int p, std::vector<int> vectorClock) {
+  const ReportStatus status = offer(p, std::move(vectorClock));
+  GPD_CHECK_MSG(status != ReportStatus::Rejected,
+                "report() on a full queue — use offer() with backpressure");
+  return status == ReportStatus::Detected;
 }
 
 bool ConjunctiveMonitor::tryDetect(int changed) {
@@ -82,6 +104,68 @@ bool ConjunctiveMonitor::tryDetect(int changed) {
 const std::vector<std::vector<int>>& ConjunctiveMonitor::witness() const {
   GPD_CHECK_MSG(detected_, "no witness before detection");
   return witness_;
+}
+
+MonitorSnapshot ConjunctiveMonitor::snapshot() const {
+  MonitorSnapshot snap;
+  snap.processes = n_;
+  snap.queues.reserve(n_);
+  for (const auto& q : queue_) {
+    snap.queues.emplace_back(q.begin(), q.end());
+  }
+  snap.lastOwn = lastOwn_;
+  snap.detected = detected_;
+  snap.degraded = degraded_;
+  snap.witness = witness_;
+  snap.comparisons = comparisons_;
+  snap.enqueued = enqueued_;
+  snap.overflowDropped = overflowDropped_;
+  snap.overflowRejected = overflowRejected_;
+  return snap;
+}
+
+ConjunctiveMonitor ConjunctiveMonitor::restore(const MonitorSnapshot& snap,
+                                               MonitorOptions options) {
+  GPD_INPUT_CHECK(snap.processes >= 1, "monitor snapshot: no processes");
+  GPD_INPUT_CHECK(
+      static_cast<int>(snap.queues.size()) == snap.processes &&
+          static_cast<int>(snap.lastOwn.size()) == snap.processes,
+      "monitor snapshot: per-process arrays disagree with process count");
+  ConjunctiveMonitor mon(snap.processes, options);
+  for (int p = 0; p < snap.processes; ++p) {
+    int prevOwn = -1;
+    for (const auto& clock : snap.queues[p]) {
+      GPD_INPUT_CHECK(
+          static_cast<int>(clock.size()) == snap.processes,
+          "monitor snapshot: timestamp width disagrees with process count");
+      GPD_INPUT_CHECK(clock[p] > prevOwn,
+                      "monitor snapshot: queue of process "
+                          << p << " violates program order");
+      prevOwn = clock[p];
+    }
+    GPD_INPUT_CHECK(prevOwn <= snap.lastOwn[p],
+                    "monitor snapshot: lastOwn behind queue of process " << p);
+    mon.queue_[p].assign(snap.queues[p].begin(), snap.queues[p].end());
+  }
+  if (snap.detected) {
+    GPD_INPUT_CHECK(
+        static_cast<int>(snap.witness.size()) == snap.processes,
+        "monitor snapshot: detected without a full witness");
+    for (const auto& w : snap.witness) {
+      GPD_INPUT_CHECK(
+          static_cast<int>(w.size()) == snap.processes,
+          "monitor snapshot: witness width disagrees with process count");
+    }
+  }
+  mon.lastOwn_ = snap.lastOwn;
+  mon.detected_ = snap.detected;
+  mon.degraded_ = snap.degraded;
+  mon.witness_ = snap.witness;
+  mon.comparisons_ = snap.comparisons;
+  mon.enqueued_ = snap.enqueued;
+  mon.overflowDropped_ = snap.overflowDropped;
+  mon.overflowRejected_ = snap.overflowRejected;
+  return mon;
 }
 
 }  // namespace gpd::monitor

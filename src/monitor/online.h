@@ -6,7 +6,20 @@
 // same elimination incrementally, announcing detection the moment the queue
 // heads become pairwise consistent. Notifications may interleave arbitrarily
 // across processes (channels to the checker need not be synchronized), but
-// each process's own notifications must arrive in program order.
+// each process's own notifications must arrive in program order — feed the
+// checker through a MonitorSession (session.h) when the transport can drop,
+// duplicate, or reorder.
+//
+// Queues are bounded (MonitorOptions::maxQueuePerProcess) with an explicit
+// overflow policy; there is no configuration under which the monitor gives a
+// silent wrong answer:
+//   * Backpressure — a notification that would overflow is refused
+//     (ReportStatus::Rejected); the caller still owns it and may re-offer
+//     after eliminations make room.
+//   * Degrade — the notification is dropped and the monitor permanently
+//     enters the degraded state: detection stays sound (a witness is still a
+//     genuine witness), but "not detected" now means "unknown" because a
+//     dropped notification can only mask detections, never fabricate them.
 //
 // Timestamps use the library convention V[p] = index of the last event of
 // process p in the reporting event's causal history (own component = the
@@ -20,34 +33,93 @@
 
 namespace gpd::monitor {
 
+enum class OverflowPolicy {
+  Backpressure,  // refuse the notification, caller retries
+  Degrade,       // drop it and latch the degraded flag
+};
+
+struct MonitorOptions {
+  // Maximum pending (not yet eliminated) notifications per process.
+  // 0 = unbounded (the pre-resilience behavior; use only in tests).
+  std::size_t maxQueuePerProcess = 1 << 20;
+  OverflowPolicy overflowPolicy = OverflowPolicy::Backpressure;
+};
+
+enum class ReportStatus {
+  Accepted,  // enqueued, no detection yet
+  Detected,  // detection has fired (now or previously)
+  Rejected,  // Backpressure overflow: notification NOT absorbed, re-offer later
+  Dropped,   // Degrade overflow: notification lost, monitor is now degraded
+};
+
+// Plain-data image of a monitor, for checkpoint/restore (io/checkpoint_io).
+struct MonitorSnapshot {
+  int processes = 0;
+  std::vector<std::vector<std::vector<int>>> queues;
+  std::vector<int> lastOwn;  // last accepted own-component per process
+  bool detected = false;
+  bool degraded = false;
+  std::vector<std::vector<int>> witness;
+  std::uint64_t comparisons = 0;
+  std::uint64_t enqueued = 0;
+  std::uint64_t overflowDropped = 0;
+  std::uint64_t overflowRejected = 0;
+};
+
 class ConjunctiveMonitor {
  public:
-  explicit ConjunctiveMonitor(int processes);
+  explicit ConjunctiveMonitor(int processes, MonitorOptions options = {});
 
   int processes() const { return n_; }
+  const MonitorOptions& options() const { return options_; }
 
-  // Feeds one true-event notification from process p. Returns true if this
-  // notification completed a detection (idempotent once detected).
+  // Feeds one true-event notification from process p. The notification's
+  // own component must exceed that of every earlier notification from p
+  // (program order), even across eliminations.
+  ReportStatus offer(int p, std::vector<int> vectorClock);
+
+  // Legacy wrapper: returns true once detection has fired. Requires queue
+  // headroom — offer() returning Rejected here is a caller bug (use offer()
+  // directly when backpressure is possible).
   bool report(int p, std::vector<int> vectorClock);
 
   bool detected() const { return detected_; }
 
+  // True once a notification has been lost to the Degrade overflow policy:
+  // detection results remain sound but absence of detection is inconclusive.
+  bool degraded() const { return degraded_; }
+
+  std::size_t queueSize(int p) const { return queue_[p].size(); }
+
   // The witness timestamps (one per process), available once detected.
   const std::vector<std::vector<int>>& witness() const;
 
-  // Totals for the A3 overhead bench.
+  // Totals for the A3 overhead bench and the resilience stats.
   std::uint64_t comparisons() const { return comparisons_; }
   std::uint64_t enqueued() const { return enqueued_; }
+  std::uint64_t overflowDropped() const { return overflowDropped_; }
+  std::uint64_t overflowRejected() const { return overflowRejected_; }
+
+  // Checkpointing. restore() validates the snapshot (throws InputError on a
+  // structurally inconsistent one, e.g. from a corrupt checkpoint file).
+  MonitorSnapshot snapshot() const;
+  static ConjunctiveMonitor restore(const MonitorSnapshot& snap,
+                                    MonitorOptions options = {});
 
  private:
   bool tryDetect(int changed);
 
   int n_;
+  MonitorOptions options_;
   std::vector<std::deque<std::vector<int>>> queue_;
+  std::vector<int> lastOwn_;  // -1 before the first notification
   bool detected_ = false;
+  bool degraded_ = false;
   std::vector<std::vector<int>> witness_;
   std::uint64_t comparisons_ = 0;
   std::uint64_t enqueued_ = 0;
+  std::uint64_t overflowDropped_ = 0;
+  std::uint64_t overflowRejected_ = 0;
 };
 
 }  // namespace gpd::monitor

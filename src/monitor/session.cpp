@@ -1,0 +1,315 @@
+#include "monitor/session.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace gpd::monitor {
+
+const char* toString(StreamHealth h) {
+  switch (h) {
+    case StreamHealth::Healthy: return "healthy";
+    case StreamHealth::Recovering: return "recovering";
+    case StreamHealth::Degraded: return "degraded";
+  }
+  return "?";
+}
+
+const char* toString(Verdict v) {
+  switch (v) {
+    case Verdict::Detected: return "detected";
+    case Verdict::Undecided: return "undecided";
+    case Verdict::Degraded: return "degraded";
+    case Verdict::NotDetected: return "not-detected";
+  }
+  return "?";
+}
+
+MonitorSession::MonitorSession(int processes, SessionOptions options,
+                               NackFn nack)
+    : n_(processes),
+      options_(options),
+      nack_(std::move(nack)),
+      monitor_(processes, options.monitor),
+      nextSeq_(processes, 0),
+      buffer_(processes),
+      health_(processes, StreamHealth::Healthy),
+      gap_(processes),
+      endAnnounced_(processes, 0),
+      announcedCount_(processes, 0) {
+  GPD_CHECK(processes >= 1);
+  GPD_CHECK(options.reorderWindow >= 1);
+  GPD_CHECK(options.maxRetries >= 1);
+  GPD_CHECK(options.retryTimeout >= 1);
+}
+
+Delivery MonitorSession::deliver(int p, std::uint64_t seq,
+                                 std::vector<int> clock) {
+  GPD_CHECK(p >= 0 && p < n_);
+  if (monitor_.detected()) return Delivery::Detected;
+  ++now_;
+
+  Delivery outcome;
+  if (seq < nextSeq_[p] || buffer_[p].count(seq)) {
+    // Replayed by the transport (duplicate, or retransmission of something
+    // that arrived meanwhile): suppress.
+    ++stats_.duplicates;
+    outcome = Delivery::Duplicate;
+  } else if (seq == nextSeq_[p]) {
+    const ReportStatus status = monitor_.offer(p, std::move(clock));
+    if (status == ReportStatus::Rejected) {
+      ++stats_.backpressured;
+      runTimers();
+      return Delivery::Rejected;  // not consumed: the caller re-offers
+    }
+    ++stats_.delivered;
+    nextSeq_[p] = seq + 1;
+    drainBuffer(p);
+    closeGapIfFilled(p);
+    outcome =
+        monitor_.detected() ? Delivery::Detected : Delivery::Delivered;
+  } else if (health_[p] == StreamHealth::Degraded) {
+    // The gap before this notification is unrecoverable and already written
+    // off: skip over it. Program order still holds (sequence numbers, and
+    // therefore own clock components, only move forward).
+    const ReportStatus status = monitor_.offer(p, std::move(clock));
+    if (status == ReportStatus::Rejected) {
+      ++stats_.backpressured;
+      runTimers();
+      return Delivery::Rejected;
+    }
+    ++stats_.delivered;
+    nextSeq_[p] = seq + 1;
+    outcome =
+        monitor_.detected() ? Delivery::Detected : Delivery::Delivered;
+  } else {
+    // Early arrival: park it and start (or continue) gap recovery.
+    buffer_[p].emplace(seq, std::move(clock));
+    ++stats_.buffered;
+    if (buffer_[p].size() > options_.reorderWindow) {
+      // Evict the farthest-future entry; it rejoins the missing set and is
+      // re-requested by the next NACK for this stream.
+      buffer_[p].erase(std::prev(buffer_[p].end()));
+      ++stats_.bufferEvicted;
+    }
+    if (!gap_[p].active) openGap(p);
+    outcome = Delivery::Buffered;
+  }
+  runTimers();
+  return outcome;
+}
+
+void MonitorSession::tick() {
+  if (monitor_.detected()) return;
+  ++now_;
+  runTimers();
+}
+
+void MonitorSession::announceEnd(int p, std::uint64_t count) {
+  GPD_CHECK(p >= 0 && p < n_);
+  GPD_INPUT_CHECK(count >= nextSeq_[p],
+                  "end-of-stream for process "
+                      << p << " announces " << count
+                      << " notifications but " << nextSeq_[p]
+                      << " were already consumed");
+  endAnnounced_[p] = 1;
+  announcedCount_[p] = count;
+  if (monitor_.detected() || health_[p] == StreamHealth::Degraded) return;
+  if (nextSeq_[p] < count && !gap_[p].active) {
+    openGap(p);  // trailing loss: now visible, recover it like any gap
+  }
+  closeGapIfFilled(p);
+}
+
+bool MonitorSession::hasActiveGaps() const {
+  if (monitor_.detected()) return false;
+  for (const Gap& g : gap_) {
+    if (g.active) return true;
+  }
+  return false;
+}
+
+Verdict MonitorSession::verdict() const {
+  if (monitor_.detected()) return Verdict::Detected;
+  if (hasActiveGaps()) return Verdict::Undecided;
+  bool degraded = monitor_.degraded();
+  for (int p = 0; p < n_; ++p) {
+    degraded = degraded || health_[p] == StreamHealth::Degraded;
+  }
+  if (degraded) return Verdict::Degraded;
+  for (int p = 0; p < n_; ++p) {
+    // Without a complete stream, absence of detection proves nothing yet.
+    if (!endAnnounced_[p] || nextSeq_[p] < announcedCount_[p]) {
+      return Verdict::Undecided;
+    }
+  }
+  return Verdict::NotDetected;
+}
+
+void MonitorSession::degradeStream(int p) {
+  GPD_CHECK(p >= 0 && p < n_);
+  if (health_[p] != StreamHealth::Degraded) doDegrade(p);
+}
+
+void MonitorSession::runTimers() {
+  for (int p = 0; p < n_; ++p) {
+    // A buffered head may have become deliverable after monitor
+    // backpressure cleared; keep trying on every logical step.
+    drainBuffer(p);
+    closeGapIfFilled(p);
+    Gap& g = gap_[p];
+    if (!g.active || now_ < g.deadline) continue;
+    if (g.retriesLeft > 0) {
+      sendNack(p);
+      --g.retriesLeft;
+      g.deadline = now_ + options_.retryTimeout;
+    } else {
+      doDegrade(p);
+    }
+  }
+}
+
+void MonitorSession::openGap(int p) {
+  Gap& g = gap_[p];
+  g.active = true;
+  g.retriesLeft = options_.maxRetries - 1;  // the immediate NACK is retry #1
+  g.deadline = now_ + options_.retryTimeout;
+  health_[p] = StreamHealth::Recovering;
+  ++stats_.gapsDetected;
+  sendNack(p);
+}
+
+std::uint64_t MonitorSession::missingUpperBound(int p) const {
+  std::uint64_t upper = nextSeq_[p];  // == nothing missing
+  if (!buffer_[p].empty()) {
+    upper = std::max(upper, std::prev(buffer_[p].end())->first);
+  }
+  if (endAnnounced_[p] && announcedCount_[p] > 0) {
+    upper = std::max(upper, announcedCount_[p]);
+  }
+  return upper == nextSeq_[p] ? nextSeq_[p] : upper - 1;
+}
+
+void MonitorSession::sendNack(int p) {
+  ++stats_.nacksSent;
+  if (nack_) nack_(p, nextSeq_[p], missingUpperBound(p));
+}
+
+void MonitorSession::closeGapIfFilled(int p) {
+  if (!gap_[p].active) return;
+  if (!buffer_[p].empty()) return;
+  if (endAnnounced_[p] && nextSeq_[p] < announcedCount_[p]) return;
+  gap_[p].active = false;
+  health_[p] = StreamHealth::Healthy;
+  ++stats_.gapsRecovered;
+}
+
+void MonitorSession::drainBuffer(int p) {
+  auto& buf = buffer_[p];
+  while (!buf.empty() && buf.begin()->first == nextSeq_[p]) {
+    auto head = buf.begin();
+    const ReportStatus status = monitor_.offer(p, std::move(head->second));
+    if (status == ReportStatus::Rejected) {
+      ++stats_.backpressured;
+      return;  // keep it buffered; retried on the next logical step
+    }
+    ++stats_.delivered;
+    nextSeq_[p] = head->first + 1;
+    buf.erase(head);
+  }
+}
+
+void MonitorSession::doDegrade(int p) {
+  gap_[p].active = false;
+  health_[p] = StreamHealth::Degraded;
+  ++stats_.degradedStreams;
+  // Release the buffered suffix in program order. Detection on what *did*
+  // arrive is still sound; only completeness is lost.
+  for (auto& [seq, clock] : buffer_[p]) {
+    const ReportStatus status = monitor_.offer(p, std::move(clock));
+    if (status == ReportStatus::Rejected) {
+      // Queue full and the stream is already incomplete — drop, it cannot
+      // make the verdict any less conclusive than Degraded.
+      ++stats_.backpressured;
+    } else {
+      ++stats_.delivered;
+    }
+    nextSeq_[p] = seq + 1;
+  }
+  buffer_[p].clear();
+}
+
+SessionSnapshot MonitorSession::snapshot() const {
+  SessionSnapshot snap;
+  snap.monitor = monitor_.snapshot();
+  snap.now = now_;
+  snap.nextSeq = nextSeq_;
+  snap.buffers.resize(n_);
+  for (int p = 0; p < n_; ++p) {
+    snap.buffers[p].assign(buffer_[p].begin(), buffer_[p].end());
+  }
+  snap.health.reserve(n_);
+  for (StreamHealth h : health_) snap.health.push_back(static_cast<int>(h));
+  snap.gapActive.resize(n_);
+  snap.gapDeadline.resize(n_);
+  snap.gapRetriesLeft.resize(n_);
+  for (int p = 0; p < n_; ++p) {
+    snap.gapActive[p] = gap_[p].active;
+    snap.gapDeadline[p] = gap_[p].deadline;
+    snap.gapRetriesLeft[p] = gap_[p].retriesLeft;
+  }
+  snap.endAnnounced = endAnnounced_;
+  snap.announcedCount = announcedCount_;
+  snap.stats = stats_;
+  return snap;
+}
+
+MonitorSession MonitorSession::restore(const SessionSnapshot& snap,
+                                       SessionOptions options, NackFn nack) {
+  const int n = snap.monitor.processes;
+  GPD_INPUT_CHECK(
+      static_cast<int>(snap.nextSeq.size()) == n &&
+          static_cast<int>(snap.buffers.size()) == n &&
+          static_cast<int>(snap.health.size()) == n &&
+          static_cast<int>(snap.gapActive.size()) == n &&
+          static_cast<int>(snap.gapDeadline.size()) == n &&
+          static_cast<int>(snap.gapRetriesLeft.size()) == n &&
+          static_cast<int>(snap.endAnnounced.size()) == n &&
+          static_cast<int>(snap.announcedCount.size()) == n,
+      "session snapshot: per-process arrays disagree with process count");
+  MonitorSession s(std::max(n, 1), options, std::move(nack));
+  s.monitor_ = ConjunctiveMonitor::restore(snap.monitor, options.monitor);
+  s.now_ = snap.now;
+  s.nextSeq_ = snap.nextSeq;
+  for (int p = 0; p < n; ++p) {
+    std::uint64_t prev = 0;
+    bool first = true;
+    for (const auto& [seq, clock] : snap.buffers[p]) {
+      GPD_INPUT_CHECK(seq >= snap.nextSeq[p],
+                      "session snapshot: buffered seq already consumed");
+      GPD_INPUT_CHECK(first || seq > prev,
+                      "session snapshot: reorder buffer of process "
+                          << p << " is not strictly ascending");
+      first = false;
+      GPD_INPUT_CHECK(static_cast<int>(clock.size()) == n,
+                      "session snapshot: buffered timestamp width disagrees "
+                      "with process count");
+      prev = seq;
+      s.buffer_[p].emplace(seq, clock);
+    }
+    GPD_INPUT_CHECK(snap.health[p] >= 0 && snap.health[p] <= 2,
+                    "session snapshot: bad stream health value");
+    s.health_[p] = static_cast<StreamHealth>(snap.health[p]);
+    s.gap_[p].active = snap.gapActive[p] != 0;
+    s.gap_[p].deadline = snap.gapDeadline[p];
+    s.gap_[p].retriesLeft = snap.gapRetriesLeft[p];
+    GPD_INPUT_CHECK(s.gap_[p].retriesLeft >= 0,
+                    "session snapshot: negative retry budget");
+  }
+  s.endAnnounced_ = snap.endAnnounced;
+  s.announcedCount_ = snap.announcedCount;
+  s.stats_ = snap.stats;
+  return s;
+}
+
+}  // namespace gpd::monitor

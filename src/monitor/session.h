@@ -1,0 +1,191 @@
+// Resilient notification layer for the online checker.
+//
+// ConjunctiveMonitor assumes an ideal transport: every notification arrives
+// exactly once and in per-process program order. MonitorSession restores
+// those assumptions on top of a faulty transport. Each application process
+// stamps its notifications with a per-process sequence number (0, 1, 2, …);
+// the session then provides, per process stream:
+//
+//   * duplicate suppression — a sequence number already consumed is dropped;
+//   * a bounded reorder buffer — notifications arriving early are parked
+//     until the gap before them fills, then released in program order;
+//   * gap detection and recovery — a visible gap (an early arrival, or an
+//     end-of-stream announcement with sequence numbers still missing)
+//     triggers a NACK callback asking the transport to retransmit the
+//     missing range; retries are paced by a logical clock (one tick per
+//     deliver()/tick() call) with a configurable timeout and bounded count;
+//   * graceful degradation — when retries are exhausted (or the reorder
+//     buffer overflows unrecoverably) the stream is marked Degraded: the
+//     buffered suffix is released to the monitor (still in program order,
+//     so detection stays *sound*), and the session's verdict reports
+//     Degraded instead of NotDetected, because missing notifications can
+//     mask a detection. The session never reports a wrong verdict: Detected
+//     is always a genuine witness; "NotDetected" is only claimed when every
+//     stream was delivered completely.
+//
+// The NACK callback must not re-enter the session; a transport should queue
+// the retransmission and deliver it from its own pump loop (see
+// monitor/feed.h for the reference harness).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "monitor/online.h"
+
+namespace gpd::monitor {
+
+enum class StreamHealth {
+  Healthy,     // no outstanding gap
+  Recovering,  // gap detected, NACK sent, waiting for retransmission
+  Degraded,    // retries exhausted: stream incomplete beyond repair
+};
+
+enum class Verdict {
+  Detected,     // a genuine witness was found (sound even under faults)
+  Undecided,    // streams still have recoverable gaps outstanding
+  Degraded,     // no detection, and ≥1 stream (or the monitor) is degraded:
+                // the answer is "unknown", not "no"
+  NotDetected,  // no detection and every delivered stream is intact
+};
+
+const char* toString(StreamHealth h);
+const char* toString(Verdict v);
+
+struct SessionOptions {
+  MonitorOptions monitor;
+  // Max early (out-of-order) notifications parked per process. An overflow
+  // evicts the farthest-future entry; it becomes part of the gap and is
+  // re-requested by NACK like any other missing sequence number.
+  std::size_t reorderWindow = 256;
+  // NACKs sent per gap before the stream degrades (≥ 1).
+  int maxRetries = 3;
+  // Logical ticks (deliver()/tick() calls) between successive NACKs for the
+  // same gap, and between the last NACK and degradation (≥ 1).
+  std::uint64_t retryTimeout = 64;
+};
+
+// Retransmit request: please resend process `process`, sequence numbers
+// [firstSeq, lastSeq] inclusive.
+using NackFn =
+    std::function<void(int process, std::uint64_t firstSeq,
+                       std::uint64_t lastSeq)>;
+
+enum class Delivery {
+  Delivered,  // handed to the monitor (possibly releasing buffered successors)
+  Buffered,   // early: parked in the reorder buffer, gap recovery scheduled
+  Duplicate,  // sequence number already consumed: suppressed
+  Rejected,   // monitor backpressure: NOT consumed, re-offer later
+  Detected,   // detection has fired (now or previously)
+};
+
+struct SessionStats {
+  std::uint64_t delivered = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t buffered = 0;
+  std::uint64_t bufferEvicted = 0;
+  std::uint64_t nacksSent = 0;
+  std::uint64_t gapsDetected = 0;
+  std::uint64_t gapsRecovered = 0;
+  std::uint64_t backpressured = 0;
+  int degradedStreams = 0;
+};
+
+// Plain-data image of a session, for checkpoint/restore (io/checkpoint_io).
+struct SessionSnapshot {
+  MonitorSnapshot monitor;
+  std::uint64_t now = 0;
+  std::vector<std::uint64_t> nextSeq;
+  // Per process, the reorder buffer as (seq, clock), ascending by seq.
+  std::vector<std::vector<std::pair<std::uint64_t, std::vector<int>>>> buffers;
+  std::vector<int> health;  // StreamHealth as int
+  std::vector<char> gapActive;
+  std::vector<std::uint64_t> gapDeadline;
+  std::vector<int> gapRetriesLeft;
+  std::vector<char> endAnnounced;
+  std::vector<std::uint64_t> announcedCount;
+  SessionStats stats;
+};
+
+class MonitorSession {
+ public:
+  explicit MonitorSession(int processes, SessionOptions options = {},
+                          NackFn nack = {});
+
+  int processes() const { return n_; }
+  const SessionOptions& options() const { return options_; }
+
+  // Replaces the retransmit callback (e.g. after restore()).
+  void onNack(NackFn nack) { nack_ = std::move(nack); }
+
+  // Feeds one notification from the transport. Advances the logical clock
+  // and runs due retry timers for every stream.
+  Delivery deliver(int process, std::uint64_t seq, std::vector<int> clock);
+
+  // Advances the logical clock without a delivery (transport idle); drives
+  // retry timeouts and eventual degradation of unfilled gaps.
+  void tick();
+
+  // Declares that process p sent exactly `count` notifications (seq 0 ..
+  // count-1). Makes trailing losses visible as gaps so they get NACKed.
+  void announceEnd(int p, std::uint64_t count);
+
+  // True while some stream has a gap that is still within its retry budget.
+  // The transport pump should keep delivering/ticking until this clears.
+  bool hasActiveGaps() const;
+
+  // Current standing. Undecided while recoverable gaps are outstanding or
+  // not every stream's end has been announced (absence of detection is not
+  // yet meaningful); the transport pump reads the final value once its
+  // stream is exhausted and hasActiveGaps() is false.
+  Verdict verdict() const;
+
+  bool detected() const { return monitor_.detected(); }
+  StreamHealth health(int p) const { return health_[p]; }
+
+  // Operator escape hatch: declare stream p unrecoverable now (e.g. the
+  // transport knows the producer died). Releases its buffered suffix.
+  void degradeStream(int p);
+
+  const SessionStats& stats() const { return stats_; }
+  const ConjunctiveMonitor& monitor() const { return monitor_; }
+
+  // Checkpointing. restore() validates (throws InputError on inconsistent
+  // snapshots); the NACK callback is not part of the snapshot — pass it
+  // again or set it with onNack().
+  SessionSnapshot snapshot() const;
+  static MonitorSession restore(const SessionSnapshot& snap,
+                                SessionOptions options = {}, NackFn nack = {});
+
+ private:
+  struct Gap {
+    bool active = false;
+    std::uint64_t deadline = 0;
+    int retriesLeft = 0;
+  };
+
+  void runTimers();
+  void openGap(int p);
+  void sendNack(int p);
+  std::uint64_t missingUpperBound(int p) const;  // last seq worth NACKing
+  void closeGapIfFilled(int p);
+  void drainBuffer(int p);
+  void doDegrade(int p);
+
+  int n_;
+  SessionOptions options_;
+  NackFn nack_;
+  ConjunctiveMonitor monitor_;
+  std::uint64_t now_ = 0;
+  std::vector<std::uint64_t> nextSeq_;
+  std::vector<std::map<std::uint64_t, std::vector<int>>> buffer_;
+  std::vector<StreamHealth> health_;
+  std::vector<Gap> gap_;
+  std::vector<char> endAnnounced_;
+  std::vector<std::uint64_t> announcedCount_;
+  SessionStats stats_;
+};
+
+}  // namespace gpd::monitor

@@ -120,6 +120,8 @@ class Engine {
     SimResult result;
     result.droppedActions = dropped;
     result.droppedMessages = droppedMessages_;
+    result.duplicatedMessages = duplicatedMessages_;
+    result.delayedMessages = delayedMessages_;
     result.computation =
         std::make_unique<Computation>(std::move(builder_).build());
     result.trace = std::make_unique<VariableTrace>(*result.computation);
@@ -148,8 +150,25 @@ class Engine {
       ++droppedMessages_;
       return;  // lost in the channel: no delivery is ever scheduled
     }
+    scheduleDelivery(from, to, type, a, b);
+    if (options_.messageDuplicationProbability > 0 &&
+        lossRng_.chance(options_.messageDuplicationProbability)) {
+      // At-least-once channel: a second, independently delayed delivery of
+      // the same send (its own receive event and message edge).
+      ++duplicatedMessages_;
+      scheduleDelivery(from, to, type, a, b);
+    }
+  }
+
+  void scheduleDelivery(ProcessId from, ProcessId to, int type, std::int64_t a,
+                        std::int64_t b) {
     Action action;
     action.time = time_ + randomDelay(from);
+    if (options_.burstDelayProbability > 0 &&
+        lossRng_.chance(options_.burstDelayProbability)) {
+      ++delayedMessages_;
+      action.time += options_.burstDelayUnits;  // stalled link, then flushed
+    }
     if (options_.fifoChannels) {
       auto& clock = channelClock_[from * n_ + to];
       action.time = std::max(action.time, clock + 1);
@@ -203,6 +222,8 @@ class Engine {
   Rng rootRng_;
   Rng lossRng_;  // reseeded from rootRng_ in the constructor
   int droppedMessages_ = 0;
+  int duplicatedMessages_ = 0;
+  int delayedMessages_ = 0;
   std::vector<Rng> procRng_;
 
   std::priority_queue<Action, std::vector<Action>, std::greater<>> queue_;

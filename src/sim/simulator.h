@@ -95,14 +95,27 @@ struct SimOptions {
   // assumption of the paper's model, so use only to exercise fault-facing
   // predicates (token loss, missed commits).
   double messageLossProbability = 0.0;
+  // Each message is delivered a second time with this probability (an
+  // at-least-once channel). The duplicate is a separate receive event of the
+  // same send, with its own random delay — programs written for exactly-once
+  // delivery will misbehave, which is the point: it exercises dedup logic
+  // and fault-facing predicates under realistic transports.
+  double messageDuplicationProbability = 0.0;
+  // Burst delay: with burstDelayProbability a message is stalled by an extra
+  // burstDelayUnits time units before delivery (a congested or flapping
+  // link), clumping deliveries together without dropping anything.
+  double burstDelayProbability = 0.0;
+  std::int64_t burstDelayUnits = 50;
 };
 
 struct SimResult {
   // unique_ptrs keep addresses stable: trace refers into *computation.
   std::unique_ptr<Computation> computation;
   std::unique_ptr<VariableTrace> trace;
-  int droppedActions = 0;   // actions unexecuted due to the event cap
-  int droppedMessages = 0;  // messages lost to channel fault injection
+  int droppedActions = 0;      // actions unexecuted due to the event cap
+  int droppedMessages = 0;     // messages lost to channel fault injection
+  int duplicatedMessages = 0;  // extra deliveries from duplication injection
+  int delayedMessages = 0;     // deliveries stalled by burst-delay injection
 };
 
 // Runs the simulation to quiescence (empty action queue) or the event cap.

@@ -12,10 +12,21 @@
 
 namespace gpd {
 
-// Thrown when a GPD_CHECK fails; carries "file:line: message".
+// Thrown when a GPD_CHECK fails; carries "file:line: message". A
+// CheckFailure always means a *library* bug or API-contract violation —
+// an internal invariant broke. Callers should treat it as unrecoverable.
 class CheckFailure : public std::logic_error {
  public:
   explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+// Thrown when externally supplied data (a trace file, a command line, a
+// checkpoint stream) is malformed. Unlike CheckFailure this is *not* a bug:
+// callers are expected to catch it, report the message, and carry on.
+// gpdtool maps InputError to exit code 1 and CheckFailure to exit code 2.
+class InputError : public std::runtime_error {
+ public:
+  explicit InputError(const std::string& what) : std::runtime_error(what) {}
 };
 
 namespace internal {
@@ -52,3 +63,15 @@ namespace internal {
 #else
 #define GPD_DCHECK(expr) GPD_CHECK(expr)
 #endif
+
+// Input validation: throws gpd::InputError with the streamed message when
+// `expr` is false. Use for data that crosses the library boundary (files,
+// argv, wire payloads) — never for internal invariants.
+#define GPD_INPUT_CHECK(expr, msg)        \
+  do {                                    \
+    if (!(expr)) {                        \
+      std::ostringstream os_;             \
+      os_ << msg;                         \
+      throw ::gpd::InputError(os_.str()); \
+    }                                     \
+  } while (0)

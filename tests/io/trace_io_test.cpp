@@ -58,36 +58,36 @@ TEST(TraceIoTest, RoundTripsWorkloadTrace) {
 
 TEST(TraceIoTest, RejectsBadMagic) {
   std::stringstream buffer("not-a-trace 1\n");
-  EXPECT_THROW(readTrace(buffer), CheckFailure);
+  EXPECT_THROW(readTrace(buffer), InputError);
 }
 
 TEST(TraceIoTest, RejectsWrongVersion) {
   std::stringstream buffer("gpd-trace 99\nprocesses 1\nevents 1\nend\n");
-  EXPECT_THROW(readTrace(buffer), CheckFailure);
+  EXPECT_THROW(readTrace(buffer), InputError);
 }
 
 TEST(TraceIoTest, RejectsTruncatedStream) {
   std::stringstream buffer("gpd-trace 1\nprocesses 2\nevents 2 2\n");
-  EXPECT_THROW(readTrace(buffer), CheckFailure);  // missing 'end'
+  EXPECT_THROW(readTrace(buffer), InputError);  // missing 'end'
 }
 
 TEST(TraceIoTest, RejectsUnknownKeyword) {
   std::stringstream buffer(
       "gpd-trace 1\nprocesses 1\nevents 1\nbogus 1 2 3\nend\n");
-  EXPECT_THROW(readTrace(buffer), CheckFailure);
+  EXPECT_THROW(readTrace(buffer), InputError);
 }
 
 TEST(TraceIoTest, RejectsCyclicMessages) {
   std::stringstream buffer(
       "gpd-trace 1\nprocesses 2\nevents 3 3\n"
       "message 0 2 1 1\nmessage 1 2 0 1\nend\n");
-  EXPECT_THROW(readTrace(buffer), CheckFailure);
+  EXPECT_THROW(readTrace(buffer), InputError);
 }
 
 TEST(TraceIoTest, RejectsVarOnUnknownProcess) {
   std::stringstream buffer(
       "gpd-trace 1\nprocesses 1\nevents 2\nvar 4 x 0 0\nend\n");
-  EXPECT_THROW(readTrace(buffer), CheckFailure);
+  EXPECT_THROW(readTrace(buffer), InputError);
 }
 
 TEST(TraceIoTest, RejectsUnserializableVarName) {
@@ -111,7 +111,7 @@ TEST(TraceIoTest, FileRoundTrip) {
   const TraceFile loaded = loadTrace(path);
   EXPECT_EQ(loaded.trace->value(0, "x", 1), 2);
   EXPECT_EQ(loaded.trace->value(1, "y", 0), -7);
-  EXPECT_THROW(loadTrace("/tmp/definitely_missing_gpd_trace"), CheckFailure);
+  EXPECT_THROW(loadTrace("/tmp/definitely_missing_gpd_trace"), InputError);
 }
 
 }  // namespace

@@ -1,0 +1,249 @@
+#include "monitor/session.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/checkpoint_io.h"
+#include "util/check.h"
+
+namespace gpd::monitor {
+namespace {
+
+// Collects NACK requests so tests can service them like a transport would.
+struct NackLog {
+  struct Request {
+    int process;
+    std::uint64_t lo, hi;
+  };
+  std::vector<Request> requests;
+
+  NackFn fn() {
+    return [this](int p, std::uint64_t lo, std::uint64_t hi) {
+      requests.push_back({p, lo, hi});
+    };
+  }
+};
+
+SessionOptions fastRetry() {
+  SessionOptions opt;
+  opt.retryTimeout = 4;
+  opt.maxRetries = 2;
+  return opt;
+}
+
+TEST(MonitorSessionTest, InOrderStreamDetectsLikeBareMonitor) {
+  MonitorSession s(2);
+  EXPECT_EQ(s.deliver(0, 0, {1, 0}), Delivery::Delivered);
+  EXPECT_EQ(s.deliver(1, 0, {0, 1}), Delivery::Detected);
+  EXPECT_TRUE(s.detected());
+  EXPECT_EQ(s.verdict(), Verdict::Detected);
+  EXPECT_EQ(s.monitor().witness()[0], (std::vector<int>{1, 0}));
+}
+
+TEST(MonitorSessionTest, DuplicatesAreSuppressed) {
+  MonitorSession s(2);
+  EXPECT_EQ(s.deliver(0, 0, {1, 0}), Delivery::Delivered);
+  EXPECT_EQ(s.deliver(0, 0, {1, 0}), Delivery::Duplicate);
+  EXPECT_EQ(s.deliver(0, 0, {1, 0}), Delivery::Duplicate);
+  EXPECT_EQ(s.stats().duplicates, 2u);
+  // The monitor saw the notification exactly once.
+  EXPECT_EQ(s.monitor().enqueued(), 1u);
+}
+
+TEST(MonitorSessionTest, ReorderedNotificationsDeliverInProgramOrder) {
+  NackLog nacks;
+  MonitorSession s(2, {}, nacks.fn());
+  // seq 1 and 2 arrive before seq 0: parked, gap NACKed.
+  EXPECT_EQ(s.deliver(0, 1, {3, 0}), Delivery::Buffered);
+  EXPECT_EQ(s.deliver(0, 2, {5, 0}), Delivery::Buffered);
+  EXPECT_EQ(s.health(0), StreamHealth::Recovering);
+  ASSERT_EQ(nacks.requests.size(), 1u);
+  EXPECT_EQ(nacks.requests[0].process, 0);
+  EXPECT_EQ(nacks.requests[0].lo, 0u);
+  EXPECT_EQ(nacks.requests[0].hi, 0u);
+  // The retransmission fills the gap; everything drains in order.
+  EXPECT_EQ(s.deliver(0, 0, {1, 0}), Delivery::Delivered);
+  EXPECT_EQ(s.health(0), StreamHealth::Healthy);
+  EXPECT_EQ(s.monitor().enqueued(), 3u);
+  EXPECT_EQ(s.stats().gapsRecovered, 1u);
+  // A late duplicate of a buffered-then-drained seq is suppressed.
+  EXPECT_EQ(s.deliver(0, 1, {3, 0}), Delivery::Duplicate);
+}
+
+TEST(MonitorSessionTest, RetriesThenDegradesWhenRetransmissionNeverComes) {
+  NackLog nacks;
+  MonitorSession s(2, fastRetry(), nacks.fn());
+  EXPECT_EQ(s.deliver(0, 1, {3, 0}), Delivery::Buffered);
+  // Exhaust the retry budget (2 NACKs), then one more timeout degrades.
+  for (int i = 0; i < 16 && s.health(0) != StreamHealth::Degraded; ++i) {
+    s.tick();
+  }
+  EXPECT_EQ(s.health(0), StreamHealth::Degraded);
+  EXPECT_EQ(nacks.requests.size(), 2u);
+  EXPECT_EQ(s.stats().degradedStreams, 1);
+  // The buffered suffix was released (soundly, in order) to the monitor.
+  EXPECT_EQ(s.monitor().enqueued(), 1u);
+  // Verdict is explicitly degraded once the stream ends — never a silent
+  // "not detected".
+  s.announceEnd(0, 2);
+  s.announceEnd(1, 0);
+  EXPECT_EQ(s.verdict(), Verdict::Degraded);
+}
+
+TEST(MonitorSessionTest, TrailingLossIsVisibleAfterAnnounceEnd) {
+  NackLog nacks;
+  MonitorSession s(2, fastRetry(), nacks.fn());
+  EXPECT_EQ(s.deliver(0, 0, {1, 0}), Delivery::Delivered);
+  s.announceEnd(1, 0);
+  // Process 0 sent 2 notifications but seq 1 was dropped: the announcement
+  // makes the trailing gap visible and recovery starts.
+  s.announceEnd(0, 2);
+  EXPECT_TRUE(s.hasActiveGaps());
+  ASSERT_EQ(nacks.requests.size(), 1u);
+  EXPECT_EQ(nacks.requests[0].lo, 1u);
+  EXPECT_EQ(nacks.requests[0].hi, 1u);
+  EXPECT_EQ(s.verdict(), Verdict::Undecided);
+  // Retransmission closes the stream; now "not detected" is a real answer.
+  EXPECT_EQ(s.deliver(0, 1, {2, 0}), Delivery::Delivered);
+  EXPECT_FALSE(s.hasActiveGaps());
+  EXPECT_EQ(s.verdict(), Verdict::NotDetected);
+}
+
+TEST(MonitorSessionTest, DetectionWhileDegradedIsStillSound) {
+  MonitorSession s(2, fastRetry());
+  EXPECT_EQ(s.deliver(0, 1, {3, 0}), Delivery::Buffered);
+  for (int i = 0; i < 16 && s.health(0) != StreamHealth::Degraded; ++i) {
+    s.tick();
+  }
+  ASSERT_EQ(s.health(0), StreamHealth::Degraded);
+  // A concurrent notification from p1 still completes a genuine detection.
+  EXPECT_EQ(s.deliver(1, 0, {0, 1}), Delivery::Detected);
+  EXPECT_EQ(s.verdict(), Verdict::Detected);
+}
+
+TEST(MonitorSessionTest, ReorderWindowOverflowEvictsFarthestFuture) {
+  SessionOptions opt = fastRetry();
+  opt.reorderWindow = 2;
+  NackLog nacks;
+  MonitorSession s(2, opt, nacks.fn());
+  EXPECT_EQ(s.deliver(0, 1, {2, 0}), Delivery::Buffered);
+  EXPECT_EQ(s.deliver(0, 2, {3, 0}), Delivery::Buffered);
+  EXPECT_EQ(s.deliver(0, 3, {4, 0}), Delivery::Buffered);  // evicts seq 3
+  EXPECT_EQ(s.stats().bufferEvicted, 1u);
+  // Filling the gap drains only what is still buffered.
+  EXPECT_EQ(s.deliver(0, 0, {1, 0}), Delivery::Delivered);
+  EXPECT_EQ(s.monitor().enqueued(), 3u);  // seqs 0, 1, 2
+  // The evicted seq 3 is redelivered like any retransmission.
+  EXPECT_EQ(s.deliver(0, 3, {4, 0}), Delivery::Delivered);
+  EXPECT_EQ(s.monitor().enqueued(), 4u);
+}
+
+TEST(MonitorSessionTest, MonitorBackpressureRefusesWithoutConsuming) {
+  SessionOptions opt;
+  opt.monitor.maxQueuePerProcess = 1;
+  opt.monitor.overflowPolicy = OverflowPolicy::Backpressure;
+  MonitorSession s(2, opt);
+  EXPECT_EQ(s.deliver(0, 0, {1, 0}), Delivery::Delivered);
+  // Queue for p0 is full (head can't be eliminated: p1 is silent).
+  EXPECT_EQ(s.deliver(0, 1, {2, 0}), Delivery::Rejected);
+  EXPECT_EQ(s.stats().backpressured, 1u);
+  // Not consumed: the same seq can be re-offered once there is room.
+  EXPECT_EQ(s.deliver(1, 0, {0, 1}), Delivery::Detected);
+}
+
+TEST(MonitorSessionTest, DegradeOnOverflowNeverSilentlyWrong) {
+  SessionOptions opt;
+  opt.monitor.maxQueuePerProcess = 1;
+  opt.monitor.overflowPolicy = OverflowPolicy::Degrade;
+  MonitorSession s(2, opt);
+  EXPECT_EQ(s.deliver(0, 0, {1, 0}), Delivery::Delivered);
+  EXPECT_EQ(s.deliver(0, 1, {2, 0}), Delivery::Delivered);  // dropped inside
+  EXPECT_TRUE(s.monitor().degraded());
+  s.announceEnd(0, 2);
+  s.announceEnd(1, 0);
+  // The answer is "unknown", not "no".
+  EXPECT_EQ(s.verdict(), Verdict::Degraded);
+}
+
+TEST(MonitorSessionTest, DegradeStreamEscapeHatch) {
+  MonitorSession s(2);
+  s.deliver(0, 2, {5, 0});
+  EXPECT_EQ(s.health(0), StreamHealth::Recovering);
+  s.degradeStream(0);
+  EXPECT_EQ(s.health(0), StreamHealth::Degraded);
+  EXPECT_EQ(s.monitor().enqueued(), 1u);  // buffered suffix released
+}
+
+TEST(MonitorSessionTest, VerdictUndecidedUntilStreamsComplete) {
+  MonitorSession s(2);
+  EXPECT_EQ(s.verdict(), Verdict::Undecided);
+  s.deliver(0, 0, {1, 0});
+  EXPECT_EQ(s.verdict(), Verdict::Undecided);  // p1's stream still unknown
+  s.announceEnd(0, 1);
+  s.announceEnd(1, 0);
+  EXPECT_EQ(s.verdict(), Verdict::NotDetected);
+}
+
+TEST(MonitorSessionTest, AnnounceEndBelowConsumedIsInputError) {
+  MonitorSession s(2);
+  s.deliver(0, 0, {1, 0});
+  EXPECT_THROW(s.announceEnd(0, 0), InputError);
+}
+
+TEST(MonitorSessionTest, CheckpointRoundTripPreservesEverything) {
+  NackLog nacks;
+  MonitorSession s(3, fastRetry(), nacks.fn());
+  s.deliver(0, 0, {1, 0, 0});
+  s.deliver(1, 1, {0, 3, 0});  // opens a gap on p1
+  s.deliver(2, 0, {2, 0, 2});  // dominates p0's head: eliminates it
+  s.announceEnd(0, 1);
+
+  std::stringstream buffer;
+  io::writeCheckpoint(buffer, s.snapshot());
+  MonitorSession restored =
+      MonitorSession::restore(io::readCheckpoint(buffer), fastRetry());
+
+  EXPECT_EQ(restored.processes(), 3);
+  EXPECT_EQ(restored.verdict(), s.verdict());
+  EXPECT_EQ(restored.health(1), StreamHealth::Recovering);
+  EXPECT_EQ(restored.stats().buffered, s.stats().buffered);
+  // Replayed notifications after the restore are absorbed by dedup...
+  EXPECT_EQ(restored.deliver(0, 0, {1, 0, 0}), Delivery::Duplicate);
+  // ...and the outstanding gap resolves exactly as it would have.
+  EXPECT_EQ(restored.deliver(1, 0, {0, 1, 0}), Delivery::Delivered);
+  EXPECT_EQ(restored.health(1), StreamHealth::Healthy);
+}
+
+TEST(MonitorSessionTest, RestoreRejectsInconsistentSnapshots) {
+  MonitorSession s(2);
+  s.deliver(0, 0, {1, 0});
+  SessionSnapshot snap = s.snapshot();
+  snap.health[0] = 7;
+  EXPECT_THROW(MonitorSession::restore(snap), InputError);
+
+  snap = s.snapshot();
+  snap.nextSeq.pop_back();
+  EXPECT_THROW(MonitorSession::restore(snap), InputError);
+
+  snap = s.snapshot();
+  snap.buffers[0].emplace_back(0, std::vector<int>{9, 9});  // already consumed
+  EXPECT_THROW(MonitorSession::restore(snap), InputError);
+
+  snap = s.snapshot();
+  snap.monitor.queues[0].push_back({0, 0});  // violates program order
+  EXPECT_THROW(MonitorSession::restore(snap), InputError);
+}
+
+TEST(MonitorSessionTest, HealthAndVerdictNames) {
+  EXPECT_STREQ(toString(StreamHealth::Healthy), "healthy");
+  EXPECT_STREQ(toString(StreamHealth::Recovering), "recovering");
+  EXPECT_STREQ(toString(StreamHealth::Degraded), "degraded");
+  EXPECT_STREQ(toString(Verdict::Detected), "detected");
+  EXPECT_STREQ(toString(Verdict::Undecided), "undecided");
+  EXPECT_STREQ(toString(Verdict::Degraded), "degraded");
+  EXPECT_STREQ(toString(Verdict::NotDetected), "not-detected");
+}
+
+}  // namespace
+}  // namespace gpd::monitor

@@ -1,0 +1,244 @@
+// Resilience properties of the fault-tolerant notification layer: across
+// hundreds of random computations and seeded fault schedules, the resilient
+// session either reaches the exact offline CPDHB answer (when recovery
+// succeeds) or explicitly reports degradation — never a silent wrong
+// verdict. Each seed is an individually-reported parameterized case.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gpd.h"
+
+namespace gpd {
+namespace {
+
+struct System {
+  Computation comp;
+  VariableTrace trace;
+  VectorClocks clocks;
+  ConjunctivePredicate pred;
+
+  System(Computation c, Rng& rng, double boolDensity)
+      : comp(std::move(c)), trace(comp), clocks(comp) {
+    defineRandomBools(trace, "b", boolDensity, rng);
+    for (ProcessId p = 0; p < comp.processCount(); ++p) {
+      pred.terms.push_back(varTrue(p, "b"));
+    }
+  }
+};
+
+System makeSystem(std::uint64_t seed) {
+  Rng rng(seed * 2654435761u + 101);
+  RandomComputationOptions opt;
+  opt.processes = 3 + static_cast<int>(rng.index(2));
+  opt.eventsPerProcess = 3 + static_cast<int>(rng.index(3));
+  opt.messageProbability = 0.4;
+  Computation comp = randomComputation(opt, rng);
+  return System(std::move(comp), rng, 0.5);
+}
+
+class ResilienceSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+// The headline acceptance property: under drop (≤ 20%), duplication, and
+// reorder faults, the settled verdict is never Undecided, Detected/
+// NotDetected match the offline ground truth exactly, and Degraded only
+// appears when recovery genuinely failed.
+TEST_P(ResilienceSweep, FaultyReplayAgreesWithOfflineOrDegradesExplicitly) {
+  const System s = makeSystem(GetParam());
+  const auto offline = detect::detectConjunctive(s.clocks, s.trace, s.pred);
+
+  Rng rng(GetParam() * 31 + 5);
+  const auto runOrder = graph::randomLinearExtension(s.comp.toDag(), rng);
+
+  monitor::FaultOptions faults;
+  faults.dropProbability = rng.real() * 0.2;
+  faults.duplicateProbability = rng.real() * 0.3;
+  faults.reorderProbability = rng.real() * 0.3;
+  faults.burstProbability = rng.real() * 0.1;
+
+  monitor::SessionOptions sopt;
+  sopt.retryTimeout = 8;  // keep degradation reachable in small runs
+  monitor::MonitorSession session(s.comp.processCount(), sopt);
+  const auto res = monitor::replayConjunctiveFaulty(
+      s.clocks, s.trace, s.pred, runOrder, session, faults, rng);
+
+  // The transport pump always settles to a conclusive answer.
+  EXPECT_NE(res.verdict, monitor::Verdict::Undecided);
+  EXPECT_EQ(res.verdict == monitor::Verdict::Detected, res.detected);
+
+  switch (res.verdict) {
+    case monitor::Verdict::Detected:
+      // Soundness: a detection is a genuine witness even under faults.
+      EXPECT_TRUE(offline.found);
+      break;
+    case monitor::Verdict::NotDetected:
+      // Completeness: "no" is only claimed after full recovery, so it must
+      // match the offline answer.
+      EXPECT_FALSE(offline.found);
+      break;
+    case monitor::Verdict::Degraded:
+      // Degradation is always attributed, never spontaneous.
+      EXPECT_TRUE(res.degradedStreams > 0 || session.monitor().degraded());
+      break;
+    case monitor::Verdict::Undecided:
+      break;  // already failed above
+  }
+}
+
+// Without loss, recovery always succeeds: duplication, reorder, and bursts
+// alone never degrade the session, and the verdict equals offline exactly.
+TEST_P(ResilienceSweep, LosslessFaultsNeverDegrade) {
+  const System s = makeSystem(GetParam() + 7777);
+  const auto offline = detect::detectConjunctive(s.clocks, s.trace, s.pred);
+
+  Rng rng(GetParam() * 131 + 9);
+  const auto runOrder = graph::randomLinearExtension(s.comp.toDag(), rng);
+
+  monitor::FaultOptions faults;
+  faults.duplicateProbability = 0.3;
+  faults.reorderProbability = 0.3;
+  faults.burstProbability = 0.15;
+
+  monitor::MonitorSession session(s.comp.processCount());
+  const auto res = monitor::replayConjunctiveFaulty(
+      s.clocks, s.trace, s.pred, runOrder, session, faults, rng);
+
+  EXPECT_EQ(res.degradedStreams, 0);
+  EXPECT_EQ(res.detected, offline.found);
+  EXPECT_EQ(res.verdict, offline.found ? monitor::Verdict::Detected
+                                       : monitor::Verdict::NotDetected);
+}
+
+// Checkpoint/restore mid-stream is invisible to the verdict: deliver half,
+// round-trip the session through the text checkpoint format, replay a tail
+// of already-delivered notifications (the transport's at-least-once replay
+// after a checker restart), finish the stream, and compare against an
+// uninterrupted control session.
+TEST_P(ResilienceSweep, MidStreamCheckpointRestorePreservesVerdict) {
+  const System s = makeSystem(GetParam() + 31337);
+  const auto offline = detect::detectConjunctive(s.clocks, s.trace, s.pred);
+
+  Rng rng(GetParam() * 977 + 3);
+  const auto runOrder = graph::randomLinearExtension(s.comp.toDag(), rng);
+
+  // The notification stream, exactly as feed.cpp builds it.
+  struct Sent {
+    int process;
+    std::uint64_t seq;
+    std::vector<int> clock;
+  };
+  std::vector<Sent> stream;
+  std::vector<std::uint64_t> perProcess(s.comp.processCount(), 0);
+  for (int node : runOrder) {
+    const EventId e = s.comp.event(node);
+    if (!s.pred.terms[e.process].holds(s.trace, e.index)) continue;
+    stream.push_back(
+        {e.process, perProcess[e.process]++, s.clocks.clockVector(e)});
+  }
+
+  auto finish = [&](monitor::MonitorSession& m, std::size_t from) {
+    for (std::size_t i = from; i < stream.size(); ++i) {
+      m.deliver(stream[i].process, stream[i].seq, stream[i].clock);
+    }
+    for (ProcessId p = 0; p < s.comp.processCount(); ++p) {
+      m.announceEnd(p, perProcess[p]);
+    }
+  };
+
+  monitor::MonitorSession control(s.comp.processCount());
+  finish(control, 0);
+  EXPECT_FALSE(control.hasActiveGaps());
+  EXPECT_EQ(control.detected(), offline.found);
+
+  const std::size_t half = stream.size() / 2;
+  monitor::MonitorSession first(s.comp.processCount());
+  for (std::size_t i = 0; i < half; ++i) {
+    first.deliver(stream[i].process, stream[i].seq, stream[i].clock);
+  }
+
+  std::stringstream checkpoint;
+  io::writeCheckpoint(checkpoint, first.snapshot());
+  monitor::MonitorSession resumed =
+      monitor::MonitorSession::restore(io::readCheckpoint(checkpoint));
+
+  // At-least-once replay: the transport resends a window of notifications
+  // from before the crash; dedup absorbs all of them.
+  const std::size_t replayFrom = half > 3 ? half - 3 : 0;
+  for (std::size_t i = replayFrom; i < half; ++i) {
+    if (resumed.detected()) break;
+    const auto d =
+        resumed.deliver(stream[i].process, stream[i].seq, stream[i].clock);
+    EXPECT_TRUE(d == monitor::Delivery::Duplicate ||
+                d == monitor::Delivery::Detected);
+  }
+  finish(resumed, half);
+
+  EXPECT_FALSE(resumed.hasActiveGaps());
+  EXPECT_EQ(resumed.detected(), control.detected());
+  EXPECT_EQ(resumed.verdict(), control.verdict());
+  EXPECT_EQ(resumed.detected(), offline.found);
+}
+
+// A checkpoint taken while a gap is open restores the gap: the missing
+// notification delivered after the restore closes it and the verdict is
+// unchanged.
+TEST_P(ResilienceSweep, CheckpointDuringOpenGapStillRecovers) {
+  const System s = makeSystem(GetParam() + 424242);
+  const auto offline = detect::detectConjunctive(s.clocks, s.trace, s.pred);
+
+  Rng rng(GetParam() * 613 + 11);
+  const auto runOrder = graph::randomLinearExtension(s.comp.toDag(), rng);
+
+  struct Sent {
+    int process;
+    std::uint64_t seq;
+    std::vector<int> clock;
+  };
+  std::vector<Sent> stream;
+  std::vector<std::uint64_t> perProcess(s.comp.processCount(), 0);
+  for (int node : runOrder) {
+    const EventId e = s.comp.event(node);
+    if (!s.pred.terms[e.process].holds(s.trace, e.index)) continue;
+    stream.push_back(
+        {e.process, perProcess[e.process]++, s.clocks.clockVector(e)});
+  }
+  if (stream.size() < 3) return;  // nothing interesting to withhold
+
+  // Withhold one mid-stream notification, deliver a couple past it (opening
+  // a gap), checkpoint in that state, restore, then deliver the withheld one.
+  const std::size_t hole = stream.size() / 2;
+  std::size_t upto = std::min(hole + 3, stream.size());
+  monitor::MonitorSession first(s.comp.processCount());
+  for (std::size_t i = 0; i < upto; ++i) {
+    if (i == hole) continue;
+    first.deliver(stream[i].process, stream[i].seq, stream[i].clock);
+  }
+
+  std::stringstream checkpoint;
+  io::writeCheckpoint(checkpoint, first.snapshot());
+  monitor::MonitorSession resumed =
+      monitor::MonitorSession::restore(io::readCheckpoint(checkpoint));
+
+  if (!resumed.detected()) {
+    resumed.deliver(stream[hole].process, stream[hole].seq,
+                    stream[hole].clock);
+  }
+  for (std::size_t i = upto; i < stream.size(); ++i) {
+    resumed.deliver(stream[i].process, stream[i].seq, stream[i].clock);
+  }
+  for (ProcessId p = 0; p < s.comp.processCount(); ++p) {
+    resumed.announceEnd(p, perProcess[p]);
+  }
+
+  EXPECT_FALSE(resumed.hasActiveGaps());
+  EXPECT_EQ(resumed.detected(), offline.found);
+  EXPECT_EQ(resumed.verdict(), offline.found
+                                   ? monitor::Verdict::Detected
+                                   : monitor::Verdict::NotDetected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResilienceSweep,
+                         ::testing::Range<std::uint64_t>(1, 201));
+
+}  // namespace
+}  // namespace gpd

@@ -1,0 +1,195 @@
+// Fuzz-style robustness properties for the trace reader: starting from
+// valid serialized traces of every workload generator, random mutations
+// (truncation, byte flips, line edits, token injection) must always yield a
+// clean gpd::InputError — never a crash, hang, CheckFailure, or a silently
+// mangled computation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gpd.h"
+
+namespace gpd {
+namespace {
+
+// One serialized trace per workload family, plus random computations: the
+// mutation corpus covers every shape the writer can produce.
+const std::vector<std::string>& corpus() {
+  static const std::vector<std::string> entries = [] {
+    std::vector<std::string> out;
+    auto add = [&out](const sim::SimResult& run) {
+      std::ostringstream os;
+      io::writeTrace(os, *run.computation, *run.trace);
+      out.push_back(os.str());
+    };
+    add(sim::tokenRing({.processes = 4, .rounds = 2, .seed = 11}));
+    add(sim::ricartAgrawala({.processes = 3, .rounds = 1, .seed = 12}));
+    add(sim::leaderElection({.processes = 4, .seed = 13}));
+    add(sim::voting({.processes = 4, .seed = 14}));
+    add(sim::diningPhilosophers({.philosophers = 3, .meals = 1, .seed = 15}));
+    add(sim::snapshotBank(
+        {.processes = 3, .transfersPerProcess = 2, .seed = 16}));
+    add(sim::diffusingComputation(
+        {.processes = 4, .totalWorkBudget = 6, .seed = 17}));
+    add(sim::producerConsumer(
+        {.producers = 2, .consumers = 2, .itemsPerProducer = 2, .seed = 18}));
+    Rng rng(19);
+    for (int i = 0; i < 4; ++i) {
+      RandomComputationOptions opt;
+      opt.processes = 2 + i;
+      opt.eventsPerProcess = 3;
+      const Computation comp = randomComputation(opt, rng);
+      VariableTrace trace(comp);
+      defineRandomBools(trace, "b", 0.5, rng);
+      defineRandomCounters(trace, "x", 0, 1, rng);
+      std::ostringstream os;
+      io::writeTrace(os, comp, trace);
+      out.push_back(os.str());
+    }
+    return out;
+  }();
+  return entries;
+}
+
+// Parses mutated text; returns true if it parsed, failing the test if the
+// reader misbehaves in any way other than a clean InputError.
+bool tryParse(const std::string& text) {
+  std::istringstream is(text);
+  try {
+    const io::TraceFile file = io::readTrace(is);
+    // Whatever parsed must be internally consistent enough to use.
+    EXPECT_GE(file.computation->processCount(), 1);
+    EXPECT_EQ(&file.trace->computation(), file.computation.get());
+    return true;
+  } catch (const InputError&) {
+    return false;  // the one acceptable failure mode for hostile input
+  }
+  // CheckFailure or anything else escapes and fails the test.
+}
+
+std::vector<std::string> splitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string joinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+class TraceFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceFuzz, EveryCorpusEntryRoundTrips) {
+  for (const std::string& text : corpus()) {
+    EXPECT_TRUE(tryParse(text));
+  }
+}
+
+TEST_P(TraceFuzz, TruncationsNeverEscapeInputError) {
+  Rng rng(GetParam() * 71 + 1);
+  const auto all = corpus();
+  const std::string& text = all[rng.index(all.size())];
+  for (int i = 0; i < 20; ++i) {
+    tryParse(text.substr(0, rng.index(text.size() + 1)));
+  }
+}
+
+TEST_P(TraceFuzz, ByteFlipsNeverEscapeInputError) {
+  Rng rng(GetParam() * 73 + 2);
+  const auto all = corpus();
+  std::string text = all[rng.index(all.size())];
+  for (int i = 0; i < 20; ++i) {
+    std::string mutated = text;
+    const int flips = 1 + static_cast<int>(rng.index(4));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.index(mutated.size());
+      // Printable garbage and control characters alike.
+      mutated[pos] = static_cast<char>(rng.uniform(1, 126));
+    }
+    tryParse(mutated);
+  }
+}
+
+TEST_P(TraceFuzz, LineLevelEditsNeverEscapeInputError) {
+  Rng rng(GetParam() * 79 + 3);
+  const auto all = corpus();
+  const auto lines = splitLines(all[rng.index(all.size())]);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<std::string> mutated = lines;
+    switch (rng.index(4)) {
+      case 0:  // delete a random line
+        mutated.erase(mutated.begin() + rng.index(mutated.size()));
+        break;
+      case 1:  // duplicate a random line
+        mutated.insert(mutated.begin() + rng.index(mutated.size()),
+                       mutated[rng.index(mutated.size())]);
+        break;
+      case 2:  // swap two random lines
+        std::swap(mutated[rng.index(mutated.size())],
+                  mutated[rng.index(mutated.size())]);
+        break;
+      default:  // shuffle everything
+        rng.shuffle(mutated);
+        break;
+    }
+    tryParse(joinLines(mutated));
+  }
+}
+
+TEST_P(TraceFuzz, TokenInjectionNeverEscapesInputError) {
+  Rng rng(GetParam() * 83 + 4);
+  const std::vector<std::string> hostile = {
+      "-1",      "999999999999",          "nan",  "1e9",
+      "0x10",    "18446744073709551616",  "var",  "message",
+      "end",     "processes",             "",     "\t",
+  };
+  const auto all = corpus();
+  auto lines = splitLines(all[rng.index(all.size())]);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<std::string> mutated = lines;
+    std::string& line = mutated[rng.index(mutated.size())];
+    const std::string& token = hostile[rng.index(hostile.size())];
+    const std::size_t pos = rng.index(line.size() + 1);
+    line = line.substr(0, pos) + " " + token + " " + line.substr(pos);
+    tryParse(joinLines(mutated));
+  }
+}
+
+// Targeted hostile inputs that a random mutator is unlikely to hit.
+TEST(TraceFuzzTargeted, HostileCountsAreRejectedBeforeAllocation) {
+  for (const char* text : {
+           "gpd-trace 1\nprocesses 1099511627776\n",
+           "gpd-trace 1\nprocesses 2\nevents 999999999 999999999\nend\n",
+           "gpd-trace 1\nprocesses -3\n",
+           "gpd-trace 1\nprocesses 2\nevents 1 -7\nend\n",
+       }) {
+    std::istringstream is(text);
+    EXPECT_THROW(io::readTrace(is), InputError) << text;
+  }
+}
+
+TEST(TraceFuzzTargeted, CyclicMessagesAreInputErrorNotCheckFailure) {
+  std::istringstream is(
+      "gpd-trace 1\n"
+      "processes 2\n"
+      "events 2 2\n"
+      "message 0 1 1 1\n"
+      "message 1 1 0 1\n"
+      "end\n");
+  EXPECT_THROW(io::readTrace(is), InputError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceFuzz,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace gpd

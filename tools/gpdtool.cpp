@@ -17,13 +17,24 @@
 //       Σ var over all processes, relop K
 //   gpdtool detect <trace> sym <xor|no-majority|no-two-thirds|not-all-equal|
 //                               exactly:<k>> <var>
+//   gpdtool monitor <trace> [--seed N] [--drop P] [--dup P] [--reorder P]
+//                   [--burst P] [--retries K] [--timeout T] [--window W]
+//                   [--queue-limit Q] [--degrade-on-overflow] [--checkpoint F]
+//                   <p:var | p:!var>...
+//       replays the trace's true events through a seeded faulty transport
+//       into the resilient online checker (monitor/session.h) and reports
+//       the verdict, recovery traffic, degradations, and (with --checkpoint)
+//       a checkpoint save/restore round-trip; the offline CPDHB verdict on
+//       the same trace is printed for comparison
 //   gpdtool selftest
 //       end-to-end smoke used by ctest
 //
 // Exit code: 0 = ran fine (for detect: predicate decided either way),
-// 1 = usage error, 2 = runtime failure.
+// 1 = bad input (usage, malformed trace/arguments — gpd::InputError),
+// 2 = internal failure (a library invariant broke — gpd::CheckFailure).
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -40,8 +51,42 @@ int usage() {
             << "  gpdtool detect <trace> conj [--definitely] <p:var|p:!var>...\n"
             << "  gpdtool detect <trace> sum <lt|le|gt|ge|eq|ne> <K> <var>\n"
             << "  gpdtool detect <trace> sym <kind> <var>\n"
+            << "  gpdtool monitor <trace> [--seed N] [--drop P] [--dup P]\n"
+            << "                  [--reorder P] [--burst P] [--retries K]\n"
+            << "                  [--timeout T] [--window W] [--queue-limit Q]\n"
+            << "                  [--degrade-on-overflow] [--checkpoint F]\n"
+            << "                  <p:var|p:!var>...\n"
             << "  gpdtool selftest\n";
   return 1;
+}
+
+// Argument parsers that reject junk with InputError (exit code 1) instead of
+// surfacing std::invalid_argument as an internal failure.
+long long parseInt(const std::string& word, const char* what) {
+  std::size_t used = 0;
+  long long v = 0;
+  try {
+    v = std::stoll(word, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  GPD_INPUT_CHECK(used == word.size() && !word.empty(),
+                  "'" << word << "' is not an integer (" << what << ")");
+  return v;
+}
+
+double parseProbability(const std::string& word, const char* what) {
+  std::size_t used = 0;
+  double v = 0;
+  try {
+    v = std::stod(word, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  GPD_INPUT_CHECK(used == word.size() && !word.empty() && v >= 0.0 && v <= 1.0,
+                  "'" << word << "' is not a probability in [0,1] (" << what
+                      << ")");
+  return v;
 }
 
 int generate(const std::string& workload, const std::string& path,
@@ -109,7 +154,7 @@ int generate(const std::string& workload, const std::string& path,
       defineRandomCounters(*out.trace, "x", 0, 1, rng);
       return out;
     }
-    throw CheckFailure("unknown workload '" + workload + "'");
+    throw InputError("unknown workload '" + workload + "'");
   }();
   io::saveTrace(path, *run.computation, *run.trace);
   std::cout << "wrote " << path << ": " << run.computation->totalEvents()
@@ -161,6 +206,32 @@ int inspect(const std::string& path) {
   return 0;
 }
 
+// Parses "p:var" / "p:!var" terms into a conjunctive predicate, validating
+// process ranges and variable existence against the loaded trace.
+ConjunctivePredicate parseConjunctive(const io::TraceFile& file,
+                                      const std::vector<std::string>& args) {
+  ConjunctivePredicate pred;
+  for (const std::string& term : args) {
+    const auto colon = term.find(':');
+    GPD_INPUT_CHECK(colon != std::string::npos,
+                    "term '" << term << "' is not of the form p:var");
+    const ProcessId p = static_cast<ProcessId>(
+        parseInt(term.substr(0, colon), "term process"));
+    GPD_INPUT_CHECK(p >= 0 && p < file.computation->processCount(),
+                    "term '" << term << "' names process " << p
+                             << " but the trace has "
+                             << file.computation->processCount());
+    std::string var = term.substr(colon + 1);
+    const bool negated = !var.empty() && var[0] == '!';
+    if (negated) var = var.substr(1);
+    GPD_INPUT_CHECK(!var.empty(), "term '" << term << "' has no variable");
+    GPD_INPUT_CHECK(file.trace->has(p, var),
+                    "process " << p << " has no variable '" << var << "'");
+    pred.terms.push_back(negated ? varFalse(p, var) : varTrue(p, var));
+  }
+  return pred;
+}
+
 int detectConj(const io::TraceFile& file, std::vector<std::string> args) {
   bool definitely = false;
   if (!args.empty() && args[0] == "--definitely") {
@@ -168,16 +239,7 @@ int detectConj(const io::TraceFile& file, std::vector<std::string> args) {
     args.erase(args.begin());
   }
   if (args.empty()) return usage();
-  ConjunctivePredicate pred;
-  for (const std::string& term : args) {
-    const auto colon = term.find(':');
-    if (colon == std::string::npos) return usage();
-    const ProcessId p = std::stoi(term.substr(0, colon));
-    std::string var = term.substr(colon + 1);
-    const bool negated = !var.empty() && var[0] == '!';
-    if (negated) var = var.substr(1);
-    pred.terms.push_back(negated ? varFalse(p, var) : varTrue(p, var));
-  }
+  const ConjunctivePredicate pred = parseConjunctive(file, args);
   detect::Detector detector(*file.trace);
   if (definitely) {
     const bool holds = detector.definitely(pred);
@@ -198,7 +260,8 @@ std::optional<BoolLiteral> parseLiteral(const std::string& term) {
   const auto colon = term.find(':');
   if (colon == std::string::npos) return std::nullopt;
   BoolLiteral lit;
-  lit.process = std::stoi(term.substr(0, colon));
+  lit.process =
+      static_cast<ProcessId>(parseInt(term.substr(0, colon), "literal process"));
   lit.var = term.substr(colon + 1);
   lit.positive = true;
   if (!lit.var.empty() && lit.var[0] == '!') {
@@ -264,7 +327,7 @@ int detectSum(const io::TraceFile& file, const std::vector<std::string>& args) {
   }
   SumPredicate pred;
   pred.relop = op;
-  pred.k = std::stoll(args[1]);
+  pred.k = parseInt(args[1], "sum bound K");
   for (ProcessId p = 0; p < file.computation->processCount(); ++p) {
     if (file.trace->has(p, args[2])) pred.terms.push_back({p, args[2]});
   }
@@ -303,7 +366,7 @@ int detectSym(const io::TraceFile& file, const std::vector<std::string>& args) {
   } else if (args[0] == "not-all-equal") {
     pred = notAllEqual(vars);
   } else if (args[0].rfind("exactly:", 0) == 0) {
-    pred = exactlyK(vars, std::stoi(args[0].substr(8)));
+    pred = exactlyK(vars, static_cast<int>(parseInt(args[0].substr(8), "k")));
   } else {
     return usage();
   }
@@ -313,6 +376,114 @@ int detectSym(const io::TraceFile& file, const std::vector<std::string>& args) {
               << cut->toString() << '\n';
   } else {
     std::cout << "possibly(" << pred.name << "): unsatisfied\n";
+  }
+  return 0;
+}
+
+// Replays the trace through a seeded faulty transport into the resilient
+// session and reports what the notification layer had to do to survive it.
+int monitorCmd(const std::string& path, const std::vector<std::string>& args) {
+  monitor::FaultOptions faults;
+  monitor::SessionOptions sopt;
+  std::uint64_t seed = 1;
+  std::string checkpointPath;
+  std::vector<std::string> terms;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto flagValue = [&](const char* what) -> const std::string& {
+      GPD_INPUT_CHECK(i + 1 < args.size(), a << " needs a value (" << what
+                                             << ")");
+      return args[++i];
+    };
+    if (a == "--seed") {
+      seed = static_cast<std::uint64_t>(parseInt(flagValue("seed"), "seed"));
+    } else if (a == "--drop") {
+      faults.dropProbability = parseProbability(flagValue("probability"), a.c_str());
+    } else if (a == "--dup") {
+      faults.duplicateProbability = parseProbability(flagValue("probability"), a.c_str());
+    } else if (a == "--reorder") {
+      faults.reorderProbability = parseProbability(flagValue("probability"), a.c_str());
+    } else if (a == "--burst") {
+      faults.burstProbability = parseProbability(flagValue("probability"), a.c_str());
+    } else if (a == "--retries") {
+      const long long v = parseInt(flagValue("count"), "retries");
+      GPD_INPUT_CHECK(v >= 1, "--retries must be >= 1");
+      sopt.maxRetries = static_cast<int>(v);
+    } else if (a == "--timeout") {
+      const long long v = parseInt(flagValue("ticks"), "timeout");
+      GPD_INPUT_CHECK(v >= 1, "--timeout must be >= 1");
+      sopt.retryTimeout = static_cast<std::uint64_t>(v);
+    } else if (a == "--window") {
+      const long long v = parseInt(flagValue("size"), "window");
+      GPD_INPUT_CHECK(v >= 1, "--window must be >= 1");
+      sopt.reorderWindow = static_cast<std::size_t>(v);
+    } else if (a == "--queue-limit") {
+      const long long v = parseInt(flagValue("size"), "queue limit");
+      GPD_INPUT_CHECK(v >= 0, "--queue-limit must be >= 0");
+      sopt.monitor.maxQueuePerProcess = static_cast<std::size_t>(v);
+    } else if (a == "--degrade-on-overflow") {
+      sopt.monitor.overflowPolicy = monitor::OverflowPolicy::Degrade;
+    } else if (a == "--checkpoint") {
+      checkpointPath = flagValue("file");
+    } else {
+      GPD_INPUT_CHECK(a.empty() || a[0] != '-',
+                      "unknown monitor flag '" << a << "'");
+      terms.push_back(a);
+    }
+  }
+  if (terms.empty()) return usage();
+
+  const io::TraceFile file = io::loadTrace(path);
+  const Computation& comp = *file.computation;
+  const ConjunctivePredicate pred = parseConjunctive(file, terms);
+  GPD_INPUT_CHECK(static_cast<int>(pred.terms.size()) == comp.processCount(),
+                  "the online checker needs one term per process ("
+                      << comp.processCount() << " processes, "
+                      << pred.terms.size() << " terms)");
+
+  const VectorClocks clocks(comp);
+  const bool offline = detect::detectConjunctive(clocks, *file.trace, pred).found;
+
+  Rng rng(seed);
+  const auto run = graph::randomLinearExtension(comp.toDag(), rng);
+  monitor::MonitorSession session(comp.processCount(), sopt);
+  const monitor::ResilientReplayResult res = monitor::replayConjunctiveFaulty(
+      clocks, *file.trace, pred, run, session, faults, rng);
+
+  std::cout << "verdict:          " << monitor::toString(res.verdict) << '\n';
+  std::cout << "offline CPDHB:    " << (offline ? "detected" : "not-detected")
+            << (res.verdict == monitor::Verdict::Degraded
+                    ? "  (degraded verdict is 'unknown', never wrong)"
+                    : "")
+            << '\n';
+  std::cout << "notifications:    " << res.notificationsSent << " sent, "
+            << res.wireDeliveries << " wire deliveries\n";
+  std::cout << "faults injected:  " << res.dropped << " dropped, "
+            << res.duplicated << " duplicated, " << res.reordered
+            << " reordered\n";
+  std::cout << "recovery:         " << res.nacksSent << " NACKs, "
+            << res.retransmissions << " retransmissions, "
+            << session.stats().gapsRecovered << " gaps recovered\n";
+  std::cout << "degraded streams: " << res.degradedStreams << '\n';
+  for (ProcessId p = 0; p < comp.processCount(); ++p) {
+    std::cout << "  p" << p << ": " << monitor::toString(session.health(p))
+              << '\n';
+  }
+  if (!checkpointPath.empty()) {
+    io::saveCheckpoint(checkpointPath, session.snapshot());
+    const monitor::MonitorSession restored = monitor::MonitorSession::restore(
+        io::loadCheckpoint(checkpointPath), sopt);
+    const bool ok = restored.verdict() == session.verdict() &&
+                    restored.detected() == session.detected();
+    std::cout << "checkpoint:       " << checkpointPath << " round-trip "
+              << (ok ? "ok" : "MISMATCH") << '\n';
+    if (!ok) return 2;
+  }
+  const bool agree =
+      res.verdict == monitor::Verdict::Degraded || res.detected == offline;
+  if (!agree) {
+    std::cerr << "monitor: online verdict disagrees with offline CPDHB\n";
+    return 2;
   }
   return 0;
 }
@@ -335,6 +506,15 @@ int selftest() {
     std::cerr << "selftest: expected a CS violation in the rogue trace\n";
     return 2;
   }
+  // Resilient online monitor: faulty replay plus a checkpoint round-trip
+  // must agree with offline detection (or explicitly degrade, never lie).
+  const std::vector<std::string> margs = {
+      "--seed", "5",        "--drop",       "0.15",
+      "--dup",  "0.1",      "--reorder",    "0.1",
+      "--checkpoint",        "/tmp/gpdtool_selftest.ckpt",
+      "0:cs",   "1:cs",     "2:cs",         "3:cs",
+      "4:cs"};
+  if (monitorCmd(path, margs) != 0) return 2;
   std::cout << "selftest: OK\n";
   return 0;
 }
@@ -349,8 +529,16 @@ int main(int argc, char** argv) {
     if (cmd == "selftest") return selftest();
     if (cmd == "generate") {
       if (args.size() < 3) return usage();
-      const std::uint64_t seed = args.size() > 3 ? std::stoull(args[3]) : 1;
+      const std::uint64_t seed =
+          args.size() > 3
+              ? static_cast<std::uint64_t>(parseInt(args[3], "seed"))
+              : 1;
       return generate(args[1], args[2], seed);
+    }
+    if (cmd == "monitor") {
+      if (args.size() < 2) return usage();
+      return monitorCmd(args[1],
+                        std::vector<std::string>(args.begin() + 2, args.end()));
     }
     if (cmd == "inspect") {
       if (args.size() != 2) return usage();
@@ -367,8 +555,13 @@ int main(int argc, char** argv) {
       return usage();
     }
     return usage();
-  } catch (const std::exception& e) {
+  } catch (const InputError& e) {
+    // Bad input (file or arguments): the caller's problem, exit 1.
     std::cerr << "gpdtool: " << e.what() << '\n';
+    return 1;
+  } catch (const std::exception& e) {
+    // CheckFailure or anything else unexpected: our problem, exit 2.
+    std::cerr << "gpdtool: internal error: " << e.what() << '\n';
     return 2;
   }
 }
