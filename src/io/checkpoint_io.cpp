@@ -99,6 +99,9 @@ void writeCheckpoint(std::ostream& os, const monitor::SessionSnapshot& snap) {
     os << ' ' << int(snap.endAnnounced[p]) << ' ' << snap.announcedCount[p];
   }
   os << '\n';
+  os << "evicted";
+  for (std::uint64_t e : snap.evictedUpper) os << ' ' << e;
+  os << '\n';
   const monitor::SessionStats& st = snap.stats;
   os << "stats " << st.delivered << ' ' << st.duplicates << ' ' << st.buffered
      << ' ' << st.bufferEvicted << ' ' << st.nacksSent << ' '
@@ -169,6 +172,9 @@ monitor::SessionSnapshot readCheckpoint(std::istream& is) {
     snap.endAnnounced[p] = static_cast<char>(r.integer("announced", 0, 1));
     snap.announcedCount[p] = r.counter("announced");
   }
+  r.keyword("evicted");
+  snap.evictedUpper.resize(n);
+  for (auto& e : snap.evictedUpper) e = r.counter("evicted");
   r.keyword("stats");
   monitor::SessionStats& st = snap.stats;
   st.delivered = r.counter("stats");

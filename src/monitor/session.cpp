@@ -36,7 +36,8 @@ MonitorSession::MonitorSession(int processes, SessionOptions options,
       health_(processes, StreamHealth::Healthy),
       gap_(processes),
       endAnnounced_(processes, 0),
-      announcedCount_(processes, 0) {
+      announcedCount_(processes, 0),
+      evictedUpper_(processes, 0) {
   GPD_CHECK(processes >= 1);
   GPD_CHECK(options.reorderWindow >= 1);
   GPD_CHECK(options.maxRetries >= 1);
@@ -87,9 +88,12 @@ Delivery MonitorSession::deliver(int p, std::uint64_t seq,
     buffer_[p].emplace(seq, std::move(clock));
     ++stats_.buffered;
     if (buffer_[p].size() > options_.reorderWindow) {
-      // Evict the farthest-future entry; it rejoins the missing set and is
-      // re-requested by the next NACK for this stream.
-      buffer_[p].erase(std::prev(buffer_[p].end()));
+      // Evict the farthest-future entry; it rejoins the missing set. Its seq
+      // is remembered in evictedUpper_ so subsequent NACKs for this stream
+      // still cover it even though the buffer no longer knows about it.
+      const auto last = std::prev(buffer_[p].end());
+      evictedUpper_[p] = std::max(evictedUpper_[p], last->first + 1);
+      buffer_[p].erase(last);
       ++stats_.bufferEvicted;
     }
     if (!gap_[p].active) openGap(p);
@@ -112,6 +116,15 @@ void MonitorSession::announceEnd(int p, std::uint64_t count) {
                       << p << " announces " << count
                       << " notifications but " << nextSeq_[p]
                       << " were already consumed");
+  std::uint64_t seenUpper = evictedUpper_[p];
+  if (!buffer_[p].empty()) {
+    seenUpper = std::max(seenUpper, std::prev(buffer_[p].end())->first + 1);
+  }
+  GPD_INPUT_CHECK(count >= seenUpper,
+                  "end-of-stream for process "
+                      << p << " announces " << count
+                      << " notifications but sequence number "
+                      << (seenUpper - 1) << " was already received");
   endAnnounced_[p] = 1;
   announcedCount_[p] = count;
   if (monitor_.detected() || health_[p] == StreamHealth::Degraded) return;
@@ -184,6 +197,9 @@ std::uint64_t MonitorSession::missingUpperBound(int p) const {
   if (!buffer_[p].empty()) {
     upper = std::max(upper, std::prev(buffer_[p].end())->first);
   }
+  // An evicted entry is missing again but invisible in the buffer; keep
+  // re-requesting it until it is consumed.
+  upper = std::max(upper, evictedUpper_[p]);
   if (endAnnounced_[p] && announcedCount_[p] > 0) {
     upper = std::max(upper, announcedCount_[p]);
   }
@@ -208,7 +224,10 @@ void MonitorSession::drainBuffer(int p) {
   auto& buf = buffer_[p];
   while (!buf.empty() && buf.begin()->first == nextSeq_[p]) {
     auto head = buf.begin();
-    const ReportStatus status = monitor_.offer(p, std::move(head->second));
+    // offer() takes its argument by value, so moving here would leave a
+    // moved-from entry behind on rejection; pass a copy and erase only once
+    // the monitor has accepted it.
+    const ReportStatus status = monitor_.offer(p, head->second);
     if (status == ReportStatus::Rejected) {
       ++stats_.backpressured;
       return;  // keep it buffered; retried on the next logical step
@@ -260,6 +279,7 @@ SessionSnapshot MonitorSession::snapshot() const {
   }
   snap.endAnnounced = endAnnounced_;
   snap.announcedCount = announcedCount_;
+  snap.evictedUpper = evictedUpper_;
   snap.stats = stats_;
   return snap;
 }
@@ -275,7 +295,8 @@ MonitorSession MonitorSession::restore(const SessionSnapshot& snap,
           static_cast<int>(snap.gapDeadline.size()) == n &&
           static_cast<int>(snap.gapRetriesLeft.size()) == n &&
           static_cast<int>(snap.endAnnounced.size()) == n &&
-          static_cast<int>(snap.announcedCount.size()) == n,
+          static_cast<int>(snap.announcedCount.size()) == n &&
+          static_cast<int>(snap.evictedUpper.size()) == n,
       "session snapshot: per-process arrays disagree with process count");
   MonitorSession s(std::max(n, 1), options, std::move(nack));
   s.monitor_ = ConjunctiveMonitor::restore(snap.monitor, options.monitor);
@@ -308,6 +329,7 @@ MonitorSession MonitorSession::restore(const SessionSnapshot& snap,
   }
   s.endAnnounced_ = snap.endAnnounced;
   s.announcedCount_ = snap.announcedCount;
+  s.evictedUpper_ = snap.evictedUpper;
   s.stats_ = snap.stats;
   return s;
 }

@@ -106,6 +106,9 @@ struct SessionSnapshot {
   std::vector<int> gapRetriesLeft;
   std::vector<char> endAnnounced;
   std::vector<std::uint64_t> announcedCount;
+  // Per process, one past the highest seq ever evicted from the reorder
+  // buffer (0 = none); keeps NACKs covering evicted entries.
+  std::vector<std::uint64_t> evictedUpper;
   SessionStats stats;
 };
 
@@ -185,6 +188,7 @@ class MonitorSession {
   std::vector<Gap> gap_;
   std::vector<char> endAnnounced_;
   std::vector<std::uint64_t> announcedCount_;
+  std::vector<std::uint64_t> evictedUpper_;
   SessionStats stats_;
 };
 

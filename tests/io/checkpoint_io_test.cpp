@@ -20,10 +20,12 @@ SessionSnapshot busySnapshot() {
   monitor::SessionOptions opt;
   opt.retryTimeout = 8;
   opt.maxRetries = 2;
+  opt.reorderWindow = 1;
   MonitorSession s(3, opt);
   s.deliver(0, 0, {1, 0, 0});
   s.deliver(0, 0, {1, 0, 0});  // duplicate, for the stats
   s.deliver(1, 2, {0, 5, 0});  // early: buffered, gap open
+  s.deliver(1, 4, {0, 9, 0});  // farthest-future: evicted from the window
   s.deliver(2, 0, {2, 0, 1});  // eliminates p0's head
   s.announceEnd(2, 1);
   return s.snapshot();
@@ -54,7 +56,10 @@ TEST(CheckpointIoTest, RoundTripPreservesEveryField) {
   EXPECT_EQ(b.gapRetriesLeft, a.gapRetriesLeft);
   EXPECT_EQ(b.endAnnounced, a.endAnnounced);
   EXPECT_EQ(b.announcedCount, a.announcedCount);
+  EXPECT_EQ(b.evictedUpper, a.evictedUpper);
+  EXPECT_NE(a.evictedUpper, std::vector<std::uint64_t>(3, 0));
   EXPECT_EQ(b.stats.delivered, a.stats.delivered);
+  EXPECT_EQ(b.stats.bufferEvicted, a.stats.bufferEvicted);
   EXPECT_EQ(b.stats.duplicates, a.stats.duplicates);
   EXPECT_EQ(b.stats.buffered, a.stats.buffered);
   EXPECT_EQ(b.stats.nacksSent, a.stats.nacksSent);

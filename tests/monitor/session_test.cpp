@@ -139,6 +139,40 @@ TEST(MonitorSessionTest, ReorderWindowOverflowEvictsFarthestFuture) {
   EXPECT_EQ(s.monitor().enqueued(), 4u);
 }
 
+TEST(MonitorSessionTest, BackpressuredDrainKeepsBufferedEntryIntact) {
+  SessionOptions opt;
+  opt.monitor.maxQueuePerProcess = 1;
+  opt.monitor.overflowPolicy = OverflowPolicy::Backpressure;
+  MonitorSession s(2, opt);
+  EXPECT_EQ(s.deliver(0, 1, {2, 0}), Delivery::Buffered);
+  // Filling the gap delivers seq 0 and then tries to drain the buffered
+  // seq 1, which the monitor rejects (queue full). The rejected entry must
+  // stay intact in the buffer for later retries — it used to be left
+  // moved-from, aborting on the very next drain attempt.
+  EXPECT_EQ(s.deliver(0, 0, {1, 0}), Delivery::Delivered);
+  EXPECT_GE(s.stats().backpressured, 1u);
+  s.tick();  // re-drains the same entry: rejected again, still intact
+  EXPECT_EQ(s.deliver(1, 0, {0, 1}), Delivery::Detected);
+  EXPECT_EQ(s.verdict(), Verdict::Detected);
+}
+
+TEST(MonitorSessionTest, EvictedEntryStaysInNackRange) {
+  SessionOptions opt = fastRetry();
+  opt.reorderWindow = 1;
+  NackLog nacks;
+  MonitorSession s(2, opt, nacks.fn());
+  EXPECT_EQ(s.deliver(0, 1, {2, 0}), Delivery::Buffered);  // gap, NACK [0,0]
+  EXPECT_EQ(s.deliver(0, 2, {3, 0}), Delivery::Buffered);  // evicted (window 1)
+  EXPECT_EQ(s.stats().bufferEvicted, 1u);
+  ASSERT_EQ(nacks.requests.size(), 1u);
+  for (int i = 0; i < 16 && nacks.requests.size() < 2; ++i) s.tick();
+  ASSERT_EQ(nacks.requests.size(), 2u);
+  // The retry must re-request the evicted seq 2, not stop at the buffered
+  // seq 1 as if nothing beyond it had ever been seen.
+  EXPECT_EQ(nacks.requests[1].lo, 0u);
+  EXPECT_EQ(nacks.requests[1].hi, 2u);
+}
+
 TEST(MonitorSessionTest, MonitorBackpressureRefusesWithoutConsuming) {
   SessionOptions opt;
   opt.monitor.maxQueuePerProcess = 1;
@@ -191,6 +225,22 @@ TEST(MonitorSessionTest, AnnounceEndBelowConsumedIsInputError) {
   EXPECT_THROW(s.announceEnd(0, 0), InputError);
 }
 
+TEST(MonitorSessionTest, AnnounceEndBelowBufferedSeqIsInputError) {
+  MonitorSession s(2);
+  s.deliver(0, 2, {3, 0});  // buffered: the transport delivered seq 2
+  EXPECT_THROW(s.announceEnd(0, 1), InputError);
+}
+
+TEST(MonitorSessionTest, AnnounceEndBelowEvictedSeqIsInputError) {
+  SessionOptions opt = fastRetry();
+  opt.reorderWindow = 1;
+  MonitorSession s(2, opt);
+  s.deliver(0, 1, {2, 0});
+  s.deliver(0, 5, {6, 0});  // farthest-future: evicted, but it was seen
+  EXPECT_EQ(s.stats().bufferEvicted, 1u);
+  EXPECT_THROW(s.announceEnd(0, 3), InputError);
+}
+
 TEST(MonitorSessionTest, CheckpointRoundTripPreservesEverything) {
   NackLog nacks;
   MonitorSession s(3, fastRetry(), nacks.fn());
@@ -228,6 +278,10 @@ TEST(MonitorSessionTest, RestoreRejectsInconsistentSnapshots) {
 
   snap = s.snapshot();
   snap.buffers[0].emplace_back(0, std::vector<int>{9, 9});  // already consumed
+  EXPECT_THROW(MonitorSession::restore(snap), InputError);
+
+  snap = s.snapshot();
+  snap.evictedUpper.pop_back();
   EXPECT_THROW(MonitorSession::restore(snap), InputError);
 
   snap = s.snapshot();
