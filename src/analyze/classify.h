@@ -1,0 +1,74 @@
+// Predicate classifier (paper Fig. 1, Secs. 3.2–3.3).
+//
+// Decides, statically, which structural class a CNF predicate falls into on
+// a given trace — everything the detection algorithms' applicability hinges
+// on: singularity (clause-disjointness of hosting processes), uniform clause
+// width k, the per-meta-process receive-/send-ordered preconditions of the
+// Sec. 3.2 scan, and the per-clause cost inputs of Sec. 3.3 — the number of
+// hosting processes kⱼ (process enumeration) and the minimum chain cover
+// size cⱼ of the clause's true events (chain-cover enumeration, via
+// graph::minimumChainCover).
+//
+// Stability (Chandy–Lamport) and linearity (Chase–Garg) are *hints*: exact
+// on small lattices (decided exhaustively), Unknown when the lattice is too
+// large to enumerate — except conjunctive predicates, which are linear by
+// construction (Garg–Waldecker).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "clocks/vector_clock.h"
+#include "predicates/cnf.h"
+#include "predicates/variable_trace.h"
+
+namespace gpd::analyze {
+
+enum class Hint { Yes, No, Unknown };
+
+const char* toString(Hint h);
+
+// Per-clause structural facts (clause j of the CNF).
+struct ClauseFacts {
+  int literals = 0;                   // clause width
+  std::vector<ProcessId> processes;   // hosting processes, deduplicated
+  int trueEventCount = 0;             // events where some literal holds
+  int hostingChains = 0;              // kⱼ: non-empty per-process chains
+  int chainCoverSize = 0;             // cⱼ: minimum chain cover (Dilworth)
+};
+
+struct CnfClassification {
+  bool singular = false;     // no two clauses share a process
+  bool conjunctive = false;  // singular 1-CNF (Garg–Waldecker class)
+  std::optional<int> uniformK;  // k when every clause has exactly k literals
+
+  std::vector<ClauseFacts> clauses;
+
+  // Sec. 3.2 preconditions over the clause groups (meaningful only when
+  // singular; false otherwise).
+  bool receiveOrdered = false;
+  bool sendOrdered = false;
+
+  // Exhaustive hints, Unknown above ClassifyOptions::latticeCutLimit.
+  Hint stable = Hint::Unknown;
+  Hint linear = Hint::Unknown;
+
+  // Π cⱼ and Π kⱼ — the two Sec. 3.3 enumeration bounds. Either is 0 when
+  // some clause is never true (no detection work remains).
+  std::uint64_t chainCoverBound() const;
+  std::uint64_t processEnumerationBound() const;
+};
+
+struct ClassifyOptions {
+  // Stability/linearity hints are decided exhaustively only while the cut
+  // lattice stays within this many cuts; beyond it they stay Unknown.
+  std::uint64_t latticeCutLimit = 20000;
+};
+
+CnfClassification classifyCnf(const VectorClocks& clocks,
+                              const VariableTrace& trace,
+                              const CnfPredicate& pred,
+                              const ClassifyOptions& opts = {});
+
+}  // namespace gpd::analyze

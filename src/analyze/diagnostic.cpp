@@ -1,0 +1,92 @@
+#include "analyze/diagnostic.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace gpd::analyze {
+
+const char* toString(Severity s) {
+  switch (s) {
+    case Severity::Error:
+      return "error";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Info:
+      return "info";
+  }
+  return "unknown";
+}
+
+int errorCount(const std::vector<Diagnostic>& diags) {
+  int n = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::Error) ++n;
+  }
+  return n;
+}
+
+int warningCount(const std::vector<Diagnostic>& diags) {
+  int n = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::Warning) ++n;
+  }
+  return n;
+}
+
+void renderText(std::ostream& os, const std::string& name,
+                const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags) {
+    os << name;
+    if (d.line > 0) os << ':' << d.line;
+    os << ": " << toString(d.severity) << ' ' << d.code << ": " << d.message
+       << '\n';
+  }
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void renderJson(std::ostream& os, const std::vector<Diagnostic>& diags) {
+  os << "[";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    if (i > 0) os << ",";
+    os << "\n  {\"severity\": \"" << toString(d.severity) << "\", \"code\": \""
+       << jsonEscape(d.code) << "\", \"line\": " << d.line
+       << ", \"message\": \"" << jsonEscape(d.message) << "\"}";
+  }
+  if (!diags.empty()) os << '\n';
+  os << "]\n";
+}
+
+}  // namespace gpd::analyze

@@ -1,0 +1,46 @@
+// Structured findings of the static-analysis pass (linter, classifier,
+// planner).
+//
+// Every check emits Diagnostics instead of throwing: a single run reports
+// *all* problems it can see, each tagged with a severity, a stable code
+// (documented in DESIGN.md §"Analysis pass"), and — when the finding is
+// about a trace file — the 1-based line it points at. The same stream has
+// two renderers: a compiler-style text form ("file:line: error E105: …")
+// and a JSON-array form for tooling (`gpdtool lint -f json`).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gpd::analyze {
+
+enum class Severity { Error, Warning, Info };
+
+const char* toString(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  std::string code;     // stable identifier, e.g. "E105", "W301"
+  int line = 0;         // 1-based line in the analyzed stream; 0 = no line
+  std::string message;  // human-readable, self-contained
+};
+
+// Counts by severity.
+int errorCount(const std::vector<Diagnostic>& diags);
+int warningCount(const std::vector<Diagnostic>& diags);
+
+// Compiler-style rendering, one diagnostic per line:
+//   <name>:<line>: <severity> <code>: <message>
+// (the ":<line>" part is omitted for line-less diagnostics).
+void renderText(std::ostream& os, const std::string& name,
+                const std::vector<Diagnostic>& diags);
+
+// JSON array of {severity, code, line, message} objects, newline-terminated.
+void renderJson(std::ostream& os, const std::vector<Diagnostic>& diags);
+
+// Minimal JSON string escaping (quotes, backslashes, control characters);
+// shared with the plan renderer.
+std::string jsonEscape(const std::string& s);
+
+}  // namespace gpd::analyze

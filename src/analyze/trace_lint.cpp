@@ -1,0 +1,678 @@
+#include "analyze/trace_lint.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "clocks/vector_clock.h"
+#include "graph/dag.h"
+#include "io/trace_io.h"
+#include "util/check.h"
+
+namespace gpd::analyze {
+
+namespace {
+
+// The raw, unvalidated shape of the stream: everything the parser could
+// recover, each with the line it came from.
+struct RawMessage {
+  int sendProcess = 0;
+  int sendIndex = 0;
+  int receiveProcess = 0;
+  int receiveIndex = 0;
+  int line = 0;
+};
+
+struct RawVariable {
+  ProcessId process = 0;
+  std::string name;
+  std::vector<std::int64_t> values;
+  int line = 0;
+};
+
+// Non-throwing twin of the strict reader's tokenizer: same whitespace and
+// integer semantics (std::istringstream extraction, std::stoll with a
+// full-token check), but failures surface as nullopt instead of InputError.
+class Tokens {
+ public:
+  explicit Tokens(std::string text) : stream_(std::move(text)) {}
+
+  std::optional<std::string> word() {
+    std::string w;
+    if (stream_ >> w) return w;
+    return std::nullopt;
+  }
+
+  // The trailing token, if the line has one (strict readers reject it).
+  std::optional<std::string> trailing() { return word(); }
+
+ private:
+  std::istringstream stream_;
+};
+
+std::optional<long long> parseInteger(const std::string& w) {
+  long long v = 0;
+  std::size_t used = 0;
+  try {
+    v = std::stoll(w, &used);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (used != w.size() || w.empty()) return std::nullopt;
+  return v;
+}
+
+class Linter {
+ public:
+  Linter(std::istream& is, const LintOptions& opts) : is_(is), opts_(opts) {}
+
+  LintResult run() {
+    if (parseStructure() && result_.ok()) {
+      detectCycles();
+    }
+    if (result_.ok() && processes_ > 0) {
+      buildAndCheckSemantics();
+    }
+    return std::move(result_);
+  }
+
+ private:
+  // ---- diagnostics ----
+
+  void emit(Severity sev, const char* code, int line, const std::string& msg) {
+    result_.diagnostics.push_back(Diagnostic{sev, code, line, msg});
+  }
+  void error(const char* code, int line, const std::string& msg) {
+    emit(Severity::Error, code, line, msg);
+  }
+  void warning(const char* code, int line, const std::string& msg) {
+    emit(Severity::Warning, code, line, msg);
+  }
+  void info(const std::string& msg) { emit(Severity::Info, "I001", 0, msg); }
+
+  // ---- line reading (same blank-skipping rule as the strict reader) ----
+
+  std::optional<std::pair<std::string, int>> nextLine() {
+    std::string text;
+    while (std::getline(is_, text)) {
+      ++lineNumber_;
+      if (text.find_first_not_of(" \t\r") == std::string::npos) continue;
+      return std::make_pair(std::move(text), lineNumber_);
+    }
+    return std::nullopt;
+  }
+
+  int hereOrOne() const { return lineNumber_ > 0 ? lineNumber_ : 1; }
+
+  // Integer token with the strict reader's range treatment; emits `code` and
+  // returns nullopt on any fault.
+  std::optional<long long> integerField(Tokens& tokens, int line,
+                                        const char* code, const char* what,
+                                        long long lo, long long hi) {
+    const auto w = tokens.word();
+    if (!w) {
+      error(code, line, std::string("missing ") + what);
+      return std::nullopt;
+    }
+    const auto v = parseInteger(*w);
+    if (!v) {
+      error(code, line, "'" + *w + "' is not an integer (" + what + ")");
+      return std::nullopt;
+    }
+    if (*v < lo || *v > hi) {
+      std::ostringstream os;
+      os << what << ' ' << *v << " out of range [" << lo << ", " << hi << "]";
+      error(code, line, os.str());
+      return std::nullopt;
+    }
+    return v;
+  }
+
+  bool expectLineDone(Tokens& tokens, int line, const char* code) {
+    if (const auto extra = tokens.trailing()) {
+      error(code, line, "unexpected trailing '" + *extra + "'");
+      return false;
+    }
+    return true;
+  }
+
+  // ---- structural pass ----
+
+  // Header, processes and events lines; false when the prologue is too
+  // broken to recover counts (body not parsed — nothing to anchor it to).
+  bool parsePrologue() {
+    auto header = nextLine();
+    if (!header) {
+      error("E101", hereOrOne(), "truncated trace: missing header");
+      return false;
+    }
+    {
+      Tokens tokens(header->first);
+      const auto magic = tokens.word();
+      if (!magic || *magic != io::kTraceMagic) {
+        error("E101", header->second, "not a gpd-trace stream");
+        return false;
+      }
+      const auto version =
+          integerField(tokens, header->second, "E101", "version", 0,
+                       std::numeric_limits<long long>::max());
+      if (!version) return false;
+      if (*version != io::kTraceVersion) {
+        std::ostringstream os;
+        os << "unsupported trace version " << *version << " (expected "
+           << io::kTraceVersion << ")";
+        error("E101", header->second, os.str());
+        return false;
+      }
+      if (!expectLineDone(tokens, header->second, "E101")) return false;
+    }
+
+    auto processesLine = nextLine();
+    if (!processesLine) {
+      error("E102", hereOrOne(), "truncated trace: missing 'processes' line");
+      return false;
+    }
+    {
+      Tokens tokens(processesLine->first);
+      const auto keyword = tokens.word();
+      if (!keyword || *keyword != "processes") {
+        error("E102", processesLine->second, "expected 'processes'");
+        return false;
+      }
+      const auto count = integerField(tokens, processesLine->second, "E102",
+                                      "process count", 1, io::kTraceMaxProcesses);
+      if (!count) return false;
+      if (!expectLineDone(tokens, processesLine->second, "E102")) return false;
+      processes_ = static_cast<int>(*count);
+    }
+
+    auto eventsLine = nextLine();
+    if (!eventsLine) {
+      error("E103", hereOrOne(), "truncated trace: missing 'events' line");
+      return false;
+    }
+    {
+      Tokens tokens(eventsLine->first);
+      const auto keyword = tokens.word();
+      if (!keyword || *keyword != "events") {
+        error("E103", eventsLine->second, "expected 'events'");
+        return false;
+      }
+      counts_.resize(processes_);
+      long long total = 0;
+      for (int& c : counts_) {
+        const auto v = integerField(tokens, eventsLine->second, "E103",
+                                    "event count", 1, io::kTraceMaxTotalEvents);
+        if (!v) return false;
+        c = static_cast<int>(*v);
+        total += *v;
+        if (total > io::kTraceMaxTotalEvents) {
+          std::ostringstream os;
+          os << "total event count " << total << " exceeds the "
+             << io::kTraceMaxTotalEvents << " limit";
+          error("E103", eventsLine->second, os.str());
+          return false;
+        }
+      }
+      if (!expectLineDone(tokens, eventsLine->second, "E103")) return false;
+    }
+    return true;
+  }
+
+  void parseMessageLine(Tokens& tokens, int line) {
+    RawMessage m;
+    m.line = line;
+    const auto sp =
+        integerField(tokens, line, "E105", "send process", 0, processes_ - 1);
+    if (!sp) return;
+    m.sendProcess = static_cast<int>(*sp);
+    const auto si = integerField(tokens, line, "E105", "send index", 1,
+                                 counts_[m.sendProcess] - 1);
+    if (!si) return;
+    m.sendIndex = static_cast<int>(*si);
+    const auto rp = integerField(tokens, line, "E105", "receive process", 0,
+                                 processes_ - 1);
+    if (!rp) return;
+    m.receiveProcess = static_cast<int>(*rp);
+    if (m.receiveProcess == m.sendProcess) {
+      std::ostringstream os;
+      os << "message from process " << m.sendProcess << " to itself";
+      error("E105", line, os.str());
+      return;
+    }
+    const auto ri = integerField(tokens, line, "E105", "receive index", 1,
+                                 counts_[m.receiveProcess] - 1);
+    if (!ri) return;
+    m.receiveIndex = static_cast<int>(*ri);
+    if (!expectLineDone(tokens, line, "E104")) return;
+    if (!messagesSeen_
+             .emplace(m.sendProcess, m.sendIndex, m.receiveProcess,
+                      m.receiveIndex)
+             .second) {
+      std::ostringstream os;
+      os << "duplicate message " << m.sendProcess << ":" << m.sendIndex
+         << " -> " << m.receiveProcess << ":" << m.receiveIndex;
+      error("E105", line, os.str());
+      return;
+    }
+    messages_.push_back(m);
+  }
+
+  void parseVarLine(Tokens& tokens, int line) {
+    RawVariable v;
+    v.line = line;
+    const auto p =
+        integerField(tokens, line, "E106", "var process", 0, processes_ - 1);
+    if (!p) return;
+    v.process = static_cast<ProcessId>(*p);
+    const auto name = tokens.word();
+    if (!name) {
+      error("E104", line, "missing variable name");
+      return;
+    }
+    v.name = *name;
+    if (!varsSeen_.emplace(v.process, v.name).second) {
+      std::ostringstream os;
+      os << "duplicate variable '" << v.name << "' on process " << v.process;
+      error("E106", line, os.str());
+      return;
+    }
+    v.values.resize(counts_[v.process]);
+    for (auto& x : v.values) {
+      const auto value =
+          integerField(tokens, line, "E106", "var value",
+                       std::numeric_limits<std::int64_t>::min(),
+                       std::numeric_limits<std::int64_t>::max());
+      if (!value) return;
+      x = *value;
+    }
+    if (!expectLineDone(tokens, line, "E104")) return;
+    variables_.push_back(std::move(v));
+  }
+
+  // Whole-stream structural pass; true when the prologue parsed (the body
+  // may still have emitted per-line errors).
+  bool parseStructure() {
+    if (!parsePrologue()) return false;
+
+    bool sawEnd = false;
+    while (auto line = nextLine()) {
+      Tokens tokens(line->first);
+      const auto keyword = tokens.word();
+      if (!keyword) {
+        // Non-blank by the reader's rule (e.g. a lone \v or \f) yet empty
+        // under stream tokenization — the strict reader rejects it too.
+        error("E104", line->second, "missing trace keyword");
+        continue;
+      }
+      if (*keyword == "end") {
+        expectLineDone(tokens, line->second, "E104");
+        sawEnd = true;
+        break;
+      }
+      if (*keyword == "message") {
+        parseMessageLine(tokens, line->second);
+      } else if (*keyword == "var") {
+        parseVarLine(tokens, line->second);
+      } else {
+        error("E104", line->second,
+              "unknown trace keyword '" + *keyword + "'");
+      }
+    }
+    if (!sawEnd) {
+      error("E108", hereOrOne(), "truncated trace: missing 'end'");
+    } else if (const auto trailing = nextLine()) {
+      error("E108", trailing->second, "content after 'end'");
+    }
+    return true;
+  }
+
+  // ---- causality ----
+
+  int node(ProcessId p, int index) const { return offsets_[p] + index; }
+
+  void computeOffsets() {
+    offsets_.assign(processes_, 0);
+    totalEvents_ = 0;
+    for (ProcessId p = 0; p < processes_; ++p) {
+      offsets_[p] = totalEvents_;
+      totalEvents_ += counts_[p];
+    }
+  }
+
+  // Happened-before cycle detection over process-order and message edges
+  // (initial-precedence edges cannot participate in a cycle: initial events
+  // have no predecessors). On a cycle, reports E201 at the line of a message
+  // on it — the actionable edge, since process order alone is acyclic.
+  void detectCycles() {
+    computeOffsets();
+    std::vector<std::vector<int>> succ(totalEvents_);
+    std::map<std::pair<int, int>, int> messageLine;
+    for (ProcessId p = 0; p < processes_; ++p) {
+      for (int i = 0; i + 1 < counts_[p]; ++i) {
+        succ[node(p, i)].push_back(node(p, i + 1));
+      }
+    }
+    for (const RawMessage& m : messages_) {
+      const int u = node(m.sendProcess, m.sendIndex);
+      const int v = node(m.receiveProcess, m.receiveIndex);
+      succ[u].push_back(v);
+      messageLine.emplace(std::make_pair(u, v), m.line);
+    }
+
+    // Iterative DFS; a back edge closes a cycle along the explicit stack.
+    std::vector<char> color(totalEvents_, 0);  // 0 new, 1 on stack, 2 done
+    std::vector<int> stack;
+    std::vector<std::size_t> nextChild;
+    for (int root = 0; root < totalEvents_; ++root) {
+      if (color[root] != 0) continue;
+      stack.assign(1, root);
+      nextChild.assign(1, 0);
+      color[root] = 1;
+      while (!stack.empty()) {
+        const int u = stack.back();
+        if (nextChild.back() >= succ[u].size()) {
+          color[u] = 2;
+          stack.pop_back();
+          nextChild.pop_back();
+          continue;
+        }
+        const int v = succ[u][nextChild.back()++];
+        if (color[v] == 1) {
+          reportCycle(stack, v, messageLine);
+          return;
+        }
+        if (color[v] == 0) {
+          color[v] = 1;
+          stack.push_back(v);
+          nextChild.push_back(0);
+        }
+      }
+    }
+  }
+
+  void reportCycle(const std::vector<int>& stack, int entry,
+                   const std::map<std::pair<int, int>, int>& messageLine) {
+    // The cycle is the stack suffix from `entry`, closed by the back edge.
+    std::vector<int> cycle(
+        std::find(stack.begin(), stack.end(), entry), stack.end());
+    cycle.push_back(entry);
+    int line = 0;
+    for (std::size_t i = 0; i + 1 < cycle.size() && line == 0; ++i) {
+      const auto it = messageLine.find({cycle[i], cycle[i + 1]});
+      if (it != messageLine.end()) line = it->second;
+    }
+    std::ostringstream os;
+    os << "happened-before cycle through " << cycle.size() - 1 << " events";
+    if (line > 0) os << " (closed by the message at line " << line << ")";
+    error("E201", line, os.str());
+  }
+
+  // ---- build + semantic checks ----
+
+  void buildAndCheckSemantics() {
+    ComputationBuilder builder(processes_);
+    for (ProcessId p = 0; p < processes_; ++p) {
+      for (int i = 1; i < counts_[p]; ++i) builder.appendEvent(p);
+    }
+    for (const RawMessage& m : messages_) {
+      builder.addMessage({m.sendProcess, m.sendIndex},
+                         {m.receiveProcess, m.receiveIndex});
+    }
+    try {
+      result_.computation =
+          std::make_unique<Computation>(std::move(builder).build());
+    } catch (const CheckFailure& e) {
+      // detectCycles() should have caught this; keep the lint non-throwing.
+      error("E201", 0,
+            std::string("trace describes an impossible computation: ") +
+                e.what());
+      return;
+    }
+    result_.trace = std::make_unique<VariableTrace>(*result_.computation);
+    for (const RawVariable& v : variables_) {
+      result_.trace->define(v.process, v.name, v.values);
+    }
+
+    const VectorClocks clocks(*result_.computation);
+    checkClockConsistency(clocks);
+    checkChannelDiscipline();
+    checkRaces(clocks);
+  }
+
+  // Vector-clock consistency against the message graph: the Fidge–Mattern
+  // axioms per event and per edge, plus (on small traces) the full
+  // equivalence  e ≤ f ⟺ f reachable from e  against the explicit DAG.
+  void checkClockConsistency(const VectorClocks& clocks) {
+    const Computation& comp = *result_.computation;
+    for (ProcessId p = 0; p < processes_; ++p) {
+      std::vector<int> prev;
+      for (int i = 0; i < comp.eventCount(p); ++i) {
+        const EventId e{p, i};
+        const std::vector<int> v = clocks.clockVector(e);
+        if (v[p] != i) {
+          std::ostringstream os;
+          os << "vector clock of event " << p << ":" << i
+             << " has own component " << v[p] << ", expected " << i;
+          error("E202", 0, os.str());
+          return;
+        }
+        if (i > 0 && !std::equal(prev.begin(), prev.end(), v.begin(),
+                                 [](int a, int b) { return a <= b; })) {
+          std::ostringstream os;
+          os << "vector clock not monotone along process " << p
+             << " between events " << i - 1 << " and " << i;
+          error("E202", 0, os.str());
+          return;
+        }
+        prev = v;
+      }
+    }
+    for (const RawMessage& m : messages_) {
+      const std::vector<int> send =
+          clocks.clockVector({m.sendProcess, m.sendIndex});
+      const std::vector<int> recv =
+          clocks.clockVector({m.receiveProcess, m.receiveIndex});
+      const bool dominated = std::equal(send.begin(), send.end(), recv.begin(),
+                                        [](int a, int b) { return a <= b; });
+      if (!dominated || recv[m.sendProcess] < m.sendIndex) {
+        std::ostringstream os;
+        os << "receive clock does not dominate send clock for message "
+           << m.sendProcess << ":" << m.sendIndex << " -> " << m.receiveProcess
+           << ":" << m.receiveIndex;
+        error("E202", m.line, os.str());
+        return;
+      }
+    }
+
+    if (totalEvents_ > opts_.reachabilityCheckLimit) {
+      info("clock/reachability cross-check skipped (" +
+           std::to_string(totalEvents_) + " events > limit " +
+           std::to_string(opts_.reachabilityCheckLimit) + ")");
+      return;
+    }
+    const graph::Dag dag = comp.toDagWithoutInitialEdges();
+    const graph::Reachability reach(dag);
+    for (int u = 0; u < totalEvents_; ++u) {
+      const EventId e = comp.event(u);
+      if (e.isInitial()) continue;
+      for (int v = 0; v < totalEvents_; ++v) {
+        const EventId f = comp.event(v);
+        if (f.isInitial()) continue;
+        const bool viaClocks = clocks.leq(e, f);
+        const bool viaGraph = u == v || reach.reaches(u, v);
+        if (viaClocks != viaGraph) {
+          std::ostringstream os;
+          os << "vector clocks disagree with message-graph reachability for "
+             << e.process << ":" << e.index << " vs " << f.process << ":"
+             << f.index;
+          error("E203", 0, os.str());
+          return;
+        }
+      }
+    }
+  }
+
+  // FIFO crossings per channel, multicast sends, aggregated receives.
+  void checkChannelDiscipline() {
+    std::map<std::pair<int, int>, std::vector<const RawMessage*>> channels;
+    for (const RawMessage& m : messages_) {
+      channels[{m.sendProcess, m.receiveProcess}].push_back(&m);
+    }
+    for (auto& [channel, msgs] : channels) {
+      std::sort(msgs.begin(), msgs.end(),
+                [](const RawMessage* a, const RawMessage* b) {
+                  return std::tie(a->sendIndex, a->receiveIndex) <
+                         std::tie(b->sendIndex, b->receiveIndex);
+                });
+      int reported = 0;
+      bool truncated = false;
+      for (std::size_t j = 1; j < msgs.size() && !truncated; ++j) {
+        for (std::size_t i = 0; i < j; ++i) {
+          if (msgs[i]->sendIndex < msgs[j]->sendIndex &&
+              msgs[i]->receiveIndex > msgs[j]->receiveIndex) {
+            if (reported >= opts_.maxFindingsPerSubject) {
+              truncated = true;
+              break;
+            }
+            ++reported;
+            std::ostringstream os;
+            os << "channel " << channel.first << " -> " << channel.second
+               << " is not FIFO: message " << msgs[j]->sendProcess << ":"
+               << msgs[j]->sendIndex << " -> " << msgs[j]->receiveProcess
+               << ":" << msgs[j]->receiveIndex
+               << " overtakes the earlier send at line " << msgs[i]->line;
+            warning("W301", msgs[j]->line, os.str());
+          }
+        }
+      }
+      if (truncated) {
+        std::ostringstream os;
+        os << "further FIFO crossings on channel " << channel.first << " -> "
+           << channel.second << " suppressed after "
+           << opts_.maxFindingsPerSubject << " findings";
+        info(os.str());
+      }
+    }
+
+    std::map<std::pair<int, int>, std::vector<const RawMessage*>> bySend;
+    std::map<std::pair<int, int>, std::vector<const RawMessage*>> byReceive;
+    for (const RawMessage& m : messages_) {
+      bySend[{m.sendProcess, m.sendIndex}].push_back(&m);
+      byReceive[{m.receiveProcess, m.receiveIndex}].push_back(&m);
+    }
+    int multicasts = 0;
+    for (const auto& [event, msgs] : bySend) {
+      if (msgs.size() < 2 || ++multicasts > opts_.maxFindingsPerSubject) {
+        continue;
+      }
+      std::ostringstream os;
+      os << "event " << event.first << ":" << event.second << " sends "
+         << msgs.size() << " messages (multicast send; first duplicate at "
+         << "line " << msgs[1]->line << ")";
+      warning("W302", msgs[0]->line, os.str());
+    }
+    int aggregated = 0;
+    for (const auto& [event, msgs] : byReceive) {
+      if (msgs.size() < 2 || ++aggregated > opts_.maxFindingsPerSubject) {
+        continue;
+      }
+      std::ostringstream os;
+      os << "event " << event.first << ":" << event.second << " receives "
+         << msgs.size() << " messages (aggregated receive; first duplicate "
+         << "at line " << msgs[1]->line << ")";
+      warning("W303", msgs[0]->line, os.str());
+    }
+  }
+
+  // Vector-clock race detection: two processes updating the same predicate
+  // variable at concurrent events. One warning per (variable, process pair).
+  void checkRaces(const VectorClocks& clocks) {
+    std::map<std::string, std::vector<const RawVariable*>> byName;
+    for (const RawVariable& v : variables_) {
+      byName[v.name].push_back(&v);
+    }
+    long long budget = 1LL << 20;  // pairwise clock comparisons
+    for (const auto& [name, defs] : byName) {
+      if (defs.size() < 2) continue;
+      std::vector<std::vector<int>> updates(defs.size());
+      for (std::size_t d = 0; d < defs.size(); ++d) {
+        const auto& values = defs[d]->values;
+        for (std::size_t i = 1; i < values.size(); ++i) {
+          if (values[i] != values[i - 1]) {
+            updates[d].push_back(static_cast<int>(i));
+          }
+        }
+      }
+      int reported = 0;
+      for (std::size_t a = 0; a < defs.size(); ++a) {
+        for (std::size_t b = a + 1; b < defs.size(); ++b) {
+          if (reported >= opts_.maxFindingsPerSubject) break;
+          bool raced = false;
+          for (const int i : updates[a]) {
+            if (raced) break;
+            for (const int j : updates[b]) {
+              if (--budget < 0) {
+                info("race check truncated (comparison budget exhausted)");
+                return;
+              }
+              const EventId e{defs[a]->process, i};
+              const EventId f{defs[b]->process, j};
+              if (clocks.concurrent(e, f)) {
+                ++reported;
+                std::ostringstream os;
+                os << "race on variable '" << name << "': update at "
+                   << e.process << ":" << e.index
+                   << " is concurrent with update at " << f.process << ":"
+                   << f.index << " (defined at lines " << defs[a]->line
+                   << " and " << defs[b]->line << ")";
+                warning("W401", defs[b]->line, os.str());
+                raced = true;
+                break;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::istream& is_;
+  LintOptions opts_;
+  LintResult result_;
+
+  int lineNumber_ = 0;
+  int processes_ = 0;
+  std::vector<int> counts_;
+  std::vector<int> offsets_;
+  int totalEvents_ = 0;
+  std::vector<RawMessage> messages_;
+  std::vector<RawVariable> variables_;
+  std::set<std::tuple<int, int, int, int>> messagesSeen_;
+  std::set<std::pair<ProcessId, std::string>> varsSeen_;
+};
+
+}  // namespace
+
+LintResult lintTrace(std::istream& is, const LintOptions& opts) {
+  return Linter(is, opts).run();
+}
+
+LintResult lintTraceFile(const std::string& path, const LintOptions& opts) {
+  std::ifstream is(path);
+  if (!is.is_open()) {
+    LintResult result;
+    result.diagnostics.push_back(Diagnostic{
+        Severity::Error, "E100", 0, "cannot open '" + path + "' for reading"});
+    return result;
+  }
+  return lintTrace(is, opts);
+}
+
+}  // namespace gpd::analyze

@@ -1,76 +1,129 @@
 #include "detect/detector.h"
 
+#include <utility>
+
 #include "lattice/explore.h"
+#include "util/check.h"
 
 namespace gpd::detect {
 
+namespace {
+
+// Dispatch-time classification: skip the lattice-backed stability/linearity
+// hints — routing never depends on them and detection should not pay for an
+// exhaustive enumeration before it starts.
+analyze::ClassifyOptions routingOptions() {
+  analyze::ClassifyOptions opts;
+  opts.latticeCutLimit = 0;
+  return opts;
+}
+
+}  // namespace
+
+analyze::Algorithm Detector::route(analyze::AnalysisReport report) {
+  report_ = std::move(report);
+  const analyze::Algorithm chosen = report_.chosen().algorithm;
+  lastAlgorithm_ = analyze::toString(chosen);
+  return chosen;
+}
+
 std::optional<Cut> Detector::possibly(const ConjunctivePredicate& pred) {
-  lastAlgorithm_ = "cpdhb";
+  const analyze::Algorithm algo = route(analyze::planConjunctive(
+      clocks_, *trace_, pred, analyze::Modality::Possibly));
+  GPD_CHECK(algo == analyze::Algorithm::Cpdhb);
   const ConjunctiveResult res = detectConjunctive(clocks_, *trace_, pred);
   if (res.found) return res.cut;
   return std::nullopt;
 }
 
 std::optional<Cut> Detector::possibly(const CnfPredicate& pred) {
-  if (pred.isSingular()) {
-    const CpdscResult special = detectSingularSpecialCase(clocks_, *trace_, pred);
-    if (special.applicable()) {
-      lastAlgorithm_ = "cpdsc-special-case";
+  const analyze::Algorithm algo = route(analyze::planCnf(
+      clocks_, *trace_, pred, analyze::Modality::Possibly, routingOptions()));
+  switch (algo) {
+    case analyze::Algorithm::CpdscSpecialCase: {
+      const CpdscResult special =
+          detectSingularSpecialCase(clocks_, *trace_, pred);
+      GPD_CHECK_MSG(special.applicable(),
+                    "planner chose CPDSC but the scan found the groups "
+                    "unordered");
       if (special.found()) return special.cut;
       return std::nullopt;
     }
-    lastAlgorithm_ = "singular-chain-cover";
-    const SingularCnfResult res =
-        detectSingularByChainCover(clocks_, *trace_, pred);
-    if (res.found) return res.cut;
-    return std::nullopt;
+    case analyze::Algorithm::SingularChainCover: {
+      const SingularCnfResult res =
+          detectSingularByChainCover(clocks_, *trace_, pred);
+      if (res.found) return res.cut;
+      return std::nullopt;
+    }
+    default:
+      GPD_CHECK(algo == analyze::Algorithm::LatticeEnumeration);
+      return lattice::findSatisfyingCut(clocks_, [&](const Cut& cut) {
+        return pred.holdsAtCut(*trace_, cut);
+      });
   }
-  lastAlgorithm_ = "lattice-enumeration";
-  return lattice::findSatisfyingCut(clocks_, [&](const Cut& cut) {
-    return pred.holdsAtCut(*trace_, cut);
-  });
 }
 
 std::optional<Cut> Detector::possibly(const SumPredicate& pred) {
-  if (pred.relop == Relop::Equal && pred.eventDeltaBound(*trace_) > 1) {
-    lastAlgorithm_ = "lattice-enumeration";
+  const analyze::Algorithm algo = route(
+      analyze::planSum(clocks_, *trace_, pred, analyze::Modality::Possibly));
+  if (algo == analyze::Algorithm::LatticeEnumeration) {
     return detectExactSumExhaustive(clocks_, *trace_, pred);
   }
-  lastAlgorithm_ =
-      pred.relop == Relop::Equal ? "theorem-7-exact-sum" : "min-cut-extrema";
+  GPD_CHECK(algo == analyze::Algorithm::Theorem7ExactSum ||
+            algo == analyze::Algorithm::MinCutExtrema);
   return possiblySum(clocks_, *trace_, pred);
 }
 
 std::optional<Cut> Detector::possibly(const SymmetricPredicate& pred) {
-  lastAlgorithm_ = "symmetric-exact-sum-disjunction";
+  const analyze::Algorithm algo = route(analyze::planSymmetric(
+      clocks_, *trace_, pred, analyze::Modality::Possibly));
+  GPD_CHECK(algo == analyze::Algorithm::SymmetricExactSumDisjunction);
   return possiblySymmetric(clocks_, *trace_, pred);
 }
 
 std::optional<Cut> Detector::possibly(const BoolExpr& expr) {
-  lastAlgorithm_ = "dnf-decomposition";
+  const analyze::Algorithm algo = route(analyze::planExpression(
+      clocks_, *trace_, expr, analyze::Modality::Possibly));
+  GPD_CHECK(algo == analyze::Algorithm::DnfDecomposition);
   return possiblyExpression(clocks_, *trace_, expr).cut;
 }
 
 bool Detector::definitely(const ConjunctivePredicate& pred) {
-  lastAlgorithm_ = "interval-definitely";
+  const analyze::Algorithm algo = route(analyze::planConjunctive(
+      clocks_, *trace_, pred, analyze::Modality::Definitely));
+  GPD_CHECK(algo == analyze::Algorithm::IntervalDefinitely);
   return definitelyConjunctive(clocks_, *trace_, pred).holds;
 }
 
 bool Detector::definitely(const CnfPredicate& pred) {
-  lastAlgorithm_ = "lattice-definitely";
+  const analyze::Algorithm algo = route(analyze::planCnf(
+      clocks_, *trace_, pred, analyze::Modality::Definitely, routingOptions()));
+  GPD_CHECK(algo == analyze::Algorithm::LatticeDefinitely);
   return lattice::definitelyExhaustive(clocks_, [&](const Cut& cut) {
     return pred.holdsAtCut(*trace_, cut);
   });
 }
 
 bool Detector::definitely(const SumPredicate& pred) {
-  lastAlgorithm_ = pred.relop == Relop::Equal ? "theorem-7-definitely"
-                                              : "lattice-definitely";
+  const analyze::Algorithm algo = route(
+      analyze::planSum(clocks_, *trace_, pred, analyze::Modality::Definitely));
+  if (algo == analyze::Algorithm::LatticeDefinitely &&
+      pred.relop == Relop::Equal) {
+    // Σ = K with |ΔS| > 1: Theorem 7(2) does not apply; decide against the
+    // lattice directly (definitelySum would reject the precondition).
+    return lattice::definitelyExhaustive(clocks_, [&](const Cut& cut) {
+      return pred.holdsAtCut(*trace_, cut);
+    });
+  }
+  GPD_CHECK(algo == analyze::Algorithm::Theorem7Definitely ||
+            algo == analyze::Algorithm::LatticeDefinitely);
   return definitelySum(clocks_, *trace_, pred);
 }
 
 bool Detector::definitely(const SymmetricPredicate& pred) {
-  lastAlgorithm_ = "lattice-definitely";
+  const analyze::Algorithm algo = route(analyze::planSymmetric(
+      clocks_, *trace_, pred, analyze::Modality::Definitely));
+  GPD_CHECK(algo == analyze::Algorithm::LatticeDefinitely);
   return definitelySymmetric(clocks_, *trace_, pred);
 }
 

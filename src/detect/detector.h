@@ -1,7 +1,9 @@
 // High-level detection facade.
 //
-// Picks the best algorithm the paper's complexity landscape (Fig. 1) allows
-// for each predicate class:
+// Routing is delegated to the static-analysis planner (src/analyze): every
+// call first builds an analyze::AnalysisReport — the ranked algorithm plan
+// of the paper's complexity landscape (Fig. 1) — then runs the plan's
+// chosen step:
 //
 //   conjunctive                → CPDHB                       (polynomial)
 //   singular CNF,
@@ -9,17 +11,19 @@
 //     general                  → chain-cover enumeration     (Π cⱼ · CPDHB)
 //   non-singular CNF           → lattice enumeration         (exponential)
 //   Σxᵢ relop K, relop ≠ "="   → min-cut extrema             (polynomial)
-//   Σxᵢ = K, |Δ| ≤ 1           → Theorem 7                   (polynomial)
+//   Σxᵢ = K, |ΔS| ≤ 1          → Theorem 7                   (polynomial)
 //   Σxᵢ = K, arbitrary Δ       → lattice enumeration         (NP-complete)
 //   symmetric                  → disjunction of exact sums   (polynomial)
 //
-// `lastAlgorithm()` reports which branch ran, so examples and logs can show
-// the dispatch decision.
+// `lastAlgorithm()` reports which branch ran (the chosen step's name), and
+// `lastReport()` exposes the full plan — the same artifact `gpdtool plan`
+// prints — so examples and logs can show the dispatch decision.
 #pragma once
 
 #include <optional>
 #include <string>
 
+#include "analyze/plan.h"
 #include "clocks/vector_clock.h"
 #include "detect/cpdhb.h"
 #include "detect/cpdsc.h"
@@ -59,10 +63,18 @@ class Detector {
   // Name of the algorithm selected by the most recent call.
   const std::string& lastAlgorithm() const { return lastAlgorithm_; }
 
+  // Full analysis report behind the most recent routing decision.
+  const analyze::AnalysisReport& lastReport() const { return report_; }
+
  private:
+  // Adopts `report` as the last routing decision and returns the chosen
+  // algorithm.
+  analyze::Algorithm route(analyze::AnalysisReport report);
+
   const VariableTrace* trace_;
   VectorClocks clocks_;
   std::string lastAlgorithm_;
+  analyze::AnalysisReport report_;
 };
 
 }  // namespace gpd::detect

@@ -15,12 +15,10 @@
 namespace gpd::io {
 
 namespace {
-constexpr char kMagic[] = "gpd-trace";
-constexpr int kVersion = 1;
-// Hostile-input bounds: a trace claiming more than this is rejected up
-// front instead of driving allocations from attacker-controlled counts.
-constexpr long long kMaxProcesses = 1 << 20;
-constexpr long long kMaxTotalEvents = 1 << 26;
+constexpr const char* kMagic = kTraceMagic;
+constexpr int kVersion = kTraceVersion;
+constexpr long long kMaxProcesses = kTraceMaxProcesses;
+constexpr long long kMaxTotalEvents = kTraceMaxTotalEvents;
 
 bool whitespaceFree(const std::string& s) {
   return !s.empty() &&

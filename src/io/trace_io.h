@@ -26,6 +26,14 @@
 
 namespace gpd::io {
 
+// Format constants, shared with the lenient parser in src/analyze (one
+// source of truth for magic, version and the hostile-input bounds: counts
+// above these are rejected before they can drive allocations).
+inline constexpr char kTraceMagic[] = "gpd-trace";
+inline constexpr int kTraceVersion = 1;
+inline constexpr long long kTraceMaxProcesses = 1 << 20;
+inline constexpr long long kTraceMaxTotalEvents = 1 << 26;
+
 struct TraceFile {
   std::unique_ptr<Computation> computation;
   std::unique_ptr<VariableTrace> trace;

@@ -1,0 +1,324 @@
+// Trace linter tests: seeded corruptions (FIFO, cycles, races, structural
+// faults) must produce line-numbered diagnostics, clean traces must lint
+// clean, and over a fuzzed mutation corpus the linter must agree with the
+// strict reader — at least one Error ⟺ io::readTrace throws InputError —
+// without ever crashing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gpd.h"
+
+namespace gpd {
+namespace {
+
+analyze::LintResult lint(const std::string& text) {
+  std::istringstream is(text);
+  return analyze::lintTrace(is, {});
+}
+
+bool hasCode(const analyze::LintResult& res, const std::string& code,
+             int line = -1) {
+  for (const analyze::Diagnostic& d : res.diagnostics) {
+    if (d.code == code && (line < 0 || d.line == line)) return true;
+  }
+  return false;
+}
+
+std::string render(const analyze::LintResult& res) {
+  std::ostringstream os;
+  analyze::renderText(os, "trace", res.diagnostics);
+  return os.str();
+}
+
+TEST(TraceLint, CleanTraceLintsCleanAndBuilds) {
+  const analyze::LintResult res = lint(
+      "gpd-trace 1\n"
+      "processes 2\n"
+      "events 3 3\n"
+      "message 0 1 1 1\n"
+      "var 0 x 0 1 1\n"
+      "var 1 x 0 0 1\n"
+      "end\n");
+  EXPECT_TRUE(res.ok()) << render(res);
+  EXPECT_EQ(analyze::warningCount(res.diagnostics), 0) << render(res);
+  ASSERT_NE(res.computation, nullptr);
+  ASSERT_NE(res.trace, nullptr);
+  EXPECT_EQ(res.computation->processCount(), 2);
+  EXPECT_EQ(res.computation->totalEvents(), 6);
+  EXPECT_TRUE(res.trace->has(0, "x"));
+}
+
+TEST(TraceLint, FifoCrossingIsWarnedWithTheCrossingLine) {
+  const analyze::LintResult res = lint(
+      "gpd-trace 1\n"
+      "processes 2\n"
+      "events 3 3\n"
+      "message 0 1 1 2\n"
+      "message 0 2 1 1\n"
+      "end\n");
+  // FIFO violations are a discipline warning, not an error: the strict
+  // reader accepts this trace and so must the linter.
+  EXPECT_TRUE(res.ok()) << render(res);
+  EXPECT_TRUE(hasCode(res, "W301", 5)) << render(res);
+}
+
+TEST(TraceLint, ConcurrentVariableUpdatesAreARace) {
+  const analyze::LintResult res = lint(
+      "gpd-trace 1\n"
+      "processes 2\n"
+      "events 2 2\n"
+      "var 0 x 0 1\n"
+      "var 1 x 0 1\n"
+      "end\n");
+  EXPECT_TRUE(res.ok()) << render(res);
+  EXPECT_TRUE(hasCode(res, "W401", 5)) << render(res);
+}
+
+TEST(TraceLint, OrderedUpdatesAreNotARace) {
+  const analyze::LintResult res = lint(
+      "gpd-trace 1\n"
+      "processes 2\n"
+      "events 2 2\n"
+      "message 0 1 1 1\n"
+      "var 0 x 0 1\n"
+      "var 1 x 0 1\n"
+      "end\n");
+  EXPECT_TRUE(res.ok()) << render(res);
+  EXPECT_FALSE(hasCode(res, "W401")) << render(res);
+}
+
+TEST(TraceLint, HappenedBeforeCycleNamesAMessageLine) {
+  const analyze::LintResult res = lint(
+      "gpd-trace 1\n"
+      "processes 2\n"
+      "events 2 2\n"
+      "message 0 1 1 1\n"
+      "message 1 1 0 1\n"
+      "end\n");
+  EXPECT_FALSE(res.ok());
+  EXPECT_TRUE(hasCode(res, "E201")) << render(res);
+  bool lineNumbered = false;
+  for (const analyze::Diagnostic& d : res.diagnostics) {
+    if (d.code == "E201") lineNumbered = d.line == 4 || d.line == 5;
+  }
+  EXPECT_TRUE(lineNumbered) << render(res);
+  EXPECT_EQ(res.computation, nullptr);
+}
+
+TEST(TraceLint, MulticastAndAggregatedReceivesAreWarned) {
+  const analyze::LintResult res = lint(
+      "gpd-trace 1\n"
+      "processes 3\n"
+      "events 2 3 2\n"
+      "message 0 1 1 1\n"
+      "message 0 1 1 2\n"
+      "message 1 1 2 1\n"
+      "message 1 2 2 1\n"
+      "end\n");
+  EXPECT_TRUE(res.ok()) << render(res);
+  EXPECT_TRUE(hasCode(res, "W302", 4)) << render(res);  // (0,1) sends twice
+  EXPECT_TRUE(hasCode(res, "W303", 6)) << render(res);  // (2,1) receives twice
+}
+
+TEST(TraceLint, StructuralFaultsRecoverPerLine) {
+  // Two independent faults: the strict reader stops at line 4, the linter
+  // reports both.
+  const analyze::LintResult res = lint(
+      "gpd-trace 1\n"
+      "processes 2\n"
+      "events 2 2\n"
+      "message 9 1 1 1\n"
+      "message 0 7 1 1\n"
+      "end\n");
+  EXPECT_FALSE(res.ok());
+  EXPECT_TRUE(hasCode(res, "E105", 4)) << render(res);
+  EXPECT_TRUE(hasCode(res, "E105", 5)) << render(res);
+}
+
+TEST(TraceLint, DuplicateMessageAndVariableAreErrors) {
+  const analyze::LintResult res = lint(
+      "gpd-trace 1\n"
+      "processes 2\n"
+      "events 2 2\n"
+      "message 0 1 1 1\n"
+      "message 0 1 1 1\n"
+      "var 0 x 0 1\n"
+      "var 0 x 0 0\n"
+      "end\n");
+  EXPECT_FALSE(res.ok());
+  EXPECT_TRUE(hasCode(res, "E105", 5)) << render(res);
+  EXPECT_TRUE(hasCode(res, "E106", 7)) << render(res);
+}
+
+TEST(TraceLint, TruncatedAndTrailingContentAreErrors) {
+  EXPECT_TRUE(hasCode(lint("gpd-trace 1\nprocesses 2\nevents 1 1\n"), "E108"));
+  EXPECT_TRUE(hasCode(
+      lint("gpd-trace 1\nprocesses 1\nevents 1\nend\nextra\n"), "E108", 5));
+  EXPECT_TRUE(hasCode(lint("not-a-trace\n"), "E101", 1));
+  EXPECT_TRUE(hasCode(lint(""), "E101"));
+}
+
+TEST(TraceLint, JsonRenderingIsWellFormedEnoughToGrep) {
+  const analyze::LintResult res = lint("gpd-trace 2\n");
+  std::ostringstream os;
+  analyze::renderJson(os, res.diagnostics);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"severity\": \"error\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"code\": \"E101\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"line\": 1"), std::string::npos) << json;
+}
+
+// ---- fuzzed equivalence with the strict reader ----
+
+const std::vector<std::string>& corpus() {
+  static const std::vector<std::string> entries = [] {
+    std::vector<std::string> out;
+    auto add = [&out](const sim::SimResult& run) {
+      std::ostringstream os;
+      io::writeTrace(os, *run.computation, *run.trace);
+      out.push_back(os.str());
+    };
+    add(sim::tokenRing({.processes = 4, .rounds = 2, .seed = 21}));
+    add(sim::leaderElection({.processes = 4, .seed = 22}));
+    add(sim::producerConsumer(
+        {.producers = 2, .consumers = 2, .itemsPerProducer = 2, .seed = 23}));
+    Rng rng(24);
+    for (int i = 0; i < 3; ++i) {
+      RandomComputationOptions opt;
+      opt.processes = 2 + i;
+      opt.eventsPerProcess = 3;
+      const Computation comp = randomComputation(opt, rng);
+      VariableTrace trace(comp);
+      defineRandomBools(trace, "b", 0.5, rng);
+      std::ostringstream os;
+      io::writeTrace(os, comp, trace);
+      out.push_back(os.str());
+    }
+    return out;
+  }();
+  return entries;
+}
+
+bool strictAccepts(const std::string& text) {
+  std::istringstream is(text);
+  try {
+    (void)io::readTrace(is);
+    return true;
+  } catch (const InputError&) {
+    return false;
+  }
+}
+
+// The central contract: the linter errors exactly on the traces the strict
+// reader refuses (so `gpdtool lint` exits 1 precisely on unloadable traces),
+// it never throws, and hostile traces always get a line-numbered Error.
+void expectLintMatchesStrict(const std::string& text) {
+  analyze::LintResult res = [&] {
+    std::istringstream is(text);
+    return analyze::lintTrace(is, {});
+  }();
+  const bool accepted = strictAccepts(text);
+  EXPECT_EQ(res.ok(), accepted)
+      << "strict/lint disagreement on:\n" << text << "\n" << render(res);
+  if (!res.ok()) {
+    bool lineNumbered = false;
+    for (const analyze::Diagnostic& d : res.diagnostics) {
+      if (d.severity == analyze::Severity::Error && d.line >= 1) {
+        lineNumbered = true;
+      }
+    }
+    EXPECT_TRUE(lineNumbered) << render(res) << "\non:\n" << text;
+  } else {
+    ASSERT_NE(res.computation, nullptr);
+    EXPECT_GE(res.computation->processCount(), 1);
+  }
+}
+
+std::vector<std::string> splitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string joinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+class LintFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LintFuzz, AgreesWithStrictReaderUnderMutation) {
+  Rng rng(GetParam() * 101 + 5);
+  const auto& all = corpus();
+  const std::vector<std::string> hostile = {
+      "-1", "999999999999", "nan", "0x10", "var", "message", "end", "2",
+  };
+  for (int i = 0; i < 30; ++i) {
+    const std::string& text = all[rng.index(all.size())];
+    std::string mutated;
+    switch (rng.index(4)) {
+      case 0:  // truncation
+        mutated = text.substr(0, rng.index(text.size() + 1));
+        break;
+      case 1: {  // byte flips
+        mutated = text;
+        const int flips = 1 + static_cast<int>(rng.index(4));
+        for (int f = 0; f < flips; ++f) {
+          mutated[rng.index(mutated.size())] =
+              static_cast<char>(rng.uniform(1, 126));
+        }
+        break;
+      }
+      case 2: {  // line-level edits
+        auto lines = splitLines(text);
+        switch (rng.index(3)) {
+          case 0:
+            lines.erase(lines.begin() + rng.index(lines.size()));
+            break;
+          case 1:
+            lines.insert(lines.begin() + rng.index(lines.size()),
+                         lines[rng.index(lines.size())]);
+            break;
+          default:
+            std::swap(lines[rng.index(lines.size())],
+                      lines[rng.index(lines.size())]);
+            break;
+        }
+        mutated = joinLines(lines);
+        break;
+      }
+      default: {  // token injection
+        auto lines = splitLines(text);
+        std::string& line = lines[rng.index(lines.size())];
+        const std::string& token = hostile[rng.index(hostile.size())];
+        const std::size_t pos = rng.index(line.size() + 1);
+        line = line.substr(0, pos) + " " + token + " " + line.substr(pos);
+        mutated = joinLines(lines);
+        break;
+      }
+    }
+    expectLintMatchesStrict(mutated);
+  }
+}
+
+TEST_P(LintFuzz, UnmutatedCorpusLintsClean) {
+  for (const std::string& text : corpus()) {
+    expectLintMatchesStrict(text);
+    EXPECT_TRUE(lint(text).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LintFuzz,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace gpd

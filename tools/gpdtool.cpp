@@ -26,6 +26,17 @@
 //       the verdict, recovery traffic, degradations, and (with --checkpoint)
 //       a checkpoint save/restore round-trip; the offline CPDHB verdict on
 //       the same trace is printed for comparison
+//   gpdtool lint <trace> [-f json]
+//       static trace linter (src/analyze): reports every structural fault,
+//       happened-before cycle, vector-clock inconsistency, FIFO violation
+//       and variable race as line-numbered diagnostics; exits 1 iff an
+//       error-severity finding exists (exactly the traces the strict loader
+//       rejects)
+//   gpdtool plan <trace> [--definitely] [-f json] <predicate...>
+//       cost planner: classifies the predicate (singularity, k-CNF,
+//       receive-/send-ordered groups, stability/linearity hints) and prints
+//       the ranked algorithm plan with predicted CPDHB invocation counts —
+//       the same report Detector dispatches on
 //   gpdtool selftest
 //       end-to-end smoke used by ctest
 //
@@ -51,6 +62,10 @@ int usage() {
             << "  gpdtool detect <trace> conj [--definitely] <p:var|p:!var>...\n"
             << "  gpdtool detect <trace> sum <lt|le|gt|ge|eq|ne> <K> <var>\n"
             << "  gpdtool detect <trace> sym <kind> <var>\n"
+            << "  gpdtool lint <trace> [-f json]\n"
+            << "  gpdtool plan <trace> [--definitely] [-f json]\n"
+            << "          (conj <p:var|p:!var>... | cnf <lit,lit,...>... |\n"
+            << "           sum <relop> <K> <var> | sym <kind> <var>)\n"
             << "  gpdtool monitor <trace> [--seed N] [--drop P] [--dup P]\n"
             << "                  [--reorder P] [--burst P] [--retries K]\n"
             << "                  [--timeout T] [--window W] [--queue-limit Q]\n"
@@ -255,10 +270,13 @@ int detectConj(const io::TraceFile& file, std::vector<std::string> args) {
   return 0;
 }
 
-// Parses "p:var" / "p:!var"; returns nullopt on malformed input.
-std::optional<BoolLiteral> parseLiteral(const std::string& term) {
+// Parses "p:var" / "p:!var". Malformed literals are the *user's* input
+// problem: rejected with an InputError pointing at the offending token
+// (exit 1), never silently folded into the usage text.
+BoolLiteral parseLiteral(const std::string& term) {
   const auto colon = term.find(':');
-  if (colon == std::string::npos) return std::nullopt;
+  GPD_INPUT_CHECK(colon != std::string::npos,
+                  "literal '" << term << "' is not of the form p:var");
   BoolLiteral lit;
   lit.process =
       static_cast<ProcessId>(parseInt(term.substr(0, colon), "literal process"));
@@ -268,14 +286,14 @@ std::optional<BoolLiteral> parseLiteral(const std::string& term) {
     lit.positive = false;
     lit.var = lit.var.substr(1);
   }
-  if (lit.var.empty()) return std::nullopt;
+  GPD_INPUT_CHECK(!lit.var.empty(),
+                  "literal '" << term << "' has no variable name");
   return lit;
 }
 
 // Clauses are argv words; literals within a clause are comma-separated:
 //   gpdtool detect t.trace cnf 0:x,1:x 2:x,3:!x
-int detectCnf(const io::TraceFile& file, const std::vector<std::string>& args) {
-  if (args.empty()) return usage();
+CnfPredicate parseCnfPredicate(const std::vector<std::string>& args) {
   CnfPredicate pred;
   for (const std::string& clauseSpec : args) {
     CnfClause clause;
@@ -286,14 +304,18 @@ int detectCnf(const io::TraceFile& file, const std::vector<std::string>& args) {
           clauseSpec.substr(start, comma == std::string::npos
                                        ? std::string::npos
                                        : comma - start);
-      const auto lit = parseLiteral(term);
-      if (!lit) return usage();
-      clause.push_back(*lit);
+      clause.push_back(parseLiteral(term));
       if (comma == std::string::npos) break;
       start = comma + 1;
     }
     pred.clauses.push_back(std::move(clause));
   }
+  return pred;
+}
+
+int detectCnf(const io::TraceFile& file, const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const CnfPredicate pred = parseCnfPredicate(args);
   detect::Detector detector(*file.trace);
   std::cout << "predicate: " << pred.toString()
             << (pred.isSingular() ? " (singular)" : " (not singular)") << '\n';
@@ -307,34 +329,35 @@ int detectCnf(const io::TraceFile& file, const std::vector<std::string>& args) {
   return 0;
 }
 
-int detectSum(const io::TraceFile& file, const std::vector<std::string>& args) {
-  if (args.size() != 3) return usage();
-  Relop op;
-  if (args[0] == "lt") {
-    op = Relop::Less;
-  } else if (args[0] == "le") {
-    op = Relop::LessEq;
-  } else if (args[0] == "gt") {
-    op = Relop::Greater;
-  } else if (args[0] == "ge") {
-    op = Relop::GreaterEq;
-  } else if (args[0] == "eq") {
-    op = Relop::Equal;
-  } else if (args[0] == "ne") {
-    op = Relop::NotEqual;
-  } else {
-    return usage();
-  }
+Relop parseRelop(const std::string& word) {
+  if (word == "lt") return Relop::Less;
+  if (word == "le") return Relop::LessEq;
+  if (word == "gt") return Relop::Greater;
+  if (word == "ge") return Relop::GreaterEq;
+  if (word == "eq") return Relop::Equal;
+  if (word == "ne") return Relop::NotEqual;
+  throw InputError("'" + word +
+                   "' is not a relop (expected lt|le|gt|ge|eq|ne)");
+}
+
+// Σ <var> over every process that defines it, relop K.
+SumPredicate parseSumPredicate(const io::TraceFile& file,
+                               const std::vector<std::string>& args) {
   SumPredicate pred;
-  pred.relop = op;
+  pred.relop = parseRelop(args[0]);
   pred.k = parseInt(args[1], "sum bound K");
   for (ProcessId p = 0; p < file.computation->processCount(); ++p) {
     if (file.trace->has(p, args[2])) pred.terms.push_back({p, args[2]});
   }
-  if (pred.terms.empty()) {
-    std::cerr << "variable '" << args[2] << "' not found on any process\n";
-    return 2;
-  }
+  GPD_INPUT_CHECK(!pred.terms.empty(), "variable '"
+                                           << args[2]
+                                           << "' not found on any process");
+  return pred;
+}
+
+int detectSum(const io::TraceFile& file, const std::vector<std::string>& args) {
+  if (args.size() != 3) return usage();
+  const SumPredicate pred = parseSumPredicate(file, args);
   detect::Detector detector(*file.trace);
   if (const auto cut = detector.possibly(pred)) {
     std::cout << "possibly(" << pred.toString() << "): witness cut "
@@ -346,36 +369,119 @@ int detectSum(const io::TraceFile& file, const std::vector<std::string>& args) {
   return 0;
 }
 
-int detectSym(const io::TraceFile& file, const std::vector<std::string>& args) {
-  if (args.size() != 2) return usage();
+SymmetricPredicate parseSymmetricPredicate(
+    const io::TraceFile& file, const std::vector<std::string>& args) {
   std::vector<SumTerm> vars;
   for (ProcessId p = 0; p < file.computation->processCount(); ++p) {
     if (file.trace->has(p, args[1])) vars.push_back({p, args[1]});
   }
-  if (vars.empty()) {
-    std::cerr << "variable '" << args[1] << "' not found on any process\n";
-    return 2;
+  GPD_INPUT_CHECK(!vars.empty(), "variable '"
+                                     << args[1]
+                                     << "' not found on any process");
+  if (args[0] == "xor") return exclusiveOr(vars);
+  if (args[0] == "no-majority") return absenceOfSimpleMajority(vars);
+  if (args[0] == "no-two-thirds") return absenceOfTwoThirdsMajority(vars);
+  if (args[0] == "not-all-equal") return notAllEqual(vars);
+  if (args[0].rfind("exactly:", 0) == 0) {
+    return exactlyK(vars, static_cast<int>(parseInt(args[0].substr(8), "k")));
   }
-  SymmetricPredicate pred;
-  if (args[0] == "xor") {
-    pred = exclusiveOr(vars);
-  } else if (args[0] == "no-majority") {
-    pred = absenceOfSimpleMajority(vars);
-  } else if (args[0] == "no-two-thirds") {
-    pred = absenceOfTwoThirdsMajority(vars);
-  } else if (args[0] == "not-all-equal") {
-    pred = notAllEqual(vars);
-  } else if (args[0].rfind("exactly:", 0) == 0) {
-    pred = exactlyK(vars, static_cast<int>(parseInt(args[0].substr(8), "k")));
-  } else {
-    return usage();
-  }
+  throw InputError("'" + args[0] +
+                   "' is not a symmetric predicate kind (expected xor|"
+                   "no-majority|no-two-thirds|not-all-equal|exactly:<k>)");
+}
+
+int detectSym(const io::TraceFile& file, const std::vector<std::string>& args) {
+  if (args.size() != 2) return usage();
+  const SymmetricPredicate pred = parseSymmetricPredicate(file, args);
   detect::Detector detector(*file.trace);
   if (const auto cut = detector.possibly(pred)) {
     std::cout << "possibly(" << pred.name << "): witness cut "
               << cut->toString() << '\n';
   } else {
     std::cout << "possibly(" << pred.name << "): unsatisfied\n";
+  }
+  return 0;
+}
+
+// Strips `-f json` / `-f text` and `--definitely` out of `args`; returns
+// {json, definitely}.
+struct OutputFlags {
+  bool json = false;
+  bool definitely = false;
+};
+
+OutputFlags extractFlags(std::vector<std::string>& args) {
+  OutputFlags flags;
+  std::vector<std::string> rest;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-f" || args[i] == "--format") {
+      GPD_INPUT_CHECK(i + 1 < args.size(), args[i] << " needs a value");
+      const std::string& value = args[++i];
+      GPD_INPUT_CHECK(value == "json" || value == "text",
+                      "'" << value << "' is not an output format "
+                          << "(expected json or text)");
+      flags.json = value == "json";
+    } else if (args[i] == "--definitely") {
+      flags.definitely = true;
+    } else {
+      rest.push_back(args[i]);
+    }
+  }
+  args = std::move(rest);
+  return flags;
+}
+
+int lintCmd(std::vector<std::string> args) {
+  const OutputFlags flags = extractFlags(args);
+  if (args.size() != 1) return usage();
+  const analyze::LintResult res = analyze::lintTraceFile(args[0], {});
+  if (flags.json) {
+    analyze::renderJson(std::cout, res.diagnostics);
+  } else {
+    analyze::renderText(std::cout, args[0], res.diagnostics);
+    std::cout << args[0] << ": " << analyze::errorCount(res.diagnostics)
+              << " error(s), " << analyze::warningCount(res.diagnostics)
+              << " warning(s)\n";
+  }
+  return res.ok() ? 0 : 1;
+}
+
+int planCmd(std::vector<std::string> args) {
+  const OutputFlags flags = extractFlags(args);
+  if (args.size() < 2) return usage();
+  const io::TraceFile file = io::loadTrace(args[0]);
+  const std::string& kind = args[1];
+  const std::vector<std::string> rest(args.begin() + 2, args.end());
+  const VectorClocks clocks(*file.computation);
+  const analyze::Modality modality = flags.definitely
+                                         ? analyze::Modality::Definitely
+                                         : analyze::Modality::Possibly;
+  analyze::AnalysisReport report;
+  if (kind == "conj") {
+    if (rest.empty()) return usage();
+    report = analyze::planConjunctive(clocks, *file.trace,
+                                      parseConjunctive(file, rest), modality);
+  } else if (kind == "cnf") {
+    if (rest.empty()) return usage();
+    report = analyze::planCnf(clocks, *file.trace, parseCnfPredicate(rest),
+                              modality);
+  } else if (kind == "sum") {
+    if (rest.size() != 3) return usage();
+    report = analyze::planSum(clocks, *file.trace,
+                              parseSumPredicate(file, rest), modality);
+  } else if (kind == "sym") {
+    if (rest.size() != 2) return usage();
+    report = analyze::planSymmetric(clocks, *file.trace,
+                                    parseSymmetricPredicate(file, rest),
+                                    modality);
+  } else {
+    throw InputError("'" + kind +
+                     "' is not a predicate kind (expected conj|cnf|sum|sym)");
+  }
+  if (flags.json) {
+    analyze::renderPlanJson(std::cout, report);
+  } else {
+    analyze::renderPlanText(std::cout, report);
   }
   return 0;
 }
@@ -515,6 +621,19 @@ int selftest() {
       "0:cs",   "1:cs",     "2:cs",         "3:cs",
       "4:cs"};
   if (monitorCmd(path, margs) != 0) return 2;
+  // The generated trace must lint clean (the simulator cannot produce a
+  // structurally broken trace) and the planner must run on every predicate
+  // kind.
+  if (lintCmd({path}) != 0) {
+    std::cerr << "selftest: generated trace failed lint\n";
+    return 2;
+  }
+  if (planCmd({path, "conj", "0:cs", "1:cs"}) != 0 ||
+      planCmd({path, "cnf", "0:cs,1:cs", "2:cs", "-f", "json"}) != 0 ||
+      planCmd({path, "sum", "ge", "1", "cs", "--definitely"}) != 0) {
+    std::cerr << "selftest: plan subcommand failed\n";
+    return 2;
+  }
   std::cout << "selftest: OK\n";
   return 0;
 }
@@ -543,6 +662,12 @@ int main(int argc, char** argv) {
     if (cmd == "inspect") {
       if (args.size() != 2) return usage();
       return inspect(args[1]);
+    }
+    if (cmd == "lint") {
+      return lintCmd(std::vector<std::string>(args.begin() + 1, args.end()));
+    }
+    if (cmd == "plan") {
+      return planCmd(std::vector<std::string>(args.begin() + 1, args.end()));
     }
     if (cmd == "detect") {
       if (args.size() < 3) return usage();
