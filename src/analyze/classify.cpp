@@ -100,20 +100,32 @@ const char* toString(Hint h) {
   return "unknown";
 }
 
-std::uint64_t CnfClassification::chainCoverBound() const {
+namespace {
+
+// Π over per-clause factors, saturating at UINT64_MAX. A zero factor keeps
+// its exact meaning (some clause is never true → empty enumeration space);
+// a wrap would instead report an astronomically large space as tiny and
+// defeat the planner's cost-skip degradation.
+std::uint64_t saturatingProduct(const std::vector<ClauseFacts>& clauses,
+                                int ClauseFacts::* factor) {
   std::uint64_t bound = 1;
   for (const ClauseFacts& c : clauses) {
-    bound *= static_cast<std::uint64_t>(c.chainCoverSize);
+    const auto f = static_cast<std::uint64_t>(c.*factor);
+    if (f == 0) return 0;
+    if (bound > UINT64_MAX / f) return UINT64_MAX;
+    bound *= f;
   }
   return bound;
 }
 
+}  // namespace
+
+std::uint64_t CnfClassification::chainCoverBound() const {
+  return saturatingProduct(clauses, &ClauseFacts::chainCoverSize);
+}
+
 std::uint64_t CnfClassification::processEnumerationBound() const {
-  std::uint64_t bound = 1;
-  for (const ClauseFacts& c : clauses) {
-    bound *= static_cast<std::uint64_t>(c.hostingChains);
-  }
-  return bound;
+  return saturatingProduct(clauses, &ClauseFacts::hostingChains);
 }
 
 CnfClassification classifyCnf(const VectorClocks& clocks,

@@ -1,0 +1,234 @@
+// Execution budgets and cooperative cancellation for the NP-hard detectors.
+//
+// Theorem 1 makes possibly(φ) NP-complete already for singular 2-CNF, and
+// the planner (analyze/plan.h) can predict Π cⱼ / kᵐ CPDHB-invocation
+// blowups — but prediction alone does not stop a detector that has already
+// started. A Budget bounds the work a super-polynomial kernel may perform
+// (wall-clock deadline, visited consistent cuts, CPDHB invocations /
+// enumeration combinations, live BFS frontier bytes) and a CancelToken lets
+// another thread request a cooperative stop. Every exponential kernel
+// (lattice exploration, the Sec. 3.3 enumerations, DNF decomposition, DPLL)
+// charges the budget as it works and exits early — with an explicit
+// three-valued Unknown, never a wrong answer — once any limit trips.
+//
+// Soundness: budget exhaustion can only *widen* Unknown. A kernel that
+// stops early has examined a subset of the search space, so a witness it
+// found is still a genuine witness (Yes stays Yes) and "no witness found"
+// degrades from No to Unknown; no code path flips Yes to No or vice versa.
+//
+// Amortization: counter limits are checked on every charge (one integer
+// compare). For cut charges the steady_clock read and the CancelToken load
+// are amortized to every kPollPeriod charges; combination charges observe
+// cancellation every time (one relaxed atomic load) and amortize only the
+// clock read. Threading a Budget through a kernel therefore costs a pointer
+// test plus an occasional clock read (< 3% measured by bench_budget,
+// experiment A9).
+//
+// Header-only on purpose: every module (lattice, detect, sat, monitor) can
+// include it without linking gpd_control, which sits *above* gpd_detect in
+// the module graph.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace gpd::control {
+
+// Cooperative cancellation flag, safe to share across threads. The owner
+// calls requestCancel(); budgeted kernels observe it on their next
+// amortized poll and stop with StopReason::Cancelled.
+class CancelToken {
+ public:
+  void requestCancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelRequested() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+// Why a budgeted run stopped early; None while the budget is intact.
+enum class StopReason : std::uint8_t {
+  None,              // budget not exhausted
+  Deadline,          // wall-clock deadline passed
+  CutLimit,          // maxCuts consistent cuts visited
+  CombinationLimit,  // maxCombinations CPDHB invocations / DPLL decisions
+  FrontierLimit,     // live BFS frontier exceeded maxFrontierBytes
+  Cancelled,         // CancelToken fired
+};
+
+inline const char* toString(StopReason r) {
+  switch (r) {
+    case StopReason::None:
+      return "none";
+    case StopReason::Deadline:
+      return "deadline";
+    case StopReason::CutLimit:
+      return "cut-limit";
+    case StopReason::CombinationLimit:
+      return "combination-limit";
+    case StopReason::FrontierLimit:
+      return "frontier-limit";
+    case StopReason::Cancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+// Limits; 0 means "unlimited" for every field.
+struct BudgetLimits {
+  std::uint64_t deadlineMillis = 0;    // wall-clock budget from construction
+  std::uint64_t maxCuts = 0;           // consistent cuts visited/expanded
+  std::uint64_t maxCombinations = 0;   // CPDHB invocations, DNF terms, DPLL decisions
+  std::uint64_t maxFrontierBytes = 0;  // live lattice-BFS frontier memory
+
+  bool unlimited() const {
+    return deadlineMillis == 0 && maxCuts == 0 && maxCombinations == 0 &&
+           maxFrontierBytes == 0;
+  }
+};
+
+// How far a budgeted run got — carried into Unknown results so the caller
+// can see the work performed before the stop.
+struct BudgetProgress {
+  std::uint64_t cutsVisited = 0;
+  std::uint64_t combinationsTried = 0;
+  std::uint64_t peakFrontierBytes = 0;
+};
+
+// A mutable work meter shared by every kernel of one detection call.
+// Exhaustion latches: once any limit trips, every further charge fails
+// immediately and reason() reports the first cause.
+class Budget {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // Unlimited budget: charges never fail, progress is still counted.
+  Budget() = default;
+
+  explicit Budget(const BudgetLimits& limits, const CancelToken* cancel = nullptr)
+      : limits_(limits),
+        cancel_(cancel),
+        deadline_(limits.deadlineMillis == 0
+                      ? Clock::time_point::max()
+                      : Clock::now() +
+                            std::chrono::milliseconds(limits.deadlineMillis)) {}
+
+  const BudgetLimits& limits() const { return limits_; }
+  const BudgetProgress& progress() const { return progress_; }
+  bool exhausted() const { return reason_ != StopReason::None; }
+  StopReason reason() const { return reason_; }
+
+  // True when some limit other than maxCombinations can stop a lattice
+  // exploration (which charges cuts, not combinations). The degradation
+  // walk refuses to fall through to an exhaustive lattice step once a
+  // cheaper step was skipped for cost unless this holds — otherwise the
+  // fallback could run unboundedly under a combinations-only budget.
+  bool canBoundExploration() const {
+    return limits_.deadlineMillis != 0 || limits_.maxCuts != 0 ||
+           limits_.maxFrontierBytes != 0 || cancel_ != nullptr;
+  }
+
+  // Remaining combination headroom; UINT64_MAX when unlimited.
+  std::uint64_t remainingCombinations() const {
+    if (limits_.maxCombinations == 0) return UINT64_MAX;
+    if (progress_.combinationsTried >= limits_.maxCombinations) return 0;
+    return limits_.maxCombinations - progress_.combinationsTried;
+  }
+
+  // Charge one visited/expanded consistent cut. Returns false (latched)
+  // once the budget is exhausted; the failing charge is not counted.
+  bool chargeCut() {
+    if (reason_ != StopReason::None) return false;
+    if (limits_.maxCuts != 0 && progress_.cutsVisited >= limits_.maxCuts) {
+      return fail(StopReason::CutLimit);
+    }
+    ++progress_.cutsVisited;
+    return poll();
+  }
+
+  // Charge one enumeration combination (a CPDHB invocation, a DNF term, a
+  // DPLL decision). The cancel token is checked on every charge (one
+  // relaxed atomic load); the clock read is amortized — combinations are
+  // usually coarse (each is a full CPDHB scan), but Theorem-1 gadgets
+  // shrink them to sub-microsecond scans where a per-charge clock read is
+  // measurable overhead (A9). The counter starts at zero, so the *first*
+  // charge always polls the clock: a deadline that passed before any work
+  // is observed immediately.
+  bool chargeCombination() {
+    if (reason_ != StopReason::None) return false;
+    if (limits_.maxCombinations != 0 &&
+        progress_.combinationsTried >= limits_.maxCombinations) {
+      return fail(StopReason::CombinationLimit);
+    }
+    ++progress_.combinationsTried;
+    if (cancel_ != nullptr && cancel_->cancelRequested()) {
+      return fail(StopReason::Cancelled);
+    }
+    if ((comboPollCounter_++ & (kCombinationPollPeriod - 1)) != 0) return true;
+    return checkDeadline();
+  }
+
+  // Report the current live frontier size of a BFS; tracks the peak and
+  // fails once it exceeds maxFrontierBytes.
+  bool noteFrontierBytes(std::uint64_t liveBytes) {
+    if (reason_ != StopReason::None) return false;
+    progress_.peakFrontierBytes =
+        std::max(progress_.peakFrontierBytes, liveBytes);
+    if (limits_.maxFrontierBytes != 0 && liveBytes > limits_.maxFrontierBytes) {
+      return fail(StopReason::FrontierLimit);
+    }
+    return true;
+  }
+
+  // Amortized deadline/cancellation poll with no work counted — for loops
+  // whose iterations are not cuts or combinations (e.g. DPLL propagation).
+  bool keepGoing() {
+    if (reason_ != StopReason::None) return false;
+    return poll();
+  }
+
+ private:
+  // Deadline/cancel are polled once every kPollPeriod amortized charges.
+  static constexpr std::uint32_t kPollPeriod = 64;
+  // Combination charges check the cancel token every time but read the
+  // clock only once per this many charges (first charge included).
+  static constexpr std::uint32_t kCombinationPollPeriod = 16;
+
+  bool fail(StopReason r) {
+    if (reason_ == StopReason::None) reason_ = r;
+    return false;
+  }
+
+  bool poll() {
+    if ((++pollCounter_ & (kPollPeriod - 1)) != 0) return true;
+    return pollNow();
+  }
+
+  bool pollNow() {
+    if (cancel_ != nullptr && cancel_->cancelRequested()) {
+      return fail(StopReason::Cancelled);
+    }
+    return checkDeadline();
+  }
+
+  bool checkDeadline() {
+    if (deadline_ != Clock::time_point::max() && Clock::now() >= deadline_) {
+      return fail(StopReason::Deadline);
+    }
+    return true;
+  }
+
+  BudgetLimits limits_;
+  const CancelToken* cancel_ = nullptr;
+  Clock::time_point deadline_ = Clock::time_point::max();
+  BudgetProgress progress_;
+  StopReason reason_ = StopReason::None;
+  std::uint32_t pollCounter_ = 0;
+  std::uint32_t comboPollCounter_ = 0;
+};
+
+}  // namespace gpd::control

@@ -1,5 +1,6 @@
 #include "detect/detector.h"
 
+#include <string>
 #include <utility>
 
 #include "lattice/explore.h"
@@ -16,6 +17,110 @@ analyze::ClassifyOptions routingOptions() {
   analyze::ClassifyOptions opts;
   opts.latticeCutLimit = 0;
   return opts;
+}
+
+// Outcome of running one plan step under a budget.
+struct StepRun {
+  bool ran = false;       // false: the step does not run in this context
+  bool complete = false;  // true: `outcome` is exact
+  Outcome outcome = Outcome::Unknown;
+  std::optional<Cut> witness;
+};
+
+StepRun exactRun(Outcome outcome, std::optional<Cut> witness = std::nullopt) {
+  StepRun run;
+  run.ran = true;
+  run.complete = true;
+  run.outcome = outcome;
+  run.witness = std::move(witness);
+  return run;
+}
+
+StepRun stoppedRun() {
+  StepRun run;
+  run.ran = true;
+  return run;
+}
+
+StepRun exactPossibly(std::optional<Cut> witness) {
+  return witness.has_value() ? exactRun(Outcome::Yes, std::move(witness))
+                             : exactRun(Outcome::No);
+}
+
+StepRun exactDefinitely(bool holds) {
+  return exactRun(holds ? Outcome::Yes : Outcome::No);
+}
+
+// The graceful-degradation walk shared by every budgeted entry point.
+// Visits the ranked applicable steps; a step whose planner-predicted CPDHB
+// invocation count exceeds the remaining combination budget is skipped (and
+// remembered), an exhaustive lattice step reached after such a skip only
+// runs if the budget can actually stop it, and — when the walk ends without
+// an exact answer — the first skipped enumeration reruns as a bounded
+// Yes-prover before the call concedes Unknown.
+template <typename RunStep>
+Detection walkPlan(const analyze::AnalysisReport& report,
+                   control::Budget& budget, std::string& lastAlgorithm,
+                   const RunStep& runStep) {
+  Detection det;
+  const analyze::PlanStep* firstSkipped = nullptr;
+  bool costSkipped = false;
+  for (const analyze::PlanStep& step : report.steps) {
+    if (!step.applicable) continue;
+    if (budget.exhausted()) break;
+    const char* name = analyze::toString(step.algorithm);
+    if (step.predictedCpdhbInvocations.has_value() &&
+        *step.predictedCpdhbInvocations > budget.remainingCombinations()) {
+      det.skippedSteps.push_back(
+          std::string(name) + ": predicted " +
+          std::to_string(*step.predictedCpdhbInvocations) +
+          " combinations exceed the remaining budget");
+      if (firstSkipped == nullptr) firstSkipped = &step;
+      costSkipped = true;
+      continue;
+    }
+    const bool exhaustiveLattice =
+        step.algorithm == analyze::Algorithm::LatticeEnumeration ||
+        step.algorithm == analyze::Algorithm::LatticeDefinitely;
+    if (costSkipped && exhaustiveLattice && !budget.canBoundExploration()) {
+      det.skippedSteps.push_back(
+          std::string(name) +
+          ": exhaustive fallback the budget cannot stop, after a cheaper "
+          "step was skipped as over budget");
+      continue;
+    }
+    StepRun run = runStep(step);
+    if (!run.ran) continue;
+    lastAlgorithm = name;
+    det.algorithm = name;
+    if (run.complete) {
+      det.outcome = run.outcome;
+      det.witness = std::move(run.witness);
+      det.progress = budget.progress();
+      return det;
+    }
+    break;  // the budget tripped mid-step; everything below ranks costlier
+  }
+  if (firstSkipped != nullptr && !budget.exhausted()) {
+    // Bounded Yes-prover: scan as many selections as the budget allows; a
+    // witness is a genuine Yes even though the full enumeration was skipped.
+    StepRun run = runStep(*firstSkipped);
+    if (run.ran) {
+      const char* name = analyze::toString(firstSkipped->algorithm);
+      lastAlgorithm = name;
+      det.algorithm = name;
+      if (run.complete) {
+        det.outcome = run.outcome;
+        det.witness = std::move(run.witness);
+        det.progress = budget.progress();
+        return det;
+      }
+    }
+  }
+  det.outcome = Outcome::Unknown;
+  det.stopReason = budget.reason();
+  det.progress = budget.progress();
+  return det;
 }
 
 }  // namespace
@@ -125,6 +230,262 @@ bool Detector::definitely(const SymmetricPredicate& pred) {
       clocks_, *trace_, pred, analyze::Modality::Definitely));
   GPD_CHECK(algo == analyze::Algorithm::LatticeDefinitely);
   return definitelySymmetric(clocks_, *trace_, pred);
+}
+
+Detection Detector::possibly(const ConjunctivePredicate& pred,
+                             control::Budget& budget) {
+  report_ = analyze::planConjunctive(clocks_, *trace_, pred,
+                                     analyze::Modality::Possibly);
+  return walkPlan(
+      report_, budget, lastAlgorithm_, [&](const analyze::PlanStep& step) {
+        switch (step.algorithm) {
+          case analyze::Algorithm::Cpdhb: {
+            if (!budget.chargeCombination()) return stoppedRun();
+            const ConjunctiveResult res =
+                detectConjunctive(clocks_, *trace_, pred);
+            return exactPossibly(res.found ? std::optional<Cut>(res.cut)
+                                           : std::nullopt);
+          }
+          case analyze::Algorithm::LatticeEnumeration: {
+            const lattice::CutSearchResult search =
+                lattice::findSatisfyingCutBudgeted(
+                    clocks_,
+                    [&](const Cut& cut) {
+                      return pred.holdsAtCut(*trace_, cut);
+                    },
+                    &budget);
+            if (!search.complete) return stoppedRun();
+            return exactPossibly(search.witness);
+          }
+          default:
+            return StepRun{};
+        }
+      });
+}
+
+Detection Detector::possibly(const CnfPredicate& pred,
+                             control::Budget& budget) {
+  report_ = analyze::planCnf(clocks_, *trace_, pred,
+                             analyze::Modality::Possibly, routingOptions());
+  return walkPlan(
+      report_, budget, lastAlgorithm_, [&](const analyze::PlanStep& step) {
+        switch (step.algorithm) {
+          case analyze::Algorithm::CpdscSpecialCase: {
+            const CpdscResult special =
+                detectSingularSpecialCase(clocks_, *trace_, pred);
+            GPD_CHECK_MSG(special.applicable(),
+                          "planner chose CPDSC but the scan found the groups "
+                          "unordered");
+            return exactPossibly(special.found()
+                                     ? std::optional<Cut>(special.cut)
+                                     : std::nullopt);
+          }
+          case analyze::Algorithm::SingularChainCover:
+          case analyze::Algorithm::SingularProcessEnumeration: {
+            const SingularCnfResult res =
+                step.algorithm == analyze::Algorithm::SingularChainCover
+                    ? detectSingularByChainCover(clocks_, *trace_, pred,
+                                                 &budget)
+                    : detectSingularByProcessEnumeration(clocks_, *trace_,
+                                                         pred, &budget);
+            if (res.found) return exactRun(Outcome::Yes, res.cut);
+            if (!res.complete) return stoppedRun();
+            return exactRun(Outcome::No);
+          }
+          case analyze::Algorithm::LatticeEnumeration: {
+            const lattice::CutSearchResult search =
+                lattice::findSatisfyingCutBudgeted(
+                    clocks_,
+                    [&](const Cut& cut) {
+                      return pred.holdsAtCut(*trace_, cut);
+                    },
+                    &budget);
+            if (!search.complete) return stoppedRun();
+            return exactPossibly(search.witness);
+          }
+          default:
+            return StepRun{};
+        }
+      });
+}
+
+Detection Detector::possibly(const SumPredicate& pred,
+                             control::Budget& budget) {
+  report_ =
+      analyze::planSum(clocks_, *trace_, pred, analyze::Modality::Possibly);
+  return walkPlan(
+      report_, budget, lastAlgorithm_, [&](const analyze::PlanStep& step) {
+        switch (step.algorithm) {
+          case analyze::Algorithm::MinCutExtrema:
+          case analyze::Algorithm::Theorem7ExactSum:
+            return exactPossibly(possiblySum(clocks_, *trace_, pred));
+          case analyze::Algorithm::LatticeEnumeration: {
+            const ExactSumSearch search =
+                detectExactSumBudgeted(clocks_, *trace_, pred, &budget);
+            if (!search.complete) return stoppedRun();
+            return exactPossibly(search.cut);
+          }
+          default:
+            return StepRun{};
+        }
+      });
+}
+
+Detection Detector::possibly(const SymmetricPredicate& pred,
+                             control::Budget& budget) {
+  report_ = analyze::planSymmetric(clocks_, *trace_, pred,
+                                   analyze::Modality::Possibly);
+  return walkPlan(
+      report_, budget, lastAlgorithm_, [&](const analyze::PlanStep& step) {
+        switch (step.algorithm) {
+          case analyze::Algorithm::SymmetricExactSumDisjunction:
+            return exactPossibly(possiblySymmetric(clocks_, *trace_, pred));
+          case analyze::Algorithm::LatticeEnumeration: {
+            const lattice::CutSearchResult search =
+                lattice::findSatisfyingCutBudgeted(
+                    clocks_,
+                    [&](const Cut& cut) {
+                      return pred.holdsAtCut(*trace_, cut);
+                    },
+                    &budget);
+            if (!search.complete) return stoppedRun();
+            return exactPossibly(search.witness);
+          }
+          default:
+            return StepRun{};
+        }
+      });
+}
+
+Detection Detector::possibly(const BoolExpr& expr, control::Budget& budget) {
+  report_ = analyze::planExpression(clocks_, *trace_, expr,
+                                    analyze::Modality::Possibly);
+  return walkPlan(
+      report_, budget, lastAlgorithm_, [&](const analyze::PlanStep& step) {
+        switch (step.algorithm) {
+          case analyze::Algorithm::DnfDecomposition: {
+            const DnfResult res =
+                possiblyExpression(clocks_, *trace_, expr, &budget);
+            if (res.cut.has_value()) return exactRun(Outcome::Yes, res.cut);
+            if (!res.complete) return stoppedRun();
+            return exactRun(Outcome::No);
+          }
+          case analyze::Algorithm::LatticeEnumeration: {
+            const lattice::CutSearchResult search =
+                lattice::findSatisfyingCutBudgeted(
+                    clocks_,
+                    [&](const Cut& cut) {
+                      return expr.evaluate(*trace_, cut);
+                    },
+                    &budget);
+            if (!search.complete) return stoppedRun();
+            return exactPossibly(search.witness);
+          }
+          default:
+            return StepRun{};
+        }
+      });
+}
+
+Detection Detector::definitely(const ConjunctivePredicate& pred,
+                               control::Budget& budget) {
+  report_ = analyze::planConjunctive(clocks_, *trace_, pred,
+                                     analyze::Modality::Definitely);
+  return walkPlan(
+      report_, budget, lastAlgorithm_, [&](const analyze::PlanStep& step) {
+        switch (step.algorithm) {
+          case analyze::Algorithm::IntervalDefinitely:
+            return exactDefinitely(
+                definitelyConjunctive(clocks_, *trace_, pred).holds);
+          case analyze::Algorithm::LatticeDefinitely: {
+            const lattice::DefinitelyDecision d =
+                lattice::definitelyExhaustiveBudgeted(
+                    clocks_,
+                    [&](const Cut& cut) {
+                      return pred.holdsAtCut(*trace_, cut);
+                    },
+                    &budget);
+            if (!d.decided) return stoppedRun();
+            return exactDefinitely(d.holds);
+          }
+          default:
+            return StepRun{};
+        }
+      });
+}
+
+Detection Detector::definitely(const CnfPredicate& pred,
+                               control::Budget& budget) {
+  report_ = analyze::planCnf(clocks_, *trace_, pred,
+                             analyze::Modality::Definitely, routingOptions());
+  return walkPlan(
+      report_, budget, lastAlgorithm_, [&](const analyze::PlanStep& step) {
+        if (step.algorithm != analyze::Algorithm::LatticeDefinitely) {
+          return StepRun{};
+        }
+        const lattice::DefinitelyDecision d =
+            lattice::definitelyExhaustiveBudgeted(
+                clocks_,
+                [&](const Cut& cut) { return pred.holdsAtCut(*trace_, cut); },
+                &budget);
+        if (!d.decided) return stoppedRun();
+        return exactDefinitely(d.holds);
+      });
+}
+
+Detection Detector::definitely(const SumPredicate& pred,
+                               control::Budget& budget) {
+  report_ =
+      analyze::planSum(clocks_, *trace_, pred, analyze::Modality::Definitely);
+  return walkPlan(
+      report_, budget, lastAlgorithm_, [&](const analyze::PlanStep& step) {
+        switch (step.algorithm) {
+          case analyze::Algorithm::Theorem7Definitely: {
+            const SumDecision d =
+                definitelySumBudgeted(clocks_, *trace_, pred, &budget);
+            if (!d.decided) return stoppedRun();
+            return exactDefinitely(d.holds);
+          }
+          case analyze::Algorithm::LatticeDefinitely: {
+            if (pred.relop == Relop::Equal) {
+              // Σ = K with |ΔS| > 1 skips the Theorem 7(2) reduction —
+              // decide against the lattice directly, like the unbudgeted
+              // path.
+              const lattice::DefinitelyDecision d =
+                  lattice::definitelyExhaustiveBudgeted(
+                      clocks_,
+                      [&](const Cut& cut) {
+                        return pred.holdsAtCut(*trace_, cut);
+                      },
+                      &budget);
+              if (!d.decided) return stoppedRun();
+              return exactDefinitely(d.holds);
+            }
+            const SumDecision s =
+                definitelySumBudgeted(clocks_, *trace_, pred, &budget);
+            if (!s.decided) return stoppedRun();
+            return exactDefinitely(s.holds);
+          }
+          default:
+            return StepRun{};
+        }
+      });
+}
+
+Detection Detector::definitely(const SymmetricPredicate& pred,
+                               control::Budget& budget) {
+  report_ = analyze::planSymmetric(clocks_, *trace_, pred,
+                                   analyze::Modality::Definitely);
+  return walkPlan(
+      report_, budget, lastAlgorithm_, [&](const analyze::PlanStep& step) {
+        if (step.algorithm != analyze::Algorithm::LatticeDefinitely) {
+          return StepRun{};
+        }
+        const SumDecision d =
+            definitelySymmetricBudgeted(clocks_, *trace_, pred, &budget);
+        if (!d.decided) return stoppedRun();
+        return exactDefinitely(d.holds);
+      });
 }
 
 }  // namespace gpd::detect

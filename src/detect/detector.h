@@ -18,6 +18,16 @@
 // `lastAlgorithm()` reports which branch ran (the chosen step's name), and
 // `lastReport()` exposes the full plan — the same artifact `gpdtool plan`
 // prints — so examples and logs can show the dispatch decision.
+//
+// The budgeted overloads (control::Budget&) return a three-valued Detection
+// and degrade gracefully instead of running an exponential step to
+// completion: the plan walk skips steps whose planner-predicted CPDHB
+// invocation count exceeds the budget's remaining combinations, refuses to
+// fall through to an exhaustive lattice step the budget cannot stop, and —
+// before conceding Unknown — reruns the cheapest skipped enumeration as a
+// bounded Yes-prover (it scans selections until the budget trips; a witness
+// it finds is a genuine Yes). A budgeted run that completes within its
+// budget returns exactly the unbudgeted answer and lastAlgorithm() string.
 #pragma once
 
 #include <optional>
@@ -25,10 +35,12 @@
 
 #include "analyze/plan.h"
 #include "clocks/vector_clock.h"
+#include "control/budget.h"
 #include "detect/cpdhb.h"
 #include "detect/cpdsc.h"
 #include "detect/definitely_conjunctive.h"
 #include "detect/dnf_detect.h"
+#include "detect/outcome.h"
 #include "detect/singular_cnf.h"
 #include "detect/sum.h"
 #include "detect/symmetric.h"
@@ -59,6 +71,20 @@ class Detector {
   bool definitely(const CnfPredicate& pred);
   bool definitely(const SumPredicate& pred);
   bool definitely(const SymmetricPredicate& pred);
+
+  // Budgeted, three-valued variants. The budget is shared across the whole
+  // call (plan walk + fallbacks); pass a fresh Budget per query unless
+  // amortizing one deadline over several.
+  Detection possibly(const ConjunctivePredicate& pred, control::Budget& budget);
+  Detection possibly(const CnfPredicate& pred, control::Budget& budget);
+  Detection possibly(const SumPredicate& pred, control::Budget& budget);
+  Detection possibly(const SymmetricPredicate& pred, control::Budget& budget);
+  Detection possibly(const BoolExpr& expr, control::Budget& budget);
+  Detection definitely(const ConjunctivePredicate& pred,
+                       control::Budget& budget);
+  Detection definitely(const CnfPredicate& pred, control::Budget& budget);
+  Detection definitely(const SumPredicate& pred, control::Budget& budget);
+  Detection definitely(const SymmetricPredicate& pred, control::Budget& budget);
 
   // Name of the algorithm selected by the most recent call.
   const std::string& lastAlgorithm() const { return lastAlgorithm_; }

@@ -8,14 +8,18 @@
 namespace gpd::detect {
 
 DnfResult possiblyExpression(const VectorClocks& clocks,
-                             const VariableTrace& trace,
-                             const BoolExpr& expr) {
+                             const VariableTrace& trace, const BoolExpr& expr,
+                             control::Budget* budget) {
   DnfResult result;
   const std::vector<DnfTerm> terms = toDnf(expr);
   result.termsTotal = terms.size();
   const Computation& comp = clocks.computation();
 
   for (const DnfTerm& term : terms) {
+    if (budget != nullptr && !budget->chargeCombination()) {
+      result.complete = false;  // untried terms remain
+      return result;
+    }
     ++result.termsTried;
     GPD_CHECK(!term.empty());
     // Group the term's literals per process: the per-process predicate is

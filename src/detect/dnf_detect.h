@@ -2,7 +2,10 @@
 // Stoller–Schneider technique the paper cites as prior work for general
 // predicates: one weak-conjunctive (CPDHB) detection per satisfiable DNF
 // term. Exponential in the worst case (the expression's DNF may explode);
-// practical exactly when the term count stays small.
+// practical exactly when the term count stays small. The budget is charged
+// one combination per term, so a deadline or a combination cap bounds the
+// sweep; an early stop leaves complete=false — a found witness is still
+// genuine, but "no term detected" degrades to unknown.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +13,7 @@
 
 #include "clocks/vector_clock.h"
 #include "computation/cut.h"
+#include "control/budget.h"
 #include "predicates/boolean_expr.h"
 
 namespace gpd::detect {
@@ -18,9 +22,11 @@ struct DnfResult {
   std::optional<Cut> cut;        // witness, when some term is detected
   std::uint64_t termsTotal = 0;  // satisfiable DNF terms generated
   std::uint64_t termsTried = 0;  // CPDHB invocations before the hit
+  bool complete = true;          // false: the budget stopped the term sweep
 };
 
 DnfResult possiblyExpression(const VectorClocks& clocks,
-                             const VariableTrace& trace, const BoolExpr& expr);
+                             const VariableTrace& trace, const BoolExpr& expr,
+                             control::Budget* budget = nullptr);
 
 }  // namespace gpd::detect

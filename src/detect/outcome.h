@@ -1,0 +1,51 @@
+// Three-valued detection results for budgeted runs.
+//
+// An unbudgeted detector answers possibly/definitely exactly; under an
+// execution budget (control/budget.h) the honest answer set grows to
+// {Yes, No, Unknown}: a witness found before the budget tripped is still a
+// genuine Yes, an exhausted search space is still a genuine No, and
+// everything cut short is Unknown — with the stop reason and the progress
+// counters attached so the caller can see how far the search got and which
+// plan steps were skipped as over-budget.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "computation/cut.h"
+#include "control/budget.h"
+
+namespace gpd::detect {
+
+enum class Outcome { Yes, No, Unknown };
+
+inline const char* toString(Outcome o) {
+  switch (o) {
+    case Outcome::Yes:
+      return "yes";
+    case Outcome::No:
+      return "no";
+    case Outcome::Unknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+struct Detection {
+  Outcome outcome = Outcome::Unknown;
+  // Witness cut for possibly-Yes (definitely never produces one).
+  std::optional<Cut> witness;
+  // Algorithm that produced the answer — identical to the unbudgeted
+  // Detector::lastAlgorithm() string when the run completed in budget.
+  std::string algorithm;
+  // Why the search stopped early; None unless outcome == Unknown.
+  control::StopReason stopReason = control::StopReason::None;
+  // Work performed before the stop (also populated on exact answers).
+  control::BudgetProgress progress;
+  // Plan steps the degradation walk skipped, with the reason each was
+  // skipped (predicted cost over budget / unbounded exhaustive step).
+  std::vector<std::string> skippedSteps;
+};
+
+}  // namespace gpd::detect

@@ -10,21 +10,36 @@ namespace gpd::detect {
 namespace {
 
 // Runs the CPDHB scan over every selection of one chain per group, stopping
-// at the first hit. `options[j]` lists group j's candidate chains.
+// at the first hit or when the budget trips. `options[j]` lists group j's
+// candidate chains.
 SingularCnfResult enumerateSelections(
     const VectorClocks& clocks,
-    const std::vector<std::vector<Chain>>& options) {
+    const std::vector<std::vector<Chain>>& options, control::Budget* budget) {
   SingularCnfResult result;
+  // The space size is Π |options[j]|, which overflows uint64 already at
+  // 64 two-chain groups; saturate instead of wrapping (a wrap to zero would
+  // read as "some clause never true" and fabricate an exact No).
   result.combinationsTotal = 1;
   for (const auto& opts : options) {
-    result.combinationsTotal *= opts.size();
+    if (opts.empty()) {
+      result.combinationsTotal = 0;
+      return result;  // some clause never true: exact No
+    }
+    if (result.combinationsTotal > UINT64_MAX / opts.size()) {
+      result.combinationsTotal = UINT64_MAX;
+    } else {
+      result.combinationsTotal *= opts.size();
+    }
   }
-  if (result.combinationsTotal == 0) return result;  // some clause never true
 
   const int m = static_cast<int>(options.size());
   std::vector<std::size_t> pick(m, 0);
   std::vector<Chain> chains(m);
   while (true) {
+    if (budget != nullptr && !budget->chargeCombination()) {
+      result.complete = false;  // untried selections remain
+      return result;
+    }
     for (int j = 0; j < m; ++j) chains[j] = options[j][pick[j]];
     ++result.combinationsTried;
     ConjunctiveResult sub = findConsistentSelection(clocks, chains);
@@ -68,7 +83,7 @@ std::vector<std::vector<EventId>> clauseTrueEvents(const VariableTrace& trace,
 
 SingularCnfResult detectSingularByProcessEnumeration(
     const VectorClocks& clocks, const VariableTrace& trace,
-    const CnfPredicate& pred) {
+    const CnfPredicate& pred, control::Budget* budget) {
   GPD_CHECK_MSG(pred.isSingular(), "predicate is not singular");
   const auto trueEvents = clauseTrueEvents(trace, pred);
   // Group j's options: one chain per hosting process (per-process true
@@ -83,7 +98,7 @@ SingularCnfResult detectSingularByProcessEnumeration(
       if (!chain.events.empty()) options[j].push_back(std::move(chain));
     }
   }
-  return enumerateSelections(clocks, options);
+  return enumerateSelections(clocks, options, budget);
 }
 
 std::vector<std::vector<Chain>> clauseChainCovers(
@@ -108,9 +123,11 @@ std::vector<std::vector<Chain>> clauseChainCovers(
 
 SingularCnfResult detectSingularByChainCover(const VectorClocks& clocks,
                                              const VariableTrace& trace,
-                                             const CnfPredicate& pred) {
+                                             const CnfPredicate& pred,
+                                             control::Budget* budget) {
   GPD_CHECK_MSG(pred.isSingular(), "predicate is not singular");
-  return enumerateSelections(clocks, clauseChainCovers(clocks, trace, pred));
+  return enumerateSelections(clocks, clauseChainCovers(clocks, trace, pred),
+                             budget);
 }
 
 }  // namespace gpd::detect

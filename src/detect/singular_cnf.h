@@ -22,6 +22,7 @@
 
 #include "clocks/vector_clock.h"
 #include "computation/cut.h"
+#include "control/budget.h"
 #include "detect/cpdhb.h"
 #include "predicates/cnf.h"
 
@@ -34,6 +35,9 @@ struct SingularCnfResult {
   std::uint64_t combinationsTried = 0; // CPDHB invocations performed
   std::uint64_t combinationsTotal = 0; // size of the enumeration space
   std::uint64_t comparisons = 0;       // total consistency checks
+  // False when a budget stopped the enumeration early: found=false then
+  // means "unknown", not "no" (a witness may hide among untried selections).
+  bool complete = true;
 };
 
 // For each clause, the events on the clause's processes at which the clause
@@ -42,15 +46,18 @@ struct SingularCnfResult {
 std::vector<std::vector<EventId>> clauseTrueEvents(const VariableTrace& trace,
                                                    const CnfPredicate& pred);
 
-// Sec. 3.3(a). Requires pred.isSingular().
+// Sec. 3.3(a). Requires pred.isSingular(). The budget is charged one
+// combination per CPDHB invocation; on exhaustion the result carries
+// complete=false and the selections tried so far.
 SingularCnfResult detectSingularByProcessEnumeration(
     const VectorClocks& clocks, const VariableTrace& trace,
-    const CnfPredicate& pred);
+    const CnfPredicate& pred, control::Budget* budget = nullptr);
 
-// Sec. 3.3(b). Requires pred.isSingular().
+// Sec. 3.3(b). Requires pred.isSingular(). Budgeted like (a).
 SingularCnfResult detectSingularByChainCover(const VectorClocks& clocks,
                                              const VariableTrace& trace,
-                                             const CnfPredicate& pred);
+                                             const CnfPredicate& pred,
+                                             control::Budget* budget = nullptr);
 
 // Minimum chain covers of each clause's true events; exposed for the A1
 // ablation bench (cover sizes vs group sizes).

@@ -141,37 +141,78 @@ std::optional<Cut> possiblySum(const VectorClocks& clocks,
 std::optional<Cut> detectExactSumExhaustive(const VectorClocks& clocks,
                                             const VariableTrace& trace,
                                             const SumPredicate& pred) {
+  return detectExactSumBudgeted(clocks, trace, pred, nullptr).cut;
+}
+
+ExactSumSearch detectExactSumBudgeted(const VectorClocks& clocks,
+                                      const VariableTrace& trace,
+                                      const SumPredicate& pred,
+                                      control::Budget* budget) {
   GPD_CHECK(pred.relop == Relop::Equal);
-  return lattice::findSatisfyingCut(clocks, [&](const Cut& cut) {
-    return pred.sumAtCut(trace, cut) == pred.k;
-  });
+  const lattice::CutSearchResult search = lattice::findSatisfyingCutBudgeted(
+      clocks,
+      [&](const Cut& cut) { return pred.sumAtCut(trace, cut) == pred.k; },
+      budget);
+  ExactSumSearch result;
+  result.cut = search.witness;
+  result.complete = search.complete;
+  result.explore = search.explore;
+  return result;
 }
 
 bool definitelySum(const VectorClocks& clocks, const VariableTrace& trace,
                    const SumPredicate& pred) {
+  const SumDecision decision =
+      definitelySumBudgeted(clocks, trace, pred, nullptr);
+  GPD_CHECK(decision.decided);
+  return decision.holds;
+}
+
+SumDecision definitelySumBudgeted(const VectorClocks& clocks,
+                                  const VariableTrace& trace,
+                                  const SumPredicate& pred,
+                                  control::Budget* budget) {
+  SumDecision result;
   if (pred.relop != Relop::Equal) {
-    return lattice::definitelyExhaustive(clocks, [&](const Cut& cut) {
-      return pred.holdsAtCut(trace, cut);
-    });
+    const lattice::DefinitelyDecision d = lattice::definitelyExhaustiveBudgeted(
+        clocks,
+        [&](const Cut& cut) { return pred.holdsAtCut(trace, cut); }, budget);
+    result.decided = d.decided;
+    result.holds = d.decided && d.holds;
+    return result;
   }
   // Theorem 7(2): with |Δ| ≤ 1, definitely(S = K) ⟺
   // (S(⊥) ≤ K ∧ definitely(S ≥ K)) ∨ (S(⊥) ≥ K ∧ definitely(S ≤ K)).
+  // Tri-valued disjunction: a branch decided true settles the predicate even
+  // when the other branch ran out of budget; "false" needs every applicable
+  // branch decided false.
   const Deltas deltas = sumDeltas(trace, pred.terms);
   GPD_CHECK_MSG(maxAbsEventDelta(deltas) <= 1,
                 "Theorem 7(2) requires every event to change the sum by at "
                 "most 1");
   const auto sumAt = [&](const Cut& cut) { return pred.sumAtCut(trace, cut); };
-  if (deltas.base <= pred.k &&
-      lattice::definitelyExhaustive(
-          clocks, [&](const Cut& c) { return sumAt(c) >= pred.k; })) {
-    return true;
+  bool anyUndecided = false;
+  if (deltas.base <= pred.k) {
+    const lattice::DefinitelyDecision d = lattice::definitelyExhaustiveBudgeted(
+        clocks, [&](const Cut& c) { return sumAt(c) >= pred.k; }, budget);
+    if (d.decided && d.holds) {
+      result.holds = true;
+      return result;
+    }
+    anyUndecided |= !d.decided;
   }
-  if (deltas.base >= pred.k &&
-      lattice::definitelyExhaustive(
-          clocks, [&](const Cut& c) { return sumAt(c) <= pred.k; })) {
-    return true;
+  if (deltas.base >= pred.k) {
+    const lattice::DefinitelyDecision d = lattice::definitelyExhaustiveBudgeted(
+        clocks, [&](const Cut& c) { return sumAt(c) <= pred.k; }, budget);
+    if (d.decided && d.holds) {
+      result.holds = true;
+      return result;
+    }
+    anyUndecided |= !d.decided;
   }
-  return false;
+  result.decided = !anyUndecided;
+  result.holds = false;
+  return result;
 }
 
 }  // namespace gpd::detect

@@ -26,6 +26,8 @@
 
 #include "clocks/vector_clock.h"
 #include "computation/cut.h"
+#include "control/budget.h"
+#include "lattice/explore.h"
 #include "predicates/relational.h"
 
 namespace gpd::detect {
@@ -54,10 +56,36 @@ std::optional<Cut> detectExactSumExhaustive(const VectorClocks& clocks,
                                             const VariableTrace& trace,
                                             const SumPredicate& pred);
 
+// Budgeted lattice search for Relop::Equal with arbitrary Δ. A cut is always
+// a genuine witness; complete=false means the lattice was not exhausted, so
+// an absent cut is "unknown" rather than "no".
+struct ExactSumSearch {
+  std::optional<Cut> cut;
+  bool complete = true;
+  lattice::ExploreResult explore;
+};
+ExactSumSearch detectExactSumBudgeted(const VectorClocks& clocks,
+                                      const VariableTrace& trace,
+                                      const SumPredicate& pred,
+                                      control::Budget* budget);
+
 // definitely(Σ xᵢ relop K), exact (lattice-based for the inequality
 // modalities; Relop::Equal uses the Theorem 7(2) reduction and requires
 // |Δ| ≤ 1).
 bool definitelySum(const VectorClocks& clocks, const VariableTrace& trace,
                    const SumPredicate& pred);
+
+// Budgeted definitely. decided=false means the budget stopped the lattice
+// analysis before either answer was provable; for Relop::Equal the
+// Theorem 7(2) disjunction stays sound — a branch proved true decides the
+// whole predicate even when the sibling branch was cut short.
+struct SumDecision {
+  bool decided = true;
+  bool holds = false;
+};
+SumDecision definitelySumBudgeted(const VectorClocks& clocks,
+                                  const VariableTrace& trace,
+                                  const SumPredicate& pred,
+                                  control::Budget* budget);
 
 }  // namespace gpd::detect

@@ -1,6 +1,7 @@
 #include "detect/symmetric.h"
 
 #include "lattice/explore.h"
+#include "util/check.h"
 
 namespace gpd::detect {
 
@@ -15,9 +16,23 @@ std::optional<Cut> possiblySymmetric(const VectorClocks& clocks,
 
 bool definitelySymmetric(const VectorClocks& clocks, const VariableTrace& trace,
                          const SymmetricPredicate& pred) {
-  return lattice::definitelyExhaustive(clocks, [&](const Cut& cut) {
-    return pred.holdsAtCut(trace, cut);
-  });
+  const SumDecision decision =
+      definitelySymmetricBudgeted(clocks, trace, pred, nullptr);
+  GPD_CHECK(decision.decided);
+  return decision.holds;
+}
+
+SumDecision definitelySymmetricBudgeted(const VectorClocks& clocks,
+                                        const VariableTrace& trace,
+                                        const SymmetricPredicate& pred,
+                                        control::Budget* budget) {
+  const lattice::DefinitelyDecision d = lattice::definitelyExhaustiveBudgeted(
+      clocks, [&](const Cut& cut) { return pred.holdsAtCut(trace, cut); },
+      budget);
+  SumDecision result;
+  result.decided = d.decided;
+  result.holds = d.decided && d.holds;
+  return result;
 }
 
 }  // namespace gpd::detect

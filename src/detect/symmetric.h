@@ -11,6 +11,7 @@
 
 #include "clocks/vector_clock.h"
 #include "computation/cut.h"
+#include "control/budget.h"
 #include "detect/sum.h"
 #include "predicates/symmetric.h"
 
@@ -24,5 +25,12 @@ std::optional<Cut> possiblySymmetric(const VectorClocks& clocks,
 // Exact definitely(φ) via lattice exploration.
 bool definitelySymmetric(const VectorClocks& clocks, const VariableTrace& trace,
                          const SymmetricPredicate& pred);
+
+// Budgeted definitely(φ): decided=false when the budget stopped the lattice
+// analysis before an answer was provable.
+SumDecision definitelySymmetricBudgeted(const VectorClocks& clocks,
+                                        const VariableTrace& trace,
+                                        const SymmetricPredicate& pred,
+                                        control::Budget* budget);
 
 }  // namespace gpd::detect

@@ -131,6 +131,13 @@ void writeCheckpoint(std::ostream& os, const monitor::SessionSnapshot& snap) {
   if (snap.monitor.detected) {
     for (const auto& w : snap.monitor.witness) writeClock(os, "witness", w);
   }
+  // Optional trailer (version 1 stays readable by files that omit it): the
+  // per-report slice counters, written only when non-trivial so checkpoints
+  // from slice-free sessions are byte-identical to the pre-slice format.
+  if (snap.monitor.sliceAborts != 0 || snap.monitor.pendingFullScan) {
+    os << "slices " << snap.monitor.sliceAborts << ' '
+       << int(snap.monitor.pendingFullScan) << '\n';
+  }
   os << "end\n";
   GPD_CHECK_MSG(os.good(), "checkpoint write failed");
 }
@@ -229,7 +236,14 @@ monitor::SessionSnapshot readCheckpoint(std::istream& is) {
       snap.monitor.witness.push_back(r.clock("witness", n));
     }
   }
-  r.keyword("end");
+  std::string trailer = r.word("end");
+  if (trailer == "slices") {
+    snap.monitor.sliceAborts = r.counter("slices");
+    snap.monitor.pendingFullScan = r.integer("slices", 0, 1) != 0;
+    trailer = r.word("end");
+  }
+  GPD_INPUT_CHECK(trailer == "end",
+                  "checkpoint: expected 'end', got '" << trailer << "'");
   return snap;
 }
 

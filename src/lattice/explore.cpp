@@ -1,5 +1,6 @@
 #include "lattice/explore.h"
 
+#include <algorithm>
 #include <unordered_set>
 #include <vector>
 
@@ -26,64 +27,147 @@ void expand(const VectorClocks& clocks, const Cut& cut,
   }
 }
 
+// Approximate live bytes of one stored cut (vector header + components).
+std::uint64_t cutBytes(const Computation& comp) {
+  return sizeof(Cut) +
+         static_cast<std::uint64_t>(comp.processCount()) * sizeof(int);
+}
+
+// Records one BFS level's live frontier (current level + next level under
+// construction) in `result` and charges the budget. Returns false when the
+// frontier limit trips.
+bool noteFrontier(ExploreResult& result, std::uint64_t perCut,
+                  std::uint64_t liveCuts, control::Budget* budget) {
+  result.peakFrontierCuts = std::max(result.peakFrontierCuts, liveCuts);
+  const std::uint64_t liveBytes = liveCuts * perCut;
+  result.peakFrontierBytes = std::max(result.peakFrontierBytes, liveBytes);
+  if (budget != nullptr && !budget->noteFrontierBytes(liveBytes)) {
+    result.end = ExploreEnd::BudgetExhausted;
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
-std::uint64_t forEachConsistentCut(
-    const VectorClocks& clocks, const std::function<bool(const Cut&)>& visit) {
+ExploreResult exploreConsistentCuts(
+    const VectorClocks& clocks, const std::function<bool(const Cut&)>& visit,
+    control::Budget* budget) {
   const Computation& comp = clocks.computation();
-  std::uint64_t visited = 0;
+  const std::uint64_t perCut = cutBytes(comp);
+  ExploreResult result;
   std::vector<Cut> level{initialCut(comp)};
   while (!level.empty()) {
     std::unordered_set<Cut> seen;
     std::vector<Cut> next;
     for (const Cut& cut : level) {
-      ++visited;
-      if (!visit(cut)) return visited;
+      if (budget != nullptr && !budget->chargeCut()) {
+        result.end = ExploreEnd::BudgetExhausted;
+        return result;
+      }
+      ++result.cutsVisited;
+      if (!visit(cut)) {
+        result.end = ExploreEnd::VisitorStopped;
+        return result;
+      }
       expand(clocks, cut, seen, next, [](const Cut&) { return true; });
+    }
+    if (!noteFrontier(result, perCut, level.size() + next.size(), budget)) {
+      return result;
     }
     level = std::move(next);
   }
-  return visited;
+  return result;
+}
+
+std::uint64_t forEachConsistentCut(
+    const VectorClocks& clocks, const std::function<bool(const Cut&)>& visit) {
+  return exploreConsistentCuts(clocks, visit, nullptr).cutsVisited;
+}
+
+CutSearchResult findSatisfyingCutBudgeted(const VectorClocks& clocks,
+                                          const CutPredicate& phi,
+                                          control::Budget* budget) {
+  CutSearchResult result;
+  result.explore = exploreConsistentCuts(
+      clocks,
+      [&](const Cut& cut) {
+        if (phi(cut)) {
+          result.witness = cut;
+          return false;
+        }
+        return true;
+      },
+      budget);
+  // Exact iff a witness surfaced or the whole lattice was examined.
+  result.complete = result.witness.has_value() ||
+                    result.explore.end == ExploreEnd::Exhausted;
+  return result;
 }
 
 std::optional<Cut> findSatisfyingCut(const VectorClocks& clocks,
                                      const CutPredicate& phi) {
-  std::optional<Cut> witness;
-  forEachConsistentCut(clocks, [&](const Cut& cut) {
-    if (phi(cut)) {
-      witness = cut;
-      return false;
-    }
-    return true;
-  });
-  return witness;
+  return findSatisfyingCutBudgeted(clocks, phi, nullptr).witness;
 }
 
 bool possiblyExhaustive(const VectorClocks& clocks, const CutPredicate& phi) {
   return findSatisfyingCut(clocks, phi).has_value();
 }
 
-bool definitelyExhaustive(const VectorClocks& clocks, const CutPredicate& phi) {
+DefinitelyDecision definitelyExhaustiveBudgeted(const VectorClocks& clocks,
+                                                const CutPredicate& phi,
+                                                control::Budget* budget) {
   // A run avoids φ iff it is a monotone path of ¬φ-cuts from ⊥ to ⊤.
+  DefinitelyDecision decision;
   const Computation& comp = clocks.computation();
+  const std::uint64_t perCut = cutBytes(comp);
   const Cut bottom = initialCut(comp);
   const Cut top = finalCut(comp);
-  if (phi(bottom)) return true;  // every run starts at ⊥
-  if (bottom == top) return false;
+  if (phi(bottom)) {  // every run starts at ⊥
+    decision.holds = true;
+    return decision;
+  }
+  if (bottom == top) {
+    decision.holds = false;
+    return decision;
+  }
   std::vector<Cut> level{bottom};
   const auto notPhi = [&](const Cut& c) { return !phi(c); };
   while (!level.empty()) {
     std::unordered_set<Cut> seen;
     std::vector<Cut> next;
     for (const Cut& cut : level) {
+      if (budget != nullptr && !budget->chargeCut()) {
+        decision.decided = false;
+        decision.explore.end = ExploreEnd::BudgetExhausted;
+        return decision;
+      }
+      ++decision.explore.cutsVisited;
       expand(clocks, cut, seen, next, notPhi);
     }
     for (const Cut& cut : next) {
-      if (cut == top) return false;  // an all-¬φ run exists
+      if (cut == top) {  // an all-¬φ run exists
+        decision.holds = false;
+        decision.explore.end = ExploreEnd::VisitorStopped;
+        return decision;
+      }
+    }
+    if (!noteFrontier(decision.explore, perCut, level.size() + next.size(),
+                      budget)) {
+      decision.decided = false;
+      return decision;
     }
     level = std::move(next);
   }
-  return true;
+  decision.holds = true;
+  return decision;
+}
+
+bool definitelyExhaustive(const VectorClocks& clocks, const CutPredicate& phi) {
+  const DefinitelyDecision decision =
+      definitelyExhaustiveBudgeted(clocks, phi, nullptr);
+  GPD_CHECK(decision.decided);
+  return decision.holds;
 }
 
 LatticeStats latticeStats(const VectorClocks& clocks) {

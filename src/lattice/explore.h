@@ -6,6 +6,12 @@
 // the number of processes — the whole point of the paper's algorithms is to
 // avoid it — but exact, so it is the ground truth every efficient detector
 // is validated against, and the comparison baseline in the benches.
+//
+// Every entry point has a budgeted form (control/budget.h): the BFS loop
+// charges one cut per visit/expansion and reports its live frontier bytes
+// per level, so a wall-clock deadline, a cut cap, or a frontier-memory cap
+// turns an exponential blowup into an explicit incomplete result instead of
+// a hang or an OOM.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +21,7 @@
 #include "clocks/vector_clock.h"
 #include "computation/computation.h"
 #include "computation/cut.h"
+#include "control/budget.h"
 
 namespace gpd::lattice {
 
@@ -23,17 +30,66 @@ namespace gpd::lattice {
 // predicates/eval.h.
 using CutPredicate = std::function<bool(const Cut&)>;
 
+// How an exploration ended. Callers that stop the visit early (searches)
+// must be able to tell their own stop from true exhaustion — and both from
+// a budget stop, which leaves part of the lattice unexamined.
+enum class ExploreEnd {
+  Exhausted,        // every consistent cut was visited
+  VisitorStopped,   // visit returned false
+  BudgetExhausted,  // the budget tripped; the lattice was NOT covered
+};
+
+struct ExploreResult {
+  std::uint64_t cutsVisited = 0;
+  ExploreEnd end = ExploreEnd::Exhausted;
+  // Widest BFS frontier observed (cuts of one level plus the next level
+  // under construction) — the measured signal behind memory budgets.
+  std::uint64_t peakFrontierCuts = 0;
+  std::uint64_t peakFrontierBytes = 0;
+};
+
 // Visits every consistent cut exactly once in level order (level = number of
-// non-initial events). Stops early when `visit` returns false. Returns the
-// number of cuts visited.
+// non-initial events). Stops early when `visit` returns false
+// (VisitorStopped) or when the budget trips (BudgetExhausted); the result
+// separates the two from genuine exhaustion.
+ExploreResult exploreConsistentCuts(const VectorClocks& clocks,
+                                    const std::function<bool(const Cut&)>& visit,
+                                    control::Budget* budget = nullptr);
+
+// Back-compat wrapper: the visit count of an unbudgeted exploration.
 std::uint64_t forEachConsistentCut(const VectorClocks& clocks,
                                    const std::function<bool(const Cut&)>& visit);
+
+// Three-valued possibly(φ) search: `complete` is true when the answer is
+// exact (a witness was found, or the whole lattice was searched); false
+// means the budget stopped the search first — no witness is *not* a "no".
+struct CutSearchResult {
+  std::optional<Cut> witness;
+  bool complete = true;
+  ExploreResult explore;
+};
+
+CutSearchResult findSatisfyingCutBudgeted(const VectorClocks& clocks,
+                                          const CutPredicate& phi,
+                                          control::Budget* budget = nullptr);
 
 // possibly(φ): some consistent cut satisfies φ. Returns a witness cut.
 std::optional<Cut> findSatisfyingCut(const VectorClocks& clocks,
                                      const CutPredicate& phi);
 
 bool possiblyExhaustive(const VectorClocks& clocks, const CutPredicate& phi);
+
+// Three-valued definitely(φ): `decided` is false when the budget stopped
+// the ¬φ-path search before it could prove either direction.
+struct DefinitelyDecision {
+  bool decided = true;
+  bool holds = false;
+  ExploreResult explore;
+};
+
+DefinitelyDecision definitelyExhaustiveBudgeted(const VectorClocks& clocks,
+                                                const CutPredicate& phi,
+                                                control::Budget* budget = nullptr);
 
 // definitely(φ): every run passes through a cut satisfying φ. Equivalent to:
 // no monotone path of ¬φ-cuts from the initial to the final cut.

@@ -37,8 +37,9 @@ ReportStatus ConjunctiveMonitor::offer(int p, std::vector<int> vectorClock) {
   ++enqueued_;
   // Invariant between reports: the present heads are pairwise stable (no
   // elimination applies among them). A notification that lands behind an
-  // existing head changes nothing; only a new *head* must be re-checked.
-  if (queue_[p].size() > 1) return ReportStatus::Accepted;
+  // existing head changes nothing; only a new *head* must be re-checked —
+  // unless an aborted slice left the invariant unverified.
+  if (queue_[p].size() > 1 && !pendingFullScan_) return ReportStatus::Accepted;
   return tryDetect(p) ? ReportStatus::Detected : ReportStatus::Accepted;
 }
 
@@ -55,9 +56,21 @@ bool ConjunctiveMonitor::tryDetect(int changed) {
   // is also dead against everything after f on q's queue, so pop it.
   // A process with an empty queue simply pauses detection; popped entries
   // stay popped (they are dead against every future notification too).
-  std::vector<int> work{changed};
+  const std::uint64_t sliceStart = comparisons_;
+  const std::uint64_t slice = options_.maxComparisonsPerReport;
+  std::vector<int> work;
   std::vector<char> queued(n_, 0);
-  queued[changed] = 1;
+  if (pendingFullScan_) {
+    // The previous scan was cut short, so stale head pairs may still be
+    // eliminable: re-check every process before trusting the heads.
+    for (int p = 0; p < n_; ++p) {
+      work.push_back(p);
+      queued[p] = 1;
+    }
+  } else {
+    work.push_back(changed);
+    queued[changed] = 1;
+  }
   while (!work.empty()) {
     const int p = work.back();
     work.pop_back();
@@ -65,6 +78,16 @@ bool ConjunctiveMonitor::tryDetect(int changed) {
     if (queue_[p].empty()) continue;
     bool advanced = true;
     while (advanced && !queue_[p].empty()) {
+      if (slice != 0 && comparisons_ - sliceStart >= slice) {
+        // Out of slice: abort without announcing anything. Every pop so far
+        // was a correct elimination, but head stability is unverified — the
+        // next scan starts from scratch and the monitor is now inconclusive
+        // when silent (same contract as a Degrade drop).
+        pendingFullScan_ = true;
+        degraded_ = true;
+        ++sliceAborts_;
+        return false;
+      }
       advanced = false;
       const auto& e = queue_[p].front();
       for (int q = 0; q < n_; ++q) {
@@ -91,6 +114,7 @@ bool ConjunctiveMonitor::tryDetect(int changed) {
       }
     }
   }
+  pendingFullScan_ = false;  // completed scan: heads are pairwise stable
   for (int p = 0; p < n_; ++p) {
     if (queue_[p].empty()) return false;
   }
@@ -121,6 +145,8 @@ MonitorSnapshot ConjunctiveMonitor::snapshot() const {
   snap.enqueued = enqueued_;
   snap.overflowDropped = overflowDropped_;
   snap.overflowRejected = overflowRejected_;
+  snap.sliceAborts = sliceAborts_;
+  snap.pendingFullScan = pendingFullScan_;
   return snap;
 }
 
@@ -165,6 +191,8 @@ ConjunctiveMonitor ConjunctiveMonitor::restore(const MonitorSnapshot& snap,
   mon.enqueued_ = snap.enqueued;
   mon.overflowDropped_ = snap.overflowDropped;
   mon.overflowRejected_ = snap.overflowRejected;
+  mon.sliceAborts_ = snap.sliceAborts;
+  mon.pendingFullScan_ = snap.pendingFullScan;
   return mon;
 }
 

@@ -43,6 +43,13 @@ struct MonitorOptions {
   // 0 = unbounded (the pre-resilience behavior; use only in tests).
   std::size_t maxQueuePerProcess = 1 << 20;
   OverflowPolicy overflowPolicy = OverflowPolicy::Backpressure;
+  // Per-report elimination time slice, in head comparisons (0 = unlimited).
+  // When one notification's elimination cascade exceeds the slice, the scan
+  // is aborted and the monitor latches degraded instead of stalling the
+  // report path: detection stays sound (Detected is only announced after a
+  // *completed* scan, and the next scan re-checks every queue head), but a
+  // detection may be delayed or — once degraded — missed, never fabricated.
+  std::uint64_t maxComparisonsPerReport = 0;
 };
 
 enum class ReportStatus {
@@ -64,6 +71,8 @@ struct MonitorSnapshot {
   std::uint64_t enqueued = 0;
   std::uint64_t overflowDropped = 0;
   std::uint64_t overflowRejected = 0;
+  std::uint64_t sliceAborts = 0;
+  bool pendingFullScan = false;
 };
 
 class ConjunctiveMonitor {
@@ -99,6 +108,8 @@ class ConjunctiveMonitor {
   std::uint64_t enqueued() const { return enqueued_; }
   std::uint64_t overflowDropped() const { return overflowDropped_; }
   std::uint64_t overflowRejected() const { return overflowRejected_; }
+  // Elimination scans aborted by maxComparisonsPerReport.
+  std::uint64_t sliceAborts() const { return sliceAborts_; }
 
   // Checkpointing. restore() validates the snapshot (throws InputError on a
   // structurally inconsistent one, e.g. from a corrupt checkpoint file).
@@ -120,6 +131,10 @@ class ConjunctiveMonitor {
   std::uint64_t enqueued_ = 0;
   std::uint64_t overflowDropped_ = 0;
   std::uint64_t overflowRejected_ = 0;
+  std::uint64_t sliceAborts_ = 0;
+  // An aborted scan leaves head-stability unverified; the next scan must
+  // re-check every queue head before Detected may be announced.
+  bool pendingFullScan_ = false;
 };
 
 }  // namespace gpd::monitor

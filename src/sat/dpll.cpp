@@ -12,10 +12,13 @@ constexpr signed char kUnset = -1;
 
 struct Solver {
   const Cnf& cnf;
+  control::Budget* budget;
+  bool stopped = false;  // budget tripped somewhere in the search
   DpllStats stats;
   std::vector<signed char> value;  // per var: kUnset / 0 / 1
 
-  explicit Solver(const Cnf& f) : cnf(f), value(f.numVars, kUnset) {}
+  Solver(const Cnf& f, control::Budget* b)
+      : cnf(f), budget(b), value(f.numVars, kUnset) {}
 
   // Clause status under the current partial assignment.
   enum class ClauseState { Satisfied, Conflict, Unit, Open };
@@ -42,6 +45,10 @@ struct Solver {
     bool changed = true;
     while (changed) {
       changed = false;
+      if (budget != nullptr && !budget->keepGoing()) {
+        stopped = true;
+        return false;  // conflict-shaped unwind; `stopped` overrides UNSAT
+      }
       for (const Clause& c : cnf.clauses) {
         Lit unit;
         switch (classify(c, &unit)) {
@@ -117,11 +124,17 @@ struct Solver {
       // propagate succeeded and pure literals never falsify a clause).
       return true;
     }
+    if (budget != nullptr && !budget->chargeCombination()) {
+      stopped = true;
+      undo(trail);
+      return false;
+    }
     ++stats.decisions;
     for (const signed char tryValue : {1, 0}) {
       value[branch] = tryValue;
       if (solve()) return true;
       value[branch] = kUnset;
+      if (stopped) break;  // don't explore the sibling once the budget trips
     }
     undo(trail);
     return false;
@@ -134,19 +147,34 @@ struct Solver {
 
 }  // namespace
 
-std::optional<Assignment> solveDpll(const Cnf& cnf, DpllStats* stats) {
+DpllResult solveDpllBudgeted(const Cnf& cnf, control::Budget* budget) {
   GPD_CHECK(cnf.numVars >= 0);
   for (const Clause& c : cnf.clauses) {
     for (const Lit& l : c) GPD_CHECK(l.var >= 0 && l.var < cnf.numVars);
   }
-  Solver solver(cnf);
+  Solver solver(cnf, budget);
   const bool sat = solver.solve();
-  if (stats) *stats = solver.stats;
-  if (!sat) return std::nullopt;
-  Assignment a(cnf.numVars, false);
-  for (int v = 0; v < cnf.numVars; ++v) a[v] = solver.value[v] == 1;
-  GPD_CHECK(satisfies(cnf, a));
-  return a;
+  DpllResult result;
+  result.stats = solver.stats;
+  if (sat) {
+    Assignment a(cnf.numVars, false);
+    for (int v = 0; v < cnf.numVars; ++v) a[v] = solver.value[v] == 1;
+    GPD_CHECK(satisfies(cnf, a));
+    result.outcome = SatOutcome::Satisfiable;
+    result.assignment = std::move(a);
+  } else {
+    // A false return means UNSAT only when no budget stop polluted the
+    // search tree — a stopped branch may have hidden a model.
+    result.outcome =
+        solver.stopped ? SatOutcome::Unknown : SatOutcome::Unsatisfiable;
+  }
+  return result;
+}
+
+std::optional<Assignment> solveDpll(const Cnf& cnf, DpllStats* stats) {
+  DpllResult result = solveDpllBudgeted(cnf, nullptr);
+  if (stats) *stats = result.stats;
+  return std::move(result.assignment);
 }
 
 }  // namespace gpd::sat

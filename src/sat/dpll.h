@@ -9,6 +9,7 @@
 
 #include <optional>
 
+#include "control/budget.h"
 #include "sat/cnf.h"
 
 namespace gpd::sat {
@@ -18,8 +19,24 @@ struct DpllStats {
   long long propagations = 0;
 };
 
+// Three-valued outcome for budgeted solving: Unknown means the search was
+// stopped by the budget before either a model or a refutation was found.
+enum class SatOutcome { Satisfiable, Unsatisfiable, Unknown };
+
+struct DpllResult {
+  SatOutcome outcome = SatOutcome::Unknown;
+  std::optional<Assignment> assignment;  // set iff Satisfiable
+  DpllStats stats;
+};
+
 // Returns a satisfying assignment, or nullopt if the formula is
 // unsatisfiable. Deterministic.
 std::optional<Assignment> solveDpll(const Cnf& cnf, DpllStats* stats = nullptr);
+
+// Budgeted variant: each branching decision charges one combination against
+// the budget (propagation between decisions polls the deadline cheaply).
+// With budget == nullptr this is exactly solveDpll. A Satisfiable result
+// always carries a verified model regardless of budget state.
+DpllResult solveDpllBudgeted(const Cnf& cnf, control::Budget* budget);
 
 }  // namespace gpd::sat

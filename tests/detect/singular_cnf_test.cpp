@@ -143,6 +143,35 @@ TEST(SingularCnfTest, ChainCoverIsValidPartition) {
   }
 }
 
+TEST(SingularCnfTest, HugeEnumerationSpaceSaturatesInsteadOfWrapping) {
+  // 65 two-process groups with one concurrent true event per process: the
+  // space is 2^65, which wraps a uint64 to zero. A wrap used to read as
+  // "some clause never true" and fabricate an instant exact No on a trace
+  // whose very first selection is a witness.
+  const int kGroups = 65;
+  ComputationBuilder builder(2 * kGroups);
+  for (ProcessId p = 0; p < 2 * kGroups; ++p) builder.appendEvent(p);
+  const Computation c = std::move(builder).build();
+  VariableTrace trace(c);
+  for (ProcessId p = 0; p < c.processCount(); ++p) {
+    trace.defineBool(p, "x", {false, true});
+  }
+  CnfPredicate pred;
+  for (int g = 0; g < kGroups; ++g) {
+    pred.clauses.push_back({{2 * g, "x", true}, {2 * g + 1, "x", true}});
+  }
+  ASSERT_TRUE(pred.isSingular());
+  const VectorClocks vc(c);
+  for (auto detect : {&detectSingularByChainCover,
+                      &detectSingularByProcessEnumeration}) {
+    const auto res = (*detect)(vc, trace, pred, nullptr);
+    EXPECT_EQ(res.combinationsTotal, UINT64_MAX);  // saturated, not 0
+    EXPECT_TRUE(res.found);  // everything concurrent: first selection wins
+    EXPECT_GE(res.combinationsTried, 1u);
+    EXPECT_TRUE(res.complete || res.found);
+  }
+}
+
 TEST(SingularCnfTest, ChainCoverNeverEnumeratesMoreThanProcesses) {
   Rng rng(1111);
   for (int trial = 0; trial < 20; ++trial) {

@@ -144,6 +144,43 @@ TEST(CheckpointIoTest, RejectsHostileProcessCount) {
   EXPECT_THROW(readCheckpoint(is), InputError);
 }
 
+TEST(CheckpointIoTest, SliceTrailerRoundTrips) {
+  SessionSnapshot a = busySnapshot();
+  a.monitor.sliceAborts = 3;
+  a.monitor.pendingFullScan = true;
+  std::stringstream buffer;
+  writeCheckpoint(buffer, a);
+  EXPECT_NE(buffer.str().find("slices 3 1"), std::string::npos);
+  const SessionSnapshot b = readCheckpoint(buffer);
+  EXPECT_EQ(b.monitor.sliceAborts, 3u);
+  EXPECT_TRUE(b.monitor.pendingFullScan);
+}
+
+TEST(CheckpointIoTest, SliceFreeCheckpointOmitsTrailerAndStillLoads) {
+  // Slice-free snapshots serialize byte-identically to the pre-slice format
+  // (no "slices" line), and such files — including ones written before the
+  // trailer existed — load with the slice state defaulted.
+  const std::string text = serialized();
+  EXPECT_EQ(text.find("slices"), std::string::npos);
+  std::istringstream is(text);
+  const SessionSnapshot b = readCheckpoint(is);
+  EXPECT_EQ(b.monitor.sliceAborts, 0u);
+  EXPECT_FALSE(b.monitor.pendingFullScan);
+}
+
+TEST(CheckpointIoTest, RejectsMalformedSliceTrailer) {
+  SessionSnapshot a = busySnapshot();
+  a.monitor.sliceAborts = 1;
+  std::stringstream buffer;
+  writeCheckpoint(buffer, a);
+  std::string text = buffer.str();
+  const auto pos = text.find("slices 1 0");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, std::string("slices 1 0").size(), "slices 1 7");
+  std::istringstream is(text);
+  EXPECT_THROW(readCheckpoint(is), InputError);
+}
+
 TEST(CheckpointIoTest, SemanticCorruptionIsCaughtByRestore) {
   // Structurally valid checkpoint whose monitor queue violates program
   // order: readCheckpoint accepts it, MonitorSession::restore rejects it.

@@ -1,0 +1,81 @@
+// End-to-end exit-code taxonomy of the gpdtool CLI, exercised by spawning
+// the real binary (path injected by CMake as GPDTOOL_PATH):
+//
+//   0 — ran fine; for detect, the predicate was decided either way
+//   1 — bad input (usage, malformed arguments, unreadable trace)
+//   2 — internal failure (a library invariant broke: gpd::CheckFailure)
+//   3 — budget exhausted before an answer (detect verdict "unknown")
+//
+// Scripts branching on these codes (CI gates, bisection drivers) rely on
+// "unknown" being distinguishable from both "no" (0) and crashes (2).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace gpd {
+namespace {
+
+std::string tracePath() {
+  return ::testing::TempDir() + "gpd_cli_exit_test.trace";
+}
+
+// Runs gpdtool with `args`, output silenced, and returns its exit code.
+int runTool(const std::string& args) {
+  const std::string cmd =
+      std::string(GPDTOOL_PATH) + " " + args + " > /dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  EXPECT_NE(status, -1) << "failed to spawn " << cmd;
+  EXPECT_TRUE(WIFEXITED(status)) << "gpdtool killed by signal: " << cmd;
+  return WEXITSTATUS(status);
+}
+
+class CliExitTest : public ::testing::Test {
+ protected:
+  // One shared trace for the suite: the `random` workload defines a boolean
+  // "b" and a counter "x" on 5 processes (deterministic under the seed).
+  static void SetUpTestSuite() {
+    ASSERT_EQ(runTool("generate random " + tracePath() + " 7"), 0);
+  }
+};
+
+TEST_F(CliExitTest, DecidedDetectExitsZero) {
+  EXPECT_EQ(runTool("detect " + tracePath() + " conj 0:b"), 0);
+  EXPECT_EQ(runTool("detect " + tracePath() + " sum ge 0 x"), 0);
+  // A budgeted run that still decides exits 0 as well.
+  EXPECT_EQ(
+      runTool("detect " + tracePath() + " conj --budget-ms 60000 0:b 1:b"), 0);
+}
+
+TEST_F(CliExitTest, BadInputExitsOne) {
+  EXPECT_EQ(runTool(""), 1);  // usage
+  EXPECT_EQ(runTool("detect /nonexistent/gpd.trace conj 0:b"), 1);
+  EXPECT_EQ(runTool("detect " + tracePath() + " conj not-a-literal"), 1);
+  EXPECT_EQ(runTool("detect " + tracePath() + " sum ge 0 nosuchvar"), 1);
+  // Budget values must be positive integers.
+  EXPECT_EQ(runTool("detect " + tracePath() + " conj --max-cuts 0 0:b"), 1);
+  EXPECT_EQ(runTool("detect " + tracePath() + " conj --budget-ms x 0:b"), 1);
+}
+
+TEST_F(CliExitTest, InternalInvariantFailureExitsTwo) {
+  // Two conjunctive terms on the same process violate a CPDHB precondition:
+  // a CheckFailure, reported as an internal error, distinct from bad input.
+  EXPECT_EQ(runTool("detect " + tracePath() + " conj 0:b 0:b"), 2);
+}
+
+TEST_F(CliExitTest, BudgetExhaustedUnknownExitsThree) {
+  // (0:b) ∧ (0:¬b) is non-singular (process 0 twice), so the planner routes
+  // to lattice enumeration; it is also unsatisfiable at every cut, so under
+  // --max-cuts 1 the search trips before it can prove "no" → unknown.
+  EXPECT_EQ(
+      runTool("detect " + tracePath() + " cnf --max-cuts 1 0:b 0:!b"), 3);
+  // The same query with room to finish proves the exact "no" and exits 0.
+  EXPECT_EQ(
+      runTool("detect " + tracePath() + " cnf --max-cuts 2000000 0:b 0:!b"),
+      0);
+}
+
+}  // namespace
+}  // namespace gpd

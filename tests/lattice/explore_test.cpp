@@ -182,5 +182,126 @@ TEST(LatticeTest, EarlyStopCountsVisited) {
   EXPECT_EQ(visited, 4u);
 }
 
+TEST(LatticeBudgetTest, ExploreEndDistinguishesThreeStopKinds) {
+  const Computation c = independent(2, 3);
+  const VectorClocks vc(c);
+
+  const ExploreResult full =
+      exploreConsistentCuts(vc, [](const Cut&) { return true; });
+  EXPECT_EQ(full.end, ExploreEnd::Exhausted);
+  EXPECT_EQ(full.cutsVisited, 16u);
+  EXPECT_GT(full.peakFrontierCuts, 0u);
+  EXPECT_GT(full.peakFrontierBytes, 0u);
+
+  int calls = 0;
+  const ExploreResult stopped =
+      exploreConsistentCuts(vc, [&](const Cut&) { return ++calls < 4; });
+  EXPECT_EQ(stopped.end, ExploreEnd::VisitorStopped);
+  EXPECT_EQ(stopped.cutsVisited, 4u);
+
+  control::BudgetLimits limits;
+  limits.maxCuts = 5;
+  control::Budget budget(limits);
+  const ExploreResult cut =
+      exploreConsistentCuts(vc, [](const Cut&) { return true; }, &budget);
+  EXPECT_EQ(cut.end, ExploreEnd::BudgetExhausted);
+  EXPECT_EQ(cut.cutsVisited, 5u);  // exactly the budget, never more
+  EXPECT_EQ(budget.reason(), control::StopReason::CutLimit);
+}
+
+TEST(LatticeBudgetTest, UnlimitedBudgetMatchesUnbudgetedCount) {
+  Rng rng(91);
+  RandomComputationOptions opt;
+  opt.processes = 3;
+  opt.eventsPerProcess = 4;
+  opt.messageProbability = 0.4;
+  const Computation c = randomComputation(opt, rng);
+  const VectorClocks vc(c);
+  control::Budget unlimited;
+  const ExploreResult budgeted =
+      exploreConsistentCuts(vc, [](const Cut&) { return true; }, &unlimited);
+  EXPECT_EQ(budgeted.end, ExploreEnd::Exhausted);
+  EXPECT_EQ(budgeted.cutsVisited,
+            forEachConsistentCut(vc, [](const Cut&) { return true; }));
+}
+
+TEST(LatticeBudgetTest, FrontierLimitStopsTheGrid) {
+  // A wide independent grid has a frontier of many cuts; one byte of
+  // frontier budget must trip almost immediately.
+  const Computation c = independent(4, 4);
+  const VectorClocks vc(c);
+  control::BudgetLimits limits;
+  limits.maxFrontierBytes = 1;
+  control::Budget budget(limits);
+  const ExploreResult r =
+      exploreConsistentCuts(vc, [](const Cut&) { return true; }, &budget);
+  EXPECT_EQ(r.end, ExploreEnd::BudgetExhausted);
+  EXPECT_EQ(budget.reason(), control::StopReason::FrontierLimit);
+  EXPECT_LT(r.cutsVisited, 625u);  // nowhere near the 5^4 total
+}
+
+TEST(LatticeBudgetTest, SearchCompleteSemantics) {
+  const Computation c = independent(2, 3);
+  const VectorClocks vc(c);
+
+  // A witness found in budget is complete even under a tiny budget: Yes
+  // never degrades.
+  control::BudgetLimits one;
+  one.maxCuts = 1;
+  control::Budget witnessBudget(one);
+  const CutSearchResult hit = findSatisfyingCutBudgeted(
+      vc, [](const Cut& cut) { return cut.level() == 0; }, &witnessBudget);
+  ASSERT_TRUE(hit.witness.has_value());
+  EXPECT_TRUE(hit.complete);
+
+  // Exhausting the lattice without a witness is an exact No.
+  const CutSearchResult miss = findSatisfyingCutBudgeted(
+      vc, [](const Cut& cut) { return cut.last[0] > 5; }, nullptr);
+  EXPECT_FALSE(miss.witness.has_value());
+  EXPECT_TRUE(miss.complete);
+  EXPECT_EQ(miss.explore.end, ExploreEnd::Exhausted);
+
+  // A budget stop before a witness is incomplete: no witness is not a No.
+  control::Budget tiny(one);
+  const CutSearchResult unknown = findSatisfyingCutBudgeted(
+      vc, [](const Cut& cut) { return cut.last[0] > 5; }, &tiny);
+  EXPECT_FALSE(unknown.witness.has_value());
+  EXPECT_FALSE(unknown.complete);
+  EXPECT_EQ(unknown.explore.end, ExploreEnd::BudgetExhausted);
+}
+
+TEST(LatticeBudgetTest, DefinitelyBudgetedDecidesOrAdmitsIgnorance) {
+  const Computation c = independent(2, 2);
+  const VectorClocks vc(c);
+  const auto midLevel = [](const Cut& cut) { return cut.level() == 2; };
+
+  // Generous budget: decided, and agrees with the unbudgeted oracle.
+  control::BudgetLimits generous;
+  generous.maxCuts = 1000;
+  control::Budget big(generous);
+  const DefinitelyDecision d = definitelyExhaustiveBudgeted(vc, midLevel, &big);
+  EXPECT_TRUE(d.decided);
+  EXPECT_EQ(d.holds, definitelyExhaustive(vc, midLevel));
+
+  // Tiny budget on the same query: undecided, never a guess.
+  control::BudgetLimits one;
+  one.maxCuts = 1;
+  control::Budget tiny(one);
+  const DefinitelyDecision u =
+      definitelyExhaustiveBudgeted(vc, midLevel, &tiny);
+  EXPECT_FALSE(u.decided);
+
+  // φ(⊥) is checked before any charge: an initial-state predicate decides
+  // true even when the budget is already exhausted.
+  control::Budget spent(one);
+  while (spent.chargeCut()) {
+  }
+  ASSERT_TRUE(spent.exhausted());
+  const DefinitelyDecision init = definitelyExhaustiveBudgeted(
+      vc, [](const Cut& cut) { return cut.level() == 0; }, &spent);
+  EXPECT_TRUE(init.decided);
+  EXPECT_TRUE(init.holds);
+}
+
 }  // namespace
 }  // namespace gpd::lattice

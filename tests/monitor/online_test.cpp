@@ -114,5 +114,109 @@ TEST(OnlineMonitorTest, CountsComparisonsAndQueueTraffic) {
   EXPECT_EQ(mon.enqueued(), 2u);
 }
 
+MonitorOptions slicedOptions(std::uint64_t slice) {
+  MonitorOptions opt;
+  opt.maxComparisonsPerReport = slice;
+  return opt;
+}
+
+TEST(OnlineMonitorSliceTest, AbortLatchesDegradedInsteadOfStalling) {
+  // One-comparison slice: the elimination cascade triggered by p1's
+  // notification cannot finish, so the scan aborts — silence is now
+  // inconclusive (degraded), but nothing wrong is ever announced.
+  ConjunctiveMonitor mon(2, slicedOptions(1));
+  EXPECT_EQ(mon.offer(0, {1, 0}), ReportStatus::Accepted);
+  EXPECT_EQ(mon.offer(0, {2, 0}), ReportStatus::Accepted);
+  EXPECT_EQ(mon.offer(1, {3, 1}), ReportStatus::Accepted);  // kills p0 heads
+  EXPECT_FALSE(mon.detected());
+  EXPECT_TRUE(mon.degraded());
+  EXPECT_EQ(mon.sliceAborts(), 1u);
+}
+
+TEST(OnlineMonitorSliceTest, DetectionWithinSliceStaysExact) {
+  ConjunctiveMonitor mon(2, slicedOptions(10));
+  EXPECT_EQ(mon.offer(0, {1, 0}), ReportStatus::Accepted);
+  EXPECT_EQ(mon.offer(1, {0, 1}), ReportStatus::Detected);
+  EXPECT_TRUE(mon.detected());
+  EXPECT_FALSE(mon.degraded());
+  EXPECT_EQ(mon.sliceAborts(), 0u);
+}
+
+// After an abort, head stability is unverified; the next scan re-checks
+// every process (full rescan) before Detected may be announced — so a
+// detection the abort deferred is still reachable, and a witness announced
+// after an abort is still genuine.
+TEST(OnlineMonitorSliceTest, DetectionReachableAfterAbortViaFullRescan) {
+  ConjunctiveMonitor mon(2, slicedOptions(3));
+  mon.offer(0, {1, 0});
+  mon.offer(0, {2, 0});
+  mon.offer(0, {3, 0});
+  // p1 saw p0's event 9: all three p0 heads are dead, and popping them one
+  // by one blows the 3-comparison slice mid-cascade.
+  EXPECT_EQ(mon.offer(1, {9, 1}), ReportStatus::Accepted);
+  EXPECT_EQ(mon.sliceAborts(), 1u);
+  EXPECT_TRUE(mon.degraded());
+  EXPECT_FALSE(mon.detected());
+  // The next notification forces the full rescan, which finishes in slice:
+  // the stale p0 head is eliminated and the fresh heads are consistent.
+  EXPECT_EQ(mon.offer(0, {10, 0}), ReportStatus::Detected);
+  ASSERT_TRUE(mon.detected());
+  EXPECT_EQ(mon.witness()[0], (std::vector<int>{10, 0}));
+  EXPECT_EQ(mon.witness()[1], (std::vector<int>{9, 1}));
+}
+
+TEST(OnlineMonitorSliceTest, SnapshotRoundTripsSliceState) {
+  ConjunctiveMonitor mon(2, slicedOptions(3));
+  mon.offer(0, {1, 0});
+  mon.offer(0, {2, 0});
+  mon.offer(0, {3, 0});
+  mon.offer(1, {9, 1});
+  ASSERT_EQ(mon.sliceAborts(), 1u);
+
+  const MonitorSnapshot snap = mon.snapshot();
+  EXPECT_EQ(snap.sliceAborts, 1u);
+  EXPECT_TRUE(snap.pendingFullScan);
+
+  // The restored monitor owes the same full rescan before any detection.
+  ConjunctiveMonitor restored =
+      ConjunctiveMonitor::restore(snap, slicedOptions(3));
+  EXPECT_EQ(restored.sliceAborts(), 1u);
+  EXPECT_TRUE(restored.degraded());
+  EXPECT_EQ(restored.offer(0, {10, 0}), ReportStatus::Detected);
+}
+
+// Equivalence guard on random replays: a sliced monitor may miss or delay a
+// detection (degraded), but whenever it announces one the offline CPDHB
+// verdict agrees — slicing never fabricates.
+TEST(OnlineMonitorSliceTest, SlicedReplayNeverFabricates) {
+  Rng rng(86420);
+  int aborts = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    RandomComputationOptions opt;
+    opt.processes = 3;
+    opt.eventsPerProcess = 4;
+    opt.messageProbability = 0.5;
+    const Computation c = randomComputation(opt, rng);
+    VariableTrace trace(c);
+    defineRandomBools(trace, "x", 0.4, rng);
+    ConjunctivePredicate pred;
+    for (ProcessId p = 0; p < 3; ++p) pred.terms.push_back(varTrue(p, "x"));
+    const VectorClocks clocks(c);
+    const bool offline = detect::detectConjunctive(clocks, trace, pred).found;
+
+    const auto run = graph::randomLinearExtension(c.toDag(), rng);
+    ConjunctiveMonitor mon(3, slicedOptions(1 + rng.index(3)));
+    replayConjunctive(clocks, trace, pred, run, mon);
+    aborts += static_cast<int>(mon.sliceAborts());
+    if (mon.detected()) {
+      EXPECT_TRUE(offline) << "trial " << trial;
+    } else if (!mon.degraded()) {
+      // No abort ever fired: the scan was exact, so silence means "no".
+      EXPECT_FALSE(offline) << "trial " << trial;
+    }
+  }
+  EXPECT_GT(aborts, 0);  // the sweep actually exercised the abort path
+}
+
 }  // namespace
 }  // namespace gpd::monitor

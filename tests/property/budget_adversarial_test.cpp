@@ -1,0 +1,164 @@
+// Adversarial budget stress: Theorem 1 gadgets (SAT reduced to singular
+// 2-CNF detection) are the worst case the paper proves exists — an
+// unsatisfiable instance forces the full exponential enumeration. A tiny
+// wall-clock deadline must turn that into a prompt, honest Unknown:
+//
+//   * the detector returns within a small multiple of the deadline
+//     (cooperative polling, no runaway step), and
+//   * whenever it does answer Yes/No, the answer matches DPLL ground truth
+//     on the same formula — budget pressure never produces a wrong answer.
+//
+// Set GPD_BUDGET_STRESS=1 (the CI budget-stress job does) to widen the
+// sweep.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "control/budget.h"
+#include "detect/detector.h"
+#include "reduction/sat_to_computation.h"
+#include "sat/cnf.h"
+#include "sat/dpll.h"
+#include "sat/nonmonotone.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace gpd::detect {
+namespace {
+
+using reduction::SatGadget;
+using reduction::SimplifiedFormula;
+
+constexpr std::uint64_t kDeadlineMs = 50;
+
+bool stressMode() { return std::getenv("GPD_BUDGET_STRESS") != nullptr; }
+
+// Builds a gadget from a random pure 3-CNF (no unit clauses, so
+// simplifyForGadget cannot shrink it). Returns false when simplification
+// decides the instance outright (no gadget to stress).
+bool makeGadget(int vars, int clauses, Rng& rng, SatGadget& gadget,
+                SimplifiedFormula& simplified) {
+  const sat::Cnf raw = sat::randomKCnf(vars, clauses, 3, rng);
+  simplified = reduction::simplifyForGadget(sat::toNonMonotone(raw).formula);
+  if (simplified.unsatisfiable || simplified.formula.clauses.empty()) {
+    return false;
+  }
+  gadget = reduction::buildSatGadget(simplified.formula);
+  return true;
+}
+
+TEST(BudgetAdversarialTest, DeadlineOnHardGadgetsIsPromptAndNeverWrong) {
+  Rng rng(97531);
+  const int trials = stressMode() ? 40 : 8;
+  int unknowns = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    SatGadget g;
+    SimplifiedFormula s;
+    // Clause ratio ~6 per variable: almost always unsatisfiable, which is
+    // exactly the case that forces the full Π cⱼ enumeration.
+    if (!makeGadget(6, 36, rng, g, s)) continue;
+    const bool truth = sat::solveDpll(s.formula).has_value();
+
+    Detector det(*g.trace);
+    control::BudgetLimits limits;
+    limits.deadlineMillis = kDeadlineMs;
+    control::Budget budget(limits);
+    Stopwatch sw;
+    const Detection d = det.possibly(g.predicate, budget);
+    const double elapsedMs = sw.elapsedMillis();
+
+    EXPECT_LE(elapsedMs, 2.0 * kDeadlineMs)
+        << "trial " << trial << ": detector overran the deadline";
+    switch (d.outcome) {
+      case Outcome::Yes:
+        EXPECT_TRUE(truth) << "trial " << trial;
+        ASSERT_TRUE(d.witness.has_value());
+        EXPECT_TRUE(g.predicate.holdsAtCut(*g.trace, *d.witness));
+        break;
+      case Outcome::No:
+        EXPECT_FALSE(truth) << "trial " << trial;
+        break;
+      case Outcome::Unknown:
+        ++unknowns;
+        EXPECT_EQ(d.stopReason, control::StopReason::Deadline)
+            << "trial " << trial;
+        EXPECT_GT(d.progress.combinationsTried, 0u) << "trial " << trial;
+        break;
+    }
+  }
+  // The sweep is pointless unless the deadline actually bit somewhere.
+  EXPECT_GT(unknowns, 0);
+}
+
+TEST(BudgetAdversarialTest, SmallGadgetsUnderDeadlineMatchDpllWhenDecided) {
+  Rng rng(8642);
+  const int trials = stressMode() ? 120 : 40;
+  int decided = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    SatGadget g;
+    SimplifiedFormula s;
+    if (!makeGadget(4 + static_cast<int>(rng.index(2)),
+                    4 + static_cast<int>(rng.index(5)), rng, g, s)) {
+      continue;
+    }
+    if (s.formula.clauses.size() > 12) continue;  // keep enumeration small
+    const bool truth = sat::solveDpll(s.formula).has_value();
+
+    Detector det(*g.trace);
+    control::BudgetLimits limits;
+    limits.deadlineMillis = kDeadlineMs;
+    control::Budget budget(limits);
+    const Detection d = det.possibly(g.predicate, budget);
+    if (d.outcome == Outcome::Unknown) {
+      EXPECT_NE(d.stopReason, control::StopReason::None) << "trial " << trial;
+      continue;
+    }
+    ++decided;
+    EXPECT_EQ(d.outcome == Outcome::Yes, truth) << "trial " << trial;
+    if (d.outcome == Outcome::Yes) {
+      ASSERT_TRUE(d.witness.has_value());
+      const sat::Assignment a = g.decode(*d.witness, s.formula.numVars);
+      EXPECT_TRUE(sat::satisfies(s.formula, a)) << "trial " << trial;
+    }
+  }
+  // Small instances fit in 50ms: most of the sweep must decide exactly.
+  EXPECT_GT(decided, 5);
+}
+
+TEST(BudgetAdversarialTest, CancelTokenStopsARunawayEnumeration) {
+  // A hard gadget with NO limits except a cancel token fired from another
+  // thread: the enumeration must stop cooperatively instead of running for
+  // the 3^36-ish combinations the instance demands.
+  Rng rng(424242);
+  SatGadget g;
+  SimplifiedFormula s;
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    if (makeGadget(6, 40, rng, g, s) &&
+        !sat::solveDpll(s.formula).has_value()) {
+      break;
+    }
+    ASSERT_LT(attempt, 19) << "no unsatisfiable gadget found";
+  }
+
+  control::CancelToken cancel;
+  control::Budget budget(control::BudgetLimits{}, &cancel);
+  std::thread canceller([&cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    cancel.requestCancel();
+  });
+  Detector det(*g.trace);
+  Stopwatch sw;
+  const Detection d = det.possibly(g.predicate, budget);
+  const double elapsedMs = sw.elapsedMillis();
+  canceller.join();
+
+  EXPECT_EQ(d.outcome, Outcome::Unknown);
+  EXPECT_EQ(d.stopReason, control::StopReason::Cancelled);
+  EXPECT_LT(elapsedMs, 5000.0);  // generous: cancellation, not completion
+}
+
+}  // namespace
+}  // namespace gpd::detect

@@ -83,5 +83,53 @@ TEST(DpllTest, MatchesBruteForceOnRandomFormulas) {
   }
 }
 
+TEST(DpllBudgetTest, NullBudgetIsExactlySolveDpll) {
+  Rng rng(771);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Cnf cnf = randomKCnf(4 + static_cast<int>(rng.index(4)),
+                               1 + static_cast<int>(rng.index(16)), 3, rng);
+    const DpllResult r = solveDpllBudgeted(cnf, nullptr);
+    EXPECT_NE(r.outcome, SatOutcome::Unknown);
+    EXPECT_EQ(r.outcome == SatOutcome::Satisfiable,
+              solveDpll(cnf).has_value())
+        << "trial " << trial;
+    if (r.outcome == SatOutcome::Satisfiable) {
+      ASSERT_TRUE(r.assignment.has_value());
+      EXPECT_TRUE(satisfies(cnf, *r.assignment));
+    }
+  }
+}
+
+TEST(DpllBudgetTest, DecisionBudgetYieldsUnknownNeverUnsat) {
+  // UNSAT never fits a one-decision budget unless propagation alone refutes:
+  // a budget stop must come back Unknown, not a fake Unsatisfiable.
+  Rng rng(772);
+  int unknowns = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const Cnf cnf = randomKCnf(8, 34, 3, rng);  // ratio > 4: mostly UNSAT
+    const bool truth = solveDpll(cnf).has_value();
+    control::BudgetLimits limits;
+    limits.maxCombinations = 1;  // one DPLL decision
+    control::Budget budget(limits);
+    const DpllResult r = solveDpllBudgeted(cnf, &budget);
+    switch (r.outcome) {
+      case SatOutcome::Satisfiable:
+        EXPECT_TRUE(truth) << "trial " << trial;
+        ASSERT_TRUE(r.assignment.has_value());
+        EXPECT_TRUE(satisfies(cnf, *r.assignment));
+        break;
+      case SatOutcome::Unsatisfiable:
+        EXPECT_FALSE(truth) << "trial " << trial;
+        break;
+      case SatOutcome::Unknown:
+        ++unknowns;
+        EXPECT_EQ(budget.reason(), control::StopReason::CombinationLimit);
+        EXPECT_FALSE(r.assignment.has_value());
+        break;
+    }
+  }
+  EXPECT_GT(unknowns, 0);
+}
+
 }  // namespace
 }  // namespace gpd::sat

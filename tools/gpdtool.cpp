@@ -17,9 +17,15 @@
 //       Σ var over all processes, relop K
 //   gpdtool detect <trace> sym <xor|no-majority|no-two-thirds|not-all-equal|
 //                               exactly:<k>> <var>
+//       every detect form accepts an execution budget (--budget-ms D,
+//       --max-cuts N, --max-combinations N): the NP-hard detectors then run
+//       anytime — a witness found in budget is a genuine answer, exhaustion
+//       yields verdict "unknown" with the stop reason and progress counters
+//       (exit code 3), never a wrong yes/no
 //   gpdtool monitor <trace> [--seed N] [--drop P] [--dup P] [--reorder P]
 //                   [--burst P] [--retries K] [--timeout T] [--window W]
 //                   [--queue-limit Q] [--degrade-on-overflow] [--checkpoint F]
+//                   [--max-comparisons-per-report C]
 //                   <p:var | p:!var>...
 //       replays the trace's true events through a seeded faulty transport
 //       into the resilient online checker (monitor/session.h) and reports
@@ -36,13 +42,16 @@
 //       cost planner: classifies the predicate (singularity, k-CNF,
 //       receive-/send-ordered groups, stability/linearity hints) and prints
 //       the ranked algorithm plan with predicted CPDHB invocation counts —
-//       the same report Detector dispatches on
+//       the same report Detector dispatches on; with a budget
+//       (--max-combinations N) each enumeration step is annotated in/over
+//       budget (text output)
 //   gpdtool selftest
 //       end-to-end smoke used by ctest
 //
 // Exit code: 0 = ran fine (for detect: predicate decided either way),
 // 1 = bad input (usage, malformed trace/arguments — gpd::InputError),
-// 2 = internal failure (a library invariant broke — gpd::CheckFailure).
+// 2 = internal failure (a library invariant broke — gpd::CheckFailure),
+// 3 = budget exhausted before an answer (detect verdict "unknown").
 #include <cstring>
 #include <iostream>
 #include <sstream>
@@ -60,16 +69,21 @@ int usage() {
             << "  gpdtool generate <workload> <out.trace> [seed]\n"
             << "  gpdtool inspect <trace>\n"
             << "  gpdtool detect <trace> conj [--definitely] <p:var|p:!var>...\n"
+            << "  gpdtool detect <trace> cnf <lit,lit,...>...\n"
             << "  gpdtool detect <trace> sum <lt|le|gt|ge|eq|ne> <K> <var>\n"
             << "  gpdtool detect <trace> sym <kind> <var>\n"
+            << "      detect also takes --budget-ms D --max-cuts N\n"
+            << "      --max-combinations N (verdict 'unknown' exits 3)\n"
             << "  gpdtool lint <trace> [-f json]\n"
             << "  gpdtool plan <trace> [--definitely] [-f json]\n"
+            << "          [--budget-ms D] [--max-cuts N] [--max-combinations N]\n"
             << "          (conj <p:var|p:!var>... | cnf <lit,lit,...>... |\n"
             << "           sum <relop> <K> <var> | sym <kind> <var>)\n"
             << "  gpdtool monitor <trace> [--seed N] [--drop P] [--dup P]\n"
             << "                  [--reorder P] [--burst P] [--retries K]\n"
             << "                  [--timeout T] [--window W] [--queue-limit Q]\n"
             << "                  [--degrade-on-overflow] [--checkpoint F]\n"
+            << "                  [--max-comparisons-per-report C]\n"
             << "                  <p:var|p:!var>...\n"
             << "  gpdtool selftest\n";
   return 1;
@@ -221,6 +235,82 @@ int inspect(const std::string& path) {
   return 0;
 }
 
+// Execution-budget flags shared by the detect and plan subcommands.
+// Stripped out of `args`; all-zero means "run unbudgeted" (legacy paths and
+// legacy output stay byte-identical).
+struct BudgetFlags {
+  std::uint64_t budgetMs = 0;
+  std::uint64_t maxCuts = 0;
+  std::uint64_t maxCombinations = 0;
+
+  bool any() const {
+    return budgetMs != 0 || maxCuts != 0 || maxCombinations != 0;
+  }
+
+  control::BudgetLimits limits() const {
+    control::BudgetLimits lim;
+    lim.deadlineMillis = budgetMs;
+    lim.maxCuts = maxCuts;
+    lim.maxCombinations = maxCombinations;
+    return lim;
+  }
+};
+
+BudgetFlags extractBudgetFlags(std::vector<std::string>& args) {
+  BudgetFlags flags;
+  std::vector<std::string> rest;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const auto value = [&](const char* what) {
+      GPD_INPUT_CHECK(i + 1 < args.size(), args[i] << " needs a value ("
+                                                   << what << ")");
+      const long long v = parseInt(args[++i], what);
+      GPD_INPUT_CHECK(v >= 1, what << " must be >= 1");
+      return static_cast<std::uint64_t>(v);
+    };
+    if (args[i] == "--budget-ms") {
+      flags.budgetMs = value("budget milliseconds");
+    } else if (args[i] == "--max-cuts") {
+      flags.maxCuts = value("cut limit");
+    } else if (args[i] == "--max-combinations") {
+      flags.maxCombinations = value("combination limit");
+    } else {
+      rest.push_back(args[i]);
+    }
+  }
+  args = std::move(rest);
+  return flags;
+}
+
+// Prints a three-valued budgeted verdict; exit 0 when answered, 3 on
+// Unknown (the budget ran out first).
+int reportDetection(const std::string& label, const detect::Detection& det) {
+  std::cout << label << ": ";
+  switch (det.outcome) {
+    case detect::Outcome::Yes:
+      if (det.witness.has_value()) {
+        std::cout << "witness cut " << det.witness->toString();
+      } else {
+        std::cout << "holds";
+      }
+      break;
+    case detect::Outcome::No:
+      std::cout << "unsatisfied";
+      break;
+    case detect::Outcome::Unknown:
+      std::cout << "unknown (budget exhausted: "
+                << control::toString(det.stopReason) << ")";
+      break;
+  }
+  std::cout << "  [" << det.algorithm << "]\n";
+  std::cout << "  progress: " << det.progress.cutsVisited << " cuts, "
+            << det.progress.combinationsTried << " combinations, peak frontier "
+            << det.progress.peakFrontierBytes << " bytes\n";
+  for (const std::string& skipped : det.skippedSteps) {
+    std::cout << "  skipped: " << skipped << '\n';
+  }
+  return det.outcome == detect::Outcome::Unknown ? 3 : 0;
+}
+
 // Parses "p:var" / "p:!var" terms into a conjunctive predicate, validating
 // process ranges and variable existence against the loaded trace.
 ConjunctivePredicate parseConjunctive(const io::TraceFile& file,
@@ -247,7 +337,8 @@ ConjunctivePredicate parseConjunctive(const io::TraceFile& file,
   return pred;
 }
 
-int detectConj(const io::TraceFile& file, std::vector<std::string> args) {
+int detectConj(const io::TraceFile& file, std::vector<std::string> args,
+               const BudgetFlags& budgetFlags) {
   bool definitely = false;
   if (!args.empty() && args[0] == "--definitely") {
     definitely = true;
@@ -256,6 +347,13 @@ int detectConj(const io::TraceFile& file, std::vector<std::string> args) {
   if (args.empty()) return usage();
   const ConjunctivePredicate pred = parseConjunctive(file, args);
   detect::Detector detector(*file.trace);
+  if (budgetFlags.any()) {
+    control::Budget budget(budgetFlags.limits());
+    const detect::Detection det = definitely ? detector.definitely(pred, budget)
+                                             : detector.possibly(pred, budget);
+    return reportDetection(definitely ? "definitely(conj)" : "possibly(conj)",
+                           det);
+  }
   if (definitely) {
     const bool holds = detector.definitely(pred);
     std::cout << "definitely(conj): " << (holds ? "holds" : "does not hold")
@@ -313,12 +411,17 @@ CnfPredicate parseCnfPredicate(const std::vector<std::string>& args) {
   return pred;
 }
 
-int detectCnf(const io::TraceFile& file, const std::vector<std::string>& args) {
+int detectCnf(const io::TraceFile& file, const std::vector<std::string>& args,
+              const BudgetFlags& budgetFlags) {
   if (args.empty()) return usage();
   const CnfPredicate pred = parseCnfPredicate(args);
   detect::Detector detector(*file.trace);
   std::cout << "predicate: " << pred.toString()
             << (pred.isSingular() ? " (singular)" : " (not singular)") << '\n';
+  if (budgetFlags.any()) {
+    control::Budget budget(budgetFlags.limits());
+    return reportDetection("possibly", detector.possibly(pred, budget));
+  }
   if (const auto cut = detector.possibly(pred)) {
     std::cout << "possibly: witness cut " << cut->toString() << "  ["
               << detector.lastAlgorithm() << "]\n";
@@ -355,10 +458,16 @@ SumPredicate parseSumPredicate(const io::TraceFile& file,
   return pred;
 }
 
-int detectSum(const io::TraceFile& file, const std::vector<std::string>& args) {
+int detectSum(const io::TraceFile& file, const std::vector<std::string>& args,
+              const BudgetFlags& budgetFlags) {
   if (args.size() != 3) return usage();
   const SumPredicate pred = parseSumPredicate(file, args);
   detect::Detector detector(*file.trace);
+  if (budgetFlags.any()) {
+    control::Budget budget(budgetFlags.limits());
+    return reportDetection("possibly(" + pred.toString() + ")",
+                           detector.possibly(pred, budget));
+  }
   if (const auto cut = detector.possibly(pred)) {
     std::cout << "possibly(" << pred.toString() << "): witness cut "
               << cut->toString() << "  [" << detector.lastAlgorithm() << "]\n";
@@ -390,10 +499,16 @@ SymmetricPredicate parseSymmetricPredicate(
                    "no-majority|no-two-thirds|not-all-equal|exactly:<k>)");
 }
 
-int detectSym(const io::TraceFile& file, const std::vector<std::string>& args) {
+int detectSym(const io::TraceFile& file, const std::vector<std::string>& args,
+              const BudgetFlags& budgetFlags) {
   if (args.size() != 2) return usage();
   const SymmetricPredicate pred = parseSymmetricPredicate(file, args);
   detect::Detector detector(*file.trace);
+  if (budgetFlags.any()) {
+    control::Budget budget(budgetFlags.limits());
+    return reportDetection("possibly(" + pred.name + ")",
+                           detector.possibly(pred, budget));
+  }
   if (const auto cut = detector.possibly(pred)) {
     std::cout << "possibly(" << pred.name << "): witness cut "
               << cut->toString() << '\n';
@@ -447,6 +562,7 @@ int lintCmd(std::vector<std::string> args) {
 }
 
 int planCmd(std::vector<std::string> args) {
+  const BudgetFlags budget = extractBudgetFlags(args);
   const OutputFlags flags = extractFlags(args);
   if (args.size() < 2) return usage();
   const io::TraceFile file = io::loadTrace(args[0]);
@@ -482,6 +598,30 @@ int planCmd(std::vector<std::string> args) {
     analyze::renderPlanJson(std::cout, report);
   } else {
     analyze::renderPlanText(std::cout, report);
+    if (budget.any()) {
+      // Budget annotation: which enumeration steps would the budgeted
+      // detector run vs skip as over budget (the degradation walk's view).
+      const std::uint64_t headroom =
+          budget.maxCombinations == 0 ? UINT64_MAX : budget.maxCombinations;
+      std::cout << "budget:";
+      if (budget.budgetMs != 0) std::cout << " deadline " << budget.budgetMs << "ms";
+      if (budget.maxCuts != 0) std::cout << " max-cuts " << budget.maxCuts;
+      if (budget.maxCombinations != 0) {
+        std::cout << " max-combinations " << budget.maxCombinations;
+      }
+      std::cout << '\n';
+      for (const analyze::PlanStep& step : report.steps) {
+        if (!step.applicable || !step.predictedCpdhbInvocations.has_value()) {
+          continue;
+        }
+        const bool fits = *step.predictedCpdhbInvocations <= headroom;
+        std::cout << "  " << analyze::toString(step.algorithm) << ": predicted "
+                  << *step.predictedCpdhbInvocations << " combinations — "
+                  << (fits ? "in budget"
+                           : "over budget (skipped; bounded Yes-prover only)")
+                  << '\n';
+      }
+    }
   }
   return 0;
 }
@@ -527,6 +667,10 @@ int monitorCmd(const std::string& path, const std::vector<std::string>& args) {
       const long long v = parseInt(flagValue("size"), "queue limit");
       GPD_INPUT_CHECK(v >= 0, "--queue-limit must be >= 0");
       sopt.monitor.maxQueuePerProcess = static_cast<std::size_t>(v);
+    } else if (a == "--max-comparisons-per-report") {
+      const long long v = parseInt(flagValue("comparisons"), "slice");
+      GPD_INPUT_CHECK(v >= 1, "--max-comparisons-per-report must be >= 1");
+      sopt.monitor.maxComparisonsPerReport = static_cast<std::uint64_t>(v);
     } else if (a == "--degrade-on-overflow") {
       sopt.monitor.overflowPolicy = monitor::OverflowPolicy::Degrade;
     } else if (a == "--checkpoint") {
@@ -571,6 +715,11 @@ int monitorCmd(const std::string& path, const std::vector<std::string>& args) {
             << res.retransmissions << " retransmissions, "
             << session.stats().gapsRecovered << " gaps recovered\n";
   std::cout << "degraded streams: " << res.degradedStreams << '\n';
+  if (sopt.monitor.maxComparisonsPerReport != 0) {
+    std::cout << "slice aborts:     " << session.monitor().sliceAborts()
+              << " (per-report limit "
+              << sopt.monitor.maxComparisonsPerReport << " comparisons)\n";
+  }
   for (ProcessId p = 0; p < comp.processCount(); ++p) {
     std::cout << "  p" << p << ": " << monitor::toString(session.health(p))
               << '\n';
@@ -634,6 +783,36 @@ int selftest() {
     std::cerr << "selftest: plan subcommand failed\n";
     return 2;
   }
+  // Budgeted anytime detection: a generous budget must reproduce the exact
+  // verdict; a one-cut budget on a lattice-bound (non-singular) predicate
+  // must concede unknown (exit 3), never a wrong yes/no.
+  {
+    ConjunctivePredicate overlap{{varCompare(2, "cs", Relop::GreaterEq, 1),
+                                  varCompare(0, "cs", Relop::GreaterEq, 1)}};
+    control::BudgetLimits generousLimits;
+    generousLimits.deadlineMillis = 60000;
+    control::Budget generous(generousLimits);
+    const detect::Detection det = detector.possibly(overlap, generous);
+    const bool unbudgeted = detector.possibly(overlap).has_value();
+    if ((det.outcome == detect::Outcome::Yes) != unbudgeted ||
+        det.outcome == detect::Outcome::Unknown) {
+      std::cerr << "selftest: generous budget changed the verdict\n";
+      return 2;
+    }
+    CnfPredicate shared;  // both clauses host p0: not singular → lattice
+    shared.clauses.push_back({BoolLiteral{0, "cs", true},
+                              BoolLiteral{1, "cs", true}});
+    shared.clauses.push_back({BoolLiteral{0, "cs", true}});
+    control::BudgetLimits tinyLimits;
+    tinyLimits.maxCuts = 1;
+    control::Budget tiny(tinyLimits);
+    const detect::Detection starved = detector.possibly(shared, tiny);
+    if (starved.outcome != detect::Outcome::Unknown ||
+        starved.stopReason != control::StopReason::CutLimit) {
+      std::cerr << "selftest: one-cut budget did not concede unknown\n";
+      return 2;
+    }
+  }
   std::cout << "selftest: OK\n";
   return 0;
 }
@@ -672,11 +851,12 @@ int main(int argc, char** argv) {
     if (cmd == "detect") {
       if (args.size() < 3) return usage();
       const io::TraceFile file = io::loadTrace(args[1]);
-      const std::vector<std::string> rest(args.begin() + 3, args.end());
-      if (args[2] == "conj") return detectConj(file, rest);
-      if (args[2] == "cnf") return detectCnf(file, rest);
-      if (args[2] == "sum") return detectSum(file, rest);
-      if (args[2] == "sym") return detectSym(file, rest);
+      std::vector<std::string> rest(args.begin() + 3, args.end());
+      const BudgetFlags budget = extractBudgetFlags(rest);
+      if (args[2] == "conj") return detectConj(file, rest, budget);
+      if (args[2] == "cnf") return detectCnf(file, rest, budget);
+      if (args[2] == "sum") return detectSum(file, rest, budget);
+      if (args[2] == "sym") return detectSym(file, rest, budget);
       return usage();
     }
     return usage();
