@@ -31,8 +31,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cstdint>
+
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
 
 namespace gpd::control {
 
@@ -104,18 +106,20 @@ struct BudgetProgress {
 // immediately and reason() reports the first cause.
 class Budget {
  public:
-  using Clock = std::chrono::steady_clock;
-
   // Unlimited budget: charges never fail, progress is still counted.
   Budget() = default;
 
+  // The deadline is anchored on steadyNowNanos() (util/stopwatch.h) — the
+  // same steady clock the obs tracer and the benches read, so "now" means
+  // one thing everywhere. Each genuine clock read (here and in the
+  // amortized polls) bumps the budget_clock_reads counter.
   explicit Budget(const BudgetLimits& limits, const CancelToken* cancel = nullptr)
-      : limits_(limits),
-        cancel_(cancel),
-        deadline_(limits.deadlineMillis == 0
-                      ? Clock::time_point::max()
-                      : Clock::now() +
-                            std::chrono::milliseconds(limits.deadlineMillis)) {}
+      : limits_(limits), cancel_(cancel) {
+    if (limits.deadlineMillis != 0) {
+      GPD_OBS_COUNTER_ADD("budget_clock_reads", 1);
+      deadlineNs_ = steadyNowNanos() + limits.deadlineMillis * 1000000ull;
+    }
+  }
 
   const BudgetLimits& limits() const { return limits_; }
   const BudgetProgress& progress() const { return progress_; }
@@ -216,7 +220,9 @@ class Budget {
   }
 
   bool checkDeadline() {
-    if (deadline_ != Clock::time_point::max() && Clock::now() >= deadline_) {
+    if (deadlineNs_ == UINT64_MAX) return true;
+    GPD_OBS_COUNTER_ADD("budget_clock_reads", 1);
+    if (steadyNowNanos() >= deadlineNs_) {
       return fail(StopReason::Deadline);
     }
     return true;
@@ -224,7 +230,7 @@ class Budget {
 
   BudgetLimits limits_;
   const CancelToken* cancel_ = nullptr;
-  Clock::time_point deadline_ = Clock::time_point::max();
+  std::uint64_t deadlineNs_ = UINT64_MAX;  // UINT64_MAX = no deadline
   BudgetProgress progress_;
   StopReason reason_ = StopReason::None;
   std::uint32_t pollCounter_ = 0;

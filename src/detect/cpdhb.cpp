@@ -2,12 +2,27 @@
 
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace gpd::detect {
 
-ConjunctiveResult findConsistentSelection(const VectorClocks& clocks,
-                                          const std::vector<Chain>& chains) {
+namespace {
+
+// One CPDHB scan finished (hit or miss). Counters are bumped once per scan
+// with the totals the scan already tracked, so the pairwise-elimination
+// loop itself carries no instrumentation.
+void recordScan(const ConjunctiveResult& result) {
+  (void)result;
+  GPD_OBS_COUNTER_ADD("cpdhb_invocations", 1);
+  GPD_OBS_COUNTER_ADD("cpdhb_comparisons", result.comparisons);
+}
+
+// The actual pairwise-elimination scan; the public wrapper below records
+// metrics on whichever exit path is taken.
+ConjunctiveResult findConsistentSelectionImpl(const VectorClocks& clocks,
+                                              const std::vector<Chain>& chains) {
   ConjunctiveResult result;
   const int n = static_cast<int>(chains.size());
   if (n == 0) {
@@ -82,9 +97,20 @@ ConjunctiveResult findConsistentSelection(const VectorClocks& clocks,
   return result;
 }
 
+}  // namespace
+
+ConjunctiveResult findConsistentSelection(const VectorClocks& clocks,
+                                          const std::vector<Chain>& chains) {
+  ConjunctiveResult result = findConsistentSelectionImpl(clocks, chains);
+  recordScan(result);
+  return result;
+}
+
 ConjunctiveResult detectConjunctive(const VectorClocks& clocks,
                                     const VariableTrace& trace,
                                     const ConjunctivePredicate& pred) {
+  GPD_TRACE_SPAN_NAMED(span, "detect.cpdhb");
+  span.attrInt("terms", static_cast<std::int64_t>(pred.terms.size()));
   std::set<ProcessId> procs;
   for (const LocalPredicate& t : pred.terms) {
     GPD_CHECK_MSG(procs.insert(t.process).second,

@@ -4,6 +4,7 @@
 
 #include "computation/reverse.h"
 #include "detect/singular_cnf.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace gpd::detect {
@@ -101,6 +102,7 @@ bool isSendOrdered(const VectorClocks& clocks, const Groups& groups) {
 CpdscResult scanReceiveOrdered(
     const VectorClocks& clocks, const Groups& groups,
     const std::vector<std::vector<EventId>>& trueEvents) {
+  GPD_TRACE_SPAN("detect.cpdsc.receive_ordered");
   CpdscResult result;
   GPD_CHECK(groups.size() == trueEvents.size());
   if (!isReceiveOrdered(clocks, groups)) return result;  // NotApplicable
@@ -168,6 +170,7 @@ CpdscResult scanReceiveOrdered(
 CpdscResult scanSendOrdered(
     const VectorClocks& clocks, const Groups& groups,
     const std::vector<std::vector<EventId>>& trueEvents) {
+  GPD_TRACE_SPAN("detect.cpdsc.send_ordered");
   CpdscResult result;
   if (!isSendOrdered(clocks, groups)) return result;  // NotApplicable
 
@@ -210,6 +213,8 @@ CpdscResult scanSendOrdered(
 CpdscResult detectSingularSpecialCase(const VectorClocks& clocks,
                                       const VariableTrace& trace,
                                       const CnfPredicate& pred) {
+  GPD_TRACE_SPAN_NAMED(span, "detect.cpdsc");
+  span.attrInt("clauses", static_cast<std::int64_t>(pred.clauses.size()));
   const Groups groups = groupsOfSingularCnf(pred);
   const auto trueEvents = clauseTrueEvents(trace, pred);
   CpdscResult result = scanReceiveOrdered(clocks, groups, trueEvents);

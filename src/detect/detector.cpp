@@ -4,7 +4,10 @@
 #include <utility>
 
 #include "lattice/explore.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
+#include "util/stopwatch.h"
 
 namespace gpd::detect {
 
@@ -51,6 +54,65 @@ StepRun exactDefinitely(bool holds) {
   return exactRun(holds ? Outcome::Yes : Outcome::No);
 }
 
+// Feeds the planner-accuracy metrics once a predicted enumeration step has
+// actually run: predicted vs observed CPDHB invocations, plus their
+// absolute error in the plan_vs_actual histogram.
+void recordPlanVsActual(const analyze::PlanStep& step, std::uint64_t actual) {
+  if (!step.predictedCpdhbInvocations.has_value()) return;
+  const std::uint64_t predicted = *step.predictedCpdhbInvocations;
+  (void)predicted;
+  (void)actual;
+  GPD_OBS_COUNTER_ADD("plan_predicted_combinations", predicted);
+  GPD_OBS_COUNTER_ADD("plan_actual_combinations", actual);
+  GPD_OBS_HISTOGRAM("plan_vs_actual", predicted > actual ? predicted - actual
+                                                         : actual - predicted);
+}
+
+// Runs one plan step under a span/stopwatch and appends its StepTrace.
+// `combinationsBefore` lets the plan-accuracy metrics attribute only this
+// step's CPDHB invocations.
+template <typename RunStep>
+StepRun runTimedStep(const analyze::PlanStep& step, const RunStep& runStep,
+                     control::Budget& budget, Detection& det) {
+  const char* name = analyze::toString(step.algorithm);
+  const std::uint64_t combinationsBefore = budget.progress().combinationsTried;
+  StepRun run;
+  std::uint64_t durationNs = 0;
+  {
+    GPD_TRACE_SPAN_NAMED(span, "plan.step");
+    span.attrStr("algorithm", name);
+    Stopwatch watch;
+    run = runStep(step);
+    durationNs = watch.elapsedNanos();
+    span.attrStr("ran", run.ran ? "yes" : "no");
+  }
+  if (!run.ran) return run;
+  GPD_OBS_COUNTER_ADD("plan_steps_run", 1);
+  recordPlanVsActual(step,
+                     budget.progress().combinationsTried - combinationsBefore);
+  StepTrace trace;
+  trace.algorithm = name;
+  trace.status = StepTrace::Status::Ran;
+  trace.durationNanos = durationNs;
+  trace.complete = run.complete;
+  det.steps.push_back(std::move(trace));
+  return run;
+}
+
+// Remembers a skipped plan step in both the legacy string list and the
+// structured trace, and counts it.
+void noteSkippedStep(Detection& det, const analyze::PlanStep& step,
+                     StepTrace::Status status, std::string reason) {
+  const char* name = analyze::toString(step.algorithm);
+  det.skippedSteps.push_back(std::string(name) + ": " + reason);
+  StepTrace trace;
+  trace.algorithm = name;
+  trace.status = status;
+  trace.reason = std::move(reason);
+  det.steps.push_back(std::move(trace));
+  GPD_OBS_COUNTER_ADD("plan_steps_skipped", 1);
+}
+
 // The graceful-degradation walk shared by every budgeted entry point.
 // Visits the ranked applicable steps; a step whose planner-predicted CPDHB
 // invocation count exceeds the remaining combination budget is skipped (and
@@ -62,6 +124,8 @@ template <typename RunStep>
 Detection walkPlan(const analyze::AnalysisReport& report,
                    control::Budget& budget, std::string& lastAlgorithm,
                    const RunStep& runStep) {
+  GPD_TRACE_SPAN("detect.query");
+  GPD_OBS_COUNTER_ADD("detector_queries", 1);
   Detection det;
   const analyze::PlanStep* firstSkipped = nullptr;
   bool costSkipped = false;
@@ -71,10 +135,10 @@ Detection walkPlan(const analyze::AnalysisReport& report,
     const char* name = analyze::toString(step.algorithm);
     if (step.predictedCpdhbInvocations.has_value() &&
         *step.predictedCpdhbInvocations > budget.remainingCombinations()) {
-      det.skippedSteps.push_back(
-          std::string(name) + ": predicted " +
-          std::to_string(*step.predictedCpdhbInvocations) +
-          " combinations exceed the remaining budget");
+      noteSkippedStep(det, step, StepTrace::Status::SkippedCost,
+                      "predicted " +
+                          std::to_string(*step.predictedCpdhbInvocations) +
+                          " combinations exceed the remaining budget");
       if (firstSkipped == nullptr) firstSkipped = &step;
       costSkipped = true;
       continue;
@@ -83,13 +147,12 @@ Detection walkPlan(const analyze::AnalysisReport& report,
         step.algorithm == analyze::Algorithm::LatticeEnumeration ||
         step.algorithm == analyze::Algorithm::LatticeDefinitely;
     if (costSkipped && exhaustiveLattice && !budget.canBoundExploration()) {
-      det.skippedSteps.push_back(
-          std::string(name) +
-          ": exhaustive fallback the budget cannot stop, after a cheaper "
-          "step was skipped as over budget");
+      noteSkippedStep(det, step, StepTrace::Status::SkippedUnbounded,
+                      "exhaustive fallback the budget cannot stop, after a "
+                      "cheaper step was skipped as over budget");
       continue;
     }
-    StepRun run = runStep(step);
+    StepRun run = runTimedStep(step, runStep, budget, det);
     if (!run.ran) continue;
     lastAlgorithm = name;
     det.algorithm = name;
@@ -104,7 +167,7 @@ Detection walkPlan(const analyze::AnalysisReport& report,
   if (firstSkipped != nullptr && !budget.exhausted()) {
     // Bounded Yes-prover: scan as many selections as the budget allows; a
     // witness is a genuine Yes even though the full enumeration was skipped.
-    StepRun run = runStep(*firstSkipped);
+    StepRun run = runTimedStep(*firstSkipped, runStep, budget, det);
     if (run.ran) {
       const char* name = analyze::toString(firstSkipped->algorithm);
       lastAlgorithm = name;
@@ -126,6 +189,7 @@ Detection walkPlan(const analyze::AnalysisReport& report,
 }  // namespace
 
 analyze::Algorithm Detector::route(analyze::AnalysisReport report) {
+  GPD_OBS_COUNTER_ADD("detector_queries", 1);
   report_ = std::move(report);
   const analyze::Algorithm chosen = report_.chosen().algorithm;
   lastAlgorithm_ = analyze::toString(chosen);
@@ -133,6 +197,7 @@ analyze::Algorithm Detector::route(analyze::AnalysisReport report) {
 }
 
 std::optional<Cut> Detector::possibly(const ConjunctivePredicate& pred) {
+  GPD_TRACE_SPAN("detect.query");
   const analyze::Algorithm algo = route(analyze::planConjunctive(
       clocks_, *trace_, pred, analyze::Modality::Possibly));
   GPD_CHECK(algo == analyze::Algorithm::Cpdhb);
@@ -142,6 +207,7 @@ std::optional<Cut> Detector::possibly(const ConjunctivePredicate& pred) {
 }
 
 std::optional<Cut> Detector::possibly(const CnfPredicate& pred) {
+  GPD_TRACE_SPAN("detect.query");
   const analyze::Algorithm algo = route(analyze::planCnf(
       clocks_, *trace_, pred, analyze::Modality::Possibly, routingOptions()));
   switch (algo) {
@@ -157,6 +223,9 @@ std::optional<Cut> Detector::possibly(const CnfPredicate& pred) {
     case analyze::Algorithm::SingularChainCover: {
       const SingularCnfResult res =
           detectSingularByChainCover(clocks_, *trace_, pred);
+      // Unbudgeted enumerations feed planner accuracy too: the chosen step
+      // carries the Π cⱼ prediction this run just realized.
+      recordPlanVsActual(report_.chosen(), res.combinationsTried);
       if (res.found) return res.cut;
       return std::nullopt;
     }
@@ -169,6 +238,7 @@ std::optional<Cut> Detector::possibly(const CnfPredicate& pred) {
 }
 
 std::optional<Cut> Detector::possibly(const SumPredicate& pred) {
+  GPD_TRACE_SPAN("detect.query");
   const analyze::Algorithm algo = route(
       analyze::planSum(clocks_, *trace_, pred, analyze::Modality::Possibly));
   if (algo == analyze::Algorithm::LatticeEnumeration) {
@@ -180,6 +250,7 @@ std::optional<Cut> Detector::possibly(const SumPredicate& pred) {
 }
 
 std::optional<Cut> Detector::possibly(const SymmetricPredicate& pred) {
+  GPD_TRACE_SPAN("detect.query");
   const analyze::Algorithm algo = route(analyze::planSymmetric(
       clocks_, *trace_, pred, analyze::Modality::Possibly));
   GPD_CHECK(algo == analyze::Algorithm::SymmetricExactSumDisjunction);
@@ -187,6 +258,7 @@ std::optional<Cut> Detector::possibly(const SymmetricPredicate& pred) {
 }
 
 std::optional<Cut> Detector::possibly(const BoolExpr& expr) {
+  GPD_TRACE_SPAN("detect.query");
   const analyze::Algorithm algo = route(analyze::planExpression(
       clocks_, *trace_, expr, analyze::Modality::Possibly));
   GPD_CHECK(algo == analyze::Algorithm::DnfDecomposition);
@@ -194,6 +266,7 @@ std::optional<Cut> Detector::possibly(const BoolExpr& expr) {
 }
 
 bool Detector::definitely(const ConjunctivePredicate& pred) {
+  GPD_TRACE_SPAN("detect.query");
   const analyze::Algorithm algo = route(analyze::planConjunctive(
       clocks_, *trace_, pred, analyze::Modality::Definitely));
   GPD_CHECK(algo == analyze::Algorithm::IntervalDefinitely);
@@ -201,6 +274,7 @@ bool Detector::definitely(const ConjunctivePredicate& pred) {
 }
 
 bool Detector::definitely(const CnfPredicate& pred) {
+  GPD_TRACE_SPAN("detect.query");
   const analyze::Algorithm algo = route(analyze::planCnf(
       clocks_, *trace_, pred, analyze::Modality::Definitely, routingOptions()));
   GPD_CHECK(algo == analyze::Algorithm::LatticeDefinitely);
@@ -210,6 +284,7 @@ bool Detector::definitely(const CnfPredicate& pred) {
 }
 
 bool Detector::definitely(const SumPredicate& pred) {
+  GPD_TRACE_SPAN("detect.query");
   const analyze::Algorithm algo = route(
       analyze::planSum(clocks_, *trace_, pred, analyze::Modality::Definitely));
   if (algo == analyze::Algorithm::LatticeDefinitely &&
@@ -226,6 +301,7 @@ bool Detector::definitely(const SumPredicate& pred) {
 }
 
 bool Detector::definitely(const SymmetricPredicate& pred) {
+  GPD_TRACE_SPAN("detect.query");
   const analyze::Algorithm algo = route(analyze::planSymmetric(
       clocks_, *trace_, pred, analyze::Modality::Definitely));
   GPD_CHECK(algo == analyze::Algorithm::LatticeDefinitely);

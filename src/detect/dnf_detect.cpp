@@ -3,6 +3,8 @@
 #include <map>
 
 #include "detect/cpdhb.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace gpd::detect {
@@ -10,14 +12,23 @@ namespace gpd::detect {
 DnfResult possiblyExpression(const VectorClocks& clocks,
                              const VariableTrace& trace, const BoolExpr& expr,
                              control::Budget* budget) {
+  GPD_TRACE_SPAN_NAMED(span, "detect.dnf");
   DnfResult result;
   const std::vector<DnfTerm> terms = toDnf(expr);
   result.termsTotal = terms.size();
   const Computation& comp = clocks.computation();
+  // Span attrs and the per-run counter are published whichever way the
+  // term loop ends; the RAII finisher also covers the budget unwind.
+  const auto finish = [&]() {
+    span.attrInt("terms_tried", static_cast<std::int64_t>(result.termsTried));
+    span.attrInt("terms_total", static_cast<std::int64_t>(result.termsTotal));
+    GPD_OBS_COUNTER_ADD("dnf_terms_tried", result.termsTried);
+  };
 
   for (const DnfTerm& term : terms) {
     if (budget != nullptr && !budget->chargeCombination()) {
       result.complete = false;  // untried terms remain
+      finish();
       return result;
     }
     ++result.termsTried;
@@ -46,9 +57,11 @@ DnfResult possiblyExpression(const VectorClocks& clocks,
     const ConjunctiveResult sub = findConsistentSelection(clocks, chains);
     if (sub.found) {
       result.cut = sub.cut;
+      finish();
       return result;
     }
   }
+  finish();
   return result;
 }
 

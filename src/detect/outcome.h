@@ -9,6 +9,7 @@
 // plan steps were skipped as over-budget.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -32,6 +33,35 @@ inline const char* toString(Outcome o) {
   return "unknown";
 }
 
+// One plan step as the degradation walk saw it: either it ran (with wall
+// time measured on the library's steady clock) or it was skipped, with the
+// reason recorded.
+struct StepTrace {
+  enum class Status : std::uint8_t {
+    Ran,               // the step executed (completely or until the budget)
+    SkippedCost,       // predicted combinations exceeded the remaining budget
+    SkippedUnbounded,  // exhaustive fallback the budget could not stop
+  };
+
+  std::string algorithm;
+  Status status = Status::Ran;
+  std::string reason;               // why skipped; empty when the step ran
+  std::uint64_t durationNanos = 0;  // wall time inside the step; 0 if skipped
+  bool complete = false;            // the step produced an exact answer
+};
+
+inline const char* toString(StepTrace::Status s) {
+  switch (s) {
+    case StepTrace::Status::Ran:
+      return "ran";
+    case StepTrace::Status::SkippedCost:
+      return "skipped-cost";
+    case StepTrace::Status::SkippedUnbounded:
+      return "skipped-unbounded";
+  }
+  return "?";
+}
+
 struct Detection {
   Outcome outcome = Outcome::Unknown;
   // Witness cut for possibly-Yes (definitely never produces one).
@@ -46,6 +76,10 @@ struct Detection {
   // Plan steps the degradation walk skipped, with the reason each was
   // skipped (predicted cost over budget / unbounded exhaustive step).
   std::vector<std::string> skippedSteps;
+  // Every plan step the walk considered, in visit order — ran and skipped
+  // alike, with per-step wall time for the former. The Yes-prover rerun of
+  // a cost-skipped enumeration appears as a second entry for its algorithm.
+  std::vector<StepTrace> steps;
 };
 
 }  // namespace gpd::detect

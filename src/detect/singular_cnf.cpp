@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "graph/chains.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace gpd::detect {
@@ -12,9 +14,25 @@ namespace {
 // Runs the CPDHB scan over every selection of one chain per group, stopping
 // at the first hit or when the budget trips. `options[j]` lists group j's
 // candidate chains.
+// Annotates the enumeration span and publishes per-run totals once the
+// odometer stops, on every exit path (hit, exhausted, budget trip).
+// Templated so it accepts the NullSpan stand-in under GPD_OBS_DISABLED.
+template <typename SpanT>
+void recordEnumeration(SpanT& span, const SingularCnfResult& result) {
+  (void)result;
+  span.attrInt("tried", static_cast<std::int64_t>(result.combinationsTried));
+  span.attrInt("total", static_cast<std::int64_t>(result.combinationsTotal));
+  span.attrStr("outcome", result.found      ? "found"
+                          : result.complete ? "exhausted"
+                                            : "budget-stopped");
+  GPD_OBS_COUNTER_ADD("cpdhb_combinations", result.combinationsTried);
+  GPD_OBS_HISTOGRAM("enumeration_combinations", result.combinationsTried);
+}
+
 SingularCnfResult enumerateSelections(
     const VectorClocks& clocks,
     const std::vector<std::vector<Chain>>& options, control::Budget* budget) {
+  GPD_TRACE_SPAN_NAMED(span, "detect.singular_enumeration");
   SingularCnfResult result;
   // The space size is Π |options[j]|, which overflows uint64 already at
   // 64 two-chain groups; saturate instead of wrapping (a wrap to zero would
@@ -23,6 +41,7 @@ SingularCnfResult enumerateSelections(
   for (const auto& opts : options) {
     if (opts.empty()) {
       result.combinationsTotal = 0;
+      recordEnumeration(span, result);
       return result;  // some clause never true: exact No
     }
     if (result.combinationsTotal > UINT64_MAX / opts.size()) {
@@ -38,6 +57,7 @@ SingularCnfResult enumerateSelections(
   while (true) {
     if (budget != nullptr && !budget->chargeCombination()) {
       result.complete = false;  // untried selections remain
+      recordEnumeration(span, result);
       return result;
     }
     for (int j = 0; j < m; ++j) chains[j] = options[j][pick[j]];
@@ -48,6 +68,7 @@ SingularCnfResult enumerateSelections(
       result.found = true;
       result.cut = sub.cut;
       result.witness = std::move(sub.witness);
+      recordEnumeration(span, result);
       return result;
     }
     // Advance the odometer.
@@ -56,7 +77,10 @@ SingularCnfResult enumerateSelections(
       pick[j] = 0;
       ++j;
     }
-    if (j == m) return result;
+    if (j == m) {
+      recordEnumeration(span, result);
+      return result;
+    }
   }
 }
 
@@ -85,6 +109,8 @@ SingularCnfResult detectSingularByProcessEnumeration(
     const VectorClocks& clocks, const VariableTrace& trace,
     const CnfPredicate& pred, control::Budget* budget) {
   GPD_CHECK_MSG(pred.isSingular(), "predicate is not singular");
+  GPD_TRACE_SPAN_NAMED(span, "detect.process_enumeration");
+  span.attrInt("clauses", static_cast<std::int64_t>(pred.clauses.size()));
   const auto trueEvents = clauseTrueEvents(trace, pred);
   // Group j's options: one chain per hosting process (per-process true
   // events are totally ordered by the process order).
@@ -104,6 +130,7 @@ SingularCnfResult detectSingularByProcessEnumeration(
 std::vector<std::vector<Chain>> clauseChainCovers(
     const VectorClocks& clocks, const VariableTrace& trace,
     const CnfPredicate& pred) {
+  GPD_TRACE_SPAN("detect.chain_cover");
   const auto trueEvents = clauseTrueEvents(trace, pred);
   std::vector<std::vector<Chain>> covers(pred.clauses.size());
   for (std::size_t j = 0; j < pred.clauses.size(); ++j) {
@@ -126,6 +153,8 @@ SingularCnfResult detectSingularByChainCover(const VectorClocks& clocks,
                                              const CnfPredicate& pred,
                                              control::Budget* budget) {
   GPD_CHECK_MSG(pred.isSingular(), "predicate is not singular");
+  GPD_TRACE_SPAN_NAMED(span, "detect.chain_cover_enumeration");
+  span.attrInt("clauses", static_cast<std::int64_t>(pred.clauses.size()));
   return enumerateSelections(clocks, clauseChainCovers(clocks, trace, pred),
                              budget);
 }

@@ -4,6 +4,7 @@
 
 #include "flow/closure.h"
 #include "lattice/explore.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace gpd::detect {
@@ -102,6 +103,7 @@ SumExtrema sumExtrema(const VectorClocks& clocks, const VariableTrace& trace,
 std::optional<Cut> possiblySum(const VectorClocks& clocks,
                                const VariableTrace& trace,
                                const SumPredicate& pred) {
+  GPD_TRACE_SPAN("detect.sum.possibly");
   const SumExtrema ext = sumExtrema(clocks, trace, pred.terms);
   switch (pred.relop) {
     case Relop::Less:
@@ -149,6 +151,7 @@ ExactSumSearch detectExactSumBudgeted(const VectorClocks& clocks,
                                       const SumPredicate& pred,
                                       control::Budget* budget) {
   GPD_CHECK(pred.relop == Relop::Equal);
+  GPD_TRACE_SPAN("detect.sum.exact_search");
   const lattice::CutSearchResult search = lattice::findSatisfyingCutBudgeted(
       clocks,
       [&](const Cut& cut) { return pred.sumAtCut(trace, cut) == pred.k; },
@@ -172,6 +175,7 @@ SumDecision definitelySumBudgeted(const VectorClocks& clocks,
                                   const VariableTrace& trace,
                                   const SumPredicate& pred,
                                   control::Budget* budget) {
+  GPD_TRACE_SPAN("detect.sum.definitely");
   SumDecision result;
   if (pred.relop != Relop::Equal) {
     const lattice::DefinitelyDecision d = lattice::definitelyExhaustiveBudgeted(

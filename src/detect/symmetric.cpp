@@ -1,6 +1,7 @@
 #include "detect/symmetric.h"
 
 #include "lattice/explore.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace gpd::detect {
@@ -8,6 +9,7 @@ namespace gpd::detect {
 std::optional<Cut> possiblySymmetric(const VectorClocks& clocks,
                                      const VariableTrace& trace,
                                      const SymmetricPredicate& pred) {
+  GPD_TRACE_SPAN("detect.symmetric.possibly");
   for (const SumPredicate& sum : pred.asExactSums()) {
     if (auto cut = possiblySum(clocks, trace, sum)) return cut;
   }
@@ -26,6 +28,7 @@ SumDecision definitelySymmetricBudgeted(const VectorClocks& clocks,
                                         const VariableTrace& trace,
                                         const SymmetricPredicate& pred,
                                         control::Budget* budget) {
+  GPD_TRACE_SPAN("detect.symmetric.definitely");
   const lattice::DefinitelyDecision d = lattice::definitelyExhaustiveBudgeted(
       clocks, [&](const Cut& cut) { return pred.holdsAtCut(trace, cut); },
       budget);

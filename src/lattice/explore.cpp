@@ -4,6 +4,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace gpd::lattice {
@@ -48,14 +50,46 @@ bool noteFrontier(ExploreResult& result, std::uint64_t perCut,
   return true;
 }
 
+// Publishes one finished exploration to the metrics registry. Recorded
+// once per run (not per cut) so the BFS hot loop carries no extra code.
+void recordExploration(const char* what, const ExploreResult& result) {
+  (void)what;
+  (void)result;
+  GPD_OBS_COUNTER_ADD("lattice_explorations", 1);
+  GPD_OBS_COUNTER_ADD("cuts_enumerated", result.cutsVisited);
+  GPD_OBS_GAUGE_MAX("frontier_bytes_peak", result.peakFrontierBytes);
+  GPD_OBS_GAUGE_MAX("frontier_cuts_peak", result.peakFrontierCuts);
+}
+
+const char* toString(ExploreEnd end) {
+  switch (end) {
+    case ExploreEnd::Exhausted:
+      return "exhausted";
+    case ExploreEnd::VisitorStopped:
+      return "visitor-stopped";
+    case ExploreEnd::BudgetExhausted:
+      return "budget-exhausted";
+  }
+  return "?";
+}
+
 }  // namespace
 
 ExploreResult exploreConsistentCuts(
     const VectorClocks& clocks, const std::function<bool(const Cut&)>& visit,
     control::Budget* budget) {
+  GPD_TRACE_SPAN_NAMED(span, "lattice.explore");
   const Computation& comp = clocks.computation();
   const std::uint64_t perCut = cutBytes(comp);
   ExploreResult result;
+  // One exit path annotates and records, whichever way the BFS ends —
+  // including a budget/cancel unwind (the span closes via RAII regardless).
+  const auto finish = [&]() -> ExploreResult& {
+    span.attrInt("cuts", static_cast<std::int64_t>(result.cutsVisited));
+    span.attrStr("end", toString(result.end));
+    recordExploration("explore", result);
+    return result;
+  };
   std::vector<Cut> level{initialCut(comp)};
   while (!level.empty()) {
     std::unordered_set<Cut> seen;
@@ -63,21 +97,21 @@ ExploreResult exploreConsistentCuts(
     for (const Cut& cut : level) {
       if (budget != nullptr && !budget->chargeCut()) {
         result.end = ExploreEnd::BudgetExhausted;
-        return result;
+        return finish();
       }
       ++result.cutsVisited;
       if (!visit(cut)) {
         result.end = ExploreEnd::VisitorStopped;
-        return result;
+        return finish();
       }
       expand(clocks, cut, seen, next, [](const Cut&) { return true; });
     }
     if (!noteFrontier(result, perCut, level.size() + next.size(), budget)) {
-      return result;
+      return finish();
     }
     level = std::move(next);
   }
-  return result;
+  return finish();
 }
 
 std::uint64_t forEachConsistentCut(

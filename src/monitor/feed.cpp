@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace gpd::monitor {
@@ -157,6 +158,7 @@ ResilientReplayResult replayConjunctiveFaulty(
         ++result.dropped;
       } else {
         ++result.retransmissions;
+        GPD_OBS_COUNTER_ADD("monitor_retransmits", 1);
         deliverCopy(r.process, r.seq);
       }
     }
@@ -186,6 +188,7 @@ ResilientReplayResult replayConjunctiveFaulty(
         continue;
       }
       ++result.retransmissions;
+      GPD_OBS_COUNTER_ADD("monitor_retransmits", 1);
       deliverCopy(r.process, r.seq);
     } else {
       session.tick();

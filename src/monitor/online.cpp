@@ -1,5 +1,6 @@
 #include "monitor/online.h"
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace gpd::monitor {
@@ -86,6 +87,7 @@ bool ConjunctiveMonitor::tryDetect(int changed) {
         pendingFullScan_ = true;
         degraded_ = true;
         ++sliceAborts_;
+        GPD_OBS_COUNTER_ADD("monitor_slice_aborts", 1);
         return false;
       }
       advanced = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace gpd::monitor {
@@ -47,6 +48,7 @@ MonitorSession::MonitorSession(int processes, SessionOptions options,
 Delivery MonitorSession::deliver(int p, std::uint64_t seq,
                                  std::vector<int> clock) {
   GPD_CHECK(p >= 0 && p < n_);
+  GPD_OBS_COUNTER_ADD("monitor_notifications", 1);
   if (monitor_.detected()) return Delivery::Detected;
   ++now_;
 
@@ -189,6 +191,7 @@ void MonitorSession::openGap(int p) {
   g.deadline = now_ + options_.retryTimeout;
   health_[p] = StreamHealth::Recovering;
   ++stats_.gapsDetected;
+  GPD_OBS_COUNTER_ADD("monitor_gaps_detected", 1);
   sendNack(p);
 }
 
@@ -208,6 +211,7 @@ std::uint64_t MonitorSession::missingUpperBound(int p) const {
 
 void MonitorSession::sendNack(int p) {
   ++stats_.nacksSent;
+  GPD_OBS_COUNTER_ADD("monitor_nacks_sent", 1);
   if (nack_) nack_(p, nextSeq_[p], missingUpperBound(p));
 }
 
@@ -218,6 +222,7 @@ void MonitorSession::closeGapIfFilled(int p) {
   gap_[p].active = false;
   health_[p] = StreamHealth::Healthy;
   ++stats_.gapsRecovered;
+  GPD_OBS_COUNTER_ADD("monitor_gaps_recovered", 1);
 }
 
 void MonitorSession::drainBuffer(int p) {
@@ -242,6 +247,7 @@ void MonitorSession::doDegrade(int p) {
   gap_[p].active = false;
   health_[p] = StreamHealth::Degraded;
   ++stats_.degradedStreams;
+  GPD_OBS_COUNTER_ADD("monitor_degraded_streams", 1);
   // Release the buffered suffix in program order. Detection on what *did*
   // arrive is still sound; only completeness is lost.
   for (auto& [seq, clock] : buffer_[p]) {

@@ -1,0 +1,189 @@
+#include "obs/metrics.h"
+
+#include <iomanip>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+namespace gpd::obs {
+
+namespace {
+
+// The documented metric inventory (DESIGN.md §9). Pre-registered so the
+// renderers and `gpdtool --stats` always print the full set — a metric a
+// run never touched reports zero instead of silently vanishing, and a
+// GPD_OBS_DISABLED build still renders the inventory (all zeros).
+constexpr const char* kCounterInventory[] = {
+    "budget_clock_reads",        // steady-clock reads by control::Budget
+    "cpdhb_combinations",        // Sec. 3.3 enumeration selections tried
+    "cpdhb_comparisons",         // succLeq head comparisons inside CPDHB
+    "cpdhb_invocations",         // findConsistentSelection calls
+    "cuts_enumerated",           // consistent cuts visited by lattice BFS
+    "detector_queries",          // Detector possibly/definitely calls
+    "dnf_terms_tried",           // DNF terms scanned by possiblyExpression
+    "dpll_decisions",            // DPLL branching decisions
+    "dpll_propagations",         // DPLL unit propagations
+    "lattice_explorations",      // lattice BFS runs (possibly + definitely)
+    "monitor_degraded_streams",  // streams written off by the session
+    "monitor_gaps_detected",     // recovery episodes opened
+    "monitor_gaps_recovered",    // recovery episodes closed successfully
+    "monitor_nacks_sent",        // retransmit requests issued
+    "monitor_notifications",     // notifications handed to deliver()
+    "monitor_retransmits",       // copies resent by the replay transport
+    "monitor_slice_aborts",      // elimination scans cut by the time slice
+    "plan_actual_combinations",  // observed enumeration work (plan_vs_actual)
+    "plan_predicted_combinations",  // planner-predicted work (plan_vs_actual)
+    "plan_steps_run",            // plan steps the detector executed
+    "plan_steps_skipped",        // plan steps skipped by the budget walk
+};
+
+constexpr const char* kGaugeInventory[] = {
+    "frontier_bytes_peak",  // widest live BFS frontier, bytes
+    "frontier_cuts_peak",   // widest live BFS frontier, cuts
+};
+
+constexpr const char* kHistogramInventory[] = {
+    "enumeration_combinations",  // per-enumeration selections tried
+    "plan_vs_actual",            // |predicted − observed| CPDHB invocations
+};
+
+}  // namespace
+
+struct Registry::Impl {
+  std::mutex mutex;
+  // node-based maps: instrument addresses are stable across inserts, which
+  // is what lets the GPD_OBS_* macros cache references in local statics.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry::Registry() : impl_(new Impl) {
+  for (const char* name : kCounterInventory) counter(name);
+  for (const char* name : kGaugeInventory) gauge(name);
+  for (const char* name : kHistogramInventory) histogram(name);
+}
+
+Registry::~Registry() { delete impl_; }
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (auto& [name, c] : impl_->counters) c->reset();
+  for (auto& [name, g] : impl_->gauges) g->reset();
+  for (auto& [name, h] : impl_->histograms) h->reset();
+}
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+namespace {
+
+// Non-empty log2 buckets as "lo..hi:count" ranges, e.g. "1:3 4..7:2".
+std::string bucketSummary(const Histogram& h) {
+  std::ostringstream out;
+  bool first = true;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    const std::uint64_t n = h.bucket(i);
+    if (n == 0) continue;
+    if (!first) out << ' ';
+    first = false;
+    if (i == 0) {
+      out << "0";
+    } else if (i == 1) {
+      out << "1";
+    } else {
+      out << (1ull << (i - 1)) << ".." << ((1ull << i) - 1);
+    }
+    out << ':' << n;
+  }
+  return first ? "-" : out.str();
+}
+
+}  // namespace
+
+void renderMetricsText(std::ostream& os, Registry& reg) {
+  std::lock_guard<std::mutex> lock(reg.impl_->mutex);
+  std::size_t width = 0;
+  for (const auto& [name, c] : reg.impl_->counters) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, g] : reg.impl_->gauges) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, h] : reg.impl_->histograms) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, c] : reg.impl_->counters) {
+    os << "counter    " << std::left << std::setw(static_cast<int>(width))
+       << name << "  " << c->value() << '\n';
+  }
+  for (const auto& [name, g] : reg.impl_->gauges) {
+    os << "gauge      " << std::left << std::setw(static_cast<int>(width))
+       << name << "  " << g->value() << '\n';
+  }
+  for (const auto& [name, h] : reg.impl_->histograms) {
+    os << "histogram  " << std::left << std::setw(static_cast<int>(width))
+       << name << "  count=" << h->count() << " sum=" << h->sum()
+       << " buckets=" << bucketSummary(*h) << '\n';
+  }
+}
+
+void renderMetricsJson(std::ostream& os, Registry& reg) {
+  std::lock_guard<std::mutex> lock(reg.impl_->mutex);
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : reg.impl_->counters) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << c->value();
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : reg.impl_->gauges) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << g->value();
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : reg.impl_->histograms) {
+    os << (first ? "" : ",") << "\n    \"" << name
+       << "\": {\"count\": " << h->count() << ", \"sum\": " << h->sum()
+       << ", \"buckets\": {";
+    bool firstBucket = true;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = h->bucket(i);
+      if (n == 0) continue;
+      os << (firstBucket ? "" : ", ") << '"' << i << "\": " << n;
+      firstBucket = false;
+    }
+    os << "}}";
+    first = false;
+  }
+  os << "\n  }\n}\n";
+}
+
+}  // namespace gpd::obs

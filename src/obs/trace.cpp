@@ -1,0 +1,252 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace gpd::obs {
+
+namespace {
+
+// Per-thread ring: ~170 B per record × 16384 ≈ 2.8 MB once a thread
+// records its first span; the cap bounds memory on exponential runs (old
+// spans are overwritten, counted as dropped).
+constexpr std::size_t kRingCapacity = 1 << 14;
+
+struct ThreadBuffer {
+  std::uint32_t tid = 0;
+  std::vector<SpanRecord> ring;
+  std::size_t next = 0;        // overwrite cursor once the ring is full
+  std::uint64_t recorded = 0;  // total ever recorded by this thread
+};
+
+thread_local ThreadBuffer* tlsBuffer = nullptr;
+thread_local int tlsDepth = 0;
+
+}  // namespace
+
+struct Tracer::Impl {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::uint32_t nextTid = 1;
+
+  ThreadBuffer& localBuffer() {
+    if (tlsBuffer == nullptr) {
+      std::lock_guard<std::mutex> lock(mutex);
+      auto buf = std::make_unique<ThreadBuffer>();
+      buf->tid = nextTid++;
+      buf->ring.reserve(kRingCapacity);
+      tlsBuffer = buf.get();
+      buffers.push_back(std::move(buf));
+    }
+    return *tlsBuffer;
+  }
+};
+
+Tracer::Tracer() : impl_(new Impl) {}
+Tracer::~Tracer() { delete impl_; }
+
+void Tracer::record(const SpanRecord& rec) {
+  ThreadBuffer& buf = impl_->localBuffer();
+  SpanRecord stamped = rec;
+  stamped.tid = buf.tid;
+  if (buf.ring.size() < kRingCapacity) {
+    buf.ring.push_back(stamped);
+  } else {
+    buf.ring[buf.next] = stamped;
+    buf.next = (buf.next + 1) % kRingCapacity;
+  }
+  ++buf.recorded;
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<SpanRecord> out;
+  for (const auto& buf : impl_->buffers) {
+    out.insert(out.end(), buf->ring.begin(), buf->ring.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.startNs != b.startNs) return a.startNs < b.startNs;
+              return a.depth < b.depth;  // parent before zero-length child
+            });
+  return out;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (auto& buf : impl_->buffers) {
+    buf->ring.clear();
+    buf->next = 0;
+    buf->recorded = 0;
+  }
+}
+
+std::uint64_t Tracer::recordedSpans() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::uint64_t total = 0;
+  for (const auto& buf : impl_->buffers) total += buf->recorded;
+  return total;
+}
+
+std::uint64_t Tracer::droppedSpans() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::uint64_t dropped = 0;
+  for (const auto& buf : impl_->buffers) {
+    dropped += buf->recorded - buf->ring.size();
+  }
+  return dropped;
+}
+
+namespace {
+
+// JSON string escaping for span names / attr values (all library-provided
+// literals today, but the exporter must never emit invalid JSON).
+void writeJsonString(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    if (c == '"' || c == '\\') {
+      os << '\\' << *s;
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      os << buf;
+    } else {
+      os << *s;
+    }
+  }
+  os << '"';
+}
+
+void writeMicros(std::ostream& os, std::uint64_t ns) {
+  // Fixed-point micros with nanosecond resolution: Chrome's ts/dur unit is
+  // the microsecond but fractional values are accepted.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  os << buf;
+}
+
+}  // namespace
+
+void Tracer::exportChromeTrace(std::ostream& os) const {
+  const std::vector<SpanRecord> spans = snapshot();
+  std::uint64_t base = UINT64_MAX;
+  for (const SpanRecord& s : spans) base = std::min(base, s.startNs);
+  if (spans.empty()) base = 0;
+  os << "[\n";
+  os << R"({"name":"process_name","ph":"M","pid":1,"tid":0,)"
+     << R"("args":{"name":"gpd"}})";
+  for (const SpanRecord& s : spans) {
+    os << ",\n{";
+    os << "\"name\":";
+    writeJsonString(os, s.name);
+    os << ",\"ph\":\"X\",\"ts\":";
+    writeMicros(os, s.startNs - base);
+    os << ",\"dur\":";
+    writeMicros(os, s.durationNs);
+    os << ",\"pid\":1,\"tid\":" << s.tid;
+    os << ",\"args\":{\"depth\":" << s.depth;
+    for (int i = 0; i < s.attrCount; ++i) {
+      os << ',';
+      writeJsonString(os, s.attrs[i].key);
+      os << ':';
+      if (s.attrs[i].isString) {
+        writeJsonString(os, s.attrs[i].strValue);
+      } else {
+        os << s.attrs[i].intValue;
+      }
+    }
+    os << "}}";
+  }
+  os << "\n]\n";
+}
+
+void Tracer::renderFlameSummary(std::ostream& os) const {
+  const std::vector<SpanRecord> spans = snapshot();
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t totalNs = 0;
+    std::uint64_t selfNs = 0;
+  };
+  std::map<std::string, Agg> byName;
+  // Self time: total minus time spent in nested spans, reconstructed from
+  // interval containment within each thread (snapshot is start-sorted).
+  std::vector<const SpanRecord*> stack;
+  std::uint32_t tid = 0;
+  for (const SpanRecord& s : spans) {
+    if (s.tid != tid) {
+      stack.clear();
+      tid = s.tid;
+    }
+    while (!stack.empty() &&
+           s.startNs >= stack.back()->startNs + stack.back()->durationNs) {
+      stack.pop_back();
+    }
+    Agg& agg = byName[s.name];
+    ++agg.count;
+    agg.totalNs += s.durationNs;
+    agg.selfNs += s.durationNs;
+    if (!stack.empty()) {
+      Agg& parent = byName[stack.back()->name];
+      parent.selfNs -= std::min(parent.selfNs, s.durationNs);
+    }
+    stack.push_back(&s);
+  }
+  std::vector<std::pair<std::string, Agg>> rows(byName.begin(), byName.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.totalNs > b.second.totalNs;
+  });
+  os << "span                              count     total_ms      self_ms\n";
+  for (const auto& [name, agg] : rows) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%-32s %6llu %12.3f %12.3f\n",
+                  name.c_str(), static_cast<unsigned long long>(agg.count),
+                  static_cast<double>(agg.totalNs) * 1e-6,
+                  static_cast<double>(agg.selfNs) * 1e-6);
+    os << buf;
+  }
+  if (rows.empty()) os << "(no spans recorded)\n";
+}
+
+Tracer& tracer() {
+  static Tracer instance;
+  return instance;
+}
+
+int currentSpanDepth() { return tlsDepth; }
+
+Span::Span(const char* name) {
+  live_ = tracer().armed();
+  if (!live_) return;
+  rec_.name = name;
+  rec_.depth = tlsDepth++;
+  rec_.startNs = steadyNowNanos();
+}
+
+Span::~Span() {
+  if (!live_) return;
+  rec_.durationNs = steadyNowNanos() - rec_.startNs;
+  --tlsDepth;
+  tracer().record(rec_);
+}
+
+void Span::attrInt(const char* key, std::int64_t value) {
+  if (!live_ || rec_.attrCount >= SpanRecord::kMaxAttrs) return;
+  rec_.attrs[rec_.attrCount++] = SpanAttr{key, false, value, nullptr};
+}
+
+void Span::attrStr(const char* key, const char* value) {
+  if (!live_ || rec_.attrCount >= SpanRecord::kMaxAttrs) return;
+  rec_.attrs[rec_.attrCount++] = SpanAttr{key, true, 0, value};
+}
+
+}  // namespace gpd::obs

@@ -1,0 +1,152 @@
+// gpd::obs span tracer — RAII spans, per-thread ring buffers, Chrome-trace
+// export.
+//
+// A span is one timed region of a detection run (a kernel, a plan step, one
+// enumeration phase). Call sites open spans through GPD_TRACE_SPAN(name) /
+// GPD_TRACE_SPAN_NAMED(var, name); the object records its start on the
+// process steady clock (util/stopwatch.h — the library's single time
+// source) and its duration when it goes out of scope, so a span closes on
+// *every* exit path: normal return, budget/cancel unwind, exception.
+// Spans nest: each records the depth at which it opened, and the exporter
+// reconstructs the tree from [start, start+duration) containment per
+// thread.
+//
+// Collection is armed at runtime (Tracer::start()); while disarmed, an
+// instrumented region costs one relaxed atomic load. Completed spans go to
+// a fixed-capacity per-thread ring buffer — when a run outgrows the ring
+// the *oldest* spans are overwritten and counted in droppedSpans(), never
+// blocking or reallocating on the hot path. With GPD_OBS_DISABLED the
+// macros declare a zero-cost NullSpan and the region compiles to nothing.
+//
+// Export: exportChromeTrace() writes trace-event JSON ("X" complete
+// events, microsecond timestamps) loadable in chrome://tracing and
+// Perfetto; renderFlameSummary() aggregates per span name (count, total,
+// self time) for terminal use.
+//
+// Concurrency contract: record() is lock-free per thread and safe to call
+// from any thread; snapshot()/clear()/export run at quiescent points only
+// (no thread inside an armed span) — the CLI and tests, which are
+// single-threaded around tracing, satisfy this by construction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace gpd::obs {
+
+// Typed key/value attached to a span. Keys and string values must outlive
+// the tracer snapshot (string literals / toString() results in practice).
+struct SpanAttr {
+  const char* key = nullptr;
+  bool isString = false;
+  std::int64_t intValue = 0;
+  const char* strValue = nullptr;
+};
+
+struct SpanRecord {
+  static constexpr int kMaxAttrs = 4;
+
+  const char* name = nullptr;
+  std::uint64_t startNs = 0;
+  std::uint64_t durationNs = 0;
+  int depth = 0;  // nesting depth at open (0 = thread-root span)
+  std::uint32_t tid = 0;
+  SpanAttr attrs[kMaxAttrs];
+  int attrCount = 0;
+};
+
+class Tracer {
+ public:
+  // Arms collection. Spans opened while disarmed record nothing.
+  void start() { armed_.store(true, std::memory_order_relaxed); }
+  void stop() { armed_.store(false, std::memory_order_relaxed); }
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  // Appends one completed span to the calling thread's ring buffer.
+  void record(const SpanRecord& rec);
+
+  // Completed spans across all threads, sorted by (tid, start). Quiescent
+  // points only.
+  std::vector<SpanRecord> snapshot() const;
+
+  // Drops every recorded span (buffers stay allocated). Quiescent only.
+  void clear();
+
+  std::uint64_t recordedSpans() const;  // total ever recorded
+  std::uint64_t droppedSpans() const;   // overwritten by ring wrap-around
+
+  // Chrome trace-event JSON: an array of "X" complete events (name, ph,
+  // ts, dur, pid, tid, args) with timestamps rebased to the earliest span.
+  void exportChromeTrace(std::ostream& os) const;
+
+  // Per-name aggregate (count, total ms, self ms), widest totals first.
+  void renderFlameSummary(std::ostream& os) const;
+
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+ private:
+  struct Impl;
+  std::atomic<bool> armed_{false};
+  Impl* impl_;
+};
+
+// The process-wide tracer the GPD_TRACE_* macros record into.
+Tracer& tracer();
+
+// Nesting depth of the calling thread's open-span stack (0 = none open).
+// Only maintained while the tracer is armed — the property tests' probe
+// that every span opened by a kernel was closed when the kernel unwound.
+int currentSpanDepth();
+
+// RAII span. Construction samples the steady clock and pushes one level of
+// nesting; destruction pops it and records the completed span. When the
+// tracer is disarmed at construction the span is inert (one atomic load).
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Attach typed attributes (kept up to SpanRecord::kMaxAttrs; extras are
+  // dropped). Keys/string values must be storage-stable (literals).
+  void attrInt(const char* key, std::int64_t value);
+  void attrStr(const char* key, const char* value);
+
+ private:
+  SpanRecord rec_;
+  bool live_ = false;
+};
+
+// Compiled-out stand-in: same surface, no code.
+class NullSpan {
+ public:
+  explicit NullSpan(const char*) {}
+  void attrInt(const char*, std::int64_t) {}
+  void attrStr(const char*, const char*) {}
+};
+
+}  // namespace gpd::obs
+
+#define GPD_OBS_CAT2(a, b) a##b
+#define GPD_OBS_CAT(a, b) GPD_OBS_CAT2(a, b)
+
+// GPD_TRACE_SPAN(name): trace the enclosing scope as one span.
+// GPD_TRACE_SPAN_NAMED(var, name): same, binding the span to `var` so the
+// call site can attach attributes (var.attrInt / var.attrStr).
+#ifndef GPD_OBS_DISABLED
+#define GPD_TRACE_SPAN_NAMED(var, name) \
+  [[maybe_unused]] ::gpd::obs::Span var(name)
+#else
+#define GPD_TRACE_SPAN_NAMED(var, name) \
+  [[maybe_unused]] ::gpd::obs::NullSpan var(name)
+#endif
+#define GPD_TRACE_SPAN(name) \
+  GPD_TRACE_SPAN_NAMED(GPD_OBS_CAT(gpdTraceSpan_, __LINE__), name)

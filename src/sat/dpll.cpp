@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace gpd::sat {
@@ -148,6 +150,9 @@ struct Solver {
 }  // namespace
 
 DpllResult solveDpllBudgeted(const Cnf& cnf, control::Budget* budget) {
+  GPD_TRACE_SPAN_NAMED(span, "sat.dpll");
+  span.attrInt("vars", cnf.numVars);
+  span.attrInt("clauses", static_cast<std::int64_t>(cnf.clauses.size()));
   GPD_CHECK(cnf.numVars >= 0);
   for (const Clause& c : cnf.clauses) {
     for (const Lit& l : c) GPD_CHECK(l.var >= 0 && l.var < cnf.numVars);
@@ -156,6 +161,10 @@ DpllResult solveDpllBudgeted(const Cnf& cnf, control::Budget* budget) {
   const bool sat = solver.solve();
   DpllResult result;
   result.stats = solver.stats;
+  // Whole-search totals in one shot; the recursive solve() stays untouched.
+  span.attrInt("decisions", static_cast<std::int64_t>(solver.stats.decisions));
+  GPD_OBS_COUNTER_ADD("dpll_decisions", solver.stats.decisions);
+  GPD_OBS_COUNTER_ADD("dpll_propagations", solver.stats.propagations);
   if (sat) {
     Assignment a(cnf.numVars, false);
     for (int v = 0; v < cnf.numVars; ++v) a[v] = solver.value[v] == 1;

@@ -1,26 +1,47 @@
-// Monotonic wall-clock stopwatch for benchmark harnesses.
+// Monotonic wall-clock stopwatch and the library's single steady-clock
+// time source.
+//
+// Everything that reads the monotonic clock — bench harnesses, the obs span
+// tracer, and control/budget deadlines — goes through steadyNowNanos() so
+// there is exactly one definition of "now" to reason about (and one place
+// to stub it if a platform ever needs a different clock).
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace gpd {
 
+// Nanoseconds on the process-wide steady clock. Monotonic, comparable
+// across threads; the epoch is unspecified (use differences only).
+inline std::uint64_t steadyNowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : startNs_(steadyNowNanos()) {}
 
-  void reset() { start_ = Clock::now(); }
+  void reset() { startNs_ = steadyNowNanos(); }
+
+  std::uint64_t elapsedNanos() const { return steadyNowNanos() - startNs_; }
 
   double elapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(elapsedNanos()) * 1e-9;
   }
 
-  double elapsedMillis() const { return elapsedSeconds() * 1e3; }
-  double elapsedMicros() const { return elapsedSeconds() * 1e6; }
+  double elapsedMillis() const {
+    return static_cast<double>(elapsedNanos()) * 1e-6;
+  }
+  double elapsedMicros() const {
+    return static_cast<double>(elapsedNanos()) * 1e-3;
+  }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  std::uint64_t startNs_;
 };
 
 }  // namespace gpd

@@ -1,0 +1,182 @@
+// Observability must never change behavior. Two properties, swept over
+// seeded random systems:
+//
+//   1. Span unwind — when a tiny budget (or cancellation) cuts a kernel
+//      short, every span the kernel opened is closed by the time the
+//      budgeted query returns: the RAII spans unwind with the early
+//      returns, so currentSpanDepth() is back to 0 and the recorded
+//      intervals still nest properly.
+//
+//   2. Checkpoint neutrality — a faulty monitor replay produces a
+//      byte-identical session checkpoint whether the tracer is armed or
+//      disarmed: tracing observes the run, it never perturbs it.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "gpd.h"
+#include "../detect/detect_test_util.h"
+
+namespace gpd {
+namespace {
+
+struct System {
+  Computation comp;
+  VariableTrace trace;
+
+  System(Computation c, Rng& rng) : comp(std::move(c)), trace(comp) {
+    defineRandomBools(trace, "b", 0.5, rng);
+  }
+};
+
+System makeSystem(std::uint64_t seed, int processes, int events) {
+  Rng rng(seed * 2654435761u + 13);
+  RandomComputationOptions opt;
+  opt.processes = processes;
+  opt.eventsPerProcess = events;
+  opt.messageProbability = 0.4;
+  Computation comp = randomComputation(opt, rng);
+  return System(std::move(comp), rng);
+}
+
+class ObsSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    obs::tracer().stop();
+    obs::tracer().clear();
+  }
+  void TearDown() override {
+    obs::tracer().stop();
+    obs::tracer().clear();
+  }
+};
+
+// Budgeted queries across predicate kinds with budgets small enough to
+// trip inside every kernel: after each query the thread's span stack is
+// empty again, proving no early-return path leaks an open span.
+TEST_P(ObsSweep, EverySpanClosesWhenTheBudgetUnwindsAKernel) {
+  const std::uint64_t seed = GetParam();
+  System s = makeSystem(seed, 4, 4);
+  Rng rng(seed * 31 + 7);
+
+  ConjunctivePredicate conj;
+  for (ProcessId p = 0; p < s.comp.processCount(); ++p) {
+    conj.terms.push_back(varTrue(p, "b"));
+  }
+  const CnfPredicate cnf =
+      detect::testing::randomSingularKCnf(2, 2, "b", rng);
+  std::vector<SumTerm> symVars;
+  for (ProcessId p = 0; p < s.comp.processCount(); ++p) {
+    symVars.push_back({p, "b"});
+  }
+  const SymmetricPredicate sym = exactlyK(symVars, 1);
+
+  obs::tracer().start();
+  detect::Detector det(s.trace);
+  for (const std::uint64_t maxCuts : {std::uint64_t{1}, std::uint64_t{3}}) {
+    control::BudgetLimits limits;
+    limits.maxCuts = maxCuts;
+    limits.maxCombinations = 1;
+    {
+      control::Budget budget(limits);
+      (void)det.possibly(conj, budget);
+      EXPECT_EQ(obs::currentSpanDepth(), 0);
+    }
+    {
+      control::Budget budget(limits);
+      (void)det.possibly(cnf, budget);
+      EXPECT_EQ(obs::currentSpanDepth(), 0);
+    }
+    {
+      control::Budget budget(limits);
+      (void)det.definitely(cnf, budget);
+      EXPECT_EQ(obs::currentSpanDepth(), 0);
+    }
+    {
+      control::Budget budget(limits);
+      (void)det.possibly(sym, budget);
+      EXPECT_EQ(obs::currentSpanDepth(), 0);
+    }
+  }
+  // Cooperative cancellation unwinds the same way the budget does.
+  {
+    control::CancelToken cancel;
+    cancel.requestCancel();
+    control::Budget budget(control::BudgetLimits{}, &cancel);
+    (void)det.possibly(cnf, budget);
+    EXPECT_EQ(obs::currentSpanDepth(), 0);
+  }
+  obs::tracer().stop();
+
+  // The recorded spans still form a proper per-thread nesting (no span
+  // outlived its parent).
+  const auto spans = obs::tracer().snapshot();
+  std::vector<const obs::SpanRecord*> stack;
+  std::uint32_t tid = 0;
+  for (const obs::SpanRecord& rec : spans) {
+    if (rec.tid != tid) {
+      stack.clear();
+      tid = rec.tid;
+    }
+    while (!stack.empty() && rec.startNs >= stack.back()->startNs +
+                                               stack.back()->durationNs) {
+      stack.pop_back();
+    }
+    EXPECT_EQ(rec.depth, static_cast<int>(stack.size()));
+    stack.push_back(&rec);
+  }
+#ifndef GPD_OBS_DISABLED
+  EXPECT_GT(obs::tracer().recordedSpans(), 0u);
+#endif
+}
+
+// One faulty replay, run twice from identical seeds — tracer armed versus
+// disarmed. The session checkpoints must match byte for byte.
+TEST_P(ObsSweep, CheckpointIsByteIdenticalWithTracingOnOrOff) {
+  const std::uint64_t seed = GetParam();
+
+  const auto runOnce = [&](bool armed) {
+    obs::tracer().clear();
+    if (armed) {
+      obs::tracer().start();
+    } else {
+      obs::tracer().stop();
+    }
+    System s = makeSystem(seed, 3, 4);
+    VectorClocks clocks(s.comp);
+    ConjunctivePredicate pred;
+    for (ProcessId p = 0; p < s.comp.processCount(); ++p) {
+      pred.terms.push_back(varTrue(p, "b"));
+    }
+    Rng rng(seed * 97 + 3);
+    const auto runOrder =
+        graph::randomLinearExtension(s.comp.toDag(), rng);
+
+    monitor::FaultOptions faults;
+    faults.dropProbability = 0.15;
+    faults.duplicateProbability = 0.2;
+    faults.reorderProbability = 0.2;
+
+    monitor::SessionOptions sopt;
+    sopt.retryTimeout = 8;
+    monitor::MonitorSession session(s.comp.processCount(), sopt);
+    const auto res = monitor::replayConjunctiveFaulty(
+        clocks, s.trace, pred, runOrder, session, faults, rng);
+    (void)res;
+
+    std::ostringstream checkpoint;
+    io::writeCheckpoint(checkpoint, session.snapshot());
+    obs::tracer().stop();
+    return checkpoint.str();
+  };
+
+  const std::string withTracing = runOnce(true);
+  const std::string withoutTracing = runOnce(false);
+  EXPECT_EQ(withTracing, withoutTracing);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObsSweep, ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace gpd

@@ -1,0 +1,169 @@
+// Shared helpers for the obs tests: a minimal recursive-descent JSON
+// well-formedness checker so the renderers' output can be validated without
+// a JSON library dependency. It checks syntax only (objects, arrays,
+// strings with escapes, numbers, literals) — semantic checks are done with
+// targeted substring asserts at the call sites.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace gpd::obs::testing {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool valid() {
+    pos_ = 0;
+    skipWs();
+    if (!value()) return false;
+    skipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skipWs();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (!string()) return false;
+      skipWs();
+      if (peek() != ':') return false;
+      ++pos_;
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skipWs();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start && std::isdigit(static_cast<unsigned char>(
+                               text_[pos_ - 1]));
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) return false;
+    }
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+inline bool isValidJson(const std::string& text) {
+  return JsonChecker(text).valid();
+}
+
+}  // namespace gpd::obs::testing

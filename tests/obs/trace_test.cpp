@@ -1,0 +1,218 @@
+// gpd::obs span tracer: arming, RAII nesting, ring-buffer overwrite
+// accounting, and the Chrome trace-event export schema. The schema test is
+// the golden-file contract for `gpdtool --trace-out`: an instrumented
+// detection must export a JSON array loadable by chrome://tracing /
+// Perfetto — metadata event first, then "X" complete events whose
+// [ts, ts+dur) intervals nest properly per thread.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gpd.h"
+#include "obs_test_util.h"
+
+namespace gpd::obs {
+namespace {
+
+#ifndef GPD_OBS_DISABLED
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tracer().stop();
+    tracer().clear();
+  }
+  void TearDown() override {
+    tracer().stop();
+    tracer().clear();
+  }
+};
+
+TEST_F(TracerTest, DisarmedSpansRecordNothing) {
+  {
+    GPD_TRACE_SPAN("never.recorded");
+    GPD_TRACE_SPAN("also.never");
+  }
+  EXPECT_TRUE(tracer().snapshot().empty());
+  EXPECT_EQ(tracer().recordedSpans(), 0u);
+}
+
+TEST_F(TracerTest, NestedSpansRecordDepthAttrsAndContainment) {
+  tracer().start();
+  {
+    Span outer("test.outer");
+    outer.attrInt("cuts", 7);
+    outer.attrStr("end", "exhausted");
+    {
+      Span inner("test.inner");
+      inner.attrInt("tried", 3);
+    }
+  }
+  tracer().stop();
+
+  const std::vector<SpanRecord> spans = tracer().snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // snapshot() sorts by start time: outer opened first.
+  const SpanRecord& outer = spans[0];
+  const SpanRecord& inner = spans[1];
+  EXPECT_STREQ(outer.name, "test.outer");
+  EXPECT_EQ(outer.depth, 0);
+  ASSERT_EQ(outer.attrCount, 2);
+  EXPECT_STREQ(outer.attrs[0].key, "cuts");
+  EXPECT_FALSE(outer.attrs[0].isString);
+  EXPECT_EQ(outer.attrs[0].intValue, 7);
+  EXPECT_STREQ(outer.attrs[1].key, "end");
+  EXPECT_TRUE(outer.attrs[1].isString);
+  EXPECT_STREQ(outer.attrs[1].strValue, "exhausted");
+
+  EXPECT_STREQ(inner.name, "test.inner");
+  EXPECT_EQ(inner.depth, 1);
+  EXPECT_EQ(inner.tid, outer.tid);
+  // The child interval is contained in the parent interval.
+  EXPECT_GE(inner.startNs, outer.startNs);
+  EXPECT_LE(inner.startNs + inner.durationNs,
+            outer.startNs + outer.durationNs);
+}
+
+TEST_F(TracerTest, CurrentSpanDepthTracksTheOpenStack) {
+  tracer().start();
+  EXPECT_EQ(currentSpanDepth(), 0);
+  {
+    Span a("depth.a");
+    EXPECT_EQ(currentSpanDepth(), 1);
+    {
+      Span b("depth.b");
+      EXPECT_EQ(currentSpanDepth(), 2);
+    }
+    EXPECT_EQ(currentSpanDepth(), 1);
+  }
+  EXPECT_EQ(currentSpanDepth(), 0);
+}
+
+TEST_F(TracerTest, RingOverwriteKeepsNewestAndCountsDropped) {
+  tracer().start();
+  constexpr std::uint64_t kTotal = 20000;  // > the 16384-entry ring
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    Span s("ring.span");
+  }
+  tracer().stop();
+  EXPECT_EQ(tracer().recordedSpans(), kTotal);
+  EXPECT_GT(tracer().droppedSpans(), 0u);
+  const std::vector<SpanRecord> spans = tracer().snapshot();
+  EXPECT_EQ(spans.size() + tracer().droppedSpans(), kTotal);
+}
+
+// The golden schema test: trace a real detection end to end and validate
+// the Chrome trace-event JSON it exports.
+TEST_F(TracerTest, ChromeExportOfARealDetectionMatchesTheSchema) {
+  Rng rng(7);
+  RandomComputationOptions opt;
+  opt.processes = 3;
+  opt.eventsPerProcess = 4;
+  opt.messageProbability = 0.4;
+  const Computation comp = randomComputation(opt, rng);
+  VariableTrace trace(comp);
+  defineRandomBools(trace, "b", 0.5, rng);
+
+  ConjunctivePredicate pred;
+  for (ProcessId p = 0; p < comp.processCount(); ++p) {
+    pred.terms.push_back(varTrue(p, "b"));
+  }
+
+  tracer().start();
+  detect::Detector detector(trace);
+  (void)detector.possibly(pred);
+  tracer().stop();
+
+  std::ostringstream os;
+  tracer().exportChromeTrace(os);
+  const std::string json = os.str();
+
+  ASSERT_TRUE(obs::testing::isValidJson(json)) << json;
+  EXPECT_EQ(json.find('['), 0u);
+  // Metadata record first, naming the process for the trace viewer.
+  EXPECT_NE(json.find(R"("name":"process_name","ph":"M")"),
+            std::string::npos);
+  // Complete events with the required keys, covering dispatch and kernel.
+  EXPECT_NE(json.find(R"("ph":"X")"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\":"), std::string::npos);
+  EXPECT_NE(json.find("detect.query"), std::string::npos);
+  EXPECT_NE(json.find("detect.cpdhb"), std::string::npos);
+
+  // Per-thread interval nesting: a depth-d span lies inside the nearest
+  // open shallower span (the exporter's tree-reconstruction contract).
+  const std::vector<SpanRecord> spans = tracer().snapshot();
+  std::vector<const SpanRecord*> stack;
+  std::uint32_t tid = 0;
+  for (const SpanRecord& s : spans) {
+    if (s.tid != tid) {
+      stack.clear();
+      tid = s.tid;
+    }
+    while (!stack.empty() &&
+           s.startNs >= stack.back()->startNs + stack.back()->durationNs) {
+      stack.pop_back();
+    }
+    EXPECT_EQ(s.depth, static_cast<int>(stack.size()));
+    if (!stack.empty()) {
+      EXPECT_LE(s.startNs + s.durationNs,
+                stack.back()->startNs + stack.back()->durationNs);
+    }
+    stack.push_back(&s);
+  }
+}
+
+TEST_F(TracerTest, EmptyExportIsStillLoadableJson) {
+  std::ostringstream os;
+  tracer().exportChromeTrace(os);
+  EXPECT_TRUE(obs::testing::isValidJson(os.str())) << os.str();
+  EXPECT_NE(os.str().find("process_name"), std::string::npos);
+}
+
+TEST_F(TracerTest, FlameSummaryAggregatesByName) {
+  tracer().start();
+  for (int i = 0; i < 3; ++i) {
+    Span s("flame.hot");
+  }
+  {
+    Span s("flame.cold");
+  }
+  tracer().stop();
+  std::ostringstream os;
+  tracer().renderFlameSummary(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("span"), std::string::npos);  // header
+  EXPECT_NE(text.find("flame.hot"), std::string::npos);
+  EXPECT_NE(text.find("flame.cold"), std::string::npos);
+}
+
+#else  // GPD_OBS_DISABLED
+
+// With the kill switch on, the macros must expand to inert NullSpans: no
+// recording machinery runs at all, whatever the tracer's armed state.
+TEST(TracerDisabled, MacrosCompileToNullSpans) {
+  tracer().start();
+  {
+    GPD_TRACE_SPAN("never.recorded");
+    GPD_TRACE_SPAN_NAMED(span, "also.never");
+    span.attrInt("k", 1);
+    span.attrStr("s", "v");
+  }
+  tracer().stop();
+  EXPECT_EQ(tracer().recordedSpans(), 0u);
+  EXPECT_TRUE(tracer().snapshot().empty());
+  EXPECT_EQ(currentSpanDepth(), 0);
+}
+
+#endif  // GPD_OBS_DISABLED
+
+}  // namespace
+}  // namespace gpd::obs

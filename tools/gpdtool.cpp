@@ -53,6 +53,7 @@
 // 2 = internal failure (a library invariant broke — gpd::CheckFailure),
 // 3 = budget exhausted before an answer (detect verdict "unknown").
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -74,6 +75,10 @@ int usage() {
             << "  gpdtool detect <trace> sym <kind> <var>\n"
             << "      detect also takes --budget-ms D --max-cuts N\n"
             << "      --max-combinations N (verdict 'unknown' exits 3)\n"
+            << "      detect, plan and monitor take --trace-out FILE.json\n"
+            << "      (Chrome trace-event JSON for chrome://tracing/Perfetto\n"
+            << "      plus a flame summary) and --stats [-f json] (the gpd::obs\n"
+            << "      metrics registry after the run)\n"
             << "  gpdtool lint <trace> [-f json]\n"
             << "  gpdtool plan <trace> [--definitely] [-f json]\n"
             << "          [--budget-ms D] [--max-cuts N] [--max-combinations N]\n"
@@ -281,6 +286,75 @@ BudgetFlags extractBudgetFlags(std::vector<std::string>& args) {
   return flags;
 }
 
+// Observability flags shared by detect, plan and monitor. --trace-out FILE
+// arms the gpd::obs span tracer for the run and writes Chrome trace-event
+// JSON (chrome://tracing / Perfetto) plus a flame summary afterwards;
+// --stats prints the metrics registry (text, or JSON with -f json).
+struct ObsFlags {
+  std::string traceOut;
+  bool stats = false;
+  bool json = false;
+
+  bool any() const { return stats || !traceOut.empty(); }
+};
+
+// `stripFormat` also claims `-f json|text` for the stats renderer — used by
+// the subcommands that have no format flag of their own (detect, monitor);
+// plan keeps its existing -f and forwards OutputFlags::json instead.
+ObsFlags extractObsFlags(std::vector<std::string>& args, bool stripFormat) {
+  ObsFlags flags;
+  std::vector<std::string> rest;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--trace-out") {
+      GPD_INPUT_CHECK(i + 1 < args.size(), "--trace-out needs a file path");
+      flags.traceOut = args[++i];
+    } else if (args[i] == "--stats") {
+      flags.stats = true;
+    } else if (stripFormat && (args[i] == "-f" || args[i] == "--format")) {
+      GPD_INPUT_CHECK(i + 1 < args.size(), args[i] << " needs a value");
+      const std::string& value = args[++i];
+      GPD_INPUT_CHECK(value == "json" || value == "text",
+                      "'" << value << "' is not an output format "
+                          << "(expected json or text)");
+      flags.json = value == "json";
+    } else {
+      rest.push_back(args[i]);
+    }
+  }
+  args = std::move(rest);
+  return flags;
+}
+
+void beginObs(const ObsFlags& flags) {
+  if (flags.traceOut.empty()) return;
+  obs::tracer().clear();
+  obs::tracer().start();
+}
+
+// Writes the requested trace/stats artifacts and passes the command's exit
+// code through.
+int finishObs(const ObsFlags& flags, int code) {
+  if (!flags.traceOut.empty()) {
+    obs::tracer().stop();
+    std::ofstream out(flags.traceOut);
+    GPD_INPUT_CHECK(out.good(),
+                    "cannot write trace file '" << flags.traceOut << "'");
+    obs::tracer().exportChromeTrace(out);
+    std::cout << "trace: " << obs::tracer().recordedSpans() << " spans ("
+              << obs::tracer().droppedSpans() << " dropped) -> "
+              << flags.traceOut << '\n';
+    obs::tracer().renderFlameSummary(std::cout);
+  }
+  if (flags.stats) {
+    if (flags.json) {
+      obs::renderMetricsJson(std::cout, obs::registry());
+    } else {
+      obs::renderMetricsText(std::cout, obs::registry());
+    }
+  }
+  return code;
+}
+
 // Prints a three-valued budgeted verdict; exit 0 when answered, 3 on
 // Unknown (the budget ran out first).
 int reportDetection(const std::string& label, const detect::Detection& det) {
@@ -307,6 +381,19 @@ int reportDetection(const std::string& label, const detect::Detection& det) {
             << det.progress.peakFrontierBytes << " bytes\n";
   for (const std::string& skipped : det.skippedSteps) {
     std::cout << "  skipped: " << skipped << '\n';
+  }
+  // The structured walk: every plan step visited, with per-step wall time
+  // for the ones that ran.
+  for (const detect::StepTrace& step : det.steps) {
+    std::cout << "  step: " << step.algorithm << " ["
+              << detect::toString(step.status) << "]";
+    if (step.status == detect::StepTrace::Status::Ran) {
+      char ms[32];
+      std::snprintf(ms, sizeof(ms), "%.3f",
+                    static_cast<double>(step.durationNanos) * 1e-6);
+      std::cout << ' ' << ms << "ms" << (step.complete ? "" : " (stopped)");
+    }
+    std::cout << '\n';
   }
   return det.outcome == detect::Outcome::Unknown ? 3 : 0;
 }
@@ -563,8 +650,11 @@ int lintCmd(std::vector<std::string> args) {
 
 int planCmd(std::vector<std::string> args) {
   const BudgetFlags budget = extractBudgetFlags(args);
+  ObsFlags obsFlags = extractObsFlags(args, /*stripFormat=*/false);
   const OutputFlags flags = extractFlags(args);
+  obsFlags.json = flags.json;  // plan's own -f doubles as the stats format
   if (args.size() < 2) return usage();
+  beginObs(obsFlags);
   const io::TraceFile file = io::loadTrace(args[0]);
   const std::string& kind = args[1];
   const std::vector<std::string> rest(args.begin() + 2, args.end());
@@ -623,12 +713,13 @@ int planCmd(std::vector<std::string> args) {
       }
     }
   }
-  return 0;
+  return finishObs(obsFlags, 0);
 }
 
 // Replays the trace through a seeded faulty transport into the resilient
 // session and reports what the notification layer had to do to survive it.
-int monitorCmd(const std::string& path, const std::vector<std::string>& args) {
+int monitorCmd(const std::string& path, std::vector<std::string> args) {
+  const ObsFlags obsFlags = extractObsFlags(args, /*stripFormat=*/true);
   monitor::FaultOptions faults;
   monitor::SessionOptions sopt;
   std::uint64_t seed = 1;
@@ -682,6 +773,7 @@ int monitorCmd(const std::string& path, const std::vector<std::string>& args) {
     }
   }
   if (terms.empty()) return usage();
+  beginObs(obsFlags);
 
   const io::TraceFile file = io::loadTrace(path);
   const Computation& comp = *file.computation;
@@ -740,7 +832,7 @@ int monitorCmd(const std::string& path, const std::vector<std::string>& args) {
     std::cerr << "monitor: online verdict disagrees with offline CPDHB\n";
     return 2;
   }
-  return 0;
+  return finishObs(obsFlags, 0);
 }
 
 int selftest() {
@@ -853,11 +945,17 @@ int main(int argc, char** argv) {
       const io::TraceFile file = io::loadTrace(args[1]);
       std::vector<std::string> rest(args.begin() + 3, args.end());
       const BudgetFlags budget = extractBudgetFlags(rest);
-      if (args[2] == "conj") return detectConj(file, rest, budget);
-      if (args[2] == "cnf") return detectCnf(file, rest, budget);
-      if (args[2] == "sum") return detectSum(file, rest, budget);
-      if (args[2] == "sym") return detectSym(file, rest, budget);
-      return usage();
+      const ObsFlags obsFlags = extractObsFlags(rest, /*stripFormat=*/true);
+      const std::string& kind = args[2];
+      if (kind != "conj" && kind != "cnf" && kind != "sum" && kind != "sym") {
+        return usage();
+      }
+      beginObs(obsFlags);
+      const int code = kind == "conj"  ? detectConj(file, rest, budget)
+                       : kind == "cnf" ? detectCnf(file, rest, budget)
+                       : kind == "sum" ? detectSum(file, rest, budget)
+                                       : detectSym(file, rest, budget);
+      return finishObs(obsFlags, code);
     }
     return usage();
   } catch (const InputError& e) {
