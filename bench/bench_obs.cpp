@@ -155,6 +155,17 @@ int main() {
           vc, *gadget.trace, gadget.predicate, nullptr);
       GPD_CHECK(!res.found && res.complete);
     });
+
+    // The same exhaustion through the --threads 1 pool path: the A10 gate
+    // bounds what the pool dispatch (chunk claiming, worker spans, the
+    // atomic short-circuit watermark) adds when parallelism is requested
+    // but one worker does all the work.
+    par::Pool pool(1);
+    kernelRow("chain-cover-pool1", [&] {
+      const auto res = detect::detectSingularByChainCover(
+          vc, *gadget.trace, gadget.predicate, nullptr, &pool);
+      GPD_CHECK(!res.found && res.complete);
+    });
   }
 
   // Lattice BFS over a dense random computation (one span per

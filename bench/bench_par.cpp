@@ -1,0 +1,129 @@
+// A11 — parallel detection speedup (gpd::par).
+//
+// The acceptance workload: a Theorem-1 gadget of an UNSAT formula whose
+// Π cⱼ chain-cover enumeration takes ≥ 1 s sequentially (UNSAT means no
+// selection is consistent, so the enumeration exhausts its entire
+// combination space — the worst case, and the one that parallelizes
+// perfectly). The same detection then runs through pools of 1, 2, 4, and 8
+// workers; every run must produce the bit-identical result (same verdict,
+// same combination totals, same complete flag) and the table records the
+// speedup trajectory. Target: ≥ 3× at 8 threads on hardware with ≥ 4
+// physical cores — on fewer cores the pool rows degrade toward 1× (plus
+// dispatch overhead), which is expected and printed, not hidden.
+//
+// The gadget is found by a deterministic seed scan: raw 3-CNF formulas are
+// rejected until one is UNSAT and its gadget's combination space lands in
+// the target range. If the scan comes up empty (it does not at the sizes
+// below, but the guard keeps the bench honest), the known seed-7 A9 gadget
+// (65536 combinations, ~25 ms) is repeated enough times to pass 1 s.
+#include <cinttypes>
+#include <optional>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace gpd;
+  bench::banner(
+      "A11 / parallel detection speedup (gpd::par)",
+      "Chain-cover exhaustion of a Theorem-1 gadget, sequential vs pool "
+      "workers. Verdicts are asserted bit-identical across thread counts; "
+      "speedup scales with physical cores (target >= 3x at 8 threads on "
+      ">= 4 cores).");
+
+  // --- Pick the gadget: UNSAT raw formula, combination space in
+  //     [2^21, 2^25] (~0.8-30 s sequential at ~0.4 us per combination).
+  constexpr std::uint64_t kMinCombos = std::uint64_t{1} << 21;
+  constexpr std::uint64_t kMaxCombos = std::uint64_t{1} << 25;
+  std::optional<reduction::SatGadget> gadget;
+  std::uint64_t total = 0;
+  int reps = 1;
+  for (const int vars : {4, 5}) {
+    for (std::uint32_t seed = 1; seed <= 40 && !gadget.has_value(); ++seed) {
+      Rng rng(seed);
+      const sat::Cnf raw = sat::randomKCnf(vars, 6 * vars, 3, rng);
+      if (sat::solveDpll(raw).has_value()) continue;  // need exhaustion
+      const auto simplified =
+          reduction::simplifyForGadget(sat::toNonMonotone(raw).formula);
+      if (simplified.unsatisfiable) continue;
+      auto candidate = reduction::buildSatGadget(simplified.formula);
+      const VectorClocks vc(*candidate.computation);
+      const auto covers =
+          detect::clauseChainCovers(vc, *candidate.trace, candidate.predicate);
+      std::uint64_t combos = 1;
+      for (const auto& cover : covers) {
+        if (cover.empty() || combos > kMaxCombos) {
+          combos = 0;
+          break;
+        }
+        combos *= cover.size();
+      }
+      if (combos < kMinCombos || combos > kMaxCombos) continue;
+      gadget.emplace(std::move(candidate));
+      total = combos;
+      std::printf("gadget: vars=%d seed=%u combinations=%" PRIu64 "\n\n",
+                  vars, seed, total);
+    }
+    if (gadget.has_value()) break;
+  }
+  if (!gadget.has_value()) {
+    // Fallback: the A9 seed-7 gadget, repeated to reach the 1 s floor.
+    Rng rng(7);
+    const sat::Cnf raw = sat::randomKCnf(3, 12, 3, rng);
+    GPD_CHECK(!sat::solveDpll(raw).has_value());
+    const auto simplified =
+        reduction::simplifyForGadget(sat::toNonMonotone(raw).formula);
+    GPD_CHECK(!simplified.unsatisfiable);
+    gadget.emplace(reduction::buildSatGadget(simplified.formula));
+    reps = 48;  // 48 × ~25 ms ≈ 1.2 s sequential
+    std::printf("gadget: fallback seed=7, reps=%d\n\n", reps);
+  }
+
+  const VectorClocks vc(*gadget->computation);
+  const auto runDetect = [&](par::Pool* pool) {
+    detect::SingularCnfResult res;
+    for (int r = 0; r < reps; ++r) {
+      res = detect::detectSingularByChainCover(vc, *gadget->trace,
+                                               gadget->predicate, nullptr,
+                                               pool);
+    }
+    return res;
+  };
+
+  // Sequential reference — the acceptance criterion requires >= 1 s here.
+  Stopwatch seqWatch;
+  const detect::SingularCnfResult seq = runDetect(nullptr);
+  const double seqMs = seqWatch.elapsedMillis();
+  GPD_CHECK(!seq.found && seq.complete);  // UNSAT: exhausted, exact No
+
+  Table table({"threads", "time_s", "speedup", "verdict", "combos"});
+  const auto fmtS = [](double ms) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", ms / 1000.0);
+    return std::string(buf);
+  };
+  table.row("seq", fmtS(seqMs), "1.00", "no (exact)",
+            std::to_string(seq.combinationsTotal));
+
+  for (const int threads : {1, 2, 4, 8}) {
+    par::Pool pool(threads);
+    Stopwatch sw;
+    const detect::SingularCnfResult par = runDetect(&pool);
+    const double ms = sw.elapsedMillis();
+    // Bit-identical result contract: same verdict, same totals, same
+    // completeness — a violated check here is a determinism bug, not noise.
+    GPD_CHECK(par.found == seq.found);
+    GPD_CHECK(par.complete == seq.complete);
+    GPD_CHECK(par.combinationsTotal == seq.combinationsTotal);
+    GPD_CHECK(par.combinationsTried == seq.combinationsTried);
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2f", seqMs / ms);
+    table.row(std::to_string(threads), fmtS(ms), speedup, "no (exact)",
+              std::to_string(par.combinationsTotal));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape check: sequential time >= 1 s; speedup at 8 "
+               "threads >= 3x given >= 4 physical cores (near 1x on a "
+               "single-core container, bounded pool overhead).\n";
+  return 0;
+}

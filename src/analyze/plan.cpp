@@ -365,6 +365,11 @@ void renderPlanText(std::ostream& os, const AnalysisReport& report) {
          << "=" << c.hostingChains << '\n';
     }
   }
+  if (report.threads != 1) {
+    os << "threads: " << report.threads
+       << " (predicted costs are thread-invariant; workers split the same "
+          "total)\n";
+  }
   os << "plan:\n";
   const PlanStep* chosen = nullptr;
   for (const PlanStep& s : report.steps) {
@@ -390,7 +395,8 @@ void renderPlanText(std::ostream& os, const AnalysisReport& report) {
 
 void renderPlanJson(std::ostream& os, const AnalysisReport& report) {
   os << "{\n  \"modality\": \"" << toString(report.modality)
-     << "\",\n  \"predicate\": \"" << jsonEscape(report.predicate) << "\",\n";
+     << "\",\n  \"predicate\": \"" << jsonEscape(report.predicate)
+     << "\",\n  \"threads\": " << report.threads << ",\n";
   os << "  \"classification\": ";
   if (report.cnf) {
     const CnfClassification& cls = *report.cnf;

@@ -72,6 +72,12 @@ struct AnalysisReport {
   std::optional<CnfClassification> cnf;  // present for CNF predicates
   std::vector<PlanStep> steps;           // ranked, best first
   std::vector<Diagnostic> notes;         // informational findings
+  // Worker threads the detector will run the chosen step with (1 =
+  // sequential). Parallelism never changes a step's predicted cost or the
+  // cost-skip decisions — the combination/cut totals are thread-invariant
+  // by the par determinism contract — so the knob is report-only: it tells
+  // the reader how the same total work will be spread.
+  int threads = 1;
 
   // The first applicable step — what Detector will run.
   const PlanStep& chosen() const;

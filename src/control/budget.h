@@ -101,9 +101,16 @@ struct BudgetProgress {
   std::uint64_t peakFrontierBytes = 0;
 };
 
-// A mutable work meter shared by every kernel of one detection call.
-// Exhaustion latches: once any limit trips, every further charge fails
-// immediately and reason() reports the first cause.
+// A mutable work meter shared by every kernel of one detection call —
+// including the par::Pool workers of a parallel kernel, which charge one
+// shared Budget concurrently. Every counter is a relaxed atomic and
+// exhaustion latches exactly once via CAS: the first limit to trip wins,
+// every further charge (from any thread) fails immediately, and reason()
+// reports that single first cause. The amortized deadline/cancel polls
+// (every kPollPeriod cut charges, every kCombinationPollPeriod combination
+// charges) stay amortized under concurrency: the poll counters are shared
+// atomics, so N workers still produce one clock read per period of
+// *aggregate* charges, not one per worker per period.
 class Budget {
  public:
   // Unlimited budget: charges never fail, progress is still counted.
@@ -122,9 +129,21 @@ class Budget {
   }
 
   const BudgetLimits& limits() const { return limits_; }
-  const BudgetProgress& progress() const { return progress_; }
-  bool exhausted() const { return reason_ != StopReason::None; }
-  StopReason reason() const { return reason_; }
+  // Snapshot of the work performed so far (by value: the live counters are
+  // atomics shared with any pool workers still charging).
+  BudgetProgress progress() const {
+    BudgetProgress p;
+    p.cutsVisited = cutsVisited_.load(std::memory_order_relaxed);
+    p.combinationsTried = combinationsTried_.load(std::memory_order_relaxed);
+    p.peakFrontierBytes = peakFrontierBytes_.load(std::memory_order_relaxed);
+    return p;
+  }
+  bool exhausted() const {
+    return reason_.load(std::memory_order_relaxed) != StopReason::None;
+  }
+  StopReason reason() const {
+    return reason_.load(std::memory_order_relaxed);
+  }
 
   // True when some limit other than maxCombinations can stop a lattice
   // exploration (which charges cuts, not combinations). The degradation
@@ -139,18 +158,37 @@ class Budget {
   // Remaining combination headroom; UINT64_MAX when unlimited.
   std::uint64_t remainingCombinations() const {
     if (limits_.maxCombinations == 0) return UINT64_MAX;
-    if (progress_.combinationsTried >= limits_.maxCombinations) return 0;
-    return limits_.maxCombinations - progress_.combinationsTried;
+    const std::uint64_t tried =
+        combinationsTried_.load(std::memory_order_relaxed);
+    if (tried >= limits_.maxCombinations) return 0;
+    return limits_.maxCombinations - tried;
+  }
+
+  // Remaining cut headroom; UINT64_MAX when unlimited. The parallel lattice
+  // BFS uses this to cap each frontier to the exact prefix the sequential
+  // scan would have visited before the CutLimit latch.
+  std::uint64_t remainingCuts() const {
+    if (limits_.maxCuts == 0) return UINT64_MAX;
+    const std::uint64_t visited = cutsVisited_.load(std::memory_order_relaxed);
+    if (visited >= limits_.maxCuts) return 0;
+    return limits_.maxCuts - visited;
   }
 
   // Charge one visited/expanded consistent cut. Returns false (latched)
   // once the budget is exhausted; the failing charge is not counted.
   bool chargeCut() {
-    if (reason_ != StopReason::None) return false;
-    if (limits_.maxCuts != 0 && progress_.cutsVisited >= limits_.maxCuts) {
-      return fail(StopReason::CutLimit);
+    if (exhausted()) return false;
+    if (limits_.maxCuts != 0) {
+      const std::uint64_t prev =
+          cutsVisited_.fetch_add(1, std::memory_order_relaxed);
+      if (prev >= limits_.maxCuts) {
+        // Over-claimed by a racing charge: give the unit back uncounted.
+        cutsVisited_.fetch_sub(1, std::memory_order_relaxed);
+        return fail(StopReason::CutLimit);
+      }
+    } else {
+      cutsVisited_.fetch_add(1, std::memory_order_relaxed);
     }
-    ++progress_.cutsVisited;
     return poll();
   }
 
@@ -163,25 +201,36 @@ class Budget {
   // charge always polls the clock: a deadline that passed before any work
   // is observed immediately.
   bool chargeCombination() {
-    if (reason_ != StopReason::None) return false;
-    if (limits_.maxCombinations != 0 &&
-        progress_.combinationsTried >= limits_.maxCombinations) {
-      return fail(StopReason::CombinationLimit);
+    if (exhausted()) return false;
+    if (limits_.maxCombinations != 0) {
+      const std::uint64_t prev =
+          combinationsTried_.fetch_add(1, std::memory_order_relaxed);
+      if (prev >= limits_.maxCombinations) {
+        combinationsTried_.fetch_sub(1, std::memory_order_relaxed);
+        return fail(StopReason::CombinationLimit);
+      }
+    } else {
+      combinationsTried_.fetch_add(1, std::memory_order_relaxed);
     }
-    ++progress_.combinationsTried;
     if (cancel_ != nullptr && cancel_->cancelRequested()) {
       return fail(StopReason::Cancelled);
     }
-    if ((comboPollCounter_++ & (kCombinationPollPeriod - 1)) != 0) return true;
+    if ((comboPollCounter_.fetch_add(1, std::memory_order_relaxed) &
+         (kCombinationPollPeriod - 1)) != 0) {
+      return true;
+    }
     return checkDeadline();
   }
 
   // Report the current live frontier size of a BFS; tracks the peak and
   // fails once it exceeds maxFrontierBytes.
   bool noteFrontierBytes(std::uint64_t liveBytes) {
-    if (reason_ != StopReason::None) return false;
-    progress_.peakFrontierBytes =
-        std::max(progress_.peakFrontierBytes, liveBytes);
+    if (exhausted()) return false;
+    std::uint64_t cur = peakFrontierBytes_.load(std::memory_order_relaxed);
+    while (liveBytes > cur &&
+           !peakFrontierBytes_.compare_exchange_weak(
+               cur, liveBytes, std::memory_order_relaxed)) {
+    }
     if (limits_.maxFrontierBytes != 0 && liveBytes > limits_.maxFrontierBytes) {
       return fail(StopReason::FrontierLimit);
     }
@@ -191,7 +240,7 @@ class Budget {
   // Amortized deadline/cancellation poll with no work counted — for loops
   // whose iterations are not cuts or combinations (e.g. DPLL propagation).
   bool keepGoing() {
-    if (reason_ != StopReason::None) return false;
+    if (exhausted()) return false;
     return poll();
   }
 
@@ -202,13 +251,19 @@ class Budget {
   // clock only once per this many charges (first charge included).
   static constexpr std::uint32_t kCombinationPollPeriod = 16;
 
+  // Single-latch under concurrency: the first CAS to move reason_ off None
+  // wins; racing failures (even with a different reason) leave it alone.
   bool fail(StopReason r) {
-    if (reason_ == StopReason::None) reason_ = r;
+    StopReason expected = StopReason::None;
+    reason_.compare_exchange_strong(expected, r, std::memory_order_relaxed);
     return false;
   }
 
   bool poll() {
-    if ((++pollCounter_ & (kPollPeriod - 1)) != 0) return true;
+    if (((pollCounter_.fetch_add(1, std::memory_order_relaxed) + 1) &
+         (kPollPeriod - 1)) != 0) {
+      return true;
+    }
     return pollNow();
   }
 
@@ -231,10 +286,12 @@ class Budget {
   BudgetLimits limits_;
   const CancelToken* cancel_ = nullptr;
   std::uint64_t deadlineNs_ = UINT64_MAX;  // UINT64_MAX = no deadline
-  BudgetProgress progress_;
-  StopReason reason_ = StopReason::None;
-  std::uint32_t pollCounter_ = 0;
-  std::uint32_t comboPollCounter_ = 0;
+  std::atomic<std::uint64_t> cutsVisited_{0};
+  std::atomic<std::uint64_t> combinationsTried_{0};
+  std::atomic<std::uint64_t> peakFrontierBytes_{0};
+  std::atomic<StopReason> reason_{StopReason::None};
+  std::atomic<std::uint32_t> pollCounter_{0};
+  std::atomic<std::uint32_t> comboPollCounter_{0};
 };
 
 }  // namespace gpd::control

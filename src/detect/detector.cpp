@@ -190,10 +190,32 @@ Detection walkPlan(const analyze::AnalysisReport& report,
 
 analyze::Algorithm Detector::route(analyze::AnalysisReport report) {
   GPD_OBS_COUNTER_ADD("detector_queries", 1);
-  report_ = std::move(report);
+  adopt(std::move(report));
   const analyze::Algorithm chosen = report_.chosen().algorithm;
   lastAlgorithm_ = analyze::toString(chosen);
   return chosen;
+}
+
+const analyze::AnalysisReport& Detector::adopt(analyze::AnalysisReport report) {
+  report_ = std::move(report);
+  report_.threads = pool_ != nullptr ? pool_->threads() : 1;
+  return report_;
+}
+
+lattice::CutSearchResult Detector::searchLattice(
+    const lattice::CutPredicate& phi, control::Budget* budget) {
+  if (pool_ != nullptr) {
+    return lattice::findSatisfyingCutParallel(clocks_, phi, *pool_, budget);
+  }
+  return lattice::findSatisfyingCutBudgeted(clocks_, phi, budget);
+}
+
+lattice::DefinitelyDecision Detector::decideLattice(
+    const lattice::CutPredicate& phi, control::Budget* budget) {
+  if (pool_ != nullptr) {
+    return lattice::definitelyExhaustiveParallel(clocks_, phi, *pool_, budget);
+  }
+  return lattice::definitelyExhaustiveBudgeted(clocks_, phi, budget);
 }
 
 std::optional<Cut> Detector::possibly(const ConjunctivePredicate& pred) {
@@ -222,7 +244,7 @@ std::optional<Cut> Detector::possibly(const CnfPredicate& pred) {
     }
     case analyze::Algorithm::SingularChainCover: {
       const SingularCnfResult res =
-          detectSingularByChainCover(clocks_, *trace_, pred);
+          detectSingularByChainCover(clocks_, *trace_, pred, nullptr, pool_);
       // Unbudgeted enumerations feed planner accuracy too: the chosen step
       // carries the Π cⱼ prediction this run just realized.
       recordPlanVsActual(report_.chosen(), res.combinationsTried);
@@ -231,9 +253,10 @@ std::optional<Cut> Detector::possibly(const CnfPredicate& pred) {
     }
     default:
       GPD_CHECK(algo == analyze::Algorithm::LatticeEnumeration);
-      return lattice::findSatisfyingCut(clocks_, [&](const Cut& cut) {
-        return pred.holdsAtCut(*trace_, cut);
-      });
+      return searchLattice(
+                 [&](const Cut& cut) { return pred.holdsAtCut(*trace_, cut); },
+                 nullptr)
+          .witness;
   }
 }
 
@@ -278,9 +301,10 @@ bool Detector::definitely(const CnfPredicate& pred) {
   const analyze::Algorithm algo = route(analyze::planCnf(
       clocks_, *trace_, pred, analyze::Modality::Definitely, routingOptions()));
   GPD_CHECK(algo == analyze::Algorithm::LatticeDefinitely);
-  return lattice::definitelyExhaustive(clocks_, [&](const Cut& cut) {
-    return pred.holdsAtCut(*trace_, cut);
-  });
+  const lattice::DefinitelyDecision d = decideLattice(
+      [&](const Cut& cut) { return pred.holdsAtCut(*trace_, cut); }, nullptr);
+  GPD_CHECK(d.decided);
+  return d.holds;
 }
 
 bool Detector::definitely(const SumPredicate& pred) {
@@ -291,9 +315,10 @@ bool Detector::definitely(const SumPredicate& pred) {
       pred.relop == Relop::Equal) {
     // Σ = K with |ΔS| > 1: Theorem 7(2) does not apply; decide against the
     // lattice directly (definitelySum would reject the precondition).
-    return lattice::definitelyExhaustive(clocks_, [&](const Cut& cut) {
-      return pred.holdsAtCut(*trace_, cut);
-    });
+    const lattice::DefinitelyDecision d = decideLattice(
+        [&](const Cut& cut) { return pred.holdsAtCut(*trace_, cut); }, nullptr);
+    GPD_CHECK(d.decided);
+    return d.holds;
   }
   GPD_CHECK(algo == analyze::Algorithm::Theorem7Definitely ||
             algo == analyze::Algorithm::LatticeDefinitely);
@@ -310,8 +335,8 @@ bool Detector::definitely(const SymmetricPredicate& pred) {
 
 Detection Detector::possibly(const ConjunctivePredicate& pred,
                              control::Budget& budget) {
-  report_ = analyze::planConjunctive(clocks_, *trace_, pred,
-                                     analyze::Modality::Possibly);
+  adopt(analyze::planConjunctive(clocks_, *trace_, pred,
+                                 analyze::Modality::Possibly));
   return walkPlan(
       report_, budget, lastAlgorithm_, [&](const analyze::PlanStep& step) {
         switch (step.algorithm) {
@@ -323,13 +348,9 @@ Detection Detector::possibly(const ConjunctivePredicate& pred,
                                            : std::nullopt);
           }
           case analyze::Algorithm::LatticeEnumeration: {
-            const lattice::CutSearchResult search =
-                lattice::findSatisfyingCutBudgeted(
-                    clocks_,
-                    [&](const Cut& cut) {
-                      return pred.holdsAtCut(*trace_, cut);
-                    },
-                    &budget);
+            const lattice::CutSearchResult search = searchLattice(
+                [&](const Cut& cut) { return pred.holdsAtCut(*trace_, cut); },
+                &budget);
             if (!search.complete) return stoppedRun();
             return exactPossibly(search.witness);
           }
@@ -341,8 +362,8 @@ Detection Detector::possibly(const ConjunctivePredicate& pred,
 
 Detection Detector::possibly(const CnfPredicate& pred,
                              control::Budget& budget) {
-  report_ = analyze::planCnf(clocks_, *trace_, pred,
-                             analyze::Modality::Possibly, routingOptions());
+  adopt(analyze::planCnf(clocks_, *trace_, pred, analyze::Modality::Possibly,
+                         routingOptions()));
   return walkPlan(
       report_, budget, lastAlgorithm_, [&](const analyze::PlanStep& step) {
         switch (step.algorithm) {
@@ -361,21 +382,17 @@ Detection Detector::possibly(const CnfPredicate& pred,
             const SingularCnfResult res =
                 step.algorithm == analyze::Algorithm::SingularChainCover
                     ? detectSingularByChainCover(clocks_, *trace_, pred,
-                                                 &budget)
-                    : detectSingularByProcessEnumeration(clocks_, *trace_,
-                                                         pred, &budget);
+                                                 &budget, pool_)
+                    : detectSingularByProcessEnumeration(
+                          clocks_, *trace_, pred, &budget, pool_);
             if (res.found) return exactRun(Outcome::Yes, res.cut);
             if (!res.complete) return stoppedRun();
             return exactRun(Outcome::No);
           }
           case analyze::Algorithm::LatticeEnumeration: {
-            const lattice::CutSearchResult search =
-                lattice::findSatisfyingCutBudgeted(
-                    clocks_,
-                    [&](const Cut& cut) {
-                      return pred.holdsAtCut(*trace_, cut);
-                    },
-                    &budget);
+            const lattice::CutSearchResult search = searchLattice(
+                [&](const Cut& cut) { return pred.holdsAtCut(*trace_, cut); },
+                &budget);
             if (!search.complete) return stoppedRun();
             return exactPossibly(search.witness);
           }
@@ -387,8 +404,7 @@ Detection Detector::possibly(const CnfPredicate& pred,
 
 Detection Detector::possibly(const SumPredicate& pred,
                              control::Budget& budget) {
-  report_ =
-      analyze::planSum(clocks_, *trace_, pred, analyze::Modality::Possibly);
+  adopt(analyze::planSum(clocks_, *trace_, pred, analyze::Modality::Possibly));
   return walkPlan(
       report_, budget, lastAlgorithm_, [&](const analyze::PlanStep& step) {
         switch (step.algorithm) {
@@ -409,21 +425,17 @@ Detection Detector::possibly(const SumPredicate& pred,
 
 Detection Detector::possibly(const SymmetricPredicate& pred,
                              control::Budget& budget) {
-  report_ = analyze::planSymmetric(clocks_, *trace_, pred,
-                                   analyze::Modality::Possibly);
+  adopt(analyze::planSymmetric(clocks_, *trace_, pred,
+                               analyze::Modality::Possibly));
   return walkPlan(
       report_, budget, lastAlgorithm_, [&](const analyze::PlanStep& step) {
         switch (step.algorithm) {
           case analyze::Algorithm::SymmetricExactSumDisjunction:
             return exactPossibly(possiblySymmetric(clocks_, *trace_, pred));
           case analyze::Algorithm::LatticeEnumeration: {
-            const lattice::CutSearchResult search =
-                lattice::findSatisfyingCutBudgeted(
-                    clocks_,
-                    [&](const Cut& cut) {
-                      return pred.holdsAtCut(*trace_, cut);
-                    },
-                    &budget);
+            const lattice::CutSearchResult search = searchLattice(
+                [&](const Cut& cut) { return pred.holdsAtCut(*trace_, cut); },
+                &budget);
             if (!search.complete) return stoppedRun();
             return exactPossibly(search.witness);
           }
@@ -434,8 +446,8 @@ Detection Detector::possibly(const SymmetricPredicate& pred,
 }
 
 Detection Detector::possibly(const BoolExpr& expr, control::Budget& budget) {
-  report_ = analyze::planExpression(clocks_, *trace_, expr,
-                                    analyze::Modality::Possibly);
+  adopt(analyze::planExpression(clocks_, *trace_, expr,
+                                analyze::Modality::Possibly));
   return walkPlan(
       report_, budget, lastAlgorithm_, [&](const analyze::PlanStep& step) {
         switch (step.algorithm) {
@@ -447,13 +459,9 @@ Detection Detector::possibly(const BoolExpr& expr, control::Budget& budget) {
             return exactRun(Outcome::No);
           }
           case analyze::Algorithm::LatticeEnumeration: {
-            const lattice::CutSearchResult search =
-                lattice::findSatisfyingCutBudgeted(
-                    clocks_,
-                    [&](const Cut& cut) {
-                      return expr.evaluate(*trace_, cut);
-                    },
-                    &budget);
+            const lattice::CutSearchResult search = searchLattice(
+                [&](const Cut& cut) { return expr.evaluate(*trace_, cut); },
+                &budget);
             if (!search.complete) return stoppedRun();
             return exactPossibly(search.witness);
           }
@@ -465,8 +473,8 @@ Detection Detector::possibly(const BoolExpr& expr, control::Budget& budget) {
 
 Detection Detector::definitely(const ConjunctivePredicate& pred,
                                control::Budget& budget) {
-  report_ = analyze::planConjunctive(clocks_, *trace_, pred,
-                                     analyze::Modality::Definitely);
+  adopt(analyze::planConjunctive(clocks_, *trace_, pred,
+                                 analyze::Modality::Definitely));
   return walkPlan(
       report_, budget, lastAlgorithm_, [&](const analyze::PlanStep& step) {
         switch (step.algorithm) {
@@ -474,13 +482,9 @@ Detection Detector::definitely(const ConjunctivePredicate& pred,
             return exactDefinitely(
                 definitelyConjunctive(clocks_, *trace_, pred).holds);
           case analyze::Algorithm::LatticeDefinitely: {
-            const lattice::DefinitelyDecision d =
-                lattice::definitelyExhaustiveBudgeted(
-                    clocks_,
-                    [&](const Cut& cut) {
-                      return pred.holdsAtCut(*trace_, cut);
-                    },
-                    &budget);
+            const lattice::DefinitelyDecision d = decideLattice(
+                [&](const Cut& cut) { return pred.holdsAtCut(*trace_, cut); },
+                &budget);
             if (!d.decided) return stoppedRun();
             return exactDefinitely(d.holds);
           }
@@ -492,18 +496,16 @@ Detection Detector::definitely(const ConjunctivePredicate& pred,
 
 Detection Detector::definitely(const CnfPredicate& pred,
                                control::Budget& budget) {
-  report_ = analyze::planCnf(clocks_, *trace_, pred,
-                             analyze::Modality::Definitely, routingOptions());
+  adopt(analyze::planCnf(clocks_, *trace_, pred, analyze::Modality::Definitely,
+                         routingOptions()));
   return walkPlan(
       report_, budget, lastAlgorithm_, [&](const analyze::PlanStep& step) {
         if (step.algorithm != analyze::Algorithm::LatticeDefinitely) {
           return StepRun{};
         }
-        const lattice::DefinitelyDecision d =
-            lattice::definitelyExhaustiveBudgeted(
-                clocks_,
-                [&](const Cut& cut) { return pred.holdsAtCut(*trace_, cut); },
-                &budget);
+        const lattice::DefinitelyDecision d = decideLattice(
+            [&](const Cut& cut) { return pred.holdsAtCut(*trace_, cut); },
+            &budget);
         if (!d.decided) return stoppedRun();
         return exactDefinitely(d.holds);
       });
@@ -511,8 +513,8 @@ Detection Detector::definitely(const CnfPredicate& pred,
 
 Detection Detector::definitely(const SumPredicate& pred,
                                control::Budget& budget) {
-  report_ =
-      analyze::planSum(clocks_, *trace_, pred, analyze::Modality::Definitely);
+  adopt(
+      analyze::planSum(clocks_, *trace_, pred, analyze::Modality::Definitely));
   return walkPlan(
       report_, budget, lastAlgorithm_, [&](const analyze::PlanStep& step) {
         switch (step.algorithm) {
@@ -527,13 +529,11 @@ Detection Detector::definitely(const SumPredicate& pred,
               // Σ = K with |ΔS| > 1 skips the Theorem 7(2) reduction —
               // decide against the lattice directly, like the unbudgeted
               // path.
-              const lattice::DefinitelyDecision d =
-                  lattice::definitelyExhaustiveBudgeted(
-                      clocks_,
-                      [&](const Cut& cut) {
-                        return pred.holdsAtCut(*trace_, cut);
-                      },
-                      &budget);
+              const lattice::DefinitelyDecision d = decideLattice(
+                  [&](const Cut& cut) {
+                    return pred.holdsAtCut(*trace_, cut);
+                  },
+                  &budget);
               if (!d.decided) return stoppedRun();
               return exactDefinitely(d.holds);
             }
@@ -550,8 +550,8 @@ Detection Detector::definitely(const SumPredicate& pred,
 
 Detection Detector::definitely(const SymmetricPredicate& pred,
                                control::Budget& budget) {
-  report_ = analyze::planSymmetric(clocks_, *trace_, pred,
-                                   analyze::Modality::Definitely);
+  adopt(analyze::planSymmetric(clocks_, *trace_, pred,
+                               analyze::Modality::Definitely));
   return walkPlan(
       report_, budget, lastAlgorithm_, [&](const analyze::PlanStep& step) {
         if (step.algorithm != analyze::Algorithm::LatticeDefinitely) {

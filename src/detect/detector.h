@@ -37,6 +37,8 @@
 #include "clocks/vector_clock.h"
 #include "control/budget.h"
 #include "detect/cpdhb.h"
+#include "lattice/explore.h"
+#include "par/pool.h"
 #include "detect/cpdsc.h"
 #include "detect/definitely_conjunctive.h"
 #include "detect/dnf_detect.h"
@@ -58,6 +60,15 @@ class Detector {
       : trace_(&trace), clocks_(trace.computation()) {}
 
   const VectorClocks& clocks() const { return clocks_; }
+
+  // Runs the super-polynomial kernels (the Sec. 3.3 enumerations and the
+  // generic lattice searches) on `pool`'s workers; nullptr (the default)
+  // keeps everything sequential. The pool must outlive the detector calls.
+  // Verdicts and witnesses are bit-identical either way (see par/pool.h);
+  // the polynomial special cases (CPDHB, CPDSC, Theorem 7, min-cut) never
+  // use the pool — they are cheaper than a fan-out.
+  void usePool(par::Pool* pool) { pool_ = pool; }
+  par::Pool* pool() const { return pool_; }
 
   // possibly(φ): witness cut or nullopt.
   std::optional<Cut> possibly(const ConjunctivePredicate& pred);
@@ -97,8 +108,20 @@ class Detector {
   // algorithm.
   analyze::Algorithm route(analyze::AnalysisReport report);
 
+  // Stores `report` (stamped with the pool's thread count) as the last
+  // routing decision, for the budgeted entry points that walk the whole
+  // plan rather than dispatching on chosen().
+  const analyze::AnalysisReport& adopt(analyze::AnalysisReport report);
+
+  // Generic lattice searches, routed through the pool when one is set.
+  lattice::CutSearchResult searchLattice(const lattice::CutPredicate& phi,
+                                         control::Budget* budget);
+  lattice::DefinitelyDecision decideLattice(const lattice::CutPredicate& phi,
+                                            control::Budget* budget);
+
   const VariableTrace* trace_;
   VectorClocks clocks_;
+  par::Pool* pool_ = nullptr;
   std::string lastAlgorithm_;
   analyze::AnalysisReport report_;
 };

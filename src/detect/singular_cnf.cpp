@@ -1,6 +1,7 @@
 #include "detect/singular_cnf.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "graph/chains.h"
 #include "obs/metrics.h"
@@ -29,9 +30,140 @@ void recordEnumeration(SpanT& span, const SingularCnfResult& result) {
   GPD_OBS_HISTOGRAM("enumeration_combinations", result.combinationsTried);
 }
 
-SingularCnfResult enumerateSelections(
-    const VectorClocks& clocks,
-    const std::vector<std::vector<Chain>>& options, control::Budget* budget) {
+// Parallel form of the odometer scan. Combinations are numbered by their
+// linear odometer index (group 0 is the fastest digit, exactly the order
+// the sequential scan walks), workers claim contiguous chunks of indices
+// in increasing order, and a satisfying combination short-circuits the
+// scan via the shared `bestIndex` watermark. Determinism contract:
+//  - the reported witness is the LOWEST satisfying index, not the first
+//    finisher's — every index below the eventual best is scanned (a chunk
+//    is only abandoned for indices above the watermark, and the watermark
+//    only ever holds genuine Yes indices);
+//  - a combination budget caps the scanned prefix to
+//    limit = min(total, remainingCombinations): exactly the indices the
+//    sequential odometer would have charged before the CombinationLimit
+//    latch. When limit < total and no witness was found, one extra charge
+//    latches the same StopReason the sequential scan would have.
+// Count-based budgets therefore reproduce sequential verdicts bit-for-bit;
+// deadline/cancel budgets remain timing-dependent, as they already are
+// sequentially.
+template <typename SpanT>
+void enumerateSelectionsParallel(
+    SpanT& span, const VectorClocks& clocks,
+    const std::vector<std::vector<Chain>>& options, control::Budget* budget,
+    par::Pool& pool, SingularCnfResult& result) {
+  const int m = static_cast<int>(options.size());
+  const int workers = pool.threads();
+  span.attrInt("threads", workers);
+  const std::uint64_t limit = std::min(
+      result.combinationsTotal,
+      budget != nullptr ? budget->remainingCombinations() : UINT64_MAX);
+  const std::uint64_t chunk = std::clamp<std::uint64_t>(
+      limit / (static_cast<std::uint64_t>(workers) * 32), 1, 256);
+
+  std::atomic<std::uint64_t> nextStart{0};
+  std::atomic<std::uint64_t> bestIndex{UINT64_MAX};
+  std::atomic<bool> stopped{false};
+  struct WorkerOut {
+    std::uint64_t tried = 0;
+    std::uint64_t comparisons = 0;
+    std::uint64_t foundIndex = UINT64_MAX;
+    std::optional<Cut> cut;
+    std::vector<EventId> witness;
+  };
+  std::vector<WorkerOut> outs(static_cast<std::size_t>(workers));
+
+  pool.run([&](int w) {
+    GPD_TRACE_SPAN_NAMED(wspan, "par.enumeration_worker");
+    wspan.attrInt("worker", w);
+    WorkerOut& out = outs[static_cast<std::size_t>(w)];
+    std::vector<std::size_t> pick(m, 0);
+    std::vector<Chain> chains(m);
+    while (true) {
+      const std::uint64_t start =
+          nextStart.fetch_add(chunk, std::memory_order_relaxed);
+      if (start >= limit) break;
+      // Chunks are claimed in increasing order, so once the watermark is
+      // below this chunk no later chunk can matter either.
+      if (start > bestIndex.load(std::memory_order_relaxed)) break;
+      if (stopped.load(std::memory_order_relaxed)) break;
+      const std::uint64_t end = std::min(limit, start + chunk);
+      // Decode the odometer digits at `start`, then step incrementally.
+      std::uint64_t rem = start;
+      for (int j = 0; j < m; ++j) {
+        pick[static_cast<std::size_t>(j)] = rem % options[j].size();
+        rem /= options[j].size();
+      }
+      bool abandon = false;
+      for (std::uint64_t i = start; i < end; ++i) {
+        if (i > bestIndex.load(std::memory_order_relaxed) ||
+            stopped.load(std::memory_order_relaxed)) {
+          abandon = true;
+          break;
+        }
+        if (budget != nullptr && !budget->chargeCombination()) {
+          stopped.store(true, std::memory_order_relaxed);
+          abandon = true;
+          break;
+        }
+        for (int j = 0; j < m; ++j) chains[j] = options[j][pick[j]];
+        ++out.tried;
+        ConjunctiveResult sub = findConsistentSelection(clocks, chains);
+        out.comparisons += sub.comparisons;
+        if (sub.found) {
+          std::uint64_t cur = bestIndex.load(std::memory_order_relaxed);
+          while (i < cur && !bestIndex.compare_exchange_weak(
+                                cur, i, std::memory_order_relaxed)) {
+          }
+          // This worker scans ascending, so its first hit is its lowest;
+          // everything above is moot for it.
+          out.foundIndex = i;
+          out.cut = sub.cut;
+          out.witness = std::move(sub.witness);
+          abandon = true;
+          break;
+        }
+        // Advance the odometer one step.
+        int j = 0;
+        while (j < m && ++pick[j] >= options[j].size()) {
+          pick[j] = 0;
+          ++j;
+        }
+      }
+      if (abandon) break;
+    }
+    wspan.attrInt("tried", static_cast<std::int64_t>(out.tried));
+  });
+
+  for (const WorkerOut& out : outs) {
+    result.combinationsTried += out.tried;
+    result.comparisons += out.comparisons;
+  }
+  const std::uint64_t best = bestIndex.load(std::memory_order_relaxed);
+  if (best != UINT64_MAX) {
+    for (WorkerOut& out : outs) {
+      if (out.foundIndex == best) {
+        result.found = true;
+        result.cut = out.cut;
+        result.witness = std::move(out.witness);
+        break;
+      }
+    }
+  } else if (stopped.load(std::memory_order_relaxed)) {
+    result.complete = false;  // a mid-scan charge failed (deadline/cancel)
+  } else if (limit < result.combinationsTotal) {
+    // The whole budgeted prefix was scanned without a hit; charge once more
+    // so the budget latches CombinationLimit exactly like the sequential
+    // scan's next charge would have.
+    if (budget != nullptr) budget->chargeCombination();
+    result.complete = false;
+  }
+  recordEnumeration(span, result);
+}
+
+SingularCnfResult enumerateSelections(const VectorClocks& clocks,
+                                      const std::vector<std::vector<Chain>>& options,
+                                      control::Budget* budget, par::Pool* pool) {
   GPD_TRACE_SPAN_NAMED(span, "detect.singular_enumeration");
   SingularCnfResult result;
   // The space size is Π |options[j]|, which overflows uint64 already at
@@ -49,6 +181,14 @@ SingularCnfResult enumerateSelections(
     } else {
       result.combinationsTotal *= opts.size();
     }
+  }
+
+  // A saturated total breaks linear-index chunking (indices past UINT64_MAX
+  // are unaddressable), so such spaces stay on the sequential odometer —
+  // they are budget-stopped long before the distinction could matter.
+  if (pool != nullptr && result.combinationsTotal != UINT64_MAX) {
+    enumerateSelectionsParallel(span, clocks, options, budget, *pool, result);
+    return result;
   }
 
   const int m = static_cast<int>(options.size());
@@ -107,7 +247,7 @@ std::vector<std::vector<EventId>> clauseTrueEvents(const VariableTrace& trace,
 
 SingularCnfResult detectSingularByProcessEnumeration(
     const VectorClocks& clocks, const VariableTrace& trace,
-    const CnfPredicate& pred, control::Budget* budget) {
+    const CnfPredicate& pred, control::Budget* budget, par::Pool* pool) {
   GPD_CHECK_MSG(pred.isSingular(), "predicate is not singular");
   GPD_TRACE_SPAN_NAMED(span, "detect.process_enumeration");
   span.attrInt("clauses", static_cast<std::int64_t>(pred.clauses.size()));
@@ -124,7 +264,7 @@ SingularCnfResult detectSingularByProcessEnumeration(
       if (!chain.events.empty()) options[j].push_back(std::move(chain));
     }
   }
-  return enumerateSelections(clocks, options, budget);
+  return enumerateSelections(clocks, options, budget, pool);
 }
 
 std::vector<std::vector<Chain>> clauseChainCovers(
@@ -151,12 +291,13 @@ std::vector<std::vector<Chain>> clauseChainCovers(
 SingularCnfResult detectSingularByChainCover(const VectorClocks& clocks,
                                              const VariableTrace& trace,
                                              const CnfPredicate& pred,
-                                             control::Budget* budget) {
+                                             control::Budget* budget,
+                                             par::Pool* pool) {
   GPD_CHECK_MSG(pred.isSingular(), "predicate is not singular");
   GPD_TRACE_SPAN_NAMED(span, "detect.chain_cover_enumeration");
   span.attrInt("clauses", static_cast<std::int64_t>(pred.clauses.size()));
   return enumerateSelections(clocks, clauseChainCovers(clocks, trace, pred),
-                             budget);
+                             budget, pool);
 }
 
 }  // namespace gpd::detect

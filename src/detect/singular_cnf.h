@@ -24,6 +24,7 @@
 #include "computation/cut.h"
 #include "control/budget.h"
 #include "detect/cpdhb.h"
+#include "par/pool.h"
 #include "predicates/cnf.h"
 
 namespace gpd::detect {
@@ -49,15 +50,26 @@ std::vector<std::vector<EventId>> clauseTrueEvents(const VariableTrace& trace,
 // Sec. 3.3(a). Requires pred.isSingular(). The budget is charged one
 // combination per CPDHB invocation; on exhaustion the result carries
 // complete=false and the selections tried so far.
+//
+// With a pool, combinations fan out across the workers in deterministic
+// index order: the verdict, witness (lowest satisfying combination index),
+// combinationsTotal, and complete flag are bit-identical to the sequential
+// scan for any thread count — only combinationsTried/comparisons (progress
+// before the first-Yes short-circuit) may differ. A combination budget caps
+// the scanned prefix to exactly the indices the sequential odometer would
+// have charged.
 SingularCnfResult detectSingularByProcessEnumeration(
     const VectorClocks& clocks, const VariableTrace& trace,
-    const CnfPredicate& pred, control::Budget* budget = nullptr);
+    const CnfPredicate& pred, control::Budget* budget = nullptr,
+    par::Pool* pool = nullptr);
 
-// Sec. 3.3(b). Requires pred.isSingular(). Budgeted like (a).
+// Sec. 3.3(b). Requires pred.isSingular(). Budgeted and parallelized
+// like (a).
 SingularCnfResult detectSingularByChainCover(const VectorClocks& clocks,
                                              const VariableTrace& trace,
                                              const CnfPredicate& pred,
-                                             control::Budget* budget = nullptr);
+                                             control::Budget* budget = nullptr,
+                                             par::Pool* pool = nullptr);
 
 // Minimum chain covers of each clause's true events; exposed for the A1
 // ablation bench (cover sizes vs group sizes).

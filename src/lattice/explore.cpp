@@ -1,6 +1,7 @@
 #include "lattice/explore.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_set>
 #include <vector>
 
@@ -139,6 +140,115 @@ CutSearchResult findSatisfyingCutBudgeted(const VectorClocks& clocks,
   return result;
 }
 
+CutSearchResult findSatisfyingCutParallel(const VectorClocks& clocks,
+                                          const CutPredicate& phi,
+                                          par::Pool& pool,
+                                          control::Budget* budget) {
+  GPD_TRACE_SPAN_NAMED(span, "lattice.explore_par");
+  const int workers = pool.threads();
+  span.attrInt("threads", workers);
+  const Computation& comp = clocks.computation();
+  const std::uint64_t perCut = cutBytes(comp);
+  CutSearchResult result;
+  ExploreResult& ex = result.explore;
+  const auto finish = [&]() -> CutSearchResult& {
+    span.attrInt("cuts", static_cast<std::int64_t>(ex.cutsVisited));
+    span.attrStr("end", toString(ex.end));
+    recordExploration("explore", ex);
+    result.complete =
+        result.witness.has_value() || ex.end == ExploreEnd::Exhausted;
+    return result;
+  };
+
+  std::vector<Cut> level{initialCut(comp)};
+  std::vector<std::vector<Cut>> nexts(static_cast<std::size_t>(workers));
+  std::vector<std::uint64_t> visited(static_cast<std::size_t>(workers), 0);
+  while (!level.empty()) {
+    // Cap this frontier to the exact prefix the sequential scan would have
+    // charged before its CutLimit latch: positions past `eligible` are the
+    // cuts the sequential loop never reached.
+    const std::uint64_t eligible = std::min<std::uint64_t>(
+        level.size(),
+        budget != nullptr ? budget->remainingCuts() : UINT64_MAX);
+    std::atomic<std::uint64_t> bestPos{UINT64_MAX};
+    std::atomic<bool> stopped{false};
+    pool.run([&](int w) {
+      const std::uint64_t begin =
+          eligible * static_cast<std::uint64_t>(w) /
+          static_cast<std::uint64_t>(workers);
+      const std::uint64_t endPos =
+          eligible * static_cast<std::uint64_t>(w + 1) /
+          static_cast<std::uint64_t>(workers);
+      if (begin >= endPos) return;
+      GPD_TRACE_SPAN_NAMED(wspan, "par.lattice_worker");
+      wspan.attrInt("worker", w);
+      std::unordered_set<Cut> seen;
+      std::vector<Cut>& next = nexts[static_cast<std::size_t>(w)];
+      for (std::uint64_t pos = begin; pos < endPos; ++pos) {
+        // A satisfying cut at a lower position makes everything above it
+        // moot; the watermark only ever holds genuine witnesses, so no
+        // position below the eventual lowest one is ever skipped.
+        if (pos > bestPos.load(std::memory_order_relaxed) ||
+            stopped.load(std::memory_order_relaxed)) {
+          return;
+        }
+        if (budget != nullptr && !budget->chargeCut()) {
+          stopped.store(true, std::memory_order_relaxed);
+          return;
+        }
+        ++visited[static_cast<std::size_t>(w)];
+        const Cut& cut = level[pos];
+        if (phi(cut)) {
+          std::uint64_t cur = bestPos.load(std::memory_order_relaxed);
+          while (pos < cur && !bestPos.compare_exchange_weak(
+                                  cur, pos, std::memory_order_relaxed)) {
+          }
+          return;
+        }
+        expand(clocks, cut, seen, next, [](const Cut&) { return true; });
+      }
+    });
+    for (std::uint64_t& count : visited) {
+      ex.cutsVisited += count;
+      count = 0;
+    }
+    const std::uint64_t best = bestPos.load(std::memory_order_relaxed);
+    if (best != UINT64_MAX) {
+      result.witness = level[best];
+      ex.end = ExploreEnd::VisitorStopped;
+      return finish();
+    }
+    if (stopped.load(std::memory_order_relaxed)) {
+      ex.end = ExploreEnd::BudgetExhausted;
+      return finish();
+    }
+    if (eligible < level.size()) {
+      // The sequential scan's next charge would have latched CutLimit;
+      // reproduce that latch so the reported StopReason matches.
+      if (budget != nullptr) budget->chargeCut();
+      ex.end = ExploreEnd::BudgetExhausted;
+      return finish();
+    }
+    // Ordered merge: slices are contiguous and ascending, so concatenating
+    // the per-worker next-frontiers in worker order walks the successors in
+    // the sequential generation order; first-occurrence dedup then yields
+    // exactly the sequential next level.
+    std::unordered_set<Cut> seen;
+    std::vector<Cut> next;
+    for (std::vector<Cut>& part : nexts) {
+      for (Cut& cut : part) {
+        if (seen.insert(cut).second) next.push_back(std::move(cut));
+      }
+      part.clear();
+    }
+    if (!noteFrontier(ex, perCut, level.size() + next.size(), budget)) {
+      return finish();
+    }
+    level = std::move(next);
+  }
+  return finish();
+}
+
 std::optional<Cut> findSatisfyingCut(const VectorClocks& clocks,
                                      const CutPredicate& phi) {
   return findSatisfyingCutBudgeted(clocks, phi, nullptr).witness;
@@ -178,6 +288,98 @@ DefinitelyDecision definitelyExhaustiveBudgeted(const VectorClocks& clocks,
       }
       ++decision.explore.cutsVisited;
       expand(clocks, cut, seen, next, notPhi);
+    }
+    for (const Cut& cut : next) {
+      if (cut == top) {  // an all-¬φ run exists
+        decision.holds = false;
+        decision.explore.end = ExploreEnd::VisitorStopped;
+        return decision;
+      }
+    }
+    if (!noteFrontier(decision.explore, perCut, level.size() + next.size(),
+                      budget)) {
+      decision.decided = false;
+      return decision;
+    }
+    level = std::move(next);
+  }
+  decision.holds = true;
+  return decision;
+}
+
+DefinitelyDecision definitelyExhaustiveParallel(const VectorClocks& clocks,
+                                                const CutPredicate& phi,
+                                                par::Pool& pool,
+                                                control::Budget* budget) {
+  GPD_TRACE_SPAN_NAMED(span, "lattice.definitely_par");
+  const int workers = pool.threads();
+  span.attrInt("threads", workers);
+  DefinitelyDecision decision;
+  const Computation& comp = clocks.computation();
+  const std::uint64_t perCut = cutBytes(comp);
+  const Cut bottom = initialCut(comp);
+  const Cut top = finalCut(comp);
+  if (phi(bottom)) {  // every run starts at ⊥
+    decision.holds = true;
+    return decision;
+  }
+  if (bottom == top) {
+    decision.holds = false;
+    return decision;
+  }
+  const auto notPhi = [&](const Cut& c) { return !phi(c); };
+  std::vector<Cut> level{bottom};
+  std::vector<std::vector<Cut>> nexts(static_cast<std::size_t>(workers));
+  std::vector<std::uint64_t> visited(static_cast<std::size_t>(workers), 0);
+  while (!level.empty()) {
+    const std::uint64_t eligible = std::min<std::uint64_t>(
+        level.size(),
+        budget != nullptr ? budget->remainingCuts() : UINT64_MAX);
+    std::atomic<bool> stopped{false};
+    pool.run([&](int w) {
+      const std::uint64_t begin =
+          eligible * static_cast<std::uint64_t>(w) /
+          static_cast<std::uint64_t>(workers);
+      const std::uint64_t endPos =
+          eligible * static_cast<std::uint64_t>(w + 1) /
+          static_cast<std::uint64_t>(workers);
+      if (begin >= endPos) return;
+      GPD_TRACE_SPAN_NAMED(wspan, "par.lattice_worker");
+      wspan.attrInt("worker", w);
+      std::unordered_set<Cut> seen;
+      std::vector<Cut>& next = nexts[static_cast<std::size_t>(w)];
+      for (std::uint64_t pos = begin; pos < endPos; ++pos) {
+        if (stopped.load(std::memory_order_relaxed)) return;
+        if (budget != nullptr && !budget->chargeCut()) {
+          stopped.store(true, std::memory_order_relaxed);
+          return;
+        }
+        ++visited[static_cast<std::size_t>(w)];
+        expand(clocks, level[pos], seen, next, notPhi);
+      }
+    });
+    for (std::uint64_t& count : visited) {
+      decision.explore.cutsVisited += count;
+      count = 0;
+    }
+    if (stopped.load(std::memory_order_relaxed)) {
+      decision.decided = false;
+      decision.explore.end = ExploreEnd::BudgetExhausted;
+      return decision;
+    }
+    if (eligible < level.size()) {
+      if (budget != nullptr) budget->chargeCut();  // latch CutLimit
+      decision.decided = false;
+      decision.explore.end = ExploreEnd::BudgetExhausted;
+      return decision;
+    }
+    std::unordered_set<Cut> seen;
+    std::vector<Cut> next;
+    for (std::vector<Cut>& part : nexts) {
+      for (Cut& cut : part) {
+        if (seen.insert(cut).second) next.push_back(std::move(cut));
+      }
+      part.clear();
     }
     for (const Cut& cut : next) {
       if (cut == top) {  // an all-¬φ run exists

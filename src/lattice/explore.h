@@ -22,6 +22,7 @@
 #include "computation/computation.h"
 #include "computation/cut.h"
 #include "control/budget.h"
+#include "par/pool.h"
 
 namespace gpd::lattice {
 
@@ -73,6 +74,23 @@ CutSearchResult findSatisfyingCutBudgeted(const VectorClocks& clocks,
                                           const CutPredicate& phi,
                                           control::Budget* budget = nullptr);
 
+// Level-synchronous parallel form of findSatisfyingCutBudgeted: pool
+// workers scan disjoint contiguous slices of each antichain frontier and
+// their per-worker next-frontiers merge back in slice order, reproducing
+// the sequential BFS frontier order exactly. The witness is the frontier's
+// lowest-position satisfying cut (not the first finisher's), so the
+// verdict, witness, and complete flag are bit-identical to the sequential
+// search for any thread count under count/frontier budgets; cutsVisited
+// may differ once the short-circuit races the scan. A cut budget caps each
+// frontier to the exact prefix the sequential scan would have charged
+// before its CutLimit latch. phi must be safe to call concurrently (the
+// library's variable-based predicates are: evaluation is pure const
+// reads of the trace).
+CutSearchResult findSatisfyingCutParallel(const VectorClocks& clocks,
+                                          const CutPredicate& phi,
+                                          par::Pool& pool,
+                                          control::Budget* budget = nullptr);
+
 // possibly(φ): some consistent cut satisfies φ. Returns a witness cut.
 std::optional<Cut> findSatisfyingCut(const VectorClocks& clocks,
                                      const CutPredicate& phi);
@@ -89,6 +107,13 @@ struct DefinitelyDecision {
 
 DefinitelyDecision definitelyExhaustiveBudgeted(const VectorClocks& clocks,
                                                 const CutPredicate& phi,
+                                                control::Budget* budget = nullptr);
+
+// Parallel form of definitelyExhaustiveBudgeted with the same slice-order
+// partitioning and determinism contract as findSatisfyingCutParallel.
+DefinitelyDecision definitelyExhaustiveParallel(const VectorClocks& clocks,
+                                                const CutPredicate& phi,
+                                                par::Pool& pool,
                                                 control::Budget* budget = nullptr);
 
 // definitely(φ): every run passes through a cut satisfying φ. Equivalent to:

@@ -9,8 +9,9 @@
 //
 //   * Counter   — monotonic uint64, relaxed atomic add (~1 ns);
 //   * Gauge     — int64 with set() and max() (CAS loop), for peaks;
-//   * Histogram — 64 fixed log2 buckets (bucket i counts values whose
-//     bit width is i), plus running count/sum, for distributions like
+//   * Histogram — 65 fixed log2 buckets (bucket i counts values whose
+//     bit width is i: bucket 0 is value 0, bucket 64 tops out at
+//     UINT64_MAX), plus running count/sum, for distributions like
 //     plan-vs-actual prediction error.
 //
 // Hot-path usage goes through the GPD_OBS_* macros, which resolve the

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <thread>
 
 namespace gpd::obs {
 
@@ -25,34 +26,114 @@ struct ThreadBuffer {
   std::uint64_t recorded = 0;  // total ever recorded by this thread
 };
 
-thread_local ThreadBuffer* tlsBuffer = nullptr;
-thread_local int tlsDepth = 0;
-
-}  // namespace
-
-struct Tracer::Impl {
+// Everything a Tracer owns. Namespace-scope (as Tracer::Impl's base) so the
+// registry and the thread-exit hook below can name it.
+struct TracerState {
   std::mutex mutex;
+  // Owns every buffer ever opened against this tracer — including those of
+  // pool workers that have already exited. Their spans and drop counts stay
+  // exportable for the lifetime of the tracer.
   std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  // Buffers of threads still running, for reuse on their next record().
+  // Detached on thread exit: OS thread ids recycle, and a recycled id must
+  // get a fresh buffer (fresh tracer tid), not splice its spans into a dead
+  // thread's timeline — that would break the exporter's per-tid nesting
+  // containment.
+  std::map<std::thread::id, ThreadBuffer*> live;
   std::uint32_t nextTid = 1;
+  std::uint64_t id = 0;  // never-reused instance id (the TLS cache key)
+};
 
-  ThreadBuffer& localBuffer() {
-    if (tlsBuffer == nullptr) {
-      std::lock_guard<std::mutex> lock(mutex);
-      auto buf = std::make_unique<ThreadBuffer>();
-      buf->tid = nextTid++;
-      buf->ring.reserve(kRingCapacity);
-      tlsBuffer = buf.get();
-      buffers.push_back(std::move(buf));
+// Registry of live tracers keyed by instance id. The thread-exit hook walks
+// it to detach this thread's buffers without dereferencing a tracer that was
+// destroyed first, and the thread-local buffer cache keys on the id because
+// ids never recycle while heap addresses do. Both the mutex and the map
+// deliberately leak: main's thread-exit hook and the process-wide tracer's
+// destructor run during shutdown, after namespace-scope statics may already
+// be gone.
+std::mutex& registryMutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+std::map<std::uint64_t, TracerState*>& registry() {
+  static auto* m = new std::map<std::uint64_t, TracerState*>;
+  return *m;
+}
+std::uint64_t registerState(TracerState* state) {
+  std::lock_guard<std::mutex> lock(registryMutex());
+  static std::uint64_t nextId = 1;
+  const std::uint64_t id = nextId++;
+  registry()[id] = state;
+  return id;
+}
+void unregisterState(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(registryMutex());
+  registry().erase(id);
+}
+
+// Runs in every exiting thread that recorded spans: detaches the thread's
+// buffers from each tracer it touched (skipping tracers that died first).
+// The buffers themselves stay with their tracers.
+struct ThreadDetacher {
+  std::vector<std::uint64_t> touched;  // tracer ids this thread opened
+  ~ThreadDetacher() {
+    std::lock_guard<std::mutex> lock(registryMutex());
+    for (std::uint64_t id : touched) {
+      const auto it = registry().find(id);
+      if (it == registry().end()) continue;
+      TracerState* state = it->second;
+      std::lock_guard<std::mutex> stateLock(state->mutex);
+      state->live.erase(std::this_thread::get_id());
     }
-    return *tlsBuffer;
   }
 };
 
-Tracer::Tracer() : impl_(new Impl) {}
-Tracer::~Tracer() { delete impl_; }
+thread_local ThreadDetacher tlsDetacher;
+// One-entry cache of the last (tracer, buffer) pair this thread recorded
+// into. Keyed by tracer id, NOT by pointer: a fresh tracer can land at a
+// freed tracer's address, and a plain pointer cache would then hand the new
+// instance a buffer owned by the dead one (stale tid at best,
+// use-after-free at worst).
+thread_local std::uint64_t tlsOwnerId = 0;
+thread_local ThreadBuffer* tlsBuffer = nullptr;
+thread_local int tlsDepth = 0;
+
+ThreadBuffer& localBuffer(TracerState& state) {
+  if (tlsOwnerId == state.id && tlsBuffer != nullptr) return *tlsBuffer;
+  std::lock_guard<std::mutex> lock(state.mutex);
+  const std::thread::id self = std::this_thread::get_id();
+  ThreadBuffer* buf = nullptr;
+  const auto it = state.live.find(self);
+  if (it != state.live.end()) {
+    buf = it->second;  // this thread alternates between tracer instances
+  } else {
+    auto owned = std::make_unique<ThreadBuffer>();
+    owned->tid = state.nextTid++;
+    owned->ring.reserve(kRingCapacity);
+    buf = owned.get();
+    state.buffers.push_back(std::move(owned));
+    state.live.emplace(self, buf);
+    tlsDetacher.touched.push_back(state.id);
+  }
+  tlsOwnerId = state.id;
+  tlsBuffer = buf;
+  return *buf;
+}
+
+}  // namespace
+
+struct Tracer::Impl : TracerState {};
+
+Tracer::Tracer() : impl_(new Impl) { impl_->id = registerState(impl_); }
+Tracer::~Tracer() {
+  // After this, exiting threads and the TLS cache can no longer reach the
+  // impl: the registry entry is gone and the instance id is never reused.
+  unregisterState(impl_->id);
+  delete impl_;
+}
 
 void Tracer::record(const SpanRecord& rec) {
-  ThreadBuffer& buf = impl_->localBuffer();
+  ThreadBuffer& buf = localBuffer(*impl_);
   SpanRecord stamped = rec;
   stamped.tid = buf.tid;
   if (buf.ring.size() < kRingCapacity) {

@@ -1,0 +1,165 @@
+// control::Budget shared across pool workers (the satellite-1 regression:
+// the counter charges used to be non-atomic read-modify-write and raced the
+// moment a parallel kernel shared one budget). Under concurrent charging the
+// budget must:
+//   * let exactly maxX charges succeed — the over-claim giveback means a
+//     racing surplus charge is returned uncounted, never double-counted;
+//   * latch exhaustion exactly once, with a single stable StopReason even
+//     when two different limits trip from different threads;
+//   * keep the amortized deadline polls amortized in *aggregate* (the poll
+//     counters are shared), not per worker.
+// The TSan CI job (GPD_SANITIZE=thread) runs this suite to prove the fix,
+// not just observe it.
+#include "control/budget.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace gpd::control {
+namespace {
+
+constexpr int kThreads = 8;
+
+// Runs body(t) on kThreads std::threads and joins them.
+template <typename Body>
+void hammer(const Body& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back([&body, t] { body(t); });
+  for (std::thread& th : threads) th.join();
+}
+
+TEST(BudgetConcurrencyTest, ExactlyMaxCutsChargesSucceed) {
+  constexpr std::uint64_t kMax = 10000;
+  BudgetLimits limits;
+  limits.maxCuts = kMax;
+  Budget b(limits);
+  std::atomic<std::uint64_t> successes{0};
+  hammer([&](int) {
+    std::uint64_t local = 0;
+    for (int i = 0; i < 3000; ++i) {  // 8 × 3000 attempts ≫ kMax
+      if (b.chargeCut()) ++local;
+    }
+    successes.fetch_add(local);
+  });
+  EXPECT_EQ(successes.load(), kMax);
+  // The failing charges were given back: the meter shows work performed.
+  EXPECT_EQ(b.progress().cutsVisited, kMax);
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_EQ(b.reason(), StopReason::CutLimit);
+  EXPECT_EQ(b.remainingCuts(), 0u);
+}
+
+TEST(BudgetConcurrencyTest, ExactlyMaxCombinationsChargesSucceed) {
+  constexpr std::uint64_t kMax = 7777;  // not a poll-period multiple
+  BudgetLimits limits;
+  limits.maxCombinations = kMax;
+  Budget b(limits);
+  std::atomic<std::uint64_t> successes{0};
+  hammer([&](int) {
+    std::uint64_t local = 0;
+    for (int i = 0; i < 2000; ++i) {
+      if (b.chargeCombination()) ++local;
+    }
+    successes.fetch_add(local);
+  });
+  EXPECT_EQ(successes.load(), kMax);
+  EXPECT_EQ(b.progress().combinationsTried, kMax);
+  EXPECT_EQ(b.reason(), StopReason::CombinationLimit);
+  EXPECT_EQ(b.remainingCombinations(), 0u);
+}
+
+TEST(BudgetConcurrencyTest, TwoLimitsTrippingConcurrentlySingleLatch) {
+  BudgetLimits limits;
+  limits.maxCuts = 500;
+  limits.maxCombinations = 500;
+  Budget b(limits);
+  // Even threads exhaust cuts, odd threads combinations, racing to latch.
+  hammer([&](int t) {
+    for (int i = 0; i < 1000; ++i) {
+      if (t % 2 == 0) {
+        b.chargeCut();
+      } else {
+        b.chargeCombination();
+      }
+    }
+  });
+  EXPECT_TRUE(b.exhausted());
+  const StopReason first = b.reason();
+  EXPECT_TRUE(first == StopReason::CutLimit ||
+              first == StopReason::CombinationLimit);
+  // The latch is permanent and the reason stable: later charges of the
+  // *other* kind fail without overwriting the first cause.
+  EXPECT_FALSE(b.chargeCut());
+  EXPECT_FALSE(b.chargeCombination());
+  EXPECT_FALSE(b.keepGoing());
+  EXPECT_EQ(b.reason(), first);
+  EXPECT_LE(b.progress().cutsVisited, 500u);
+  EXPECT_LE(b.progress().combinationsTried, 500u);
+}
+
+TEST(BudgetConcurrencyTest, ConcurrentFrontierNotesTrackTheTruePeak) {
+  Budget b;  // unlimited: peak tracking only
+  hammer([&](int t) {
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+      b.noteFrontierBytes(i * 8 + static_cast<std::uint64_t>(t));
+    }
+  });
+  // The CAS-max loop must land on the true maximum over all threads.
+  EXPECT_EQ(b.progress().peakFrontierBytes, 999u * 8 + (kThreads - 1));
+}
+
+TEST(BudgetConcurrencyTest, CancellationStopsEveryWorker) {
+  CancelToken cancel;
+  BudgetLimits limits;
+  limits.deadlineMillis = 60000;  // never trips; enables the cancel path
+  Budget b(limits, &cancel);
+  std::atomic<std::uint64_t> successesAfterCancel{0};
+  hammer([&](int t) {
+    if (t == 0) cancel.requestCancel();
+    // Combination charges observe the token on every charge, so at most a
+    // handful of in-flight charges can slip through after the request.
+    bool failed = false;
+    for (int i = 0; i < 5000; ++i) {
+      if (!b.chargeCombination()) {
+        failed = true;
+      } else if (failed) {
+        successesAfterCancel.fetch_add(1);  // fail → success: forbidden
+      }
+    }
+  });
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_EQ(b.reason(), StopReason::Cancelled);
+  // Once a worker sees a failed charge, every later charge it makes fails
+  // too — exhaustion is monotone per observer.
+  EXPECT_EQ(successesAfterCancel.load(), 0u);
+}
+
+#ifndef GPD_OBS_DISABLED
+TEST(BudgetConcurrencyTest, DeadlineClockReadsStayAmortizedInAggregate) {
+  obs::Counter& reads = obs::registry().counter("budget_clock_reads");
+  const std::uint64_t before = reads.value();
+  BudgetLimits limits;
+  limits.deadlineMillis = 60000;  // deadline armed → polls read the clock
+  Budget b(limits);
+  constexpr std::uint64_t kPerThread = 10000;
+  hammer([&](int) {
+    for (std::uint64_t i = 0; i < kPerThread; ++i) b.chargeCut();
+  });
+  const std::uint64_t total = kPerThread * kThreads;
+  EXPECT_EQ(b.progress().cutsVisited, total);
+  // One clock read at construction plus ~total/64 amortized polls — shared
+  // poll counters mean one read per period of aggregate charges, not one
+  // per worker per period. Allow 2× slack for torn fetch_add interleavings.
+  const std::uint64_t delta = reads.value() - before;
+  EXPECT_LE(delta, 1 + 2 * (total / 64));
+  EXPECT_GE(delta, 1u);
+}
+#endif  // GPD_OBS_DISABLED
+
+}  // namespace
+}  // namespace gpd::control

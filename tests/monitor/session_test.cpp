@@ -241,6 +241,32 @@ TEST(MonitorSessionTest, AnnounceEndBelowEvictedSeqIsInputError) {
   EXPECT_THROW(s.announceEnd(0, 3), InputError);
 }
 
+// Pins the exact boundary of the evicted-seq consistency check:
+// evictedUpper_ is one PAST the highest evicted sequence number, so an
+// announced count equal to it (seq 5 evicted → 6 notifications total) is
+// consistent and must be accepted, while count == evictedUpper - 1 claims
+// the already-received seq 5 was never sent and must throw. Recovery after
+// the accepted announcement still NACKs the full missing range including
+// the evicted seq.
+TEST(MonitorSessionTest, AnnounceEndAtEvictedUpperBoundaryIsAccepted) {
+  SessionOptions opt = fastRetry();
+  opt.reorderWindow = 1;
+  NackLog nacks;
+  MonitorSession s(2, opt, nacks.fn());
+  s.deliver(0, 1, {2, 0});  // buffered; opens the gap, NACK [0,0]
+  s.deliver(0, 5, {6, 0});  // evicted: evictedUpper_ becomes 6
+  EXPECT_EQ(s.stats().bufferEvicted, 1u);
+  EXPECT_THROW(s.announceEnd(0, 5), InputError);  // one below the bound
+  s.announceEnd(0, 6);                            // exactly the bound
+  EXPECT_TRUE(s.hasActiveGaps());  // seqs 0, 2..5 still missing
+  // The next retry re-requests everything through the evicted seq 5.
+  const std::size_t sent = nacks.requests.size();
+  for (int i = 0; i < 16 && nacks.requests.size() == sent; ++i) s.tick();
+  ASSERT_GT(nacks.requests.size(), sent);
+  EXPECT_EQ(nacks.requests.back().lo, 0u);
+  EXPECT_EQ(nacks.requests.back().hi, 5u);
+}
+
 TEST(MonitorSessionTest, CheckpointRoundTripPreservesEverything) {
   NackLog nacks;
   MonitorSession s(3, fastRetry(), nacks.fn());

@@ -8,8 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gpd.h"
@@ -175,6 +178,127 @@ TEST_F(TracerTest, EmptyExportIsStillLoadableJson) {
   tracer().exportChromeTrace(os);
   EXPECT_TRUE(obs::testing::isValidJson(os.str())) << os.str();
   EXPECT_NE(os.str().find("process_name"), std::string::npos);
+}
+
+// Satellite-3 regression: a pool worker's per-thread buffer must survive
+// the worker — spans AND the drop count — so an export after the pool wound
+// down is still complete.
+TEST_F(TracerTest, WorkerSpansAndDropsSurviveThreadExit) {
+  tracer().start();
+  constexpr std::uint64_t kTotal = 20000;  // > the 16384-entry ring
+  std::thread worker([] {
+    for (std::uint64_t i = 0; i < kTotal; ++i) {
+      Span s("exited.worker");
+    }
+  });
+  worker.join();
+  tracer().stop();
+  EXPECT_EQ(tracer().recordedSpans(), kTotal);
+  EXPECT_GT(tracer().droppedSpans(), 0u);
+  const std::vector<SpanRecord> spans = tracer().snapshot();
+  EXPECT_EQ(spans.size() + tracer().droppedSpans(), kTotal);
+}
+
+// OS thread ids recycle; each short-lived worker incarnation must get its
+// own buffer and tracer tid, never splicing into a dead thread's timeline
+// (which would break the exporter's per-tid containment invariant).
+TEST_F(TracerTest, SequentialShortLivedWorkersGetFreshTids) {
+  tracer().start();
+  constexpr int kWorkers = 4;
+  for (int i = 0; i < kWorkers; ++i) {
+    // join() before the next spawn makes OS-level thread-id reuse likely.
+    std::thread([] { Span s("recycled.worker"); }).join();
+  }
+  tracer().stop();
+  const std::vector<SpanRecord> spans = tracer().snapshot();
+  ASSERT_EQ(spans.size(), static_cast<std::size_t>(kWorkers));
+  std::set<std::uint32_t> tids;
+  for (const SpanRecord& s : spans) {
+    EXPECT_EQ(s.depth, 0);  // each incarnation starts a fresh stack
+    tids.insert(s.tid);
+  }
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kWorkers));
+}
+
+// Merged export completeness: spans from pool workers that exited before
+// the export appear alongside the caller's, each under its own tid, with
+// per-tid interval containment intact.
+TEST_F(TracerTest, PoolWorkerSpansAppearInMergedExport) {
+  tracer().start();
+  constexpr int kWorkers = 3;
+  {
+    par::Pool pool(kWorkers);
+    GPD_TRACE_SPAN("pool.caller");
+    pool.run([](int) {
+      Span outer("pool.worker");
+      Span inner("pool.worker.inner");
+    });
+  }  // pool destroyed: every worker thread has exited
+  tracer().stop();
+
+  const std::vector<SpanRecord> spans = tracer().snapshot();
+  int workerSpans = 0;
+  for (const SpanRecord& s : spans) {
+    if (std::string(s.name) == "pool.worker") ++workerSpans;
+  }
+  EXPECT_EQ(workerSpans, kWorkers);
+
+  std::ostringstream os;
+  tracer().exportChromeTrace(os);
+  EXPECT_NE(os.str().find("pool.worker"), std::string::npos);
+  EXPECT_NE(os.str().find("pool.caller"), std::string::npos);
+
+  // Per-tid nesting containment across the merged timelines.
+  std::vector<const SpanRecord*> stack;
+  std::uint32_t tid = 0;
+  for (const SpanRecord& s : spans) {
+    if (s.tid != tid) {
+      stack.clear();
+      tid = s.tid;
+    }
+    while (!stack.empty() &&
+           s.startNs >= stack.back()->startNs + stack.back()->durationNs) {
+      stack.pop_back();
+    }
+    EXPECT_EQ(s.depth, static_cast<int>(stack.size()));
+    stack.push_back(&s);
+  }
+}
+
+// Two Tracer instances recording from the same thread must keep separate
+// buffers — the thread-local cache is keyed by instance, not process-wide.
+TEST_F(TracerTest, TwoTracerInstancesKeepSeparateBuffers) {
+  Tracer a;
+  Tracer b;
+  SpanRecord rec;
+  rec.name = "instance.a";
+  a.record(rec);
+  rec.name = "instance.b";
+  b.record(rec);
+  b.record(rec);
+  EXPECT_EQ(a.recordedSpans(), 1u);
+  EXPECT_EQ(b.recordedSpans(), 2u);
+  const std::vector<SpanRecord> fromA = a.snapshot();
+  ASSERT_EQ(fromA.size(), 1u);
+  EXPECT_STREQ(fromA[0].name, "instance.a");
+}
+
+// A destroyed tracer leaves a stale thread-local cache behind; a successor
+// instance (possibly at the same heap address) must re-resolve its own
+// buffer, not write through the dead one's pointer.
+TEST_F(TracerTest, NewTracerAfterDestructionGetsAFreshBuffer) {
+  auto first = std::make_unique<Tracer>();
+  SpanRecord rec;
+  rec.name = "first.tracer";
+  first->record(rec);  // caches this thread's buffer for `first`
+  first.reset();
+  Tracer second;
+  rec.name = "second.tracer";
+  second.record(rec);
+  const std::vector<SpanRecord> spans = second.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "second.tracer");
+  EXPECT_EQ(second.recordedSpans(), 1u);
 }
 
 TEST_F(TracerTest, FlameSummaryAggregatesByName) {

@@ -55,6 +55,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -75,6 +76,9 @@ int usage() {
             << "  gpdtool detect <trace> sym <kind> <var>\n"
             << "      detect also takes --budget-ms D --max-cuts N\n"
             << "      --max-combinations N (verdict 'unknown' exits 3)\n"
+            << "      detect and plan take --threads N (run the enumeration/\n"
+            << "      lattice kernels on N pool workers; beats GPD_THREADS;\n"
+            << "      verdicts and witnesses are identical for any N)\n"
             << "      detect, plan and monitor take --trace-out FILE.json\n"
             << "      (Chrome trace-event JSON for chrome://tracing/Perfetto\n"
             << "      plus a flame summary) and --stats [-f json] (the gpd::obs\n"
@@ -82,6 +86,7 @@ int usage() {
             << "  gpdtool lint <trace> [-f json]\n"
             << "  gpdtool plan <trace> [--definitely] [-f json]\n"
             << "          [--budget-ms D] [--max-cuts N] [--max-combinations N]\n"
+            << "          [--threads N]\n"
             << "          (conj <p:var|p:!var>... | cnf <lit,lit,...>... |\n"
             << "           sum <relop> <K> <var> | sym <kind> <var>)\n"
             << "  gpdtool monitor <trace> [--seed N] [--drop P] [--dup P]\n"
@@ -286,6 +291,30 @@ BudgetFlags extractBudgetFlags(std::vector<std::string>& args) {
   return flags;
 }
 
+// --threads N, shared by detect and plan: run the super-polynomial kernels
+// on a worker pool. Stripped out of `args`. Resolution: the flag beats the
+// GPD_THREADS environment variable; neither set returns 0 (sequential, no
+// pool). The determinism contract (par/pool.h) makes the count a pure
+// throughput knob: verdicts, witnesses, and exit codes are identical for
+// any value.
+int extractThreadsFlag(std::vector<std::string>& args) {
+  int threads = 0;
+  std::vector<std::string> rest;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--threads") {
+      GPD_INPUT_CHECK(i + 1 < args.size(), "--threads needs a value");
+      const long long v = parseInt(args[++i], "thread count");
+      GPD_INPUT_CHECK(v >= 1 && v <= 4096,
+                      "thread count must be in [1, 4096]");
+      threads = static_cast<int>(v);
+    } else {
+      rest.push_back(args[i]);
+    }
+  }
+  args = std::move(rest);
+  return threads != 0 ? threads : par::envThreads();
+}
+
 // Observability flags shared by detect, plan and monitor. --trace-out FILE
 // arms the gpd::obs span tracer for the run and writes Chrome trace-event
 // JSON (chrome://tracing / Perfetto) plus a flame summary afterwards;
@@ -425,7 +454,7 @@ ConjunctivePredicate parseConjunctive(const io::TraceFile& file,
 }
 
 int detectConj(const io::TraceFile& file, std::vector<std::string> args,
-               const BudgetFlags& budgetFlags) {
+               const BudgetFlags& budgetFlags, par::Pool* pool) {
   bool definitely = false;
   if (!args.empty() && args[0] == "--definitely") {
     definitely = true;
@@ -434,6 +463,7 @@ int detectConj(const io::TraceFile& file, std::vector<std::string> args,
   if (args.empty()) return usage();
   const ConjunctivePredicate pred = parseConjunctive(file, args);
   detect::Detector detector(*file.trace);
+  detector.usePool(pool);
   if (budgetFlags.any()) {
     control::Budget budget(budgetFlags.limits());
     const detect::Detection det = definitely ? detector.definitely(pred, budget)
@@ -499,10 +529,11 @@ CnfPredicate parseCnfPredicate(const std::vector<std::string>& args) {
 }
 
 int detectCnf(const io::TraceFile& file, const std::vector<std::string>& args,
-              const BudgetFlags& budgetFlags) {
+              const BudgetFlags& budgetFlags, par::Pool* pool) {
   if (args.empty()) return usage();
   const CnfPredicate pred = parseCnfPredicate(args);
   detect::Detector detector(*file.trace);
+  detector.usePool(pool);
   std::cout << "predicate: " << pred.toString()
             << (pred.isSingular() ? " (singular)" : " (not singular)") << '\n';
   if (budgetFlags.any()) {
@@ -546,10 +577,11 @@ SumPredicate parseSumPredicate(const io::TraceFile& file,
 }
 
 int detectSum(const io::TraceFile& file, const std::vector<std::string>& args,
-              const BudgetFlags& budgetFlags) {
+              const BudgetFlags& budgetFlags, par::Pool* pool) {
   if (args.size() != 3) return usage();
   const SumPredicate pred = parseSumPredicate(file, args);
   detect::Detector detector(*file.trace);
+  detector.usePool(pool);
   if (budgetFlags.any()) {
     control::Budget budget(budgetFlags.limits());
     return reportDetection("possibly(" + pred.toString() + ")",
@@ -587,10 +619,11 @@ SymmetricPredicate parseSymmetricPredicate(
 }
 
 int detectSym(const io::TraceFile& file, const std::vector<std::string>& args,
-              const BudgetFlags& budgetFlags) {
+              const BudgetFlags& budgetFlags, par::Pool* pool) {
   if (args.size() != 2) return usage();
   const SymmetricPredicate pred = parseSymmetricPredicate(file, args);
   detect::Detector detector(*file.trace);
+  detector.usePool(pool);
   if (budgetFlags.any()) {
     control::Budget budget(budgetFlags.limits());
     return reportDetection("possibly(" + pred.name + ")",
@@ -650,6 +683,7 @@ int lintCmd(std::vector<std::string> args) {
 
 int planCmd(std::vector<std::string> args) {
   const BudgetFlags budget = extractBudgetFlags(args);
+  const int threads = extractThreadsFlag(args);
   ObsFlags obsFlags = extractObsFlags(args, /*stripFormat=*/false);
   const OutputFlags flags = extractFlags(args);
   obsFlags.json = flags.json;  // plan's own -f doubles as the stats format
@@ -684,6 +718,9 @@ int planCmd(std::vector<std::string> args) {
     throw InputError("'" + kind +
                      "' is not a predicate kind (expected conj|cnf|sum|sym)");
   }
+  // What the detector would stamp: costs are thread-invariant, the knob
+  // only reports how the chosen step's work would be spread.
+  if (threads > 0) report.threads = threads;
   if (flags.json) {
     analyze::renderPlanJson(std::cout, report);
   } else {
@@ -945,16 +982,20 @@ int main(int argc, char** argv) {
       const io::TraceFile file = io::loadTrace(args[1]);
       std::vector<std::string> rest(args.begin() + 3, args.end());
       const BudgetFlags budget = extractBudgetFlags(rest);
+      const int threads = extractThreadsFlag(rest);
       const ObsFlags obsFlags = extractObsFlags(rest, /*stripFormat=*/true);
       const std::string& kind = args[2];
       if (kind != "conj" && kind != "cnf" && kind != "sum" && kind != "sym") {
         return usage();
       }
       beginObs(obsFlags);
-      const int code = kind == "conj"  ? detectConj(file, rest, budget)
-                       : kind == "cnf" ? detectCnf(file, rest, budget)
-                       : kind == "sum" ? detectSum(file, rest, budget)
-                                       : detectSym(file, rest, budget);
+      std::unique_ptr<par::Pool> pool;
+      if (threads > 0) pool = std::make_unique<par::Pool>(threads);
+      const int code =
+          kind == "conj"  ? detectConj(file, rest, budget, pool.get())
+          : kind == "cnf" ? detectCnf(file, rest, budget, pool.get())
+          : kind == "sum" ? detectSum(file, rest, budget, pool.get())
+                          : detectSym(file, rest, budget, pool.get());
       return finishObs(obsFlags, code);
     }
     return usage();
