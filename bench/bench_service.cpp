@@ -1,0 +1,176 @@
+// A12 — gpdd service engine throughput and recovery cost (`bench_service`).
+//
+// Three questions a service operator asks before trusting gpdd with a
+// fleet of monitored computations:
+//   1. How fast is the framing layer? (encode + decode, MB/s)
+//   2. What does one pump cost at multi-tenant scale, and does handing the
+//      shards to a par::Pool pay off? (sessions/s, bit-identical check)
+//   3. What does crash recovery cost — manifest write, restore, and the
+//      re-serialization equality that the recovery property test pins?
+//
+// Everything here is the in-process Engine (no sockets, no forks): the
+// numbers isolate engine cost from transport cost, and the chaos soak
+// (tools/gpdd_loadgen) covers the full-stack path.
+#include <cinttypes>
+#include <sstream>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace gpd;
+
+// One tenant-sharded wave of clean sessions: OPEN, E notifications per
+// process (own-component clocks, no gaps), END, CLOSE.
+std::vector<std::string> makeWave(int sessions, int processes, int events) {
+  std::vector<std::string> cmds;
+  cmds.reserve(static_cast<std::size_t>(sessions) *
+               (static_cast<std::size_t>(processes) * (events + 1) + 2));
+  for (int i = 0; i < sessions; ++i) {
+    const std::string ts =
+        "t" + std::to_string(i % 16) + " s" + std::to_string(i);
+    cmds.push_back("OPEN " + ts + " " + std::to_string(processes));
+    for (int p = 0; p < processes; ++p) {
+      for (int e = 0; e < events; ++e) {
+        std::ostringstream os;
+        os << "EV " << ts << ' ' << p << ' ' << e;
+        for (int q = 0; q < processes; ++q) os << ' ' << (q == p ? e + 1 : 0);
+        cmds.push_back(os.str());
+      }
+      cmds.push_back("END " + ts + " " + std::to_string(p) + " " +
+                     std::to_string(events));
+    }
+    cmds.push_back("CLOSE " + ts);
+  }
+  return cmds;
+}
+
+std::string runWave(const std::vector<std::string>& cmds,
+                    const service::EngineOptions& opt, par::Pool* pool) {
+  service::Engine eng(opt);
+  for (const std::string& c : cmds) eng.submit(c);
+  std::vector<service::Response> out;
+  eng.pump(out, pool);
+  std::string transcript;
+  for (const service::Response& r : out) {
+    transcript += r.payload;
+    transcript += '\n';
+  }
+  return transcript;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gpd;
+  bench::banner(
+      "A12 / gpdd service engine (gpd::service)",
+      "Framing throughput, multi-tenant pump cost sequential vs pooled "
+      "(responses asserted bit-identical), and manifest write/restore "
+      "latency for crash recovery.");
+
+  // --- 1. Framing layer -------------------------------------------------
+  {
+    const int kFrames = 200000;
+    std::string wire;
+    for (int i = 0; i < kFrames; ++i) {
+      wire += service::encodeFrame("EV t7 s42 2 " + std::to_string(i) +
+                                   " 17 4 93");
+    }
+    const double encMs = bench::timeMs([&] {
+      std::string w;
+      w.reserve(wire.size());
+      for (int i = 0; i < kFrames; ++i) {
+        w += service::encodeFrame("EV t7 s42 2 " + std::to_string(i) +
+                                  " 17 4 93");
+      }
+    });
+    std::uint64_t decoded = 0;
+    const double decMs = bench::timeMs([&] {
+      service::FrameDecoder dec;
+      std::string_view rest(wire);
+      while (!rest.empty()) {  // 64 KiB reads, like the server's read loop
+        const std::size_t n = std::min<std::size_t>(rest.size(), 64 * 1024);
+        dec.feed(rest.substr(0, n));
+        rest.remove_prefix(n);
+        while (dec.pop().has_value()) ++decoded;
+      }
+    });
+    const double mb = static_cast<double>(wire.size()) / (1024.0 * 1024.0);
+    std::printf("frame codec: %d frames, %.1f MiB wire\n", kFrames, mb);
+    std::printf("  encode  %8s ms   %7.0f MiB/s\n", bench::fmtMs(encMs).c_str(),
+                mb / (encMs / 1000.0));
+    std::printf("  decode  %8s ms   %7.0f MiB/s\n\n",
+                bench::fmtMs(decMs).c_str(), mb / (decMs / 1000.0));
+  }
+
+  // --- 2. Multi-tenant pump, sequential vs pooled shards ----------------
+  {
+    const int kSessions = 2048, kProcesses = 3, kEvents = 12;
+    const auto cmds = makeWave(kSessions, kProcesses, kEvents);
+    service::EngineOptions opt;
+    opt.shards = 16;
+    const std::string seqTranscript = runWave(cmds, opt, nullptr);
+    const double seqMs = bench::timeMs([&] { runWave(cmds, opt, nullptr); });
+    std::printf("pump: %d sessions x %d procs x %d events (%zu commands)\n",
+                kSessions, kProcesses, kEvents, cmds.size());
+    std::printf("  threads  1 (inline)  %8s ms  %7.0f sessions/s\n",
+                bench::fmtMs(seqMs).c_str(), kSessions / (seqMs / 1000.0));
+    for (const int threads : {2, 4, 8}) {
+      par::Pool pool(threads);
+      const std::string t = runWave(cmds, opt, &pool);
+      GPD_CHECK_MSG(t == seqTranscript,
+                    "pooled transcript diverged at " << threads << " threads");
+      const double ms = bench::timeMs([&] { runWave(cmds, opt, &pool); });
+      std::printf(
+          "  threads %2d           %8s ms  %7.0f sessions/s  (%.2fx, "
+          "bit-identical)\n",
+          threads, bench::fmtMs(ms).c_str(), kSessions / (ms / 1000.0),
+          seqMs / ms);
+    }
+    std::printf("\n");
+  }
+
+  // --- 3. Manifest write / restore (the crash-recovery path) ------------
+  {
+    std::printf("manifest (open sessions with buffered state):\n");
+    for (const int kSessions : {256, 1024, 4096}) {
+      service::Engine eng{service::EngineOptions{}};
+      for (int i = 0; i < kSessions; ++i) {
+        const std::string ts =
+            "t" + std::to_string(i % 16) + " s" + std::to_string(i);
+        eng.submit("OPEN " + ts + " 3");
+        // One parked notification (gap at seq 0) keeps the reorder buffer
+        // non-empty, so the manifest carries real per-session state.
+        eng.submit("EV " + ts + " 0 1 2 0 0");
+      }
+      std::vector<service::Response> out;
+      eng.pump(out);
+      std::ostringstream first;
+      eng.writeManifest(first);
+      const std::string manifest = first.str();
+      const double writeMs = bench::timeMs([&] {
+        std::ostringstream os;
+        eng.writeManifest(os);
+      });
+      const double restoreMs = bench::timeMs([&] {
+        std::istringstream is(manifest);
+        auto restored = service::Engine::restoreManifest(is, {});
+        GPD_CHECK(restored->openSessions() ==
+                  static_cast<std::size_t>(kSessions));
+      });
+      std::istringstream is(manifest);
+      const auto restored = service::Engine::restoreManifest(is, {});
+      std::ostringstream second;
+      restored->writeManifest(second);
+      GPD_CHECK_MSG(second.str() == manifest,
+                    "manifest re-serialization diverged");
+      std::printf(
+          "  %5d sessions  %7.1f KiB  write %8s ms  restore %8s ms  "
+          "(round-trip byte-identical)\n",
+          kSessions, static_cast<double>(manifest.size()) / 1024.0,
+          bench::fmtMs(writeMs).c_str(), bench::fmtMs(restoreMs).c_str());
+    }
+  }
+  return 0;
+}

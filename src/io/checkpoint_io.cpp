@@ -1,5 +1,6 @@
 #include "io/checkpoint_io.h"
 
+#include <cstdio>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -258,6 +259,27 @@ monitor::SessionSnapshot loadCheckpoint(const std::string& path) {
   std::ifstream is(path);
   GPD_INPUT_CHECK(is.is_open(), "cannot open '" << path << "' for reading");
   return readCheckpoint(is);
+}
+
+void atomicWriteFile(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    GPD_INPUT_CHECK(os.is_open(), "cannot open '" << tmp << "' for writing");
+    os.write(contents.data(),
+             static_cast<std::streamsize>(contents.size()));
+    os.flush();
+    GPD_INPUT_CHECK(os.good(), "write to '" << tmp << "' failed");
+  }
+  GPD_INPUT_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+                  "cannot rename '" << tmp << "' over '" << path << "'");
+}
+
+void saveCheckpointAtomic(const std::string& path,
+                          const monitor::SessionSnapshot& snap) {
+  std::ostringstream os;
+  writeCheckpoint(os, snap);
+  atomicWriteFile(path, os.str());
 }
 
 }  // namespace gpd::io

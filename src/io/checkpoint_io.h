@@ -38,4 +38,16 @@ void saveCheckpoint(const std::string& path,
                     const monitor::SessionSnapshot& snap);
 monitor::SessionSnapshot loadCheckpoint(const std::string& path);
 
+// Crash-safe file replacement: writes `contents` to `path + ".tmp"` and
+// renames it over `path`, so a reader (or a restart after SIGKILL mid-write)
+// sees either the old complete file or the new complete file, never a torn
+// one. Throws gpd::InputError if the path cannot be written.
+void atomicWriteFile(const std::string& path, const std::string& contents);
+
+// saveCheckpoint via atomicWriteFile — the periodic-checkpoint form used by
+// `gpdtool monitor --checkpoint-every` and the gpdd service, where a crash
+// can land mid-write and the previous checkpoint must survive.
+void saveCheckpointAtomic(const std::string& path,
+                          const monitor::SessionSnapshot& snap);
+
 }  // namespace gpd::io

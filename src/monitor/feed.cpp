@@ -53,7 +53,8 @@ ReplayResult replayConjunctive(const VectorClocks& clocks,
 ResilientReplayResult replayConjunctiveFaulty(
     const VectorClocks& clocks, const VariableTrace& trace,
     const ConjunctivePredicate& pred, const std::vector<int>& runOrder,
-    MonitorSession& session, const FaultOptions& faults, Rng& rng) {
+    MonitorSession& session, const FaultOptions& faults, Rng& rng,
+    const ReplayHooks& hooks) {
   const Computation& comp = clocks.computation();
   const int n = comp.processCount();
   GPD_CHECK(session.processes() == n);
@@ -138,14 +139,24 @@ ResilientReplayResult replayConjunctiveFaulty(
     }
   });
 
+  std::uint64_t untilCheckpoint = hooks.checkpointEveryDeliveries;
   auto deliverCopy = [&](int p, std::uint64_t seq) {
-    for (int attempt = 0; attempt < 64; ++attempt) {
+    bool consumed = false;
+    for (int attempt = 0; attempt < 64 && !consumed; ++attempt) {
       ++result.wireDeliveries;
-      const Delivery d = session.deliver(p, seq, log[p][seq]);
-      if (d != Delivery::Rejected) return;
-      session.tick();  // backpressure: give eliminations a chance, re-offer
+      consumed = session.deliver(p, seq, log[p][seq]) != Delivery::Rejected;
+      // Backpressure: give eliminations a chance, then re-offer.
+      if (!consumed) session.tick();
     }
-    session.degradeStream(p);  // monitor queue stuck full: write stream off
+    if (!consumed) session.degradeStream(p);  // monitor queue stuck full
+    // Periodic checkpoint: between deliveries the session is quiescent, so
+    // the snapshot is a complete point-in-time state.
+    if (hooks.checkpointEveryDeliveries != 0 && hooks.onCheckpoint &&
+        result.wireDeliveries >= untilCheckpoint) {
+      hooks.onCheckpoint(session);
+      untilCheckpoint =
+          result.wireDeliveries + hooks.checkpointEveryDeliveries;
+    }
   };
 
   for (const WireItem& item : wire) {

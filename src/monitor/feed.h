@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "clocks/vector_clock.h"
@@ -71,6 +72,16 @@ struct ResilientReplayResult {
   int degradedStreams = 0;
 };
 
+// Side-channel hooks into the faulty replay. `onCheckpoint` fires at a
+// quiescent point (between deliveries) every checkpointEveryDeliveries wire
+// deliveries with the live session — gpdtool monitor --checkpoint-every
+// writes an atomic point-in-time checkpoint from it, so a crash at any
+// moment leaves a complete, loadable file on disk.
+struct ReplayHooks {
+  std::uint64_t checkpointEveryDeliveries = 0;  // 0 = never
+  std::function<void(const MonitorSession&)> onCheckpoint;
+};
+
 // Replays the run through a faulty transport into `session`. The transport
 // retains everything it was asked to send, services the session's NACKs
 // from that log (each retransmitted copy again subject to dropProbability),
@@ -79,6 +90,7 @@ struct ResilientReplayResult {
 ResilientReplayResult replayConjunctiveFaulty(
     const VectorClocks& clocks, const VariableTrace& trace,
     const ConjunctivePredicate& pred, const std::vector<int>& runOrder,
-    MonitorSession& session, const FaultOptions& faults, Rng& rng);
+    MonitorSession& session, const FaultOptions& faults, Rng& rng,
+    const ReplayHooks& hooks = {});
 
 }  // namespace gpd::monitor

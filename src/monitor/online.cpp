@@ -127,6 +127,26 @@ bool ConjunctiveMonitor::tryDetect(int changed) {
   return true;
 }
 
+std::size_t ConjunctiveMonitor::shedQueuedTail(std::size_t keepPerQueue) {
+  if (detected_) return 0;  // verdict is final; nothing left to protect
+  std::size_t dropped = 0;
+  for (int p = 0; p < n_; ++p) {
+    while (queue_[p].size() > keepPerQueue) {
+      queue_[p].pop_back();
+      ++dropped;
+    }
+    // lastOwn_[p] stays where it was: the dropped notifications consumed
+    // their program-order slots, and a session feeding us never re-offers a
+    // sequence number it already delivered.
+  }
+  if (dropped > 0) {
+    overflowDropped_ += dropped;
+    degraded_ = true;
+    GPD_OBS_COUNTER_ADD("monitor_shed_dropped", dropped);
+  }
+  return dropped;
+}
+
 const std::vector<std::vector<int>>& ConjunctiveMonitor::witness() const {
   GPD_CHECK_MSG(detected_, "no witness before detection");
   return witness_;

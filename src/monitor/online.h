@@ -103,6 +103,14 @@ class ConjunctiveMonitor {
   // The witness timestamps (one per process), available once detected.
   const std::vector<std::vector<int>>& witness() const;
 
+  // Load shedding (the gpdd memory ladder): truncates every queue to its
+  // first keepPerQueue entries, dropping the rest. Dropping queued
+  // notifications has exactly the Degrade-overflow semantics — the monitor
+  // latches degraded (absence of detection becomes inconclusive) but can
+  // never fabricate a detection, because detection only ever compares
+  // notifications that are still queued. Returns the number dropped.
+  std::size_t shedQueuedTail(std::size_t keepPerQueue);
+
   // Totals for the A3 overhead bench and the resilience stats.
   std::uint64_t comparisons() const { return comparisons_; }
   std::uint64_t enqueued() const { return enqueued_; }

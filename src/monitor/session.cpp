@@ -243,6 +243,30 @@ void MonitorSession::drainBuffer(int p) {
   }
 }
 
+std::size_t MonitorSession::shedMemory(std::size_t keepPerQueue) {
+  if (monitor_.detected()) return 0;  // verdict is final; memory goes at close
+  std::size_t dropped = 0;
+  for (int p = 0; p < n_; ++p) {
+    if (buffer_[p].empty()) continue;
+    // The buffered suffix is discarded, not released: everything in it (and
+    // the gap before it) is now permanently missing, so remember its upper
+    // bound for END-count validation and mark the stream Degraded.
+    evictedUpper_[p] =
+        std::max(evictedUpper_[p], std::prev(buffer_[p].end())->first + 1);
+    dropped += buffer_[p].size();
+    stats_.bufferEvicted += buffer_[p].size();
+    buffer_[p].clear();
+    gap_[p].active = false;
+    if (health_[p] != StreamHealth::Degraded) {
+      health_[p] = StreamHealth::Degraded;
+      ++stats_.degradedStreams;
+      GPD_OBS_COUNTER_ADD("monitor_degraded_streams", 1);
+    }
+  }
+  dropped += monitor_.shedQueuedTail(keepPerQueue);
+  return dropped;
+}
+
 void MonitorSession::doDegrade(int p) {
   gap_[p].active = false;
   health_[p] = StreamHealth::Degraded;

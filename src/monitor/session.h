@@ -155,6 +155,24 @@ class MonitorSession {
   const SessionStats& stats() const { return stats_; }
   const ConjunctiveMonitor& monitor() const { return monitor_; }
 
+  // Notifications currently parked in the reorder buffers (all processes).
+  // The gpdd service uses this, with the monitor queue sizes, to estimate a
+  // session's live memory for the load-shedding ladder.
+  std::size_t bufferedCount() const {
+    std::size_t total = 0;
+    for (const auto& b : buffer_) total += b.size();
+    return total;
+  }
+
+  // Load shedding (the gpdd memory ladder). Frees memory *now*: reorder
+  // buffers are cleared outright (degradeStream would release them into the
+  // monitor queues, moving bytes instead of freeing them) and each monitor
+  // queue is truncated to keepPerQueue entries. Every stream that loses
+  // buffered notifications is latched Degraded — the gap they covered is now
+  // unrecoverable — so the verdict can only widen to Degraded, never lie.
+  // Returns the number of notifications dropped.
+  std::size_t shedMemory(std::size_t keepPerQueue);
+
   // Checkpointing. restore() validates (throws InputError on inconsistent
   // snapshots); the NACK callback is not part of the snapshot — pass it
   // again or set it with onNack().

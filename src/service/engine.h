@@ -1,0 +1,205 @@
+// gpd::service::Engine — the multi-tenant core of the gpdd detection
+// service.
+//
+// The engine is transport-agnostic: front-ends (tools/gpdd's stdin/pipe and
+// UNIX-socket loops, the in-process test harnesses) decode frames
+// (service/frame.h), submit() the payloads, and pump() to process a batch.
+// One pump is the unit of service time: admission control runs over the
+// queued commands in arrival order, session work is sharded across per-shard
+// run queues (optionally executed on a par::Pool), and the overload ladder,
+// idle sweep, and bookkeeping run at the end. Everything the engine does is
+// a deterministic function of (options, submitted payloads, pump
+// boundaries) — that is what makes crash recovery *testable*: a manifest
+// written at a pump boundary, restored, and driven with the same remaining
+// batches must produce byte-identical responses and a byte-identical final
+// manifest (tests/service/recovery_property_test).
+//
+// ## Protocol grammar (frame payloads; one command per frame)
+//
+//   OPEN <tenant> <session> <processes> [prio <N>]
+//   EV   <tenant> <session> <process> <seq> <c0> ... <c{n-1}>
+//   EVB  <tenant> <session> <process> <firstSeq> <count>\n<clock line>*
+//   END  <tenant> <session> <process> <count>
+//   TICK <tenant> <session> [<n>]
+//   QUERY <tenant> <session>
+//   CLOSE <tenant> <session>
+//   STATS | CHECKPOINT | SHUTDOWN | SYNC <token>
+//
+// Tenant/session identifiers match [A-Za-z0-9._-]{1,64} — a charset that can
+// never spell the frame magic, so corrupted payloads cannot forge frame
+// boundaries. Server→client frames:
+//
+//   OK OPEN <t> <s>                        admission granted
+//   DETECT <t> <s>                         detection fired (once per session)
+//   NACK <t> <s> <p> <lo> <hi>             please retransmit [lo, hi]
+//   VERDICT <t> <s> <verdict> <detected> <closed|open> [counters]
+//   DEGRADE <t> <s> <reason>               degraded in place (mem ladder)
+//   SHED <t> <s> <reason>                  session force-closed (followed by
+//                                          its VERDICT frame)
+//   STATS <json>
+//   SYNC <token>                           all prior commands processed
+//   OK CHECKPOINT | OK SHUTDOWN draining
+//   ERR <code> <t> <s> <message>           <code> ∈ {bad-command,
+//        bad-argument, unknown-session, duplicate-session, admission-mem,
+//        admission-global-cap, admission-tenant-cap, rate-limited}
+//
+// ## The overload ladder
+//
+// With a memory watermark W configured, estimated live bytes escalate in
+// three rungs, reusing the monitor's Backpressure/Degrade philosophy (shed
+// load explicitly, never abort and never lie):
+//
+//   bytes ≥ 0.70·W  → reject new sessions (OPEN → ERR admission-mem; the
+//                     client retries with capped exponential backoff);
+//   bytes ≥ 0.85·W  → degrade the heaviest tenants in place: flush reorder
+//                     buffers by degrading their streams (DEGRADE frame;
+//                     verdicts become Degraded-not-wrong, memory returns);
+//   bytes ≥ W       → shed lowest-priority sessions entirely (SHED + an
+//                     explicit Degraded VERDICT) until usage drops below
+//                     0.85·W.
+//
+// Per-tenant session caps and per-pump byte-rate limits reject at admission;
+// a per-session control::Budget (combination = one delivered notification)
+// sheds a runaway session deterministically; idle sessions time out after a
+// configurable number of pumps.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "control/budget.h"
+#include "monitor/session.h"
+#include "par/pool.h"
+
+namespace gpd::service {
+
+struct EngineOptions {
+  // Per-shard run queues; sessions hash (FNV-1a, platform-stable) to shards.
+  int shards = 8;
+  // Global and per-tenant open-session caps (0 = unlimited).
+  std::size_t maxSessions = 0;
+  std::size_t maxSessionsPerTenant = 0;
+  // Per-tenant EV/EVB payload bytes accepted per pump (0 = unlimited);
+  // excess frames get ERR rate-limited and must be retried.
+  std::uint64_t tenantRateBytesPerPump = 0;
+  // Estimated live bytes that arm the overload ladder (0 = ladder off).
+  std::uint64_t memWatermarkBytes = 0;
+  // Pumps without traffic before a session is shed as idle (0 = never).
+  std::uint64_t idleTimeoutPumps = 0;
+  // Per-session budget: delivered notifications (combinations) and an
+  // optional wall-clock deadline. Exhaustion sheds the session with an
+  // explicit Degraded verdict. Deadlines are wall-clock and therefore not
+  // part of the deterministic-replay contract; the soak uses combinations.
+  std::uint64_t sessionMaxCombinations = 0;
+  std::uint64_t sessionBudgetMs = 0;
+  // Defaults for every session's MonitorSession (reorder window, retries,
+  // retry timeout, queue bound, overflow policy, comparison slice).
+  monitor::SessionOptions session;
+};
+
+// Aggregate service counters (also exported as gpdd_* obs metrics; these
+// plain copies feed the STATS JSON without touching the registry).
+struct EngineStats {
+  std::uint64_t framesAccepted = 0;
+  std::uint64_t sessionsOpened = 0;
+  std::uint64_t sessionsClosed = 0;
+  std::uint64_t sessionsShedMem = 0;
+  std::uint64_t sessionsShedBudget = 0;
+  std::uint64_t sessionsShedIdle = 0;
+  std::uint64_t sessionsDegradedMem = 0;
+  std::uint64_t admissionRejects = 0;
+  std::uint64_t rateLimited = 0;
+  std::uint64_t protocolErrors = 0;  // ERR frames emitted
+  std::uint64_t notificationsDelivered = 0;
+  std::uint64_t nacksEmitted = 0;
+  std::uint64_t detections = 0;
+  std::uint64_t pumps = 0;
+};
+
+// One response frame payload, tagged with the origin the triggering command
+// was submitted from so a socket front-end can route it back to the right
+// connection. Session-associated frames (NACK/SHED/VERDICT) go to the
+// session's owning origin — the origin of the last command that touched it.
+struct Response {
+  int origin = 0;
+  std::string payload;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const EngineOptions& options() const { return options_; }
+
+  // Queues one decoded frame payload. `origin` identifies the submitting
+  // transport endpoint (0 for the stdin front-end).
+  void submit(std::string payload, int origin = 0);
+
+  // Processes every queued command; appends response frames to `out` in a
+  // deterministic order (admission rejects, then shard 0..S-1 outputs, then
+  // pump-end frames). With a pool, shards run on its workers — responses
+  // and all session state are identical for any thread count.
+  void pump(std::vector<Response>& out, par::Pool* pool = nullptr);
+
+  // Finalizes every open session (VERDICT frames appended) — the SIGTERM
+  // graceful-drain path. The engine stays usable (empty) afterwards.
+  void drain(std::vector<Response>& out);
+
+  // Whole-service checkpoint: a manifest embedding one io::checkpoint_io
+  // checkpoint per live session. write is const and deterministic (sessions
+  // in key order); restore validates everything (gpd::InputError on corrupt
+  // or version-mismatched manifests) and reconstructs each session
+  // bit-exactly, including its budget meter.
+  void writeManifest(std::ostream& os) const;
+  static std::unique_ptr<Engine> restoreManifest(std::istream& is,
+                                                 EngineOptions options);
+
+  // Host hooks set by protocol commands during the last pump.
+  bool consumeCheckpointRequest();
+  bool shutdownRequested() const { return shutdownRequested_; }
+
+  const EngineStats& stats() const { return stats_; }
+  std::size_t openSessions() const;
+  std::uint64_t estimatedBytes() const { return totalBytes_; }
+  // Current ladder rung: 0 normal, 1 reject-new, 2 degrade, 3 shed.
+  int memLevel() const { return memLevel_; }
+
+  // The STATS frame body: one-line JSON of EngineStats + live gauges.
+  std::string statsJson() const;
+
+ private:
+  struct Session;
+  struct Cmd;
+  struct Impl;
+  struct ShardAcc;
+
+  Session* openSession(std::string_view tenant, std::string_view id,
+                       int processes, long long prio,
+                       std::uint64_t pumpIndex);
+  void dispatch(Cmd& cmd, ShardAcc& acc, std::uint64_t pumpIndex);
+  void deliverOne(Session& s, int p, std::uint64_t seq,
+                  std::vector<int> clock, ShardAcc& acc);
+  void eraseClosedSessions();
+  void closeBookkeeping(Session& s);
+  void sweepIdle(std::vector<Response>& out, std::uint64_t pumpIndex);
+  void runLadder(std::vector<Response>& out);
+  void updateMemLevel();
+
+  EngineOptions options_;
+  EngineStats stats_;
+  std::uint64_t totalBytes_ = 0;
+  int memLevel_ = 0;
+  bool shutdownRequested_ = false;
+  bool checkpointRequested_ = false;
+  Impl* impl_;
+};
+
+}  // namespace gpd::service

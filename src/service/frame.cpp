@@ -1,0 +1,104 @@
+#include "service/frame.h"
+
+#include "util/check.h"
+
+namespace gpd::service {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'P', 'D', 'F'};
+
+void putU32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>(v & 0xff));
+}
+
+std::uint32_t getU32(const char* p) {
+  return (static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) << 24) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 8) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[3]));
+}
+
+}  // namespace
+
+std::uint32_t fnv1a32(std::string_view bytes) {
+  std::uint32_t h = 2166136261u;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+std::string encodeFrame(std::string_view payload) {
+  GPD_INPUT_CHECK(payload.size() <= kMaxFramePayload,
+                  "frame payload of " << payload.size()
+                                      << " bytes exceeds the "
+                                      << kMaxFramePayload << "-byte bound");
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.append(kMagic, sizeof(kMagic));
+  putU32(out, static_cast<std::uint32_t>(payload.size()));
+  putU32(out, fnv1a32(payload));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+std::optional<std::string> FrameDecoder::pop() {
+  for (;;) {
+    const std::size_t avail = buf_.size() - pos_;
+    if (avail < kFrameHeaderBytes) {
+      compact();
+      return std::nullopt;
+    }
+    const char* p = buf_.data() + pos_;
+    const bool magicOk = p[0] == kMagic[0] && p[1] == kMagic[1] &&
+                         p[2] == kMagic[2] && p[3] == kMagic[3];
+    const std::uint32_t len = magicOk ? getU32(p + 4) : 0;
+    if (!magicOk || len > kMaxFramePayload) {
+      // Garbage where a header should be: drop one byte, hunt for the next
+      // magic (memchr-style scan keeps the common burst-of-garbage cheap).
+      ++resyncs_;
+      std::size_t skip = 1;
+      while (pos_ + skip < buf_.size() &&
+             buf_[pos_ + skip] != kMagic[0]) {
+        ++skip;
+      }
+      bytesDiscarded_ += skip;
+      pos_ += skip;
+      continue;
+    }
+    if (avail < kFrameHeaderBytes + len) {
+      compact();
+      return std::nullopt;  // incomplete frame: wait for more bytes
+    }
+    std::string payload(buf_, pos_ + kFrameHeaderBytes, len);
+    if (fnv1a32(payload) != getU32(p + 8)) {
+      // Corrupt payload (or garbage that happened to spell the magic):
+      // discard the header byte and resync. We deliberately do NOT skip the
+      // claimed length — a corrupted length field must not be trusted to
+      // jump over a genuine frame hiding inside it.
+      ++resyncs_;
+      ++bytesDiscarded_;
+      ++pos_;
+      continue;
+    }
+    pos_ += kFrameHeaderBytes + len;
+    ++framesDecoded_;
+    compact();
+    return payload;
+  }
+}
+
+void FrameDecoder::compact() {
+  // Reclaim consumed prefix once it dominates the buffer, amortized O(1).
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+}
+
+}  // namespace gpd::service

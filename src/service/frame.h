@@ -1,0 +1,77 @@
+// Length-prefixed framing for the gpdd service protocol.
+//
+// gpdd multiplexes thousands of tenant sessions over byte streams (a pipe
+// pair or a UNIX socket), so the wire format has to make three guarantees a
+// raw text stream cannot: (1) message boundaries survive arbitrary kernel
+// read()/write() chunking, (2) a corrupted or truncated region damages only
+// the frames it covers — the decoder *resynchronizes* at the next intact
+// frame instead of desyncing forever, and (3) corruption is detected, never
+// silently parsed (the chaos harness injects garbage bytes and truncated
+// frames on purpose).
+//
+// Frame layout (all integers big-endian):
+//
+//   +------+------+----------+-----------------+
+//   | "GPDF" (4B) | len (4B) | fnv1a32 (4B)    |  12-byte header
+//   +------+------+----------+-----------------+
+//   | payload: `len` bytes (a protocol command)|
+//   +------------------------------------------+
+//
+// The checksum covers the payload only. A header whose magic, length bound,
+// or checksum fails is treated as garbage: the decoder discards one byte and
+// scans forward for the next "GPDF", counting what it threw away. Payloads
+// are text commands (see engine.h for the grammar) and must not contain the
+// magic string — the engine validates tenant/session identifiers to a
+// charset that cannot form it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace gpd::service {
+
+// Hard payload bound: a header claiming more is corrupt (or hostile), not
+// big. Large ingests use many frames (the EVB batch command), not one.
+constexpr std::size_t kMaxFramePayload = 1 << 20;
+constexpr std::size_t kFrameHeaderBytes = 12;
+
+// FNV-1a 32-bit — tiny, dependency-free, and byte-order independent; this is
+// corruption *detection* for the chaos harness, not cryptography.
+std::uint32_t fnv1a32(std::string_view bytes);
+
+// Wraps one payload in a frame. Throws gpd::InputError if the payload
+// exceeds kMaxFramePayload.
+std::string encodeFrame(std::string_view payload);
+
+// Incremental decoder: feed() arbitrary byte chunks, then pop() complete
+// payloads until it returns nullopt. Robust to garbage: bad magic, an
+// oversize length, or a checksum mismatch discards bytes until the next
+// plausible header. A frame truncated by EOF simply stays pending (the
+// caller sees bytesPending() != 0 after the stream ends).
+class FrameDecoder {
+ public:
+  void feed(std::string_view bytes) { buf_.append(bytes.data(), bytes.size()); }
+
+  // Next complete, checksum-valid payload, or nullopt if none is buffered.
+  std::optional<std::string> pop();
+
+  // Diagnostics for the service metrics and the strict-protocol mode.
+  std::uint64_t framesDecoded() const { return framesDecoded_; }
+  std::uint64_t bytesDiscarded() const { return bytesDiscarded_; }
+  std::uint64_t resyncs() const { return resyncs_; }
+  std::size_t bytesPending() const { return buf_.size() - pos_; }
+
+ private:
+  void compact();
+
+  std::string buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+  std::uint64_t framesDecoded_ = 0;
+  std::uint64_t bytesDiscarded_ = 0;
+  std::uint64_t resyncs_ = 0;
+};
+
+}  // namespace gpd::service

@@ -1,0 +1,360 @@
+// gpd::service::Engine — admission control, the overload ladder, budgets,
+// idle sweep, protocol-error taxonomy, and manifest round-trips.
+#include "service/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace gpd::service {
+namespace {
+
+std::vector<std::string> pumpAll(Engine& eng,
+                                 const std::vector<std::string>& cmds,
+                                 par::Pool* pool = nullptr) {
+  for (const std::string& c : cmds) eng.submit(c);
+  std::vector<Response> out;
+  eng.pump(out, pool);
+  std::vector<std::string> payloads;
+  payloads.reserve(out.size());
+  for (Response& r : out) payloads.push_back(std::move(r.payload));
+  return payloads;
+}
+
+bool anyStartsWith(const std::vector<std::string>& v, const std::string& p) {
+  for (const std::string& s : v) {
+    if (s.rfind(p, 0) == 0) return true;
+  }
+  return false;
+}
+
+// A tiny deterministic 2-process session that detects: both processes post
+// one concurrent notification.
+std::vector<std::string> detectingSession(const std::string& t,
+                                          const std::string& s) {
+  return {
+      "OPEN " + t + " " + s + " 2",
+      "EV " + t + " " + s + " 0 0 1 0",
+      "EV " + t + " " + s + " 1 0 0 1",
+      "END " + t + " " + s + " 0 1",
+      "END " + t + " " + s + " 1 1",
+  };
+}
+
+TEST(Engine, OpenDeliverDetectClose) {
+  Engine eng;
+  auto out = pumpAll(eng, detectingSession("t0", "s0"));
+  EXPECT_TRUE(anyStartsWith(out, "OK OPEN t0 s0"));
+  EXPECT_TRUE(anyStartsWith(out, "DETECT t0 s0"));
+  out = pumpAll(eng, {"CLOSE t0 s0"});
+  ASSERT_TRUE(anyStartsWith(out, "VERDICT t0 s0 detected 1 closed"));
+  EXPECT_EQ(eng.openSessions(), 0u);
+  EXPECT_EQ(eng.stats().detections, 1u);
+}
+
+TEST(Engine, DetectEmittedExactlyOnce) {
+  Engine eng;
+  pumpAll(eng, detectingSession("t0", "s0"));
+  // More traffic after detection must not re-announce.
+  const auto out = pumpAll(eng, {"EV t0 s0 0 1 2 0", "QUERY t0 s0"});
+  EXPECT_FALSE(anyStartsWith(out, "DETECT"));
+  EXPECT_TRUE(anyStartsWith(out, "VERDICT t0 s0 detected 1 open"));
+}
+
+TEST(Engine, NotDetectedWhenCausallyOrdered) {
+  Engine eng;
+  // p1's notification knows a p0 event *beyond* p0's notification
+  // (clock [2,1] vs [1,0]): succ(e) ≤ f, so e is eliminated — no witness.
+  const auto out = pumpAll(eng, {
+                                    "OPEN t0 s0 2",
+                                    "EV t0 s0 0 0 1 0",
+                                    "EV t0 s0 1 0 2 1",
+                                    "END t0 s0 0 1",
+                                    "END t0 s0 1 1",
+                                    "CLOSE t0 s0",
+                                });
+  EXPECT_FALSE(anyStartsWith(out, "DETECT"));
+  EXPECT_TRUE(anyStartsWith(out, "VERDICT t0 s0 not-detected 0 closed"));
+}
+
+TEST(Engine, GapTriggersNackAndRetransmitHeals) {
+  EngineOptions opt;
+  opt.session.retryTimeout = 4;
+  Engine eng(opt);
+  auto out = pumpAll(eng, {
+                              "OPEN t0 s0 2",
+                              "EV t0 s0 0 1 2 0",  // seq 0 missing: gap
+                              "TICK t0 s0 8",
+                          });
+  ASSERT_TRUE(anyStartsWith(out, "NACK t0 s0 0 0 0"));
+  out = pumpAll(eng, {"EV t0 s0 0 0 1 0", "END t0 s0 0 2", "END t0 s0 1 0",
+                      "CLOSE t0 s0"});
+  // Retransmission healed the gap: the verdict is exact, not degraded.
+  EXPECT_TRUE(anyStartsWith(out, "VERDICT t0 s0 not-detected 0 closed"));
+}
+
+TEST(Engine, ProtocolErrorTaxonomy) {
+  Engine eng;
+  auto out = pumpAll(eng, {"FROB x y"});
+  EXPECT_TRUE(anyStartsWith(out, "ERR bad-command"));
+  out = pumpAll(eng, {"OPEN bad!id s 2"});
+  EXPECT_TRUE(anyStartsWith(out, "ERR bad-argument"));
+  out = pumpAll(eng, {"EV t0 nope 0 0 1 1"});
+  EXPECT_TRUE(anyStartsWith(out, "ERR unknown-session"));
+  out = pumpAll(eng, {"OPEN t0 s0 2", "OPEN t0 s0 2"});
+  EXPECT_TRUE(anyStartsWith(out, "ERR duplicate-session"));
+  out = pumpAll(eng, {"EV t0 s0 0 notanumber 1 1"});
+  EXPECT_TRUE(anyStartsWith(out, "ERR bad-argument"));
+  out = pumpAll(eng, {"EV t0 s0 9 0 1 1"});  // process out of range
+  EXPECT_TRUE(anyStartsWith(out, "ERR bad-argument"));
+  // Errors never kill the session: it still answers.
+  out = pumpAll(eng, {"QUERY t0 s0"});
+  EXPECT_TRUE(anyStartsWith(out, "VERDICT t0 s0"));
+  EXPECT_GE(eng.stats().protocolErrors, 5u);
+}
+
+TEST(Engine, HostileClockPayloadIsQuarantinedNotFatal) {
+  Engine eng;
+  // Sequence numbers say "first notification" twice with own-component
+  // clocks that contradict each other — internally inconsistent input that
+  // drives the monitor's invariants. The service must answer with a shed
+  // (Degraded) session, not die.
+  auto out = pumpAll(eng, {
+                              "OPEN t0 s0 2",
+                              "EV t0 s0 0 0 5 0",
+                              "EV t0 s0 0 1 2 0",  // own clock goes backwards
+                          });
+  EXPECT_TRUE(anyStartsWith(out, "SHED t0 s0 internal-error") ||
+              anyStartsWith(out, "ERR bad-argument"));
+  EXPECT_EQ(eng.openSessions(), 0u);
+}
+
+TEST(Engine, GlobalAndTenantCaps) {
+  EngineOptions opt;
+  opt.maxSessions = 2;
+  opt.maxSessionsPerTenant = 1;
+  Engine eng(opt);
+  auto out = pumpAll(eng, {"OPEN a s0 2", "OPEN a s1 2"});
+  EXPECT_TRUE(anyStartsWith(out, "OK OPEN a s0"));
+  EXPECT_TRUE(anyStartsWith(out, "ERR admission-tenant-cap"));
+  out = pumpAll(eng, {"OPEN b s0 2", "OPEN c s0 2"});
+  EXPECT_TRUE(anyStartsWith(out, "OK OPEN b s0"));
+  EXPECT_TRUE(anyStartsWith(out, "ERR admission-global-cap"));
+  EXPECT_EQ(eng.stats().admissionRejects, 2u);
+}
+
+TEST(Engine, RateLimitRejectsExcessBytesPerPump) {
+  EngineOptions opt;
+  opt.tenantRateBytesPerPump = 40;
+  Engine eng(opt);
+  pumpAll(eng, {"OPEN t0 s0 2"});
+  const std::string ev0 = "EV t0 s0 0 0 1 0";   // ~16 bytes
+  const std::string ev1 = "EV t0 s0 0 1 2 0";
+  const std::string ev2 = "EV t0 s0 0 2 3 0";
+  auto out = pumpAll(eng, {ev0, ev1, ev2});
+  EXPECT_TRUE(anyStartsWith(out, "ERR rate-limited"));
+  EXPECT_GE(eng.stats().rateLimited, 1u);
+  // Next pump the meter resets: the refused frame goes through on retry.
+  out = pumpAll(eng, {ev2});
+  EXPECT_FALSE(anyStartsWith(out, "ERR rate-limited"));
+}
+
+TEST(Engine, BudgetExhaustionShedsWithDegradedVerdict) {
+  EngineOptions opt;
+  opt.sessionMaxCombinations = 3;
+  Engine eng(opt);
+  auto out = pumpAll(eng, {
+                              "OPEN t0 s0 2",
+                              "EV t0 s0 0 0 1 0",
+                              "EV t0 s0 0 1 2 0",
+                              "EV t0 s0 0 2 3 0",
+                              "EV t0 s0 0 3 4 0",  // 4th delivery: over budget
+                          });
+  EXPECT_TRUE(anyStartsWith(out, "SHED t0 s0 budget-"));
+  EXPECT_TRUE(anyStartsWith(out, "VERDICT t0 s0 degraded"));
+  EXPECT_EQ(eng.openSessions(), 0u);
+  EXPECT_EQ(eng.stats().sessionsShedBudget, 1u);
+}
+
+TEST(Engine, IdleSessionsAreSwept) {
+  EngineOptions opt;
+  opt.idleTimeoutPumps = 2;
+  Engine eng(opt);
+  pumpAll(eng, {"OPEN t0 s0 2"});
+  pumpAll(eng, {});  // idle pump 1
+  const auto out = pumpAll(eng, {});  // idle pump 2: swept
+  EXPECT_TRUE(anyStartsWith(out, "SHED t0 s0 idle"));
+  EXPECT_TRUE(anyStartsWith(out, "VERDICT t0 s0"));
+  EXPECT_EQ(eng.openSessions(), 0u);
+  EXPECT_EQ(eng.stats().sessionsShedIdle, 1u);
+}
+
+TEST(Engine, MemoryLadderEscalatesRejectDegradeShed) {
+  EngineOptions opt;
+  // Tiny watermark: a handful of sessions arms every rung.
+  opt.memWatermarkBytes = 4000;
+  Engine eng(opt);
+  std::vector<std::string> opens;
+  for (int i = 0; i < 8; ++i) {
+    opens.push_back("OPEN t" + std::to_string(i) + " s 2 prio " +
+                    std::to_string(i));
+  }
+  auto out = pumpAll(eng, opens);
+  // Sessions opened until the books crossed the watermark at pump end;
+  // the ladder then shed the lowest-priority ones back under 0.85·W.
+  EXPECT_TRUE(anyStartsWith(out, "OK OPEN t0 s"));
+  EXPECT_TRUE(anyStartsWith(out, "SHED"));
+  EXPECT_LT(eng.estimatedBytes(), opt.memWatermarkBytes);
+  // Next pump, usage still ≥ 0.70·W rejects new admissions...
+  if (eng.memLevel() >= 1) {
+    out = pumpAll(eng, {"OPEN fresh s 2"});
+    EXPECT_TRUE(anyStartsWith(out, "ERR admission-mem"));
+  }
+  EXPECT_GT(eng.stats().sessionsShedMem, 0u);
+}
+
+TEST(Engine, MemoryLadderDegradesInPlaceBeforeShedding) {
+  EngineOptions opt;
+  opt.memWatermarkBytes = 16000;
+  Engine eng(opt);
+  // One heavy tenant: lots of out-of-order traffic parks in reorder
+  // buffers, which is exactly the memory the degrade rung reclaims.
+  std::vector<std::string> cmds = {"OPEN heavy s 2"};
+  for (int i = 0; i < 400; ++i) {
+    cmds.push_back("EV heavy s 0 " + std::to_string(i + 1) + " " +
+                   std::to_string(i + 2) + " 0");  // seq 0 never sent
+  }
+  auto out = pumpAll(eng, cmds);
+  EXPECT_TRUE(anyStartsWith(out, "DEGRADE heavy s memory") ||
+              anyStartsWith(out, "SHED heavy s memory"));
+  EXPECT_LT(eng.estimatedBytes(), opt.memWatermarkBytes);
+}
+
+TEST(Engine, SyncAnswersAfterFullPumpEffect) {
+  Engine eng;
+  auto out = pumpAll(eng, {"OPEN t0 s0 2", "SYNC tok-1"});
+  // SYNC is last even though it was submitted after OPEN in the same pump.
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.back(), "SYNC tok-1");
+  out = pumpAll(eng, {"SYNC bad!token"});
+  EXPECT_TRUE(anyStartsWith(out, "ERR bad-argument"));
+}
+
+TEST(Engine, CentralCommands) {
+  Engine eng;
+  auto out = pumpAll(eng, {"STATS"});
+  ASSERT_TRUE(anyStartsWith(out, "STATS {"));
+  EXPECT_NE(out[0].find("\"pumps\":"), std::string::npos);
+  out = pumpAll(eng, {"CHECKPOINT"});
+  EXPECT_TRUE(anyStartsWith(out, "OK CHECKPOINT"));
+  EXPECT_TRUE(eng.consumeCheckpointRequest());
+  EXPECT_FALSE(eng.consumeCheckpointRequest());
+  out = pumpAll(eng, {"SHUTDOWN"});
+  EXPECT_TRUE(anyStartsWith(out, "OK SHUTDOWN draining"));
+  EXPECT_TRUE(eng.shutdownRequested());
+}
+
+TEST(Engine, DrainClosesEverythingWithVerdicts) {
+  Engine eng;
+  pumpAll(eng, {"OPEN t0 s0 2", "OPEN t1 s1 3"});
+  std::vector<Response> out;
+  eng.drain(out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(eng.openSessions(), 0u);
+  EXPECT_EQ(eng.estimatedBytes(), 0u);
+}
+
+TEST(Engine, ManifestRoundTripIsByteIdentical) {
+  EngineOptions opt;
+  opt.sessionMaxCombinations = 100;
+  Engine eng(opt);
+  pumpAll(eng, detectingSession("t0", "s0"));
+  pumpAll(eng, {"OPEN t1 s1 3", "EV t1 s1 0 1 2 0 0", "TICK t1 s1 3"});
+  std::ostringstream m1;
+  eng.writeManifest(m1);
+  std::istringstream in(m1.str());
+  auto restored = Engine::restoreManifest(in, opt);
+  std::ostringstream m2;
+  restored->writeManifest(m2);
+  EXPECT_EQ(m1.str(), m2.str());
+  EXPECT_EQ(restored->openSessions(), eng.openSessions());
+  EXPECT_EQ(restored->estimatedBytes(), eng.estimatedBytes());
+  EXPECT_EQ(restored->stats().pumps, eng.stats().pumps);
+}
+
+TEST(Engine, RestoredSessionDoesNotReannounceDetect) {
+  Engine eng;
+  // Detect from the two concurrent notifications alone (no END yet), so the
+  // restored session can keep receiving events.
+  pumpAll(eng, {"OPEN t0 s0 2", "EV t0 s0 0 0 1 0", "EV t0 s0 1 0 0 1"});
+  std::ostringstream m;
+  eng.writeManifest(m);
+  std::istringstream in(m.str());
+  auto restored = Engine::restoreManifest(in, {});
+  const auto out = pumpAll(*restored, {"EV t0 s0 0 1 2 0", "QUERY t0 s0"});
+  EXPECT_FALSE(anyStartsWith(out, "DETECT"));
+  EXPECT_TRUE(anyStartsWith(out, "VERDICT t0 s0 detected"));
+}
+
+TEST(Engine, CorruptManifestsThrowInputError) {
+  const auto restore = [](const std::string& text) {
+    std::istringstream in(text);
+    return Engine::restoreManifest(in, {});
+  };
+  EXPECT_THROW(restore("not-a-manifest 1"), gpd::InputError);
+  EXPECT_THROW(restore("gpdd-manifest 99\nstats"), gpd::InputError);
+  EXPECT_THROW(restore("gpdd-manifest 1\nstats 0 0 0"), gpd::InputError);
+  EXPECT_THROW(
+      restore("gpdd-manifest 1\n"
+              "stats 0 0 0 0 0 0 0 0 0 0 0 0 0 0\n"
+              "sessions 1\n"
+              "session bad!tenant s 0 2 0 0 0\n"),
+      gpd::InputError);
+  // Truncated mid-session.
+  Engine eng;
+  for (const std::string& c : detectingSession("t0", "s0")) eng.submit(c);
+  std::vector<Response> out;
+  eng.pump(out);
+  std::ostringstream m;
+  eng.writeManifest(m);
+  const std::string whole = m.str();
+  EXPECT_THROW(restore(whole.substr(0, whole.size() / 2)), gpd::InputError);
+}
+
+TEST(Engine, PoolAndSequentialPumpsAreBitIdentical) {
+  const auto runWith = [](par::Pool* pool) {
+    EngineOptions opt;
+    opt.shards = 8;
+    Engine eng(opt);
+    std::vector<std::string> all;
+    for (int i = 0; i < 12; ++i) {
+      const std::string t = "t" + std::to_string(i % 3);
+      const std::string s = "s" + std::to_string(i);
+      for (const std::string& c : detectingSession(t, s)) all.push_back(c);
+      all.push_back("CLOSE " + t + " " + s);
+    }
+    std::string transcript;
+    for (const std::string& c : all) eng.submit(c);
+    std::vector<Response> out;
+    eng.pump(out, pool);
+    for (const Response& r : out) {
+      transcript += r.payload;
+      transcript += '\n';
+    }
+    std::ostringstream m;
+    eng.writeManifest(m);
+    transcript += m.str();
+    return transcript;
+  };
+  const std::string seq = runWith(nullptr);
+  par::Pool pool(4);
+  const std::string par4 = runWith(&pool);
+  EXPECT_EQ(seq, par4);
+}
+
+}  // namespace
+}  // namespace gpd::service

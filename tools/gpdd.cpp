@@ -1,0 +1,467 @@
+// gpdd — the long-lived multi-tenant detection service.
+//
+// Front-ends a gpd::service::Engine with two byte-stream transports:
+//
+//   gpdd [flags]                 stdin/stdout pipe pair (one endpoint; this
+//                                is how the chaos harness drives it)
+//   gpdd --socket PATH [flags]   UNIX-domain socket, one endpoint per
+//                                connection; responses route back to the
+//                                connection whose command caused them
+//
+// Wire format: length-prefixed checksummed frames (service/frame.h) whose
+// payloads are engine protocol commands (service/engine.h). The decoder
+// resynchronizes across garbage, so a corrupted region costs only the
+// frames it covered — unless --strict-proto, where any damaged byte is an
+// InputError (exit 1).
+//
+// Service flags:
+//   --shards N          engine shards (default 8)
+//   --threads N         par::Pool workers for the shard phase (default:
+//                       GPD_THREADS, else sequential); verdicts and
+//                       responses are identical for any N
+//   --max-sessions N    global concurrent-session cap
+//   --max-per-tenant N  per-tenant concurrent-session cap
+//   --rate-bytes N      per-tenant EV/EVB payload bytes accepted per pump
+//   --mem-watermark B   estimated-bytes watermark arming the overload
+//                       ladder (reject new → degrade in place → shed)
+//   --idle-pumps N      shed sessions idle for N pumps
+//   --max-combinations N / --budget-ms D   per-session budget
+//   --window W --retries K --timeout T --queue-limit Q
+//   --degrade-on-overflow --max-comparisons-per-report C
+//                       per-session MonitorSession/monitor options
+//
+// Robustness flags:
+//   --checkpoint FILE   whole-service manifest path; written atomically
+//                       (temp + rename) on every CHECKPOINT command and
+//                       every --checkpoint-every N pumps, and once more on
+//                       graceful shutdown
+//   --checkpoint-every N  periodic checkpoint cadence, in pumps
+//   --recover           restore from --checkpoint FILE before serving; a
+//                       missing or corrupt manifest is an InputError
+//   --stats-dump FILE   atomically rewrite FILE with one JSON object
+//                       (engine stats + the gpd::obs registry) every
+//                       --stats-every N pumps (default 200)
+//   --strict-proto      any discarded byte / truncated frame is fatal
+//
+// SIGTERM/SIGINT drain gracefully: every open session is settled, its final
+// VERDICT frame is flushed, a final checkpoint is written, exit 0. SIGKILL
+// is the crash the manifest exists for: restart with --recover and the
+// service resumes bit-identically from the last checkpoint.
+//
+// Exit code: 0 = clean shutdown/drain, 1 = bad input (flags, bind failure,
+// corrupt recovery manifest, strict-mode protocol violation), 2 = internal
+// failure (a library invariant broke).
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/checkpoint_io.h"
+#include "obs/metrics.h"
+#include "par/pool.h"
+#include "service/engine.h"
+#include "service/frame.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace gpd;
+
+volatile std::sig_atomic_t gStop = 0;
+
+void onSignal(int) { gStop = 1; }
+
+int usage() {
+  std::cerr
+      << "usage: gpdd [--socket PATH] [--shards N] [--threads N]\n"
+      << "            [--max-sessions N] [--max-per-tenant N] [--rate-bytes N]\n"
+      << "            [--mem-watermark BYTES] [--idle-pumps N]\n"
+      << "            [--max-combinations N] [--budget-ms D]\n"
+      << "            [--window W] [--retries K] [--timeout T]\n"
+      << "            [--queue-limit Q] [--degrade-on-overflow]\n"
+      << "            [--max-comparisons-per-report C]\n"
+      << "            [--checkpoint FILE] [--checkpoint-every N] [--recover]\n"
+      << "            [--stats-dump FILE] [--stats-every N] [--strict-proto]\n";
+  return 1;
+}
+
+long long parseInt(const std::string& word, const char* what) {
+  std::size_t used = 0;
+  long long v = 0;
+  try {
+    v = std::stoll(word, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  GPD_INPUT_CHECK(used == word.size() && !word.empty(),
+                  "'" << word << "' is not an integer (" << what << ")");
+  return v;
+}
+
+struct Options {
+  std::string socketPath;
+  int threads = par::envThreads();
+  std::string checkpointPath;
+  std::uint64_t checkpointEvery = 0;
+  bool recover = false;
+  std::string statsDumpPath;
+  std::uint64_t statsEvery = 200;
+  bool strictProto = false;
+  service::EngineOptions engine;
+};
+
+Options parseFlags(const std::vector<std::string>& args) {
+  Options o;
+  auto need = [&](std::size_t i) -> const std::string& {
+    GPD_INPUT_CHECK(i < args.size(), "flag '" << args[i - 1]
+                                              << "' needs a value");
+    return args[i];
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--socket") {
+      o.socketPath = need(++i);
+    } else if (a == "--shards") {
+      o.engine.shards = static_cast<int>(parseInt(need(++i), "--shards"));
+      GPD_INPUT_CHECK(o.engine.shards >= 1 && o.engine.shards <= 1024,
+                      "--shards out of range");
+    } else if (a == "--threads") {
+      o.threads = static_cast<int>(parseInt(need(++i), "--threads"));
+      GPD_INPUT_CHECK(o.threads >= 0 && o.threads <= 1024,
+                      "--threads out of range");
+    } else if (a == "--max-sessions") {
+      o.engine.maxSessions =
+          static_cast<std::size_t>(parseInt(need(++i), "--max-sessions"));
+    } else if (a == "--max-per-tenant") {
+      o.engine.maxSessionsPerTenant =
+          static_cast<std::size_t>(parseInt(need(++i), "--max-per-tenant"));
+    } else if (a == "--rate-bytes") {
+      o.engine.tenantRateBytesPerPump =
+          static_cast<std::uint64_t>(parseInt(need(++i), "--rate-bytes"));
+    } else if (a == "--mem-watermark") {
+      o.engine.memWatermarkBytes =
+          static_cast<std::uint64_t>(parseInt(need(++i), "--mem-watermark"));
+    } else if (a == "--idle-pumps") {
+      o.engine.idleTimeoutPumps =
+          static_cast<std::uint64_t>(parseInt(need(++i), "--idle-pumps"));
+    } else if (a == "--max-combinations") {
+      o.engine.sessionMaxCombinations = static_cast<std::uint64_t>(
+          parseInt(need(++i), "--max-combinations"));
+    } else if (a == "--budget-ms") {
+      o.engine.sessionBudgetMs =
+          static_cast<std::uint64_t>(parseInt(need(++i), "--budget-ms"));
+    } else if (a == "--window") {
+      o.engine.session.reorderWindow =
+          static_cast<std::size_t>(parseInt(need(++i), "--window"));
+      GPD_INPUT_CHECK(o.engine.session.reorderWindow >= 1,
+                      "--window must be >= 1");
+    } else if (a == "--retries") {
+      o.engine.session.maxRetries =
+          static_cast<int>(parseInt(need(++i), "--retries"));
+      GPD_INPUT_CHECK(o.engine.session.maxRetries >= 1,
+                      "--retries must be >= 1");
+    } else if (a == "--timeout") {
+      o.engine.session.retryTimeout =
+          static_cast<std::uint64_t>(parseInt(need(++i), "--timeout"));
+      GPD_INPUT_CHECK(o.engine.session.retryTimeout >= 1,
+                      "--timeout must be >= 1");
+    } else if (a == "--queue-limit") {
+      o.engine.session.monitor.maxQueuePerProcess =
+          static_cast<std::size_t>(parseInt(need(++i), "--queue-limit"));
+    } else if (a == "--degrade-on-overflow") {
+      o.engine.session.monitor.overflowPolicy =
+          monitor::OverflowPolicy::Degrade;
+    } else if (a == "--max-comparisons-per-report") {
+      o.engine.session.monitor.maxComparisonsPerReport =
+          static_cast<std::uint64_t>(
+              parseInt(need(++i), "--max-comparisons-per-report"));
+    } else if (a == "--checkpoint") {
+      o.checkpointPath = need(++i);
+    } else if (a == "--checkpoint-every") {
+      o.checkpointEvery = static_cast<std::uint64_t>(
+          parseInt(need(++i), "--checkpoint-every"));
+      GPD_INPUT_CHECK(o.checkpointEvery >= 1,
+                      "--checkpoint-every must be >= 1");
+    } else if (a == "--recover") {
+      o.recover = true;
+    } else if (a == "--stats-dump") {
+      o.statsDumpPath = need(++i);
+    } else if (a == "--stats-every") {
+      o.statsEvery =
+          static_cast<std::uint64_t>(parseInt(need(++i), "--stats-every"));
+      GPD_INPUT_CHECK(o.statsEvery >= 1, "--stats-every must be >= 1");
+    } else if (a == "--strict-proto") {
+      o.strictProto = true;
+    } else {
+      usage();
+      GPD_INPUT_CHECK(false, "unknown flag '" << a << "'");
+    }
+  }
+  GPD_INPUT_CHECK(!o.recover || !o.checkpointPath.empty(),
+                  "--recover needs --checkpoint FILE");
+  GPD_INPUT_CHECK(o.checkpointEvery == 0 || !o.checkpointPath.empty(),
+                  "--checkpoint-every needs --checkpoint FILE");
+  return o;
+}
+
+// One transport endpoint: a connected fd plus its incremental frame decoder.
+struct Conn {
+  int readFd = -1;
+  int writeFd = -1;
+  service::FrameDecoder decoder;
+  bool eof = false;
+  std::uint64_t reportedDiscarded = 0;  // decoder bytes already counted
+};
+
+void setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void writeAll(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // endpoint gone (EPIPE etc.): responses to it are moot
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void writeManifestAtomic(const service::Engine& engine,
+                         const std::string& path) {
+  std::ostringstream os;
+  engine.writeManifest(os);
+  io::atomicWriteFile(path, os.str());
+  GPD_OBS_COUNTER_ADD("gpdd_checkpoints", 1);
+}
+
+void dumpStats(const service::Engine& engine, const std::string& path) {
+  std::ostringstream os;
+  os << "{\"engine\":" << engine.statsJson() << ",\"obs\":";
+  obs::renderMetricsJson(os, obs::registry());
+  os << "}\n";
+  io::atomicWriteFile(path, os.str());
+}
+
+int listenOn(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  GPD_INPUT_CHECK(fd >= 0, "cannot create UNIX socket: " << strerror(errno));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  GPD_INPUT_CHECK(path.size() < sizeof(addr.sun_path),
+                  "socket path too long: '" << path << "'");
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    GPD_INPUT_CHECK(false, "cannot bind '" << path
+                                           << "': " << strerror(err));
+  }
+  if (::listen(fd, 128) != 0) {
+    const int err = errno;
+    ::close(fd);
+    GPD_INPUT_CHECK(false, "cannot listen on '" << path
+                                                << "': " << strerror(err));
+  }
+  setNonBlocking(fd);
+  return fd;
+}
+
+int runService(const Options& o) {
+  std::unique_ptr<service::Engine> engine;
+  if (o.recover) {
+    std::ifstream is(o.checkpointPath);
+    GPD_INPUT_CHECK(is.is_open(), "cannot open recovery manifest '"
+                                      << o.checkpointPath << "'");
+    engine = service::Engine::restoreManifest(is, o.engine);
+    std::cerr << "gpdd: recovered " << engine->openSessions()
+              << " sessions from '" << o.checkpointPath << "'\n";
+  } else {
+    engine = std::make_unique<service::Engine>(o.engine);
+  }
+  std::unique_ptr<par::Pool> pool;
+  if (o.threads > 1) pool = std::make_unique<par::Pool>(o.threads);
+
+  int listenFd = -1;
+  std::map<int, Conn> conns;  // keyed by origin (= read fd)
+  if (o.socketPath.empty()) {
+    // The pipe (or file) feeding stdin is dedicated to this process; make it
+    // nonblocking so the drain loop below can never stall mid-chunk.
+    setNonBlocking(0);
+    conns[0] = Conn{0, 1, {}, false, 0};
+  } else {
+    listenFd = listenOn(o.socketPath);
+  }
+
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::uint64_t pumpsSinceCheckpoint = 0;
+  std::uint64_t pumpsSinceStats = 0;
+  char buf[1 << 16];
+  while (gStop == 0 && !engine->shutdownRequested()) {
+    // ---- Gather readable endpoints ----
+    std::vector<pollfd> fds;
+    if (listenFd >= 0) fds.push_back({listenFd, POLLIN, 0});
+    for (auto& [origin, conn] : conns) {
+      if (!conn.eof) fds.push_back({conn.readFd, POLLIN, 0});
+    }
+    const bool stdioDone =
+        o.socketPath.empty() && (conns.empty() || conns.begin()->second.eof);
+    if (fds.empty() && !stdioDone && listenFd < 0) break;
+    if (!fds.empty()) {
+      const int r = ::poll(fds.data(), fds.size(), 10);
+      if (r < 0 && errno != EINTR) break;
+    }
+    if (listenFd >= 0) {
+      for (;;) {
+        const int cfd = ::accept(listenFd, nullptr, nullptr);
+        if (cfd < 0) break;
+        setNonBlocking(cfd);
+        conns[cfd] = Conn{cfd, cfd, {}, false, 0};
+      }
+    }
+    std::vector<int> dead;
+    for (auto& [origin, conn] : conns) {
+      if (conn.eof) continue;
+      // Nonblocking reads for sockets; the stdio fd blocks only while poll
+      // said it is readable, so drain one chunk per loop there too.
+      for (;;) {
+        const ssize_t n = ::read(conn.readFd, buf, sizeof(buf));
+        if (n > 0) {
+          conn.decoder.feed({buf, static_cast<std::size_t>(n)});
+          if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+          continue;
+        }
+        if (n == 0) {
+          conn.eof = true;
+          break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+        conn.eof = true;
+        break;
+      }
+      while (auto payload = conn.decoder.pop()) {
+        engine->submit(std::move(*payload), origin);
+      }
+      if (conn.decoder.bytesDiscarded() > conn.reportedDiscarded) {
+        GPD_OBS_COUNTER_ADD("gpdd_bytes_discarded",
+                            conn.decoder.bytesDiscarded() -
+                                conn.reportedDiscarded);
+        conn.reportedDiscarded = conn.decoder.bytesDiscarded();
+      }
+      if (o.strictProto) {
+        GPD_INPUT_CHECK(conn.decoder.bytesDiscarded() == 0,
+                        "protocol violation: " << conn.decoder.bytesDiscarded()
+                                               << " bytes discarded");
+        GPD_INPUT_CHECK(!conn.eof || conn.decoder.bytesPending() == 0,
+                        "protocol violation: truncated frame at EOF");
+      }
+      if (conn.eof && origin != 0) dead.push_back(origin);
+    }
+    for (int origin : dead) {
+      ::close(conns[origin].readFd);
+      conns.erase(origin);
+    }
+
+    // ---- One pump ----
+    std::vector<service::Response> out;
+    engine->pump(out, pool.get());
+
+    // ---- Checkpoints and stats ----
+    // Durability before acknowledgment: the manifest is written *before*
+    // the pump's responses are flushed, so a client that has seen this
+    // pump's OK CHECKPOINT (or the SYNC behind it) may kill -9 the server
+    // and still recover this pump's state. The soak harness does exactly
+    // that.
+    ++pumpsSinceCheckpoint;
+    ++pumpsSinceStats;
+    const bool requested = engine->consumeCheckpointRequest();
+    if (!o.checkpointPath.empty() &&
+        (requested || (o.checkpointEvery != 0 &&
+                       pumpsSinceCheckpoint >= o.checkpointEvery))) {
+      writeManifestAtomic(*engine, o.checkpointPath);
+      pumpsSinceCheckpoint = 0;
+    }
+    if (!o.statsDumpPath.empty() && pumpsSinceStats >= o.statsEvery) {
+      dumpStats(*engine, o.statsDumpPath);
+      pumpsSinceStats = 0;
+    }
+
+    std::map<int, std::string> byOrigin;
+    for (service::Response& r : out) {
+      byOrigin[r.origin] += service::encodeFrame(r.payload);
+    }
+    for (auto& [origin, bytes] : byOrigin) {
+      const auto it = conns.find(origin);
+      if (it != conns.end()) {
+        writeAll(it->second.writeFd, bytes);
+      } else if (origin == 0 && o.socketPath.empty()) {
+        writeAll(1, bytes);
+      }
+    }
+
+    // Pipe mode ends when stdin is exhausted and every frame was answered.
+    if (stdioDone && !engine->shutdownRequested()) break;
+  }
+
+  // ---- Graceful drain ----
+  std::vector<service::Response> out;
+  engine->drain(out);
+  std::map<int, std::string> byOrigin;
+  for (service::Response& r : out) {
+    byOrigin[r.origin] += service::encodeFrame(r.payload);
+  }
+  for (auto& [origin, bytes] : byOrigin) {
+    const auto it = conns.find(origin);
+    if (it != conns.end()) {
+      writeAll(it->second.writeFd, bytes);
+    } else if (origin == 0 && o.socketPath.empty()) {
+      writeAll(1, bytes);
+    }
+  }
+  if (!o.checkpointPath.empty()) {
+    writeManifestAtomic(*engine, o.checkpointPath);
+  }
+  if (!o.statsDumpPath.empty()) dumpStats(*engine, o.statsDumpPath);
+  for (auto& [origin, conn] : conns) {
+    if (origin != 0) ::close(conn.readFd);
+  }
+  if (listenFd >= 0) {
+    ::close(listenFd);
+    ::unlink(o.socketPath.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    return runService(parseFlags(args));
+  } catch (const gpd::InputError& e) {
+    std::cerr << "gpdd: " << e.what() << '\n';
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "gpdd: internal failure: " << e.what() << '\n';
+    return 2;
+  }
+}

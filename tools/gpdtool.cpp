@@ -93,6 +93,7 @@ int usage() {
             << "                  [--reorder P] [--burst P] [--retries K]\n"
             << "                  [--timeout T] [--window W] [--queue-limit Q]\n"
             << "                  [--degrade-on-overflow] [--checkpoint F]\n"
+            << "                  [--checkpoint-every N]\n"
             << "                  [--max-comparisons-per-report C]\n"
             << "                  <p:var|p:!var>...\n"
             << "  gpdtool selftest\n";
@@ -761,6 +762,7 @@ int monitorCmd(const std::string& path, std::vector<std::string> args) {
   monitor::SessionOptions sopt;
   std::uint64_t seed = 1;
   std::string checkpointPath;
+  std::uint64_t checkpointEvery = 0;
   std::vector<std::string> terms;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -803,6 +805,10 @@ int monitorCmd(const std::string& path, std::vector<std::string> args) {
       sopt.monitor.overflowPolicy = monitor::OverflowPolicy::Degrade;
     } else if (a == "--checkpoint") {
       checkpointPath = flagValue("file");
+    } else if (a == "--checkpoint-every") {
+      const long long v = parseInt(flagValue("deliveries"), "cadence");
+      GPD_INPUT_CHECK(v >= 1, "--checkpoint-every must be >= 1");
+      checkpointEvery = static_cast<std::uint64_t>(v);
     } else {
       GPD_INPUT_CHECK(a.empty() || a[0] != '-',
                       "unknown monitor flag '" << a << "'");
@@ -810,6 +816,8 @@ int monitorCmd(const std::string& path, std::vector<std::string> args) {
     }
   }
   if (terms.empty()) return usage();
+  GPD_INPUT_CHECK(checkpointEvery == 0 || !checkpointPath.empty(),
+                  "--checkpoint-every needs --checkpoint FILE");
   beginObs(obsFlags);
 
   const io::TraceFile file = io::loadTrace(path);
@@ -826,8 +834,19 @@ int monitorCmd(const std::string& path, std::vector<std::string> args) {
   Rng rng(seed);
   const auto run = graph::randomLinearExtension(comp.toDag(), rng);
   monitor::MonitorSession session(comp.processCount(), sopt);
+  // Periodic atomic checkpoints: temp+rename, so a crash at any moment
+  // leaves either the previous complete checkpoint or the new one on disk.
+  monitor::ReplayHooks hooks;
+  std::uint64_t checkpointsWritten = 0;
+  if (checkpointEvery != 0) {
+    hooks.checkpointEveryDeliveries = checkpointEvery;
+    hooks.onCheckpoint = [&](const monitor::MonitorSession& live) {
+      io::saveCheckpointAtomic(checkpointPath, live.snapshot());
+      ++checkpointsWritten;
+    };
+  }
   const monitor::ResilientReplayResult res = monitor::replayConjunctiveFaulty(
-      clocks, *file.trace, pred, run, session, faults, rng);
+      clocks, *file.trace, pred, run, session, faults, rng, hooks);
 
   std::cout << "verdict:          " << monitor::toString(res.verdict) << '\n';
   std::cout << "offline CPDHB:    " << (offline ? "detected" : "not-detected")
@@ -854,13 +873,18 @@ int monitorCmd(const std::string& path, std::vector<std::string> args) {
               << '\n';
   }
   if (!checkpointPath.empty()) {
-    io::saveCheckpoint(checkpointPath, session.snapshot());
+    io::saveCheckpointAtomic(checkpointPath, session.snapshot());
     const monitor::MonitorSession restored = monitor::MonitorSession::restore(
         io::loadCheckpoint(checkpointPath), sopt);
     const bool ok = restored.verdict() == session.verdict() &&
                     restored.detected() == session.detected();
     std::cout << "checkpoint:       " << checkpointPath << " round-trip "
-              << (ok ? "ok" : "MISMATCH") << '\n';
+              << (ok ? "ok" : "MISMATCH");
+    if (checkpointEvery != 0) {
+      std::cout << " (" << checkpointsWritten << " periodic, every "
+                << checkpointEvery << " deliveries)";
+    }
+    std::cout << '\n';
     if (!ok) return 2;
   }
   const bool agree =
