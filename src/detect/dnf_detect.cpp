@@ -14,7 +14,12 @@ DnfResult possiblyExpression(const VectorClocks& clocks,
                              control::Budget* budget) {
   GPD_TRACE_SPAN_NAMED(span, "detect.dnf");
   DnfResult result;
-  const std::vector<DnfTerm> terms = toDnf(expr);
+  // The DNF expansion itself is exponential, so it runs under the same
+  // budget as the term loop: a trip mid-distribution yields the terms built
+  // so far and an incomplete verdict instead of an unbounded stall.
+  const DnfExpansion expansion = toDnfBudgeted(expr, budget);
+  const std::vector<DnfTerm>& terms = expansion.terms;
+  if (!expansion.complete) result.complete = false;
   result.termsTotal = terms.size();
   const Computation& comp = clocks.computation();
   // Span attrs and the per-run counter are published whichever way the

@@ -3,8 +3,9 @@
 // predicates: one weak-conjunctive (CPDHB) detection per satisfiable DNF
 // term. Exponential in the worst case (the expression's DNF may explode);
 // practical exactly when the term count stays small. The budget is charged
-// one combination per term, so a deadline or a combination cap bounds the
-// sweep; an early stop leaves complete=false — a found witness is still
+// one combination per term, and the DNF expansion itself polls keepGoing()
+// (toDnfBudgeted), so a deadline or cancel bounds both the distribution and
+// the sweep; an early stop leaves complete=false — a found witness is still
 // genuine, but "no term detected" degrades to unknown.
 #pragma once
 

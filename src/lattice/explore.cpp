@@ -406,7 +406,8 @@ bool definitelyExhaustive(const VectorClocks& clocks, const CutPredicate& phi) {
   return decision.holds;
 }
 
-LatticeStats latticeStats(const VectorClocks& clocks) {
+LatticeStats latticeStats(const VectorClocks& clocks,
+                          control::Budget* budget) {
   LatticeStats stats;
   const Computation& comp = clocks.computation();
   std::vector<Cut> level{initialCut(comp)};
@@ -417,6 +418,10 @@ LatticeStats latticeStats(const VectorClocks& clocks) {
     std::unordered_set<Cut> seen;
     std::vector<Cut> next;
     for (const Cut& cut : level) {
+      if (budget != nullptr && !budget->chargeCut()) {
+        stats.complete = false;
+        return stats;
+      }
       expand(clocks, cut, seen, next, [](const Cut&) { return true; });
     }
     level = std::move(next);

@@ -121,11 +121,17 @@ DefinitelyDecision definitelyExhaustiveParallel(const VectorClocks& clocks,
 bool definitelyExhaustive(const VectorClocks& clocks, const CutPredicate& phi);
 
 struct LatticeStats {
-  std::uint64_t cutCount = 0;   // number of consistent cuts
+  std::uint64_t cutCount = 0;   // number of consistent cuts counted so far
   int levels = 0;               // height of the lattice (final level + 1)
   std::uint64_t maxWidth = 0;   // widest level
+  bool complete = true;         // false when a budget stopped the BFS early
 };
 
-LatticeStats latticeStats(const VectorClocks& clocks);
+// Counts the lattice level by level. The lattice can be exponential in the
+// computation (PAPER.md), so a caller that is not prepared to wait must pass
+// a Budget: each counted cut is charged as one cut, and when the budget
+// trips the partial stats come back with complete == false.
+LatticeStats latticeStats(const VectorClocks& clocks,
+                          control::Budget* budget = nullptr);
 
 }  // namespace gpd::lattice

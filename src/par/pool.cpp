@@ -87,7 +87,9 @@ void Pool::run(const std::function<void(int)>& body) {
 }
 
 int envThreads() {
-  const char* raw = std::getenv("GPD_THREADS");
+  // Read once at pool construction, before any worker exists; nothing in
+  // the process mutates the environment.
+  const char* raw = std::getenv("GPD_THREADS");  // NOLINT(concurrency-mt-unsafe)
   if (raw == nullptr || *raw == '\0') return 0;
   char* end = nullptr;
   const long v = std::strtol(raw, &end, 10);

@@ -102,13 +102,18 @@ std::optional<DnfTerm> mergeTerms(const DnfTerm& a, const DnfTerm& b) {
   return out;
 }
 
-// DNF of the expression under a polarity (negation pushed inward on the fly).
-std::vector<DnfTerm> dnfOf(const BoolExpr& e, bool positive) {
+// DNF of the expression under a polarity (negation pushed inward on the
+// fly). Distribution makes the result exponential in the expression, so
+// every expansion loop polls keepGoing(); once `*stopped` is set the whole
+// recursion unwinds and the caller reports an incomplete expansion.
+std::vector<DnfTerm> dnfOf(const BoolExpr& e, bool positive,
+                           control::Budget* budget, bool* stopped) {
+  if (*stopped) return {};
   switch (e.kind()) {
     case BoolExpr::Kind::Var:
       return {{BoolLiteral{e.process(), e.name(), positive}}};
     case BoolExpr::Kind::Not:
-      return dnfOf(*e.child(), !positive);
+      return dnfOf(*e.child(), !positive, budget, stopped);
     case BoolExpr::Kind::And:
     case BoolExpr::Kind::Or: {
       // Under negation, And behaves as Or and vice versa (De Morgan).
@@ -116,22 +121,31 @@ std::vector<DnfTerm> dnfOf(const BoolExpr& e, bool positive) {
       if (!isAnd) {
         std::vector<DnfTerm> out;
         for (const auto& c : e.children()) {
-          for (auto& term : dnfOf(*c, positive)) out.push_back(std::move(term));
+          if (budget != nullptr && !budget->keepGoing()) *stopped = true;
+          if (*stopped) break;
+          for (auto& term : dnfOf(*c, positive, budget, stopped)) {
+            out.push_back(std::move(term));
+          }
         }
         return out;
       }
       // Conjunction: distribute (cross product of the children's terms).
       std::vector<DnfTerm> acc{DnfTerm{}};
       for (const auto& c : e.children()) {
-        const std::vector<DnfTerm> childTerms = dnfOf(*c, positive);
+        const std::vector<DnfTerm> childTerms =
+            dnfOf(*c, positive, budget, stopped);
+        if (*stopped) break;
         std::vector<DnfTerm> next;
         for (const DnfTerm& a : acc) {
           for (const DnfTerm& b : childTerms) {
+            if (budget != nullptr && !budget->keepGoing()) *stopped = true;
+            if (*stopped) break;
             if (auto merged = mergeTerms(a, b)) next.push_back(std::move(*merged));
           }
+          if (*stopped) break;
         }
         acc = std::move(next);
-        if (acc.empty()) break;  // everything contradicted
+        if (*stopped || acc.empty()) break;  // stopped or all contradicted
       }
       return acc;
     }
@@ -142,8 +156,11 @@ std::vector<DnfTerm> dnfOf(const BoolExpr& e, bool positive) {
 
 }  // namespace
 
-std::vector<DnfTerm> toDnf(const BoolExpr& expr) {
-  std::vector<DnfTerm> terms = dnfOf(expr, true);
+DnfExpansion toDnfBudgeted(const BoolExpr& expr, control::Budget* budget) {
+  DnfExpansion out;
+  bool stopped = false;
+  std::vector<DnfTerm> terms = dnfOf(expr, true, budget, &stopped);
+  out.complete = !stopped;
   // Deduplicate identical terms.
   std::sort(terms.begin(), terms.end(),
             [](const DnfTerm& a, const DnfTerm& b) {
@@ -157,7 +174,12 @@ std::vector<DnfTerm> toDnf(const BoolExpr& expr) {
                                               literalEq);
                           }),
               terms.end());
-  return terms;
+  out.terms = std::move(terms);
+  return out;
+}
+
+std::vector<DnfTerm> toDnf(const BoolExpr& expr) {
+  return toDnfBudgeted(expr, nullptr).terms;
 }
 
 }  // namespace gpd

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "control/budget.h"
 #include "predicates/cnf.h"
 #include "predicates/variable_trace.h"
 
@@ -67,6 +68,20 @@ using DnfTerm = std::vector<BoolLiteral>;
 // Negation-normal-form + distribution, pruning contradictory terms and
 // deduplicating literals. The result is empty iff the expression is
 // unsatisfiable by propositional structure alone.
+//
+// Distribution is the exponential step, so the budgeted form polls
+// Budget::keepGoing() inside every expansion loop (keepGoing does not touch
+// the cut/combination meters, keeping detection counts bit-identical across
+// budget configurations) and reports complete == false when the budget
+// stopped it; the terms produced so far are still well-formed.
+struct DnfExpansion {
+  std::vector<DnfTerm> terms;
+  bool complete = true;
+};
+
+DnfExpansion toDnfBudgeted(const BoolExpr& expr, control::Budget* budget);
+
+// Unbudgeted convenience form: runs to completion.
 std::vector<DnfTerm> toDnf(const BoolExpr& expr);
 
 }  // namespace gpd

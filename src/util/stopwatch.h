@@ -15,8 +15,10 @@ namespace gpd {
 // Nanoseconds on the process-wide steady clock. Monotonic, comparable
 // across threads; the epoch is unspecified (use differences only).
 inline std::uint64_t steadyNowNanos() {
+  // The one sanctioned direct clock read: every other site must come here.
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
+          // srclint: allow(gpd-clock-discipline)
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }

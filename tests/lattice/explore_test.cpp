@@ -91,6 +91,26 @@ TEST(LatticeTest, StatsOnGrid) {
   EXPECT_EQ(stats.cutCount, 9u);
   EXPECT_EQ(stats.levels, 5);   // levels 0..4
   EXPECT_EQ(stats.maxWidth, 3u);  // the middle diagonal
+  EXPECT_TRUE(stats.complete);
+}
+
+TEST(LatticeTest, StatsStopEarlyWhenTheBudgetTrips) {
+  const Computation c = independent(3, 3);
+  const VectorClocks vc(c);
+  const std::uint64_t full = latticeStats(vc).cutCount;
+  control::BudgetLimits tight;
+  tight.maxCuts = 4;
+  control::Budget budget(tight);
+  const LatticeStats stats = latticeStats(vc, &budget);
+  EXPECT_FALSE(stats.complete);
+  EXPECT_LT(stats.cutCount, full);
+  // A roomy budget changes nothing.
+  control::BudgetLimits wide;
+  wide.maxCuts = full * 2;
+  control::Budget roomy(wide);
+  const LatticeStats again = latticeStats(vc, &roomy);
+  EXPECT_TRUE(again.complete);
+  EXPECT_EQ(again.cutCount, full);
 }
 
 TEST(LatticeTest, PossiblyFindsWitness) {

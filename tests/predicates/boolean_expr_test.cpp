@@ -110,6 +110,38 @@ TEST(BoolExprTest, DoubleNegationCancels) {
   EXPECT_TRUE(dnf[0][0].positive);
 }
 
+// CNF-shaped expression: And of `clauses` two-variable Ors. Its DNF has
+// 2^clauses terms — the exponential distribution the budget must bound.
+BoolExprPtr wideCnf(int clauses) {
+  std::vector<BoolExprPtr> ands;
+  for (int i = 0; i < clauses; ++i) {
+    ands.push_back(BoolExpr::disjunction(
+        {BoolExpr::var(2 * i, "x"), BoolExpr::var(2 * i + 1, "x")}));
+  }
+  return BoolExpr::conjunction(std::move(ands));
+}
+
+TEST(BoolExprTest, BudgetedExpansionRunsToCompletionWhenRoomy) {
+  control::Budget roomy;  // unlimited
+  const DnfExpansion full = toDnfBudgeted(*wideCnf(6), &roomy);
+  EXPECT_TRUE(full.complete);
+  EXPECT_EQ(full.terms.size(), 64u);  // 2^6
+  // Identical to the unbudgeted convenience form.
+  EXPECT_EQ(toDnf(*wideCnf(6)).size(), 64u);
+}
+
+TEST(BoolExprTest, CancelledBudgetStopsTheExpansionEarly) {
+  // A pre-cancelled token trips keepGoing() at its first amortized poll;
+  // the 2^10-term distribution makes far more than one poll period of
+  // expansion steps, so the run must come back incomplete and truncated.
+  control::CancelToken cancel;
+  cancel.requestCancel();
+  control::Budget budget(control::BudgetLimits{}, &cancel);
+  const DnfExpansion partial = toDnfBudgeted(*wideCnf(10), &budget);
+  EXPECT_FALSE(partial.complete);
+  EXPECT_LT(partial.terms.size(), 1024u);
+}
+
 TEST(BoolExprTest, DnfEquivalentOnRandomExpressions) {
   Rng rng(11235);
   for (int trial = 0; trial < 60; ++trial) {

@@ -1,0 +1,8 @@
+// srclint fixture — a "srclint:" control comment that is not a well-formed
+// allow() must be reported rather than silently ignored.
+namespace fx {
+
+// srclint: allow()
+int zero() { return 0; }
+
+}  // namespace fx

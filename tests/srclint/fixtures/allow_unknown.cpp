@@ -1,0 +1,8 @@
+// srclint fixture — the allow() below names a check that does not exist;
+// srclint must report that as its own diagnostic (code srclint-allow).
+namespace fx {
+
+// srclint: allow(gpd-no-such-check)
+int zero() { return 0; }
+
+}  // namespace fx

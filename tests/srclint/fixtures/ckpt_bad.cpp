@@ -1,0 +1,22 @@
+// srclint fixture — gpd-checkpoint-symmetry MUST fire here: writeThing
+// emits the "beta" field but the paired readThing never matches it, so a
+// checkpoint written today silently loses the field on restore.
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace fx {
+
+void writeThing(std::ostream& os, int a, int b) {
+  os << "alpha " << a << "\n";
+  os << "beta " << b << "\n";
+}
+
+void readThing(std::istream& is, int& a) {
+  std::string key;
+  while (is >> key) {
+    if (key == "alpha") is >> a;
+  }
+}
+
+}  // namespace fx

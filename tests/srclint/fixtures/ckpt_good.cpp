@@ -1,0 +1,22 @@
+// srclint fixture — silent twin of ckpt_bad.cpp: every key writeThing emits
+// is matched back in the paired readThing.
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace fx {
+
+void writeThing(std::ostream& os, int a, int b) {
+  os << "alpha " << a << "\n";
+  os << "beta " << b << "\n";
+}
+
+void readThing(std::istream& is, int& a, int& b) {
+  std::string key;
+  while (is >> key) {
+    if (key == "alpha") is >> a;
+    if (key == "beta") is >> b;
+  }
+}
+
+}  // namespace fx

@@ -1,0 +1,11 @@
+// srclint fixture — gpd-clock-discipline MUST fire here: a direct
+// steady_clock::now() outside src/control and src/obs.
+#include <chrono>
+
+namespace fx {
+
+long long nowNs() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fx

@@ -1,0 +1,13 @@
+// srclint fixture — silent twin of clock_bad.cpp: time is read through the
+// sanctioned steadyNowNanos() funnel, never from the clock directly.
+#include <cstdint>
+
+namespace fx {
+
+std::uint64_t steadyNowNanos();
+
+std::uint64_t elapsed(std::uint64_t startNs) {
+  return steadyNowNanos() - startNs;
+}
+
+}  // namespace fx

@@ -1,0 +1,23 @@
+// srclint fixture — gpd-pool-capture MUST fire here: `total` is captured by
+// reference and mutated inside the Pool::run lambda with no atomic, no
+// per-worker slot, and no lock — every worker races on it.
+namespace par {
+struct Pool {
+  template <class F>
+  void run(F f);
+};
+}  // namespace par
+
+namespace fx {
+
+long tally(par::Pool& pool, int n) {
+  long total = 0;
+  pool.run([&](int w) {
+    for (int i = w; i < n; i += 4) {
+      total += i;
+    }
+  });
+  return total;
+}
+
+}  // namespace fx

@@ -1,0 +1,37 @@
+// srclint fixture — silent twin of pool_bad.cpp showing the three
+// sanctioned shared-mutation patterns inside a Pool::run lambda: an atomic,
+// a per-worker slot indexed by the worker id, and a mutex-guarded section.
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+namespace par {
+struct Pool {
+  template <class F>
+  void run(F f);
+};
+}  // namespace par
+
+namespace fx {
+
+long tally(par::Pool& pool, int n) {
+  std::atomic<long> total{0};
+  std::vector<long> slots(4, 0);
+  pool.run([&](int w) {
+    for (int i = w; i < n; i += 4) {
+      slots[w] += i;
+      total += 1;
+    }
+  });
+
+  std::mutex mu;
+  long guarded = 0;
+  pool.run([&](int w) {
+    std::lock_guard<std::mutex> lock(mu);
+    guarded += w;
+  });
+
+  return total.load() + guarded + slots[0];
+}
+
+}  // namespace fx

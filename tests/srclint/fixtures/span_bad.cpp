@@ -1,0 +1,20 @@
+// srclint fixture — gpd-span-raii MUST fire here: the Span is a discarded
+// temporary that closes at the ';', recording a zero-length span instead of
+// covering the work below it.
+namespace obs {
+struct Span {
+  explicit Span(const char* name);
+  ~Span();
+};
+}  // namespace obs
+
+namespace fx {
+
+int work();
+
+int tracedWork() {
+  obs::Span("fx.traced_work");
+  return work();
+}
+
+}  // namespace fx

@@ -1,0 +1,19 @@
+// srclint fixture — silent twin of span_bad.cpp: the Span binds to a named
+// local (what GPD_TRACE_SPAN expands to), so it lives until scope exit.
+namespace obs {
+struct Span {
+  explicit Span(const char* name);
+  ~Span();
+};
+}  // namespace obs
+
+namespace fx {
+
+int work();
+
+int tracedWork() {
+  obs::Span span("fx.traced_work");
+  return work();
+}
+
+}  // namespace fx

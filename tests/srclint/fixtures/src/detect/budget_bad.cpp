@@ -1,0 +1,18 @@
+// srclint fixture — gpd-budget-charge MUST fire here: the sweep loop calls
+// an enumeration kernel (findConsistentSelection) and nothing in the loop
+// body or its callee chain charges a Budget or polls a CancelToken.
+#include <vector>
+
+namespace fx {
+
+int findConsistentSelection(int term);
+
+int sweep(const std::vector<int>& terms) {
+  int acc = 0;
+  for (int t : terms) {
+    acc += findConsistentSelection(t);
+  }
+  return acc;
+}
+
+}  // namespace fx

@@ -1,0 +1,35 @@
+// srclint fixture — silent twin of budget_bad.cpp: the same kernel sweep,
+// once charging the budget directly in the loop body and once through a
+// helper whose callee chain charges (exercises the transitive
+// charging-functions closure).
+#include <vector>
+
+namespace fx {
+
+int findConsistentSelection(int term);
+
+struct Budget {
+  bool chargeCombination();
+};
+
+bool step(Budget* b) { return b->chargeCombination(); }
+
+int sweepDirect(const std::vector<int>& terms, Budget* b) {
+  int acc = 0;
+  for (int t : terms) {
+    if (!b->chargeCombination()) break;
+    acc += findConsistentSelection(t);
+  }
+  return acc;
+}
+
+int sweepViaHelper(const std::vector<int>& terms, Budget* b) {
+  int acc = 0;
+  for (int t : terms) {
+    if (!step(b)) break;
+    acc += findConsistentSelection(t);
+  }
+  return acc;
+}
+
+}  // namespace fx

@@ -74,6 +74,7 @@
 #include "service/engine.h"
 #include "service/frame.h"
 #include "util/check.h"
+#include "version.h"
 
 namespace {
 
@@ -93,7 +94,8 @@ int usage() {
       << "            [--queue-limit Q] [--degrade-on-overflow]\n"
       << "            [--max-comparisons-per-report C]\n"
       << "            [--checkpoint FILE] [--checkpoint-every N] [--recover]\n"
-      << "            [--stats-dump FILE] [--stats-every N] [--strict-proto]\n";
+      << "            [--stats-dump FILE] [--stats-every N] [--strict-proto]\n"
+      << "       gpdd --version\n";
   return 1;
 }
 
@@ -259,8 +261,11 @@ void dumpStats(const service::Engine& engine, const std::string& path) {
 }
 
 int listenOn(const std::string& path) {
+  // strerror below: gpdd's listen/accept path is single-threaded (the pool
+  // only runs detection kernels), so the static buffer cannot race.
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  GPD_INPUT_CHECK(fd >= 0, "cannot create UNIX socket: " << strerror(errno));
+  GPD_INPUT_CHECK(fd >= 0, "cannot create UNIX socket: "
+                               << strerror(errno));  // NOLINT(concurrency-mt-unsafe)
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   GPD_INPUT_CHECK(path.size() < sizeof(addr.sun_path),
@@ -270,14 +275,16 @@ int listenOn(const std::string& path) {
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     const int err = errno;
     ::close(fd);
-    GPD_INPUT_CHECK(false, "cannot bind '" << path
-                                           << "': " << strerror(err));
+    GPD_INPUT_CHECK(false, "cannot bind '"
+                               << path << "': "
+                               << strerror(err));  // NOLINT(concurrency-mt-unsafe)
   }
   if (::listen(fd, 128) != 0) {
     const int err = errno;
     ::close(fd);
-    GPD_INPUT_CHECK(false, "cannot listen on '" << path
-                                                << "': " << strerror(err));
+    GPD_INPUT_CHECK(false, "cannot listen on '"
+                               << path << "': "
+                               << strerror(err));  // NOLINT(concurrency-mt-unsafe)
   }
   setNonBlocking(fd);
   return fd;
@@ -456,6 +463,10 @@ int runService(const Options& o) {
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   try {
+    if (args.size() == 1 && (args[0] == "--version" || args[0] == "version")) {
+      std::cout << gpd::tools::versionLine("gpdd") << '\n';
+      return 0;
+    }
     return runService(parseFlags(args));
   } catch (const gpd::InputError& e) {
     std::cerr << "gpdd: " << e.what() << '\n';

@@ -61,6 +61,7 @@
 #include <vector>
 
 #include "gpd.h"
+#include "version.h"
 
 namespace {
 
@@ -96,7 +97,8 @@ int usage() {
             << "                  [--checkpoint-every N]\n"
             << "                  [--max-comparisons-per-report C]\n"
             << "                  <p:var|p:!var>...\n"
-            << "  gpdtool selftest\n";
+            << "  gpdtool selftest\n"
+            << "  gpdtool --version\n";
   return 1;
 }
 
@@ -977,6 +979,10 @@ int main(int argc, char** argv) {
   try {
     if (args.empty()) return usage();
     const std::string& cmd = args[0];
+    if (cmd == "--version" || cmd == "version") {
+      std::cout << tools::versionLine("gpdtool") << '\n';
+      return 0;
+    }
     if (cmd == "selftest") return selftest();
     if (cmd == "generate") {
       if (args.size() < 3) return usage();

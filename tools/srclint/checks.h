@@ -1,0 +1,44 @@
+// The five srclint domain checks (DESIGN.md §14).
+//
+// Each check walks the FileModels of one run and emits findings as
+// analyze::Diagnostic records (severity Error, code = check name) so the
+// driver can reuse the PR 2 renderers. Cross-file facts — the
+// "this function charges a budget somewhere in its callee chain" closure —
+// are computed once over the whole scan set and shared.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/diagnostic.h"
+#include "srclint/model.h"
+
+namespace gpd::srclint {
+
+// One finding, bound to its file (analyze::Diagnostic has no file field —
+// the lint pass it was built for is single-stream).
+struct Finding {
+  std::string file;  // relPath
+  analyze::Diagnostic diag;
+};
+
+// Registered check names, in reporting order.
+const std::vector<std::string>& checkNames();
+bool isCheckName(const std::string& name);
+
+// Cross-file context shared by the checks.
+struct Context {
+  // Functions whose body (transitively) contains a Budget/CancelToken
+  // charge or poll call, keyed by bare function name.
+  std::set<std::string> chargingFunctions;
+};
+
+Context buildContext(const std::vector<FileModel>& files);
+
+// Runs the named check over one file. `ctx` must come from buildContext on
+// the full scan set.
+std::vector<Finding> runCheck(const std::string& check, const FileModel& file,
+                              const Context& ctx);
+
+}  // namespace gpd::srclint

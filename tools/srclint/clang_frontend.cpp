@@ -1,0 +1,155 @@
+#include "srclint/clang_frontend.h"
+
+#if defined(GPD_SRCLINT_HAVE_LIBCLANG)
+
+#include <clang-c/Index.h>
+
+#include <cstring>
+#include <vector>
+
+namespace gpd::srclint {
+
+namespace {
+
+std::string toStd(CXString s) {
+  const char* c = clang_getCString(s);
+  std::string out = c != nullptr ? c : "";
+  clang_disposeString(s);
+  return out;
+}
+
+TokKind kindOf(CXTokenKind k, const std::string& text) {
+  switch (k) {
+    case CXToken_Identifier:
+      return TokKind::Ident;
+    case CXToken_Keyword:
+      // The built-in lexer does not distinguish keywords either; the model
+      // layer owns that classification.
+      return TokKind::Ident;
+    case CXToken_Literal:
+      if (!text.empty() && (text[0] == '"' || text[0] == 'R' ||
+                            text.compare(0, 2, "u8") == 0 ||
+                            text[0] == 'L' || text[0] == 'u' ||
+                            text[0] == 'U')) {
+        if (text.find('"') != std::string::npos) return TokKind::Str;
+      }
+      if (!text.empty() && text[0] == '\'') return TokKind::Chr;
+      return TokKind::Num;
+    default:
+      return TokKind::Punct;
+  }
+}
+
+// Strips quotes/prefix from a string literal so Str tokens carry the same
+// payload the built-in lexer produces (contents without the quotes).
+std::string literalPayload(const std::string& text) {
+  const std::size_t open = text.find('"');
+  if (open == std::string::npos) return text;
+  std::size_t close = text.rfind('"');
+  if (close <= open) close = text.size();
+  return text.substr(open + 1, close - open - 1);
+}
+
+}  // namespace
+
+bool clangFrontendAvailable() { return true; }
+
+bool lexWithClang(const std::string& path,
+                  const std::vector<std::string>& extraArgs, LexResult* out,
+                  std::string* error) {
+  CXIndex index = clang_createIndex(/*excludeDeclsFromPCH=*/0,
+                                    /*displayDiagnostics=*/0);
+  std::vector<const char*> args;
+  args.push_back("-std=c++17");
+  for (const std::string& a : extraArgs) args.push_back(a.c_str());
+  CXTranslationUnit tu = nullptr;
+  const CXErrorCode rc = clang_parseTranslationUnit2(
+      index, path.c_str(), args.data(), static_cast<int>(args.size()),
+      nullptr, 0, CXTranslationUnit_DetailedPreprocessingRecord, &tu);
+  if (rc != CXError_Success || tu == nullptr) {
+    if (error != nullptr) {
+      *error = "libclang failed to parse '" + path + "' (code " +
+               std::to_string(static_cast<int>(rc)) + ")";
+    }
+    clang_disposeIndex(index);
+    return false;
+  }
+  const CXFile file = clang_getFile(tu, path.c_str());
+  const CXSourceRange range = clang_getRange(
+      clang_getLocationForOffset(tu, file, 0),
+      clang_getLocation(tu, file, 1u << 30, 1));
+  CXToken* toks = nullptr;
+  unsigned count = 0;
+  clang_tokenize(tu, range, &toks, &count);
+  for (unsigned i = 0; i < count; ++i) {
+    const CXSourceLocation loc = clang_getTokenLocation(tu, toks[i]);
+    CXFile tokFile;
+    unsigned line = 1, col = 0, off = 0;
+    clang_getSpellingLocation(loc, &tokFile, &line, &col, &off);
+    const std::string text = toStd(clang_getTokenSpelling(tu, toks[i]));
+    const CXTokenKind k = clang_getTokenKind(toks[i]);
+    if (k == CXToken_Comment) {
+      // Re-use the built-in lexer's control-comment grammar on the body.
+      std::string body = text;
+      if (body.compare(0, 2, "//") == 0) body = body.substr(2);
+      if (body.compare(0, 2, "/*") == 0) {
+        body = body.substr(2);
+        if (body.size() >= 2 && body.compare(body.size() - 2, 2, "*/") == 0) {
+          body.resize(body.size() - 2);
+        }
+      }
+      const LexResult sub = lex("//" + body + "\n");
+      for (AllowComment allow : sub.allows) {
+        allow.line = static_cast<int>(line);
+        out->allows.push_back(std::move(allow));
+      }
+      for (int l : sub.malformedControlLines) {
+        (void)l;
+        out->malformedControlLines.push_back(static_cast<int>(line));
+      }
+      continue;
+    }
+    if (k == CXToken_Punctuation && text == "#") {
+      // Preprocessor tokens are skipped by matching the built-in frontend:
+      // clang_tokenize surfaces directives as plain tokens, so drop tokens
+      // until the next line.
+      unsigned dirLine = line;
+      while (i + 1 < count) {
+        unsigned l2 = 1;
+        clang_getSpellingLocation(clang_getTokenLocation(tu, toks[i + 1]),
+                                  nullptr, &l2, nullptr, nullptr);
+        if (l2 != dirLine) break;
+        ++i;
+      }
+      continue;
+    }
+    const TokKind kind = kindOf(k, text);
+    const std::string payload =
+        kind == TokKind::Str ? literalPayload(text) : text;
+    out->toks.push_back({kind, payload, static_cast<int>(line)});
+  }
+  clang_disposeTokens(tu, toks, count);
+  clang_disposeTranslationUnit(tu);
+  clang_disposeIndex(index);
+  return true;
+}
+
+}  // namespace gpd::srclint
+
+#else  // !GPD_SRCLINT_HAVE_LIBCLANG
+
+namespace gpd::srclint {
+
+bool clangFrontendAvailable() { return false; }
+
+bool lexWithClang(const std::string&, const std::vector<std::string>&,
+                  LexResult*, std::string* error) {
+  if (error != nullptr) {
+    *error = "srclint was built without libclang; use --frontend=token";
+  }
+  return false;
+}
+
+}  // namespace gpd::srclint
+
+#endif

@@ -1,0 +1,32 @@
+// Optional libclang lexing frontend.
+//
+// When the build found clang-c/Index.h + libclang (GPD_SRCLINT_HAVE_LIBCLANG),
+// srclint can lex through the real Clang lexer instead of the built-in token
+// scanner: preprocessor state, raw strings, and digraphs are then handled by
+// the production lexer, and allow-comments are read from CXToken_Comment
+// tokens. The structural pass (model.cpp) and the checks are shared by both
+// frontends, so fixtures exercise identical logic either way.
+//
+// The container this repo is developed in ships no libclang, so the default
+// build compiles this translation unit to nothing and `--frontend=clang`
+// reports unavailability at runtime.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "srclint/lex.h"
+
+namespace gpd::srclint {
+
+// True when srclint was compiled against libclang.
+bool clangFrontendAvailable();
+
+// Lexes `path` through libclang. On failure returns false and sets *error;
+// `extraArgs` are passed to the clang invocation (e.g. from a
+// compile_commands.json entry). Only callable when clangFrontendAvailable().
+bool lexWithClang(const std::string& path,
+                  const std::vector<std::string>& extraArgs, LexResult* out,
+                  std::string* error);
+
+}  // namespace gpd::srclint

@@ -1,0 +1,260 @@
+#include "srclint/lex.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace gpd::srclint {
+
+namespace {
+
+// Multi-character operators, longest first within each leading byte.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "<=>", "::", "->", "++", "--", "+=", "-=",
+    "*=",  "/=",  "%=",  "&=",  "|=",  "^=", "==", "!=", "<=", ">=", "&&",
+    "||",  "<<",  ">>",  ".*",
+};
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Trims ASCII whitespace from both ends.
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+// Parses a comment body that starts with "srclint:"; returns true when it
+// is a well-formed allow() annotation (appended to `out`).
+bool parseControl(const std::string& body, int line,
+                  std::vector<AllowComment>& out) {
+  std::string rest = trim(body.substr(8));  // past "srclint:"
+  if (rest.compare(0, 5, "allow") != 0) return false;
+  rest = trim(rest.substr(5));
+  if (rest.size() < 2 || rest.front() != '(' || rest.back() != ')') {
+    return false;
+  }
+  AllowComment allow;
+  allow.line = line;
+  std::string inner = rest.substr(1, rest.size() - 2);
+  std::size_t pos = 0;
+  while (pos <= inner.size()) {
+    const std::size_t comma = inner.find(',', pos);
+    const std::string name =
+        trim(inner.substr(pos, comma == std::string::npos ? std::string::npos
+                                                          : comma - pos));
+    if (name.empty()) return false;
+    allow.checks.push_back(name);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (allow.checks.empty()) return false;
+  out.push_back(std::move(allow));
+  return true;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  LexResult run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        atLineStart_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '#' && atLineStart_) {
+        skipDirective();
+        continue;
+      }
+      atLineStart_ = false;
+      if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        lineComment();
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '*') {
+        blockComment();
+        continue;
+      }
+      if (c == '"') {
+        if (!result_.toks.empty() &&
+            result_.toks.back().kind == TokKind::Ident &&
+            !result_.toks.back().text.empty() &&
+            result_.toks.back().text.back() == 'R') {
+          rawString();
+        } else {
+          quoted('"', TokKind::Str);
+        }
+        continue;
+      }
+      if (c == '\'') {
+        // Digit separators (1'000) — treat ' after a number token as part
+        // of it and keep lexing the number.
+        if (!result_.toks.empty() && result_.toks.back().kind == TokKind::Num &&
+            pos_ + 1 < src_.size() &&
+            std::isalnum(static_cast<unsigned char>(src_[pos_ + 1]))) {
+          ++pos_;
+          number(true);
+          continue;
+        }
+        quoted('\'', TokKind::Chr);
+        continue;
+      }
+      if (isIdentStart(c)) {
+        identifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        number(false);
+        continue;
+      }
+      punct();
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void push(TokKind kind, std::string text) {
+    result_.toks.push_back({kind, std::move(text), line_});
+  }
+
+  // Skips one directive including backslash-continued lines.
+  void skipDirective() {
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size() &&
+          src_[pos_ + 1] == '\n') {
+        ++line_;
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;  // newline handled by the main loop
+      ++pos_;
+    }
+  }
+
+  void lineComment() {
+    const int line = line_;
+    std::size_t end = src_.find('\n', pos_);
+    if (end == std::string::npos) end = src_.size();
+    const std::string body = trim(src_.substr(pos_ + 2, end - pos_ - 2));
+    maybeControl(body, line);
+    pos_ = end;
+  }
+
+  void blockComment() {
+    const int line = line_;
+    std::size_t end = src_.find("*/", pos_ + 2);
+    if (end == std::string::npos) end = src_.size();
+    const std::string body = trim(src_.substr(pos_ + 2, end - pos_ - 2));
+    maybeControl(body, line);
+    for (std::size_t i = pos_; i < end && i < src_.size(); ++i) {
+      if (src_[i] == '\n') ++line_;
+    }
+    pos_ = end == src_.size() ? end : end + 2;
+  }
+
+  void maybeControl(const std::string& body, int line) {
+    if (body.compare(0, 8, "srclint:") != 0) return;
+    if (!parseControl(body, line, result_.allows)) {
+      result_.malformedControlLines.push_back(line);
+    }
+  }
+
+  void quoted(char close, TokKind kind) {
+    const int line = line_;
+    std::string text;
+    ++pos_;  // opening quote
+    while (pos_ < src_.size() && src_[pos_] != close && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        text += src_[pos_];
+        text += src_[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+      text += src_[pos_];
+      ++pos_;
+    }
+    if (pos_ < src_.size() && src_[pos_] == close) ++pos_;
+    result_.toks.push_back({kind, std::move(text), line});
+  }
+
+  // R"delim( ... )delim" — the preceding R/u8R token has already been
+  // pushed; it is left in place (harmless) and the body becomes a Str.
+  void rawString() {
+    const int line = line_;
+    ++pos_;  // opening quote
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+    if (pos_ < src_.size()) ++pos_;  // '('
+    const std::string closer = ")" + delim + "\"";
+    std::size_t end = src_.find(closer, pos_);
+    if (end == std::string::npos) end = src_.size();
+    std::string text = src_.substr(pos_, end - pos_);
+    for (char c : text) {
+      if (c == '\n') ++line_;
+    }
+    pos_ = end == src_.size() ? end : end + closer.size();
+    result_.toks.push_back({TokKind::Str, std::move(text), line});
+  }
+
+  void identifier() {
+    const std::size_t start = pos_;
+    while (pos_ < src_.size() && isIdentChar(src_[pos_])) ++pos_;
+    push(TokKind::Ident, src_.substr(start, pos_ - start));
+  }
+
+  void number(bool append) {
+    const std::size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+            src_[pos_] == '.' ||
+            ((src_[pos_] == '+' || src_[pos_] == '-') && pos_ > start &&
+             (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E' ||
+              src_[pos_ - 1] == 'p' || src_[pos_ - 1] == 'P')))) {
+      ++pos_;
+    }
+    if (append && !result_.toks.empty()) {
+      result_.toks.back().text += src_.substr(start, pos_ - start);
+      return;
+    }
+    push(TokKind::Num, src_.substr(start, pos_ - start));
+  }
+
+  void punct() {
+    for (const char* p : kPuncts) {
+      const std::size_t n = std::char_traits<char>::length(p);
+      if (src_.compare(pos_, n, p) == 0) {
+        push(TokKind::Punct, p);
+        pos_ += n;
+        return;
+      }
+    }
+    push(TokKind::Punct, std::string(1, src_[pos_]));
+    ++pos_;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool atLineStart_ = true;
+  LexResult result_;
+};
+
+}  // namespace
+
+LexResult lex(const std::string& source) { return Lexer(source).run(); }
+
+}  // namespace gpd::srclint

@@ -1,0 +1,54 @@
+// srclint token stream — a comment- and preprocessor-aware C++ lexer.
+//
+// srclint's built-in frontend works on raw tokens, not a full AST: the five
+// domain checks (DESIGN.md §14) need function extents, loops, lambdas, call
+// names, and string literals, all of which a token scan recovers reliably
+// for this codebase's style. The lexer therefore:
+//   - splits source text into identifier / punctuation / literal tokens,
+//     each carrying its 1-based line;
+//   - strips comments but *collects* `// srclint: allow(<check>)` control
+//     comments (and reports malformed ones) for the suppression pass;
+//   - skips preprocessor directives wholesale (including continuation
+//     lines), so macro *definitions* are never linted — only their uses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gpd::srclint {
+
+enum class TokKind {
+  Ident,  // identifiers and keywords
+  Punct,  // operators and punctuation (longest-match, e.g. "::", "+=")
+  Str,    // string literal, text WITHOUT quotes, escapes left as written
+  Chr,    // character literal, text without quotes
+  Num,    // numeric literal
+};
+
+struct Tok {
+  TokKind kind = TokKind::Punct;
+  std::string text;
+  int line = 1;
+};
+
+// One `// srclint: allow(a, b)` annotation. `checks` holds the comma-split
+// names exactly as written (trimmed); validation against the registered
+// check list happens in the driver.
+struct AllowComment {
+  int line = 1;
+  std::vector<std::string> checks;
+};
+
+struct LexResult {
+  std::vector<Tok> toks;
+  std::vector<AllowComment> allows;
+  // Lines carrying a comment that starts with "srclint:" but does not parse
+  // as "srclint: allow(<names>)" — surfaced as findings by the driver.
+  std::vector<int> malformedControlLines;
+};
+
+// Tokenizes one translation unit / header. Never throws on weird input —
+// unterminated literals are closed at end-of-line, unknown bytes skipped.
+LexResult lex(const std::string& source);
+
+}  // namespace gpd::srclint

@@ -1,0 +1,323 @@
+#include "srclint/model.h"
+
+#include <algorithm>
+
+namespace gpd::srclint {
+
+namespace {
+
+bool isKeyword(const std::string& s) {
+  static const std::set<std::string> kw = {
+      "if",     "for",      "while",  "switch",   "catch",  "return",
+      "sizeof", "alignof",  "new",    "delete",   "throw",  "case",
+      "do",     "else",     "const",  "static",   "struct", "class",
+      "enum",   "union",    "public", "private",  "protected",
+      "typedef", "using",   "template", "typename", "namespace",
+      "operator", "co_await", "co_return", "co_yield", "decltype",
+      "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast",
+      "alignas", "noexcept", "constexpr", "consteval", "constinit",
+      "requires", "concept", "explicit", "inline", "virtual", "override",
+      "final",  "mutable",  "volatile", "register", "thread_local",
+      "default", "break",   "continue", "goto",   "try",
+  };
+  return kw.count(s) != 0;
+}
+
+bool opens(const std::string& t) {
+  return t == "(" || t == "[" || t == "{";
+}
+bool closes(const std::string& t) {
+  return t == ")" || t == "]" || t == "}";
+}
+
+// Is the '[' at index i a lambda introducer (vs a subscript / attribute)?
+// Preceded by an identifier, ')', ']', or '>' means subscript/array-decl;
+// "[[" is an attribute.
+bool isLambdaIntro(const std::vector<Tok>& toks, std::size_t i) {
+  if (i + 1 < toks.size() && toks[i + 1].text == "[" &&
+      toks[i + 1].kind == TokKind::Punct) {
+    return false;  // [[attribute]]
+  }
+  if (i > 0 && toks[i - 1].kind == TokKind::Punct && toks[i - 1].text == "[") {
+    return false;  // second bracket of [[
+  }
+  if (i == 0) return true;
+  const Tok& prev = toks[i - 1];
+  if (prev.kind == TokKind::Ident) return isKeyword(prev.text);
+  if (prev.kind == TokKind::Num || prev.kind == TokKind::Str) return false;
+  return !(prev.text == ")" || prev.text == "]");
+}
+
+}  // namespace
+
+const FnDef* FileModel::enclosingFunction(std::size_t i) const {
+  const FnDef* best = nullptr;
+  for (const FnDef& fn : functions) {
+    if (fn.body.contains(i) &&
+        (best == nullptr || fn.body.begin > best->body.begin)) {
+      best = &fn;
+    }
+  }
+  return best;
+}
+
+std::vector<const Call*> FileModel::callsIn(const TokRange& range) const {
+  std::vector<const Call*> out;
+  for (const Call& c : calls) {
+    if (range.contains(c.tok)) out.push_back(&c);
+  }
+  return out;
+}
+
+FileModel buildModel(std::string path, LexResult lexed) {
+  FileModel m;
+  m.path = std::move(path);
+  m.relPath = m.path;
+  while (m.relPath.compare(0, 2, "./") == 0) m.relPath = m.relPath.substr(2);
+  m.toks = std::move(lexed.toks);
+  m.allows = std::move(lexed.allows);
+  m.malformedControlLines = std::move(lexed.malformedControlLines);
+  const std::vector<Tok>& toks = m.toks;
+  const std::size_t n = toks.size();
+
+  // ---- Bracket matching (tolerant: unmatched closers are ignored). ----
+  {
+    std::vector<std::size_t> stack;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (toks[i].kind != TokKind::Punct) continue;
+      if (opens(toks[i].text)) {
+        stack.push_back(i);
+      } else if (closes(toks[i].text) && !stack.empty()) {
+        m.match[stack.back()] = i;
+        stack.pop_back();
+      }
+    }
+  }
+  const auto matchOf = [&](std::size_t i) -> std::size_t {
+    const auto it = m.match.find(i);
+    return it == m.match.end() ? n : it->second;
+  };
+
+  // ---- Lambdas (collected first: their '{' must not look like a function
+  // body to the function scan below). ----
+  std::set<std::size_t> lambdaBodyOpens;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (toks[i].kind != TokKind::Punct || toks[i].text != "[") continue;
+    if (!isLambdaIntro(toks, i)) continue;
+    const std::size_t closeBracket = matchOf(i);
+    if (closeBracket >= n) continue;
+    Lambda lam;
+    lam.line = toks[i].line;
+    // Capture list.
+    for (std::size_t j = i + 1; j < closeBracket; ++j) {
+      const Tok& t = toks[j];
+      if (t.kind == TokKind::Punct && t.text == "&") {
+        if (j + 1 < closeBracket && toks[j + 1].kind == TokKind::Ident) {
+          lam.refCaptures.insert(toks[j + 1].text);
+          ++j;
+        } else {
+          lam.capturesAllByRef = true;
+        }
+      } else if (t.kind == TokKind::Ident && t.text != "this") {
+        lam.valueCaptures.insert(t.text);
+        // Skip an init-capture's initializer.
+        if (j + 1 < closeBracket && toks[j + 1].text == "=") {
+          while (j + 1 < closeBracket && toks[j + 1].text != ",") ++j;
+        }
+      }
+    }
+    // Optional parameter list.
+    std::size_t k = closeBracket + 1;
+    if (k < n && toks[k].text == "(") {
+      const std::size_t closeParen = matchOf(k);
+      if (closeParen >= n) continue;
+      // Parameter names: the identifier right before ',' or the final ')'.
+      std::size_t depth = 0;
+      for (std::size_t j = k + 1; j < closeParen; ++j) {
+        if (opens(toks[j].text) && toks[j].kind == TokKind::Punct) ++depth;
+        if (closes(toks[j].text) && toks[j].kind == TokKind::Punct) --depth;
+        const bool boundary =
+            depth == 0 && ((toks[j].text == "," ) || j + 1 == closeParen);
+        if (!boundary) continue;
+        const std::size_t last = toks[j].text == "," ? j - 1 : j;
+        if (toks[last].kind == TokKind::Ident && !isKeyword(toks[last].text)) {
+          lam.params.push_back(toks[last].text);
+        }
+      }
+      k = closeParen + 1;
+    }
+    // Skip specifiers (mutable, noexcept, -> type) up to the body brace.
+    while (k < n && !(toks[k].kind == TokKind::Punct && toks[k].text == "{")) {
+      if (toks[k].kind == TokKind::Punct &&
+          (toks[k].text == ";" || toks[k].text == ")" || toks[k].text == ",")) {
+        break;  // not a lambda after all (e.g. array subscript heuristics)
+      }
+      ++k;
+    }
+    if (k >= n || toks[k].text != "{") continue;
+    const std::size_t closeBrace = matchOf(k);
+    if (closeBrace >= n) continue;
+    lam.body = {k + 1, closeBrace};
+    lam.full = {i, closeBrace + 1};
+    lambdaBodyOpens.insert(k);
+    m.lambdas.push_back(std::move(lam));
+  }
+
+  // ---- Function definitions: ident '(' ... ')' [qualifiers / ctor-inits]
+  // '{'. The tokens between ')' and '{' must not contain ';' or '='. ----
+  for (std::size_t i = 0; i < n; ++i) {
+    if (toks[i].kind != TokKind::Ident || isKeyword(toks[i].text)) continue;
+    if (i + 1 >= n || toks[i + 1].text != "(" ||
+        toks[i + 1].kind != TokKind::Punct) {
+      continue;
+    }
+    const std::size_t closeParen = matchOf(i + 1);
+    if (closeParen >= n) continue;
+    // Walk from ')' to the body '{', tolerating qualifiers, trailing return
+    // types, and constructor initializer lists (with nested brackets).
+    std::size_t k = closeParen + 1;
+    bool isDef = false;
+    while (k < n) {
+      const Tok& t = toks[k];
+      if (t.kind == TokKind::Punct) {
+        if (t.text == "{") {
+          isDef = true;
+          break;
+        }
+        if (t.text == ";" || t.text == "=" || t.text == "}" ||
+            t.text == ")") {
+          break;
+        }
+        if (t.text == "(") {
+          const std::size_t c = matchOf(k);
+          if (c >= n) break;
+          k = c + 1;
+          continue;
+        }
+      }
+      ++k;
+    }
+    if (!isDef || lambdaBodyOpens.count(k) != 0) continue;
+    // Constructor-initializer braces between ')' and '{' can fool the walk:
+    // `Foo() : member_{0} {` stops at member_'s '{'. Detect: if this '{'
+    // is immediately preceded by an identifier and its matching '}' is NOT
+    // followed by '{', ',' or another init, treat conservatively — accept
+    // the brace whose match is followed by something statement-like. We
+    // simply accept the first '{' whose previous token is not an identifier
+    // or '>' when a ':' was seen (init-list member braces).
+    bool sawColon = false;
+    for (std::size_t j = closeParen + 1; j < k; ++j) {
+      if (toks[j].kind == TokKind::Punct && toks[j].text == ":") {
+        sawColon = true;
+        break;
+      }
+    }
+    if (sawColon && k > 0 &&
+        (toks[k - 1].kind == TokKind::Ident || toks[k - 1].text == ">")) {
+      // `: member_{...}` — the real body brace follows the init list; find
+      // the next '{' at the same level after this one's match.
+      std::size_t brace = k;
+      bool found = false;
+      while (brace < n) {
+        const std::size_t c = matchOf(brace);
+        if (c >= n) break;
+        std::size_t next = c + 1;
+        if (next < n && toks[next].text == ",") {
+          // more initializers; advance to the following '{'
+          while (next < n && toks[next].text != "{") ++next;
+          brace = next;
+          continue;
+        }
+        if (next < n && toks[next].text == "{") {
+          brace = next;
+          found = true;
+        }
+        break;
+      }
+      if (found) k = brace;
+    }
+    const std::size_t closeBrace = matchOf(k);
+    if (closeBrace >= n) continue;
+    FnDef fn;
+    fn.name = toks[i].text;
+    fn.line = toks[i].line;
+    fn.body = {k + 1, closeBrace};
+    m.functions.push_back(std::move(fn));
+  }
+
+  // ---- Loops. ----
+  for (std::size_t i = 0; i < n; ++i) {
+    if (toks[i].kind != TokKind::Ident) continue;
+    const std::string& t = toks[i].text;
+    if (t == "for" || t == "while") {
+      if (i + 1 >= n || toks[i + 1].text != "(") continue;
+      const std::size_t closeParen = matchOf(i + 1);
+      if (closeParen >= n) continue;
+      // `while (...)` directly after a do-body's '}' is the do-loop's tail
+      // condition, not a new loop; the do branch below already covered it.
+      if (t == "while" && i > 0 && toks[i - 1].text == "}") {
+        bool isDoTail = i > 0 && closeParen + 1 < n &&
+                        toks[closeParen + 1].text == ";";
+        if (isDoTail) continue;
+      }
+      Loop loop;
+      loop.line = toks[i].line;
+      std::size_t b = closeParen + 1;
+      if (b < n && toks[b].text == "{") {
+        const std::size_t closeBrace = matchOf(b);
+        if (closeBrace >= n) continue;
+        loop.body = {b + 1, closeBrace};
+      } else {
+        // Single-statement body: through the next ';' at bracket level 0.
+        std::size_t j = b;
+        int depth = 0;
+        while (j < n) {
+          if (toks[j].kind == TokKind::Punct) {
+            if (opens(toks[j].text)) ++depth;
+            if (closes(toks[j].text)) --depth;
+            if (toks[j].text == ";" && depth <= 0) break;
+          }
+          ++j;
+        }
+        loop.body = {b, j};
+      }
+      m.loops.push_back(loop);
+    } else if (t == "do") {
+      if (i + 1 < n && toks[i + 1].text == "{") {
+        const std::size_t closeBrace = matchOf(i + 1);
+        if (closeBrace >= n) continue;
+        Loop loop;
+        loop.line = toks[i].line;
+        loop.body = {i + 2, closeBrace};
+        m.loops.push_back(loop);
+      }
+    }
+  }
+
+  // ---- Calls: ident '(' with optional receiver chain. ----
+  for (std::size_t i = 0; i < n; ++i) {
+    if (toks[i].kind != TokKind::Ident || isKeyword(toks[i].text)) continue;
+    if (i + 1 >= n || toks[i + 1].text != "(" ||
+        toks[i + 1].kind != TokKind::Punct) {
+      continue;
+    }
+    const std::size_t closeParen = matchOf(i + 1);
+    if (closeParen >= n) continue;
+    Call call;
+    call.name = toks[i].text;
+    call.line = toks[i].line;
+    call.tok = i;
+    call.argsBegin = i + 2;
+    call.argsEnd = closeParen;
+    if (i >= 2 && toks[i - 1].kind == TokKind::Punct &&
+        (toks[i - 1].text == "." || toks[i - 1].text == "->") &&
+        toks[i - 2].kind == TokKind::Ident) {
+      call.receiver = toks[i - 2].text;
+    }
+    m.calls.push_back(std::move(call));
+  }
+
+  return m;
+}
+
+}  // namespace gpd::srclint

@@ -1,0 +1,36 @@
+// Build identity shared by the gpdtool and gpdd `--version` flags.
+//
+// The macros are injected by tools/CMakeLists.txt: GPD_VERSION_DESCRIBE is
+// the configure-time `git describe --tags --always --dirty`, and the
+// GPD_BUILD_* strings capture the build flags that change runtime behaviour
+// so a pasted version line pins down the binary's configuration.
+#pragma once
+
+#include <string>
+
+#ifndef GPD_VERSION_DESCRIBE
+#define GPD_VERSION_DESCRIBE "unknown"
+#endif
+#ifndef GPD_BUILD_SANITIZE
+#define GPD_BUILD_SANITIZE "off"
+#endif
+#ifndef GPD_BUILD_SRCLINT
+#define GPD_BUILD_SRCLINT "off"
+#endif
+
+namespace gpd::tools {
+
+inline std::string versionLine(const std::string& bin) {
+  std::string line = bin;
+  line += " " GPD_VERSION_DESCRIBE;
+  line += " (sanitize=" GPD_BUILD_SANITIZE;
+#if defined(GPD_OBS_DISABLED)
+  line += ", obs=off";
+#else
+  line += ", obs=on";
+#endif
+  line += ", srclint=" GPD_BUILD_SRCLINT ")";
+  return line;
+}
+
+}  // namespace gpd::tools
