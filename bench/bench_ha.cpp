@@ -1,0 +1,174 @@
+// A13 — high availability: incremental checkpoints + hot-standby cost
+// (`bench_ha`).
+//
+// Three questions behind gpdd's HA story:
+//   1. What does a checkpoint cost when only a fraction of sessions changed?
+//      Delta manifests must be sublinear in *open* sessions — bytes and
+//      capture time should track the dirty fraction, with the <10%-dirty
+//      rows far under the full manifest.
+//   2. What does a follower pay to attach (snapshot encode + restore) and
+//      to keep up (replaying the leader's pump stream)?
+//   3. What does promotion cost at the moment of failover? (The wire gap is
+//      measured by tools/gpdd_loadgen --kill-leader; this isolates the
+//      in-process hand-over, which must be microseconds — O(1), not a
+//      replay.)
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "bench_util.h"
+#include "service/replica.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace gpd;
+
+std::string tenantSession(int i) {
+  return "t" + std::to_string(i % 16) + " s" + std::to_string(i);
+}
+
+// Opens `sessions` 3-process sessions, each with one parked notification so
+// the manifest carries real per-session state.
+void openWave(service::Engine& eng, int sessions) {
+  for (int i = 0; i < sessions; ++i) {
+    const std::string ts = tenantSession(i);
+    eng.submit("OPEN " + ts + " 3");
+    eng.submit("EV " + ts + " 0 1 2 0 0");
+  }
+  std::vector<service::Response> out;
+  eng.pump(out);
+}
+
+std::string manifestOf(service::Engine& eng) {
+  std::ostringstream os;
+  eng.writeManifest(os);
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  using namespace gpd;
+  bench::banner(
+      "A13 / gpdd high availability (gpd::service)",
+      "Delta checkpoint bytes vs dirty fraction (sublinear target), "
+      "follower attach + replay cost, and promotion latency. The end-to-end "
+      "failover gap is measured by tools/gpdd_loadgen --kill-leader.");
+
+  // --- 1. Checkpoint bytes vs dirty fraction ----------------------------
+  {
+    const int kSessions = 2048;
+    service::Engine eng{service::EngineOptions{}};
+    openWave(eng, kSessions);
+
+    Stopwatch sw;
+    const service::CheckpointCapture full = eng.captureCheckpoint(false);
+    const double fullMs = sw.elapsedMillis();
+    std::printf("checkpoint: %d open sessions, full manifest %.1f KiB\n",
+                kSessions, static_cast<double>(full.text.size()) / 1024.0);
+    std::printf("  %7s  %11s  %9s  %11s  %6s\n", "dirty", "sessions",
+                "bytes", "capture ms", "ratio");
+    std::printf("  %7s  %11d  %9zu  %11s  %6s\n", "full", kSessions,
+                full.text.size(), bench::fmtMs(fullMs).c_str(), "1.000");
+
+    std::vector<service::CheckpointCapture> deltas;
+    for (const int pct : {1, 5, 10, 50, 100}) {
+      const int dirty = kSessions * pct / 100;
+      for (int i = 0; i < dirty; ++i) {
+        eng.submit("EV " + tenantSession(i) + " 1 0 0 1 0");
+      }
+      std::vector<service::Response> out;
+      eng.pump(out);
+      sw.reset();
+      service::CheckpointCapture cap = eng.captureCheckpoint(true);
+      const double ms = sw.elapsedMillis();
+      GPD_CHECK_MSG(cap.delta, "engine refused a delta capture");
+      GPD_CHECK_MSG(cap.sessions == static_cast<std::size_t>(dirty),
+                    "delta captured " << cap.sessions << " sessions, dirtied "
+                                      << dirty);
+      std::printf("  %6d%%  %11d  %9zu  %11s  %6.3f\n", pct, dirty,
+                  cap.text.size(), bench::fmtMs(ms).c_str(),
+                  static_cast<double>(cap.text.size()) /
+                      static_cast<double>(full.text.size()));
+      deltas.push_back(std::move(cap));
+    }
+
+    // The chain must land exactly on the live engine.
+    auto restored = service::Engine::restoreManifestText(full.text, {});
+    for (const service::CheckpointCapture& d : deltas) {
+      restored->applyDeltaText(d.text);
+    }
+    GPD_CHECK_MSG(manifestOf(*restored) == manifestOf(eng),
+                  "full+delta chain diverged from the live engine");
+    std::printf("  (full + 5 deltas restore byte-identical)\n\n");
+  }
+
+  // --- 2. Follower attach + replay --------------------------------------
+  // --- 3. Promotion latency ----------------------------------------------
+  {
+    const int kSessions = 512, kPumps = 64, kCmdsPerPump = 128;
+    service::Engine leader{service::EngineOptions{}};
+    openWave(leader, kSessions);
+
+    service::ReplicationFollower follower{service::EngineOptions{}};
+    Stopwatch sw;
+    follower.consume(service::captureHelloRecord());
+    const service::CheckpointCapture snap = leader.captureCheckpoint(false);
+    for (const std::string& rec : service::captureSnapshotRecord(snap)) {
+      follower.consume(rec);
+    }
+    const double attachMs = sw.elapsedMillis();
+
+    double replayMs = 0.0, leaderMs = 0.0;
+    std::size_t cmds = 0;
+    for (int b = 0; b < kPumps; ++b) {
+      std::vector<service::ReplicatedCmd> batch;
+      batch.reserve(kCmdsPerPump);
+      for (int i = 0; i < kCmdsPerPump; ++i) {
+        const int s = (b * kCmdsPerPump + i) % kSessions;
+        const int seq = 1 + (b * kCmdsPerPump + i) / kSessions;
+        batch.push_back({1 + s % 4, "EV " + tenantSession(s) + " 1 " +
+                                        std::to_string(seq) + " 0 " +
+                                        std::to_string(seq + 1) + " 0"});
+      }
+      cmds += batch.size();
+      const auto records =
+          service::capturePumpRecord(leader.stats().pumps, batch);
+      sw.reset();
+      for (const std::string& rec : records) follower.consume(rec);
+      replayMs += sw.elapsedMillis();
+      sw.reset();
+      for (service::ReplicatedCmd& c : batch) {
+        leader.submit(std::move(c.payload), c.origin);
+      }
+      std::vector<service::Response> out;
+      leader.pump(out);
+      leaderMs += sw.elapsedMillis();
+    }
+
+    sw.reset();
+    auto promo = follower.promote();
+    const double promoteMs = sw.elapsedMillis();
+    GPD_CHECK_MSG(manifestOf(*promo.engine) == manifestOf(leader),
+                  "promoted follower diverged from the leader");
+
+    std::printf("replication: %d sessions, %d pumps x %d commands\n",
+                kSessions, kPumps, kCmdsPerPump);
+    std::printf("  attach (snapshot %6.1f KiB)   %8s ms\n",
+                static_cast<double>(snap.text.size()) / 1024.0,
+                bench::fmtMs(attachMs).c_str());
+    std::printf("  leader execute                %8s ms  %7.0f cmds/s\n",
+                bench::fmtMs(leaderMs).c_str(),
+                static_cast<double>(cmds) / (leaderMs / 1000.0));
+    std::printf("  follower replay               %8s ms  %7.0f cmds/s  "
+                "(%.2fx leader cost)\n",
+                bench::fmtMs(replayMs).c_str(),
+                static_cast<double>(cmds) / (replayMs / 1000.0),
+                replayMs / leaderMs);
+    std::printf("  promote                       %8s ms  "
+                "(manifest byte-identical to leader)\n",
+                bench::fmtMs(promoteMs).c_str());
+  }
+  return 0;
+}

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <limits>
+#include <set>
 #include <sstream>
 
 #include "io/checkpoint_io.h"
 #include "obs/metrics.h"
+#include "service/frame.h"
 #include "util/check.h"
 
 namespace gpd::service {
@@ -176,7 +178,7 @@ class ManifestReader {
 };
 
 constexpr char kManifestMagic[] = "gpdd-manifest";
-constexpr int kManifestVersion = 1;
+constexpr int kManifestVersion = 2;
 
 }  // namespace
 
@@ -192,6 +194,9 @@ struct Engine::ShardAcc {
   std::uint64_t protoErrors = 0;
   std::uint64_t closed = 0;
   std::uint64_t shedBudget = 0;
+  // Budget sheds by tenant, merged into tenantStats in shard order so the
+  // per-tenant counters stay deterministic for any thread count.
+  std::map<std::string, std::uint64_t> tenantShedBudget;
 };
 
 // One tenant session: the resilient monitor plus the service-side state the
@@ -318,6 +323,14 @@ struct Engine::Impl {
   // manifest, the ladder, and the idle sweep all walk it.
   std::map<std::string, std::unique_ptr<Session>> sessions;
   std::map<std::string, std::size_t> tenantSessions;
+  // Delta-manifest bookkeeping since the last captureCheckpoint (or
+  // restore): session keys touched (over-marking is harmless — an unchanged
+  // session in a delta still restores bit-exactly) and keys erased. Both
+  // are only mutated in the single-threaded admission/sweep phases.
+  std::set<std::string> dirty;
+  std::set<std::string> removed;
+  // Cumulative per-tenant counters; never forgets a tenant.
+  std::map<std::string, TenantStats> tenantStats;
 };
 
 Engine::Engine(EngineOptions options) : options_(options), impl_(new Impl) {
@@ -388,6 +401,7 @@ void Engine::pump(std::vector<Response>& out, par::Pool* pool) {
                          errPayload("admission-global-cap", tenant, id,
                                     "global session cap reached, retry")});
         ++stats_.admissionRejects;
+        ++impl_->tenantStats[std::string(tenant)].admissionRejects;
         continue;
       }
       const auto tc = impl_->tenantSessions.find(std::string(tenant));
@@ -398,6 +412,7 @@ void Engine::pump(std::vector<Response>& out, par::Pool* pool) {
                          errPayload("admission-tenant-cap", tenant, id,
                                     "tenant session cap reached, retry")});
         ++stats_.admissionRejects;
+        ++impl_->tenantStats[std::string(tenant)].admissionRejects;
         continue;
       }
       if (memLevel_ >= 1) {
@@ -405,6 +420,7 @@ void Engine::pump(std::vector<Response>& out, par::Pool* pool) {
                          errPayload("admission-mem", tenant, id,
                                     "memory watermark reached, retry")});
         ++stats_.admissionRejects;
+        ++impl_->tenantStats[std::string(tenant)].admissionRejects;
         continue;
       }
       try {
@@ -443,11 +459,16 @@ void Engine::pump(std::vector<Response>& out, par::Pool* pool) {
                          errPayload("rate-limited", tenant, id,
                                     "tenant byte rate exceeded, retry")});
         ++stats_.rateLimited;
+        ++impl_->tenantStats[std::string(tenant)].rateLimited;
         continue;
       }
       used += pend.payload.size();
     }
     Session* sess = it->second.get();
+    if (verb == "EV" || verb == "EVB") {
+      impl_->tenantStats[sess->tenant].evBytes += pend.payload.size();
+    }
+    impl_->dirty.insert(key);
     shardCmds[static_cast<std::size_t>(sess->shard)].push_back(
         {std::move(pend.payload), pend.origin, sess});
   }
@@ -497,6 +518,9 @@ void Engine::pump(std::vector<Response>& out, par::Pool* pool) {
     stats_.protocolErrors += acc.protoErrors;
     stats_.sessionsClosed += acc.closed;
     stats_.sessionsShedBudget += acc.shedBudget;
+    for (const auto& [tenant, n] : acc.tenantShedBudget) {
+      impl_->tenantStats[tenant].shedBudget += n;
+    }
     totalBytes_ = static_cast<std::uint64_t>(
         static_cast<long long>(totalBytes_) + acc.bytesDelta);
   }
@@ -514,7 +538,16 @@ void Engine::pump(std::vector<Response>& out, par::Pool* pool) {
     Cursor c(pend.payload);
     const std::string_view verb = c.token();
     if (verb == "STATS") {
-      out.push_back({pend.origin, "STATS " + statsJson()});
+      const std::string_view fmt = c.token();
+      if (fmt.empty() || fmt == "json") {
+        out.push_back({pend.origin, "STATS " + statsJson()});
+      } else if (fmt == "text") {
+        out.push_back({pend.origin, "STATS " + statsText()});
+      } else {
+        out.push_back({pend.origin, errPayload("bad-argument", "-", "-",
+                                               "unknown STATS format")});
+        ++stats_.protocolErrors;
+      }
     } else if (verb == "CHECKPOINT") {
       checkpointRequested_ = true;
       out.push_back({pend.origin, "OK CHECKPOINT"});
@@ -528,6 +561,7 @@ void Engine::pump(std::vector<Response>& out, par::Pool* pool) {
                                                "malformed SYNC token")});
         ++stats_.protocolErrors;
       } else {
+        lastSyncToken_ = std::string(token);
         std::string reply = "SYNC ";
         reply.append(token);
         out.push_back({pend.origin, std::move(reply)});
@@ -566,9 +600,13 @@ Engine::Session* Engine::openSession(std::string_view tenant,
   sp->approxBytes = sp->estimateBytes();
   totalBytes_ += sp->approxBytes;
   ++impl_->tenantSessions[sp->tenant];
+  ++impl_->tenantStats[sp->tenant].sessionsOpened;
   ++stats_.sessionsOpened;
   GPD_OBS_COUNTER_ADD("gpdd_sessions_opened", 1);
-  impl_->sessions.emplace(makeKey(tenant, id), std::move(sess));
+  const std::string key = makeKey(tenant, id);
+  impl_->dirty.insert(key);
+  impl_->removed.erase(key);
+  impl_->sessions.emplace(key, std::move(sess));
   return sp;
 }
 
@@ -651,6 +689,7 @@ void Engine::deliverOne(Session& s, int p, std::uint64_t seq,
                         std::vector<int> clock, ShardAcc& acc) {
   if (s.budget != nullptr && !s.budget->chargeCombination()) {
     ++acc.shedBudget;
+    ++acc.tenantShedBudget[s.tenant];
     GPD_OBS_COUNTER_ADD("gpdd_shed_budget", 1);
     std::string reason = "budget-";
     reason += control::toString(s.budget->reason());
@@ -691,6 +730,12 @@ void Engine::closeBookkeeping(Session& s) {
   if (tc != impl_->tenantSessions.end() && --tc->second == 0) {
     impl_->tenantSessions.erase(tc);
   }
+  // Every session erasure funnels through here: move the key from the dirty
+  // set to the removed set so the next delta manifest records the absence.
+  const std::string key = makeKey(s.tenant, s.id);
+  impl_->dirty.erase(key);
+  impl_->removed.insert(key);
+  ++impl_->tenantStats[s.tenant].sessionsClosed;
   GPD_OBS_COUNTER_ADD("gpdd_sessions_closed", 1);
 }
 
@@ -703,6 +748,7 @@ void Engine::sweepIdle(std::vector<Response>& out, std::uint64_t pumpIndex) {
       out.push_back({s.origin, s.verdictPayload(true, true)});
       totalBytes_ -= std::min(totalBytes_, s.approxBytes);
       ++stats_.sessionsShedIdle;
+      ++impl_->tenantStats[s.tenant].shedIdle;
       ++stats_.sessionsClosed;
       GPD_OBS_COUNTER_ADD("gpdd_shed_idle", 1);
       closeBookkeeping(s);
@@ -756,6 +802,8 @@ void Engine::runLadder(std::vector<Response>& out) {
         out.push_back(
             {s->origin, "DEGRADE " + s->tenant + " " + s->id + " memory"});
         ++stats_.sessionsDegradedMem;
+        ++impl_->tenantStats[s->tenant].degradedMem;
+        impl_->dirty.insert(makeKey(s->tenant, s->id));
         GPD_OBS_COUNTER_ADD("gpdd_degraded_mem", 1);
       }
     }
@@ -782,6 +830,7 @@ void Engine::runLadder(std::vector<Response>& out) {
       out.push_back({s->origin, s->verdictPayload(true, true)});
       totalBytes_ -= std::min(totalBytes_, s->approxBytes);
       ++stats_.sessionsShedMem;
+      ++impl_->tenantStats[s->tenant].shedMem;
       ++stats_.sessionsClosed;
       GPD_OBS_COUNTER_ADD("gpdd_shed_mem", 1);
       closeBookkeeping(*s);
@@ -824,7 +873,22 @@ void Engine::drain(std::vector<Response>& out) {
 }
 
 void Engine::writeManifest(std::ostream& os) const {
+  // Legacy whole-service checkpoint: always a full manifest at the current
+  // epoch, never advancing the chain — write → restore → write round-trips
+  // to identical bytes, which the recovery property suite depends on.
+  writeManifestText(os, false, checkpointEpoch_, 0, 0);
+  GPD_CHECK_MSG(os.good(), "manifest write failed");
+}
+
+void Engine::writeManifestText(std::ostream& os, bool delta,
+                               std::uint64_t epoch, std::uint64_t parentEpoch,
+                               std::uint32_t parentChecksum) const {
   os << kManifestMagic << ' ' << kManifestVersion << '\n';
+  os << "kind " << (delta ? "delta" : "full") << '\n';
+  os << "epoch " << epoch << '\n';
+  if (delta) {
+    os << "parent " << parentEpoch << ' ' << parentChecksum << '\n';
+  }
   const EngineStats& st = stats_;
   os << "stats " << st.framesAccepted << ' ' << st.sessionsOpened << ' '
      << st.sessionsClosed << ' ' << st.sessionsShedMem << ' '
@@ -833,28 +897,81 @@ void Engine::writeManifest(std::ostream& os) const {
      << st.rateLimited << ' ' << st.protocolErrors << ' '
      << st.notificationsDelivered << ' ' << st.nacksEmitted << ' '
      << st.detections << ' ' << st.pumps << '\n';
-  os << "sessions " << impl_->sessions.size() << '\n';
+  os << "last-sync " << (lastSyncToken_.empty() ? 0 : 1);
+  if (!lastSyncToken_.empty()) os << ' ' << lastSyncToken_;
+  os << '\n';
+  // The per-tenant table is small (one line per tenant ever seen) so both
+  // kinds carry it wholesale; only session records are differential.
+  os << "tenants " << impl_->tenantStats.size() << '\n';
+  for (const auto& [name, t] : impl_->tenantStats) {
+    os << "tenant " << name << ' ' << t.sessionsOpened << ' '
+       << t.sessionsClosed << ' ' << t.evBytes << ' ' << t.shedMem << ' '
+       << t.shedBudget << ' ' << t.shedIdle << ' ' << t.degradedMem << ' '
+       << t.rateLimited << ' ' << t.admissionRejects << '\n';
+  }
+  if (delta) {
+    os << "removed " << impl_->removed.size() << '\n';
+    for (const std::string& key : impl_->removed) {
+      const std::size_t slash = key.find('/');
+      os << "gone " << key.substr(0, slash) << ' ' << key.substr(slash + 1)
+         << '\n';
+    }
+  }
+  std::size_t count = 0;
+  if (delta) {
+    for (const std::string& key : impl_->dirty) {
+      if (impl_->sessions.find(key) != impl_->sessions.end()) ++count;
+    }
+  } else {
+    count = impl_->sessions.size();
+  }
+  os << "sessions " << count << '\n';
   for (const auto& [key, s] : impl_->sessions) {
+    if (delta && impl_->dirty.find(key) == impl_->dirty.end()) continue;
     os << "session " << s->tenant << ' ' << s->id << ' ' << s->prio << ' '
        << s->processes << ' ' << s->lastActivityPump << ' '
        << s->budgetCharged << ' ' << int(s->detectNotified) << '\n';
     io::writeCheckpoint(os, s->mon->snapshot());
   }
   os << "manifest-end\n";
-  GPD_CHECK_MSG(os.good(), "manifest write failed");
 }
 
-std::unique_ptr<Engine> Engine::restoreManifest(std::istream& is,
-                                                EngineOptions options) {
+bool Engine::readManifestText(std::istream& is) {
   ManifestReader r(is);
   GPD_INPUT_CHECK(r.word("magic") == kManifestMagic,
                   "not a gpdd-manifest stream");
   const long long version = r.integer("version", 0, 1 << 20);
   GPD_INPUT_CHECK(version == kManifestVersion,
                   "unsupported manifest version " << version);
-  auto eng = std::make_unique<Engine>(options);
+  r.keyword("kind");
+  const std::string kind = r.word("manifest kind");
+  const bool delta = kind == "delta";
+  GPD_INPUT_CHECK(delta || kind == "full",
+                  "manifest: unknown kind '" << kind << "'");
+  r.keyword("epoch");
+  const std::uint64_t epoch = r.counter("epoch");
+  if (delta) {
+    r.keyword("parent");
+    const std::uint64_t parentEpoch = r.counter("parent epoch");
+    const std::uint64_t parentChecksum = r.counter("parent checksum");
+    GPD_INPUT_CHECK(hasCapture_,
+                    "manifest: delta with no prior manifest to chain from");
+    GPD_INPUT_CHECK(
+        parentEpoch == checkpointEpoch_ &&
+            parentChecksum == lastCaptureChecksum_,
+        "manifest: delta parent (epoch "
+            << parentEpoch << ", checksum " << parentChecksum
+            << ") does not match the restored chain (epoch "
+            << checkpointEpoch_ << ", checksum " << lastCaptureChecksum_
+            << ") — corrupted, reordered, or missing link");
+    GPD_INPUT_CHECK(epoch > parentEpoch,
+                    "manifest: delta epoch does not advance past its parent");
+  } else {
+    GPD_INPUT_CHECK(impl_->sessions.empty() && stats_.pumps == 0,
+                    "manifest: full manifest applied to a non-fresh engine");
+  }
   r.keyword("stats");
-  EngineStats& st = eng->stats_;
+  EngineStats& st = stats_;
   st.framesAccepted = r.counter("stats");
   st.sessionsOpened = r.counter("stats");
   st.sessionsClosed = r.counter("stats");
@@ -869,6 +986,47 @@ std::unique_ptr<Engine> Engine::restoreManifest(std::istream& is,
   st.nacksEmitted = r.counter("stats");
   st.detections = r.counter("stats");
   st.pumps = r.counter("stats");
+  r.keyword("last-sync");
+  const long long hasSync = r.integer("last-sync flag", 0, 1);
+  if (hasSync != 0) {
+    const std::string tok = r.word("last-sync token");
+    GPD_INPUT_CHECK(validId(tok), "manifest: malformed last-sync token");
+    lastSyncToken_ = tok;
+  } else {
+    lastSyncToken_.clear();
+  }
+  r.keyword("tenants");
+  const long long tenantCount = r.integer("tenant count", 0, 1 << 22);
+  impl_->tenantStats.clear();
+  for (long long i = 0; i < tenantCount; ++i) {
+    r.keyword("tenant");
+    const std::string name = r.word("tenant name");
+    GPD_INPUT_CHECK(validId(name), "manifest: malformed tenant name");
+    TenantStats& t = impl_->tenantStats[name];
+    t.sessionsOpened = r.counter("tenant stats");
+    t.sessionsClosed = r.counter("tenant stats");
+    t.evBytes = r.counter("tenant stats");
+    t.shedMem = r.counter("tenant stats");
+    t.shedBudget = r.counter("tenant stats");
+    t.shedIdle = r.counter("tenant stats");
+    t.degradedMem = r.counter("tenant stats");
+    t.rateLimited = r.counter("tenant stats");
+    t.admissionRejects = r.counter("tenant stats");
+  }
+  if (delta) {
+    r.keyword("removed");
+    const long long removedCount = r.integer("removed count", 0, 1 << 22);
+    for (long long i = 0; i < removedCount; ++i) {
+      r.keyword("gone");
+      const std::string tenant = r.word("tenant");
+      const std::string id = r.word("session id");
+      GPD_INPUT_CHECK(validId(tenant) && validId(id),
+                      "manifest: malformed removed session id");
+      // Erase-if-present: a session opened and closed inside one epoch is
+      // reported gone without ever appearing in the parent.
+      impl_->sessions.erase(makeKey(tenant, id));
+    }
+  }
   r.keyword("sessions");
   const long long count = r.integer("session count", 0, 1 << 22);
   for (long long i = 0; i < count; ++i) {
@@ -887,33 +1045,35 @@ std::unique_ptr<Engine> Engine::restoreManifest(std::istream& is,
     GPD_INPUT_CHECK(snap.monitor.processes == processes,
                     "manifest: session checkpoint process count mismatch");
     const std::string key = makeKey(tenant, id);
-    GPD_INPUT_CHECK(
-        eng->impl_->sessions.find(key) == eng->impl_->sessions.end(),
-        "manifest: duplicate session '" << key << "'");
+    if (delta) {
+      impl_->sessions.erase(key);  // dirty record replaces it wholesale
+    } else {
+      GPD_INPUT_CHECK(impl_->sessions.find(key) == impl_->sessions.end(),
+                      "manifest: duplicate session '" << key << "'");
+    }
     auto sess = std::make_unique<Session>();
     Session* sp = sess.get();
     sp->tenant = tenant;
     sp->id = id;
     sp->processes = processes;
     sp->prio = prio;
-    sp->shard =
-        static_cast<int>(shardHash(tenant, id) %
-                         static_cast<std::uint32_t>(eng->options_.shards));
+    sp->shard = static_cast<int>(
+        shardHash(tenant, id) % static_cast<std::uint32_t>(options_.shards));
     sp->lastActivityPump = lastActivityPump;
     sp->budgetCharged = budgetCharged;
     sp->detectNotified = detectNotified;
     sp->mon = std::make_unique<MonitorSession>(
-        MonitorSession::restore(snap, options.session));
+        MonitorSession::restore(snap, options_.session));
     sp->installNackHook();
-    if (options.sessionMaxCombinations != 0 || options.sessionBudgetMs != 0) {
+    if (options_.sessionMaxCombinations != 0 || options_.sessionBudgetMs != 0) {
       control::BudgetLimits limits;
-      limits.maxCombinations = options.sessionMaxCombinations;
-      limits.deadlineMillis = options.sessionBudgetMs;
+      limits.maxCombinations = options_.sessionMaxCombinations;
+      limits.deadlineMillis = options_.sessionBudgetMs;
       sp->budget = std::make_unique<control::Budget>(limits);
-      if (options.sessionMaxCombinations != 0) {
+      if (options_.sessionMaxCombinations != 0) {
         // Replay the meter: a combination limit is deterministic state, so
         // the restored budget must stand exactly where the saved one did.
-        GPD_INPUT_CHECK(budgetCharged <= options.sessionMaxCombinations,
+        GPD_INPUT_CHECK(budgetCharged <= options_.sessionMaxCombinations,
                         "manifest: budgetCharged exceeds the session limit");
         for (std::uint64_t n = 0; n < budgetCharged; ++n) {
           sp->budget->chargeCombination();
@@ -921,17 +1081,112 @@ std::unique_ptr<Engine> Engine::restoreManifest(std::istream& is,
       }
     }
     sp->approxBytes = sp->estimateBytes();
-    eng->totalBytes_ += sp->approxBytes;
-    ++eng->impl_->tenantSessions[tenant];
-    eng->impl_->sessions.emplace(key, std::move(sess));
+    impl_->sessions.emplace(key, std::move(sess));
   }
   r.keyword("manifest-end");
-  eng->updateMemLevel();
+  // Rebuild the derived aggregates wholesale — cheap (one pass over the
+  // session map) and immune to patch-accounting drift.
+  impl_->tenantSessions.clear();
+  totalBytes_ = 0;
+  for (const auto& [key, s] : impl_->sessions) {
+    ++impl_->tenantSessions[s->tenant];
+    totalBytes_ += s->approxBytes;
+  }
+  updateMemLevel();
+  impl_->dirty.clear();
+  impl_->removed.clear();
+  checkpointEpoch_ = epoch;
+  hasCapture_ = true;
+  return delta;
+}
+
+std::unique_ptr<Engine> Engine::restoreManifest(std::istream& is,
+                                                EngineOptions options) {
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return restoreManifestText(buf.str(), options);
+}
+
+std::unique_ptr<Engine> Engine::restoreManifestText(const std::string& text,
+                                                    EngineOptions options) {
+  auto eng = std::make_unique<Engine>(options);
+  std::istringstream is(text);
+  const bool delta = eng->readManifestText(is);
+  GPD_INPUT_CHECK(!delta,
+                  "cannot restore from a delta manifest without the full "
+                  "manifest it chains from");
+  eng->lastCaptureChecksum_ = fnv1a32(text);
   GPD_OBS_COUNTER_ADD("gpdd_recoveries", 1);
   return eng;
 }
 
+CheckpointCapture Engine::captureCheckpoint(bool preferDelta) {
+  CheckpointCapture cap;
+  cap.delta = preferDelta && hasCapture_;
+  cap.epoch = checkpointEpoch_ + 1;
+  if (cap.delta) {
+    for (const std::string& key : impl_->dirty) {
+      if (impl_->sessions.find(key) != impl_->sessions.end()) ++cap.sessions;
+    }
+  } else {
+    cap.sessions = impl_->sessions.size();
+  }
+  std::ostringstream os;
+  writeManifestText(os, cap.delta, cap.epoch, checkpointEpoch_,
+                    lastCaptureChecksum_);
+  GPD_CHECK_MSG(os.good(), "manifest capture failed");
+  cap.text = os.str();
+  cap.checksum = fnv1a32(cap.text);
+  checkpointEpoch_ = cap.epoch;
+  lastCaptureChecksum_ = cap.checksum;
+  hasCapture_ = true;
+  impl_->dirty.clear();
+  impl_->removed.clear();
+  GPD_OBS_COUNTER_ADD("gpdd_checkpoints_captured", 1);
+  return cap;
+}
+
+void Engine::applyDeltaText(const std::string& text) {
+  // On InputError the engine may hold a partially applied patch — callers
+  // (chain recovery, replication) must discard it, never keep serving.
+  std::istringstream is(text);
+  const bool delta = readManifestText(is);
+  GPD_INPUT_CHECK(delta, "applyDeltaText: manifest is not a delta");
+  lastCaptureChecksum_ = fnv1a32(text);
+  GPD_OBS_COUNTER_ADD("gpdd_deltas_applied", 1);
+}
+
+std::size_t Engine::dirtySessions() const {
+  std::size_t n = 0;
+  for (const std::string& key : impl_->dirty) {
+    if (impl_->sessions.find(key) != impl_->sessions.end()) ++n;
+  }
+  return n;
+}
+
+const std::map<std::string, TenantStats>& Engine::tenantStats() const {
+  return impl_->tenantStats;
+}
+
+void Engine::publishTenantMetrics() const {
+#ifndef GPD_OBS_DISABLED
+  for (const auto& [name, t] : impl_->tenantStats) {
+    const auto live = impl_->tenantSessions.find(name);
+    const std::string prefix = "gpdd_tenant_" + name;
+    obs::registry()
+        .gauge(prefix + "_sessions")
+        .set(live == impl_->tenantSessions.end() ? 0 : live->second);
+    obs::registry().gauge(prefix + "_ev_bytes").set(t.evBytes);
+    obs::registry()
+        .gauge(prefix + "_sheds")
+        .set(t.shedMem + t.shedBudget + t.shedIdle);
+    obs::registry().gauge(prefix + "_budget_exhausted").set(t.shedBudget);
+  }
+#endif
+}
+
 std::string Engine::statsJson() const {
+  publishTenantMetrics();
   const EngineStats& st = stats_;
   std::ostringstream os;
   os << "{\"frames_accepted\":" << st.framesAccepted
@@ -949,7 +1204,70 @@ std::string Engine::statsJson() const {
      << ",\"nacks\":" << st.nacksEmitted
      << ",\"detections\":" << st.detections << ",\"pumps\":" << st.pumps
      << ",\"estimated_bytes\":" << totalBytes_
-     << ",\"mem_level\":" << memLevel_ << '}';
+     << ",\"mem_level\":" << memLevel_
+     << ",\"epoch\":" << checkpointEpoch_
+     << ",\"dirty_sessions\":" << dirtySessions()
+     << ",\"last_sync\":\"" << lastSyncToken_ << '"'
+     // "tenants" renders last so a first-occurrence scan for any global
+     // counter key never lands on a per-tenant copy.
+     << ",\"tenants\":{";
+  bool first = true;
+  for (const auto& [name, t] : impl_->tenantStats) {
+    if (!first) os << ',';
+    first = false;
+    const auto live = impl_->tenantSessions.find(name);
+    os << '"' << name << "\":{\"sessions_open\":"
+       << (live == impl_->tenantSessions.end() ? std::size_t{0} : live->second)
+       << ",\"sessions_opened\":" << t.sessionsOpened
+       << ",\"sessions_closed\":" << t.sessionsClosed
+       << ",\"ev_bytes\":" << t.evBytes << ",\"shed_mem\":" << t.shedMem
+       << ",\"shed_budget\":" << t.shedBudget
+       << ",\"shed_idle\":" << t.shedIdle
+       << ",\"degraded_mem\":" << t.degradedMem
+       << ",\"rate_limited\":" << t.rateLimited
+       << ",\"admission_rejects\":" << t.admissionRejects << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string Engine::statsText() const {
+  publishTenantMetrics();
+  const EngineStats& st = stats_;
+  std::ostringstream os;
+  os << "gpdd stats\n"
+     << "  frames-accepted " << st.framesAccepted << '\n'
+     << "  sessions-open " << impl_->sessions.size() << '\n'
+     << "  sessions-opened " << st.sessionsOpened << '\n'
+     << "  sessions-closed " << st.sessionsClosed << '\n'
+     << "  shed-mem " << st.sessionsShedMem << '\n'
+     << "  shed-budget " << st.sessionsShedBudget << '\n'
+     << "  shed-idle " << st.sessionsShedIdle << '\n'
+     << "  degraded-mem " << st.sessionsDegradedMem << '\n'
+     << "  admission-rejects " << st.admissionRejects << '\n'
+     << "  rate-limited " << st.rateLimited << '\n'
+     << "  protocol-errors " << st.protocolErrors << '\n'
+     << "  notifications " << st.notificationsDelivered << '\n'
+     << "  nacks " << st.nacksEmitted << '\n'
+     << "  detections " << st.detections << '\n'
+     << "  pumps " << st.pumps << '\n'
+     << "  estimated-bytes " << totalBytes_ << '\n'
+     << "  mem-level " << memLevel_ << '\n'
+     << "  epoch " << checkpointEpoch_ << '\n'
+     << "  dirty-sessions " << dirtySessions() << '\n'
+     << "  last-sync " << (lastSyncToken_.empty() ? "-" : lastSyncToken_.c_str())
+     << '\n';
+  for (const auto& [name, t] : impl_->tenantStats) {
+    const auto live = impl_->tenantSessions.find(name);
+    os << "tenant " << name << " open="
+       << (live == impl_->tenantSessions.end() ? std::size_t{0} : live->second)
+       << " opened=" << t.sessionsOpened << " closed=" << t.sessionsClosed
+       << " ev-bytes=" << t.evBytes << " shed-mem=" << t.shedMem
+       << " shed-budget=" << t.shedBudget << " shed-idle=" << t.shedIdle
+       << " degraded-mem=" << t.degradedMem << " rate-limited="
+       << t.rateLimited << " admission-rejects=" << t.admissionRejects
+       << '\n';
+  }
   return os.str();
 }
 

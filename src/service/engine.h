@@ -102,6 +102,36 @@ struct EngineOptions {
   monitor::SessionOptions session;
 };
 
+// Per-tenant service counters: the STATS breakdown operators page on when
+// one tenant misbehaves. Deterministic plain copies (updated in the
+// single-threaded admission/sweep phases or merged from shard accumulators
+// in shard order), mirrored into the gpd::obs registry as
+// gpdd_tenant_<name>_* gauges whenever STATS renders.
+struct TenantStats {
+  std::uint64_t sessionsOpened = 0;
+  std::uint64_t sessionsClosed = 0;
+  std::uint64_t evBytes = 0;  // accepted EV/EVB payload bytes
+  std::uint64_t shedMem = 0;
+  std::uint64_t shedBudget = 0;  // budget-exhausted verdicts
+  std::uint64_t shedIdle = 0;
+  std::uint64_t degradedMem = 0;
+  std::uint64_t rateLimited = 0;
+  std::uint64_t admissionRejects = 0;
+};
+
+// One serialized checkpoint produced by Engine::captureCheckpoint. `text`
+// is a complete manifest (kind full) or a differential one (kind delta)
+// holding only the sessions dirtied — and the keys removed — since the
+// previous capture. Deltas chain: each names its parent's (epoch, checksum)
+// and restore refuses a broken chain.
+struct CheckpointCapture {
+  bool delta = false;
+  std::uint64_t epoch = 0;      // this manifest's epoch
+  std::uint32_t checksum = 0;   // fnv1a32 over `text`
+  std::size_t sessions = 0;     // session records serialized
+  std::string text;
+};
+
 // Aggregate service counters (also exported as gpdd_* obs metrics; these
 // plain copies feed the STATS JSON without touching the registry).
 struct EngineStats {
@@ -157,10 +187,35 @@ class Engine {
   // checkpoint per live session. write is const and deterministic (sessions
   // in key order); restore validates everything (gpd::InputError on corrupt
   // or version-mismatched manifests) and reconstructs each session
-  // bit-exactly, including its budget meter.
+  // bit-exactly, including its budget meter. writeManifest always emits a
+  // full manifest at the current epoch and does not advance it.
   void writeManifest(std::ostream& os) const;
   static std::unique_ptr<Engine> restoreManifest(std::istream& is,
                                                  EngineOptions options);
+  static std::unique_ptr<Engine> restoreManifestText(const std::string& text,
+                                                     EngineOptions options);
+
+  // Incremental checkpoints. captureCheckpoint serializes the service at
+  // this pump boundary and advances the checkpoint epoch: with preferDelta
+  // and a prior capture (or restore) to chain from, only the sessions
+  // dirtied since that parent — plus the keys removed — are written, so
+  // checkpoint cost scales with *changed* sessions. applyDeltaText patches
+  // a restored engine forward one link; it refuses (gpd::InputError) a
+  // delta whose parent (epoch, checksum) does not match this engine's —
+  // a corrupted, reordered, or missing-middle chain never restores
+  // silently wrong state.
+  CheckpointCapture captureCheckpoint(bool preferDelta);
+  void applyDeltaText(const std::string& text);
+
+  // Epoch of the last capture/restore (0 = never captured) and the dirty
+  // set's size — what the next delta would serialize.
+  std::uint64_t checkpointEpoch() const { return checkpointEpoch_; }
+  std::size_t dirtySessions() const;
+
+  // Token of the last SYNC answered (empty until one is). Persisted in the
+  // manifest: after a failover the promoted engine can tell clients exactly
+  // which barrier its state includes.
+  const std::string& lastSyncToken() const { return lastSyncToken_; }
 
   // Host hooks set by protocol commands during the last pump.
   bool consumeCheckpointRequest();
@@ -172,14 +227,29 @@ class Engine {
   // Current ladder rung: 0 normal, 1 reject-new, 2 degrade, 3 shed.
   int memLevel() const { return memLevel_; }
 
-  // The STATS frame body: one-line JSON of EngineStats + live gauges.
+  // The STATS frame body: one-line JSON of EngineStats + live gauges +
+  // per-tenant breakdowns, or the multi-line text rendering of the same.
+  // Both publish the per-tenant numbers into the gpd::obs registry.
   std::string statsJson() const;
+  std::string statsText() const;
+
+  // Cumulative per-tenant counters (never forgets a tenant).
+  const std::map<std::string, TenantStats>& tenantStats() const;
 
  private:
   struct Session;
   struct Cmd;
   struct Impl;
   struct ShardAcc;
+
+  void writeManifestText(std::ostream& os, bool delta, std::uint64_t epoch,
+                         std::uint64_t parentEpoch,
+                         std::uint32_t parentChecksum) const;
+  // Parses one manifest into this engine: a full manifest replaces
+  // everything (the engine must be fresh), a delta patches. Returns true if
+  // the manifest was a delta.
+  bool readManifestText(std::istream& is);
+  void publishTenantMetrics() const;
 
   Session* openSession(std::string_view tenant, std::string_view id,
                        int processes, long long prio,
@@ -199,6 +269,12 @@ class Engine {
   int memLevel_ = 0;
   bool shutdownRequested_ = false;
   bool checkpointRequested_ = false;
+  std::string lastSyncToken_;
+  // Checkpoint-chain state: epoch/checksum of the last capture or restore
+  // (the parent the next delta will name), and whether one exists at all.
+  std::uint64_t checkpointEpoch_ = 0;
+  std::uint32_t lastCaptureChecksum_ = 0;
+  bool hasCapture_ = false;
   Impl* impl_;
 };
 

@@ -1,0 +1,66 @@
+// gpd::service::ManifestLog — the on-disk checkpoint chain behind gpdd's
+// incremental manifests.
+//
+// Layout: PATH holds the newest *full* manifest; PATH.delta.1, PATH.delta.2,
+// … hold the deltas captured since it, in order. Every file is written
+// atomically (temp + rename). Writing a new full manifest resets the chain:
+// the full lands first (rename), then stale delta files are unlinked — a
+// crash between the two leaves only *stale* deltas behind, which recovery
+// recognizes by their parent epoch (strictly older than the full's) and
+// ignores. The chain is therefore crash-consistent at every instant.
+//
+// Recovery restores PATH, then applies PATH.delta.1..N in order. A delta
+// missing from the middle of the chain, or one whose parent (epoch,
+// checksum) does not match, is a refused recovery (gpd::InputError) — the
+// log never silently resurrects a wrong prefix of the history.
+//
+// The cadence knob `fullEvery` bounds chain length: every fullEvery-th
+// capture is forced full (1 = always full, the pre-delta behaviour), so at
+// most fullEvery-1 deltas ever separate a recovery from its full parent.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "service/engine.h"
+
+namespace gpd::service {
+
+class ManifestLog {
+ public:
+  // `path` is the full-manifest file; deltas live beside it. `fullEvery`
+  // must be >= 1.
+  ManifestLog(std::string path, std::uint64_t fullEvery);
+
+  // Captures a checkpoint from the engine — a delta when the cadence allows
+  // and the engine has a parent to chain from, a full otherwise (or when
+  // forceFull) — and persists it atomically. Returns the capture so hosts
+  // can replicate it.
+  CheckpointCapture store(Engine& engine, bool forceFull = false);
+
+  // Persists an externally produced capture (the replication follower's own
+  // capture taken at the leader's checkpoint record), keeping the on-disk
+  // chain in lockstep with the in-memory one.
+  void persist(const CheckpointCapture& cap);
+
+  // Restores the full manifest then applies every live on-disk delta in
+  // chain order. Throws gpd::InputError if the full manifest is missing or
+  // corrupt, if a middle delta is missing, or if any delta fails its parent
+  // (epoch, checksum) validation. Leaves this log positioned to continue
+  // the chain (deltasSinceFull() reflects what was applied).
+  std::unique_ptr<Engine> recover(EngineOptions options);
+
+  std::uint64_t deltasSinceFull() const { return deltasSinceFull_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string deltaPath(std::uint64_t index) const;
+  void unlinkStaleDeltas() const;
+
+  std::string path_;
+  std::uint64_t fullEvery_;
+  std::uint64_t deltasSinceFull_ = 0;
+};
+
+}  // namespace gpd::service

@@ -1,0 +1,136 @@
+// gpd::service replication — the record grammar and follower state machine
+// behind gpdd's hot standby.
+//
+// The leader streams text records to one follower over the ordinary frame
+// codec (service/frame.h). The stream *is* the replica: a snapshot of the
+// leader's manifest, then every pump — commands tagged with their submitting
+// origin — in execution order. Because the engine is deterministic in
+// (options, payloads, pump boundaries), the follower replaying that stream
+// holds a bit-identical engine, and at each leader checkpoint it captures
+// its own and cross-checks (epoch, checksum) — any divergence is refused
+// loudly rather than served silently.
+//
+// Record grammar (one record per frame payload):
+//   RHELLO <version>
+//   RSNAP <epoch> <checksum> <chunks>      full-manifest snapshot header
+//   RCHUNK <i>\n<bytes>                    snapshot body, chunk i of chunks
+//   RPUMP <pump> <n>                       pump block header, n commands
+//   RCMD <origin>\n<payload>               one submitted command
+//   RCKPT <pump> <full|delta> <epoch> <checksum>
+//   RFLUSH <pump>                          leader acked responses <= pump
+//
+// The leader sends an RPUMP record for *every* pump, including empty ones
+// (idle sweeps are pump-indexed, so empty pumps shape state too). That
+// continuous stream doubles as the heartbeat: a follower that has seen
+// silence past its failover deadline promotes itself.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/engine.h"
+
+namespace gpd::service {
+
+inline constexpr int kReplicationVersion = 1;
+inline constexpr std::size_t kSnapshotChunkBytes = 512u * 1024u;
+
+// One command replicated inside an RPUMP block.
+struct ReplicatedCmd {
+  int origin = 0;
+  std::string payload;
+};
+
+// --- Leader-side record encoders ------------------------------------------
+// Each capture*Record has a paired apply*Record below; srclint's
+// gpd-checkpoint-symmetry check holds the two sides to the same field keys.
+
+std::string captureHelloRecord();
+std::vector<std::string> captureSnapshotRecord(const CheckpointCapture& cap);
+std::vector<std::string> capturePumpRecord(
+    std::uint64_t pump, const std::vector<ReplicatedCmd>& cmds);
+std::string captureCkptRecord(std::uint64_t pump, const CheckpointCapture& cap);
+std::string captureFlushRecord(std::uint64_t pump);
+
+// --- Follower --------------------------------------------------------------
+
+// Applies the leader's record stream to a local engine. consume() one frame
+// payload at a time; promote() when the leader is gone. Throws
+// gpd::InputError on protocol violations, chain breaks, or divergence
+// (follower checkpoint != leader checkpoint) — a follower that cannot prove
+// it matches the leader must not take over.
+class ReplicationFollower {
+ public:
+  // `onCheckpoint` (optional) receives the follower's own capture at every
+  // leader checkpoint record — the hook a host uses to keep its on-disk
+  // ManifestLog in lockstep with the leader's cadence.
+  explicit ReplicationFollower(
+      EngineOptions options,
+      std::function<void(const CheckpointCapture&)> onCheckpoint = {});
+  ~ReplicationFollower();
+
+  // Feeds one decoded record payload. A completed RPUMP block is applied
+  // eagerly (submit + pump), so consume() does the replay work as the
+  // stream arrives and promotion is O(1).
+  void consume(const std::string& payload);
+
+  bool snapshotLoaded() const { return snapshotLoaded_; }
+  std::uint64_t pumpsApplied() const { return pumpsApplied_; }
+
+  struct Promotion {
+    std::unique_ptr<Engine> engine;
+    // Responses the leader had not yet acknowledged flushing (RFLUSH) —
+    // the promoted host re-sends these so no verdict is lost; clients
+    // deduplicate replays by session id.
+    std::vector<Response> retained;
+    std::string lastSyncToken;
+    std::uint64_t pumps = 0;
+  };
+
+  // Finalizes the replica: discards any incomplete trailing block (a pump
+  // the leader died in the middle of sending was never executed there
+  // either — clients will retransmit it) and hands over the engine.
+  Promotion promote();
+
+ private:
+  void applyHelloRecord(const std::string& payload);
+  void applySnapshotRecord(const std::string& payload);
+  void applyPumpRecord(const std::string& payload);
+  void applyCkptRecord(const std::string& payload);
+  void applyFlushRecord(const std::string& payload);
+  void finishPumpBlock();
+
+  EngineOptions options_;
+  std::function<void(const CheckpointCapture&)> onCheckpoint_;
+  std::unique_ptr<Engine> engine_;
+  bool helloSeen_ = false;
+  bool snapshotLoaded_ = false;
+
+  // Snapshot assembly.
+  std::uint64_t snapEpoch_ = 0;
+  std::uint32_t snapChecksum_ = 0;
+  std::size_t snapChunks_ = 0;
+  std::size_t snapChunksSeen_ = 0;
+  std::string snapText_;
+
+  // In-flight RPUMP block.
+  bool pumpOpen_ = false;
+  std::uint64_t pumpIndex_ = 0;
+  std::size_t pumpCmdsExpected_ = 0;
+  std::vector<ReplicatedCmd> pumpCmds_;
+
+  std::uint64_t pumpsApplied_ = 0;
+
+  // Responses produced by replayed pumps, tagged with the pump that made
+  // them so RFLUSH can retire exactly the prefix the leader acked.
+  struct RetainedResponse {
+    std::uint64_t pump = 0;
+    Response resp;
+  };
+  std::vector<RetainedResponse> retained_;
+};
+
+}  // namespace gpd::service

@@ -305,15 +305,30 @@ TEST(Engine, CorruptManifestsThrowInputError) {
     std::istringstream in(text);
     return Engine::restoreManifest(in, {});
   };
-  EXPECT_THROW(restore("not-a-manifest 1"), gpd::InputError);
-  EXPECT_THROW(restore("gpdd-manifest 99\nstats"), gpd::InputError);
-  EXPECT_THROW(restore("gpdd-manifest 1\nstats 0 0 0"), gpd::InputError);
+  EXPECT_THROW(restore("not-a-manifest 2"), gpd::InputError);
+  EXPECT_THROW(restore("gpdd-manifest 99\nkind full"), gpd::InputError);
+  // v1 manifests (no kind/epoch headers) are refused, not misread.
+  EXPECT_THROW(restore("gpdd-manifest 1\n"
+                       "stats 0 0 0 0 0 0 0 0 0 0 0 0 0 0\n"
+                       "sessions 0\nmanifest-end\n"),
+               gpd::InputError);
+  EXPECT_THROW(restore("gpdd-manifest 2\nkind sideways\nepoch 0"),
+               gpd::InputError);
+  EXPECT_THROW(restore("gpdd-manifest 2\nkind full\nepoch 0\nstats 0 0 0"),
+               gpd::InputError);
   EXPECT_THROW(
-      restore("gpdd-manifest 1\n"
+      restore("gpdd-manifest 2\nkind full\nepoch 0\n"
               "stats 0 0 0 0 0 0 0 0 0 0 0 0 0 0\n"
+              "last-sync 0\ntenants 0\n"
               "sessions 1\n"
               "session bad!tenant s 0 2 0 0 0\n"),
       gpd::InputError);
+  // A delta can never seed a restore: it needs the full parent.
+  Engine fresh;
+  const CheckpointCapture full = fresh.captureCheckpoint(false);
+  const CheckpointCapture delta = fresh.captureCheckpoint(true);
+  ASSERT_TRUE(delta.delta);
+  EXPECT_THROW(restore(delta.text), gpd::InputError);
   // Truncated mid-session.
   Engine eng;
   for (const std::string& c : detectingSession("t0", "s0")) eng.submit(c);
@@ -323,6 +338,137 @@ TEST(Engine, CorruptManifestsThrowInputError) {
   eng.writeManifest(m);
   const std::string whole = m.str();
   EXPECT_THROW(restore(whole.substr(0, whole.size() / 2)), gpd::InputError);
+}
+
+TEST(Engine, DeltaCaptureRestoresByteIdentically) {
+  EngineOptions opt;
+  opt.sessionMaxCombinations = 100;
+  Engine eng(opt);
+  pumpAll(eng, detectingSession("t0", "s0"));
+  const CheckpointCapture full = eng.captureCheckpoint(true);
+  EXPECT_FALSE(full.delta);  // nothing to chain from yet
+  EXPECT_EQ(full.epoch, 1u);
+  EXPECT_EQ(eng.dirtySessions(), 0u);
+  // Touch one session, open another, close nothing.
+  pumpAll(eng, {"OPEN t1 s1 3", "EV t0 s0 0 1 2 0"});
+  EXPECT_EQ(eng.dirtySessions(), 2u);
+  const CheckpointCapture delta = eng.captureCheckpoint(true);
+  EXPECT_TRUE(delta.delta);
+  EXPECT_EQ(delta.epoch, 2u);
+  EXPECT_EQ(delta.sessions, 2u);
+  // full + delta restores to the same bytes as a fresh full capture.
+  auto restored = Engine::restoreManifestText(full.text, opt);
+  restored->applyDeltaText(delta.text);
+  std::ostringstream a;
+  restored->writeManifest(a);
+  std::ostringstream b;
+  eng.writeManifest(b);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_EQ(restored->checkpointEpoch(), eng.checkpointEpoch());
+}
+
+TEST(Engine, DeltaRecordsRemovedSessions) {
+  Engine eng;
+  pumpAll(eng, detectingSession("t0", "s0"));
+  pumpAll(eng, {"OPEN t1 s1 2"});
+  const CheckpointCapture full = eng.captureCheckpoint(false);
+  pumpAll(eng, {"CLOSE t0 s0"});
+  const CheckpointCapture delta = eng.captureCheckpoint(true);
+  ASSERT_TRUE(delta.delta);
+  EXPECT_NE(delta.text.find("gone t0 s0"), std::string::npos);
+  auto restored = Engine::restoreManifestText(full.text, {});
+  EXPECT_EQ(restored->openSessions(), 2u);
+  restored->applyDeltaText(delta.text);
+  EXPECT_EQ(restored->openSessions(), 1u);
+  std::ostringstream a;
+  restored->writeManifest(a);
+  std::ostringstream b;
+  eng.writeManifest(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Engine, DeltaChainRefusesWrongParent) {
+  Engine eng;
+  pumpAll(eng, {"OPEN t0 s0 2"});
+  const CheckpointCapture full = eng.captureCheckpoint(false);
+  pumpAll(eng, {"EV t0 s0 0 0 1 0"});
+  const CheckpointCapture d1 = eng.captureCheckpoint(true);
+  pumpAll(eng, {"EV t0 s0 1 0 0 1"});
+  const CheckpointCapture d2 = eng.captureCheckpoint(true);
+  ASSERT_TRUE(d1.delta);
+  ASSERT_TRUE(d2.delta);
+  // Skipping the middle link is refused...
+  auto skip = Engine::restoreManifestText(full.text, {});
+  EXPECT_THROW(skip->applyDeltaText(d2.text), gpd::InputError);
+  // ...a corrupted middle link is refused (flip one payload byte)...
+  std::string corrupt = d1.text;
+  const std::size_t at = corrupt.find("session t0");
+  ASSERT_NE(at, std::string::npos);
+  corrupt[at] = 'x';
+  auto bad = Engine::restoreManifestText(full.text, {});
+  EXPECT_THROW(bad->applyDeltaText(corrupt), gpd::InputError);
+  // ...and the intact chain applies clean.
+  auto good = Engine::restoreManifestText(full.text, {});
+  good->applyDeltaText(d1.text);
+  good->applyDeltaText(d2.text);
+  std::ostringstream a;
+  good->writeManifest(a);
+  std::ostringstream b;
+  eng.writeManifest(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Engine, PerTenantStatsTrackAndPersist) {
+  EngineOptions opt;
+  opt.maxSessionsPerTenant = 1;
+  Engine eng(opt);
+  pumpAll(eng, detectingSession("alpha", "s0"));
+  pumpAll(eng, {"OPEN alpha s1 2", "OPEN beta s0 2", "CLOSE alpha s0"});
+  const auto& ts = eng.tenantStats();
+  ASSERT_EQ(ts.count("alpha"), 1u);
+  ASSERT_EQ(ts.count("beta"), 1u);
+  EXPECT_EQ(ts.at("alpha").sessionsOpened, 1u);
+  EXPECT_EQ(ts.at("alpha").sessionsClosed, 1u);
+  EXPECT_EQ(ts.at("alpha").admissionRejects, 1u);  // the s1 tenant-cap hit
+  EXPECT_GT(ts.at("alpha").evBytes, 0u);
+  EXPECT_EQ(ts.at("beta").sessionsOpened, 1u);
+  // The tenants block renders last in the JSON and survives a round trip.
+  const std::string json = eng.statsJson();
+  const std::size_t tenantsAt = json.find("\"tenants\":{");
+  ASSERT_NE(tenantsAt, std::string::npos);
+  EXPECT_GT(tenantsAt, json.find("\"shed_mem\":"));
+  EXPECT_NE(json.find("\"alpha\":{"), std::string::npos);
+  // A capture clears the dirty set on both sides, so the rendered stats
+  // (including dirty_sessions) agree exactly after restore.
+  const CheckpointCapture cap = eng.captureCheckpoint(false);
+  auto restored = Engine::restoreManifestText(cap.text, opt);
+  EXPECT_EQ(restored->tenantStats().at("alpha").admissionRejects, 1u);
+  EXPECT_EQ(restored->statsJson(), eng.statsJson());
+}
+
+TEST(Engine, StatsTextRendersTenantLines) {
+  Engine eng;
+  pumpAll(eng, {"OPEN t0 s0 2"});
+  auto out = pumpAll(eng, {"STATS text"});
+  ASSERT_TRUE(anyStartsWith(out, "STATS gpdd stats"));
+  EXPECT_NE(out[0].find("tenant t0 "), std::string::npos);
+  out = pumpAll(eng, {"STATS sideways"});
+  EXPECT_TRUE(anyStartsWith(out, "ERR bad-argument"));
+  out = pumpAll(eng, {"STATS json"});
+  EXPECT_TRUE(anyStartsWith(out, "STATS {"));
+}
+
+TEST(Engine, LastSyncTokenPersistsAcrossManifest) {
+  Engine eng;
+  pumpAll(eng, {"OPEN t0 s0 2", "SYNC barrier-7"});
+  EXPECT_EQ(eng.lastSyncToken(), "barrier-7");
+  std::ostringstream m;
+  eng.writeManifest(m);
+  std::istringstream in(m.str());
+  auto restored = Engine::restoreManifest(in, {});
+  EXPECT_EQ(restored->lastSyncToken(), "barrier-7");
+  EXPECT_NE(restored->statsJson().find("\"last_sync\":\"barrier-7\""),
+            std::string::npos);
 }
 
 TEST(Engine, PoolAndSequentialPumpsAreBitIdentical) {

@@ -15,101 +15,13 @@
 #include "service/engine.h"
 #include "util/rng.h"
 
+#include "workload_gen.h"
+
 namespace gpd::service {
 namespace {
 
-using Batch = std::vector<std::string>;
-
-// A seeded mini-workload in the gpdd protocol: several sessions with
-// monotone own-clock components (the one invariant honest clients keep),
-// adjacent reorderings to open gaps, EVB batches, stray commands for
-// sessions that never opened, TICKs to run retry timers, ENDs, QUERYs, and
-// a mix of closed and left-open sessions so the final manifest is non-empty.
-std::vector<Batch> makeWorkload(std::uint64_t seed) {
-  Rng rng(seed);
-  const int nSessions = 3 + static_cast<int>(rng.index(4));
-  std::vector<std::vector<std::string>> perSession(
-      static_cast<std::size_t>(nSessions));
-  for (int i = 0; i < nSessions; ++i) {
-    const std::string ts = "t" + std::to_string(rng.index(3)) + " s" +
-                           std::to_string(i);
-    const int n = 2 + static_cast<int>(rng.index(2));
-    const int events = 2 + static_cast<int>(rng.index(5));
-    auto& ops = perSession[static_cast<std::size_t>(i)];
-    std::string open = "OPEN " + ts + " " + std::to_string(n);
-    if (rng.chance(0.5)) open += " prio " + std::to_string(rng.index(4));
-    ops.push_back(open);
-    const bool evb = rng.chance(0.3);
-    for (int p = 0; p < n; ++p) {
-      if (evb && p == 0) {
-        std::ostringstream os;
-        os << "EVB " << ts << " 0 0 " << events;
-        for (int e = 0; e < events; ++e) {
-          os << '\n';
-          for (int q = 0; q < n; ++q) {
-            os << (q == 0 ? e + 1 : static_cast<int>(rng.index(
-                                        static_cast<std::size_t>(events) + 2)))
-               << (q + 1 < n ? " " : "");
-          }
-        }
-        ops.push_back(os.str());
-        continue;
-      }
-      for (int e = 0; e < events; ++e) {
-        std::ostringstream os;
-        os << "EV " << ts << ' ' << p << ' ' << e;
-        for (int q = 0; q < n; ++q) {
-          os << ' '
-             << (q == p ? e + 1
-                        : static_cast<int>(
-                              rng.index(static_cast<std::size_t>(events) + 2)));
-        }
-        ops.push_back(os.str());
-      }
-    }
-    // Delay some notifications behind their successors: gaps open, NACKs
-    // fire once the TICKs below run the retry timer, the late arrival heals.
-    for (std::size_t k = 1; k + 1 < ops.size(); ++k) {
-      if (rng.chance(0.25)) std::swap(ops[k], ops[k + 1]);
-    }
-    if (rng.chance(0.15)) ops.push_back("EV t0 ghost" + std::to_string(i) +
-                                        " 0 0 1 1");  // unknown-session ERR
-    ops.push_back("TICK " + ts + " " + std::to_string(4 + rng.index(12)));
-    for (int p = 0; p < n; ++p) {
-      ops.push_back("END " + ts + " " + std::to_string(p) + " " +
-                    std::to_string(events));
-    }
-    ops.push_back("TICK " + ts + " 8");
-    if (rng.chance(0.5)) ops.push_back("QUERY " + ts);
-    if (rng.chance(0.7)) ops.push_back("CLOSE " + ts);
-  }
-
-  // Interleave the sessions' command streams, then split at random batch
-  // boundaries (a batch = one pump = one possible crash point).
-  std::vector<std::string> flat;
-  std::vector<std::size_t> cursor(static_cast<std::size_t>(nSessions), 0);
-  std::vector<int> live;
-  for (int i = 0; i < nSessions; ++i) live.push_back(i);
-  while (!live.empty()) {
-    const std::size_t pick = rng.index(live.size());
-    const auto s = static_cast<std::size_t>(live[pick]);
-    const std::size_t take = 1 + rng.index(3);
-    for (std::size_t k = 0; k < take && cursor[s] < perSession[s].size(); ++k) {
-      flat.push_back(perSession[s][cursor[s]++]);
-    }
-    if (cursor[s] == perSession[s].size()) {
-      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
-    }
-  }
-  const std::size_t nBatches = 4 + rng.index(4);
-  std::vector<Batch> batches(nBatches);
-  for (std::size_t k = 0; k < flat.size(); ++k) {
-    batches[std::min(nBatches - 1, k * nBatches / std::max<std::size_t>(
-                                                      1, flat.size()))]
-        .push_back(std::move(flat[k]));
-  }
-  return batches;
-}
+// Workload and per-seed option generation live in workload_gen.h, shared
+// with the delta-manifest / replication property suite.
 
 struct RunResult {
   std::string transcript;
@@ -142,26 +54,6 @@ RunResult run(const std::vector<Batch>& batches, int cutAt,
   eng->writeManifest(m);
   r.manifest = m.str();
   return r;
-}
-
-std::size_t countOccurrences(const std::string& hay, const std::string& pat) {
-  std::size_t n = 0;
-  for (std::size_t at = hay.find(pat); at != std::string::npos;
-       at = hay.find(pat, at + pat.size())) {
-    ++n;
-  }
-  return n;
-}
-
-EngineOptions optionsForSeed(std::uint64_t seed) {
-  EngineOptions opt;
-  opt.shards = 4;
-  opt.session.retryTimeout = 4;
-  opt.session.maxRetries = 2;
-  if (seed % 2 == 0) opt.sessionMaxCombinations = 12;
-  if (seed % 3 == 0) opt.memWatermarkBytes = 9000;
-  if (seed % 5 == 0) opt.idleTimeoutPumps = 3;
-  return opt;
 }
 
 TEST(RecoveryProperty, CutRestoreResumeIsByteIdentical) {

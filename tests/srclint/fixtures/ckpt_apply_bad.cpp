@@ -1,0 +1,23 @@
+// srclint fixture — gpd-checkpoint-symmetry MUST fire here via the
+// capture*/apply* pairing (the replication-record shape): captureState
+// emits the "cursor" key but the paired applyState never reads it, so a
+// replica applying this record silently drops the field.
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace fx {
+
+void captureState(std::ostream& os, int epoch, int cursor) {
+  os << "epoch " << epoch << "\n";
+  os << "cursor " << cursor << "\n";
+}
+
+void applyState(std::istream& is, int& epoch) {
+  std::string key;
+  while (is >> key) {
+    if (key == "epoch") is >> epoch;
+  }
+}
+
+}  // namespace fx

@@ -1,0 +1,22 @@
+// srclint fixture — silent twin of ckpt_apply_bad.cpp: every key
+// captureState emits is matched back in the paired applyState.
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace fx {
+
+void captureState(std::ostream& os, int epoch, int cursor) {
+  os << "epoch " << epoch << "\n";
+  os << "cursor " << cursor << "\n";
+}
+
+void applyState(std::istream& is, int& epoch, int& cursor) {
+  std::string key;
+  while (is >> key) {
+    if (key == "epoch") is >> epoch;
+    if (key == "cursor") is >> cursor;
+  }
+}
+
+}  // namespace fx

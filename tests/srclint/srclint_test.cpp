@@ -64,6 +64,7 @@ const CheckFixture kCheckFixtures[] = {
     {"gpd-span-raii", "span_bad.cpp", "span_good.cpp"},
     {"gpd-pool-capture", "pool_bad.cpp", "pool_good.cpp"},
     {"gpd-checkpoint-symmetry", "ckpt_bad.cpp", "ckpt_good.cpp"},
+    {"gpd-checkpoint-symmetry", "ckpt_apply_bad.cpp", "ckpt_apply_good.cpp"},
 };
 
 TEST(SrclintChecks, EveryCheckFiresOnItsBadFixture) {

@@ -31,26 +31,44 @@
 //                       per-session MonitorSession/monitor options
 //
 // Robustness flags:
-//   --checkpoint FILE   whole-service manifest path; written atomically
-//                       (temp + rename) on every CHECKPOINT command and
-//                       every --checkpoint-every N pumps, and once more on
+//   --checkpoint FILE   manifest chain head; every CHECKPOINT command and
+//                       every --checkpoint-every N pumps captures a
+//                       checkpoint through the ManifestLog (full manifest
+//                       at FILE, deltas beside it), plus one final full on
 //                       graceful shutdown
 //   --checkpoint-every N  periodic checkpoint cadence, in pumps
-//   --recover           restore from --checkpoint FILE before serving; a
-//                       missing or corrupt manifest is an InputError
+//   --full-every N      every N-th checkpoint is a full manifest; the ones
+//                       between are deltas holding only dirtied sessions
+//                       (default 1 = always full)
+//   --recover           restore from the --checkpoint chain (full manifest
+//                       plus its deltas, in order) before serving; a
+//                       missing or corrupt link is an InputError
 //   --stats-dump FILE   atomically rewrite FILE with one JSON object
 //                       (engine stats + the gpd::obs registry) every
 //                       --stats-every N pumps (default 200)
 //   --strict-proto      any discarded byte / truncated frame is fatal
 //
-// SIGTERM/SIGINT drain gracefully: every open session is settled, its final
-// VERDICT frame is flushed, a final checkpoint is written, exit 0. SIGKILL
-// is the crash the manifest exists for: restart with --recover and the
-// service resumes bit-identically from the last checkpoint.
+// High availability (service/replica.h):
+//   --replication-socket PATH   leader: accept one hot-standby follower
+//                       here and stream it a snapshot plus every pump
+//                       (commands + checkpoint records) before clients see
+//                       the pump's responses
+//   --follow PATH       follower: consume the leader's stream at PATH,
+//                       replaying every pump into a local engine; when the
+//                       stream dies (EOF or silence past the deadline),
+//                       promote: emit PROMOTED, the unflushed response
+//                       frames, and RESUME <token> on stdout, then serve
+//   --failover-after-ms MS      follower's silence deadline (default 2000)
+//
+// SIGTERM/SIGINT drain gracefully: pending decoded frames are executed,
+// every open session is settled, the final manifest is written, and only
+// then are the VERDICT frames flushed and the fds closed (durability before
+// acknowledgment, even on the way out), exit 0. SIGKILL is the crash the
+// manifest chain and the follower exist for.
 //
 // Exit code: 0 = clean shutdown/drain, 1 = bad input (flags, bind failure,
-// corrupt recovery manifest, strict-mode protocol violation), 2 = internal
-// failure (a library invariant broke).
+// corrupt recovery manifest, replication divergence, strict-mode protocol
+// violation), 2 = internal failure (a library invariant broke).
 #include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -60,7 +78,6 @@
 #include <cerrno>
 #include <csignal>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -73,7 +90,11 @@
 #include "par/pool.h"
 #include "service/engine.h"
 #include "service/frame.h"
+#include "service/manifest_log.h"
+#include "service/replica.h"
 #include "util/check.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
 #include "version.h"
 
 namespace {
@@ -93,7 +114,10 @@ int usage() {
       << "            [--window W] [--retries K] [--timeout T]\n"
       << "            [--queue-limit Q] [--degrade-on-overflow]\n"
       << "            [--max-comparisons-per-report C]\n"
-      << "            [--checkpoint FILE] [--checkpoint-every N] [--recover]\n"
+      << "            [--checkpoint FILE] [--checkpoint-every N]\n"
+      << "            [--full-every N] [--recover]\n"
+      << "            [--replication-socket PATH]\n"
+      << "            [--follow PATH] [--failover-after-ms MS]\n"
       << "            [--stats-dump FILE] [--stats-every N] [--strict-proto]\n"
       << "       gpdd --version\n";
   return 1;
@@ -117,10 +141,14 @@ struct Options {
   int threads = par::envThreads();
   std::string checkpointPath;
   std::uint64_t checkpointEvery = 0;
+  std::uint64_t fullEvery = 1;
   bool recover = false;
   std::string statsDumpPath;
   std::uint64_t statsEvery = 200;
   bool strictProto = false;
+  std::string replicationSocket;
+  std::string followPath;
+  std::uint64_t failoverAfterMs = 2000;
   service::EngineOptions engine;
 };
 
@@ -196,8 +224,21 @@ Options parseFlags(const std::vector<std::string>& args) {
           parseInt(need(++i), "--checkpoint-every"));
       GPD_INPUT_CHECK(o.checkpointEvery >= 1,
                       "--checkpoint-every must be >= 1");
+    } else if (a == "--full-every") {
+      o.fullEvery =
+          static_cast<std::uint64_t>(parseInt(need(++i), "--full-every"));
+      GPD_INPUT_CHECK(o.fullEvery >= 1, "--full-every must be >= 1");
     } else if (a == "--recover") {
       o.recover = true;
+    } else if (a == "--replication-socket") {
+      o.replicationSocket = need(++i);
+    } else if (a == "--follow") {
+      o.followPath = need(++i);
+    } else if (a == "--failover-after-ms") {
+      o.failoverAfterMs = static_cast<std::uint64_t>(
+          parseInt(need(++i), "--failover-after-ms"));
+      GPD_INPUT_CHECK(o.failoverAfterMs >= 1,
+                      "--failover-after-ms must be >= 1");
     } else if (a == "--stats-dump") {
       o.statsDumpPath = need(++i);
     } else if (a == "--stats-every") {
@@ -215,10 +256,17 @@ Options parseFlags(const std::vector<std::string>& args) {
                   "--recover needs --checkpoint FILE");
   GPD_INPUT_CHECK(o.checkpointEvery == 0 || !o.checkpointPath.empty(),
                   "--checkpoint-every needs --checkpoint FILE");
+  GPD_INPUT_CHECK(o.followPath.empty() || !o.recover,
+                  "--follow gets its state from the leader, not --recover");
+  GPD_INPUT_CHECK(o.followPath.empty() || o.replicationSocket.empty(),
+                  "--follow and --replication-socket are mutually exclusive");
   return o;
 }
 
-// One transport endpoint: a connected fd plus its incremental frame decoder.
+// One transport endpoint. Keyed by a monotonically assigned origin id, not
+// by fd: the kernel reuses fds the moment a connection closes, and keying
+// by fd would route a dead client's late responses to whoever inherited
+// its number.
 struct Conn {
   int readFd = -1;
   int writeFd = -1;
@@ -244,12 +292,28 @@ void writeAll(int fd, const std::string& bytes) {
   }
 }
 
-void writeManifestAtomic(const service::Engine& engine,
-                         const std::string& path) {
-  std::ostringstream os;
-  engine.writeManifest(os);
-  io::atomicWriteFile(path, os.str());
-  GPD_OBS_COUNTER_ADD("gpdd_checkpoints", 1);
+// Bounded write to a nonblocking fd: polls for writability between chunks
+// and gives up after `timeoutMs` of no progress. Returns false when the
+// peer is gone or wedged — the replication path uses this so a stalled
+// follower can never stall the leader's clients.
+bool writeAllTimed(int fd, const std::string& bytes, int timeoutMs) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd p{fd, POLLOUT, 0};
+      const int r = ::poll(&p, 1, timeoutMs);
+      if (r <= 0 || (p.revents & (POLLERR | POLLHUP)) != 0) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
 }
 
 void dumpStats(const service::Engine& engine, const std::string& path) {
@@ -290,23 +354,35 @@ int listenOn(const std::string& path) {
   return fd;
 }
 
-int runService(const Options& o) {
-  std::unique_ptr<service::Engine> engine;
-  if (o.recover) {
-    std::ifstream is(o.checkpointPath);
-    GPD_INPUT_CHECK(is.is_open(), "cannot open recovery manifest '"
-                                      << o.checkpointPath << "'");
-    engine = service::Engine::restoreManifest(is, o.engine);
-    std::cerr << "gpdd: recovered " << engine->openSessions()
-              << " sessions from '" << o.checkpointPath << "'\n";
-  } else {
-    engine = std::make_unique<service::Engine>(o.engine);
+int connectTo(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return -1;
   }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// The serve loop shared by a fresh leader, a recovered leader, and a
+// promoted follower. `log` (optional) owns the on-disk checkpoint chain;
+// `prelude` is raw frame bytes flushed to stdout before serving (the
+// promotion announcement).
+int serveLoop(const Options& o, std::unique_ptr<service::Engine> engine,
+              service::ManifestLog* log, const std::string& prelude) {
   std::unique_ptr<par::Pool> pool;
   if (o.threads > 1) pool = std::make_unique<par::Pool>(o.threads);
 
   int listenFd = -1;
-  std::map<int, Conn> conns;  // keyed by origin (= read fd)
+  int nextOrigin = 1;
+  std::map<int, Conn> conns;  // keyed by origin
   if (o.socketPath.empty()) {
     // The pipe (or file) feeding stdin is dedicated to this process; make it
     // nonblocking so the drain loop below can never stall mid-chunk.
@@ -316,9 +392,25 @@ int runService(const Options& o) {
     listenFd = listenOn(o.socketPath);
   }
 
-  std::signal(SIGTERM, onSignal);
-  std::signal(SIGINT, onSignal);
-  std::signal(SIGPIPE, SIG_IGN);
+  int replListenFd = -1;
+  int followerFd = -1;
+  if (!o.replicationSocket.empty()) replListenFd = listenOn(o.replicationSocket);
+
+  auto dropFollower = [&]() {
+    if (followerFd >= 0) {
+      ::close(followerFd);
+      followerFd = -1;
+      GPD_OBS_COUNTER_ADD("gpdd_follower_drops", 1);
+    }
+  };
+  auto sendToFollower = [&](const std::vector<std::string>& records) {
+    if (followerFd < 0) return;
+    std::string bytes;
+    for (const std::string& rec : records) bytes += service::encodeFrame(rec);
+    if (!writeAllTimed(followerFd, bytes, 5000)) dropFollower();
+  };
+
+  if (!prelude.empty()) writeAll(1, prelude);
 
   std::uint64_t pumpsSinceCheckpoint = 0;
   std::uint64_t pumpsSinceStats = 0;
@@ -327,12 +419,13 @@ int runService(const Options& o) {
     // ---- Gather readable endpoints ----
     std::vector<pollfd> fds;
     if (listenFd >= 0) fds.push_back({listenFd, POLLIN, 0});
+    if (replListenFd >= 0) fds.push_back({replListenFd, POLLIN, 0});
     for (auto& [origin, conn] : conns) {
       if (!conn.eof) fds.push_back({conn.readFd, POLLIN, 0});
     }
     const bool stdioDone =
         o.socketPath.empty() && (conns.empty() || conns.begin()->second.eof);
-    if (fds.empty() && !stdioDone && listenFd < 0) break;
+    if (fds.empty() && !stdioDone && listenFd < 0 && replListenFd < 0) break;
     if (!fds.empty()) {
       const int r = ::poll(fds.data(), fds.size(), 10);
       if (r < 0 && errno != EINTR) break;
@@ -342,10 +435,37 @@ int runService(const Options& o) {
         const int cfd = ::accept(listenFd, nullptr, nullptr);
         if (cfd < 0) break;
         setNonBlocking(cfd);
-        conns[cfd] = Conn{cfd, cfd, {}, false, 0};
+        conns[nextOrigin++] = Conn{cfd, cfd, {}, false, 0};
+      }
+    }
+    if (replListenFd >= 0) {
+      for (;;) {
+        const int cfd = ::accept(replListenFd, nullptr, nullptr);
+        if (cfd < 0) break;
+        dropFollower();  // a new follower replaces the old one
+        setNonBlocking(cfd);
+        followerFd = cfd;
+        // Seed the replica from a forced-full capture taken through the
+        // log, so the disk chain and the replication stream share one
+        // parent from here on.
+        const service::CheckpointCapture snap =
+            log ? log->store(*engine, /*forceFull=*/true)
+                : engine->captureCheckpoint(/*preferDelta=*/false);
+        if (log) pumpsSinceCheckpoint = 0;
+        std::vector<std::string> records;
+        records.push_back(service::captureHelloRecord());
+        for (std::string& rec : service::captureSnapshotRecord(snap)) {
+          records.push_back(std::move(rec));
+        }
+        sendToFollower(records);
+        if (followerFd >= 0) {
+          std::cerr << "gpdd: follower attached (snapshot epoch "
+                    << snap.epoch << ")\n";
+        }
       }
     }
     std::vector<int> dead;
+    std::vector<service::ReplicatedCmd> batch;
     for (auto& [origin, conn] : conns) {
       if (conn.eof) continue;
       // Nonblocking reads for sockets; the stdio fd blocks only while poll
@@ -366,7 +486,7 @@ int runService(const Options& o) {
         break;
       }
       while (auto payload = conn.decoder.pop()) {
-        engine->submit(std::move(*payload), origin);
+        batch.push_back({origin, std::move(*payload)});
       }
       if (conn.decoder.bytesDiscarded() > conn.reportedDiscarded) {
         GPD_OBS_COUNTER_ADD("gpdd_bytes_discarded",
@@ -388,7 +508,18 @@ int runService(const Options& o) {
       conns.erase(origin);
     }
 
-    // ---- One pump ----
+    // ---- Replicate, then execute ----
+    // The follower receives this pump's commands before the engine runs
+    // them — durability (on the standby) before acknowledgment, the same
+    // contract the on-disk manifest keeps. Every pump is sent, including
+    // empty ones: idle sweeps are pump-indexed state changes too, and the
+    // steady record stream doubles as the leader's heartbeat.
+    if (followerFd >= 0) {
+      sendToFollower(service::capturePumpRecord(engine->stats().pumps, batch));
+    }
+    for (service::ReplicatedCmd& cmd : batch) {
+      engine->submit(std::move(cmd.payload), cmd.origin);
+    }
     std::vector<service::Response> out;
     engine->pump(out, pool.get());
 
@@ -401,10 +532,13 @@ int runService(const Options& o) {
     ++pumpsSinceCheckpoint;
     ++pumpsSinceStats;
     const bool requested = engine->consumeCheckpointRequest();
-    if (!o.checkpointPath.empty() &&
+    if (log != nullptr &&
         (requested || (o.checkpointEvery != 0 &&
                        pumpsSinceCheckpoint >= o.checkpointEvery))) {
-      writeManifestAtomic(*engine, o.checkpointPath);
+      const service::CheckpointCapture cap = log->store(*engine);
+      if (followerFd >= 0) {
+        sendToFollower({service::captureCkptRecord(engine->stats().pumps, cap)});
+      }
       pumpsSinceCheckpoint = 0;
     }
     if (!o.statsDumpPath.empty() && pumpsSinceStats >= o.statsEvery) {
@@ -424,14 +558,41 @@ int runService(const Options& o) {
         writeAll(1, bytes);
       }
     }
+    // Everything up to this pump is acknowledged to clients; the follower
+    // can retire its retained copies.
+    if (followerFd >= 0) {
+      sendToFollower({service::captureFlushRecord(engine->stats().pumps)});
+    }
 
     // Pipe mode ends when stdin is exhausted and every frame was answered.
     if (stdioDone && !engine->shutdownRequested()) break;
   }
 
   // ---- Graceful drain ----
+  // First settle the frames that were decoded but not yet executed when the
+  // signal landed: replicate and pump them like any other batch, then drain
+  // the engine. The final manifest is written *before* the responses are
+  // flushed — a drain is still durability before acknowledgment.
+  std::vector<service::ReplicatedCmd> finalBatch;
+  for (auto& [origin, conn] : conns) {
+    while (auto payload = conn.decoder.pop()) {
+      finalBatch.push_back({origin, std::move(*payload)});
+    }
+  }
   std::vector<service::Response> out;
+  if (!finalBatch.empty()) {
+    if (followerFd >= 0) {
+      sendToFollower(
+          service::capturePumpRecord(engine->stats().pumps, finalBatch));
+    }
+    for (service::ReplicatedCmd& cmd : finalBatch) {
+      engine->submit(std::move(cmd.payload), cmd.origin);
+    }
+    engine->pump(out, pool.get());
+  }
   engine->drain(out);
+  if (log != nullptr) log->store(*engine, /*forceFull=*/true);
+  if (!o.statsDumpPath.empty()) dumpStats(*engine, o.statsDumpPath);
   std::map<int, std::string> byOrigin;
   for (service::Response& r : out) {
     byOrigin[r.origin] += service::encodeFrame(r.payload);
@@ -444,18 +605,133 @@ int runService(const Options& o) {
       writeAll(1, bytes);
     }
   }
-  if (!o.checkpointPath.empty()) {
-    writeManifestAtomic(*engine, o.checkpointPath);
-  }
-  if (!o.statsDumpPath.empty()) dumpStats(*engine, o.statsDumpPath);
   for (auto& [origin, conn] : conns) {
     if (origin != 0) ::close(conn.readFd);
+  }
+  dropFollower();
+  if (replListenFd >= 0) {
+    ::close(replListenFd);
+    ::unlink(o.replicationSocket.c_str());
   }
   if (listenFd >= 0) {
     ::close(listenFd);
     ::unlink(o.socketPath.c_str());
   }
   return 0;
+}
+
+// Hot-standby mode: replay the leader's stream until it dies, then promote
+// and serve in its place.
+int runFollower(const Options& o) {
+  std::unique_ptr<service::ManifestLog> log;
+  if (!o.checkpointPath.empty()) {
+    log = std::make_unique<service::ManifestLog>(o.checkpointPath,
+                                                 o.fullEvery);
+  }
+  service::ReplicationFollower follower(
+      o.engine, log ? [&log](const service::CheckpointCapture& cap) {
+        log->persist(cap);
+      } : std::function<void(const service::CheckpointCapture&)>{});
+
+  // Connect with jittered exponential backoff: a follower typically starts
+  // while the leader is still binding its socket.
+  Stopwatch connecting;
+  Rng rng;
+  std::uint64_t backoffMs = 10;
+  int fd = -1;
+  while (gStop == 0) {
+    fd = connectTo(o.followPath);
+    if (fd >= 0) break;
+    GPD_INPUT_CHECK(
+        connecting.elapsedMillis() < static_cast<double>(o.failoverAfterMs),
+        "cannot reach leader at '" << o.followPath
+                                   << "' within the failover deadline");
+    const auto jittered = static_cast<int>(
+        rng.uniform(static_cast<std::int64_t>(backoffMs / 2),
+                    static_cast<std::int64_t>(backoffMs)));
+    ::poll(nullptr, 0, jittered);
+    backoffMs = backoffMs * 2 < 200 ? backoffMs * 2 : 200;
+  }
+  if (gStop != 0) {
+    if (fd >= 0) ::close(fd);
+    return 0;
+  }
+  setNonBlocking(fd);
+
+  service::FrameDecoder decoder;
+  Stopwatch silence;
+  char buf[1 << 16];
+  bool leaderGone = false;
+  while (gStop == 0 && !leaderGone) {
+    pollfd p{fd, POLLIN, 0};
+    const int r = ::poll(&p, 1, 10);
+    if (r < 0 && errno != EINTR) break;
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n > 0) {
+        decoder.feed({buf, static_cast<std::size_t>(n)});
+        silence.reset();
+        if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+        continue;
+      }
+      if (n == 0) {
+        leaderGone = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      leaderGone = true;
+      break;
+    }
+    while (auto payload = decoder.pop()) {
+      follower.consume(*payload);
+    }
+    if (silence.elapsedMillis() > static_cast<double>(o.failoverAfterMs)) {
+      leaderGone = true;  // heartbeat (the pump stream) went quiet
+    }
+  }
+  ::close(fd);
+  if (gStop != 0) return 0;  // terminated while on standby: nothing to save
+
+  // ---- Promote ----
+  service::ReplicationFollower::Promotion promo = follower.promote();
+  GPD_OBS_COUNTER_ADD("gpdd_promotions", 1);
+  std::cerr << "gpdd: leader gone; promoted at pump "
+            << promo.engine->stats().pumps << " (replayed " << promo.pumps
+            << " pumps, epoch " << promo.engine->checkpointEpoch() << ")\n";
+  std::string prelude = service::encodeFrame(
+      "PROMOTED " + std::to_string(promo.engine->stats().pumps) + " " +
+      std::to_string(promo.engine->checkpointEpoch()));
+  for (const service::Response& r : promo.retained) {
+    prelude += service::encodeFrame(r.payload);
+  }
+  prelude += service::encodeFrame(
+      "RESUME " + (promo.lastSyncToken.empty() ? std::string("-")
+                                               : promo.lastSyncToken));
+  return serveLoop(o, std::move(promo.engine), log.get(), prelude);
+}
+
+int runService(const Options& o) {
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+  if (!o.followPath.empty()) return runFollower(o);
+
+  std::unique_ptr<service::ManifestLog> log;
+  if (!o.checkpointPath.empty()) {
+    log = std::make_unique<service::ManifestLog>(o.checkpointPath,
+                                                 o.fullEvery);
+  }
+  std::unique_ptr<service::Engine> engine;
+  if (o.recover) {
+    engine = log->recover(o.engine);
+    std::cerr << "gpdd: recovered " << engine->openSessions()
+              << " sessions from '" << o.checkpointPath << "' (+"
+              << log->deltasSinceFull() << " deltas, epoch "
+              << engine->checkpointEpoch() << ")\n";
+  } else {
+    engine = std::make_unique<service::Engine>(o.engine);
+  }
+  return serveLoop(o, std::move(engine), log.get(), {});
 }
 
 }  // namespace

@@ -428,10 +428,10 @@ std::vector<KeyUse> keysIn(const FileModel& file, const TokRange& range) {
   return out;
 }
 
-// save*/write* functions pair with restore*/read*/load* of the same suffix
-// in the same file.
+// save*/write*/capture* functions pair with restore*/read*/load*/apply* of
+// the same suffix in the same file.
 const FnDef* pairedReader(const FileModel& file, const std::string& suffix) {
-  for (const char* verb : {"read", "restore", "load"}) {
+  for (const char* verb : {"read", "restore", "load", "apply"}) {
     const std::string want = verb + suffix;
     for (const FnDef& fn : file.functions) {
       if (fn.name == want) return &fn;
@@ -449,6 +449,8 @@ std::vector<Finding> checkCheckpointSymmetry(const FileModel& file,
       suffix = writer.name.substr(5);
     } else if (writer.name.compare(0, 4, "save") == 0) {
       suffix = writer.name.substr(4);
+    } else if (writer.name.compare(0, 7, "capture") == 0) {
+      suffix = writer.name.substr(7);
     } else {
       continue;
     }
