@@ -25,7 +25,11 @@ namespace {
 using namespace gpd;
 
 std::string tenantSession(int i) {
-  return "t" + std::to_string(i % 16) + " s" + std::to_string(i);
+  std::string id = "t";
+  id += std::to_string(i % 16);
+  id += " s";
+  id += std::to_string(i);
+  return id;
 }
 
 // Opens `sessions` 3-process sessions, each with one parked notification so

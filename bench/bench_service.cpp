@@ -27,8 +27,10 @@ std::vector<std::string> makeWave(int sessions, int processes, int events) {
   cmds.reserve(static_cast<std::size_t>(sessions) *
                (static_cast<std::size_t>(processes) * (events + 1) + 2));
   for (int i = 0; i < sessions; ++i) {
-    const std::string ts =
-        "t" + std::to_string(i % 16) + " s" + std::to_string(i);
+    std::string ts = "t";
+    ts += std::to_string(i % 16);
+    ts += " s";
+    ts += std::to_string(i);
     cmds.push_back("OPEN " + ts + " " + std::to_string(processes));
     for (int p = 0; p < processes; ++p) {
       for (int e = 0; e < events; ++e) {
@@ -137,8 +139,10 @@ int main() {
     for (const int kSessions : {256, 1024, 4096}) {
       service::Engine eng{service::EngineOptions{}};
       for (int i = 0; i < kSessions; ++i) {
-        const std::string ts =
-            "t" + std::to_string(i % 16) + " s" + std::to_string(i);
+        std::string ts = "t";
+        ts += std::to_string(i % 16);
+        ts += " s";
+        ts += std::to_string(i);
         eng.submit("OPEN " + ts + " 3");
         // One parked notification (gap at seq 0) keeps the reorder buffer
         // non-empty, so the manifest carries real per-session state.

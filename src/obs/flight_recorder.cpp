@@ -1,0 +1,204 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace gpd {
+namespace obs {
+
+namespace {
+
+// Header line, NUL-padded to kHeadOffset; the binary head counter follows.
+constexpr char kMagic[] = "gpdfr1";
+
+std::atomic<std::uint64_t>* headPtr(char* base) {
+  return reinterpret_cast<std::atomic<std::uint64_t>*>(
+      base + FlightRecorder::kHeadOffset);
+}
+
+// Async-signal-safe uint64 → decimal. Returns the digit count.
+std::size_t formatUint(std::uint64_t v, char* out) {
+  char tmp[24];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (std::size_t i = 0; i < n; ++i) out[i] = tmp[n - 1 - i];
+  return n;
+}
+
+bool writeFully(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+FlightRecorder::~FlightRecorder() {
+  if (base_ != nullptr) {
+    ::munmap(base_, (1 + static_cast<std::size_t>(slots_)) * kSlotBytes);
+  }
+}
+
+void FlightRecorder::openRing(const std::string& path, std::uint32_t slots) {
+  GPD_INPUT_CHECK(slots >= 1, "flight recorder needs at least one slot");
+  GPD_INPUT_CHECK(base_ == nullptr, "flight recorder already armed");
+  const std::size_t bytes = (1 + static_cast<std::size_t>(slots)) * kSlotBytes;
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw InputError("flight recorder: cannot create " + path);
+  }
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    ::close(fd);
+    throw InputError("flight recorder: cannot size " + path);
+  }
+  void* map = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED) {
+    throw InputError("flight recorder: cannot map " + path);
+  }
+  base_ = static_cast<char*>(map);
+  slots_ = slots;
+  path_ = path;
+  std::memset(base_, 0, bytes);
+  std::snprintf(base_, kHeadOffset, "%s slots=%u slot=%zu\n", kMagic, slots,
+                kSlotBytes);
+  headPtr(base_)->store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  if (base_ == nullptr) return 0;
+  return headPtr(base_)->load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::record(const char* kind, const char* fmt, ...) {
+  if (base_ == nullptr) return;
+  const std::uint64_t index =
+      headPtr(base_)->fetch_add(1, std::memory_order_relaxed);
+  char* slot = base_ + (1 + index % slots_) * kSlotBytes;
+  char line[kSlotBytes];
+  int n = std::snprintf(line, sizeof(line), "#%llu t=%llu %s ",
+                        static_cast<unsigned long long>(index),
+                        static_cast<unsigned long long>(steadyNowNanos()),
+                        kind);
+  if (n < 0) return;
+  if (static_cast<std::size_t>(n) < sizeof(line)) {
+    std::va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(line + n, sizeof(line) - static_cast<std::size_t>(n), fmt,
+                   args);
+    va_end(args);
+  }
+  line[kSlotBytes - 1] = '\0';
+  // One memcpy of the whole slot: a crash tears at most this slot, and the
+  // leading index digit mismatch lets load() detect the tear.
+  std::memcpy(slot, line, kSlotBytes);
+}
+
+bool FlightRecorder::dumpToFd(int fd, const char* reason) const {
+  if (base_ == nullptr) return true;
+  char header[256];
+  std::size_t n = 0;
+  const char* prefix = "gpdfr dump reason=";
+  for (const char* p = prefix; *p != '\0'; ++p) header[n++] = *p;
+  for (const char* p = reason; *p != '\0' && n < 200; ++p) header[n++] = *p;
+  const char* mid = " recorded=";
+  for (const char* p = mid; *p != '\0'; ++p) header[n++] = *p;
+  const std::uint64_t head = headPtr(base_)->load(std::memory_order_relaxed);
+  n += formatUint(head, header + n);
+  header[n++] = '\n';
+  if (!writeFully(fd, header, n)) return false;
+
+  const std::uint64_t live = head < slots_ ? head : slots_;
+  for (std::uint64_t i = 0; i < live; ++i) {
+    const std::uint64_t index = head - live + i;  // oldest → newest
+    const char* slot = base_ + (1 + index % slots_) * kSlotBytes;
+    std::size_t len = 0;
+    while (len < kSlotBytes && slot[len] != '\0') ++len;
+    if (len == 0) continue;
+    if (!writeFully(fd, slot, len)) return false;
+    if (!writeFully(fd, "\n", 1)) return false;
+  }
+  return writeFully(fd, "gpdfr end\n", 10);
+}
+
+bool FlightRecorder::dumpNow(const char* path, const char* reason) const {
+  if (base_ == nullptr) return true;
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const bool ok = dumpToFd(fd, reason);
+  ::close(fd);
+  return ok;
+}
+
+FlightRecorder::Dump FlightRecorder::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw InputError("flight recorder: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string data = buf.str();
+  if (data.size() < kSlotBytes ||
+      data.compare(0, std::strlen(kMagic), kMagic) != 0) {
+    throw InputError("flight recorder: bad magic in " + path);
+  }
+  unsigned slots = 0;
+  unsigned slotBytes = 0;
+  if (std::sscanf(data.c_str(), "gpdfr1 slots=%u slot=%u", &slots,
+                  &slotBytes) != 2 ||
+      slots == 0 || slotBytes != kSlotBytes) {
+    throw InputError("flight recorder: bad geometry in " + path);
+  }
+  const std::size_t expected =
+      (1 + static_cast<std::size_t>(slots)) * kSlotBytes;
+  if (data.size() != expected) {
+    throw InputError("flight recorder: truncated ring " + path);
+  }
+  Dump dump;
+  dump.slots = slots;
+  std::uint64_t head = 0;
+  std::memcpy(&head, data.data() + kHeadOffset, sizeof(head));
+  dump.recorded = head;
+  for (unsigned i = 0; i < slots; ++i) {
+    const char* slot = data.data() + (1 + static_cast<std::size_t>(i)) *
+                                         kSlotBytes;
+    if (slot[0] != '#') continue;  // empty or torn slot
+    std::size_t len = 0;
+    while (len < kSlotBytes && slot[len] != '\0') ++len;
+    Entry e;
+    e.text.assign(slot, len);
+    char* end = nullptr;
+    e.index = std::strtoull(e.text.c_str() + 1, &end, 10);
+    if (end == e.text.c_str() + 1 || *end != ' ') continue;  // torn
+    dump.entries.push_back(std::move(e));
+  }
+  std::sort(dump.entries.begin(), dump.entries.end(),
+            [](const Entry& a, const Entry& b) { return a.index < b.index; });
+  return dump;
+}
+
+}  // namespace obs
+}  // namespace gpd

@@ -1,0 +1,103 @@
+#ifndef GPD_OBS_FLIGHT_RECORDER_H_
+#define GPD_OBS_FLIGHT_RECORDER_H_
+// Crash flight recorder: a bounded ring of recent service events that
+// survives any way the process can die (DESIGN.md §16).
+//
+// The ring lives in a file mapped MAP_SHARED, so every record() lands in
+// the kernel page cache immediately: after a SIGKILL — which cannot be
+// caught — the ring file still holds the last N events for the chaos
+// harness to validate.  For catchable ends (SIGSEGV/SIGABRT, CheckFailure
+// quarantine, SIGTERM drain) gpdd additionally writes a rendered postmortem
+// via the async-signal-safe dump path.
+//
+// File layout: one header slot plus `slots` fixed-size text slots of
+// kSlotBytes each.  The header carries a magic/geometry line and, at byte
+// offset kHeadOffset, a binary monotonic event counter.  Slot for event i
+// is 1 + i % slots; each slot holds one NUL-padded line
+// "#<i> t=<nanos> <kind> <details>".  A crash can tear at most the one
+// slot being written; load() skips torn slots instead of failing.
+//
+// record() is cheap (fetch_add + vsnprintf into the mapping, no syscalls,
+// no locks) but not async-signal-safe; dumpToFd()/dumpNow() are
+// async-signal-safe (open/write only, hand-rolled formatting).
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpd {
+namespace obs {
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kSlotBytes = 192;
+  static constexpr std::size_t kHeadOffset = 128;
+
+  FlightRecorder() = default;
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Creates (or truncates) the ring file and maps it. Throws InputError
+  // when the file cannot be created/mapped; GPD_INPUT_CHECKs slots >= 1.
+  void openRing(const std::string& path, std::uint32_t slots);
+
+  bool armed() const { return base_ != nullptr; }
+  const std::string& path() const { return path_; }
+  std::uint64_t recorded() const;
+
+  // Appends one event; printf-style details. No-op when not armed.
+  void record(const char* kind, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+  // Async-signal-safe: writes a postmortem (header line with `reason` and
+  // the ring oldest→newest) to an already-open fd. Returns false on any
+  // short write. No-op (true) when not armed.
+  bool dumpToFd(int fd, const char* reason) const;
+
+  // Async-signal-safe: O_CREAT|O_TRUNC `path` and dumpToFd into it.
+  bool dumpNow(const char* path, const char* reason) const;
+
+  // One recovered ring entry and a parsed ring file.
+  struct Entry {
+    std::uint64_t index = 0;
+    std::string text;  // full slot line, "#<i> t=<nanos> <kind> ..."
+  };
+  struct Dump {
+    std::uint64_t recorded = 0;  // header event counter
+    std::uint32_t slots = 0;
+    std::vector<Entry> entries;  // index-ascending; torn slots skipped
+  };
+
+  // Parses a ring file (as left behind by a kill) or rejects it with
+  // InputError (bad magic, bad geometry, size mismatch).
+  static Dump load(const std::string& path);
+
+ private:
+  std::string path_;
+  char* base_ = nullptr;       // mapping of (1 + slots_) * kSlotBytes bytes
+  std::uint32_t slots_ = 0;
+};
+
+}  // namespace obs
+}  // namespace gpd
+
+// Recording compiles out under the obs kill switch; the ring file itself is
+// still created (CLI surface intact) and dumps stay well-formed, they just
+// carry zero events.
+#ifndef GPD_OBS_DISABLED
+#define GPD_FR_RECORD(recorder, kind, ...)             \
+  do {                                                 \
+    if ((recorder).armed()) {                          \
+      (recorder).record(kind, __VA_ARGS__);            \
+    }                                                  \
+  } while (0)
+#else
+#define GPD_FR_RECORD(recorder, kind, ...) \
+  do {                                     \
+    (void)sizeof(recorder);                \
+  } while (0)
+#endif  // GPD_OBS_DISABLED
+
+#endif  // GPD_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,255 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace gpd {
+namespace obs {
+namespace log {
+namespace {
+
+// All mutable logger state lives behind one mutex; emission holds it for the
+// whole render+write so lines from concurrent threads never interleave.
+struct State {
+  std::mutex mutex;
+  Level level = Level::kInfo;
+  Format format = Format::kText;
+  std::ostream* sink = nullptr;  // nullptr → std::cerr
+  std::uint32_t ratePerSec = 50;
+
+  // Per (level, component) token window for rate limiting.
+  struct Window {
+    std::uint64_t startNanos = 0;
+    std::uint32_t emitted = 0;
+    std::uint64_t suppressed = 0;
+  };
+  std::map<std::string, Window> windows;
+};
+
+State& state() {
+  static State* s = new State();  // leaked: loggers outlive static dtors
+  return *s;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Wall-clock timestamp, UTC, "2026-08-08T12:00:00.123Z".  Wall time (not the
+// steady clock) is deliberate: log lines are correlated with external
+// systems.  src/obs is a clock-sanctioned directory (DESIGN.md §14).
+std::string isoNow() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const std::time_t secs = system_clock::to_time_t(now);
+  const auto millis =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  std::tm tm = {};
+  gmtime_r(&secs, &tm);
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(millis));
+  return buf;
+}
+
+}  // namespace
+
+Level parseLevel(const std::string& text) {
+  if (text == "debug") return Level::kDebug;
+  if (text == "info") return Level::kInfo;
+  if (text == "warn") return Level::kWarn;
+  if (text == "error") return Level::kError;
+  throw InputError("unknown log level '" + text +
+                   "' (expected debug|info|warn|error)");
+}
+
+const char* levelName(Level level) {
+  switch (level) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+  }
+  return "info";
+}
+
+void setLevel(Level level) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.level = level;
+}
+
+void setFormat(Format format) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.format = format;
+}
+
+void setSink(std::ostream* sink) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.sink = sink;
+}
+
+void setRateLimitPerSec(std::uint32_t maxPerSec) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.ratePerSec = maxPerSec;
+  s.windows.clear();
+}
+
+Level currentLevel() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.level;
+}
+
+bool enabled(Level level) {
+  return static_cast<int>(level) >= static_cast<int>(currentLevel());
+}
+
+std::ostream& rawStderr() { return std::cerr; }
+
+Event::Event(Level level, const char* component, std::string message)
+    : active_(enabled(level)),
+      level_(level),
+      component_(component),
+      message_(std::move(message)) {}
+
+Event& Event::kv(const char* key, const std::string& value) {
+  if (active_) fields_.push_back({key, value, true});
+  return *this;
+}
+
+Event& Event::kv(const char* key, const char* value) {
+  if (active_) fields_.push_back({key, value, true});
+  return *this;
+}
+
+Event& Event::kv(const char* key, std::int64_t value) {
+  if (active_) fields_.push_back({key, std::to_string(value), false});
+  return *this;
+}
+
+Event& Event::kv(const char* key, std::uint64_t value) {
+  if (active_) fields_.push_back({key, std::to_string(value), false});
+  return *this;
+}
+
+Event& Event::kv(const char* key, int value) {
+  return kv(key, static_cast<std::int64_t>(value));
+}
+
+Event& Event::kv(const char* key, unsigned value) {
+  return kv(key, static_cast<std::uint64_t>(value));
+}
+
+Event& Event::kv(const char* key, double value) {
+  if (active_) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.push_back({key, buf, false});
+  }
+  return *this;
+}
+
+Event::~Event() {
+  if (!active_) return;
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (static_cast<int>(level_) < static_cast<int>(s.level)) return;
+
+  std::uint64_t carried = 0;
+  if (s.ratePerSec > 0) {
+    const std::uint64_t now = steadyNowNanos();
+    State::Window& w =
+        s.windows[std::string(levelName(level_)) + "/" + component_];
+    if (now - w.startNanos >= 1000000000ULL) {
+      carried = w.suppressed;
+      w.startNanos = now;
+      w.emitted = 0;
+      w.suppressed = 0;
+    }
+    if (w.emitted >= s.ratePerSec) {
+      ++w.suppressed;
+      return;
+    }
+    ++w.emitted;
+  }
+
+  std::ostream& out = s.sink ? *s.sink : std::cerr;
+  std::ostringstream line;
+  if (s.format == Format::kJson) {
+    line << "{\"ts\":\"" << isoNow() << "\",\"level\":\"" << levelName(level_)
+         << "\",\"component\":\"" << jsonEscape(component_) << "\",\"msg\":\""
+         << jsonEscape(message_) << "\"";
+    for (const Field& f : fields_) {
+      line << ",\"" << jsonEscape(f.key) << "\":";
+      if (f.quoted) {
+        line << "\"" << jsonEscape(f.value) << "\"";
+      } else {
+        line << f.value;
+      }
+    }
+    if (carried > 0) line << ",\"suppressed\":" << carried;
+    line << "}";
+  } else {
+    line << isoNow() << " " << levelName(level_) << " " << component_ << ": "
+         << message_;
+    for (const Field& f : fields_) {
+      line << " " << f.key << "=" << f.value;
+    }
+    if (carried > 0) line << " suppressed=" << carried;
+  }
+  out << line.str() << "\n";
+  out.flush();
+}
+
+void error(const char* component, const std::string& message) {
+  Event(Level::kError, component, message);
+}
+
+void warn(const char* component, const std::string& message) {
+  Event(Level::kWarn, component, message);
+}
+
+void info(const char* component, const std::string& message) {
+  Event(Level::kInfo, component, message);
+}
+
+void debug(const char* component, const std::string& message) {
+  Event(Level::kDebug, component, message);
+}
+
+}  // namespace log
+}  // namespace obs
+}  // namespace gpd

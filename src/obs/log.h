@@ -1,0 +1,129 @@
+#ifndef GPD_OBS_LOG_H_
+#define GPD_OBS_LOG_H_
+// Structured, leveled logging for the service layer (DESIGN.md §16).
+//
+// The service binaries (gpdd, gpdd_loadgen) used to write interleaved raw
+// lines to stderr; this module replaces them with one thread-safe emitter
+// that renders either human-readable text or JSON lines, filters by level,
+// and rate-limits per (level, component) so a hot failure path cannot flood
+// an operator's terminal.  The srclint check `gpd-log-discipline` enforces
+// that src/service and the service tools route through here.
+//
+// Two tiers mirror the metrics module:
+//   - The free functions (error/warn/info/debug, Event) always compile and
+//     always work, even under GPD_OBS_DISABLED — a kill-switch build must
+//     still be able to report "recovered 12 sessions" or a fatal error.
+//   - The GPD_LOG_* macros are for hot paths (per-pump debug events); under
+//     GPD_OBS_DISABLED they compile to nothing, preserving the <2%
+//     default-on overhead contract without losing operator-facing output.
+//
+// rawStderr() is the single sanctioned escape hatch for genuinely
+// unstructured output (CLI usage text); everything else is an event.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <iosfwd>
+
+namespace gpd {
+namespace obs {
+namespace log {
+
+enum class Level : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// "debug" | "info" | "warn" | "error" → Level; throws InputError on junk.
+Level parseLevel(const std::string& text);
+const char* levelName(Level level);
+
+enum class Format { kText, kJson };
+
+// Process-wide configuration; all setters are thread-safe.
+void setLevel(Level level);       // default kInfo
+void setFormat(Format format);    // default kText
+void setSink(std::ostream* sink); // nullptr restores stderr (the default)
+// At most `maxPerSec` emitted events per (level, component) per second;
+// excess events are dropped and surface as suppressed=N on the next emitted
+// event of that stream. 0 disables the limit. Default 50.
+void setRateLimitPerSec(std::uint32_t maxPerSec);
+Level currentLevel();
+bool enabled(Level level);
+
+// The sanctioned raw-stderr stream for unstructured CLI surface text
+// (usage banners).  Lives here so `std::cerr` appears nowhere else in the
+// service layer and gpd-log-discipline stays a purely syntactic check.
+std::ostream& rawStderr();
+
+// One structured event.  Build, chain kv()s, and it emits on destruction:
+//
+//   log::Event(log::Level::kInfo, "gpdd", "follower attached")
+//       .kv("epoch", epoch).kv("socket", path);
+class Event {
+ public:
+  Event(Level level, const char* component, std::string message);
+  ~Event();
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  Event& kv(const char* key, const std::string& value);
+  Event& kv(const char* key, const char* value);
+  Event& kv(const char* key, std::int64_t value);
+  Event& kv(const char* key, std::uint64_t value);
+  Event& kv(const char* key, int value);
+  Event& kv(const char* key, unsigned value);
+  Event& kv(const char* key, double value);
+
+ private:
+  struct Field {
+    std::string key;
+    std::string value;
+    bool quoted;  // true → string in JSON, false → bare number
+  };
+  bool active_;
+  Level level_;
+  const char* component_;
+  std::string message_;
+  std::vector<Field> fields_;
+};
+
+// Shorthands for the common no-field / message-only case.
+void error(const char* component, const std::string& message);
+void warn(const char* component, const std::string& message);
+void info(const char* component, const std::string& message);
+void debug(const char* component, const std::string& message);
+
+#ifndef GPD_OBS_DISABLED
+
+#define GPD_LOG_DEBUG(component, message) \
+  ::gpd::obs::log::Event(::gpd::obs::log::Level::kDebug, component, message)
+#define GPD_LOG_INFO(component, message) \
+  ::gpd::obs::log::Event(::gpd::obs::log::Level::kInfo, component, message)
+#define GPD_LOG_WARN(component, message) \
+  ::gpd::obs::log::Event(::gpd::obs::log::Level::kWarn, component, message)
+#define GPD_LOG_ERROR(component, message) \
+  ::gpd::obs::log::Event(::gpd::obs::log::Level::kError, component, message)
+
+#else  // GPD_OBS_DISABLED
+
+// Hot-path macro events compile to a discarded empty struct; the message
+// argument is never evaluated and kv() chains inline to nothing.
+struct NullEvent {
+  template <typename K, typename V>
+  NullEvent& kv(const K&, const V&) {
+    return *this;
+  }
+};
+
+#define GPD_LOG_DEBUG(component, message) ::gpd::obs::log::NullEvent {}
+#define GPD_LOG_INFO(component, message) ::gpd::obs::log::NullEvent {}
+#define GPD_LOG_WARN(component, message) ::gpd::obs::log::NullEvent {}
+#define GPD_LOG_ERROR(component, message) ::gpd::obs::log::NullEvent {}
+
+#endif  // GPD_OBS_DISABLED
+
+}  // namespace log
+}  // namespace obs
+}  // namespace gpd
+
+#endif  // GPD_OBS_LOG_H_

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 namespace gpd::obs {
 
@@ -87,6 +88,29 @@ Histogram& Registry::histogram(const std::string& name) {
   auto& slot = impl_->histograms[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
+}
+
+MetricsSnapshot Registry::snapshot() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MetricsSnapshot snap;
+  snap.counters.reserve(impl_->counters.size());
+  for (const auto& [name, c] : impl_->counters) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(impl_->gauges.size());
+  for (const auto& [name, g] : impl_->gauges) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(impl_->histograms.size());
+  for (const auto& [name, h] : impl_->histograms) {
+    MetricsSnapshot::HistogramValue hv;
+    hv.name = name;
+    hv.count = h->count();
+    hv.sum = h->sum();
+    for (int i = 0; i < Histogram::kBuckets; ++i) hv.buckets[i] = h->bucket(i);
+    snap.histograms.push_back(std::move(hv));
+  }
+  return snap;
 }
 
 void Registry::reset() {

@@ -27,6 +27,8 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace gpd::obs {
 
@@ -104,6 +106,22 @@ class Histogram {
   std::atomic<std::uint64_t> sum_{0};
 };
 
+// A point-in-time copy of every registered instrument, name-sorted.  This
+// is the decoupling seam for exporters that live in other translation units
+// (the OpenMetrics renderer, telemetry snapshots): they consume a snapshot
+// instead of becoming friends of Registry::Impl.
+struct MetricsSnapshot {
+  struct HistogramValue {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t buckets[Histogram::kBuckets] = {};
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<HistogramValue> histograms;
+};
+
 // Process-wide named metric set. Instrument references are stable for the
 // process lifetime (instruments are never destroyed before exit), so call
 // sites may cache them — the GPD_OBS_* macros do.
@@ -112,6 +130,11 @@ class Registry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
+
+  // Copies every instrument under the registry lock. Relaxed per-instrument
+  // reads: the snapshot is internally consistent per metric, not across
+  // metrics — fine for monitoring.
+  MetricsSnapshot snapshot();
 
   // Zeroes every registered instrument (names stay registered).
   void reset();

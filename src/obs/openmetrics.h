@@ -1,0 +1,65 @@
+#ifndef GPD_OBS_OPENMETRICS_H_
+#define GPD_OBS_OPENMETRICS_H_
+// OpenMetrics text exposition for the obs registry (DESIGN.md §16).
+//
+// renderOpenMetrics() turns a MetricsSnapshot into the Prometheus/
+// OpenMetrics text format: `# TYPE` metadata, counters as `<name>_total`,
+// gauges as-is, histograms as cumulative `_bucket{le="..."}` series plus
+// `_sum`/`_count`, terminated by `# EOF`.  Per-tenant gauges that the
+// engine registers under flat names (`gpdd_tenant_<name>_sessions`, …) are
+// re-shaped into labeled series (`gpdd_tenant_sessions{tenant="<name>"}`)
+// with proper label-value escaping, so a scraper sees one family per field
+// instead of one family per tenant.
+//
+// parseExposition() is the matching strict parser used by `gpdtool scrape`,
+// the loadgen telemetry assertions, and the golden round-trip test.  It
+// throws InputError on anything malformed (missing # EOF, bad escapes,
+// unparseable sample values, TYPE after samples).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace gpd::obs {
+
+// Escapes a label value per the exposition format: backslash, double quote,
+// and newline.
+std::string escapeLabelValue(const std::string& value);
+
+// `buildInfo` renders as `gpdd_build_info{k1="v1",...} 1` (empty → omitted).
+void renderOpenMetrics(
+    std::ostream& os, const MetricsSnapshot& snap,
+    const std::vector<std::pair<std::string, std::string>>& buildInfo);
+
+// One parsed sample line: name, labels in source order, value text parsed
+// as double (exact for the integers the renderer emits).
+struct ExpositionSample {
+  std::string name;  // full sample name, e.g. "gpdd_pumps_total"
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0;
+};
+
+struct ExpositionFamily {
+  std::string name;  // family name from # TYPE, e.g. "gpdd_pumps"
+  std::string type;  // "counter" | "gauge" | "histogram" | "unknown"
+  std::vector<ExpositionSample> samples;
+};
+
+struct Exposition {
+  std::vector<ExpositionFamily> families;
+
+  // nullptr when no sample matches.
+  const ExpositionSample* find(const std::string& sampleName) const;
+  // Value of an exact-name sample, or `fallback` when absent.
+  double value(const std::string& sampleName, double fallback = 0) const;
+};
+
+Exposition parseExposition(const std::string& text);
+
+}  // namespace gpd::obs
+
+#endif  // GPD_OBS_OPENMETRICS_H_

@@ -1207,10 +1207,20 @@ std::string Engine::statsJson() const {
      << ",\"mem_level\":" << memLevel_
      << ",\"epoch\":" << checkpointEpoch_
      << ",\"dirty_sessions\":" << dirtySessions()
-     << ",\"last_sync\":\"" << lastSyncToken_ << '"'
-     // "tenants" renders last so a first-occurrence scan for any global
-     // counter key never lands on a per-tenant copy.
-     << ",\"tenants\":{";
+     << ",\"last_sync\":\"" << lastSyncToken_ << '"';
+  if (!options_.buildInfo.empty()) {
+    os << ",\"build\":{";
+    bool firstLabel = true;
+    for (const auto& [key, value] : options_.buildInfo) {
+      if (!firstLabel) os << ',';
+      firstLabel = false;
+      os << '"' << key << "\":\"" << value << '"';
+    }
+    os << '}';
+  }
+  // "tenants" renders last so a first-occurrence scan for any global
+  // counter key never lands on a per-tenant copy.
+  os << ",\"tenants\":{";
   bool first = true;
   for (const auto& [name, t] : impl_->tenantStats) {
     if (!first) os << ',';
@@ -1257,6 +1267,9 @@ std::string Engine::statsText() const {
      << "  dirty-sessions " << dirtySessions() << '\n'
      << "  last-sync " << (lastSyncToken_.empty() ? "-" : lastSyncToken_.c_str())
      << '\n';
+  for (const auto& [key, value] : options_.buildInfo) {
+    os << "  build-" << key << ' ' << value << '\n';
+  }
   for (const auto& [name, t] : impl_->tenantStats) {
     const auto live = impl_->tenantSessions.find(name);
     os << "tenant " << name << " open="

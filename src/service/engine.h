@@ -70,6 +70,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "control/budget.h"
@@ -100,6 +101,10 @@ struct EngineOptions {
   // Defaults for every session's MonitorSession (reorder window, retries,
   // retry timeout, queue bound, overflow policy, comparison slice).
   monitor::SessionOptions session;
+  // Build-identity labels (version, sanitize/obs/srclint flags) rendered
+  // as a "build" object in STATS and as the gpdd_build_info gauge in the
+  // telemetry exposition. Empty → omitted from STATS.
+  std::vector<std::pair<std::string, std::string>> buildInfo;
 };
 
 // Per-tenant service counters: the STATS breakdown operators page on when
@@ -236,6 +241,12 @@ class Engine {
   // Cumulative per-tenant counters (never forgets a tenant).
   const std::map<std::string, TenantStats>& tenantStats() const;
 
+  // Mirrors the per-tenant numbers into the gpd::obs registry as
+  // gpdd_tenant_<name>_* gauges. statsJson/statsText call this; the
+  // telemetry exposition path calls it directly so a scrape stays fresh
+  // even when no client is polling STATS.
+  void publishTenantMetrics() const;
+
  private:
   struct Session;
   struct Cmd;
@@ -249,7 +260,6 @@ class Engine {
   // everything (the engine must be fresh), a delta patches. Returns true if
   // the manifest was a delta.
   bool readManifestText(std::istream& is);
-  void publishTenantMetrics() const;
 
   Session* openSession(std::string_view tenant, std::string_view id,
                        int processes, long long prio,

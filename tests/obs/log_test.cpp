@@ -1,0 +1,135 @@
+// src/obs/log: leveled, rate-limited structured logging (DESIGN.md §16).
+//
+// The logger's free functions and the Event builder always work — even under
+// GPD_OBS_DISABLED only the GPD_LOG_* macros compile out — so every test
+// here runs identically in both build modes.  Each test redirects the sink
+// to a local ostringstream and restores the defaults on exit so the global
+// logger state never leaks between tests.
+#include "obs/log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace gpd::obs::log {
+namespace {
+
+class ObsLog : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    setSink(&captured_);
+    setLevel(Level::kDebug);
+    setFormat(Format::kText);
+    setRateLimitPerSec(0);  // deterministic: no window bookkeeping
+  }
+
+  void TearDown() override {
+    setSink(nullptr);
+    setLevel(Level::kInfo);
+    setFormat(Format::kText);
+    setRateLimitPerSec(50);
+  }
+
+  std::vector<std::string> lines() const {
+    std::vector<std::string> out;
+    std::istringstream in(captured_.str());
+    std::string line;
+    while (std::getline(in, line)) out.push_back(line);
+    return out;
+  }
+
+  std::ostringstream captured_;
+};
+
+TEST_F(ObsLog, ParseLevelRoundTripsAndRejectsJunk) {
+  EXPECT_EQ(parseLevel("debug"), Level::kDebug);
+  EXPECT_EQ(parseLevel("info"), Level::kInfo);
+  EXPECT_EQ(parseLevel("warn"), Level::kWarn);
+  EXPECT_EQ(parseLevel("error"), Level::kError);
+  EXPECT_STREQ(levelName(Level::kWarn), "warn");
+  EXPECT_THROW(parseLevel("verbose"), InputError);
+  EXPECT_THROW(parseLevel(""), InputError);
+}
+
+TEST_F(ObsLog, TextLineCarriesLevelComponentMessageAndFields) {
+  Event(Level::kInfo, "pump", "batch done")
+      .kv("frames", std::uint64_t{12})
+      .kv("tenant", "acme");
+  const std::vector<std::string> got = lines();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_NE(got[0].find(" info pump: batch done"), std::string::npos)
+      << got[0];
+  EXPECT_NE(got[0].find("frames=12"), std::string::npos) << got[0];
+  EXPECT_NE(got[0].find("tenant=acme"), std::string::npos) << got[0];
+}
+
+TEST_F(ObsLog, LevelThresholdFilters) {
+  setLevel(Level::kWarn);
+  debug("c", "too quiet");
+  info("c", "still too quiet");
+  warn("c", "loud enough");
+  error("c", "definitely");
+  const std::vector<std::string> got = lines();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_NE(got[0].find("loud enough"), std::string::npos);
+  EXPECT_NE(got[1].find("definitely"), std::string::npos);
+}
+
+TEST_F(ObsLog, JsonFormatEscapesAndTypesFields) {
+  setFormat(Format::kJson);
+  Event(Level::kError, "svc", "broke \"badly\"\n")
+      .kv("count", 3)
+      .kv("gap_ms", 1.5)
+      .kv("what", "a\\b");
+  const std::vector<std::string> got = lines();
+  ASSERT_EQ(got.size(), 1u);
+  const std::string& line = got[0];
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_NE(line.find("\"level\":\"error\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"component\":\"svc\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"msg\":\"broke \\\"badly\\\"\\n\""),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"count\":3"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"gap_ms\":1.5"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"what\":\"a\\\\b\""), std::string::npos) << line;
+}
+
+TEST_F(ObsLog, RateLimitCapsAWindow) {
+  setRateLimitPerSec(3);
+  for (int i = 0; i < 10; ++i) info("flood", "event " + std::to_string(i));
+  // The 1-second window opened on the first event; all ten land inside it.
+  EXPECT_EQ(lines().size(), 3u);
+  // A different (level, component) token has its own window.
+  warn("flood", "other level");
+  EXPECT_EQ(lines().size(), 4u);
+}
+
+TEST_F(ObsLog, FreeFunctionsEmitAtTheirLevel) {
+  error("a", "e");
+  warn("a", "w");
+  info("a", "i");
+  debug("a", "d");
+  const std::vector<std::string> got = lines();
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_NE(got[0].find(" error a: e"), std::string::npos);
+  EXPECT_NE(got[3].find(" debug a: d"), std::string::npos);
+}
+
+TEST_F(ObsLog, MacrosRespectTheKillSwitch) {
+  GPD_LOG_INFO("macro", "through the macro").kv("k", 1);
+#if defined(GPD_OBS_DISABLED)
+  EXPECT_TRUE(lines().empty());
+#else
+  ASSERT_EQ(lines().size(), 1u);
+  EXPECT_NE(lines()[0].find("through the macro"), std::string::npos);
+#endif
+}
+
+}  // namespace
+}  // namespace gpd::obs::log

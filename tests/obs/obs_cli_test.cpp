@@ -13,6 +13,7 @@
 // so those assertions are skipped.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -124,6 +125,57 @@ TEST_F(ObsCliTest, PlanAndMonitorAcceptObsFlags) {
       runTool("monitor " + tracePath() + " --stats 0:b 1:b 2:b 3:b 4:b"), 0);
   const std::string out = slurp(outPath());
   EXPECT_NE(out.find("monitor_notifications"), std::string::npos);
+}
+
+TEST_F(ObsCliTest, ScrapeParsesAndPrettyPrintsAnExposition) {
+  const std::string scrape = ::testing::TempDir() + "gpd_obs_cli.prom";
+  {
+    std::ofstream out(scrape);
+    out << "# TYPE gpdd_pumps counter\n"
+        << "gpdd_pumps_total 42\n"
+        << "# TYPE gpdd_tenant_sessions gauge\n"
+        << "gpdd_tenant_sessions{tenant=\"acme\"} 3\n"
+        << "# TYPE gpdd_build_info gauge\n"
+        << "gpdd_build_info{version=\"v1\",obs=\"on\"} 1\n"
+        << "# EOF\n";
+  }
+  ASSERT_EQ(runTool("scrape " + scrape), 0);
+  std::string out = slurp(outPath());
+  EXPECT_NE(out.find("gpdd_pumps (counter)"), std::string::npos) << out;
+  EXPECT_NE(out.find("gpdd_pumps_total 42"), std::string::npos) << out;
+  EXPECT_NE(out.find("tenant=\"acme\""), std::string::npos) << out;
+  EXPECT_NE(out.find("3 families, 3 samples"), std::string::npos) << out;
+
+  ASSERT_EQ(runTool("scrape -f json " + scrape), 0);
+  out = slurp(outPath());
+  EXPECT_TRUE(obs::testing::isValidJson(out)) << out;
+  EXPECT_NE(out.find("\"name\":\"gpdd_tenant_sessions\""), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"labels\":{\"tenant\":\"acme\"}"), std::string::npos)
+      << out;
+  std::remove(scrape.c_str());
+}
+
+TEST_F(ObsCliTest, ScrapeRejectsMalformedExpositionWithExitOne) {
+  const std::string scrape = ::testing::TempDir() + "gpd_obs_cli_bad.prom";
+  {
+    std::ofstream out(scrape);
+    // No # EOF terminator — a truncated scrape must not pass silently.
+    out << "# TYPE gpdd_pumps counter\n"
+        << "gpdd_pumps_total 42\n";
+  }
+  EXPECT_EQ(runTool("scrape " + scrape), 1);
+  EXPECT_NE(slurp(outPath()).find("openmetrics"), std::string::npos);
+  // A sample outside its family carries the line number in the error.
+  {
+    std::ofstream out(scrape);
+    out << "# TYPE a gauge\nb 1\n# EOF\n";
+  }
+  EXPECT_EQ(runTool("scrape " + scrape), 1);
+  EXPECT_NE(slurp(outPath()).find("line 2"), std::string::npos);
+  // Missing file is bad input, not an internal error.
+  EXPECT_EQ(runTool("scrape /nonexistent/telemetry.prom"), 1);
+  std::remove(scrape.c_str());
 }
 
 }  // namespace

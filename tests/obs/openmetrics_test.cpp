@@ -1,0 +1,172 @@
+// src/obs/openmetrics: OpenMetrics exposition renderer and its strict
+// parser (DESIGN.md §16).  The renderer consumes a MetricsSnapshot — a
+// plain value type — so these tests hand-build snapshots and are identical
+// in default-on and GPD_OBS_DISABLED builds.
+#include "obs/openmetrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "util/check.h"
+
+namespace gpd::obs {
+namespace {
+
+std::string render(const MetricsSnapshot& snap,
+                   const std::vector<std::pair<std::string, std::string>>&
+                       buildInfo = {}) {
+  std::ostringstream os;
+  renderOpenMetrics(os, snap, buildInfo);
+  return os.str();
+}
+
+TEST(OpenMetrics, EscapeLabelValueCoversTheThreeEscapes) {
+  EXPECT_EQ(escapeLabelValue("plain"), "plain");
+  EXPECT_EQ(escapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(escapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(escapeLabelValue("a\nb"), "a\\nb");
+}
+
+TEST(OpenMetrics, RenderParseRoundTrip) {
+  MetricsSnapshot snap;
+  snap.counters.emplace_back("gpdd_pumps", 41);
+  snap.gauges.emplace_back("gpdd_sessions_open", 7);
+  MetricsSnapshot::HistogramValue h;
+  h.name = "gpdd_pump_nanos";
+  h.count = 3;
+  h.sum = 1 + 5 + 100;
+  h.buckets[1] = 1;   // value 1   → [1,2)
+  h.buckets[3] = 1;   // value 5   → [4,8)
+  h.buckets[7] = 1;   // value 100 → [64,128)
+  snap.histograms.push_back(h);
+
+  const std::string text = render(snap, {{"version", "v1"}, {"obs", "on"}});
+  EXPECT_NE(text.find("# EOF\n"), std::string::npos);
+
+  const Exposition exp = parseExposition(text);
+  ASSERT_EQ(exp.families.size(), 4u);
+  EXPECT_EQ(exp.families[0].type, "counter");
+  EXPECT_EQ(exp.value("gpdd_pumps_total"), 41);
+  EXPECT_EQ(exp.value("gpdd_sessions_open"), 7);
+  EXPECT_EQ(exp.value("gpdd_pump_nanos_sum"), 106);
+  EXPECT_EQ(exp.value("gpdd_pump_nanos_count"), 3);
+  EXPECT_EQ(exp.value("absent_metric", -1), -1);
+
+  // Build info renders as a single always-1 gauge with one label per field.
+  const ExpositionSample* info = exp.find("gpdd_build_info");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->value, 1);
+  ASSERT_EQ(info->labels.size(), 2u);
+  EXPECT_EQ(info->labels[0].first, "version");
+  EXPECT_EQ(info->labels[0].second, "v1");
+
+  // Histogram buckets are cumulative, le = 2^i - 1, and only non-empty
+  // buckets render (plus the mandatory +Inf).
+  const ExpositionFamily& hist = exp.families.back();
+  EXPECT_EQ(hist.type, "histogram");
+  ASSERT_EQ(hist.samples.size(), 6u);  // 3 buckets + Inf + sum + count
+  EXPECT_EQ(hist.samples[0].labels[0].second, "1");
+  EXPECT_EQ(hist.samples[0].value, 1);
+  EXPECT_EQ(hist.samples[1].labels[0].second, "7");
+  EXPECT_EQ(hist.samples[1].value, 2);
+  EXPECT_EQ(hist.samples[2].labels[0].second, "127");
+  EXPECT_EQ(hist.samples[2].value, 3);
+  EXPECT_EQ(hist.samples[3].labels[0].second, "+Inf");
+  EXPECT_EQ(hist.samples[3].value, 3);
+}
+
+TEST(OpenMetrics, TenantGaugesReshapeIntoLabeledFamilies) {
+  MetricsSnapshot snap;
+  // Tenant names may contain underscores; the field suffix is matched from
+  // the right, so "big_co" survives intact.
+  snap.gauges.emplace_back("gpdd_tenant_acme_sessions", 4);
+  snap.gauges.emplace_back("gpdd_tenant_big_co_sessions", 9);
+  snap.gauges.emplace_back("gpdd_tenant_acme_ev_bytes", 1024);
+  snap.gauges.emplace_back("gpdd_mem_level", 1);
+
+  const Exposition exp = parseExposition(render(snap));
+  const ExpositionSample* plain = exp.find("gpdd_mem_level");
+  ASSERT_NE(plain, nullptr);
+  EXPECT_TRUE(plain->labels.empty());
+
+  bool sawAcme = false, sawBigCo = false;
+  for (const ExpositionFamily& fam : exp.families) {
+    if (fam.name != "gpdd_tenant_sessions") continue;
+    EXPECT_EQ(fam.type, "gauge");
+    for (const ExpositionSample& s : fam.samples) {
+      ASSERT_EQ(s.labels.size(), 1u);
+      EXPECT_EQ(s.labels[0].first, "tenant");
+      if (s.labels[0].second == "acme") {
+        sawAcme = true;
+        EXPECT_EQ(s.value, 4);
+      }
+      if (s.labels[0].second == "big_co") {
+        sawBigCo = true;
+        EXPECT_EQ(s.value, 9);
+      }
+    }
+  }
+  EXPECT_TRUE(sawAcme);
+  EXPECT_TRUE(sawBigCo);
+  EXPECT_EQ(exp.find("gpdd_tenant_acme_sessions"), nullptr)
+      << "flat tenant gauge leaked through un-reshaped";
+  EXPECT_EQ(exp.value("gpdd_tenant_ev_bytes", -1), 1024);
+}
+
+TEST(OpenMetrics, ParserAcceptsEscapedLabelValues) {
+  const std::string text =
+      "# TYPE t gauge\n"
+      "t{tenant=\"a\\\\b\\\"c\\nd\"} 5\n"
+      "# EOF\n";
+  const Exposition exp = parseExposition(text);
+  const ExpositionSample* s = exp.find("t");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->labels[0].second, "a\\b\"c\nd");
+}
+
+TEST(OpenMetrics, ParserRejectsMalformedInput) {
+  // Missing # EOF.
+  EXPECT_THROW(parseExposition("# TYPE a gauge\na 1\n"), InputError);
+  // Content after # EOF.
+  EXPECT_THROW(parseExposition("# EOF\nx 1\n"), InputError);
+  // Sample before any # TYPE.
+  EXPECT_THROW(parseExposition("a 1\n# EOF\n"), InputError);
+  // Sample outside its announced family.
+  EXPECT_THROW(
+      parseExposition("# TYPE a gauge\nb 1\n# EOF\n"), InputError);
+  // Unparseable value.
+  EXPECT_THROW(
+      parseExposition("# TYPE a gauge\na one\n# EOF\n"), InputError);
+  // Unterminated label value.
+  EXPECT_THROW(
+      parseExposition("# TYPE a gauge\na{l=\"x} 1\n# EOF\n"), InputError);
+  // Bad escape.
+  EXPECT_THROW(
+      parseExposition("# TYPE a gauge\na{l=\"\\t\"} 1\n# EOF\n"),
+      InputError);
+  // Unknown family type.
+  EXPECT_THROW(parseExposition("# TYPE a summary\n# EOF\n"), InputError);
+  // The error message carries the line number.
+  try {
+    parseExposition("# TYPE a gauge\nb 1\n# EOF\n");
+    FAIL() << "expected InputError";
+  } catch (const InputError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(OpenMetrics, HelpAndUnitCommentsAreIgnored) {
+  const std::string text =
+      "# HELP a free text here\n"
+      "# TYPE a counter\n"
+      "# UNIT a seconds\n"
+      "a_total 2\n"
+      "# EOF\n";
+  EXPECT_EQ(parseExposition(text).value("a_total"), 2);
+}
+
+}  // namespace
+}  // namespace gpd::obs

@@ -446,6 +446,44 @@ TEST(Engine, PerTenantStatsTrackAndPersist) {
   EXPECT_EQ(restored->statsJson(), eng.statsJson());
 }
 
+TEST(Engine, StatsJsonSchemaGolden) {
+  // Pins the top-level STATS JSON schema the telemetry consumers depend on:
+  // every key present, in this order, with the optional "build" object
+  // rendered after "last_sync" and "tenants" always last (gpdd_loadgen's
+  // counter() helper scans for the first occurrence of each counter key, so
+  // nothing may render tenant counters before the top-level ones).
+  EngineOptions opt;
+  opt.buildInfo = {{"version", "v1.2"}, {"obs", "on"}};
+  Engine eng(opt);
+  pumpAll(eng, {"OPEN t0 s0 2", "SYNC mark"});
+  const std::string json = eng.statsJson();
+  const char* keysInOrder[] = {
+      "\"frames_accepted\":", "\"sessions_open\":",  "\"sessions_opened\":",
+      "\"sessions_closed\":", "\"shed_mem\":",       "\"shed_budget\":",
+      "\"shed_idle\":",       "\"degraded_mem\":",   "\"admission_rejects\":",
+      "\"rate_limited\":",    "\"protocol_errors\":", "\"notifications\":",
+      "\"nacks\":",           "\"detections\":",     "\"pumps\":",
+      "\"estimated_bytes\":", "\"mem_level\":",      "\"epoch\":",
+      "\"dirty_sessions\":",  "\"last_sync\":",      "\"build\":",
+      "\"tenants\":",
+  };
+  std::size_t prev = 0;
+  for (const char* key : keysInOrder) {
+    const std::size_t at = json.find(key, prev);
+    ASSERT_NE(at, std::string::npos) << key << " missing or out of order in "
+                                     << json;
+    prev = at;
+  }
+  // The build object renders the fields verbatim, in insertion order.
+  EXPECT_NE(json.find("\"build\":{\"version\":\"v1.2\",\"obs\":\"on\"}"),
+            std::string::npos)
+      << json;
+  // Without buildInfo the "build" key is absent entirely — engine tests and
+  // pre-telemetry scrapers see the original schema.
+  Engine bare;
+  EXPECT_EQ(bare.statsJson().find("\"build\""), std::string::npos);
+}
+
 TEST(Engine, StatsTextRendersTenantLines) {
   Engine eng;
   pumpAll(eng, {"OPEN t0 s0 2"});
@@ -478,8 +516,10 @@ TEST(Engine, PoolAndSequentialPumpsAreBitIdentical) {
     Engine eng(opt);
     std::vector<std::string> all;
     for (int i = 0; i < 12; ++i) {
-      const std::string t = "t" + std::to_string(i % 3);
-      const std::string s = "s" + std::to_string(i);
+      std::string t = "t";
+      t += std::to_string(i % 3);
+      std::string s = "s";
+      s += std::to_string(i);
       for (const std::string& c : detectingSession(t, s)) all.push_back(c);
       all.push_back("CLOSE " + t + " " + s);
     }

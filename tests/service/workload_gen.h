@@ -27,8 +27,10 @@ inline std::vector<Batch> makeWorkload(std::uint64_t seed) {
   std::vector<std::vector<std::string>> perSession(
       static_cast<std::size_t>(nSessions));
   for (int i = 0; i < nSessions; ++i) {
-    const std::string ts = "t" + std::to_string(rng.index(3)) + " s" +
-                           std::to_string(i);
+    std::string ts = "t";
+    ts += std::to_string(rng.index(3));
+    ts += " s";
+    ts += std::to_string(i);
     const int n = 2 + static_cast<int>(rng.index(2));
     const int events = 2 + static_cast<int>(rng.index(5));
     auto& ops = perSession[static_cast<std::size_t>(i)];
@@ -68,8 +70,12 @@ inline std::vector<Batch> makeWorkload(std::uint64_t seed) {
     for (std::size_t k = 1; k + 1 < ops.size(); ++k) {
       if (rng.chance(0.25)) std::swap(ops[k], ops[k + 1]);
     }
-    if (rng.chance(0.15)) ops.push_back("EV t0 ghost" + std::to_string(i) +
-                                        " 0 0 1 1");  // unknown-session ERR
+    if (rng.chance(0.15)) {  // unknown-session ERR
+      std::string ghost = "EV t0 ghost";
+      ghost += std::to_string(i);
+      ghost += " 0 0 1 1";
+      ops.push_back(std::move(ghost));
+    }
     ops.push_back("TICK " + ts + " " + std::to_string(4 + rng.index(12)));
     for (int p = 0; p < n; ++p) {
       ops.push_back("END " + ts + " " + std::to_string(p) + " " +

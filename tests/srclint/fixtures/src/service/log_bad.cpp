@@ -1,0 +1,14 @@
+// srclint fixture — gpd-log-discipline MUST fire here (twice): a service
+// translation unit writing raw std::cerr and fprintf(stderr, ...) bypasses
+// the structured log module's levels, rate limiting, and JSON mode.
+#include <cstdio>
+#include <iostream>
+
+namespace fx {
+
+void reportDrop(int count) {
+  std::cerr << "dropped " << count << " frames\n";
+  std::fprintf(stderr, "dropped %d frames\n", count);
+}
+
+}  // namespace fx

@@ -1,0 +1,21 @@
+// srclint fixture — silent twin of log_bad.cpp: the same report emitted
+// through the structured log module (leveled, rate-limited, JSON-capable)
+// plus the sanctioned rawStderr() accessor for a usage banner.
+#include <ostream>
+#include <string>
+
+namespace fx {
+
+void error(const char* component, const std::string& message);
+std::ostream& rawStderr();
+
+void reportDrop(int count) {
+  error("service", "dropped " + std::to_string(count) + " frames");
+}
+
+int usage() {
+  rawStderr() << "usage: fx [--flag]\n";
+  return 1;
+}
+
+}  // namespace fx

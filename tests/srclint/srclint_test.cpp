@@ -65,6 +65,8 @@ const CheckFixture kCheckFixtures[] = {
     {"gpd-pool-capture", "pool_bad.cpp", "pool_good.cpp"},
     {"gpd-checkpoint-symmetry", "ckpt_bad.cpp", "ckpt_good.cpp"},
     {"gpd-checkpoint-symmetry", "ckpt_apply_bad.cpp", "ckpt_apply_good.cpp"},
+    {"gpd-log-discipline", "src/service/log_bad.cpp",
+     "src/service/log_good.cpp"},
 };
 
 TEST(SrclintChecks, EveryCheckFiresOnItsBadFixture) {
@@ -125,7 +127,7 @@ TEST(SrclintSuppression, MalformedControlCommentIsADiagnostic) {
   EXPECT_NE(r.output.find("srclint-allow"), std::string::npos) << r.output;
 }
 
-TEST(SrclintCli, ListChecksNamesAllFive) {
+TEST(SrclintCli, ListChecksNamesEveryCheck) {
   const RunResult r = runLint("--list-checks");
   EXPECT_EQ(r.exitCode, 0);
   for (const CheckFixture& cf : kCheckFixtures) {

@@ -48,6 +48,24 @@
 //                       --stats-every N pumps (default 200)
 //   --strict-proto      any discarded byte / truncated frame is fatal
 //
+// Telemetry (DESIGN.md §16):
+//   --telemetry-file FILE     atomically rewrite FILE with an OpenMetrics
+//                       text exposition (obs registry + service gauges +
+//                       gpdd_build_info) every --telemetry-every N pumps
+//                       (default 200) and once at drain; `gpdtool scrape`
+//                       parses and pretty-prints it
+//   --telemetry-socket PATH   UNIX socket; each connection receives one
+//                       exposition snapshot and is closed (a scrape)
+//   --flight-recorder FILE    arm the crash flight recorder: a mmap-backed
+//                       ring of the last --flight-slots events (pump
+//                       summaries, admission decisions, replication
+//                       events) that survives SIGKILL; fatal signals
+//                       (SIGSEGV/SIGABRT), CheckFailure quarantine, and
+//                       SIGTERM drain additionally dump FILE.postmortem
+//   --flight-slots N    ring capacity in events (default 256)
+//   --log-level L       debug|info|warn|error (default info)
+//   --log-json          structured JSON-lines log output instead of text
+//
 // High availability (service/replica.h):
 //   --replication-socket PATH   leader: accept one hot-standby follower
 //                       here and stream it a snapshot plus every pump
@@ -86,7 +104,10 @@
 #include <vector>
 
 #include "io/checkpoint_io.h"
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/openmetrics.h"
 #include "par/pool.h"
 #include "service/engine.h"
 #include "service/frame.h"
@@ -105,8 +126,22 @@ volatile std::sig_atomic_t gStop = 0;
 
 void onSignal(int) { gStop = 1; }
 
+// The flight recorder outlives every scope so the fatal-signal handler can
+// reach it; gPostmortemPath is pre-formatted at arm time because a SIGSEGV
+// handler must not touch the heap.
+obs::FlightRecorder gRecorder;
+char gPostmortemPath[512] = {0};
+
+void onFatalSignal(int sig) {
+  if (gPostmortemPath[0] != '\0') {
+    gRecorder.dumpNow(gPostmortemPath, sig == SIGSEGV ? "sigsegv" : "sigabrt");
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
 int usage() {
-  std::cerr
+  obs::log::rawStderr()
       << "usage: gpdd [--socket PATH] [--shards N] [--threads N]\n"
       << "            [--max-sessions N] [--max-per-tenant N] [--rate-bytes N]\n"
       << "            [--mem-watermark BYTES] [--idle-pumps N]\n"
@@ -119,6 +154,10 @@ int usage() {
       << "            [--replication-socket PATH]\n"
       << "            [--follow PATH] [--failover-after-ms MS]\n"
       << "            [--stats-dump FILE] [--stats-every N] [--strict-proto]\n"
+      << "            [--telemetry-file FILE] [--telemetry-every N]\n"
+      << "            [--telemetry-socket PATH]\n"
+      << "            [--flight-recorder FILE] [--flight-slots N]\n"
+      << "            [--log-level debug|info|warn|error] [--log-json]\n"
       << "       gpdd --version\n";
   return 1;
 }
@@ -145,6 +184,11 @@ struct Options {
   bool recover = false;
   std::string statsDumpPath;
   std::uint64_t statsEvery = 200;
+  std::string telemetryFile;
+  std::string telemetrySocket;
+  std::uint64_t telemetryEvery = 200;
+  std::string flightRecorderPath;
+  std::uint64_t flightSlots = 256;
   bool strictProto = false;
   std::string replicationSocket;
   std::string followPath;
@@ -245,6 +289,25 @@ Options parseFlags(const std::vector<std::string>& args) {
       o.statsEvery =
           static_cast<std::uint64_t>(parseInt(need(++i), "--stats-every"));
       GPD_INPUT_CHECK(o.statsEvery >= 1, "--stats-every must be >= 1");
+    } else if (a == "--telemetry-file") {
+      o.telemetryFile = need(++i);
+    } else if (a == "--telemetry-socket") {
+      o.telemetrySocket = need(++i);
+    } else if (a == "--telemetry-every") {
+      o.telemetryEvery =
+          static_cast<std::uint64_t>(parseInt(need(++i), "--telemetry-every"));
+      GPD_INPUT_CHECK(o.telemetryEvery >= 1, "--telemetry-every must be >= 1");
+    } else if (a == "--flight-recorder") {
+      o.flightRecorderPath = need(++i);
+    } else if (a == "--flight-slots") {
+      o.flightSlots =
+          static_cast<std::uint64_t>(parseInt(need(++i), "--flight-slots"));
+      GPD_INPUT_CHECK(o.flightSlots >= 1 && o.flightSlots <= (1u << 20),
+                      "--flight-slots out of range");
+    } else if (a == "--log-level") {
+      obs::log::setLevel(obs::log::parseLevel(need(++i)));
+    } else if (a == "--log-json") {
+      obs::log::setFormat(obs::log::Format::kJson);
     } else if (a == "--strict-proto") {
       o.strictProto = true;
     } else {
@@ -324,6 +387,77 @@ void dumpStats(const service::Engine& engine, const std::string& path) {
   io::atomicWriteFile(path, os.str());
 }
 
+// Pre-registers the gpdd service metric inventory so a scrape always shows
+// the full set — including in a GPD_OBS_DISABLED build, where the hot-path
+// macros compile out but the registry (and this direct registration) stays,
+// rendering the inventory as zeros.
+void registerServiceMetrics() {
+  static constexpr const char* kCounters[] = {
+      "gpdd_bytes_discarded",    "gpdd_checkpoints_captured",
+      "gpdd_deltas_applied",     "gpdd_detections",
+      "gpdd_follower_drops",     "gpdd_promotions",
+      "gpdd_pumps",              "gpdd_quarantine_dumps",
+      "gpdd_recoveries",         "gpdd_sessions_closed",
+      "gpdd_sessions_opened",    "gpdd_shed_budget",
+      "gpdd_shed_idle",          "gpdd_shed_mem",
+      "gpdd_degraded_mem",       "gpdd_telemetry_snapshots",
+  };
+  static constexpr const char* kGauges[] = {
+      "gpdd_failover_gap_ms",       "gpdd_follower_staleness_ms",
+      "gpdd_manifest_chain_length", "gpdd_mem_bytes",
+      "gpdd_mem_level",             "gpdd_queue_depth",
+      "gpdd_replication_lag_bytes", "gpdd_replication_lag_epochs",
+      "gpdd_replication_lag_pumps", "gpdd_sessions_open",
+  };
+  static constexpr const char* kHistograms[] = {
+      "gpdd_checkpoint_capture_nanos",
+      "gpdd_manifest_restore_nanos",
+      "gpdd_pump_nanos",
+  };
+  for (const char* name : kCounters) obs::registry().counter(name);
+  for (const char* name : kGauges) obs::registry().gauge(name);
+  for (const char* name : kHistograms) obs::registry().histogram(name);
+}
+
+// One OpenMetrics exposition snapshot: per-tenant gauges refreshed, the
+// whole registry copied under its lock, and the build-identity info gauge.
+std::string renderTelemetry(const service::Engine& engine) {
+  engine.publishTenantMetrics();
+  GPD_OBS_COUNTER_ADD("gpdd_telemetry_snapshots", 1);
+  std::ostringstream os;
+  obs::renderOpenMetrics(os, obs::registry().snapshot(),
+                         tools::buildInfoFields());
+  return os.str();
+}
+
+// Mirrors admission/overload decisions into the flight recorder and turns a
+// CheckFailure quarantine — the engine sheds the poisoned session with
+// reason "internal-error" — into an immediate postmortem dump: the ring
+// still holds the pumps that led up to the library bug.
+void scanResponses(const std::vector<service::Response>& out) {
+  if (!gRecorder.armed()) return;
+  static const std::string kQuarantine = " internal-error";
+  for (const service::Response& r : out) {
+    const std::string& p = r.payload;
+    const bool shed = p.compare(0, 5, "SHED ") == 0;
+    const bool degrade = p.compare(0, 8, "DEGRADE ") == 0;
+    const bool err = p.compare(0, 4, "ERR ") == 0;
+    if (!shed && !degrade && !err) continue;
+    GPD_FR_RECORD(gRecorder, "admit", "%.120s", p.c_str());
+    if (shed && p.size() >= kQuarantine.size() &&
+        p.compare(p.size() - kQuarantine.size(), kQuarantine.size(),
+                  kQuarantine) == 0) {
+      GPD_OBS_COUNTER_ADD("gpdd_quarantine_dumps", 1);
+      if (gPostmortemPath[0] != '\0') {
+        gRecorder.dumpNow(gPostmortemPath, "check-failure-quarantine");
+      }
+      obs::log::Event(obs::log::Level::kError, "gpdd",
+                      "session quarantined by CheckFailure")
+          .kv("response", p);
+    }
+  }
+}
+
 int listenOn(const std::string& path) {
   // strerror below: gpdd's listen/accept path is single-threaded (the pool
   // only runs detection kernels), so the static buffer cannot race.
@@ -395,31 +529,56 @@ int serveLoop(const Options& o, std::unique_ptr<service::Engine> engine,
   int replListenFd = -1;
   int followerFd = -1;
   if (!o.replicationSocket.empty()) replListenFd = listenOn(o.replicationSocket);
+  int telListenFd = -1;
+  if (!o.telemetrySocket.empty()) telListenFd = listenOn(o.telemetrySocket);
+
+  // Replication lag: work accumulated since the follower last received the
+  // corresponding records. Sends happen before execution, so a healthy
+  // attached follower keeps all three at zero; they grow while no follower
+  // is attached (or a send fails) and snap back on catch-up.
+  std::uint64_t lagPumps = 0;
+  std::uint64_t lagBytes = 0;
+  std::uint64_t lagEpochs = 0;
+  auto publishLag = [&]() {
+    GPD_OBS_GAUGE_SET("gpdd_replication_lag_pumps", lagPumps);
+    GPD_OBS_GAUGE_SET("gpdd_replication_lag_bytes", lagBytes);
+    GPD_OBS_GAUGE_SET("gpdd_replication_lag_epochs", lagEpochs);
+  };
 
   auto dropFollower = [&]() {
     if (followerFd >= 0) {
       ::close(followerFd);
       followerFd = -1;
       GPD_OBS_COUNTER_ADD("gpdd_follower_drops", 1);
+      GPD_FR_RECORD(gRecorder, "repl", "follower-dropped");
+      obs::log::warn("gpdd", "follower dropped");
     }
   };
+  // Returns true when the records reached the follower (false also covers
+  // "no follower attached"); the caller charges the lag gauges.
   auto sendToFollower = [&](const std::vector<std::string>& records) {
-    if (followerFd < 0) return;
+    if (followerFd < 0) return false;
     std::string bytes;
     for (const std::string& rec : records) bytes += service::encodeFrame(rec);
-    if (!writeAllTimed(followerFd, bytes, 5000)) dropFollower();
+    if (!writeAllTimed(followerFd, bytes, 5000)) {
+      dropFollower();
+      return false;
+    }
+    return true;
   };
 
   if (!prelude.empty()) writeAll(1, prelude);
 
   std::uint64_t pumpsSinceCheckpoint = 0;
   std::uint64_t pumpsSinceStats = 0;
+  std::uint64_t pumpsSinceTelemetry = 0;
   char buf[1 << 16];
   while (gStop == 0 && !engine->shutdownRequested()) {
     // ---- Gather readable endpoints ----
     std::vector<pollfd> fds;
     if (listenFd >= 0) fds.push_back({listenFd, POLLIN, 0});
     if (replListenFd >= 0) fds.push_back({replListenFd, POLLIN, 0});
+    if (telListenFd >= 0) fds.push_back({telListenFd, POLLIN, 0});
     for (auto& [origin, conn] : conns) {
       if (!conn.eof) fds.push_back({conn.readFd, POLLIN, 0});
     }
@@ -457,11 +616,26 @@ int serveLoop(const Options& o, std::unique_ptr<service::Engine> engine,
         for (std::string& rec : service::captureSnapshotRecord(snap)) {
           records.push_back(std::move(rec));
         }
-        sendToFollower(records);
-        if (followerFd >= 0) {
-          std::cerr << "gpdd: follower attached (snapshot epoch "
-                    << snap.epoch << ")\n";
+        if (sendToFollower(records)) {
+          lagPumps = lagBytes = lagEpochs = 0;
+          publishLag();
+          GPD_FR_RECORD(gRecorder, "repl", "follower-attached epoch=%llu",
+                        static_cast<unsigned long long>(snap.epoch));
+          obs::log::Event(obs::log::Level::kInfo, "gpdd", "follower attached")
+              .kv("snapshot_epoch", snap.epoch);
         }
+      }
+    }
+    if (telListenFd >= 0) {
+      // A scrape: each connection gets one exposition snapshot and is
+      // closed. The bounded write keeps a wedged scraper from stalling the
+      // serve loop for more than a second.
+      for (;;) {
+        const int cfd = ::accept(telListenFd, nullptr, nullptr);
+        if (cfd < 0) break;
+        setNonBlocking(cfd);
+        writeAllTimed(cfd, renderTelemetry(*engine), 1000);
+        ::close(cfd);
       }
     }
     std::vector<int> dead;
@@ -514,14 +688,31 @@ int serveLoop(const Options& o, std::unique_ptr<service::Engine> engine,
     // contract the on-disk manifest keeps. Every pump is sent, including
     // empty ones: idle sweeps are pump-indexed state changes too, and the
     // steady record stream doubles as the leader's heartbeat.
-    if (followerFd >= 0) {
-      sendToFollower(service::capturePumpRecord(engine->stats().pumps, batch));
+    std::uint64_t batchBytes = 0;
+    for (const service::ReplicatedCmd& cmd : batch) {
+      batchBytes += cmd.payload.size();
     }
+    if (sendToFollower(
+            service::capturePumpRecord(engine->stats().pumps, batch))) {
+      lagPumps = 0;
+      lagBytes = 0;
+    } else {
+      ++lagPumps;
+      lagBytes += batchBytes;
+    }
+    GPD_OBS_GAUGE_SET("gpdd_queue_depth", batch.size());
     for (service::ReplicatedCmd& cmd : batch) {
       engine->submit(std::move(cmd.payload), cmd.origin);
     }
     std::vector<service::Response> out;
+    Stopwatch pumpTimer;
     engine->pump(out, pool.get());
+    GPD_OBS_HISTOGRAM("gpdd_pump_nanos", pumpTimer.elapsedNanos());
+    GPD_FR_RECORD(gRecorder, "pump", "i=%llu in=%zu out=%zu open=%zu mem=%d",
+                  static_cast<unsigned long long>(engine->stats().pumps),
+                  batch.size(), out.size(), engine->openSessions(),
+                  engine->memLevel());
+    scanResponses(out);
 
     // ---- Checkpoints and stats ----
     // Durability before acknowledgment: the manifest is written *before*
@@ -531,19 +722,36 @@ int serveLoop(const Options& o, std::unique_ptr<service::Engine> engine,
     // that.
     ++pumpsSinceCheckpoint;
     ++pumpsSinceStats;
+    ++pumpsSinceTelemetry;
     const bool requested = engine->consumeCheckpointRequest();
     if (log != nullptr &&
         (requested || (o.checkpointEvery != 0 &&
                        pumpsSinceCheckpoint >= o.checkpointEvery))) {
+      Stopwatch captureTimer;
       const service::CheckpointCapture cap = log->store(*engine);
-      if (followerFd >= 0) {
-        sendToFollower({service::captureCkptRecord(engine->stats().pumps, cap)});
+      GPD_OBS_HISTOGRAM("gpdd_checkpoint_capture_nanos",
+                        captureTimer.elapsedNanos());
+      GPD_OBS_GAUGE_SET("gpdd_manifest_chain_length", log->deltasSinceFull());
+      GPD_FR_RECORD(gRecorder, "ckpt", "epoch=%llu delta=%d deltas=%llu",
+                    static_cast<unsigned long long>(cap.epoch),
+                    cap.delta ? 1 : 0,
+                    static_cast<unsigned long long>(log->deltasSinceFull()));
+      if (sendToFollower(
+              {service::captureCkptRecord(engine->stats().pumps, cap)})) {
+        lagEpochs = 0;
+      } else {
+        ++lagEpochs;
       }
       pumpsSinceCheckpoint = 0;
     }
+    publishLag();
     if (!o.statsDumpPath.empty() && pumpsSinceStats >= o.statsEvery) {
       dumpStats(*engine, o.statsDumpPath);
       pumpsSinceStats = 0;
+    }
+    if (!o.telemetryFile.empty() && pumpsSinceTelemetry >= o.telemetryEvery) {
+      io::atomicWriteFile(o.telemetryFile, renderTelemetry(*engine));
+      pumpsSinceTelemetry = 0;
     }
 
     std::map<int, std::string> byOrigin;
@@ -591,8 +799,19 @@ int serveLoop(const Options& o, std::unique_ptr<service::Engine> engine,
     engine->pump(out, pool.get());
   }
   engine->drain(out);
+  scanResponses(out);
   if (log != nullptr) log->store(*engine, /*forceFull=*/true);
   if (!o.statsDumpPath.empty()) dumpStats(*engine, o.statsDumpPath);
+  if (!o.telemetryFile.empty()) {
+    io::atomicWriteFile(o.telemetryFile, renderTelemetry(*engine));
+  }
+  GPD_FR_RECORD(gRecorder, "drain", "pumps=%llu open=%zu stop=%d",
+                static_cast<unsigned long long>(engine->stats().pumps),
+                engine->openSessions(), gStop != 0 ? 1 : 0);
+  if (gRecorder.armed() && gPostmortemPath[0] != '\0') {
+    gRecorder.dumpNow(gPostmortemPath,
+                      gStop != 0 ? "sigterm-drain" : "eof-drain");
+  }
   std::map<int, std::string> byOrigin;
   for (service::Response& r : out) {
     byOrigin[r.origin] += service::encodeFrame(r.payload);
@@ -612,6 +831,10 @@ int serveLoop(const Options& o, std::unique_ptr<service::Engine> engine,
   if (replListenFd >= 0) {
     ::close(replListenFd);
     ::unlink(o.replicationSocket.c_str());
+  }
+  if (telListenFd >= 0) {
+    ::close(telListenFd);
+    ::unlink(o.telemetrySocket.c_str());
   }
   if (listenFd >= 0) {
     ::close(listenFd);
@@ -685,19 +908,27 @@ int runFollower(const Options& o) {
     while (auto payload = decoder.pop()) {
       follower.consume(*payload);
     }
+    GPD_OBS_GAUGE_SET("gpdd_follower_staleness_ms", silence.elapsedMillis());
     if (silence.elapsedMillis() > static_cast<double>(o.failoverAfterMs)) {
       leaderGone = true;  // heartbeat (the pump stream) went quiet
     }
   }
+  const double failoverGapMs = silence.elapsedMillis();
   ::close(fd);
   if (gStop != 0) return 0;  // terminated while on standby: nothing to save
 
   // ---- Promote ----
   service::ReplicationFollower::Promotion promo = follower.promote();
   GPD_OBS_COUNTER_ADD("gpdd_promotions", 1);
-  std::cerr << "gpdd: leader gone; promoted at pump "
-            << promo.engine->stats().pumps << " (replayed " << promo.pumps
-            << " pumps, epoch " << promo.engine->checkpointEpoch() << ")\n";
+  GPD_OBS_GAUGE_SET("gpdd_failover_gap_ms", failoverGapMs);
+  GPD_FR_RECORD(gRecorder, "repl", "promoted pump=%llu replayed=%llu gap_ms=%.0f",
+                static_cast<unsigned long long>(promo.engine->stats().pumps),
+                static_cast<unsigned long long>(promo.pumps), failoverGapMs);
+  obs::log::Event(obs::log::Level::kInfo, "gpdd", "leader gone; promoted")
+      .kv("pump", promo.engine->stats().pumps)
+      .kv("replayed_pumps", promo.pumps)
+      .kv("epoch", promo.engine->checkpointEpoch())
+      .kv("gap_ms", failoverGapMs);
   std::string prelude = service::encodeFrame(
       "PROMOTED " + std::to_string(promo.engine->stats().pumps) + " " +
       std::to_string(promo.engine->checkpointEpoch()));
@@ -710,10 +941,25 @@ int runFollower(const Options& o) {
   return serveLoop(o, std::move(promo.engine), log.get(), prelude);
 }
 
-int runService(const Options& o) {
+int runService(Options o) {
   std::signal(SIGTERM, onSignal);
   std::signal(SIGINT, onSignal);
   std::signal(SIGPIPE, SIG_IGN);
+  registerServiceMetrics();
+  o.engine.buildInfo = tools::buildInfoFields();
+  if (!o.flightRecorderPath.empty()) {
+    gRecorder.openRing(o.flightRecorderPath,
+                       static_cast<std::uint32_t>(o.flightSlots));
+    const std::string postmortem = o.flightRecorderPath + ".postmortem";
+    GPD_INPUT_CHECK(postmortem.size() < sizeof(gPostmortemPath),
+                    "--flight-recorder path too long");
+    std::strncpy(gPostmortemPath, postmortem.c_str(),
+                 sizeof(gPostmortemPath) - 1);
+    std::signal(SIGSEGV, onFatalSignal);
+    std::signal(SIGABRT, onFatalSignal);
+    GPD_FR_RECORD(gRecorder, "start", "slots=%llu",
+                  static_cast<unsigned long long>(o.flightSlots));
+  }
   if (!o.followPath.empty()) return runFollower(o);
 
   std::unique_ptr<service::ManifestLog> log;
@@ -723,11 +969,19 @@ int runService(const Options& o) {
   }
   std::unique_ptr<service::Engine> engine;
   if (o.recover) {
+    Stopwatch restoreTimer;
     engine = log->recover(o.engine);
-    std::cerr << "gpdd: recovered " << engine->openSessions()
-              << " sessions from '" << o.checkpointPath << "' (+"
-              << log->deltasSinceFull() << " deltas, epoch "
-              << engine->checkpointEpoch() << ")\n";
+    GPD_OBS_HISTOGRAM("gpdd_manifest_restore_nanos",
+                      restoreTimer.elapsedNanos());
+    GPD_FR_RECORD(gRecorder, "recover", "sessions=%zu deltas=%llu epoch=%llu",
+                  engine->openSessions(),
+                  static_cast<unsigned long long>(log->deltasSinceFull()),
+                  static_cast<unsigned long long>(engine->checkpointEpoch()));
+    obs::log::Event(obs::log::Level::kInfo, "gpdd", "recovered")
+        .kv("sessions", engine->openSessions())
+        .kv("checkpoint", o.checkpointPath)
+        .kv("deltas", log->deltasSinceFull())
+        .kv("epoch", engine->checkpointEpoch());
   } else {
     engine = std::make_unique<service::Engine>(o.engine);
   }
@@ -745,10 +999,12 @@ int main(int argc, char** argv) {
     }
     return runService(parseFlags(args));
   } catch (const gpd::InputError& e) {
-    std::cerr << "gpdd: " << e.what() << '\n';
+    gpd::obs::log::error("gpdd", e.what());
     return 1;
   } catch (const std::exception& e) {
-    std::cerr << "gpdd: internal failure: " << e.what() << '\n';
+    gpd::obs::log::Event(gpd::obs::log::Level::kError, "gpdd",
+                         "internal failure")
+        .kv("what", e.what());
     return 2;
   }
 }

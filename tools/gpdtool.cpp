@@ -60,7 +60,10 @@
 #include <string>
 #include <vector>
 
+#include "analyze/diagnostic.h"
 #include "gpd.h"
+#include "obs/log.h"
+#include "obs/openmetrics.h"
 #include "version.h"
 
 namespace {
@@ -68,7 +71,8 @@ namespace {
 using namespace gpd;
 
 int usage() {
-  std::cerr << "usage:\n"
+  obs::log::rawStderr()
+            << "usage:\n"
             << "  gpdtool generate <workload> <out.trace> [seed]\n"
             << "  gpdtool inspect <trace>\n"
             << "  gpdtool detect <trace> conj [--definitely] <p:var|p:!var>...\n"
@@ -97,6 +101,9 @@ int usage() {
             << "                  [--checkpoint-every N]\n"
             << "                  [--max-comparisons-per-report C]\n"
             << "                  <p:var|p:!var>...\n"
+            << "  gpdtool scrape <file|-> [-f json]\n"
+            << "      parse a gpdd --telemetry-file OpenMetrics scrape and\n"
+            << "      pretty-print it (malformed exposition exits 1)\n"
             << "  gpdtool selftest\n"
             << "  gpdtool --version\n";
   return 1;
@@ -892,10 +899,93 @@ int monitorCmd(const std::string& path, std::vector<std::string> args) {
   const bool agree =
       res.verdict == monitor::Verdict::Degraded || res.detected == offline;
   if (!agree) {
-    std::cerr << "monitor: online verdict disagrees with offline CPDHB\n";
+    obs::log::error("gpdtool", "monitor: online verdict disagrees with offline CPDHB");
     return 2;
   }
   return finishObs(obsFlags, 0);
+}
+
+// scrape: strict-parse an OpenMetrics exposition written by
+// `gpdd --telemetry-file` (or any Prometheus text scrape that follows the
+// same subset) and pretty-print it. `-` reads stdin. A malformed scrape is
+// an InputError: exit 1 with the offending line number.
+int scrapeCmd(const std::vector<std::string>& args) {
+  bool json = false;
+  std::string path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-f") {
+      GPD_INPUT_CHECK(i + 1 < args.size() && args[i + 1] == "json",
+                      "-f takes exactly 'json'");
+      json = true;
+      ++i;
+    } else {
+      GPD_INPUT_CHECK(path.empty(), "scrape takes exactly one file");
+      path = args[i];
+    }
+  }
+  if (path.empty()) return usage();
+  std::ostringstream buf;
+  if (path == "-") {
+    buf << std::cin.rdbuf();
+  } else {
+    std::ifstream in(path);
+    GPD_INPUT_CHECK(in.good(), "cannot open '" << path << "'");
+    buf << in.rdbuf();
+  }
+  const obs::Exposition exp = obs::parseExposition(buf.str());
+  if (json) {
+    std::cout << "{\"families\":[";
+    bool firstFamily = true;
+    for (const obs::ExpositionFamily& fam : exp.families) {
+      if (!firstFamily) std::cout << ',';
+      firstFamily = false;
+      std::cout << "{\"name\":\"" << analyze::jsonEscape(fam.name)
+                << "\",\"type\":\"" << fam.type << "\",\"samples\":[";
+      bool firstSample = true;
+      for (const obs::ExpositionSample& s : fam.samples) {
+        if (!firstSample) std::cout << ',';
+        firstSample = false;
+        std::cout << "{\"name\":\"" << analyze::jsonEscape(s.name) << '"';
+        if (!s.labels.empty()) {
+          std::cout << ",\"labels\":{";
+          bool firstLabel = true;
+          for (const auto& [k, v] : s.labels) {
+            if (!firstLabel) std::cout << ',';
+            firstLabel = false;
+            std::cout << '"' << analyze::jsonEscape(k) << "\":\""
+                      << analyze::jsonEscape(v) << '"';
+          }
+          std::cout << '}';
+        }
+        std::cout << ",\"value\":" << s.value << '}';
+      }
+      std::cout << "]}";
+    }
+    std::cout << "]}\n";
+    return 0;
+  }
+  std::size_t sampleCount = 0;
+  for (const obs::ExpositionFamily& fam : exp.families) {
+    std::cout << fam.name << " (" << fam.type << ")\n";
+    for (const obs::ExpositionSample& s : fam.samples) {
+      std::cout << "  " << s.name;
+      if (!s.labels.empty()) {
+        std::cout << '{';
+        bool firstLabel = true;
+        for (const auto& [k, v] : s.labels) {
+          if (!firstLabel) std::cout << ',';
+          firstLabel = false;
+          std::cout << k << "=\"" << obs::escapeLabelValue(v) << '"';
+        }
+        std::cout << '}';
+      }
+      std::cout << ' ' << s.value << '\n';
+      ++sampleCount;
+    }
+  }
+  std::cout << "scrape: " << exp.families.size() << " families, "
+            << sampleCount << " samples\n";
+  return 0;
 }
 
 int selftest() {
@@ -913,7 +1003,7 @@ int selftest() {
     anyViolation |= detector.possibly(overlap).has_value();
   }
   if (!anyViolation) {
-    std::cerr << "selftest: expected a CS violation in the rogue trace\n";
+    obs::log::error("gpdtool", "selftest: expected a CS violation in the rogue trace");
     return 2;
   }
   // Resilient online monitor: faulty replay plus a checkpoint round-trip
@@ -929,13 +1019,13 @@ int selftest() {
   // structurally broken trace) and the planner must run on every predicate
   // kind.
   if (lintCmd({path}) != 0) {
-    std::cerr << "selftest: generated trace failed lint\n";
+    obs::log::error("gpdtool", "selftest: generated trace failed lint");
     return 2;
   }
   if (planCmd({path, "conj", "0:cs", "1:cs"}) != 0 ||
       planCmd({path, "cnf", "0:cs,1:cs", "2:cs", "-f", "json"}) != 0 ||
       planCmd({path, "sum", "ge", "1", "cs", "--definitely"}) != 0) {
-    std::cerr << "selftest: plan subcommand failed\n";
+    obs::log::error("gpdtool", "selftest: plan subcommand failed");
     return 2;
   }
   // Budgeted anytime detection: a generous budget must reproduce the exact
@@ -951,7 +1041,7 @@ int selftest() {
     const bool unbudgeted = detector.possibly(overlap).has_value();
     if ((det.outcome == detect::Outcome::Yes) != unbudgeted ||
         det.outcome == detect::Outcome::Unknown) {
-      std::cerr << "selftest: generous budget changed the verdict\n";
+      obs::log::error("gpdtool", "selftest: generous budget changed the verdict");
       return 2;
     }
     CnfPredicate shared;  // both clauses host p0: not singular → lattice
@@ -964,7 +1054,7 @@ int selftest() {
     const detect::Detection starved = detector.possibly(shared, tiny);
     if (starved.outcome != detect::Outcome::Unknown ||
         starved.stopReason != control::StopReason::CutLimit) {
-      std::cerr << "selftest: one-cut budget did not concede unknown\n";
+      obs::log::error("gpdtool", "selftest: one-cut budget did not concede unknown");
       return 2;
     }
   }
@@ -1001,6 +1091,9 @@ int main(int argc, char** argv) {
       if (args.size() != 2) return usage();
       return inspect(args[1]);
     }
+    if (cmd == "scrape") {
+      return scrapeCmd(std::vector<std::string>(args.begin() + 1, args.end()));
+    }
     if (cmd == "lint") {
       return lintCmd(std::vector<std::string>(args.begin() + 1, args.end()));
     }
@@ -1031,11 +1124,13 @@ int main(int argc, char** argv) {
     return usage();
   } catch (const InputError& e) {
     // Bad input (file or arguments): the caller's problem, exit 1.
-    std::cerr << "gpdtool: " << e.what() << '\n';
+    gpd::obs::log::error("gpdtool", e.what());
     return 1;
   } catch (const std::exception& e) {
     // CheckFailure or anything else unexpected: our problem, exit 2.
-    std::cerr << "gpdtool: internal error: " << e.what() << '\n';
+    gpd::obs::log::Event(gpd::obs::log::Level::kError, "gpdtool",
+                         "internal error")
+        .kv("what", e.what());
     return 2;
   }
 }

@@ -475,6 +475,50 @@ std::vector<Finding> checkCheckpointSymmetry(const FileModel& file,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// gpd-log-discipline
+// ---------------------------------------------------------------------------
+
+// The service and its tools log through src/obs/log (levels, rate limits,
+// JSON mode, a single sink); a raw std::cerr or fprintf(stderr, ...) there
+// bypasses all of it and breaks machine-readable operation. Scope:
+// src/service/ plus tools/, except tools/srclint/ itself — the linter links
+// only gpd_analyze and cannot depend on the library it lints.
+bool inLogDisciplinedDir(const std::string& relPath) {
+  if (relPath.find("tools/srclint/") != std::string::npos) return false;
+  return relPath.find("src/service/") != std::string::npos ||
+         relPath.find("tools/") != std::string::npos;
+}
+
+std::vector<Finding> checkLogDiscipline(const FileModel& file,
+                                        const Context&) {
+  std::vector<Finding> out;
+  if (!inLogDisciplinedDir(file.relPath)) return out;
+  const std::vector<Tok>& toks = file.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::Ident) continue;
+    const std::string& name = toks[i].text;
+    if (name == "cerr") {
+      out.push_back(makeFinding(
+          file, toks[i].line, "gpd-log-discipline",
+          "raw std::cerr in a service/tool translation unit bypasses the "
+          "structured log module (levels, rate limiting, JSON mode); emit "
+          "through gpd::obs::log — GPD_LOG_* / log::error — or, for usage "
+          "banners only, obs::log::rawStderr()"));
+      continue;
+    }
+    if (name == "fprintf" && i + 2 < toks.size() &&
+        toks[i + 1].text == "(" && toks[i + 2].text == "stderr") {
+      out.push_back(makeFinding(
+          file, toks[i].line, "gpd-log-discipline",
+          "fprintf(stderr, ...) in a service/tool translation unit bypasses "
+          "the structured log module (levels, rate limiting, JSON mode); "
+          "emit through gpd::obs::log instead"));
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -485,6 +529,7 @@ const std::vector<std::string>& checkNames() {
   static const std::vector<std::string> names = {
       "gpd-budget-charge",       "gpd-clock-discipline", "gpd-span-raii",
       "gpd-pool-capture",        "gpd-checkpoint-symmetry",
+      "gpd-log-discipline",
   };
   return names;
 }
@@ -542,6 +587,7 @@ std::vector<Finding> runCheck(const std::string& check, const FileModel& file,
   if (check == "gpd-checkpoint-symmetry") {
     return checkCheckpointSymmetry(file, ctx);
   }
+  if (check == "gpd-log-discipline") return checkLogDiscipline(file, ctx);
   return {};
 }
 

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #ifndef GPD_VERSION_DESCRIBE
 #define GPD_VERSION_DESCRIBE "unknown"
@@ -31,6 +33,21 @@ inline std::string versionLine(const std::string& bin) {
 #endif
   line += ", srclint=" GPD_BUILD_SRCLINT ")";
   return line;
+}
+
+// The same identity as structured labels, for the STATS "build" object and
+// the gpdd_build_info telemetry gauge.
+inline std::vector<std::pair<std::string, std::string>> buildInfoFields() {
+  return {
+      {"version", GPD_VERSION_DESCRIBE},
+      {"sanitize", GPD_BUILD_SANITIZE},
+#if defined(GPD_OBS_DISABLED)
+      {"obs", "off"},
+#else
+      {"obs", "on"},
+#endif
+      {"srclint", GPD_BUILD_SRCLINT},
+  };
 }
 
 }  // namespace gpd::tools
