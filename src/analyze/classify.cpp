@@ -86,6 +86,29 @@ Hint linearityHint(const std::vector<Cut>& cuts,
   return Hint::Yes;
 }
 
+// Exhaustive regularity check (Garg–Mittal): the satisfying cuts must be
+// closed under both meet and join. Meets/joins of consistent cuts are
+// consistent, so closure is checked by evaluating φ directly on each pair.
+// Quadratic in the satisfying-cut count — gated like the linearity check.
+template <typename Phi>
+Hint regularityHint(const std::vector<Cut>& cuts,
+                    const std::vector<char>& holds, const Phi& phi) {
+  if (cuts.empty() || cuts.size() > kLinearityCutLimit) return Hint::Unknown;
+  std::vector<std::size_t> sat;
+  for (std::size_t i = 0; i < cuts.size(); ++i) {
+    if (holds[i]) sat.push_back(i);
+  }
+  for (std::size_t a = 0; a < sat.size(); ++a) {
+    for (std::size_t b = a + 1; b < sat.size(); ++b) {
+      if (!phi(meet(cuts[sat[a]], cuts[sat[b]])) ||
+          !phi(join(cuts[sat[a]], cuts[sat[b]]))) {
+        return Hint::No;
+      }
+    }
+  }
+  return Hint::Yes;
+}
+
 }  // namespace
 
 const char* toString(Hint h) {
@@ -164,6 +187,15 @@ CnfClassification classifyCnf(const VectorClocks& clocks,
             .size());
     out.clauses.push_back(std::move(facts));
   }
+  for (const ClauseFacts& facts : out.clauses) {
+    out.singleProcessClauses += facts.processes.size() == 1;
+  }
+  // A single-process clause constrains one coordinate of the cut, so its
+  // satisfying set is closed under per-coordinate min/max; a conjunction of
+  // regular predicates is regular.
+  if (out.singleProcessClauses == static_cast<int>(out.clauses.size())) {
+    out.regular = Hint::Yes;
+  }
 
   if (out.singular) {
     out.receiveOrdered = true;
@@ -215,6 +247,9 @@ CnfClassification classifyCnf(const VectorClocks& clocks,
   if (!capped) {
     out.stable = stableViolated ? Hint::No : Hint::Yes;
     out.linear = linearityHint(cuts, holds, comp.processCount());
+    if (out.regular == Hint::Unknown) {
+      out.regular = regularityHint(cuts, holds, phi);
+    }
   }
   // Conjunctions of local predicates are linear by construction
   // (Garg–Waldecker), no enumeration needed.

@@ -9,10 +9,14 @@
 // size cⱼ of the clause's true events (chain-cover enumeration, via
 // graph::minimumChainCover).
 //
-// Stability (Chandy–Lamport) and linearity (Chase–Garg) are *hints*: exact
-// on small lattices (decided exhaustively), Unknown when the lattice is too
-// large to enumerate — except conjunctive predicates, which are linear by
-// construction (Garg–Waldecker).
+// Stability (Chandy–Lamport), linearity (Chase–Garg), and regularity
+// (Garg–Mittal: meet- AND join-closed, the class computation slicing is
+// sound for) are *hints*: exact on small lattices (decided exhaustively),
+// Unknown when the lattice is too large to enumerate — except conjunctive
+// predicates, which are linear by construction (Garg–Waldecker), and CNFs
+// whose clauses are all single-process, which are regular by construction
+// (each clause's satisfaction depends on one coordinate of the cut, so its
+// cut set is closed under per-coordinate min/max).
 #pragma once
 
 #include <cstdint>
@@ -50,9 +54,16 @@ struct CnfClassification {
   bool receiveOrdered = false;
   bool sendOrdered = false;
 
+  // Clauses hosted by exactly one process — the predicate's *regular
+  // skeleton*, which the planner's slice-first step slices on.
+  int singleProcessClauses = 0;
+
   // Exhaustive hints, Unknown above ClassifyOptions::latticeCutLimit.
   Hint stable = Hint::Unknown;
   Hint linear = Hint::Unknown;
+  // Regularity (meet- and join-closure of the satisfying cuts): structural
+  // Yes when every clause is single-process, else decided exhaustively.
+  Hint regular = Hint::Unknown;
 
   // Π cⱼ and Π kⱼ — the two Sec. 3.3 enumeration bounds. Either is 0 when
   // some clause is never true (no detection work remains).

@@ -58,6 +58,8 @@ const char* toString(Modality m) {
 
 const char* toString(Algorithm a) {
   switch (a) {
+    case Algorithm::SliceFirst:
+      return "slice-first";
     case Algorithm::Cpdhb:
       return "cpdhb";
     case Algorithm::CpdscSpecialCase:
@@ -147,6 +149,67 @@ AnalysisReport planCnf(const VectorClocks& clocks, const VariableTrace& trace,
   }
 
   if (!cls.singular) {
+    // Slice-first pre-pass (Garg–Mittal): the single-process clauses form a
+    // regular skeleton whose slice confines every witness; the exhaustive
+    // lattice then only explores the (often exponentially smaller)
+    // sublattice. Predicted size: Π over processes of the number of event
+    // levels where every skeleton clause hosted there holds.
+    const Computation& comp = clocks.computation();
+    if (cls.singleProcessClauses > 0) {
+      std::vector<int> levelCounts(comp.processCount(), 0);
+      for (ProcessId p = 0; p < comp.processCount(); ++p) {
+        levelCounts[p] = comp.eventCount(p);
+      }
+      for (std::size_t j = 0; j < pred.clauses.size(); ++j) {
+        if (cls.clauses[j].processes.size() != 1) continue;
+        const ProcessId p = cls.clauses[j].processes.front();
+        int trueLevels = 0;
+        for (int i = 0; i < comp.eventCount(p); ++i) {
+          bool holds = false;
+          for (const BoolLiteral& l : pred.clauses[j]) {
+            if (l.holds(trace, i)) {
+              holds = true;
+              break;
+            }
+          }
+          trueLevels += holds;
+        }
+        levelCounts[p] = std::min(levelCounts[p], trueLevels);
+      }
+      std::uint64_t predicted = 1;
+      bool saturated = false;
+      for (const int t : levelCounts) {
+        const auto f = static_cast<std::uint64_t>(t);
+        if (f == 0) {
+          predicted = 0;
+          saturated = false;
+          break;
+        }
+        if (predicted > UINT64_MAX / f) {
+          predicted = UINT64_MAX;
+          saturated = true;
+          break;
+        }
+        predicted *= f;
+      }
+      std::ostringstream rationale;
+      rationale << cls.singleProcessClauses
+                << " single-process clause(s) form a regular skeleton "
+                   "(Garg–Mittal): slice to its sublattice, then enumerate "
+                   "the remaining clauses inside it";
+      PlanStep s = step(Algorithm::SliceFirst, true,
+                        productFormula("|T_p|", levelCounts, predicted) +
+                            (saturated ? " (saturated)" : "") +
+                            " sublattice cuts after slicing",
+                        rationale.str());
+      s.predictedSublatticeCuts = predicted;
+      s.predictionSaturated = saturated;
+      report.steps.push_back(std::move(s));
+    } else {
+      report.steps.push_back(
+          step(Algorithm::SliceFirst, false, "n/a",
+               "no single-process clause: no regular skeleton to slice on"));
+    }
     report.steps.push_back(
         step(Algorithm::LatticeEnumeration, true,
              latticeBound(clocks.computation()),
@@ -356,7 +419,8 @@ void renderPlanText(std::ostream& os, const AnalysisReport& report) {
       if (!cls.receiveOrdered && !cls.sendOrdered) os << "; unordered groups";
     }
     os << "; stable: " << toString(cls.stable)
-       << "; linear: " << toString(cls.linear) << '\n';
+       << "; linear: " << toString(cls.linear)
+       << "; regular: " << toString(cls.regular) << '\n';
     for (std::size_t j = 0; j < cls.clauses.size(); ++j) {
       const ClauseFacts& c = cls.clauses[j];
       os << "  clause " << j << ": " << c.literals << " literal(s) on "
@@ -386,6 +450,15 @@ void renderPlanText(std::ostream& os, const AnalysisReport& report) {
     if (!s.applicable) os << "  [not applicable]";
     os << '\n';
     os << "     cost: " << s.bound << '\n';
+    if (s.predictedSublatticeCuts) {
+      os << "     slice: predicted sublattice <= ";
+      if (s.predictionSaturated) {
+        os << "2^64 cuts (saturated)";
+      } else {
+        os << *s.predictedSublatticeCuts << " cut(s)";
+      }
+      os << '\n';
+    }
     os << "     why:  " << s.rationale << '\n';
   }
   for (const Diagnostic& d : report.notes) {
@@ -411,7 +484,10 @@ void renderPlanJson(std::ostream& os, const AnalysisReport& report) {
     os << ", \"receiveOrdered\": " << (cls.receiveOrdered ? "true" : "false")
        << ", \"sendOrdered\": " << (cls.sendOrdered ? "true" : "false")
        << ", \"stable\": \"" << toString(cls.stable) << "\", \"linear\": \""
-       << toString(cls.linear) << "\", \"chainCoverBound\": "
+       << toString(cls.linear) << "\", \"regular\": \""
+       << toString(cls.regular)
+       << "\", \"singleProcessClauses\": " << cls.singleProcessClauses
+       << ", \"chainCoverBound\": "
        << cls.chainCoverBound()
        << ", \"processEnumerationBound\": " << cls.processEnumerationBound()
        << ", \"clauses\": [";
@@ -451,6 +527,14 @@ void renderPlanJson(std::ostream& os, const AnalysisReport& report) {
     } else {
       os << "null";
     }
+    os << ", \"predictedSublatticeCuts\": ";
+    if (s.predictedSublatticeCuts) {
+      os << *s.predictedSublatticeCuts;
+    } else {
+      os << "null";
+    }
+    os << ", \"predictionSaturated\": "
+       << (s.predictionSaturated ? "true" : "false");
     os << ", \"bound\": \"" << jsonEscape(s.bound) << "\", \"rationale\": \""
        << jsonEscape(s.rationale) << "\"}";
   }

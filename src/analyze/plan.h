@@ -38,6 +38,7 @@ const char* toString(Modality m);
 // Every algorithm the detection layer can run. toString() returns the
 // historical Detector::lastAlgorithm() name.
 enum class Algorithm {
+  SliceFirst,
   Cpdhb,
   CpdscSpecialCase,
   SingularChainCover,
@@ -61,6 +62,11 @@ struct PlanStep {
   // combinationsTotal) — for the enumeration steps and CPDHB itself;
   // nullopt for steps whose cost is not CPDHB-shaped.
   std::optional<std::uint64_t> predictedCpdhbInvocations;
+  // For the slice-first step: predicted size of the regular skeleton's
+  // sublattice (Π per-process skeleton-true levels, saturating) — the
+  // detector reports actual explored cuts against it (plan-vs-actual).
+  std::optional<std::uint64_t> predictedSublatticeCuts;
+  bool predictionSaturated = false;  // predictedSublatticeCuts hit 2^64-1
   std::string bound;      // cost formula, e.g. "Π cj = 3·2 = 6"
   std::string rationale;  // why this step is (in)applicable / ranked here
 };

@@ -1,8 +1,11 @@
 #include "detect/detector.h"
 
+#include <cstddef>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "detect/slice.h"
 #include "lattice/explore.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -28,6 +31,10 @@ struct StepRun {
   bool complete = false;  // true: `outcome` is exact
   Outcome outcome = Outcome::Unknown;
   std::optional<Cut> witness;
+  // Set (with ran == false) when the step declined to run for a reason worth
+  // tracing — e.g. the slice pre-pass lacked budget headroom. The walk
+  // records it as a skipped step and falls through to the next one.
+  std::string skipNote;
 };
 
 StepRun exactRun(Outcome outcome, std::optional<Cut> witness = std::nullopt) {
@@ -52,6 +59,179 @@ StepRun exactPossibly(std::optional<Cut> witness) {
 
 StepRun exactDefinitely(bool holds) {
   return exactRun(holds ? Outcome::Yes : Outcome::No);
+}
+
+// Truth table of the CNF's regular skeleton: ok[p][i] is true iff every
+// single-process clause hosted on p holds at p's event i. An empty ok[p]
+// means p hosts no single-process clause (unconstrained by the skeleton).
+std::vector<std::vector<char>> skeletonTruth(const VariableTrace& trace,
+                                             const CnfPredicate& pred) {
+  const Computation& comp = trace.computation();
+  std::vector<std::vector<char>> ok(comp.processCount());
+  for (std::size_t j = 0; j < pred.clauses.size(); ++j) {
+    const std::vector<ProcessId> procs =
+        pred.clauseProcesses(static_cast<int>(j));
+    if (procs.size() != 1) continue;
+    const ProcessId p = procs[0];
+    if (ok[p].empty()) ok[p].assign(comp.eventCount(p), 1);
+    for (int i = 0; i < comp.eventCount(p); ++i) {
+      bool holds = false;
+      for (const BoolLiteral& l : pred.clauses[j]) {
+        if (l.holds(trace, i)) {
+          holds = true;
+          break;
+        }
+      }
+      if (!holds) ok[p][i] = 0;
+    }
+  }
+  return ok;
+}
+
+// Linearity oracle for the skeleton: a process whose hosted single-process
+// clause is false at the cut's frontier is forbidden (the clause depends on
+// that one coordinate only, so any satisfying extension must advance it).
+// The skeleton is regular by construction — each clause's cut set is closed
+// under per-coordinate min/max — so slicing on this oracle is sound without
+// the join-closure check.
+ForbiddenFn skeletonOracle(const std::vector<std::vector<char>>& ok) {
+  return [&ok](const Cut& cut) -> std::optional<ProcessId> {
+    for (ProcessId p = 0; p < static_cast<ProcessId>(ok.size()); ++p) {
+      if (!ok[p].empty() && !ok[p][cut.last[p]]) return p;
+    }
+    return std::nullopt;
+  };
+}
+
+// The slice-first pre-pass (planner Algorithm::SliceFirst): slice the
+// computation on the regular skeleton, then run the full-CNF lattice search
+// restricted to the slice's sublattice. Bit-identity with the unsliced
+// search: every CNF-satisfying cut satisfies the skeleton, so all its events
+// are slice-included and it lies below the slice top — the admitted region
+// contains every satisfying cut, and the restricted BFS preserves the full
+// BFS's level order over that region, so the first witness is the same cut
+// (sequentially and in the pool's deterministic parallel form alike).
+StepRun runSliceFirst(const VectorClocks& clocks, const VariableTrace& trace,
+                      const CnfPredicate& pred, const analyze::PlanStep& step,
+                      par::Pool* pool, control::Budget* budget,
+                      SliceTrace& strace) {
+  const Computation& comp = trace.computation();
+  strace.eventsTotal = static_cast<std::uint64_t>(comp.totalEvents());
+  strace.predictedCuts = step.predictedSublatticeCuts.value_or(0);
+  strace.predictedSaturated = step.predictionSaturated;
+
+  const std::vector<std::vector<char>> ok = skeletonTruth(trace, pred);
+  SliceOptions sopts;
+  sopts.budget = budget;
+  sopts.verifyRegular = false;  // regular by construction, see skeletonOracle
+  Stopwatch watch;
+  const Slice slice = computeSlice(clocks, skeletonOracle(ok), sopts);
+  strace.buildNanos = watch.elapsedNanos();
+  strace.oracleCalls = slice.oracleCalls;
+  GPD_OBS_COUNTER_ADD("slice_prepasses", 1);
+  GPD_OBS_HISTOGRAM("slice_build_nanos", strace.buildNanos);
+  if (!slice.complete) {
+    StepRun run;
+    run.skipNote = "slice pre-pass exhausted the budget building the slice";
+    return run;
+  }
+  strace.eventsExcluded =
+      slice.satisfiable ? slice.excludedEvents() : strace.eventsTotal;
+  GPD_OBS_COUNTER_ADD("slice_events_excluded", strace.eventsExcluded);
+  if (!strace.predictedSaturated) {
+    GPD_OBS_COUNTER_ADD("slice_predicted_cuts", strace.predictedCuts);
+  }
+  if (!slice.satisfiable) {
+    // The skeleton alone is unsatisfiable, hence so is the conjunction.
+    return exactRun(Outcome::No);
+  }
+  bool allSingleProcess = true;
+  for (std::size_t j = 0; j < pred.clauses.size(); ++j) {
+    if (pred.clauseProcesses(static_cast<int>(j)).size() != 1) {
+      allSingleProcess = false;
+      break;
+    }
+  }
+  if (allSingleProcess) {
+    // Fully regular: the skeleton IS the predicate and slice.bottom is its
+    // unique least satisfying cut — exactly the unsliced BFS's first
+    // witness (it sits alone on the lowest satisfying level).
+    return exactRun(Outcome::Yes, slice.bottom);
+  }
+  strace.usedSlice = true;
+  const lattice::CutAdmit admit = [&](ProcessId p, const Cut& succ) {
+    const int idx = succ.last[p];
+    if (idx > slice.top.last[p]) return false;
+    return slice.included(comp.node({p, idx}));
+  };
+  const lattice::CutPredicate phi = [&](const Cut& cut) {
+    return pred.holdsAtCut(trace, cut);
+  };
+  const lattice::CutSearchResult search =
+      pool != nullptr ? lattice::findSatisfyingCutParallel(clocks, phi, *pool,
+                                                           budget, &admit)
+                      : lattice::findSatisfyingCutBudgeted(clocks, phi, budget,
+                                                           &admit);
+  strace.exploredCuts = search.explore.cutsVisited;
+  GPD_OBS_COUNTER_ADD("slice_explored_cuts", strace.exploredCuts);
+  if (!search.complete) return stoppedRun();
+  return exactPossibly(search.witness);
+}
+
+// Odometer pruning for the singular enumerations (Sec. 3.3): slice on the
+// predicate's single-process clauses and drop slice-excluded events from the
+// per-clause true-event queues. An excluded event lies in no
+// skeleton-satisfying cut, hence in no satisfying cut of the conjunction, so
+// every selection through it is doomed — the verdict is preserved; only the
+// selection indices (and possibly the witness selection) shift. Gated to
+// enumeration spaces past 64 combinations so small runs keep their
+// historical selection order bit-for-bit.
+struct SkeletonPruning {
+  bool built = false;          // a slice was computed (strace is meaningful)
+  bool active = false;         // admitted mask applies
+  bool unsatisfiable = false;  // skeleton already rules out every cut
+  std::vector<char> admitted;
+  SliceTrace strace;
+};
+
+SkeletonPruning pruneSingularOdometer(const VectorClocks& clocks,
+                                      const VariableTrace& trace,
+                                      const CnfPredicate& pred,
+                                      const analyze::CnfClassification* cls) {
+  SkeletonPruning out;
+  if (cls == nullptr || cls->singleProcessClauses == 0) return out;
+  if (cls->chainCoverBound() <= 64) return out;
+  const Computation& comp = trace.computation();
+  out.built = true;
+  out.strace.eventsTotal = static_cast<std::uint64_t>(comp.totalEvents());
+  const std::vector<std::vector<char>> ok = skeletonTruth(trace, pred);
+  SliceOptions sopts;
+  sopts.verifyRegular = false;
+  // Unbudgeted on purpose: the build is O(|E|) linear walks — tiny against
+  // the >64-combination enumeration it prunes — and budget-independence
+  // keeps the budgeted and unbudgeted enumerations scanning the same
+  // selection sequence.
+  Stopwatch watch;
+  const Slice slice = computeSlice(clocks, skeletonOracle(ok), sopts);
+  out.strace.buildNanos = watch.elapsedNanos();
+  out.strace.oracleCalls = slice.oracleCalls;
+  GPD_OBS_COUNTER_ADD("slice_prepasses", 1);
+  GPD_OBS_HISTOGRAM("slice_build_nanos", out.strace.buildNanos);
+  if (!slice.satisfiable) {
+    out.strace.eventsExcluded = out.strace.eventsTotal;
+    GPD_OBS_COUNTER_ADD("slice_events_excluded", out.strace.eventsExcluded);
+    out.unsatisfiable = true;
+    return out;
+  }
+  out.strace.eventsExcluded = slice.excludedEvents();
+  GPD_OBS_COUNTER_ADD("slice_events_excluded", out.strace.eventsExcluded);
+  out.strace.usedSlice = true;
+  out.active = true;
+  out.admitted.assign(static_cast<std::size_t>(comp.totalEvents()), 0);
+  for (int node = 0; node < comp.totalEvents(); ++node) {
+    out.admitted[static_cast<std::size_t>(node)] = slice.included(node) ? 1 : 0;
+  }
+  return out;
 }
 
 // Feeds the planner-accuracy metrics once a predicted enumeration step has
@@ -153,7 +333,16 @@ Detection walkPlan(const analyze::AnalysisReport& report,
       continue;
     }
     StepRun run = runTimedStep(step, runStep, budget, det);
-    if (!run.ran) continue;
+    if (!run.ran) {
+      // A declined step with a note (slice pre-pass out of headroom) is
+      // traced as skipped but never becomes the Yes-prover rerun — the walk
+      // just falls through to the unsliced steps below it.
+      if (!run.skipNote.empty()) {
+        noteSkippedStep(det, step, StepTrace::Status::SkippedCost,
+                        std::move(run.skipNote));
+      }
+      continue;
+    }
     lastAlgorithm = name;
     det.algorithm = name;
     if (run.complete) {
@@ -199,6 +388,7 @@ analyze::Algorithm Detector::route(analyze::AnalysisReport report) {
 const analyze::AnalysisReport& Detector::adopt(analyze::AnalysisReport report) {
   report_ = std::move(report);
   report_.threads = pool_ != nullptr ? pool_->threads() : 1;
+  lastSlice_.reset();
   return report_;
 }
 
@@ -243,13 +433,43 @@ std::optional<Cut> Detector::possibly(const CnfPredicate& pred) {
       return std::nullopt;
     }
     case analyze::Algorithm::SingularChainCover: {
-      const SingularCnfResult res =
-          detectSingularByChainCover(clocks_, *trace_, pred, nullptr, pool_);
+      const analyze::CnfClassification* cls =
+          report_.cnf.has_value() ? &*report_.cnf : nullptr;
+      SkeletonPruning pruning;
+      if (slicing_) {
+        pruning = pruneSingularOdometer(clocks_, *trace_, pred, cls);
+      }
+      if (pruning.built) lastSlice_ = pruning.strace;
+      if (pruning.unsatisfiable) return std::nullopt;
+      const SingularCnfResult res = detectSingularByChainCover(
+          clocks_, *trace_, pred, nullptr, pool_,
+          pruning.active ? &pruning.admitted : nullptr);
       // Unbudgeted enumerations feed planner accuracy too: the chosen step
       // carries the Π cⱼ prediction this run just realized.
       recordPlanVsActual(report_.chosen(), res.combinationsTried);
       if (res.found) return res.cut;
       return std::nullopt;
+    }
+    case analyze::Algorithm::SliceFirst: {
+      if (!slicing_) {
+        // Forced off: run the historical unsliced lattice path and report it
+        // as such.
+        lastAlgorithm_ =
+            analyze::toString(analyze::Algorithm::LatticeEnumeration);
+        return searchLattice(
+                   [&](const Cut& cut) {
+                     return pred.holdsAtCut(*trace_, cut);
+                   },
+                   nullptr)
+            .witness;
+      }
+      SliceTrace strace;
+      StepRun run = runSliceFirst(clocks_, *trace_, pred, report_.chosen(),
+                                  pool_, nullptr, strace);
+      lastSlice_ = strace;
+      GPD_CHECK_MSG(run.ran && run.complete,
+                    "unbudgeted slice pre-pass must complete");
+      return std::move(run.witness);
     }
     default:
       GPD_CHECK(algo == analyze::Algorithm::LatticeEnumeration);
@@ -364,7 +584,7 @@ Detection Detector::possibly(const CnfPredicate& pred,
                              control::Budget& budget) {
   adopt(analyze::planCnf(clocks_, *trace_, pred, analyze::Modality::Possibly,
                          routingOptions()));
-  return walkPlan(
+  Detection det = walkPlan(
       report_, budget, lastAlgorithm_, [&](const analyze::PlanStep& step) {
         switch (step.algorithm) {
           case analyze::Algorithm::CpdscSpecialCase: {
@@ -379,15 +599,45 @@ Detection Detector::possibly(const CnfPredicate& pred,
           }
           case analyze::Algorithm::SingularChainCover:
           case analyze::Algorithm::SingularProcessEnumeration: {
+            const analyze::CnfClassification* cls =
+                report_.cnf.has_value() ? &*report_.cnf : nullptr;
+            SkeletonPruning pruning;
+            if (slicing_) {
+              pruning = pruneSingularOdometer(clocks_, *trace_, pred, cls);
+            }
+            if (pruning.built) lastSlice_ = pruning.strace;
+            if (pruning.unsatisfiable) return exactRun(Outcome::No);
+            const std::vector<char>* admitted =
+                pruning.active ? &pruning.admitted : nullptr;
             const SingularCnfResult res =
                 step.algorithm == analyze::Algorithm::SingularChainCover
                     ? detectSingularByChainCover(clocks_, *trace_, pred,
-                                                 &budget, pool_)
+                                                 &budget, pool_, admitted)
                     : detectSingularByProcessEnumeration(
-                          clocks_, *trace_, pred, &budget, pool_);
+                          clocks_, *trace_, pred, &budget, pool_, admitted);
             if (res.found) return exactRun(Outcome::Yes, res.cut);
             if (!res.complete) return stoppedRun();
             return exactRun(Outcome::No);
+          }
+          case analyze::Algorithm::SliceFirst: {
+            if (!slicing_) return StepRun{};
+            if (budget.remainingCuts() <
+                static_cast<std::uint64_t>(
+                    clocks_.computation().totalEvents())) {
+              // Building the slice costs up to |E| budgeted linear walks;
+              // with less headroom than that, go straight to the unsliced
+              // lattice, which can still make bounded progress.
+              StepRun run;
+              run.skipNote =
+                  "slice pre-pass needs |E| cuts of budget headroom; "
+                  "falling back to the unsliced lattice";
+              return run;
+            }
+            SliceTrace strace;
+            StepRun run = runSliceFirst(clocks_, *trace_, pred, step, pool_,
+                                        &budget, strace);
+            lastSlice_ = strace;
+            return run;
           }
           case analyze::Algorithm::LatticeEnumeration: {
             const lattice::CutSearchResult search = searchLattice(
@@ -400,6 +650,8 @@ Detection Detector::possibly(const CnfPredicate& pred,
             return StepRun{};
         }
       });
+  det.slice = lastSlice_;
+  return det;
 }
 
 Detection Detector::possibly(const SumPredicate& pred,

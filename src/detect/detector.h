@@ -70,6 +70,17 @@ class Detector {
   void usePool(par::Pool* pool) { pool_ = pool; }
   par::Pool* pool() const { return pool_; }
 
+  // Slice-first pre-pass (on by default): when the planner's ranked plan
+  // carries a slice-first step — the CNF has single-process clauses forming
+  // a regular skeleton — the detector slices the computation on that
+  // skeleton first and restricts the downstream search to the slice's
+  // sublattice. Verdicts and witnesses are bit-identical to the unsliced
+  // search (the restricted BFS preserves the full BFS's visit order over
+  // the admitted region, which contains every satisfying cut); turning it
+  // off forces the historical unsliced paths, e.g. for A/B benching.
+  void enableSlicing(bool on) { slicing_ = on; }
+  bool slicingEnabled() const { return slicing_; }
+
   // possibly(φ): witness cut or nullopt.
   std::optional<Cut> possibly(const ConjunctivePredicate& pred);
   std::optional<Cut> possibly(const CnfPredicate& pred);
@@ -103,6 +114,10 @@ class Detector {
   // Full analysis report behind the most recent routing decision.
   const analyze::AnalysisReport& lastReport() const { return report_; }
 
+  // Slice pre-pass accounting for the most recent call; nullopt when the
+  // plan carried no slice-first step (or slicing is disabled).
+  const std::optional<SliceTrace>& lastSlice() const { return lastSlice_; }
+
  private:
   // Adopts `report` as the last routing decision and returns the chosen
   // algorithm.
@@ -122,8 +137,10 @@ class Detector {
   const VariableTrace* trace_;
   VectorClocks clocks_;
   par::Pool* pool_ = nullptr;
+  bool slicing_ = true;
   std::string lastAlgorithm_;
   analyze::AnalysisReport report_;
+  std::optional<SliceTrace> lastSlice_;
 };
 
 }  // namespace gpd::detect

@@ -6,18 +6,24 @@
 
 namespace gpd::detect {
 
-LinearResult detectLinear(const VectorClocks& clocks,
-                          const ForbiddenFn& oracle) {
-  return detectLinearFrom(clocks, oracle, initialCut(clocks.computation()));
+LinearResult detectLinear(const VectorClocks& clocks, const ForbiddenFn& oracle,
+                          control::Budget* budget) {
+  return detectLinearFrom(clocks, oracle, initialCut(clocks.computation()),
+                          budget);
 }
 
 LinearResult detectLinearFrom(const VectorClocks& clocks,
-                              const ForbiddenFn& oracle, Cut from) {
+                              const ForbiddenFn& oracle, Cut from,
+                              control::Budget* budget) {
   const Computation& comp = clocks.computation();
   GPD_CHECK(clocks.isConsistent(from));
   LinearResult result;
   Cut cut = std::move(from);
   while (true) {
+    if (budget != nullptr && !budget->chargeCut()) {
+      result.complete = false;
+      return result;
+    }
     ++result.oracleCalls;
     const std::optional<ProcessId> forbidden = oracle(cut);
     if (!forbidden) {

@@ -24,6 +24,7 @@
 
 #include "clocks/vector_clock.h"
 #include "computation/cut.h"
+#include "control/budget.h"
 #include "predicates/local.h"
 
 namespace gpd::detect {
@@ -36,14 +37,20 @@ using ForbiddenFn = std::function<std::optional<ProcessId>(const Cut&)>;
 struct LinearResult {
   std::optional<Cut> cut;     // least satisfying cut, when found
   std::uint64_t oracleCalls = 0;
+  // False iff the walk stopped on budget/cancel before deciding; the cut is
+  // then meaningless (anytime contract: Unknown, not a wrong No).
+  bool complete = true;
 };
 
-LinearResult detectLinear(const VectorClocks& clocks, const ForbiddenFn& oracle);
+LinearResult detectLinear(const VectorClocks& clocks, const ForbiddenFn& oracle,
+                          control::Budget* budget = nullptr);
 
 // As above but starting from `from` (must be consistent): returns the least
 // satisfying cut that *contains* `from`. The plain overload starts at ⊥.
+// Each oracle call charges one cut against `budget` when provided.
 LinearResult detectLinearFrom(const VectorClocks& clocks,
-                              const ForbiddenFn& oracle, Cut from);
+                              const ForbiddenFn& oracle, Cut from,
+                              control::Budget* budget = nullptr);
 
 // B = ⋀ local predicates: a violating cut's forbidden process is any term
 // process whose current event is false.

@@ -62,6 +62,24 @@ inline const char* toString(StepTrace::Status s) {
   return "?";
 }
 
+// What the slice-first pre-pass did: the sublattice it carved out of the
+// computation and what running the restricted search inside it cost. The
+// plan-vs-actual pair is predictedCuts (the planner's saturating product)
+// against exploredCuts (what the restricted BFS really visited).
+struct SliceTrace {
+  std::uint64_t eventsTotal = 0;
+  std::uint64_t eventsExcluded = 0;  // events no skeleton-satisfying cut has
+  std::uint64_t predictedCuts = 0;   // planner's sublattice-size prediction
+  bool predictedSaturated = false;   // prediction clamped at 2^64-1
+  std::uint64_t exploredCuts = 0;    // cuts the restricted search visited
+  std::uint64_t oracleCalls = 0;     // slice-build oracle calls
+  std::uint64_t buildNanos = 0;      // wall time building the slice
+  // True when detection actually ran inside the sublattice; false when the
+  // pre-pass fell back (budget exhausted mid-slice) or short-circuited
+  // (skeleton unsatisfiable / fully regular predicate answered directly).
+  bool usedSlice = false;
+};
+
 struct Detection {
   Outcome outcome = Outcome::Unknown;
   // Witness cut for possibly-Yes (definitely never produces one).
@@ -80,6 +98,9 @@ struct Detection {
   // alike, with per-step wall time for the former. The Yes-prover rerun of
   // a cost-skipped enumeration appears as a second entry for its algorithm.
   std::vector<StepTrace> steps;
+  // Present when the plan carried a slice-first step (even when the
+  // pre-pass fell back — usedSlice tells the two apart).
+  std::optional<SliceTrace> slice;
 };
 
 }  // namespace gpd::detect

@@ -226,13 +226,17 @@ SingularCnfResult enumerateSelections(const VectorClocks& clocks,
 
 }  // namespace
 
-std::vector<std::vector<EventId>> clauseTrueEvents(const VariableTrace& trace,
-                                                   const CnfPredicate& pred) {
+std::vector<std::vector<EventId>> clauseTrueEvents(
+    const VariableTrace& trace, const CnfPredicate& pred,
+    const std::vector<char>* admittedNode) {
   const Computation& comp = trace.computation();
   std::vector<std::vector<EventId>> out(pred.clauses.size());
   for (std::size_t j = 0; j < pred.clauses.size(); ++j) {
     for (ProcessId p : pred.clauseProcesses(static_cast<int>(j))) {
       for (int i = 0; i < comp.eventCount(p); ++i) {
+        if (admittedNode != nullptr && !(*admittedNode)[comp.node({p, i})]) {
+          continue;  // sliced out: no satisfying cut passes through it
+        }
         for (const BoolLiteral& l : pred.clauses[j]) {
           if (l.process == p && l.holds(trace, i)) {
             out[j].push_back({p, i});
@@ -247,11 +251,12 @@ std::vector<std::vector<EventId>> clauseTrueEvents(const VariableTrace& trace,
 
 SingularCnfResult detectSingularByProcessEnumeration(
     const VectorClocks& clocks, const VariableTrace& trace,
-    const CnfPredicate& pred, control::Budget* budget, par::Pool* pool) {
+    const CnfPredicate& pred, control::Budget* budget, par::Pool* pool,
+    const std::vector<char>* admittedNode) {
   GPD_CHECK_MSG(pred.isSingular(), "predicate is not singular");
   GPD_TRACE_SPAN_NAMED(span, "detect.process_enumeration");
   span.attrInt("clauses", static_cast<std::int64_t>(pred.clauses.size()));
-  const auto trueEvents = clauseTrueEvents(trace, pred);
+  const auto trueEvents = clauseTrueEvents(trace, pred, admittedNode);
   // Group j's options: one chain per hosting process (per-process true
   // events are totally ordered by the process order).
   std::vector<std::vector<Chain>> options(pred.clauses.size());
@@ -269,9 +274,9 @@ SingularCnfResult detectSingularByProcessEnumeration(
 
 std::vector<std::vector<Chain>> clauseChainCovers(
     const VectorClocks& clocks, const VariableTrace& trace,
-    const CnfPredicate& pred) {
+    const CnfPredicate& pred, const std::vector<char>* admittedNode) {
   GPD_TRACE_SPAN("detect.chain_cover");
-  const auto trueEvents = clauseTrueEvents(trace, pred);
+  const auto trueEvents = clauseTrueEvents(trace, pred, admittedNode);
   std::vector<std::vector<Chain>> covers(pred.clauses.size());
   for (std::size_t j = 0; j < pred.clauses.size(); ++j) {
     const auto& events = trueEvents[j];
@@ -288,16 +293,16 @@ std::vector<std::vector<Chain>> clauseChainCovers(
   return covers;
 }
 
-SingularCnfResult detectSingularByChainCover(const VectorClocks& clocks,
-                                             const VariableTrace& trace,
-                                             const CnfPredicate& pred,
-                                             control::Budget* budget,
-                                             par::Pool* pool) {
+SingularCnfResult detectSingularByChainCover(
+    const VectorClocks& clocks, const VariableTrace& trace,
+    const CnfPredicate& pred, control::Budget* budget, par::Pool* pool,
+    const std::vector<char>* admittedNode) {
   GPD_CHECK_MSG(pred.isSingular(), "predicate is not singular");
   GPD_TRACE_SPAN_NAMED(span, "detect.chain_cover_enumeration");
   span.attrInt("clauses", static_cast<std::int64_t>(pred.clauses.size()));
-  return enumerateSelections(clocks, clauseChainCovers(clocks, trace, pred),
-                             budget, pool);
+  return enumerateSelections(
+      clocks, clauseChainCovers(clocks, trace, pred, admittedNode), budget,
+      pool);
 }
 
 }  // namespace gpd::detect

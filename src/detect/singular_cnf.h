@@ -44,8 +44,14 @@ struct SingularCnfResult {
 // For each clause, the events on the clause's processes at which the clause
 // is true (i.e., some literal of the clause holds). A cut satisfies the
 // predicate iff it passes through one such event per clause (Observation 1).
-std::vector<std::vector<EventId>> clauseTrueEvents(const VariableTrace& trace,
-                                                   const CnfPredicate& pred);
+// `admittedNode` (Computation::node-indexed, optional) drops events outside
+// an admitted set — the slice-first odometer pruning: an event excluded from
+// the regular skeleton's slice lies in no satisfying cut, so no selection
+// through it can succeed (the verdict is preserved; the witness may move to
+// a different, equally valid selection).
+std::vector<std::vector<EventId>> clauseTrueEvents(
+    const VariableTrace& trace, const CnfPredicate& pred,
+    const std::vector<char>* admittedNode = nullptr);
 
 // Sec. 3.3(a). Requires pred.isSingular(). The budget is charged one
 // combination per CPDHB invocation; on exhaustion the result carries
@@ -61,20 +67,22 @@ std::vector<std::vector<EventId>> clauseTrueEvents(const VariableTrace& trace,
 SingularCnfResult detectSingularByProcessEnumeration(
     const VectorClocks& clocks, const VariableTrace& trace,
     const CnfPredicate& pred, control::Budget* budget = nullptr,
-    par::Pool* pool = nullptr);
+    par::Pool* pool = nullptr,
+    const std::vector<char>* admittedNode = nullptr);
 
 // Sec. 3.3(b). Requires pred.isSingular(). Budgeted and parallelized
 // like (a).
-SingularCnfResult detectSingularByChainCover(const VectorClocks& clocks,
-                                             const VariableTrace& trace,
-                                             const CnfPredicate& pred,
-                                             control::Budget* budget = nullptr,
-                                             par::Pool* pool = nullptr);
+SingularCnfResult detectSingularByChainCover(
+    const VectorClocks& clocks, const VariableTrace& trace,
+    const CnfPredicate& pred, control::Budget* budget = nullptr,
+    par::Pool* pool = nullptr,
+    const std::vector<char>* admittedNode = nullptr);
 
 // Minimum chain covers of each clause's true events; exposed for the A1
 // ablation bench (cover sizes vs group sizes).
 std::vector<std::vector<Chain>> clauseChainCovers(
     const VectorClocks& clocks, const VariableTrace& trace,
-    const CnfPredicate& pred);
+    const CnfPredicate& pred,
+    const std::vector<char>* admittedNode = nullptr);
 
 }  // namespace gpd::detect

@@ -5,8 +5,51 @@
 #include "util/check.h"
 
 namespace gpd::detect {
+namespace {
 
-Slice computeSlice(const VectorClocks& clocks, const ForbiddenFn& oracle) {
+// Distinct least-cuts of the slice — the join-irreducible generators of the
+// sublattice.
+std::vector<Cut> irreduciblesOf(const Slice& slice) {
+  std::vector<Cut> irreducibles;
+  std::unordered_set<Cut> seen;
+  for (const auto& j : slice.leastCut) {
+    if (j && seen.insert(*j).second) irreducibles.push_back(*j);
+  }
+  return irreducibles;
+}
+
+// Regularity spot-check: a regular predicate's satisfying cuts are
+// join-closed, so every pairwise join of least-cuts must itself satisfy the
+// oracle. A merely-linear oracle fails this on some pair (it is exactly the
+// 2-generator counterexample shape) and we refuse with a typed error rather
+// than hand back a slice whose membership theorem silently lies.
+void verifyJoinClosure(Slice& slice, const ForbiddenFn& oracle,
+                       control::Budget* budget) {
+  const std::vector<Cut> irreducibles = irreduciblesOf(slice);
+  for (std::size_t a = 0; a < irreducibles.size(); ++a) {
+    for (std::size_t b = a + 1; b < irreducibles.size(); ++b) {
+      if (budget != nullptr && !budget->chargeCut()) {
+        slice.complete = false;
+        return;
+      }
+      ++slice.oracleCalls;
+      const Cut joined = join(irreducibles[a], irreducibles[b]);
+      if (oracle(joined).has_value()) {
+        throw InputError(
+            "computeSlice: oracle is linear but not regular — the join " +
+            joined.toString() +
+            " of two least satisfying cuts violates the predicate; slicing "
+            "requires a regular predicate (route through the planner's "
+            "regularity gate)");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Slice computeSlice(const VectorClocks& clocks, const ForbiddenFn& oracle,
+                   const SliceOptions& options) {
   const Computation& comp = clocks.computation();
   Slice slice;
   slice.leastCut.assign(comp.totalEvents(), std::nullopt);
@@ -19,7 +62,13 @@ Slice computeSlice(const VectorClocks& clocks, const ForbiddenFn& oracle) {
       start.last[q] = clocks.clock(e, q);
     }
     start.last[e.process] = std::max(start.last[e.process], e.index);
-    LinearResult res = detectLinearFrom(clocks, oracle, std::move(start));
+    LinearResult res =
+        detectLinearFrom(clocks, oracle, std::move(start), options.budget);
+    slice.oracleCalls += res.oracleCalls;
+    if (!res.complete) {
+      slice.complete = false;
+      return slice;
+    }
     slice.leastCut[node] = std::move(res.cut);
   }
 
@@ -34,11 +83,15 @@ Slice computeSlice(const VectorClocks& clocks, const ForbiddenFn& oracle) {
       if (j) slice.top = join(slice.top, *j);
     }
   }
+  if (options.verifyRegular && slice.satisfiable) {
+    verifyJoinClosure(slice, oracle, options.budget);
+  }
   return slice;
 }
 
 bool sliceSatisfies(const Slice& slice, const VectorClocks& clocks,
                     const Cut& cut) {
+  GPD_CHECK(slice.complete);
   if (!slice.satisfiable) return false;
   const Computation& comp = clocks.computation();
   GPD_DCHECK(clocks.isConsistent(cut));
@@ -53,21 +106,54 @@ bool sliceSatisfies(const Slice& slice, const VectorClocks& clocks,
   return acc == cut;
 }
 
-std::uint64_t countSatisfyingCuts(const Slice& slice,
-                                  const VectorClocks& clocks) {
-  if (!slice.satisfiable) return 0;
-  // Every satisfying cut is a join of least-cuts; close {bottom} under
-  // single-J joins. Output-bounded: no oracle calls, |result| states.
-  std::vector<Cut> irreducibles;
-  {
-    std::unordered_set<Cut> seen;
-    for (const auto& j : slice.leastCut) {
-      if (j && seen.insert(*j).second) irreducibles.push_back(*j);
+SliceCount countSatisfyingCuts(const Slice& slice, const VectorClocks& clocks,
+                               control::Budget* budget) {
+  GPD_CHECK(slice.complete);
+  SliceCount result;
+  if (!slice.satisfiable) return result;
+  const Computation& comp = clocks.computation();
+  const std::vector<Cut> irreducibles = irreduciblesOf(slice);
+
+  // Fast path: when every irreducible advances at most one process past
+  // bottom, the sublattice is the product of per-process chains and the
+  // count is an exact saturating product — this is also the only path where
+  // 2^64 is actually reachable (e.g. 64 independent processes).
+  bool independent = true;
+  for (const Cut& j : irreducibles) {
+    int advanced = 0;
+    for (ProcessId p = 0; p < comp.processCount(); ++p) {
+      advanced += j.last[p] > slice.bottom.last[p];
+    }
+    if (advanced > 1) {
+      independent = false;
+      break;
     }
   }
+  if (independent) {
+    result.count = 1;
+    for (ProcessId p = 0; p < comp.processCount(); ++p) {
+      std::unordered_set<int> levels{slice.bottom.last[p]};
+      for (const Cut& j : irreducibles) levels.insert(j.last[p]);
+      const std::uint64_t factor = levels.size();
+      if (result.count > UINT64_MAX / factor) {
+        result.count = UINT64_MAX;
+        result.saturated = true;
+        return result;
+      }
+      result.count *= factor;
+    }
+    return result;
+  }
+
+  // General case: close {bottom} under single-J joins. Output-bounded: no
+  // oracle calls, one budget charge per reached sublattice cut.
   std::unordered_set<Cut> reached{slice.bottom};
   std::vector<Cut> frontier{slice.bottom};
   while (!frontier.empty()) {
+    if (budget != nullptr && !budget->chargeCut()) {
+      result.complete = false;
+      break;
+    }
     const Cut cut = std::move(frontier.back());
     frontier.pop_back();
     for (const Cut& j : irreducibles) {
@@ -75,8 +161,8 @@ std::uint64_t countSatisfyingCuts(const Slice& slice,
       if (reached.insert(next).second) frontier.push_back(std::move(next));
     }
   }
-  (void)clocks;
-  return reached.size();
+  result.count = reached.size();
+  return result;
 }
 
 }  // namespace gpd::detect

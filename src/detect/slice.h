@@ -1,6 +1,7 @@
 // Computation slicing for regular predicates — the authors' own follow-up
 // to this paper (Garg & Mittal, "On Slicing a Distributed Computation",
-// ICDCS 2001; implemented here as the extension/future-work feature).
+// ICDCS 2001; promoted from a bench-only toy to the planner's slice-first
+// pre-pass).
 //
 // A predicate is *regular* iff its satisfying consistent cuts are closed
 // under both lattice meet and join — a sublattice. (Conjunctive predicates
@@ -18,16 +19,35 @@
 // satisfying cuts, and supports intersection with further predicates —
 // while being only |E| cuts large. Built on detectLinearFrom: J(e) is the
 // least B-cut reachable from e's causal history.
+//
+// With a merely-linear (non-regular) oracle the J's are still least cuts
+// but the join-closure theorem fails and the slice would silently lie.
+// computeSlice therefore verifies join-closure of the computed J's by
+// default and throws gpd::InputError on a violation; detector-internal
+// callers whose soundness is established by the classifier's regularity
+// verdict disable the check via SliceOptions::verifyRegular.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "clocks/vector_clock.h"
 #include "computation/cut.h"
+#include "control/budget.h"
 #include "detect/linear.h"
 
 namespace gpd::detect {
+
+struct SliceOptions {
+  // Charged one cut per oracle call (slice build and regularity check);
+  // exhaustion yields an incomplete slice, never a wrong one.
+  control::Budget* budget = nullptr;
+  // Verify that the computed least-cuts are join-closed under the oracle and
+  // throw gpd::InputError otherwise. Callers that gate on the classifier's
+  // regularity verdict may turn this off; everyone else should not.
+  bool verifyRegular = true;
+};
 
 struct Slice {
   // Per event (Computation::node numbering): the least satisfying cut
@@ -38,24 +58,48 @@ struct Slice {
   // The least and greatest satisfying cuts, when satisfiable.
   Cut bottom;
   Cut top;
+  // False iff the budget ran out mid-build: leastCut is partially filled and
+  // satisfiable/bottom/top are meaningless (anytime contract).
+  bool complete = true;
+  std::uint64_t oracleCalls = 0;
 
   bool included(int node) const { return leastCut[node].has_value(); }
+  // Events no satisfying cut contains; 0 on an unsatisfiable slice means
+  // "everything excluded" and is reported as totalEvents by callers.
+  std::uint64_t excludedEvents() const {
+    std::uint64_t n = 0;
+    for (const auto& j : leastCut) n += !j.has_value();
+    return n;
+  }
 };
 
-// Requires `oracle` to describe a *regular* (hence linear) predicate; with a
-// merely-linear oracle the J's are still least cuts but the join-closure
-// theorem no longer holds (tests verify regular instances only).
-Slice computeSlice(const VectorClocks& clocks, const ForbiddenFn& oracle);
+// Requires `oracle` to describe a *linear* predicate; regularity is verified
+// (see SliceOptions::verifyRegular) and its violation throws gpd::InputError.
+Slice computeSlice(const VectorClocks& clocks, const ForbiddenFn& oracle,
+                   const SliceOptions& options = {});
 
 // Membership test through the slice: C satisfies B ⟺ C equals the join of
 // the least cuts of its included events (excluded events ⟹ false).
-// O(|C|·n) after the slice is built — no oracle calls.
+// O(|C|·n) after the slice is built — no oracle calls. Requires a complete
+// slice.
 bool sliceSatisfies(const Slice& slice, const VectorClocks& clocks,
                     const Cut& cut);
 
-// Number of satisfying cuts, by level-BFS restricted to the slice's
-// sublattice (exponential output bound but no oracle calls).
-std::uint64_t countSatisfyingCuts(const Slice& slice,
-                                  const VectorClocks& clocks);
+struct SliceCount {
+  std::uint64_t count = 0;
+  // The true count exceeds 2^64-1; `count` is clamped to UINT64_MAX instead
+  // of wrapping (PR 3's chain-cover product bug class).
+  bool saturated = false;
+  // False iff the budget ran out mid-count; `count` is then a lower bound.
+  bool complete = true;
+};
+
+// Number of satisfying cuts. When every join-irreducible advances a single
+// process past bottom the sublattice is a product of per-process chains and
+// the count is an exact saturating product; otherwise a level-BFS restricted
+// to the sublattice runs (exponential output bound, budget-charged, no
+// oracle calls). Requires a complete slice.
+SliceCount countSatisfyingCuts(const Slice& slice, const VectorClocks& clocks,
+                               control::Budget* budget = nullptr);
 
 }  // namespace gpd::detect

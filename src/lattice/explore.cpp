@@ -14,7 +14,8 @@ namespace gpd::lattice {
 namespace {
 
 // Expands `cut` by every enabled event, appending the successors that pass
-// `admit` and were not seen before to `next`.
+// `admit` (called with the advanced process) and were not seen before to
+// `next`.
 template <typename Admit>
 void expand(const VectorClocks& clocks, const Cut& cut,
             std::unordered_set<Cut>& seen, std::vector<Cut>& next,
@@ -25,10 +26,12 @@ void expand(const VectorClocks& clocks, const Cut& cut,
     if (!clocks.enabled(p, cut)) continue;
     Cut succ = cut;
     ++succ.last[p];
-    if (!admit(succ)) continue;
+    if (!admit(p, succ)) continue;
     if (seen.insert(succ).second) next.push_back(succ);
   }
 }
+
+constexpr auto kAdmitAll = [](ProcessId, const Cut&) { return true; };
 
 // Approximate live bytes of one stored cut (vector header + components).
 std::uint64_t cutBytes(const Computation& comp) {
@@ -78,7 +81,10 @@ const char* toString(ExploreEnd end) {
 
 ExploreResult exploreConsistentCuts(
     const VectorClocks& clocks, const std::function<bool(const Cut&)>& visit,
-    control::Budget* budget) {
+    control::Budget* budget, const CutAdmit* restriction) {
+  const auto admit = [&](ProcessId p, const Cut& succ) {
+    return restriction == nullptr || (*restriction)(p, succ);
+  };
   GPD_TRACE_SPAN_NAMED(span, "lattice.explore");
   const Computation& comp = clocks.computation();
   const std::uint64_t perCut = cutBytes(comp);
@@ -105,7 +111,7 @@ ExploreResult exploreConsistentCuts(
         result.end = ExploreEnd::VisitorStopped;
         return finish();
       }
-      expand(clocks, cut, seen, next, [](const Cut&) { return true; });
+      expand(clocks, cut, seen, next, admit);
     }
     if (!noteFrontier(result, perCut, level.size() + next.size(), budget)) {
       return finish();
@@ -122,7 +128,8 @@ std::uint64_t forEachConsistentCut(
 
 CutSearchResult findSatisfyingCutBudgeted(const VectorClocks& clocks,
                                           const CutPredicate& phi,
-                                          control::Budget* budget) {
+                                          control::Budget* budget,
+                                          const CutAdmit* restriction) {
   CutSearchResult result;
   result.explore = exploreConsistentCuts(
       clocks,
@@ -133,7 +140,7 @@ CutSearchResult findSatisfyingCutBudgeted(const VectorClocks& clocks,
         }
         return true;
       },
-      budget);
+      budget, restriction);
   // Exact iff a witness surfaced or the whole lattice was examined.
   result.complete = result.witness.has_value() ||
                     result.explore.end == ExploreEnd::Exhausted;
@@ -143,7 +150,11 @@ CutSearchResult findSatisfyingCutBudgeted(const VectorClocks& clocks,
 CutSearchResult findSatisfyingCutParallel(const VectorClocks& clocks,
                                           const CutPredicate& phi,
                                           par::Pool& pool,
-                                          control::Budget* budget) {
+                                          control::Budget* budget,
+                                          const CutAdmit* restriction) {
+  const auto admit = [&](ProcessId p, const Cut& succ) {
+    return restriction == nullptr || (*restriction)(p, succ);
+  };
   GPD_TRACE_SPAN_NAMED(span, "lattice.explore_par");
   const int workers = pool.threads();
   span.attrInt("threads", workers);
@@ -205,7 +216,7 @@ CutSearchResult findSatisfyingCutParallel(const VectorClocks& clocks,
           }
           return;
         }
-        expand(clocks, cut, seen, next, [](const Cut&) { return true; });
+        expand(clocks, cut, seen, next, admit);
       }
     });
     for (std::uint64_t& count : visited) {
@@ -276,7 +287,7 @@ DefinitelyDecision definitelyExhaustiveBudgeted(const VectorClocks& clocks,
     return decision;
   }
   std::vector<Cut> level{bottom};
-  const auto notPhi = [&](const Cut& c) { return !phi(c); };
+  const auto notPhi = [&](ProcessId, const Cut& c) { return !phi(c); };
   while (!level.empty()) {
     std::unordered_set<Cut> seen;
     std::vector<Cut> next;
@@ -327,7 +338,7 @@ DefinitelyDecision definitelyExhaustiveParallel(const VectorClocks& clocks,
     decision.holds = false;
     return decision;
   }
-  const auto notPhi = [&](const Cut& c) { return !phi(c); };
+  const auto notPhi = [&](ProcessId, const Cut& c) { return !phi(c); };
   std::vector<Cut> level{bottom};
   std::vector<std::vector<Cut>> nexts(static_cast<std::size_t>(workers));
   std::vector<std::uint64_t> visited(static_cast<std::size_t>(workers), 0);
@@ -422,7 +433,7 @@ LatticeStats latticeStats(const VectorClocks& clocks,
         stats.complete = false;
         return stats;
       }
-      expand(clocks, cut, seen, next, [](const Cut&) { return true; });
+      expand(clocks, cut, seen, next, kAdmitAll);
     }
     level = std::move(next);
   }

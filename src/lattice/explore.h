@@ -31,6 +31,16 @@ namespace gpd::lattice {
 // predicates/eval.h.
 using CutPredicate = std::function<bool(const Cut&)>;
 
+// Restriction of the BFS to a sublattice (the slice-first pre-pass): called
+// with the advanced process and the successor cut; returning false prunes
+// that successor from the frontier. Soundness is the caller's business — the
+// BFS then only covers the cuts reachable through admitted successors (for a
+// slice restriction: every cut whose events are all included and that lies
+// below the slice top, which contains every satisfying cut of any predicate
+// implying the sliced one). Must be safe to call concurrently in the
+// parallel forms.
+using CutAdmit = std::function<bool(ProcessId, const Cut&)>;
+
 // How an exploration ended. Callers that stop the visit early (searches)
 // must be able to tell their own stop from true exhaustion — and both from
 // a budget stop, which leaves part of the lattice unexamined.
@@ -53,9 +63,14 @@ struct ExploreResult {
 // non-initial events). Stops early when `visit` returns false
 // (VisitorStopped) or when the budget trips (BudgetExhausted); the result
 // separates the two from genuine exhaustion.
+// `restrict` (optional) prunes successors from the frontier; the restricted
+// BFS visits, level by level, exactly the full BFS's visit order filtered to
+// the admitted region (the admitted sublattice's generator sets coincide,
+// so the relative order of common cuts is preserved).
 ExploreResult exploreConsistentCuts(const VectorClocks& clocks,
                                     const std::function<bool(const Cut&)>& visit,
-                                    control::Budget* budget = nullptr);
+                                    control::Budget* budget = nullptr,
+                                    const CutAdmit* restriction = nullptr);
 
 // Back-compat wrapper: the visit count of an unbudgeted exploration.
 std::uint64_t forEachConsistentCut(const VectorClocks& clocks,
@@ -72,7 +87,8 @@ struct CutSearchResult {
 
 CutSearchResult findSatisfyingCutBudgeted(const VectorClocks& clocks,
                                           const CutPredicate& phi,
-                                          control::Budget* budget = nullptr);
+                                          control::Budget* budget = nullptr,
+                                          const CutAdmit* restriction = nullptr);
 
 // Level-synchronous parallel form of findSatisfyingCutBudgeted: pool
 // workers scan disjoint contiguous slices of each antichain frontier and
@@ -89,7 +105,8 @@ CutSearchResult findSatisfyingCutBudgeted(const VectorClocks& clocks,
 CutSearchResult findSatisfyingCutParallel(const VectorClocks& clocks,
                                           const CutPredicate& phi,
                                           par::Pool& pool,
-                                          control::Budget* budget = nullptr);
+                                          control::Budget* budget = nullptr,
+                                          const CutAdmit* restriction = nullptr);
 
 // possibly(φ): some consistent cut satisfies φ. Returns a witness cut.
 std::optional<Cut> findSatisfyingCut(const VectorClocks& clocks,

@@ -43,6 +43,15 @@ MonitorSession::MonitorSession(int processes, SessionOptions options,
   GPD_CHECK(options.reorderWindow >= 1);
   GPD_CHECK(options.maxRetries >= 1);
   GPD_CHECK(options.retryTimeout >= 1);
+  if (options.enableSlice) slice_.emplace(processes);
+}
+
+ReportStatus MonitorSession::offerToMonitor(int p, std::vector<int> clock) {
+  std::vector<int> copy;
+  if (slice_) copy = clock;  // retained only when the monitor consumes it
+  const ReportStatus status = monitor_.offer(p, std::move(clock));
+  if (slice_ && status != ReportStatus::Rejected) slice_->offer(p, copy);
+  return status;
 }
 
 Delivery MonitorSession::deliver(int p, std::uint64_t seq,
@@ -59,7 +68,7 @@ Delivery MonitorSession::deliver(int p, std::uint64_t seq,
     ++stats_.duplicates;
     outcome = Delivery::Duplicate;
   } else if (seq == nextSeq_[p]) {
-    const ReportStatus status = monitor_.offer(p, std::move(clock));
+    const ReportStatus status = offerToMonitor(p, std::move(clock));
     if (status == ReportStatus::Rejected) {
       ++stats_.backpressured;
       runTimers();
@@ -75,7 +84,7 @@ Delivery MonitorSession::deliver(int p, std::uint64_t seq,
     // The gap before this notification is unrecoverable and already written
     // off: skip over it. Program order still holds (sequence numbers, and
     // therefore own clock components, only move forward).
-    const ReportStatus status = monitor_.offer(p, std::move(clock));
+    const ReportStatus status = offerToMonitor(p, std::move(clock));
     if (status == ReportStatus::Rejected) {
       ++stats_.backpressured;
       runTimers();
@@ -232,7 +241,7 @@ void MonitorSession::drainBuffer(int p) {
     // offer() takes its argument by value, so moving here would leave a
     // moved-from entry behind on rejection; pass a copy and erase only once
     // the monitor has accepted it.
-    const ReportStatus status = monitor_.offer(p, head->second);
+    const ReportStatus status = offerToMonitor(p, head->second);
     if (status == ReportStatus::Rejected) {
       ++stats_.backpressured;
       return;  // keep it buffered; retried on the next logical step
@@ -264,6 +273,7 @@ std::size_t MonitorSession::shedMemory(std::size_t keepPerQueue) {
     }
   }
   dropped += monitor_.shedQueuedTail(keepPerQueue);
+  if (slice_) dropped += slice_->shed();
   return dropped;
 }
 
@@ -275,7 +285,7 @@ void MonitorSession::doDegrade(int p) {
   // Release the buffered suffix in program order. Detection on what *did*
   // arrive is still sound; only completeness is lost.
   for (auto& [seq, clock] : buffer_[p]) {
-    const ReportStatus status = monitor_.offer(p, std::move(clock));
+    const ReportStatus status = offerToMonitor(p, std::move(clock));
     if (status == ReportStatus::Rejected) {
       // Queue full and the stream is already incomplete — drop, it cannot
       // make the verdict any less conclusive than Degraded.
@@ -361,6 +371,11 @@ MonitorSession MonitorSession::restore(const SessionSnapshot& snap,
   s.announcedCount_ = snap.announcedCount;
   s.evictedUpper_ = snap.evictedUpper;
   s.stats_ = snap.stats;
+  if (s.slice_) {
+    // The slice is not checkpointed: a restored run has missed the
+    // pre-crash notifications, so its slice can never claim completeness.
+    s.slice_->latchDegraded();
+  }
   return s;
 }
 

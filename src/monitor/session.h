@@ -31,9 +31,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "monitor/online.h"
+#include "monitor/slice.h"
 
 namespace gpd::monitor {
 
@@ -65,6 +67,14 @@ struct SessionOptions {
   // Logical ticks (deliver()/tick() calls) between successive NACKs for the
   // same gap, and between the last NACK and degradation (≥ 1).
   std::uint64_t retryTimeout = 64;
+  // Maintain the online slice (monitor/slice.h) of the monitored predicate:
+  // every notification the monitor consumes also feeds the incremental
+  // J-computation, and slice() exposes the resolved irreducibles and the
+  // sublattice bound. Off by default — the slice retains every consumed
+  // clock, and it is not part of snapshots (a restored session's slice
+  // starts degraded), so the crash-recovery byte-identity of sliceless
+  // deployments is untouched.
+  bool enableSlice = false;
 };
 
 // Retransmit request: please resend process `process`, sequence numbers
@@ -155,6 +165,15 @@ class MonitorSession {
   const SessionStats& stats() const { return stats_; }
   const ConjunctiveMonitor& monitor() const { return monitor_; }
 
+  // The online slice, or nullptr when SessionOptions::enableSlice is off.
+  const OnlineSlice* slice() const { return slice_ ? &*slice_ : nullptr; }
+
+  // Live memory retained by the slice (0 when disabled) — added to the
+  // queue/buffer estimate by the gpdd shedding ladder.
+  std::size_t sliceBytes() const {
+    return slice_ ? slice_->bytesRetained() : 0;
+  }
+
   // Notifications currently parked in the reorder buffers (all processes).
   // The gpdd service uses this, with the monitor queue sizes, to estimate a
   // session's live memory for the load-shedding ladder.
@@ -194,6 +213,9 @@ class MonitorSession {
   void closeGapIfFilled(int p);
   void drainBuffer(int p);
   void doDegrade(int p);
+  // monitor_.offer plus the slice feed: every notification the monitor
+  // consumes (any status but Rejected) is also handed to the online slice.
+  ReportStatus offerToMonitor(int p, std::vector<int> clock);
 
   int n_;
   SessionOptions options_;
@@ -208,6 +230,7 @@ class MonitorSession {
   std::vector<std::uint64_t> announcedCount_;
   std::vector<std::uint64_t> evictedUpper_;
   SessionStats stats_;
+  std::optional<OnlineSlice> slice_;
 };
 
 }  // namespace gpd::monitor

@@ -1,0 +1,169 @@
+#include "monitor/slice.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace gpd::monitor {
+
+OnlineSlice::OnlineSlice(int processes)
+    : n_(processes),
+      own_(processes),
+      clocks_(processes),
+      resolvedOnProcess_(processes, 0) {
+  GPD_CHECK(processes >= 1);
+}
+
+int OnlineSlice::advance(std::vector<int>& cut) {
+  // Greedy least fixpoint: every process must sit at a notification event,
+  // so lift each coordinate to the first notification at or past it and
+  // fold that notification's causal history in; repeat until stable. The
+  // fixpoint only grows, so the result is the least satisfying cut above
+  // the start — independent of the lift order.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int q = 0; q < n_; ++q) {
+      const auto it =
+          std::lower_bound(own_[q].begin(), own_[q].end(), cut[q]);
+      if (it == own_[q].end()) return q;  // q has not reported this far yet
+      const std::size_t idx =
+          static_cast<std::size_t>(it - own_[q].begin());
+      const std::vector<int>& nclock = clocks_[q][idx];
+      bool lifted = false;
+      for (int r = 0; r < n_; ++r) {
+        if (nclock[r] > cut[r]) {
+          cut[r] = nclock[r];
+          lifted = true;
+        }
+      }
+      if (lifted) {
+        changed = true;
+        ++advanceSteps_;
+      }
+    }
+  }
+  return -1;
+}
+
+void OnlineSlice::countResolved(int p) {
+  ++resolvedOnProcess_[p];
+  GPD_OBS_COUNTER_ADD("monitor_slice_resolved", 1);
+}
+
+void OnlineSlice::resolveOrPark(int p, int index, std::vector<int> cut) {
+  const int blocked = advance(cut);
+  if (blocked >= 0) {
+    PendingEntry entry;
+    entry.process = p;
+    entry.index = index;
+    entry.cut = std::move(cut);
+    pending_.push_back(std::move(entry));
+    pendingBlockedOn_.push_back(blocked);
+    return;
+  }
+  Irreducible irr;
+  irr.process = p;
+  irr.index = index;
+  irr.cut = std::move(cut);
+  resolved_.push_back(std::move(irr));
+  countResolved(p);
+}
+
+void OnlineSlice::retryPending(int arrived) {
+  // A new notification can only unblock entries waiting on its process.
+  // Extract the matches first, then retry: a retried entry may re-park on
+  // `arrived` (its fixpoint still needs a later notification), and it must
+  // not be retried again within this call.
+  std::vector<PendingEntry> retry;
+  for (std::size_t i = 0; i < pending_.size();) {
+    if (pendingBlockedOn_[i] != arrived) {
+      ++i;
+      continue;
+    }
+    retry.push_back(std::move(pending_[i]));
+    pending_[i] = std::move(pending_.back());
+    pendingBlockedOn_[i] = pendingBlockedOn_.back();
+    pending_.pop_back();
+    pendingBlockedOn_.pop_back();
+  }
+  for (PendingEntry& entry : retry) {
+    resolveOrPark(entry.process, entry.index, std::move(entry.cut));
+  }
+}
+
+void OnlineSlice::offer(int p, const std::vector<int>& clock) {
+  GPD_CHECK(p >= 0 && p < n_);
+  GPD_CHECK(static_cast<int>(clock.size()) == n_);
+  if (degraded_) return;
+  const int ownIndex = clock[p];
+  GPD_INPUT_CHECK(own_[p].empty() || own_[p].back() < ownIndex,
+                  "online slice: notification of process "
+                      << p << " violates program order (own component "
+                      << ownIndex << " after " << own_[p].back() << ")");
+  own_[p].push_back(ownIndex);
+  clocks_[p].push_back(clock);
+  ++notifications_;
+  GPD_OBS_COUNTER_ADD("monitor_slice_notifications", 1);
+  // J(e) starts from e's causal history — the least consistent cut
+  // containing e.
+  resolveOrPark(p, ownIndex, clock);
+  retryPending(p);
+}
+
+OnlineSliceStats OnlineSlice::stats() const {
+  OnlineSliceStats s;
+  s.notifications = notifications_;
+  s.resolved = resolved_.size();
+  s.pending = pending_.size();
+  s.advanceSteps = advanceSteps_;
+  s.shedNotifications = shedNotifications_;
+  s.degraded = degraded_;
+  s.upperBoundCuts = 1;
+  for (int p = 0; p < n_; ++p) {
+    const std::uint64_t factor = resolvedOnProcess_[p] + 1;
+    if (s.upperBoundCuts > UINT64_MAX / factor) {
+      s.upperBoundCuts = UINT64_MAX;
+      s.upperBoundSaturated = true;
+      break;
+    }
+    s.upperBoundCuts *= factor;
+  }
+  return s;
+}
+
+std::size_t OnlineSlice::bytesRetained() const {
+  const std::size_t perClock = sizeof(std::vector<int>) +
+                               static_cast<std::size_t>(n_) * sizeof(int);
+  std::size_t clockCount = 0;
+  for (int p = 0; p < n_; ++p) clockCount += clocks_[p].size();
+  return clockCount * (perClock + sizeof(int)) +
+         pending_.size() * (perClock + sizeof(PendingEntry)) +
+         resolved_.size() * (perClock + sizeof(Irreducible));
+}
+
+std::size_t OnlineSlice::shed() {
+  std::size_t dropped = pending_.size();
+  for (int p = 0; p < n_; ++p) {
+    dropped += clocks_[p].size();
+    clocks_[p].clear();
+    clocks_[p].shrink_to_fit();
+    own_[p].clear();
+    own_[p].shrink_to_fit();
+  }
+  pending_.clear();
+  pending_.shrink_to_fit();
+  pendingBlockedOn_.clear();
+  pendingBlockedOn_.shrink_to_fit();
+  resolved_.clear();
+  resolved_.shrink_to_fit();
+  shedNotifications_ += dropped;
+  if (!degraded_) {
+    degraded_ = true;
+    GPD_OBS_COUNTER_ADD("monitor_slice_shed", 1);
+  }
+  return dropped;
+}
+
+}  // namespace gpd::monitor

@@ -1,0 +1,124 @@
+// Online incremental computation slicing (Garg–Mittal) for the weak
+// conjunctive predicate the checker monitors.
+//
+// Offline, detect/slice.h builds the slice of a regular predicate by running
+// the linear detector from every event's causal history. Online, the
+// checker only ever learns about *true* events — the vector-timestamped
+// notifications — and they arrive incrementally. This module maintains the
+// slice of "every process sits at a notification event" as notifications
+// stream in: for each notification e it computes the join-irreducible
+// J(e) = the least satisfying cut containing e, by the same greedy
+// least-fixpoint the linear detector runs, restricted to the notification
+// lists (each process's own components are strictly increasing, so "the
+// first true event of q at or past index i" is one binary search).
+//
+// Per-report cost is amortized flat: each fixpoint step lifts some
+// coordinate to a strictly later notification, a notification is parked
+// ("pending") the moment a needed process has not reported far enough yet
+// and is retried only when that process reports again — so every
+// (notification, lift) pair is paid for at most once across the whole run.
+//
+// Incrementality is canonical: J(e) is a least fixpoint over per-process
+// lists that only grow at the tail, so the resolved cuts are independent of
+// the cross-process arrival interleaving — feeding the same notifications
+// in any order (or rebuilding from scratch) yields the same irreducibles.
+//
+// Like the monitor itself, the slice degrades instead of lying: shed()
+// frees the retained clocks and latches `degraded` — already-resolved
+// irreducibles remain genuine least cuts, but no further ones are produced
+// and the sublattice bound becomes a lower estimate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gpd::monitor {
+
+struct OnlineSliceStats {
+  std::uint64_t notifications = 0;  // clocks absorbed
+  std::uint64_t resolved = 0;       // irreducibles J(e) computed
+  std::uint64_t pending = 0;        // parked, waiting on another process
+  std::uint64_t advanceSteps = 0;   // fixpoint lift operations performed
+  // Saturating Π_p (resolved irreducibles hosted on p + 1): an upper bound
+  // on the satisfying sublattice the resolved slice spans (each factor
+  // counts p's distinct J frontier levels plus bottom).
+  std::uint64_t upperBoundCuts = 1;
+  bool upperBoundSaturated = false;
+  std::uint64_t shedNotifications = 0;  // dropped by shed()
+  bool degraded = false;                // shed or restored mid-stream
+};
+
+class OnlineSlice {
+ public:
+  explicit OnlineSlice(int processes);
+
+  int processes() const { return n_; }
+
+  // One resolved join-irreducible: the least satisfying cut containing the
+  // notification at `index` (own component) of `process`. The cut uses the
+  // library timestamp convention: cut[q] = index of the last event of q in
+  // the cut, -1 = none (before q's first notification is never satisfying,
+  // so resolved cuts have every component ≥ 0).
+  struct Irreducible {
+    int process = 0;
+    int index = 0;
+    std::vector<int> cut;
+  };
+
+  // Absorbs one notification of process p (clock[q] = index of the last
+  // event of q in the causal history; own component strictly increasing per
+  // process — exactly what MonitorSession delivers). Resolves J for it and
+  // for any parked notifications this arrival unblocks. No-op once
+  // degraded.
+  void offer(int p, const std::vector<int>& clock);
+
+  // Every irreducible resolved so far, in resolution order.
+  const std::vector<Irreducible>& resolved() const { return resolved_; }
+
+  OnlineSliceStats stats() const;
+  bool degraded() const { return degraded_; }
+
+  // Approximate live memory of the retained clocks, parked entries, and
+  // resolved cuts — input to the gpdd load-shedding ladder.
+  std::size_t bytesRetained() const;
+
+  // Load shedding: frees everything retained and latches degraded. Returns
+  // the number of notifications (retained + parked) dropped.
+  std::size_t shed();
+
+  // Latches degraded without freeing anything — used after a session
+  // restore (the slice is not part of snapshots, so a restored run has
+  // missed the pre-crash notifications and can no longer claim
+  // completeness).
+  void latchDegraded() { degraded_ = true; }
+
+ private:
+  struct PendingEntry {
+    int process = 0;
+    int index = 0;
+    std::vector<int> cut;  // fixpoint progress so far
+  };
+
+  // Runs the greedy fixpoint on `cut`; returns the blocking process, or -1
+  // when `cut` converged to a satisfying least cut.
+  int advance(std::vector<int>& cut);
+  void resolveOrPark(int p, int index, std::vector<int> cut);
+  void retryPending(int arrived);
+  void countResolved(int p);
+
+  int n_;
+  // Per process: own components (strictly ascending) and the matching full
+  // clocks of every notification seen.
+  std::vector<std::vector<int>> own_;
+  std::vector<std::vector<std::vector<int>>> clocks_;
+  std::vector<PendingEntry> pending_;  // parked fixpoints, by blocking process
+  std::vector<int> pendingBlockedOn_;
+  std::vector<Irreducible> resolved_;
+  std::vector<std::uint64_t> resolvedOnProcess_;
+  std::uint64_t notifications_ = 0;
+  std::uint64_t advanceSteps_ = 0;
+  std::uint64_t shedNotifications_ = 0;
+  bool degraded_ = false;
+};
+
+}  // namespace gpd::monitor

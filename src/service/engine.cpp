@@ -233,7 +233,7 @@ struct Engine::Session {
     for (int p = 0; p < processes; ++p) queued += m.queueSize(p);
     const std::uint64_t perClock = 4 * n + 48;
     return 512 + n * 96 + queued * perClock +
-           mon->bufferedCount() * (perClock + 16);
+           mon->bufferedCount() * (perClock + 16) + mon->sliceBytes();
   }
 
   std::string verdictPayload(bool asClosed, bool forceDegraded) const {
@@ -1168,6 +1168,22 @@ const std::map<std::string, TenantStats>& Engine::tenantStats() const {
   return impl_->tenantStats;
 }
 
+SliceStats Engine::sliceStats() const {
+  SliceStats sl;
+  for (const auto& [key, s] : impl_->sessions) {
+    if (s->closed) continue;
+    const monitor::OnlineSlice* slice = s->mon->slice();
+    if (slice == nullptr) continue;
+    ++sl.sessions;
+    const monitor::OnlineSliceStats st = slice->stats();
+    sl.notifications += st.notifications;
+    sl.resolved += st.resolved;
+    sl.pending += st.pending;
+    if (st.degraded) ++sl.degraded;
+  }
+  return sl;
+}
+
 void Engine::publishTenantMetrics() const {
 #ifndef GPD_OBS_DISABLED
   for (const auto& [name, t] : impl_->tenantStats) {
@@ -1182,6 +1198,12 @@ void Engine::publishTenantMetrics() const {
         .set(t.shedMem + t.shedBudget + t.shedIdle);
     obs::registry().gauge(prefix + "_budget_exhausted").set(t.shedBudget);
   }
+  const SliceStats sl = sliceStats();
+  obs::registry().gauge("gpdd_slice_sessions").set(sl.sessions);
+  obs::registry().gauge("gpdd_slice_notifications").set(sl.notifications);
+  obs::registry().gauge("gpdd_slice_resolved").set(sl.resolved);
+  obs::registry().gauge("gpdd_slice_pending").set(sl.pending);
+  obs::registry().gauge("gpdd_slice_degraded").set(sl.degraded);
 #endif
 }
 
@@ -1208,6 +1230,12 @@ std::string Engine::statsJson() const {
      << ",\"epoch\":" << checkpointEpoch_
      << ",\"dirty_sessions\":" << dirtySessions()
      << ",\"last_sync\":\"" << lastSyncToken_ << '"';
+  const SliceStats sl = sliceStats();
+  os << ",\"slice_sessions\":" << sl.sessions
+     << ",\"slice_notifications\":" << sl.notifications
+     << ",\"slice_resolved\":" << sl.resolved
+     << ",\"slice_pending\":" << sl.pending
+     << ",\"slice_degraded\":" << sl.degraded;
   if (!options_.buildInfo.empty()) {
     os << ",\"build\":{";
     bool firstLabel = true;
@@ -1267,6 +1295,12 @@ std::string Engine::statsText() const {
      << "  dirty-sessions " << dirtySessions() << '\n'
      << "  last-sync " << (lastSyncToken_.empty() ? "-" : lastSyncToken_.c_str())
      << '\n';
+  const SliceStats sl = sliceStats();
+  os << "  slice-sessions " << sl.sessions << '\n'
+     << "  slice-notifications " << sl.notifications << '\n'
+     << "  slice-resolved " << sl.resolved << '\n'
+     << "  slice-pending " << sl.pending << '\n'
+     << "  slice-degraded " << sl.degraded << '\n';
   for (const auto& [key, value] : options_.buildInfo) {
     os << "  build-" << key << ' ' << value << '\n';
   }

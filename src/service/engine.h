@@ -156,6 +156,17 @@ struct EngineStats {
   std::uint64_t pumps = 0;
 };
 
+// Aggregated online-slice numbers across the open sessions (zeros unless
+// the server runs with slicing enabled — gpdd --slice). Live gauges, not
+// cumulative counters: they track what the open sessions currently retain.
+struct SliceStats {
+  std::uint64_t sessions = 0;       // open sessions maintaining a slice
+  std::uint64_t notifications = 0;  // clocks absorbed by those slices
+  std::uint64_t resolved = 0;       // join-irreducibles resolved
+  std::uint64_t pending = 0;        // parked, waiting on another process
+  std::uint64_t degraded = 0;       // slices latched degraded (shed/restore)
+};
+
 // One response frame payload, tagged with the origin the triggering command
 // was submitted from so a socket front-end can route it back to the right
 // connection. Session-associated frames (NACK/SHED/VERDICT) go to the
@@ -240,6 +251,10 @@ class Engine {
 
   // Cumulative per-tenant counters (never forgets a tenant).
   const std::map<std::string, TenantStats>& tenantStats() const;
+
+  // Online-slice aggregate over the open sessions (all-zero when sessions
+  // run without SessionOptions::enableSlice).
+  SliceStats sliceStats() const;
 
   // Mirrors the per-tenant numbers into the gpd::obs registry as
   // gpdd_tenant_<name>_* gauges. statsJson/statsText call this; the

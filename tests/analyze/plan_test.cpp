@@ -87,10 +87,12 @@ TEST(Plan, ConjunctiveRoutesToCpdhbWithOneInvocation) {
   EXPECT_EQ(definitely.chosen().algorithm, Algorithm::IntervalDefinitely);
 }
 
-TEST(Plan, NonSingularCnfFallsBackToLatticeEnumeration) {
+TEST(Plan, NonSingularCnfWithSkeletonChoosesSliceFirst) {
   Rng rng(32);
   Scenario s = randomBoolScenario(2, 3, rng);
-  // Both clauses host process 0 — not singular.
+  // Both clauses host process 0 — not singular; the second clause is
+  // single-process, so a regular skeleton exists and slice-first leads the
+  // plan, with the unsliced lattice ranked below it.
   CnfPredicate pred;
   pred.clauses.push_back({{0, "b", true}, {1, "b", true}});
   pred.clauses.push_back({{0, "b", false}});
@@ -98,10 +100,33 @@ TEST(Plan, NonSingularCnfFallsBackToLatticeEnumeration) {
 
   const AnalysisReport report =
       analyze::planCnf(s.clocks, s.trace, pred, Modality::Possibly);
-  EXPECT_EQ(report.chosen().algorithm, Algorithm::LatticeEnumeration);
+  EXPECT_EQ(report.chosen().algorithm, Algorithm::SliceFirst);
+  EXPECT_TRUE(report.chosen().predictedSublatticeCuts.has_value());
+  EXPECT_NE(findStep(report, Algorithm::LatticeEnumeration), nullptr);
   ASSERT_TRUE(report.cnf.has_value());
   EXPECT_FALSE(report.cnf->singular);
+  EXPECT_EQ(report.cnf->singleProcessClauses, 1);
   EXPECT_EQ(findStep(report, Algorithm::SingularChainCover), nullptr);
+}
+
+TEST(Plan, NonSingularCnfWithoutSkeletonFallsBackToLatticeEnumeration) {
+  Rng rng(32);
+  Scenario s = randomBoolScenario(2, 3, rng);
+  // No single-process clause: slice-first is inapplicable and the plain
+  // lattice enumeration is chosen.
+  CnfPredicate pred;
+  pred.clauses.push_back({{0, "b", true}, {1, "b", true}});
+  pred.clauses.push_back({{0, "b", false}, {1, "b", false}});
+  ASSERT_FALSE(pred.isSingular());
+
+  const AnalysisReport report =
+      analyze::planCnf(s.clocks, s.trace, pred, Modality::Possibly);
+  EXPECT_EQ(report.chosen().algorithm, Algorithm::LatticeEnumeration);
+  ASSERT_TRUE(report.cnf.has_value());
+  EXPECT_EQ(report.cnf->singleProcessClauses, 0);
+  const PlanStep* sliceStep = findStep(report, Algorithm::SliceFirst);
+  ASSERT_NE(sliceStep, nullptr);
+  EXPECT_FALSE(sliceStep->applicable);
 }
 
 // The acceptance criterion: `plan` predicts the exact combinationsTotal the

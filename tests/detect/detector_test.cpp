@@ -73,7 +73,7 @@ TEST(DetectorTest, SingularCnfFallsBackToChainCover) {
   EXPECT_TRUE(cut.has_value());
 }
 
-TEST(DetectorTest, NonSingularCnfUsesLattice) {
+TEST(DetectorTest, NonSingularCnfWithSkeletonSlicesFirst) {
   ComputationBuilder b(2);
   b.appendEvent(0);
   const Computation c = std::move(b).build();
@@ -81,12 +81,46 @@ TEST(DetectorTest, NonSingularCnfUsesLattice) {
   trace.defineBool(0, "x", {true, false});
   trace.defineBool(1, "y", {true});
   CnfPredicate pred;
+  // The single-process second clause is a regular skeleton: the planner
+  // routes the lattice search through the slice-first pre-pass.
   pred.clauses = {{{0, "x", true}, {1, "y", true}}, {{0, "x", false}}};
+  Detector det(trace);
+  const auto cut = det.possibly(pred);
+  EXPECT_EQ(det.lastAlgorithm(), "slice-first");
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_TRUE(pred.holdsAtCut(trace, *cut));
+  ASSERT_TRUE(det.lastSlice().has_value());
+  EXPECT_TRUE(det.lastSlice()->usedSlice);
+  EXPECT_EQ(det.lastSlice()->eventsTotal, 3u);
+
+  // Forcing slicing off must reproduce the historical unsliced path with
+  // the same verdict.
+  det.enableSlicing(false);
+  const auto unsliced = det.possibly(pred);
+  EXPECT_EQ(det.lastAlgorithm(), "lattice-enumeration");
+  ASSERT_TRUE(unsliced.has_value());
+  EXPECT_EQ(*unsliced, *cut);
+  EXPECT_FALSE(det.lastSlice().has_value());
+}
+
+TEST(DetectorTest, NonSingularCnfWithoutSkeletonUsesLattice) {
+  ComputationBuilder b(2);
+  b.appendEvent(0);
+  b.appendEvent(1);
+  const Computation c = std::move(b).build();
+  VariableTrace trace(c);
+  trace.defineBool(0, "x", {true, false});
+  trace.defineBool(1, "y", {false, true});
+  CnfPredicate pred;
+  // Every clause spans both processes: no regular skeleton to slice on.
+  pred.clauses = {{{0, "x", true}, {1, "y", true}},
+                  {{0, "x", false}, {1, "y", false}}};
   Detector det(trace);
   const auto cut = det.possibly(pred);
   EXPECT_EQ(det.lastAlgorithm(), "lattice-enumeration");
   ASSERT_TRUE(cut.has_value());
   EXPECT_TRUE(pred.holdsAtCut(trace, *cut));
+  EXPECT_FALSE(det.lastSlice().has_value());
 }
 
 TEST(DetectorTest, SumDispatch) {

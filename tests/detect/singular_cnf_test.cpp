@@ -164,7 +164,7 @@ TEST(SingularCnfTest, HugeEnumerationSpaceSaturatesInsteadOfWrapping) {
   const VectorClocks vc(c);
   for (auto detect : {&detectSingularByChainCover,
                       &detectSingularByProcessEnumeration}) {
-    const auto res = (*detect)(vc, trace, pred, nullptr, nullptr);
+    const auto res = (*detect)(vc, trace, pred, nullptr, nullptr, nullptr);
     EXPECT_EQ(res.combinationsTotal, UINT64_MAX);  // saturated, not 0
     EXPECT_TRUE(res.found);  // everything concurrent: first selection wins
     EXPECT_GE(res.combinationsTried, 1u);

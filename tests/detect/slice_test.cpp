@@ -6,6 +6,7 @@
 #include "computation/random.h"
 #include "lattice/explore.h"
 #include "predicates/random_trace.h"
+#include "util/check.h"
 
 namespace gpd::detect {
 namespace {
@@ -117,8 +118,10 @@ TEST(SliceTest, CountMatchesLattice) {
       expected += inst.satisfied(cut);
       return true;
     });
-    EXPECT_EQ(countSatisfyingCuts(slice, inst.clocks), expected)
-        << "seed " << seed;
+    const SliceCount got = countSatisfyingCuts(slice, inst.clocks);
+    EXPECT_TRUE(got.complete);
+    EXPECT_FALSE(got.saturated);
+    EXPECT_EQ(got.count, expected) << "seed " << seed;
   }
 }
 
@@ -150,8 +153,95 @@ TEST(SliceTest, UnsatisfiablePredicateYieldsEmptySlice) {
   const Slice slice =
       computeSlice(inst.clocks, conjunctiveOracle(inst.trace, pred));
   EXPECT_FALSE(slice.satisfiable);
-  EXPECT_EQ(countSatisfyingCuts(slice, inst.clocks), 0u);
+  EXPECT_EQ(countSatisfyingCuts(slice, inst.clocks).count, 0u);
   for (const auto& j : slice.leastCut) EXPECT_FALSE(j.has_value());
+}
+
+// Reduction-gadget regression: 64 independent processes of 3 events each
+// under an always-true predicate have 3^64 satisfying cuts — far past
+// 2^64-1. The pre-fix counter multiplied raw uint64_t factors and wrapped
+// to a small (even plausible-looking) value; the count must instead clamp
+// at UINT64_MAX and say so.
+TEST(SliceTest, CountSaturatesInsteadOfWrapping) {
+  ComputationBuilder builder(64);
+  for (ProcessId p = 0; p < 64; ++p) {
+    builder.appendEvent(p);
+    builder.appendEvent(p);
+  }
+  const Computation comp = std::move(builder).build();
+  const VectorClocks clocks(comp);
+  const ForbiddenFn always = [](const Cut&) -> std::optional<ProcessId> {
+    return std::nullopt;
+  };
+  const Slice slice = computeSlice(clocks, always);
+  ASSERT_TRUE(slice.satisfiable);
+  const SliceCount count = countSatisfyingCuts(slice, clocks);
+  EXPECT_TRUE(count.saturated);
+  EXPECT_TRUE(count.complete);
+  EXPECT_EQ(count.count, UINT64_MAX);
+}
+
+// The slice build charges its oracle calls against the budget (one cut per
+// call, through detectLinearFrom); exhaustion yields an honest incomplete
+// slice instead of a silently unbudgeted loop.
+TEST(SliceTest, BuildChargesBudgetAndStopsIncomplete) {
+  const RegularInstance inst = makeInstance(7, 0.5);
+  control::BudgetLimits limits;
+  limits.maxCuts = 2;
+  control::Budget budget(limits);
+  SliceOptions options;
+  options.budget = &budget;
+  const Slice slice =
+      computeSlice(inst.clocks, conjunctiveOracle(inst.trace, inst.pred),
+                   options);
+  EXPECT_FALSE(slice.complete);
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_EQ(budget.reason(), control::StopReason::CutLimit);
+}
+
+// The general (non-product) counting BFS is budget-charged too.
+TEST(SliceTest, CountChargesBudgetOnGeneralPath) {
+  ComputationBuilder builder(2);
+  const EventId send = builder.appendEvent(0);
+  const EventId recv = builder.appendEvent(1);
+  builder.appendEvent(0);
+  builder.appendEvent(1);
+  builder.addMessage(send, recv);
+  const Computation comp = std::move(builder).build();
+  const VectorClocks clocks(comp);
+  const Slice slice = computeSlice(clocks, channelsEmptyOracle(comp));
+  ASSERT_TRUE(slice.satisfiable);
+  control::BudgetLimits limits;
+  limits.maxCuts = 1;
+  control::Budget budget(limits);
+  const SliceCount capped = countSatisfyingCuts(slice, clocks, &budget);
+  EXPECT_FALSE(capped.complete);
+  const SliceCount full = countSatisfyingCuts(slice, clocks);
+  EXPECT_TRUE(full.complete);
+  EXPECT_LE(capped.count, full.count);
+}
+
+// Soundness gate: a merely-linear (non-regular) oracle must be refused with
+// a typed error, not turned into a silently wrong slice. The L-shape
+// predicate "last[0] == 0 or last[1] == 0" is linear (a violating cut can
+// never be repaired, so any forbidden process is vacuously sound) but its
+// two least cuts (1,0) and (0,1) join to the violating (1,1).
+TEST(SliceTest, MerelyLinearOracleThrowsInputError) {
+  ComputationBuilder builder(2);
+  builder.appendEvent(0);
+  builder.appendEvent(1);
+  const Computation comp = std::move(builder).build();
+  const VectorClocks clocks(comp);
+  const ForbiddenFn lShape = [](const Cut& cut) -> std::optional<ProcessId> {
+    if (cut.last[0] > 0 && cut.last[1] > 0) return ProcessId{0};
+    return std::nullopt;
+  };
+  EXPECT_THROW(computeSlice(clocks, lShape), InputError);
+  // The detector-internal opt-out (soundness established elsewhere) must
+  // not throw — it is the planner's regularity gate that protects it.
+  SliceOptions unchecked;
+  unchecked.verifyRegular = false;
+  EXPECT_NO_THROW(computeSlice(clocks, lShape, unchecked));
 }
 
 // Channel predicates ("no message in flight") are the other classical

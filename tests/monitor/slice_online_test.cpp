@@ -1,0 +1,300 @@
+#include "monitor/slice.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "clocks/vector_clock.h"
+#include "computation/random.h"
+#include "monitor/session.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace gpd::monitor {
+namespace {
+
+// One notification as the transport would carry it.
+struct Note {
+  int process;
+  std::vector<int> clock;
+};
+
+// Reference implementation: J(start) over the *complete* notification lists,
+// by the same greedy least fixpoint the online slice runs incrementally.
+// nullopt when the fixpoint needs a notification past the end of some list —
+// the online slice must hold exactly those entries pending forever.
+std::optional<std::vector<int>> leastCutFromScratch(
+    int n, const std::vector<std::vector<Note>>& byProc,
+    std::vector<int> cut) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int q = 0; q < n; ++q) {
+      std::size_t i = 0;
+      while (i < byProc[q].size() && byProc[q][i].clock[q] < cut[q]) ++i;
+      if (i == byProc[q].size()) return std::nullopt;
+      for (int r = 0; r < n; ++r) {
+        if (byProc[q][i].clock[r] > cut[r]) {
+          cut[r] = byProc[q][i].clock[r];
+          changed = true;
+        }
+      }
+    }
+  }
+  return cut;
+}
+
+using ResolvedKey = std::tuple<int, int, std::vector<int>>;
+
+std::vector<ResolvedKey> sortedResolved(const OnlineSlice& slice) {
+  std::vector<ResolvedKey> keys;
+  for (const auto& irr : slice.resolved()) {
+    keys.emplace_back(irr.process, irr.index, irr.cut);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+TEST(OnlineSliceTest, ResolvesLeastSatisfyingCuts) {
+  OnlineSlice slice(2);
+  // p0's event 0 reports; J needs p1 at a notification too, so it parks.
+  slice.offer(0, {0, -1});
+  EXPECT_EQ(slice.resolved().size(), 0u);
+  EXPECT_EQ(slice.stats().pending, 1u);
+  // p1's event 1 (which received from p0's event 0) reports: its own J
+  // resolves immediately, and p0's parked entry resolves to the same least
+  // cut (0, 1).
+  slice.offer(1, {0, 1});
+  ASSERT_EQ(slice.resolved().size(), 2u);
+  EXPECT_EQ(slice.stats().pending, 0u);
+  for (const auto& irr : slice.resolved()) {
+    EXPECT_EQ(irr.cut, (std::vector<int>{0, 1}));
+  }
+  EXPECT_EQ(slice.stats().notifications, 2u);
+  EXPECT_EQ(slice.stats().resolved, 2u);
+  // One J frontier level on each process: bound (1+1)*(1+1).
+  EXPECT_EQ(slice.stats().upperBoundCuts, 4u);
+}
+
+TEST(OnlineSliceTest, ProgramOrderViolationThrows) {
+  OnlineSlice slice(2);
+  slice.offer(0, {3, -1});
+  EXPECT_THROW(slice.offer(0, {3, -1}), InputError);
+  EXPECT_THROW(slice.offer(0, {1, 0}), InputError);
+}
+
+TEST(OnlineSliceTest, IncrementalMatchesRebuildAcrossDeliveryOrders) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 60; ++trial) {
+    RandomComputationOptions opt;
+    opt.processes = 2 + static_cast<int>(rng.index(3));
+    opt.eventsPerProcess = 3 + static_cast<int>(rng.index(3));
+    opt.messageProbability = 0.5;
+    const Computation c = randomComputation(opt, rng);
+    const VectorClocks vc(c);
+    const int n = c.processCount();
+
+    // A random subset of events report (per-process program order is the
+    // event order, as the session guarantees).
+    std::vector<std::vector<Note>> byProc(n);
+    for (ProcessId p = 0; p < n; ++p) {
+      for (int i = 0; i < c.eventCount(p); ++i) {
+        if (rng.chance(0.55)) byProc[p].push_back({p, vc.clockVector({p, i})});
+      }
+    }
+
+    // Reference: from-scratch J for every notification over the full lists.
+    std::vector<ResolvedKey> expected;
+    std::size_t expectedPending = 0;
+    for (int p = 0; p < n; ++p) {
+      for (const Note& note : byProc[p]) {
+        const auto cut = leastCutFromScratch(n, byProc, note.clock);
+        if (cut) {
+          expected.emplace_back(p, note.clock[p], *cut);
+        } else {
+          ++expectedPending;
+        }
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+
+    // Feed the same notifications in several interleavings (program order
+    // per process, arbitrary across processes): identical resolved sets.
+    for (int order = 0; order < 4; ++order) {
+      std::vector<std::size_t> cursor(static_cast<std::size_t>(n), 0);
+      std::vector<int> ready;
+      for (int p = 0; p < n; ++p) {
+        if (!byProc[p].empty()) ready.push_back(p);
+      }
+      OnlineSlice slice(n);
+      while (!ready.empty()) {
+        const std::size_t pick =
+            order == 0 ? 0 : rng.index(ready.size());  // order 0: process-major
+        const int p = ready[pick];
+        slice.offer(p, byProc[p][cursor[p]].clock);
+        if (++cursor[p] == byProc[p].size()) {
+          ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(pick));
+        }
+      }
+      EXPECT_EQ(sortedResolved(slice), expected)
+          << "trial " << trial << " order " << order;
+      EXPECT_EQ(slice.stats().pending, expectedPending)
+          << "trial " << trial << " order " << order;
+    }
+  }
+}
+
+TEST(OnlineSliceTest, ShedFreesMemoryAndLatchesDegraded) {
+  OnlineSlice slice(2);
+  slice.offer(0, {0, -1});
+  slice.offer(0, {1, -1});
+  slice.offer(1, {-1, 0});
+  EXPECT_GT(slice.bytesRetained(), 0u);
+  const std::size_t dropped = slice.shed();
+  EXPECT_EQ(dropped, 3u);
+  EXPECT_TRUE(slice.degraded());
+  EXPECT_EQ(slice.bytesRetained(), 0u);
+  // Degraded: further notifications are ignored, stats stay frozen.
+  slice.offer(1, {2, 1});
+  EXPECT_EQ(slice.stats().notifications, 3u);
+  EXPECT_EQ(slice.stats().resolved, 0u);
+  EXPECT_EQ(slice.stats().shedNotifications, 3u);
+}
+
+TEST(OnlineSliceTest, SublatticeBoundSaturates) {
+  // 65 mutually concurrent notifying processes: the bound is 2^65, past
+  // uint64 — it must saturate, not wrap to zero.
+  const int n = 65;
+  OnlineSlice slice(n);
+  for (int p = 0; p < n; ++p) {
+    std::vector<int> clock(static_cast<std::size_t>(n), -1);
+    clock[static_cast<std::size_t>(p)] = 0;
+    slice.offer(p, clock);
+  }
+  const OnlineSliceStats s = slice.stats();
+  EXPECT_EQ(s.resolved, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(s.pending, 0u);
+  EXPECT_TRUE(s.upperBoundSaturated);
+  EXPECT_EQ(s.upperBoundCuts, UINT64_MAX);
+}
+
+TEST(MonitorSessionSliceTest, DisabledByDefault) {
+  MonitorSession s(2);
+  EXPECT_EQ(s.slice(), nullptr);
+  EXPECT_EQ(s.sliceBytes(), 0u);
+}
+
+TEST(MonitorSessionSliceTest, SessionFeedsConsumedNotifications) {
+  SessionOptions opt;
+  opt.enableSlice = true;
+  MonitorSession s(2, opt);
+  EXPECT_EQ(s.deliver(0, 0, {0, -1}), Delivery::Delivered);
+  // Out-of-order: seq 1 of p1 parks until seq 0 arrives, then both drain —
+  // the slice sees them in program order, like the monitor.
+  EXPECT_EQ(s.deliver(1, 1, {0, 1}), Delivery::Buffered);
+  ASSERT_NE(s.slice(), nullptr);
+  EXPECT_EQ(s.slice()->stats().notifications, 1u);
+  // Duplicates are suppressed before the slice sees them.
+  EXPECT_EQ(s.deliver(0, 0, {0, -1}), Delivery::Duplicate);
+  EXPECT_EQ(s.slice()->stats().notifications, 1u);
+  EXPECT_EQ(s.deliver(1, 0, {-1, 0}), Delivery::Detected);
+  EXPECT_EQ(s.slice()->stats().notifications, 3u);
+  EXPECT_GT(s.sliceBytes(), 0u);
+  // The witness cut (0, 0) is the least satisfying cut of both early
+  // notifications.
+  ASSERT_GE(s.slice()->resolved().size(), 2u);
+  EXPECT_EQ(s.slice()->resolved()[0].cut, (std::vector<int>{0, 0}));
+}
+
+TEST(MonitorSessionSliceTest, IncrementalMatchesRebuildThroughSession) {
+  Rng rng(9090);
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomComputationOptions opt;
+    opt.processes = 3;
+    opt.eventsPerProcess = 4;
+    opt.messageProbability = 0.5;
+    const Computation c = randomComputation(opt, rng);
+    const VectorClocks vc(c);
+    const int n = c.processCount();
+    std::vector<std::vector<Note>> byProc(n);
+    for (ProcessId p = 0; p < n; ++p) {
+      for (int i = 0; i < c.eventCount(p); ++i) {
+        if (rng.chance(0.5)) byProc[p].push_back({p, vc.clockVector({p, i})});
+      }
+    }
+
+    // Through a session, with a random cross-process delivery interleaving.
+    // The session stops consuming once detection fires, so record what it
+    // actually handed to the monitor (and therefore to the slice).
+    SessionOptions sopt;
+    sopt.enableSlice = true;
+    MonitorSession session(n, sopt);
+    std::vector<std::vector<Note>> consumed(static_cast<std::size_t>(n));
+    std::vector<std::size_t> cursor(static_cast<std::size_t>(n), 0);
+    std::vector<int> ready;
+    for (int p = 0; p < n; ++p) {
+      if (!byProc[p].empty()) ready.push_back(p);
+    }
+    bool fired = false;
+    while (!ready.empty() && !fired) {
+      const std::size_t pick = rng.index(ready.size());
+      const int p = ready[pick];
+      const Delivery d = session.deliver(p, cursor[p], byProc[p][cursor[p]].clock);
+      ASSERT_TRUE(d == Delivery::Delivered || d == Delivery::Detected)
+          << "trial " << trial;
+      consumed[static_cast<std::size_t>(p)].push_back(byProc[p][cursor[p]]);
+      fired = d == Delivery::Detected;
+      if (++cursor[p] == byProc[p].size()) {
+        ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+    }
+
+    // From-scratch slice over exactly the consumed set, process-major.
+    OnlineSlice scratch(n);
+    for (int p = 0; p < n; ++p) {
+      for (const Note& note : consumed[static_cast<std::size_t>(p)]) {
+        scratch.offer(p, note.clock);
+      }
+    }
+    ASSERT_NE(session.slice(), nullptr);
+    EXPECT_EQ(sortedResolved(*session.slice()), sortedResolved(scratch))
+        << "trial " << trial;
+  }
+}
+
+TEST(MonitorSessionSliceTest, ShedMemoryShedsSliceToo) {
+  SessionOptions opt;
+  opt.enableSlice = true;
+  MonitorSession s(2, opt);
+  // Same-process notifications only: no detection, so shedMemory (which is
+  // a no-op once the verdict is final) actually sheds.
+  EXPECT_EQ(s.deliver(0, 0, {0, -1}), Delivery::Delivered);
+  EXPECT_EQ(s.deliver(0, 1, {1, -1}), Delivery::Delivered);
+  const std::size_t dropped = s.shedMemory(0);
+  EXPECT_GE(dropped, 2u);  // at least the two slice-retained clocks
+  ASSERT_NE(s.slice(), nullptr);
+  EXPECT_TRUE(s.slice()->degraded());
+  EXPECT_EQ(s.sliceBytes(), 0u);
+}
+
+TEST(MonitorSessionSliceTest, RestoredSessionSliceStartsDegraded) {
+  SessionOptions opt;
+  opt.enableSlice = true;
+  MonitorSession s(2, opt);
+  EXPECT_EQ(s.deliver(0, 0, {0, -1}), Delivery::Delivered);
+  const SessionSnapshot snap = s.snapshot();
+  MonitorSession restored = MonitorSession::restore(snap, opt);
+  // The slice is not checkpointed: the restored run has missed the
+  // pre-crash notifications, so it can never claim completeness.
+  ASSERT_NE(restored.slice(), nullptr);
+  EXPECT_TRUE(restored.slice()->degraded());
+  // A sliceless restore stays sliceless.
+  MonitorSession plain = MonitorSession::restore(snap);
+  EXPECT_EQ(plain.slice(), nullptr);
+}
+
+}  // namespace
+}  // namespace gpd::monitor

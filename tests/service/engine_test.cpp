@@ -464,7 +464,9 @@ TEST(Engine, StatsJsonSchemaGolden) {
       "\"rate_limited\":",    "\"protocol_errors\":", "\"notifications\":",
       "\"nacks\":",           "\"detections\":",     "\"pumps\":",
       "\"estimated_bytes\":", "\"mem_level\":",      "\"epoch\":",
-      "\"dirty_sessions\":",  "\"last_sync\":",      "\"build\":",
+      "\"dirty_sessions\":",  "\"last_sync\":",      "\"slice_sessions\":",
+      "\"slice_notifications\":",                    "\"slice_resolved\":",
+      "\"slice_pending\":",   "\"slice_degraded\":", "\"build\":",
       "\"tenants\":",
   };
   std::size_t prev = 0;
@@ -482,6 +484,29 @@ TEST(Engine, StatsJsonSchemaGolden) {
   // pre-telemetry scrapers see the original schema.
   Engine bare;
   EXPECT_EQ(bare.statsJson().find("\"build\""), std::string::npos);
+}
+
+TEST(Engine, SliceEnabledSessionsAggregateInStats) {
+  EngineOptions opt;
+  opt.session.enableSlice = true;
+  Engine eng(opt);
+  pumpAll(eng, {"OPEN t0 s0 2", "EV t0 s0 0 0 1 0", "EV t0 s0 1 0 0 1"});
+  const SliceStats sl = eng.sliceStats();
+  EXPECT_EQ(sl.sessions, 1u);
+  EXPECT_EQ(sl.notifications, 2u);
+  EXPECT_EQ(sl.resolved, 2u);
+  EXPECT_EQ(sl.pending, 0u);
+  EXPECT_EQ(sl.degraded, 0u);
+  const std::string json = eng.statsJson();
+  EXPECT_NE(json.find("\"slice_sessions\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"slice_notifications\":2"), std::string::npos);
+  // A sliceless engine still renders the keys, as zeros — scrapers see the
+  // same schema either way.
+  Engine bare;
+  EXPECT_NE(bare.statsJson().find("\"slice_sessions\":0"), std::string::npos);
+  const std::string text = eng.statsText();
+  EXPECT_NE(text.find("  slice-sessions 1\n"), std::string::npos);
+  EXPECT_NE(text.find("  slice-resolved 2\n"), std::string::npos);
 }
 
 TEST(Engine, StatsTextRendersTenantLines) {

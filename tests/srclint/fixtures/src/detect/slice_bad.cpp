@@ -1,0 +1,25 @@
+// srclint fixture — gpd-budget-charge MUST fire here: the slice-building
+// loop runs the linear-detector fixpoint (detectLinearFrom) once per event
+// and nothing in the loop body or its callee chain charges a Budget or
+// polls a CancelToken. This is exactly the pre-fix computeSlice shape: an
+// unbudgeted O(|E|) sweep of budgeted kernels that a deadline could never
+// stop.
+#include <vector>
+
+namespace fx {
+
+struct Cut {
+  std::vector<int> last;
+};
+
+Cut detectLinearFrom(const Cut& from);
+
+std::vector<Cut> buildSlice(const std::vector<Cut>& starts) {
+  std::vector<Cut> irreducibles;
+  for (const Cut& from : starts) {
+    irreducibles.push_back(detectLinearFrom(from));
+  }
+  return irreducibles;
+}
+
+}  // namespace fx

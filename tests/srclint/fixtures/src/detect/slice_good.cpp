@@ -1,0 +1,28 @@
+// srclint fixture — silent twin of slice_bad.cpp: the same per-event
+// fixpoint sweep, but the loop charges the budget before every kernel call,
+// so an exhausted budget stops the slice build mid-sweep (the slice is then
+// reported incomplete instead of blocking the deadline).
+#include <vector>
+
+namespace fx {
+
+struct Cut {
+  std::vector<int> last;
+};
+
+struct Budget {
+  bool chargeCut();
+};
+
+Cut detectLinearFrom(const Cut& from);
+
+std::vector<Cut> buildSlice(const std::vector<Cut>& starts, Budget* budget) {
+  std::vector<Cut> irreducibles;
+  for (const Cut& from : starts) {
+    if (!budget->chargeCut()) break;
+    irreducibles.push_back(detectLinearFrom(from));
+  }
+  return irreducibles;
+}
+
+}  // namespace fx

@@ -19,6 +19,7 @@
 #include <string>
 
 #include <sys/wait.h>
+#include <unistd.h>
 
 namespace gpd {
 namespace {
@@ -28,9 +29,13 @@ struct RunResult {
   std::string output;  // stdout + stderr, interleaved
 };
 
-// Runs srclint with `args`, capturing combined output.
+// Runs srclint with `args`, capturing combined output. The capture file is
+// keyed by pid: ctest runs each discovered test as its own process, and a
+// shared path would race (one process truncating or removing the file while
+// another reads it back).
 RunResult runLint(const std::string& args) {
-  const std::string outPath = ::testing::TempDir() + "srclint_test_out.txt";
+  const std::string outPath = ::testing::TempDir() + "srclint_test_out." +
+                              std::to_string(::getpid()) + ".txt";
   const std::string cmd = std::string(SRCLINT_PATH) + " " + args + " > " +
                           outPath + " 2>&1";
   const int status = std::system(cmd.c_str());
@@ -60,6 +65,8 @@ struct CheckFixture {
 const CheckFixture kCheckFixtures[] = {
     {"gpd-budget-charge", "src/detect/budget_bad.cpp",
      "src/detect/budget_good.cpp"},
+    {"gpd-budget-charge", "src/detect/slice_bad.cpp",
+     "src/detect/slice_good.cpp"},
     {"gpd-clock-discipline", "clock_bad.cpp", "clock_good.cpp"},
     {"gpd-span-raii", "span_bad.cpp", "span_good.cpp"},
     {"gpd-pool-capture", "pool_bad.cpp", "pool_good.cpp"},

@@ -148,7 +148,7 @@ int usage() {
       << "            [--max-combinations N] [--budget-ms D]\n"
       << "            [--window W] [--retries K] [--timeout T]\n"
       << "            [--queue-limit Q] [--degrade-on-overflow]\n"
-      << "            [--max-comparisons-per-report C]\n"
+      << "            [--max-comparisons-per-report C] [--slice]\n"
       << "            [--checkpoint FILE] [--checkpoint-every N]\n"
       << "            [--full-every N] [--recover]\n"
       << "            [--replication-socket PATH]\n"
@@ -261,6 +261,10 @@ Options parseFlags(const std::vector<std::string>& args) {
       o.engine.session.monitor.maxComparisonsPerReport =
           static_cast<std::uint64_t>(
               parseInt(need(++i), "--max-comparisons-per-report"));
+    } else if (a == "--slice") {
+      // Every session maintains the online slice (monitor/slice.h); the
+      // aggregates surface as slice_* STATS keys and gpdd_slice_* gauges.
+      o.engine.session.enableSlice = true;
     } else if (a == "--checkpoint") {
       o.checkpointPath = need(++i);
     } else if (a == "--checkpoint-every") {
@@ -408,6 +412,9 @@ void registerServiceMetrics() {
       "gpdd_mem_level",             "gpdd_queue_depth",
       "gpdd_replication_lag_bytes", "gpdd_replication_lag_epochs",
       "gpdd_replication_lag_pumps", "gpdd_sessions_open",
+      "gpdd_slice_sessions",        "gpdd_slice_notifications",
+      "gpdd_slice_resolved",        "gpdd_slice_pending",
+      "gpdd_slice_degraded",
   };
   static constexpr const char* kHistograms[] = {
       "gpdd_checkpoint_capture_nanos",

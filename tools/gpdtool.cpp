@@ -76,7 +76,7 @@ int usage() {
             << "  gpdtool generate <workload> <out.trace> [seed]\n"
             << "  gpdtool inspect <trace>\n"
             << "  gpdtool detect <trace> conj [--definitely] <p:var|p:!var>...\n"
-            << "  gpdtool detect <trace> cnf <lit,lit,...>...\n"
+            << "  gpdtool detect <trace> cnf [--no-slice] <lit,lit,...>...\n"
             << "  gpdtool detect <trace> sum <lt|le|gt|ge|eq|ne> <K> <var>\n"
             << "  gpdtool detect <trace> sym <kind> <var>\n"
             << "      detect also takes --budget-ms D --max-cuts N\n"
@@ -394,6 +394,34 @@ int finishObs(const ObsFlags& flags, int code) {
   return code;
 }
 
+// One-line slice pre-pass accounting: the planner's predicted sublattice
+// vs what the restricted search actually explored, or the fallback reason.
+void printSliceTrace(const detect::SliceTrace& s) {
+  std::cout << "  slice: ";
+  if (!s.usedSlice) {
+    if (s.eventsExcluded == s.eventsTotal && s.eventsTotal > 0) {
+      std::cout << "skeleton unsatisfiable (" << s.eventsExcluded << '/'
+                << s.eventsTotal << " events excluded)";
+    } else {
+      std::cout << "pre-pass fell back (unsliced search)";
+    }
+  } else {
+    std::cout << s.eventsExcluded << '/' << s.eventsTotal
+              << " events excluded, predicted <= ";
+    if (s.predictedSaturated) {
+      std::cout << "2^64";
+    } else {
+      std::cout << s.predictedCuts;
+    }
+    std::cout << " cuts, explored " << s.exploredCuts;
+  }
+  char ms[32];
+  std::snprintf(ms, sizeof(ms), "%.3f",
+                static_cast<double>(s.buildNanos) * 1e-6);
+  std::cout << "  (build " << ms << "ms, " << s.oracleCalls
+            << " oracle calls)\n";
+}
+
 // Prints a three-valued budgeted verdict; exit 0 when answered, 3 on
 // Unknown (the budget ran out first).
 int reportDetection(const std::string& label, const detect::Detection& det) {
@@ -418,6 +446,7 @@ int reportDetection(const std::string& label, const detect::Detection& det) {
   std::cout << "  progress: " << det.progress.cutsVisited << " cuts, "
             << det.progress.combinationsTried << " combinations, peak frontier "
             << det.progress.peakFrontierBytes << " bytes\n";
+  if (det.slice) printSliceTrace(*det.slice);
   for (const std::string& skipped : det.skippedSteps) {
     std::cout << "  skipped: " << skipped << '\n';
   }
@@ -538,12 +567,18 @@ CnfPredicate parseCnfPredicate(const std::vector<std::string>& args) {
   return pred;
 }
 
-int detectCnf(const io::TraceFile& file, const std::vector<std::string>& args,
+int detectCnf(const io::TraceFile& file, std::vector<std::string> args,
               const BudgetFlags& budgetFlags, par::Pool* pool) {
+  bool noSlice = false;
+  if (!args.empty() && args[0] == "--no-slice") {
+    noSlice = true;
+    args.erase(args.begin());
+  }
   if (args.empty()) return usage();
   const CnfPredicate pred = parseCnfPredicate(args);
   detect::Detector detector(*file.trace);
   detector.usePool(pool);
+  detector.enableSlicing(!noSlice);
   std::cout << "predicate: " << pred.toString()
             << (pred.isSingular() ? " (singular)" : " (not singular)") << '\n';
   if (budgetFlags.any()) {
@@ -557,6 +592,7 @@ int detectCnf(const io::TraceFile& file, const std::vector<std::string>& args,
     std::cout << "possibly: unsatisfied  [" << detector.lastAlgorithm()
               << "]\n";
   }
+  if (detector.lastSlice()) printSliceTrace(*detector.lastSlice());
   return 0;
 }
 

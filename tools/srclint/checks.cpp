@@ -35,6 +35,10 @@ const std::set<std::string>& kernelCalls() {
       "latticeStats",
       // CPDHB scan — one invocation per enumeration combination (Sec. 3.3)
       "findConsistentSelection", "findConsistentSelectionImpl",
+      // slicing kernels: the per-event linear-detector fixpoint and the
+      // whole-slice builders (a loop around any of these walks the event
+      // set or the sublattice and must stay budget-stoppable)
+      "detectLinearFrom", "computeSlice", "countSatisfyingCuts",
       // DNF expansion (distribution is exponential in the expression)
       "toDnf", "dnfOf", "mergeTerms",
       // whole-search solvers
